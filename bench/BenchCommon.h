@@ -1,0 +1,184 @@
+//===- bench/BenchCommon.h - Shared experiment harness -----------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Plumbing shared by the per-table/figure bench binaries: one cached
+/// pipeline run per (workload, configuration) cell, the standard
+/// configuration set of the paper's evaluation, aligned table printing,
+/// and a google-benchmark hook that times the machinery behind the figure.
+///
+/// Environment: OG_BENCH_SCALE scales the workload ref inputs
+/// (default 0.25; the paper-sized runs use 1.0).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_BENCH_BENCHCOMMON_H
+#define OG_BENCH_BENCHCOMMON_H
+
+#include "pipeline/Pipeline.h"
+#include "support/Table.h"
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <string>
+
+namespace ogbench {
+
+using namespace og;
+
+inline double benchScale() {
+  if (const char *S = std::getenv("OG_BENCH_SCALE"))
+    return std::atof(S);
+  return 0.25;
+}
+
+/// Cached pipeline cells keyed by (workload, config label).
+class Harness {
+public:
+  Harness() : Workloads(makeAllWorkloads(benchScale())) {}
+
+  const std::vector<Workload> &workloads() const { return Workloads; }
+
+  const PipelineResult &run(const Workload &W, const std::string &Label,
+                            const PipelineConfig &Config) {
+    auto Key = std::make_pair(W.Name, Label);
+    auto It = Cache.find(Key);
+    if (It == Cache.end())
+      It = Cache.emplace(Key, runPipeline(W, Config)).first;
+    return It->second;
+  }
+
+  // --- The paper's standard configurations.
+  const PipelineResult &baseline(const Workload &W) {
+    PipelineConfig C;
+    C.Sw = SoftwareMode::None;
+    C.Scheme = GatingScheme::None;
+    return run(W, "baseline", C);
+  }
+  const PipelineResult &conventionalVrp(const Workload &W) {
+    PipelineConfig C;
+    C.Sw = SoftwareMode::ConventionalVrp;
+    C.Scheme = GatingScheme::Software;
+    return run(W, "conv-vrp", C);
+  }
+  const PipelineResult &vrp(const Workload &W) {
+    PipelineConfig C;
+    C.Sw = SoftwareMode::Vrp;
+    C.Scheme = GatingScheme::Software;
+    return run(W, "vrp", C);
+  }
+  const PipelineResult &vrs(const Workload &W, double CostNJ) {
+    PipelineConfig C;
+    C.Sw = SoftwareMode::Vrs;
+    C.Scheme = GatingScheme::Software;
+    C.VrsTestCostNJ = CostNJ;
+    return run(W, "vrs-" + std::to_string(static_cast<int>(CostNJ)), C);
+  }
+  const PipelineResult &hwSignificance(const Workload &W) {
+    PipelineConfig C;
+    C.Sw = SoftwareMode::None;
+    C.Scheme = GatingScheme::HwSignificance;
+    return run(W, "hw-sig", C);
+  }
+  const PipelineResult &hwSize(const Workload &W) {
+    PipelineConfig C;
+    C.Sw = SoftwareMode::None;
+    C.Scheme = GatingScheme::HwSize;
+    return run(W, "hw-size", C);
+  }
+  /// SW+HW cooperative schemes (§4.7): software mode + hardware tags.
+  const PipelineResult &combined(const Workload &W, SoftwareMode Sw,
+                                 GatingScheme HwScheme, double CostNJ = 50) {
+    PipelineConfig C;
+    C.Sw = Sw;
+    C.Scheme = HwScheme;
+    C.VrsTestCostNJ = CostNJ;
+    std::string Label = std::string("comb-") + softwareModeName(Sw) + "-" +
+                        gatingSchemeName(HwScheme);
+    return run(W, Label, C);
+  }
+
+private:
+  std::vector<Workload> Workloads;
+  std::map<std::pair<std::string, std::string>, PipelineResult> Cache;
+};
+
+/// The VRS test-cost sweep of Figure 8.
+inline const double VrsCostSweep[] = {110, 90, 70, 50, 30};
+
+/// Prints the standard bench banner.
+inline void banner(const char *Exp, const char *What) {
+  std::cout << "\n=== " << Exp << ": " << What << " ===\n"
+            << "(workload scale " << benchScale()
+            << "; shapes, not absolute values, are the reproduction "
+               "target)\n\n";
+}
+
+/// Dynamic width distribution (share of executed instructions per opcode
+/// width) from functional-run stats.
+inline void widthShares(const ExecStats &S, double Out[4]) {
+  uint64_t Total = S.classWidthTotal();
+  for (unsigned W = 0; W < 4; ++W) {
+    uint64_t N = 0;
+    for (unsigned C = 0; C < 18; ++C)
+      N += S.ClassWidth[C][W];
+    Out[W] = Total ? static_cast<double>(N) / Total : 0.0;
+  }
+}
+
+/// google-benchmark micro-benchmarks of the machinery behind the figures;
+/// each binary registers the ones it exercises, then calls runMicro().
+inline void runMicro(int argc, char **argv) {
+  benchmark::Initialize(&argc, argv);
+  std::cout << "\n--- google-benchmark timings of the underlying machinery "
+               "---\n";
+  benchmark::RunSpecifiedBenchmarks();
+}
+
+inline void microNarrow(benchmark::State &State) {
+  Workload W = makeWorkload("compress", 0.05);
+  for (auto _ : State) {
+    Program P = W.Prog;
+    NarrowingReport R = narrowProgram(P);
+    benchmark::DoNotOptimize(R.NumNarrowed);
+  }
+}
+
+inline void microInterp(benchmark::State &State) {
+  Workload W = makeWorkload("compress", 0.05);
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    RunResult R = runProgram(W.Prog, W.Train);
+    Insts += R.Stats.DynInsts;
+    benchmark::DoNotOptimize(R.Output.data());
+  }
+  State.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(Insts), benchmark::Counter::kIsRate);
+}
+
+inline void microUarch(benchmark::State &State) {
+  Workload W = makeWorkload("compress", 0.05);
+  uint64_t Insts = 0;
+  for (auto _ : State) {
+    EnergyModel EM(GatingScheme::Software);
+    OooCore Core(UarchConfig(), &EM);
+    RunOptions O = W.Train;
+    O.Trace = [&](const DynInst &D) { Core.onInst(D); };
+    runProgram(W.Prog, O);
+    UarchStats S = Core.finish();
+    Insts += S.Insts;
+    benchmark::DoNotOptimize(S.Cycles);
+  }
+  State.counters["insts/s"] = benchmark::Counter(
+      static_cast<double>(Insts), benchmark::Counter::kIsRate);
+}
+
+} // namespace ogbench
+
+#endif // OG_BENCH_BENCHCOMMON_H

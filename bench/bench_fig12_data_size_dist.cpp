@@ -1,0 +1,45 @@
+//===- bench/bench_fig12_data_size_dist.cpp - Paper Figure 12 --------------==//
+//
+// Regenerates Figure 12: the distribution of dynamic value sizes in bytes
+// (significant bytes of every produced/stored value). This distribution
+// motivated the hardware size-compression buckets {1, 2, 5, 8}: a large
+// 1-byte population and an address peak at 5 bytes.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace ogbench;
+
+int main(int argc, char **argv) {
+  banner("Figure 12", "dynamic data size distribution (significant bytes)");
+
+  Harness H;
+  uint64_t Hist[9] = {};
+  uint64_t Total = 0;
+  for (const Workload &W : H.workloads()) {
+    const ExecStats &S = H.baseline(W).RefStats;
+    for (int B = 1; B <= 8; ++B) {
+      Hist[B] += S.ValueSizeBytes[B];
+      Total += S.ValueSizeBytes[B];
+    }
+  }
+
+  TextTable T({"size (bytes)", "% of values"});
+  double AvgBits = 0;
+  for (int B = 1; B <= 8; ++B) {
+    double Frac = Total ? static_cast<double>(Hist[B]) / Total : 0.0;
+    AvgBits += Frac * B * 8;
+    T.addRow({std::to_string(B), TextTable::pct(Frac)});
+  }
+  T.print(std::cout);
+  std::cout << "\nAverage value size: " << TextTable::num(AvgBits, 1)
+            << " bits (paper: 26.7 bits under the {1,2,5,8} encoding).\n"
+            << "Paper shape: ~43% of values need a single byte; memory\n"
+               "addresses produce a secondary bump past 4 bytes, which is\n"
+               "why size compression uses a 5-byte bucket instead of 4.\n";
+
+  benchmark::RegisterBenchmark("BM_Interpreter", microInterp);
+  runMicro(argc, argv);
+  return 0;
+}

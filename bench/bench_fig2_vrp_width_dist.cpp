@@ -1,0 +1,42 @@
+//===- bench/bench_fig2_vrp_width_dist.cpp - Paper Figure 2 ----------------==//
+//
+// Regenerates Figure 2: dynamic instruction distribution by width under
+// conventional VRP (ranges only) vs the proposed VRP (ranges + useful
+// widths). The useful extension must shift weight out of the 64-bit bar.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace ogbench;
+
+int main(int argc, char **argv) {
+  banner("Figure 2", "dynamic width distribution: conventional vs proposed "
+                     "VRP");
+
+  Harness H;
+  double Conv[4] = {}, Prop[4] = {};
+  for (const Workload &W : H.workloads()) {
+    double C[4], P[4];
+    widthShares(H.conventionalVrp(W).RefStats, C);
+    widthShares(H.vrp(W).RefStats, P);
+    for (int I = 0; I < 4; ++I) {
+      Conv[I] += C[I] / H.workloads().size();
+      Prop[I] += P[I] / H.workloads().size();
+    }
+  }
+
+  TextTable T({"width", "Conventional VRP", "Proposed VRP"});
+  const char *Names[] = {"8 bits", "16 bits", "32 bits", "64 bits"};
+  for (int I = 0; I < 4; ++I)
+    T.addRow({Names[I], TextTable::pct(Conv[I]), TextTable::pct(Prop[I])});
+  T.print(std::cout);
+  std::cout << "\nPaper shape: the proposed (useful-range) VRP cuts the\n"
+               "64-bit share (51% -> 42% in the paper) and grows the narrow\n"
+               "bars. Measured 64-bit delta: "
+            << TextTable::pct(Conv[3] - Prop[3]) << ".\n";
+
+  benchmark::RegisterBenchmark("BM_NarrowProgram", microNarrow);
+  runMicro(argc, argv);
+  return 0;
+}

@@ -1,0 +1,46 @@
+//===- bench/bench_fig3_vrp_structure_savings.cpp - Paper Figure 3 ---------==//
+//
+// Regenerates Figure 3: VRP energy savings per processor structure, plus
+// the whole-processor column. Shape targets: functional units highest
+// (~18% in the paper), queues/register file/result bus close behind
+// (~15%), LSQ and L1 D-cache minor (addresses), overall around 6%.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace ogbench;
+
+int main(int argc, char **argv) {
+  banner("Figure 3", "energy savings with VRP per processor structure");
+
+  Harness H;
+  const Structure Rows[] = {Structure::IQueue, Structure::RenameBufs,
+                            Structure::Lsq,    Structure::RegFile,
+                            Structure::DCacheL1, Structure::IntAlu,
+                            Structure::ResultBus};
+  double Sav[NumStructures] = {};
+  double Proc = 0;
+  for (const Workload &W : H.workloads()) {
+    const EnergyReport &B = H.baseline(W).Report;
+    const EnergyReport &V = H.vrp(W).Report;
+    for (unsigned S = 0; S < NumStructures; ++S)
+      Sav[S] += V.structureSaving(B, static_cast<Structure>(S)) /
+                H.workloads().size();
+    Proc += V.energySaving(B) / H.workloads().size();
+  }
+
+  TextTable T({"processor part", "energy saving"});
+  for (Structure S : Rows)
+    T.addRow({structureName(S),
+              TextTable::pct(Sav[static_cast<unsigned>(S)])});
+  T.addRow({"Processor", TextTable::pct(Proc)});
+  T.print(std::cout);
+  std::cout << "\nPaper shape: FUs ~18%, IQ/rename buffers/register file/\n"
+               "result bus ~15%, LSQ and L1-D minor (they move addresses),\n"
+               "overall processor ~6%.\n";
+
+  benchmark::RegisterBenchmark("BM_UarchPowerSim", microUarch);
+  runMicro(argc, argv);
+  return 0;
+}

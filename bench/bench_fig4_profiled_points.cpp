@@ -1,0 +1,49 @@
+//===- bench/bench_fig4_profiled_points.cpp - Paper Figure 4 ---------------==//
+//
+// Regenerates Figure 4: per benchmark, the fate of the profiled points —
+// specialized / dependent on another point / no benefit — with the total
+// number of profiled points on top of each bar (here: a column).
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+using namespace ogbench;
+
+int main(int argc, char **argv) {
+  banner("Figure 4", "distribution of profiled points after specialization");
+
+  Harness H;
+  TextTable T({"benchmark", "points", "specialized", "dependent",
+               "no benefit"});
+  uint64_t TotP = 0, TotS = 0, TotD = 0, TotN = 0;
+  for (const Workload &W : H.workloads()) {
+    const VrsReport &R = H.vrs(W, 50).Vrs;
+    auto pct = [&](uint64_t N) {
+      return R.PointsProfiled
+                 ? TextTable::pct(static_cast<double>(N) / R.PointsProfiled)
+                 : std::string("-");
+    };
+    T.addRow({W.Name, std::to_string(R.PointsProfiled),
+              pct(R.PointsSpecialized), pct(R.PointsDependent),
+              pct(R.PointsNoBenefit)});
+    TotP += R.PointsProfiled;
+    TotS += R.PointsSpecialized;
+    TotD += R.PointsDependent;
+    TotN += R.PointsNoBenefit;
+  }
+  auto tpct = [&](uint64_t N) {
+    return TotP ? TextTable::pct(static_cast<double>(N) / TotP)
+                : std::string("-");
+  };
+  T.addRow({"Average", std::to_string(TotP), tpct(TotS), tpct(TotD),
+            tpct(TotN)});
+  T.print(std::cout);
+  std::cout << "\nPaper shape: most profiled points (88%) produce no\n"
+               "benefit, ~2% are subsumed by another point's region, ~7%\n"
+               "are specialized.\n";
+
+  benchmark::RegisterBenchmark("BM_Interpreter", microInterp);
+  runMicro(argc, argv);
+  return 0;
+}

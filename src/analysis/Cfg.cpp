@@ -1,0 +1,46 @@
+//===- analysis/Cfg.cpp ---------------------------------------------------==//
+
+#include "analysis/Cfg.h"
+
+#include <cassert>
+
+using namespace og;
+
+Cfg::Cfg(const Function &F) : F(&F) {
+  size_t N = F.Blocks.size();
+  Succs.resize(N);
+  Preds.resize(N);
+  RpoIndex.assign(N, SIZE_MAX);
+
+  std::vector<int32_t> Tmp;
+  for (size_t BI = 0; BI < N; ++BI) {
+    F.Blocks[BI].successors(Tmp);
+    Succs[BI] = Tmp;
+    for (int32_t S : Tmp)
+      Preds[S].push_back(static_cast<int32_t>(BI));
+  }
+
+  // Iterative postorder DFS from the entry, then reverse.
+  std::vector<uint8_t> State(N, 0); // 0 unvisited, 1 on stack, 2 done
+  std::vector<std::pair<int32_t, size_t>> Stack;
+  std::vector<int32_t> Post;
+  Stack.emplace_back(F.EntryBlock, 0);
+  State[F.EntryBlock] = 1;
+  while (!Stack.empty()) {
+    auto &[BB, NextSucc] = Stack.back();
+    if (NextSucc < Succs[BB].size()) {
+      int32_t S = Succs[BB][NextSucc++];
+      if (State[S] == 0) {
+        State[S] = 1;
+        Stack.emplace_back(S, 0);
+      }
+    } else {
+      State[BB] = 2;
+      Post.push_back(BB);
+      Stack.pop_back();
+    }
+  }
+  Rpo.assign(Post.rbegin(), Post.rend());
+  for (size_t I = 0; I < Rpo.size(); ++I)
+    RpoIndex[Rpo[I]] = I;
+}

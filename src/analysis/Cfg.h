@@ -1,0 +1,59 @@
+//===- analysis/Cfg.h - Control-flow graph ----------------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Successor/predecessor lists and reverse postorder for one function.
+/// All intra-procedural analyses start from this.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_ANALYSIS_CFG_H
+#define OG_ANALYSIS_CFG_H
+
+#include "program/Program.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace og {
+
+/// Immutable CFG snapshot of a function. Rebuild after mutating the
+/// function.
+class Cfg {
+public:
+  explicit Cfg(const Function &F);
+
+  const Function &function() const { return *F; }
+  size_t numBlocks() const { return Succs.size(); }
+
+  const std::vector<int32_t> &successors(int32_t BB) const {
+    return Succs[BB];
+  }
+  const std::vector<int32_t> &predecessors(int32_t BB) const {
+    return Preds[BB];
+  }
+
+  /// Blocks reachable from entry, in reverse postorder.
+  const std::vector<int32_t> &rpo() const { return Rpo; }
+
+  /// Position of \p BB in the RPO sequence; SIZE_MAX for unreachable.
+  size_t rpoIndex(int32_t BB) const { return RpoIndex[BB]; }
+
+  bool isReachable(int32_t BB) const {
+    return RpoIndex[BB] != SIZE_MAX;
+  }
+
+private:
+  const Function *F;
+  std::vector<std::vector<int32_t>> Succs;
+  std::vector<std::vector<int32_t>> Preds;
+  std::vector<int32_t> Rpo;
+  std::vector<size_t> RpoIndex;
+};
+
+} // namespace og
+
+#endif // OG_ANALYSIS_CFG_H

@@ -1,0 +1,68 @@
+//===- analysis/Dominators.cpp --------------------------------------------==//
+
+#include "analysis/Dominators.h"
+
+#include <cassert>
+
+using namespace og;
+
+DominatorTree::DominatorTree(const Cfg &G) : G(&G) {
+  size_t N = G.numBlocks();
+  Idom.assign(N, NoTarget);
+  if (G.rpo().empty())
+    return;
+  int32_t Entry = G.rpo().front();
+  Idom[Entry] = Entry;
+
+  auto intersect = [&](int32_t A, int32_t B) {
+    while (A != B) {
+      while (G.rpoIndex(A) > G.rpoIndex(B))
+        A = Idom[A];
+      while (G.rpoIndex(B) > G.rpoIndex(A))
+        B = Idom[B];
+    }
+    return A;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int32_t BB : G.rpo()) {
+      if (BB == Entry)
+        continue;
+      int32_t NewIdom = NoTarget;
+      for (int32_t P : G.predecessors(BB)) {
+        if (Idom[P] == NoTarget)
+          continue; // unprocessed or unreachable
+        NewIdom = NewIdom == NoTarget ? P : intersect(P, NewIdom);
+      }
+      assert(NewIdom != NoTarget && "reachable block with no processed pred");
+      if (Idom[BB] != NewIdom) {
+        Idom[BB] = NewIdom;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool DominatorTree::dominates(int32_t A, int32_t B) const {
+  if (Idom[A] == NoTarget || Idom[B] == NoTarget)
+    return false;
+  int32_t Entry = G->rpo().front();
+  int32_t Cur = B;
+  while (true) {
+    if (Cur == A)
+      return true;
+    if (Cur == Entry)
+      return false;
+    Cur = Idom[Cur];
+  }
+}
+
+std::vector<int32_t> DominatorTree::dominated(int32_t BB) const {
+  std::vector<int32_t> Out;
+  for (size_t I = 0; I < Idom.size(); ++I)
+    if (dominates(BB, static_cast<int32_t>(I)))
+      Out.push_back(static_cast<int32_t>(I));
+  return Out;
+}

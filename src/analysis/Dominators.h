@@ -1,0 +1,47 @@
+//===- analysis/Dominators.h - Dominator tree --------------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Dominator tree via the Cooper-Harvey-Kennedy iterative algorithm.
+/// Used for natural-loop detection and for choosing the specialization
+/// region of VRS (blocks dominated by the candidate's block).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_ANALYSIS_DOMINATORS_H
+#define OG_ANALYSIS_DOMINATORS_H
+
+#include "analysis/Cfg.h"
+
+#include <vector>
+
+namespace og {
+
+/// Immediate-dominator tree over the reachable blocks of a Cfg.
+class DominatorTree {
+public:
+  explicit DominatorTree(const Cfg &G);
+
+  /// Immediate dominator of \p BB; the entry block's idom is itself;
+  /// NoTarget for unreachable blocks.
+  int32_t idom(int32_t BB) const { return Idom[BB]; }
+
+  /// True when \p A dominates \p B (reflexive). Unreachable blocks dominate
+  /// nothing and are dominated by nothing.
+  bool dominates(int32_t A, int32_t B) const;
+
+  /// All blocks dominated by \p BB (its dominator-tree subtree, including
+  /// itself), in increasing block-id order.
+  std::vector<int32_t> dominated(int32_t BB) const;
+
+private:
+  const Cfg *G;
+  std::vector<int32_t> Idom;
+};
+
+} // namespace og
+
+#endif // OG_ANALYSIS_DOMINATORS_H

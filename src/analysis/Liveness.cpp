@@ -1,0 +1,84 @@
+//===- analysis/Liveness.cpp ----------------------------------------------==//
+
+#include "analysis/Liveness.h"
+
+using namespace og;
+
+uint32_t Liveness::usedRegs(const Instruction &I) {
+  uint32_t Mask = 0;
+  unsigned NSrc = I.numRegSources();
+  for (unsigned S = 0; S < NSrc; ++S) {
+    Reg R = I.regSource(S);
+    if (R != RegZero)
+      Mask |= uint32_t(1) << R;
+  }
+  if (I.isCall()) {
+    for (Reg R = RegA0; R < RegA0 + NumArgRegs; ++R)
+      Mask |= uint32_t(1) << R;
+    Mask |= uint32_t(1) << RegSP;
+  }
+  if (I.Opc == Op::Ret) {
+    Mask |= uint32_t(1) << RegV0;
+    for (Reg R = 0; R < NumRegs; ++R)
+      if (isCalleeSaved(R))
+        Mask |= uint32_t(1) << R;
+  }
+  return Mask;
+}
+
+uint32_t Liveness::definedRegs(const Instruction &I) {
+  uint32_t Mask = 0;
+  if (I.isCall()) {
+    for (Reg R = 0; R < NumRegs; ++R)
+      if (isCallerSaved(R))
+        Mask |= uint32_t(1) << R;
+    return Mask;
+  }
+  if (I.hasDest() && I.Rd != RegZero)
+    Mask |= uint32_t(1) << I.Rd;
+  return Mask;
+}
+
+Liveness::Liveness(const Function &F, const Cfg &G) : F(&F) {
+  size_t N = F.Blocks.size();
+  In.assign(N, 0);
+  Out.assign(N, 0);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    // Postorder = reverse of RPO is the natural direction for backward
+    // problems; iterating RPO backwards is equivalent here.
+    for (size_t RI = G.rpo().size(); RI-- > 0;) {
+      int32_t BB = G.rpo()[RI];
+      uint32_t NewOut = 0;
+      for (int32_t S : G.successors(BB))
+        NewOut |= In[S];
+      uint32_t Live = NewOut;
+      const BasicBlock &Block = F.Blocks[BB];
+      for (size_t II = Block.Insts.size(); II-- > 0;) {
+        const Instruction &I = Block.Insts[II];
+        Live &= ~definedRegs(I);
+        Live |= usedRegs(I);
+      }
+      if (NewOut != Out[BB] || Live != In[BB]) {
+        Out[BB] = NewOut;
+        In[BB] = Live;
+        Changed = true;
+      }
+    }
+  }
+}
+
+bool Liveness::liveAfter(int32_t BB, int32_t Index, Reg R) const {
+  if (R == RegZero)
+    return false;
+  uint32_t Live = Out[BB];
+  const BasicBlock &Block = F->Blocks[BB];
+  for (size_t II = Block.Insts.size(); II-- > static_cast<size_t>(Index + 1);) {
+    const Instruction &I = Block.Insts[II];
+    Live &= ~definedRegs(I);
+    Live |= usedRegs(I);
+  }
+  return Live & (uint32_t(1) << R);
+}

@@ -1,0 +1,50 @@
+//===- analysis/Liveness.h - Register liveness -------------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Backward register liveness, used by the dead-code elimination that runs
+/// inside single-value specialized regions (paper Figure 5: "percentage
+/// eliminated"). Call effects are conservative: calls read the argument
+/// registers, define the caller-saved set; returns read the result and
+/// callee-saved registers.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_ANALYSIS_LIVENESS_H
+#define OG_ANALYSIS_LIVENESS_H
+
+#include "analysis/Cfg.h"
+
+#include <cstdint>
+
+namespace og {
+
+/// Per-block live-in/live-out register masks (bit r = register r).
+class Liveness {
+public:
+  Liveness(const Function &F, const Cfg &G);
+
+  uint32_t liveIn(int32_t BB) const { return In[BB]; }
+  uint32_t liveOut(int32_t BB) const { return Out[BB]; }
+
+  /// True when \p R is live immediately after instruction \p Index of
+  /// \p BB (i.e. its value may still be read).
+  bool liveAfter(int32_t BB, int32_t Index, Reg R) const;
+
+  /// Registers read by \p I under the conservative call model.
+  static uint32_t usedRegs(const Instruction &I);
+  /// Registers written by \p I under the conservative call model.
+  static uint32_t definedRegs(const Instruction &I);
+
+private:
+  const Function *F;
+  std::vector<uint32_t> In;
+  std::vector<uint32_t> Out;
+};
+
+} // namespace og
+
+#endif // OG_ANALYSIS_LIVENESS_H

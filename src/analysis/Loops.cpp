@@ -1,0 +1,347 @@
+//===- analysis/Loops.cpp -------------------------------------------------==//
+
+#include "analysis/Loops.h"
+
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace og;
+
+bool Loop::contains(int32_t BB) const {
+  return std::binary_search(Blocks.begin(), Blocks.end(), BB);
+}
+
+LoopInfo::LoopInfo(const Cfg &G, const DominatorTree &DT) {
+  const Function &F = G.function();
+
+  // Find back edges (T -> H where H dominates T) grouped by header.
+  for (int32_t H : G.rpo()) {
+    std::vector<int32_t> Latches;
+    for (int32_t P : G.predecessors(H))
+      if (G.isReachable(P) && DT.dominates(H, P))
+        Latches.push_back(P);
+    if (Latches.empty())
+      continue;
+
+    // Natural loop body: blocks that reach a latch without passing H.
+    std::vector<uint8_t> InLoop(G.numBlocks(), 0);
+    InLoop[H] = 1;
+    std::vector<int32_t> Work = Latches;
+    for (int32_t L : Latches)
+      InLoop[L] = 1;
+    while (!Work.empty()) {
+      int32_t BB = Work.back();
+      Work.pop_back();
+      if (BB == H)
+        continue;
+      for (int32_t P : G.predecessors(BB)) {
+        if (!G.isReachable(P) || InLoop[P])
+          continue;
+        InLoop[P] = 1;
+        Work.push_back(P);
+      }
+    }
+
+    Loop L;
+    L.Header = H;
+    L.Latches = Latches;
+    for (size_t BB = 0; BB < G.numBlocks(); ++BB)
+      if (InLoop[BB])
+        L.Blocks.push_back(static_cast<int32_t>(BB));
+    std::sort(L.Latches.begin(), L.Latches.end());
+    detectIterator(F, G, L);
+    // Iterator legality also needs dominance of the increment over all
+    // latches (must run exactly once per iteration); check here where DT is
+    // in scope.
+    if (L.Iterator) {
+      for (int32_t Latch : L.Latches)
+        if (!DT.dominates(L.Iterator->IncBlock, Latch)) {
+          L.Iterator.reset();
+          break;
+        }
+    }
+    Loops.push_back(std::move(L));
+  }
+}
+
+const Loop *LoopInfo::innermostLoop(int32_t BB) const {
+  const Loop *Best = nullptr;
+  for (const Loop &L : Loops)
+    if (L.contains(BB) && (!Best || L.Blocks.size() < Best->Blocks.size()))
+      Best = &L;
+  return Best;
+}
+
+const Loop *LoopInfo::loopWithHeader(int32_t Header) const {
+  for (const Loop &L : Loops)
+    if (L.Header == Header)
+      return &L;
+  return nullptr;
+}
+
+namespace {
+
+/// Maps a conditional branch on a register directly (Alpha-style test
+/// against zero) to an equivalent compare op and bound.
+bool branchAsCompare(Op BranchOp, Op &CmpOp, int64_t &Bound,
+                     bool &TrueWhenTaken) {
+  switch (BranchOp) {
+  case Op::Beq: // x == 0
+    CmpOp = Op::CmpEq;
+    Bound = 0;
+    TrueWhenTaken = true;
+    return true;
+  case Op::Bne: // x != 0 == !(x == 0)
+    CmpOp = Op::CmpEq;
+    Bound = 0;
+    TrueWhenTaken = false;
+    return true;
+  case Op::Blt: // x < 0
+    CmpOp = Op::CmpLt;
+    Bound = 0;
+    TrueWhenTaken = true;
+    return true;
+  case Op::Ble:
+    CmpOp = Op::CmpLe;
+    Bound = 0;
+    TrueWhenTaken = true;
+    return true;
+  case Op::Bgt: // x > 0 == !(x <= 0)
+    CmpOp = Op::CmpLe;
+    Bound = 0;
+    TrueWhenTaken = false;
+    return true;
+  case Op::Bge: // x >= 0 == !(x < 0)
+    CmpOp = Op::CmpLt;
+    Bound = 0;
+    TrueWhenTaken = false;
+    return true;
+  default:
+    return false;
+  }
+}
+
+} // namespace
+
+void LoopInfo::detectIterator(const Function &F, const Cfg &G, Loop &L) {
+  // 1. Find registers with exactly one in-loop definition of the form
+  //    x = x + #c. Calls inside the loop clobber caller-saved registers, so
+  //    an iterator in a caller-saved register is rejected when the loop
+  //    calls out.
+  bool LoopHasCall = false;
+  // DefCount[r]: number of in-loop defs; IncSite[r]: the increment if the
+  // def looks like one.
+  int DefCount[NumRegs] = {};
+  std::pair<int32_t, size_t> IncSite[NumRegs];
+  int64_t Steps[NumRegs] = {};
+  for (int32_t BB : L.Blocks) {
+    const BasicBlock &Block = F.Blocks[BB];
+    for (size_t II = 0; II < Block.Insts.size(); ++II) {
+      const Instruction &I = Block.Insts[II];
+      if (I.isCall())
+        LoopHasCall = true;
+      if (!I.hasDest() || I.Rd == RegZero)
+        continue;
+      ++DefCount[I.Rd];
+      bool IsInc = (I.Opc == Op::Add || I.Opc == Op::Sub) && I.UseImm &&
+                   I.Ra == I.Rd && I.Imm != 0;
+      if (IsInc) {
+        IncSite[I.Rd] = {BB, II};
+        Steps[I.Rd] = I.Opc == Op::Add ? I.Imm : -I.Imm;
+      } else {
+        // Poison: not a pure increment.
+        DefCount[I.Rd] += 100;
+      }
+    }
+  }
+
+  // 2. Find an exit test: a conditional branch in the loop with one
+  //    successor outside, whose condition constrains a candidate iterator
+  //    against a constant. Prefer the header's branch (for-loop shape).
+  std::vector<int32_t> TestOrder;
+  TestOrder.push_back(L.Header);
+  for (int32_t BB : L.Blocks)
+    if (BB != L.Header)
+      TestOrder.push_back(BB);
+
+  for (int32_t BB : TestOrder) {
+    const BasicBlock &Block = F.Blocks[BB];
+    const Instruction *Term = Block.terminator();
+    if (!Term || !Term->isCondBranch())
+      continue;
+    bool TakenIn = L.contains(Term->Target);
+    bool FallIn = L.contains(Block.FallthroughSucc);
+    if (TakenIn == FallIn)
+      continue; // not an exit test
+
+    // Identify the compare: either the branch itself (vs zero) on the
+    // iterator, or a branch on a compare result defined in this block.
+    Reg X = NumRegs;
+    Op CmpOp;
+    int64_t Bound;
+    bool TrueWhenTaken;
+    if (branchAsCompare(Term->Opc, CmpOp, Bound, TrueWhenTaken) &&
+        DefCount[Term->Ra] == 1 && Steps[Term->Ra] != 0) {
+      X = Term->Ra;
+    }
+    if (X == NumRegs) {
+      // Search backwards in this block for "cmp* rc, x, #N" defining the
+      // branch condition register.
+      for (size_t II = Block.Insts.size(); II-- > 0;) {
+        const Instruction &I = Block.Insts[II];
+        if (!I.hasDest() || I.Rd != Term->Ra)
+          continue;
+        if (isCompare(I.Opc) && I.UseImm && DefCount[I.Ra] == 1 &&
+            Steps[I.Ra] != 0) {
+          X = I.Ra;
+          CmpOp = I.Opc;
+          Bound = I.Imm;
+          // Branch tests rc vs zero: bne taken iff compare true.
+          if (Term->Opc == Op::Bne)
+            TrueWhenTaken = true;
+          else if (Term->Opc == Op::Beq)
+            TrueWhenTaken = false;
+          else
+            X = NumRegs; // odd branch on a 0/1 value; be conservative
+        }
+        break; // nearest def wins; anything else is too clever
+      }
+    }
+    if (X == NumRegs)
+      continue;
+    if (LoopHasCall && isCallerSaved(X))
+      continue;
+
+    AffineIterator It;
+    It.X = X;
+    It.Step = Steps[X];
+    It.CmpOp = CmpOp;
+    It.Bound = Bound;
+    // Loop continues along the in-loop edge.
+    It.ContinueWhenTrue = TakenIn ? TrueWhenTaken : !TrueWhenTaken;
+    It.IncBlock = IncSite[X].first;
+    It.IncIndex = IncSite[X].second;
+    L.Iterator = It;
+    return;
+  }
+  (void)G;
+}
+
+bool og::computeIteratorBounds(const AffineIterator &It, int64_t Init,
+                               IteratorBounds &Out) {
+  int64_t C = It.Step;
+  int64_t N = It.Bound;
+  assert(C != 0 && "affine iterator with zero step");
+
+  // Normalize to a continue-condition over signed arithmetic.
+  enum class Cond { LT, LE, GT, GE, EQ, NE };
+  Cond CC;
+  switch (It.CmpOp) {
+  case Op::CmpLt:
+    CC = It.ContinueWhenTrue ? Cond::LT : Cond::GE;
+    break;
+  case Op::CmpLe:
+    CC = It.ContinueWhenTrue ? Cond::LE : Cond::GT;
+    break;
+  case Op::CmpEq:
+    CC = It.ContinueWhenTrue ? Cond::EQ : Cond::NE;
+    break;
+  case Op::CmpUlt:
+  case Op::CmpUle:
+    // Unsigned tests agree with signed ones only in the nonnegative
+    // quadrant.
+    if (Init < 0 || N < 0)
+      return false;
+    CC = It.CmpOp == Op::CmpUlt
+             ? (It.ContinueWhenTrue ? Cond::LT : Cond::GE)
+             : (It.ContinueWhenTrue ? Cond::LE : Cond::GT);
+    break;
+  default:
+    return false;
+  }
+
+  auto ceilDiv = [](int64_t A, int64_t B) {
+    assert(B > 0);
+    return A <= 0 ? 0 : (A + B - 1) / B;
+  };
+
+  // Handle EQ/NE first, they do not depend on the sign of C the same way.
+  if (CC == Cond::EQ) {
+    // Continue while x == N: at most one iteration.
+    if (Init != N) {
+      Out = {Init, Init, Init, Init, 0};
+      return true;
+    }
+    int64_t NextVal = saturatingAdd(Init, C);
+    Out.HeaderMin = std::min(Init, NextVal);
+    Out.HeaderMax = std::max(Init, NextVal);
+    Out.BodyMin = Out.BodyMax = Init;
+    Out.TripCount = 1;
+    return true;
+  }
+  if (CC == Cond::NE) {
+    // Continue while x != N: terminates only when stepping from Init lands
+    // exactly on N.
+    int64_t Diff = saturatingSub(N, Init);
+    if (C > 0 ? (Diff < 0 || Diff % C != 0) : (Diff > 0 || Diff % C != 0))
+      return false;
+    Out.HeaderMin = std::min(Init, N);
+    Out.HeaderMax = std::max(Init, N);
+    // Body executes for every value except the final N.
+    Out.BodyMin = C > 0 ? Init : saturatingAdd(N, -C);
+    Out.BodyMax = C > 0 ? saturatingSub(N, C) : Init;
+    if (Out.BodyMin > Out.BodyMax) {
+      Out.BodyMin = Out.BodyMax = Init;
+    }
+    Out.TripCount = static_cast<uint64_t>(Diff / C);
+    return true;
+  }
+
+  if (C > 0) {
+    // Upward loops need an upper-bounding condition.
+    if (CC == Cond::GT || CC == Cond::GE) {
+      // Continue while x > N going up: never terminates once entered.
+      bool Entered = CC == Cond::GT ? Init > N : Init >= N;
+      if (Entered)
+        return false;
+      Out = {Init, Init, Init, Init, 0};
+      return true;
+    }
+    int64_t Limit = CC == Cond::LT ? N : saturatingAdd(N, 1); // exclusive
+    if (Init >= Limit) {
+      Out = {Init, Init, Init, Init, 0};
+      return true;
+    }
+    Out.BodyMin = Init;
+    Out.BodyMax = saturatingSub(Limit, 1);
+    Out.HeaderMin = Init;
+    // Final header value: first value >= Limit, at most Limit + C - 1.
+    Out.HeaderMax = saturatingAdd(Limit, C - 1);
+    Out.TripCount =
+        static_cast<uint64_t>(ceilDiv(saturatingSub(Limit, Init), C));
+    return true;
+  }
+
+  // C < 0: mirrored.
+  if (CC == Cond::LT || CC == Cond::LE) {
+    bool Entered = CC == Cond::LT ? Init < N : Init <= N;
+    if (Entered)
+      return false;
+    Out = {Init, Init, Init, Init, 0};
+    return true;
+  }
+  int64_t Limit = CC == Cond::GT ? N : saturatingSub(N, 1); // exclusive low
+  if (Init <= Limit) {
+    Out = {Init, Init, Init, Init, 0};
+    return true;
+  }
+  Out.BodyMax = Init;
+  Out.BodyMin = saturatingAdd(Limit, 1);
+  Out.HeaderMax = Init;
+  Out.HeaderMin = saturatingAdd(Limit, C + 1);
+  Out.TripCount = static_cast<uint64_t>(
+      ceilDiv(saturatingSub(Init, Limit), -C));
+  return true;
+}

@@ -1,0 +1,85 @@
+//===- analysis/Loops.h - Natural loops and affine iterators -----*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Natural-loop detection plus the loop-shape analysis of paper Section
+/// 2.3: loops whose single iterator evolves as x = x + b with a constant
+/// step, bounded by a compare against a constant. For such loops VRP can
+/// bound the iterator (and hence everything derived from it) instead of
+/// widening to the full integer range; "some loops that are not included
+/// are those having more than one iterator and loops that depend on a
+/// comparison to finish" — those fall back to the conservative worst case.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_ANALYSIS_LOOPS_H
+#define OG_ANALYSIS_LOOPS_H
+
+#include "analysis/Dominators.h"
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace og {
+
+/// Shape of a recognized single-iterator affine loop.
+struct AffineIterator {
+  Reg X = RegZero;       ///< the iterator register
+  int64_t Step = 0;      ///< b in x = x + b (non-zero)
+  Op CmpOp = Op::CmpLt;  ///< compare applied as "x CmpOp Bound"
+  int64_t Bound = 0;     ///< constant loop bound
+  bool ContinueWhenTrue = true; ///< loop continues while the compare holds
+  int32_t IncBlock = 0;  ///< block holding the unique increment
+  size_t IncIndex = 0;   ///< instruction index of the increment
+};
+
+/// One natural loop.
+struct Loop {
+  int32_t Header = 0;
+  std::vector<int32_t> Blocks;  ///< sorted block ids, header included
+  std::vector<int32_t> Latches; ///< blocks with a back edge to the header
+  std::optional<AffineIterator> Iterator; ///< set when the shape matched
+
+  bool contains(int32_t BB) const;
+};
+
+/// All natural loops of a function (loops sharing a header are merged).
+class LoopInfo {
+public:
+  LoopInfo(const Cfg &G, const DominatorTree &DT);
+
+  const std::vector<Loop> &loops() const { return Loops; }
+
+  /// Innermost loop containing \p BB, or nullptr.
+  const Loop *innermostLoop(int32_t BB) const;
+
+  /// Loop headed exactly at \p Header, or nullptr.
+  const Loop *loopWithHeader(int32_t Header) const;
+
+private:
+  void detectIterator(const Function &F, const Cfg &G, Loop &L);
+
+  std::vector<Loop> Loops;
+};
+
+/// Given the constant initial value \p Init of a recognized iterator, the
+/// iterator's value range as observed at the loop header (including the
+/// final value that fails the test) and the trip count. Returns false when
+/// the shape cannot terminate or overflows (caller must widen).
+struct IteratorBounds {
+  int64_t HeaderMin = 0; ///< iterator range at loop header
+  int64_t HeaderMax = 0;
+  int64_t BodyMin = 0;   ///< iterator range when the body executes
+  int64_t BodyMax = 0;
+  uint64_t TripCount = 0;
+};
+bool computeIteratorBounds(const AffineIterator &It, int64_t Init,
+                           IteratorBounds &Out);
+
+} // namespace og
+
+#endif // OG_ANALYSIS_LOOPS_H

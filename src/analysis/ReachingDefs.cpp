@@ -1,0 +1,184 @@
+//===- analysis/ReachingDefs.cpp ------------------------------------------==//
+
+#include "analysis/ReachingDefs.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace og;
+
+namespace {
+
+void setBit(std::vector<uint64_t> &B, size_t I) {
+  B[I / 64] |= uint64_t(1) << (I % 64);
+}
+bool testBit(const std::vector<uint64_t> &B, size_t I) {
+  return B[I / 64] & (uint64_t(1) << (I % 64));
+}
+
+} // namespace
+
+void ReachingDefs::collectRegDefs(const Instruction &I,
+                                  std::vector<Reg> &Out) const {
+  Out.clear();
+  if (I.isCall()) {
+    for (Reg R = 0; R < NumRegs; ++R)
+      if (isCallerSaved(R))
+        Out.push_back(R);
+    return;
+  }
+  if (I.hasDest() && I.Rd != RegZero)
+    Out.push_back(I.Rd);
+}
+
+const Instruction &ReachingDefs::inst(size_t Id) const {
+  InstRef R = Refs[Id];
+  return F->Blocks[R.Block].Insts[R.Index];
+}
+
+ReachingDefs::ReachingDefs(const Function &F, const Cfg &G) : F(&F) {
+  // Number instructions.
+  BlockBase.resize(F.Blocks.size());
+  size_t N = 0;
+  for (size_t BB = 0; BB < F.Blocks.size(); ++BB) {
+    BlockBase[BB] = N;
+    N += F.Blocks[BB].Insts.size();
+  }
+  Refs.resize(N);
+  for (size_t BB = 0; BB < F.Blocks.size(); ++BB)
+    for (size_t II = 0; II < F.Blocks[BB].Insts.size(); ++II)
+      Refs[BlockBase[BB] + II] = {static_cast<int32_t>(BB),
+                                  static_cast<int32_t>(II)};
+
+  // Collect definition sites.
+  DefIdsOfInst.resize(N);
+  DefsOfReg.resize(NumRegs);
+  std::vector<Reg> Regs;
+  for (size_t Id = 0; Id < N; ++Id) {
+    const Instruction &I = inst(Id);
+    collectRegDefs(I, Regs);
+    for (Reg R : Regs) {
+      size_t DefId = DefSites.size();
+      DefSites.push_back({Id, R, I.isCall()});
+      DefIdsOfInst[Id].push_back(DefId);
+      DefsOfReg[R].push_back(DefId);
+    }
+  }
+  EntryDefBase = DefSites.size();
+  for (Reg R = 0; R < NumRegs; ++R)
+    DefsOfReg[R].push_back(EntryDefBase + R);
+
+  size_t Words = (numDefIds() + 63) / 64;
+
+  // Per-block gen/kill.
+  size_t NumBlocks = F.Blocks.size();
+  std::vector<Bits> Gen(NumBlocks, Bits(Words, 0));
+  std::vector<Bits> Kill(NumBlocks, Bits(Words, 0));
+  for (size_t BB = 0; BB < NumBlocks; ++BB) {
+    // Walk forward; later defs of the same register supersede earlier ones.
+    for (size_t II = 0; II < F.Blocks[BB].Insts.size(); ++II) {
+      size_t Id = BlockBase[BB] + II;
+      for (size_t DefId : DefIdsOfInst[Id]) {
+        Reg R = DefSites[DefId].R;
+        for (size_t Other : DefsOfReg[R]) {
+          setBit(Kill[BB], Other);
+          Gen[BB][Other / 64] &= ~(uint64_t(1) << (Other % 64));
+        }
+        setBit(Gen[BB], DefId);
+      }
+    }
+  }
+
+  // Iterate to fixpoint over the reachable blocks in RPO.
+  BlockIn.assign(NumBlocks, Bits(Words, 0));
+  std::vector<Bits> BlockOut(NumBlocks, Bits(Words, 0));
+  // Entry block starts with all entry defs.
+  Bits EntryBits(Words, 0);
+  for (Reg R = 0; R < NumRegs; ++R)
+    setBit(EntryBits, EntryDefBase + R);
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (int32_t BB : G.rpo()) {
+      Bits In(Words, 0);
+      if (BB == F.EntryBlock)
+        In = EntryBits;
+      for (int32_t P : G.predecessors(BB))
+        for (size_t W = 0; W < Words; ++W)
+          In[W] |= BlockOut[P][W];
+      Bits Out = In;
+      for (size_t W = 0; W < Words; ++W)
+        Out[W] = Gen[BB][W] | (In[W] & ~Kill[BB][W]);
+      if (In != BlockIn[BB] || Out != BlockOut[BB]) {
+        BlockIn[BB] = std::move(In);
+        BlockOut[BB] = std::move(Out);
+        Changed = true;
+      }
+    }
+  }
+
+  // Def->use chains: for every instruction source, attribute the use to
+  // each reaching InstDef.
+  UsesOf.assign(N, {});
+  std::vector<Def> Defs;
+  for (size_t Id = 0; Id < N; ++Id) {
+    const Instruction &I = inst(Id);
+    unsigned NSrc = I.numRegSources();
+    for (unsigned S = 0; S < NSrc; ++S) {
+      Reg R = I.regSource(S);
+      if (R == RegZero)
+        continue;
+      InstRef Ref = Refs[Id];
+      reachingDefs(Ref.Block, Ref.Index, R, Defs);
+      for (const Def &D : Defs) {
+        if (D.Kind != Def::InstDef)
+          continue;
+        auto &Uses = UsesOf[D.InstId];
+        if (std::find(Uses.begin(), Uses.end(), Id) == Uses.end())
+          Uses.push_back(Id);
+      }
+    }
+  }
+}
+
+void ReachingDefs::reachingDefs(int32_t Block, int32_t Index, Reg R,
+                                std::vector<Def> &Out) const {
+  Out.clear();
+  if (R == RegZero)
+    return;
+  // Local walk backwards first: the nearest in-block def wins outright.
+  const BasicBlock &BB = F->Blocks[Block];
+  std::vector<Reg> Regs;
+  for (int32_t II = Index - 1; II >= 0; --II) {
+    const Instruction &I = BB.Insts[II];
+    collectRegDefs(I, Regs);
+    if (std::find(Regs.begin(), Regs.end(), R) == Regs.end())
+      continue;
+    size_t Id = BlockBase[Block] + static_cast<size_t>(II);
+    Out.push_back({I.isCall() ? Def::CallClobber : Def::InstDef, Id, R});
+    return;
+  }
+  // Otherwise every def of R reaching the block entry applies.
+  const Bits &In = BlockIn[Block];
+  for (size_t DefId : DefsOfReg[R]) {
+    if (!testBit(In, DefId))
+      continue;
+    if (DefId >= EntryDefBase) {
+      Out.push_back({Def::EntryDef, SIZE_MAX, R});
+    } else {
+      const DefSite &DS = DefSites[DefId];
+      Out.push_back({DS.IsCallClobber ? Def::CallClobber : Def::InstDef,
+                     DS.InstId, R});
+    }
+  }
+}
+
+size_t ReachingDefs::uniqueReachingInstDef(int32_t Block, int32_t Index,
+                                           Reg R) const {
+  std::vector<Def> Defs;
+  reachingDefs(Block, Index, R, Defs);
+  if (Defs.size() != 1 || Defs[0].Kind != Def::InstDef)
+    return SIZE_MAX;
+  return Defs[0].InstId;
+}

@@ -1,0 +1,112 @@
+//===- analysis/ReachingDefs.h - Def-use information -------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Register reaching definitions and def-use chains for one function.
+/// This is the "use-def algorithm expanded to allow for inter-basic-block
+/// ... traversals" the paper describes adding to Alto (Section 4.1): the
+/// useful-width demand analysis walks def->use edges, VRS's Savings
+/// recursion walks use chains, and branch refinement asks for unique
+/// reaching definitions.
+///
+/// Calls are modeled as definitions of every caller-saved register (the
+/// callee may clobber them); function entry defines every register.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_ANALYSIS_REACHINGDEFS_H
+#define OG_ANALYSIS_REACHINGDEFS_H
+
+#include "analysis/Cfg.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace og {
+
+/// A function-local instruction handle.
+struct InstRef {
+  int32_t Block = NoTarget;
+  int32_t Index = 0;
+
+  bool operator==(const InstRef &O) const {
+    return Block == O.Block && Index == O.Index;
+  }
+};
+
+/// Reaching definitions over a function snapshot.
+class ReachingDefs {
+public:
+  ReachingDefs(const Function &F, const Cfg &G);
+
+  /// Dense instruction numbering (layout order).
+  size_t numInsts() const { return Refs.size(); }
+  size_t instId(int32_t Block, int32_t Index) const {
+    return BlockBase[Block] + static_cast<size_t>(Index);
+  }
+  InstRef instRef(size_t Id) const { return Refs[Id]; }
+  const Instruction &inst(size_t Id) const;
+
+  /// One definition that may reach a use.
+  struct Def {
+    enum KindTy : uint8_t {
+      InstDef,     ///< a normal instruction writing R (InstId valid)
+      CallClobber, ///< a call clobbering caller-saved R (InstId = the call)
+      EntryDef,    ///< function entry (parameter or stale value)
+    } Kind;
+    size_t InstId; ///< valid for InstDef/CallClobber
+    Reg R;
+  };
+
+  /// All definitions of \p R that can reach the input of instruction
+  /// (\p Block, \p Index). Deterministic order.
+  void reachingDefs(int32_t Block, int32_t Index, Reg R,
+                    std::vector<Def> &Out) const;
+
+  /// If exactly one InstDef of \p R reaches (\p Block, \p Index) and no
+  /// entry/call definition does, returns its instruction id; SIZE_MAX
+  /// otherwise.
+  size_t uniqueReachingInstDef(int32_t Block, int32_t Index, Reg R) const;
+
+  /// Instructions that may read the value defined by instruction \p InstId
+  /// (its Rd). Empty for instructions without a register destination and
+  /// for calls.
+  const std::vector<size_t> &usesOf(size_t InstId) const {
+    return UsesOf[InstId];
+  }
+
+private:
+  const Function *F;
+
+  std::vector<size_t> BlockBase; ///< per-block base instruction id
+  std::vector<InstRef> Refs;
+
+  // Definition sites: (instruction, register) pairs plus 32 entry defs at
+  // the end of the id space.
+  struct DefSite {
+    size_t InstId;
+    Reg R;
+    bool IsCallClobber;
+  };
+  std::vector<DefSite> DefSites;
+  size_t EntryDefBase = 0; ///< entry def of register r = EntryDefBase + r
+
+  size_t numDefIds() const { return EntryDefBase + NumRegs; }
+
+  using Bits = std::vector<uint64_t>;
+  std::vector<Bits> BlockIn; ///< reaching def ids at block entry
+
+  std::vector<std::vector<size_t>> UsesOf;
+
+  std::vector<std::vector<size_t>> DefIdsOfInst; ///< inst id -> def ids
+  std::vector<std::vector<size_t>> DefsOfReg;    ///< reg -> def ids
+
+  void collectRegDefs(const Instruction &I, std::vector<Reg> &Out) const;
+};
+
+} // namespace og
+
+#endif // OG_ANALYSIS_REACHINGDEFS_H

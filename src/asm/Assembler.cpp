@@ -1,0 +1,613 @@
+//===- asm/Assembler.cpp --------------------------------------------------==//
+
+#include "asm/Assembler.h"
+
+#include "program/Verifier.h"
+
+#include <cctype>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+using namespace og;
+
+namespace {
+
+/// One tokenized, label-stripped source line.
+struct Line {
+  unsigned Number = 0;
+  std::vector<std::string> Tokens; ///< mnemonic/directive + operands
+};
+
+/// Parser state for the whole translation unit.
+class Parser {
+public:
+  explicit Parser(const std::string &Source) : Source(Source) {}
+
+  Expected<Program> run();
+
+private:
+  // --- Diagnostics.
+  template <typename T> Expected<T> err(unsigned LineNo, std::string Msg) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "line %u: ", LineNo);
+    return makeError<T>(Buf + std::move(Msg));
+  }
+
+  // --- Per-function assembly state.
+  struct PendingBranch {
+    int32_t Block;
+    size_t Inst;
+    std::string Taken;
+    std::string Fall; ///< empty = next block in text order
+    unsigned LineNo;
+  };
+  struct PendingCall {
+    int32_t FuncId;
+    int32_t Block;
+    size_t Inst;
+    std::string Callee;
+    unsigned LineNo;
+  };
+  struct PendingImm {
+    int32_t FuncId;
+    int32_t Block;
+    size_t Inst;
+    std::string DataLabel;
+    unsigned LineNo;
+  };
+
+  Program P;
+  std::map<std::string, uint64_t> DataLabels;
+  std::vector<PendingCall> Calls;
+  std::vector<PendingImm> ImmFixups;
+  std::string EntryName;
+
+  const std::string &Source;
+};
+
+bool isIdentChar(char C) {
+  return std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+         C == '.' || C == '$';
+}
+
+/// Splits a raw source line into label (optional) and tokens. Returns false
+/// on lexical garbage.
+bool lexLine(const std::string &Raw, std::string &Label,
+             std::vector<std::string> &Tokens) {
+  Label.clear();
+  Tokens.clear();
+  std::string Text = Raw;
+  // Strip comments (';' only: '#' introduces immediates).
+  for (size_t I = 0; I < Text.size(); ++I) {
+    if (Text[I] == ';') {
+      Text.resize(I);
+      break;
+    }
+  }
+  size_t Pos = 0;
+  auto skipWs = [&]() {
+    while (Pos < Text.size() &&
+           std::isspace(static_cast<unsigned char>(Text[Pos])))
+      ++Pos;
+  };
+  skipWs();
+  // Leading label?
+  size_t Start = Pos;
+  while (Pos < Text.size() && isIdentChar(Text[Pos]))
+    ++Pos;
+  if (Pos > Start && Pos < Text.size() && Text[Pos] == ':') {
+    Label = Text.substr(Start, Pos - Start);
+    ++Pos;
+  } else {
+    Pos = Start;
+  }
+  // Tokens: identifiers/numbers/#imm/=label/(reg) split on space and comma.
+  while (true) {
+    skipWs();
+    if (Pos >= Text.size())
+      break;
+    char C = Text[Pos];
+    if (C == ',') {
+      ++Pos;
+      continue;
+    }
+    if (C == '(' || C == ')') {
+      Tokens.push_back(std::string(1, C));
+      ++Pos;
+      continue;
+    }
+    Start = Pos;
+    if (C == '#' || C == '=' || C == '-' || C == '+')
+      ++Pos;
+    while (Pos < Text.size() && isIdentChar(Text[Pos]))
+      ++Pos;
+    if (Pos == Start)
+      return false; // stray character
+    Tokens.push_back(Text.substr(Start, Pos - Start));
+  }
+  return true;
+}
+
+/// Parses a signed integer literal (decimal or 0x...); true on success.
+bool parseInt(const std::string &S, int64_t &Out) {
+  if (S.empty())
+    return false;
+  size_t I = 0;
+  bool Neg = false;
+  if (S[I] == '-' || S[I] == '+') {
+    Neg = S[I] == '-';
+    ++I;
+  }
+  if (I >= S.size())
+    return false;
+  uint64_t Value = 0;
+  if (S.size() > I + 2 && S[I] == '0' && (S[I + 1] == 'x' || S[I + 1] == 'X')) {
+    for (size_t J = I + 2; J < S.size(); ++J) {
+      char C = static_cast<char>(
+          std::tolower(static_cast<unsigned char>(S[J])));
+      unsigned D;
+      if (C >= '0' && C <= '9')
+        D = unsigned(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        D = unsigned(C - 'a') + 10;
+      else
+        return false;
+      Value = Value * 16 + D;
+    }
+  } else {
+    for (size_t J = I; J < S.size(); ++J) {
+      if (S[J] < '0' || S[J] > '9')
+        return false;
+      Value = Value * 10 + unsigned(S[J] - '0');
+    }
+  }
+  Out = Neg ? -static_cast<int64_t>(Value) : static_cast<int64_t>(Value);
+  return true;
+}
+
+/// Splits a width-suffixed mnemonic ("addb") into base op and width.
+/// Mnemonics of width-less ops ("br", "ret") match directly. "mov" and
+/// "ldi" default to Q.
+bool parseMnemonic(const std::string &Name, Op &O, Width &W) {
+  if (parseOpMnemonic(Name, O)) {
+    W = Width::Q;
+    // Width-bearing ops written without a suffix default to Q.
+    return true;
+  }
+  if (Name.size() < 2)
+    return false;
+  char Suffix = Name.back();
+  Width Parsed;
+  switch (Suffix) {
+  case 'b':
+    Parsed = Width::B;
+    break;
+  case 'h':
+    Parsed = Width::H;
+    break;
+  case 'w':
+    Parsed = Width::W;
+    break;
+  case 'q':
+    Parsed = Width::Q;
+    break;
+  default:
+    return false;
+  }
+  std::string Base = Name.substr(0, Name.size() - 1);
+  if (!parseOpMnemonic(Base, O))
+    return false;
+  if (!opInfo(O).HasWidth)
+    return false;
+  W = Parsed;
+  return true;
+}
+
+} // namespace
+
+Expected<Program> Parser::run() {
+  // Split into raw lines first so every diagnostic has a line number.
+  std::vector<std::string> RawLines;
+  {
+    std::string Cur;
+    for (char C : Source) {
+      if (C == '\n') {
+        RawLines.push_back(Cur);
+        Cur.clear();
+      } else {
+        Cur += C;
+      }
+    }
+    RawLines.push_back(Cur);
+  }
+
+  enum class Section { None, Data, Func };
+  Section Sec = Section::None;
+  Function *F = nullptr;
+  int32_t CurBlock = NoTarget;
+  std::map<std::string, int32_t> BlockIds;
+  std::vector<PendingBranch> Branches;
+  // Blocks in text order, to resolve implicit fallthroughs.
+  std::vector<int32_t> TextOrder;
+
+  auto finishFunction = [&](unsigned LineNo, std::string &Error) -> bool {
+    if (!F)
+      return true;
+    for (const PendingBranch &B : Branches) {
+      auto It = BlockIds.find(B.Taken);
+      if (It == BlockIds.end()) {
+        char Buf[32];
+        std::snprintf(Buf, sizeof(Buf), "line %u: ", B.LineNo);
+        Error = Buf + ("undefined label '" + B.Taken + "'");
+        return false;
+      }
+      Instruction &I = F->Blocks[B.Block].Insts[B.Inst];
+      I.Target = It->second;
+      if (I.isCondBranch()) {
+        int32_t Fall = NoTarget;
+        if (!B.Fall.empty()) {
+          auto FIt = BlockIds.find(B.Fall);
+          if (FIt == BlockIds.end()) {
+            char Buf[32];
+            std::snprintf(Buf, sizeof(Buf), "line %u: ", B.LineNo);
+            Error = Buf + ("undefined label '" + B.Fall + "'");
+            return false;
+          }
+          Fall = FIt->second;
+        } else {
+          // Next block in text order.
+          for (size_t TI = 0; TI + 1 < TextOrder.size(); ++TI)
+            if (TextOrder[TI] == B.Block)
+              Fall = TextOrder[TI + 1];
+          if (Fall == NoTarget) {
+            char Buf[32];
+            std::snprintf(Buf, sizeof(Buf), "line %u: ", B.LineNo);
+            Error = Buf + std::string("conditional branch at end of "
+                                      "function needs explicit fallthrough");
+            return false;
+          }
+        }
+        F->Blocks[B.Block].FallthroughSucc = Fall;
+      }
+    }
+    // Plain fallthrough blocks: successor = next block in text order.
+    for (size_t TI = 0; TI < TextOrder.size(); ++TI) {
+      BasicBlock &BB = F->Blocks[TextOrder[TI]];
+      if (!BB.terminator() && BB.FallthroughSucc == NoTarget) {
+        if (TI + 1 >= TextOrder.size()) {
+          char Buf[32];
+          std::snprintf(Buf, sizeof(Buf), "line %u: ", LineNo);
+          Error = Buf + (F->Name + ": control falls off the end");
+          return false;
+        }
+        BB.FallthroughSucc = TextOrder[TI + 1];
+      }
+    }
+    Branches.clear();
+    BlockIds.clear();
+    TextOrder.clear();
+    F = nullptr;
+    CurBlock = NoTarget;
+    return true;
+  };
+
+  auto startBlock = [&](const std::string &Label,
+                        unsigned LineNo) -> bool {
+    (void)LineNo;
+    auto It = BlockIds.find(Label);
+    int32_t Id;
+    if (It != BlockIds.end()) {
+      Id = It->second;
+    } else {
+      BasicBlock &BB = F->addBlock(Label);
+      Id = BB.Id;
+      BlockIds.emplace(Label, Id);
+    }
+    CurBlock = Id;
+    TextOrder.push_back(Id);
+    return true;
+  };
+
+  unsigned AnonCounter = 0;
+
+  for (unsigned LineNo = 1; LineNo <= RawLines.size(); ++LineNo) {
+    std::string Label;
+    std::vector<std::string> Tokens;
+    if (!lexLine(RawLines[LineNo - 1], Label, Tokens))
+      return err<Program>(LineNo, "unrecognized character");
+    if (Label.empty() && Tokens.empty())
+      continue;
+
+    // Directives.
+    if (!Tokens.empty() && Tokens[0][0] == '.') {
+      const std::string &Dir = Tokens[0];
+      if (Dir == ".data") {
+        std::string Error;
+        if (!finishFunction(LineNo, Error))
+          return makeError<Program>(Error);
+        Sec = Section::Data;
+        continue;
+      }
+      if (Dir == ".func") {
+        if (Tokens.size() != 2)
+          return err<Program>(LineNo, ".func needs a name");
+        std::string Error;
+        if (!finishFunction(LineNo, Error))
+          return makeError<Program>(Error);
+        if (P.findFunction(Tokens[1]))
+          return err<Program>(LineNo,
+                              "redefinition of function '" + Tokens[1] + "'");
+        F = &P.addFunction(Tokens[1]);
+        if (EntryName.empty())
+          EntryName = Tokens[1];
+        Sec = Section::Func;
+        continue;
+      }
+      if (Dir == ".entry") {
+        if (Tokens.size() != 2)
+          return err<Program>(LineNo, ".entry needs a name");
+        EntryName = Tokens[1];
+        continue;
+      }
+      if (Dir == ".quad" || Dir == ".byte" || Dir == ".zero") {
+        if (Sec != Section::Data)
+          return err<Program>(LineNo, Dir + " outside .data");
+        if (!Label.empty())
+          DataLabels[Label] = Program::DataBase + P.Data.size() +
+                              (P.Data.size() % 8 ? 8 - P.Data.size() % 8 : 0);
+        if (Dir == ".zero") {
+          int64_t N;
+          if (Tokens.size() != 2 || !parseInt(Tokens[1], N) || N < 0)
+            return err<Program>(LineNo, ".zero needs a nonnegative count");
+          P.addZeroData(static_cast<size_t>(N));
+          continue;
+        }
+        std::vector<int64_t> Values;
+        for (size_t TI = 1; TI < Tokens.size(); ++TI) {
+          int64_t V;
+          if (!parseInt(Tokens[TI], V))
+            return err<Program>(LineNo, "bad integer '" + Tokens[TI] + "'");
+          Values.push_back(V);
+        }
+        if (Dir == ".quad") {
+          P.addQuadData(Values);
+        } else {
+          std::vector<uint8_t> Bytes;
+          for (int64_t V : Values) {
+            if (V < 0 || V > 255)
+              return err<Program>(LineNo, ".byte value out of range");
+            Bytes.push_back(static_cast<uint8_t>(V));
+          }
+          P.addByteData(Bytes);
+        }
+        continue;
+      }
+      return err<Program>(LineNo, "unknown directive '" + Dir + "'");
+    }
+
+    // Data label on its own line.
+    if (Sec == Section::Data && !Label.empty() && Tokens.empty()) {
+      DataLabels[Label] = Program::DataBase + P.Data.size() +
+                          (P.Data.size() % 8 ? 8 - P.Data.size() % 8 : 0);
+      continue;
+    }
+
+    if (Sec != Section::Func || !F)
+      return err<Program>(LineNo, "instruction outside .func");
+
+    if (!Label.empty()) {
+      if (!startBlock(Label, LineNo))
+        return err<Program>(LineNo, "bad label");
+    }
+    if (Tokens.empty())
+      continue;
+    if (CurBlock == NoTarget) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), ".L%u", AnonCounter++);
+      startBlock(Buf, LineNo);
+    }
+    // A terminated block followed by more instructions starts an anonymous
+    // fallthrough-target block.
+    if (F->Blocks[CurBlock].terminator()) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), ".L%u", AnonCounter++);
+      startBlock(Buf, LineNo);
+    }
+
+    Op O;
+    Width W;
+    if (!parseMnemonic(Tokens[0], O, W))
+      return err<Program>(LineNo, "unknown mnemonic '" + Tokens[0] + "'");
+    const OpInfo &Info = opInfo(O);
+
+    auto wantReg = [&](size_t Idx, Reg &R) -> bool {
+      if (Idx >= Tokens.size())
+        return false;
+      R = parseRegName(Tokens[Idx]);
+      return R < NumRegs;
+    };
+
+    Instruction I;
+    I.Opc = O;
+    I.W = W;
+    size_t NTok = Tokens.size();
+
+    switch (O) {
+    case Op::Ldi: {
+      Reg Rd;
+      if (!wantReg(1, Rd) || NTok != 3)
+        return err<Program>(LineNo, "ldi needs 'rd, #imm' or 'rd, =label'");
+      I.Rd = Rd;
+      I.UseImm = true;
+      if (Tokens[2][0] == '=') {
+        ImmFixups.push_back({F->Id, CurBlock,
+                             F->Blocks[CurBlock].Insts.size(),
+                             Tokens[2].substr(1), LineNo});
+      } else {
+        std::string ImmTok =
+            Tokens[2][0] == '#' ? Tokens[2].substr(1) : Tokens[2];
+        if (!parseInt(ImmTok, I.Imm))
+          return err<Program>(LineNo, "bad immediate '" + Tokens[2] + "'");
+      }
+      break;
+    }
+    case Op::Msk: {
+      Reg Rd, Ra;
+      if (!wantReg(1, Rd) || !wantReg(2, Ra) || NTok != 4 ||
+          Tokens[3][0] != '#')
+        return err<Program>(LineNo, "msk needs 'rd, ra, #byteoff'");
+      I.Rd = Rd;
+      I.Ra = Ra;
+      I.UseImm = true;
+      if (!parseInt(Tokens[3].substr(1), I.Imm) || I.Imm < 0 || I.Imm > 7)
+        return err<Program>(LineNo, "msk byte offset out of range");
+      break;
+    }
+    case Op::Sext:
+    case Op::Mov: {
+      Reg Rd, Ra;
+      if (!wantReg(1, Rd) || !wantReg(2, Ra) || NTok != 3)
+        return err<Program>(LineNo,
+                            std::string(Info.Mnemonic) + " needs 'rd, ra'");
+      I.Rd = Rd;
+      I.Ra = Ra;
+      break;
+    }
+    case Op::Ld:
+    case Op::St: {
+      // ldq rd, off(base) / stq rs, off(base)
+      Reg RVal, Base;
+      if (!wantReg(1, RVal) || NTok != 6 || Tokens[3] != "(" ||
+          Tokens[5] != ")")
+        return err<Program>(LineNo, "memory op needs 'r, off(base)'");
+      if (!parseInt(Tokens[2], I.Imm))
+        return err<Program>(LineNo, "bad offset '" + Tokens[2] + "'");
+      Base = parseRegName(Tokens[4]);
+      if (Base >= NumRegs)
+        return err<Program>(LineNo, "bad base register");
+      I.UseImm = true;
+      I.Ra = Base;
+      if (O == Op::Ld)
+        I.Rd = RVal;
+      else
+        I.Rb = RVal;
+      break;
+    }
+    case Op::Br: {
+      if (NTok != 2)
+        return err<Program>(LineNo, "br needs a label");
+      Branches.push_back({CurBlock, F->Blocks[CurBlock].Insts.size(),
+                          Tokens[1], "", LineNo});
+      I.Target = 0; // patched by finishFunction
+      break;
+    }
+    case Op::Beq:
+    case Op::Bne:
+    case Op::Blt:
+    case Op::Ble:
+    case Op::Bgt:
+    case Op::Bge: {
+      Reg Ra;
+      if (!wantReg(1, Ra) || (NTok != 3 && NTok != 4))
+        return err<Program>(LineNo, "branch needs 'ra, label[, fall]'");
+      I.Ra = Ra;
+      Branches.push_back({CurBlock, F->Blocks[CurBlock].Insts.size(),
+                          Tokens[2], NTok == 4 ? Tokens[3] : "", LineNo});
+      I.Target = 0; // patched by finishFunction
+      break;
+    }
+    case Op::Jsr: {
+      if (NTok != 2)
+        return err<Program>(LineNo, "jsr needs a function name");
+      Calls.push_back({F->Id, CurBlock, F->Blocks[CurBlock].Insts.size(),
+                       Tokens[1], LineNo});
+      I.Callee = 0; // patched below
+      break;
+    }
+    case Op::Ret:
+    case Op::Halt:
+    case Op::Nop: {
+      if (NTok != 1)
+        return err<Program>(LineNo, "unexpected operands");
+      break;
+    }
+    case Op::Out: {
+      Reg Ra;
+      if (!wantReg(1, Ra) || NTok != 2)
+        return err<Program>(LineNo, "out needs a register");
+      I.Ra = Ra;
+      break;
+    }
+    default: {
+      // Generic 3-operand ALU: op rd, ra, (rb | #imm).
+      Reg Rd, Ra;
+      if (!wantReg(1, Rd) || !wantReg(2, Ra) || NTok != 4)
+        return err<Program>(LineNo, std::string(Info.Mnemonic) +
+                                        " needs 'rd, ra, rb|#imm'");
+      I.Rd = Rd;
+      I.Ra = Ra;
+      if (Tokens[3][0] == '#') {
+        I.UseImm = true;
+        if (!parseInt(Tokens[3].substr(1), I.Imm))
+          return err<Program>(LineNo, "bad immediate '" + Tokens[3] + "'");
+      } else {
+        Reg Rb = parseRegName(Tokens[3]);
+        if (Rb >= NumRegs)
+          return err<Program>(LineNo, "bad register '" + Tokens[3] + "'");
+        I.Rb = Rb;
+      }
+      break;
+    }
+    }
+
+    F->Blocks[CurBlock].Insts.push_back(I);
+  }
+
+  std::string Error;
+  if (!finishFunction(static_cast<unsigned>(RawLines.size()), Error))
+    return makeError<Program>(Error);
+
+  if (P.Funcs.empty())
+    return makeError<Program>("no functions defined");
+
+  // Resolve calls.
+  for (const PendingCall &C : Calls) {
+    Function *Callee = P.findFunction(C.Callee);
+    if (!Callee) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "line %u: ", C.LineNo);
+      return makeError<Program>(Buf +
+                                ("call to undefined function '" + C.Callee +
+                                 "'"));
+    }
+    P.Funcs[C.FuncId].Blocks[C.Block].Insts[C.Inst].Callee = Callee->Id;
+  }
+  // Resolve '=label' immediates.
+  for (const PendingImm &Fix : ImmFixups) {
+    auto It = DataLabels.find(Fix.DataLabel);
+    if (It == DataLabels.end()) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "line %u: ", Fix.LineNo);
+      return makeError<Program>(
+          Buf + ("undefined data label '" + Fix.DataLabel + "'"));
+    }
+    P.Funcs[Fix.FuncId].Blocks[Fix.Block].Insts[Fix.Inst].Imm =
+        static_cast<int64_t>(It->second);
+  }
+  const Function *Entry = P.findFunction(EntryName);
+  if (!Entry)
+    return makeError<Program>("entry function '" + EntryName +
+                              "' not defined");
+  P.EntryFunc = Entry->Id;
+
+  std::string Diag;
+  if (!verifyProgram(P, &Diag))
+    return makeError<Program>("verifier: " + Diag);
+  return std::move(P);
+}
+
+Expected<Program> og::assembleProgram(const std::string &Source) {
+  Parser Prsr(Source);
+  return Prsr.run();
+}

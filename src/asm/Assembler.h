@@ -1,0 +1,51 @@
+//===- asm/Assembler.h - Text assembly -> Program ---------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Assembles the project's textual assembly into a Program. The syntax is
+/// deliberately close to Alpha assembly with width-suffixed mnemonics:
+///
+/// \code
+///   .data
+///   table:  .quad 1, 2, 3
+///   buf:    .zero 64
+///
+///   .func main
+///   entry:
+///     ldi   a0, =table       ; '=' takes a data label's address
+///     ldq   t0, 0(a0)
+///     addb  t1, t0, #1
+///     bne   t1, done         ; fallthrough = next label
+///   body:
+///     out   t1
+///   done:
+///     halt
+/// \endcode
+///
+/// Conditional branches may name an explicit fallthrough as a third
+/// operand ("bne t1, done, body"); otherwise the textually-next block is
+/// used. The disassembler always emits the explicit form, so its output
+/// re-assembles exactly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_ASM_ASSEMBLER_H
+#define OG_ASM_ASSEMBLER_H
+
+#include "program/Program.h"
+#include "support/Error.h"
+
+#include <string>
+
+namespace og {
+
+/// Assembles \p Source; on failure the error message carries a line number,
+/// e.g. "line 12: unknown mnemonic 'adq'".
+Expected<Program> assembleProgram(const std::string &Source);
+
+} // namespace og
+
+#endif // OG_ASM_ASSEMBLER_H

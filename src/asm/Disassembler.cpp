@@ -1,0 +1,141 @@
+//===- asm/Disassembler.cpp -----------------------------------------------==//
+
+#include "asm/Disassembler.h"
+
+#include "program/Program.h"
+
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+using namespace og;
+
+namespace {
+
+std::string blockName(const Function &F, int32_t Id) {
+  if (Id >= 0 && static_cast<size_t>(Id) < F.Blocks.size() &&
+      !F.Blocks[Id].Label.empty())
+    return F.Blocks[Id].Label;
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "bb%d", Id);
+  return Buf;
+}
+
+std::string immStr(int64_t Imm) {
+  char Buf[32];
+  std::snprintf(Buf, sizeof(Buf), "#%lld", static_cast<long long>(Imm));
+  return Buf;
+}
+
+void printInst(const Program &P, const Function &F, const BasicBlock &BB,
+               const Instruction &I, std::ostream &OS) {
+  const OpInfo &Info = I.info();
+  std::string M = Info.Mnemonic;
+  if (Info.HasWidth)
+    M += widthSuffix(I.W);
+  OS << "  " << M;
+
+  switch (I.Opc) {
+  case Op::Ldi:
+    OS << " " << regName(I.Rd) << ", " << immStr(I.Imm);
+    break;
+  case Op::Msk:
+    OS << " " << regName(I.Rd) << ", " << regName(I.Ra) << ", "
+       << immStr(I.Imm);
+    break;
+  case Op::Sext:
+  case Op::Mov:
+    OS << " " << regName(I.Rd) << ", " << regName(I.Ra);
+    break;
+  case Op::Ld:
+    OS << " " << regName(I.Rd) << ", " << I.Imm << "(" << regName(I.Ra)
+       << ")";
+    break;
+  case Op::St:
+    OS << " " << regName(I.Rb) << ", " << I.Imm << "(" << regName(I.Ra)
+       << ")";
+    break;
+  case Op::Br:
+    OS << " " << blockName(F, I.Target);
+    break;
+  case Op::Beq:
+  case Op::Bne:
+  case Op::Blt:
+  case Op::Ble:
+  case Op::Bgt:
+  case Op::Bge:
+    OS << " " << regName(I.Ra) << ", " << blockName(F, I.Target) << ", "
+       << blockName(F, BB.FallthroughSucc);
+    break;
+  case Op::Jsr:
+    OS << " " << P.Funcs[I.Callee].Name;
+    break;
+  case Op::Ret:
+  case Op::Halt:
+  case Op::Nop:
+    break;
+  case Op::Out:
+    OS << " " << regName(I.Ra);
+    break;
+  default:
+    // Generic ALU.
+    OS << " " << regName(I.Rd) << ", " << regName(I.Ra) << ", ";
+    if (I.UseImm)
+      OS << immStr(I.Imm);
+    else
+      OS << regName(I.Rb);
+    break;
+  }
+  OS << "\n";
+}
+
+} // namespace
+
+void og::disassembleFunction(const Program &P, const Function &F,
+                             std::ostream &OS) {
+  OS << ".func " << F.Name << "\n";
+  for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+    const BasicBlock &BB = F.Blocks[BI];
+    OS << blockName(F, BB.Id) << ":\n";
+    for (const Instruction &I : BB.Insts)
+      printInst(P, F, BB, I, OS);
+    // Make implicit fallthrough explicit when the successor is not the next
+    // block in layout, so the text round-trips exactly.
+    if (!BB.terminator() && BB.FallthroughSucc != NoTarget &&
+        BB.FallthroughSucc != static_cast<int32_t>(BI + 1))
+      OS << "  br " << blockName(F, BB.FallthroughSucc) << "\n";
+  }
+}
+
+void og::disassembleProgram(const Program &P, std::ostream &OS) {
+  if (!P.Data.empty()) {
+    OS << ".data\n";
+    // Dump as .byte runs of 16.
+    for (size_t I = 0; I < P.Data.size(); I += 16) {
+      OS << "  .byte ";
+      for (size_t J = I; J < P.Data.size() && J < I + 16; ++J) {
+        if (J != I)
+          OS << ", ";
+        OS << unsigned(P.Data[J]);
+      }
+      OS << "\n";
+    }
+  }
+  if (P.EntryFunc != 0 ||
+      (!P.Funcs.empty() && P.Funcs[0].Id != P.EntryFunc))
+    OS << ".entry " << P.Funcs[P.EntryFunc].Name << "\n";
+  else if (!P.Funcs.empty())
+    OS << ".entry " << P.Funcs[P.EntryFunc].Name << "\n";
+  for (const Function &F : P.Funcs) {
+    disassembleFunction(P, F, OS);
+    OS << "\n";
+  }
+}
+
+std::string og::disassembleToString(const Program &P) {
+  std::ostringstream OS;
+  disassembleProgram(P, OS);
+  return OS.str();
+}

@@ -1,0 +1,38 @@
+//===- asm/Disassembler.h - Program -> text assembly -------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Prints a Program in the assembler's input syntax. Branch targets use
+/// block labels when present and "bbN" otherwise; conditional branches are
+/// printed with explicit taken and fallthrough labels so the output
+/// round-trips through the assembler unchanged.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_ASM_DISASSEMBLER_H
+#define OG_ASM_DISASSEMBLER_H
+
+#include <iosfwd>
+#include <string>
+
+namespace og {
+
+struct Program;
+struct Function;
+
+/// Prints one function.
+void disassembleFunction(const Program &P, const Function &F,
+                         std::ostream &OS);
+
+/// Prints the whole program (data segment as .byte runs, then functions).
+void disassembleProgram(const Program &P, std::ostream &OS);
+
+/// Convenience: whole program to a string.
+std::string disassembleToString(const Program &P);
+
+} // namespace og
+
+#endif // OG_ASM_DISASSEMBLER_H

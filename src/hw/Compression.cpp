@@ -1,0 +1,15 @@
+//===- hw/Compression.cpp -------------------------------------------------==//
+//
+// The compression helpers are header-inline; this file anchors the library
+// target and hosts the compile-time self-checks.
+//
+//===----------------------------------------------------------------------===//
+
+#include "hw/Compression.h"
+
+namespace og {
+
+static_assert(SignificanceTagBits == 7, "one tag bit per byte boundary");
+static_assert(SizeTagBits == 2, "four buckets need two bits");
+
+} // namespace og

@@ -1,0 +1,65 @@
+//===- hw/Compression.h - Hardware operand-gating schemes --------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic hardware schemes of paper Section 4.6 (after Canal,
+/// Gonzalez & Smith, MICRO'00), used as the comparison baseline for the
+/// software techniques:
+///
+///  - significance compression: 7 tag bits per 64-bit word encode how many
+///    trailing bytes are significant (the rest are sign extension);
+///  - size compression: 2 tag bits per word bucket values into 1, 2, 5 or
+///    8 bytes. The odd 5-byte bucket follows the paper's Figure 12
+///    analysis: "the choice of 5 bytes rather than the more natural 4 is
+///    heavily influenced by memory addresses that are between 33 and 40
+///    bits long".
+///
+/// The combined HW+SW mode caps the dynamic byte count by the opcode width
+/// (Section 4.7: values are 8, 16, 40 or 64 bits inside the core).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_HW_COMPRESSION_H
+#define OG_HW_COMPRESSION_H
+
+#include "isa/Width.h"
+#include "support/MathExtras.h"
+
+#include <cstdint>
+
+namespace og {
+
+/// Tag-bit storage overhead per 64-bit word, in bits.
+constexpr unsigned SignificanceTagBits = 7;
+constexpr unsigned SizeTagBits = 2;
+
+/// Dynamic significant bytes of a value under significance compression
+/// (exact byte count, 1..8).
+inline unsigned significanceBytes(int64_t V) { return significantBytes(V); }
+
+/// Dynamic bytes under size compression: bucket into {1, 2, 5, 8}.
+inline unsigned sizeCompressionBytes(int64_t V) {
+  unsigned Sig = significantBytes(V);
+  if (Sig <= 1)
+    return 1;
+  if (Sig <= 2)
+    return 2;
+  if (Sig <= 5)
+    return 5;
+  return 8;
+}
+
+/// Combined SW+HW effective bytes (Section 4.7): the hardware buckets
+/// within the compiler-declared opcode width.
+inline unsigned combinedBytes(int64_t V, Width OpcodeWidth) {
+  unsigned Hw = sizeCompressionBytes(V);
+  unsigned Sw = widthBytes(OpcodeWidth);
+  return Hw < Sw ? Hw : Sw;
+}
+
+} // namespace og
+
+#endif // OG_HW_COMPRESSION_H

@@ -1,0 +1,224 @@
+//===- isa/Instruction.cpp ------------------------------------------------==//
+
+#include "isa/Instruction.h"
+
+#include <cassert>
+#include <cstdio>
+
+using namespace og;
+
+bool Instruction::readsRbRegister() const {
+  // Stores read Rb (the stored value) in addition to the immediate
+  // offset; for every other op the immediate replaces Rb.
+  return info().ReadsRb && (!UseImm || Opc == Op::St);
+}
+
+unsigned Instruction::numRegSources() const {
+  const OpInfo &Info = info();
+  unsigned N = 0;
+  if (Info.ReadsRa)
+    ++N;
+  if (readsRbRegister())
+    ++N;
+  if (Info.RdIsInput)
+    ++N;
+  return N;
+}
+
+Reg Instruction::regSource(unsigned I) const {
+  const OpInfo &Info = info();
+  if (Info.ReadsRa) {
+    if (I == 0)
+      return Ra;
+    --I;
+  }
+  if (readsRbRegister()) {
+    if (I == 0)
+      return Rb;
+    --I;
+  }
+  assert(Info.RdIsInput && I == 0 && "source index out of range");
+  return Rd;
+}
+
+std::string Instruction::str() const {
+  const OpInfo &Info = info();
+  std::string S = Info.Mnemonic;
+  if (Info.HasWidth)
+    S += widthSuffix(W);
+  bool First = true;
+  auto sep = [&]() {
+    S += First ? " " : ", ";
+    First = false;
+  };
+  if (Opc == Op::St) {
+    // Stores read Rb as the value: print "stw value, off(base)".
+    sep();
+    S += regName(Rb);
+  }
+  if (Info.ReadsRa) {
+    sep();
+    S += regName(Ra);
+  }
+  if (Opc == Op::Ld || Opc == Op::St) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "%lld", static_cast<long long>(Imm));
+    S += std::string("(") + Buf + ")";
+  } else if (Info.ReadsRb) {
+    sep();
+    if (UseImm) {
+      char Buf[32];
+      std::snprintf(Buf, sizeof(Buf), "#%lld", static_cast<long long>(Imm));
+      S += Buf;
+    } else {
+      S += regName(Rb);
+    }
+  } else if (Opc == Op::Ldi || Opc == Op::Msk) {
+    sep();
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), "#%lld", static_cast<long long>(Imm));
+    S += Buf;
+  }
+  if (Info.HasDest) {
+    S += " -> ";
+    S += regName(Rd);
+  }
+  if (Target != NoTarget) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), " @bb%d", Target);
+    S += Buf;
+  }
+  if (Callee != NoTarget) {
+    char Buf[32];
+    std::snprintf(Buf, sizeof(Buf), " @fn%d", Callee);
+    S += Buf;
+  }
+  return S;
+}
+
+Instruction Instruction::alu(Op O, Width W, Reg Rd, Reg Ra, Reg Rb) {
+  assert(opInfo(O).HasDest && opInfo(O).ReadsRb && "not a 3-operand ALU op");
+  Instruction I;
+  I.Opc = O;
+  I.W = W;
+  I.Rd = Rd;
+  I.Ra = Ra;
+  I.Rb = Rb;
+  return I;
+}
+
+Instruction Instruction::aluImm(Op O, Width W, Reg Rd, Reg Ra, int64_t Imm) {
+  assert(opInfo(O).HasDest && opInfo(O).ReadsRb && "not a 3-operand ALU op");
+  Instruction I;
+  I.Opc = O;
+  I.W = W;
+  I.Rd = Rd;
+  I.Ra = Ra;
+  I.UseImm = true;
+  I.Imm = Imm;
+  return I;
+}
+
+Instruction Instruction::msk(Width W, Reg Rd, Reg Ra, unsigned ByteOffset) {
+  assert(ByteOffset < 8 && "byte offset out of range");
+  Instruction I;
+  I.Opc = Op::Msk;
+  I.W = W;
+  I.Rd = Rd;
+  I.Ra = Ra;
+  I.UseImm = true;
+  I.Imm = ByteOffset;
+  return I;
+}
+
+Instruction Instruction::sext(Width W, Reg Rd, Reg Ra) {
+  Instruction I;
+  I.Opc = Op::Sext;
+  I.W = W;
+  I.Rd = Rd;
+  I.Ra = Ra;
+  return I;
+}
+
+Instruction Instruction::mov(Reg Rd, Reg Ra) {
+  Instruction I;
+  I.Opc = Op::Mov;
+  I.Rd = Rd;
+  I.Ra = Ra;
+  return I;
+}
+
+Instruction Instruction::ldi(Reg Rd, int64_t Imm) {
+  Instruction I;
+  I.Opc = Op::Ldi;
+  I.Rd = Rd;
+  I.UseImm = true;
+  I.Imm = Imm;
+  return I;
+}
+
+Instruction Instruction::load(Width W, Reg Rd, Reg Base, int64_t Offset) {
+  Instruction I;
+  I.Opc = Op::Ld;
+  I.W = W;
+  I.Rd = Rd;
+  I.Ra = Base;
+  I.UseImm = true;
+  I.Imm = Offset;
+  return I;
+}
+
+Instruction Instruction::store(Width W, Reg Value, Reg Base, int64_t Offset) {
+  Instruction I;
+  I.Opc = Op::St;
+  I.W = W;
+  I.Ra = Base;
+  I.Rb = Value;
+  I.UseImm = true;
+  I.Imm = Offset;
+  return I;
+}
+
+Instruction Instruction::br(int32_t Target) {
+  Instruction I;
+  I.Opc = Op::Br;
+  I.Target = Target;
+  return I;
+}
+
+Instruction Instruction::condBr(Op O, Reg Ra, int32_t Target) {
+  assert(opInfo(O).IsCondBranch && "not a conditional branch");
+  Instruction I;
+  I.Opc = O;
+  I.Ra = Ra;
+  I.Target = Target;
+  return I;
+}
+
+Instruction Instruction::jsr(int32_t Callee) {
+  Instruction I;
+  I.Opc = Op::Jsr;
+  I.Callee = Callee;
+  return I;
+}
+
+Instruction Instruction::ret() {
+  Instruction I;
+  I.Opc = Op::Ret;
+  return I;
+}
+
+Instruction Instruction::halt() {
+  Instruction I;
+  I.Opc = Op::Halt;
+  return I;
+}
+
+Instruction Instruction::out(Reg Ra) {
+  Instruction I;
+  I.Opc = Op::Out;
+  I.Ra = Ra;
+  return I;
+}
+
+Instruction Instruction::nop() { return Instruction(); }

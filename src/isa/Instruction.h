@@ -1,0 +1,96 @@
+//===- isa/Instruction.h - Instruction value type ----------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A single machine instruction: an (Op, Width) opcode plus register,
+/// immediate and control-flow operands. Instructions are plain value types
+/// stored inline in basic blocks; control-flow targets are structural
+/// (block ids within the function, function ids for calls), so cloning and
+/// rewriting never chase textual labels.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_ISA_INSTRUCTION_H
+#define OG_ISA_INSTRUCTION_H
+
+#include "isa/Opcode.h"
+#include "isa/Registers.h"
+
+#include <cstdint>
+#include <string>
+
+namespace og {
+
+/// Invalid block/function target sentinel.
+constexpr int32_t NoTarget = -1;
+
+/// One instruction. Field usage by kind:
+///  - ALU:    Rd <- op(Ra, UseImm ? Imm : Rb) at width W
+///  - Msk:    Rd <- zext(W-wide field of Ra at byte offset Imm)
+///  - Ldi:    Rd <- Imm
+///  - Ld:     Rd <- mem[Ra + Imm] (width W)
+///  - St:     mem[Ra + Imm] <- Rb (width W)
+///  - Bcc:    test Ra vs 0, taken target = Target (block id); fallthrough is
+///            the block's FallthroughSucc
+///  - Br:     Target (block id)
+///  - Jsr:    Callee (function id); args in a0.., result in v0
+struct Instruction {
+  Op Opc = Op::Nop;
+  Width W = Width::Q;
+  Reg Rd = RegZero;
+  Reg Ra = RegZero;
+  Reg Rb = RegZero;
+  bool UseImm = false;
+  int64_t Imm = 0;
+  int32_t Target = NoTarget; ///< taken-branch block id
+  int32_t Callee = NoTarget; ///< called function id
+
+  const OpInfo &info() const { return opInfo(Opc); }
+
+  bool hasDest() const { return info().HasDest; }
+  bool isTerminator() const { return info().IsTerminator; }
+  bool isCondBranch() const { return info().IsCondBranch; }
+  bool isLoad() const { return Opc == Op::Ld; }
+  bool isStore() const { return Opc == Op::St; }
+  bool isCall() const { return Opc == Op::Jsr; }
+
+  /// True when Rb is read as a register even though UseImm is set (only
+  /// stores: value register + immediate offset).
+  bool readsRbRegister() const;
+
+  /// Number of register source operands actually read (0..3, counting the
+  /// cmov old-dest input).
+  unsigned numRegSources() const;
+
+  /// The I-th register source (0-based): Ra first, then Rb (if read and not
+  /// immediate), then the cmov old-dest.
+  Reg regSource(unsigned I) const;
+
+  /// Compact debug string, e.g. "addb t0, t1, #4 -> t2". Full assembly
+  /// printing (with labels) lives in asm/Disassembler.
+  std::string str() const;
+
+  // --- Factories (the builder API uses these; keeps call sites readable).
+  static Instruction alu(Op O, Width W, Reg Rd, Reg Ra, Reg Rb);
+  static Instruction aluImm(Op O, Width W, Reg Rd, Reg Ra, int64_t Imm);
+  static Instruction msk(Width W, Reg Rd, Reg Ra, unsigned ByteOffset);
+  static Instruction sext(Width W, Reg Rd, Reg Ra);
+  static Instruction mov(Reg Rd, Reg Ra);
+  static Instruction ldi(Reg Rd, int64_t Imm);
+  static Instruction load(Width W, Reg Rd, Reg Base, int64_t Offset);
+  static Instruction store(Width W, Reg Value, Reg Base, int64_t Offset);
+  static Instruction br(int32_t Target);
+  static Instruction condBr(Op O, Reg Ra, int32_t Target);
+  static Instruction jsr(int32_t Callee);
+  static Instruction ret();
+  static Instruction halt();
+  static Instruction out(Reg Ra);
+  static Instruction nop();
+};
+
+} // namespace og
+
+#endif // OG_ISA_INSTRUCTION_H

@@ -1,0 +1,166 @@
+//===- isa/Opcode.cpp -----------------------------------------------------==//
+
+#include "isa/Opcode.h"
+
+#include <cassert>
+
+using namespace og;
+
+namespace {
+
+// Keep in Op order. Latencies follow classic Alpha-ish values: 1-cycle ALU,
+// 7-cycle pipelined multiply, load latency handled by the cache model.
+const OpInfo Infos[NumOps] = {
+    //                 Class           Unit                W      D      Ra     Rb     RdIn   CBr    Term  Lat
+    {"add",    OpClass::Add,    ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"sub",    OpClass::Sub,    ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"mul",    OpClass::Mul,    ExecUnit::IntMul,    true,  true,  true,  true,  false, false, false, 7},
+    {"and",    OpClass::And,    ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"or",     OpClass::Or,     ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"xor",    OpClass::Xor,    ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"bic",    OpClass::And,    ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"sll",    OpClass::Shift,  ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"srl",    OpClass::Shift,  ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"sra",    OpClass::Shift,  ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"cmpeq",  OpClass::Cmp,    ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"cmplt",  OpClass::Cmp,    ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"cmple",  OpClass::Cmp,    ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"cmpult", OpClass::Cmp,    ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"cmpule", OpClass::Cmp,    ExecUnit::IntAlu,    true,  true,  true,  true,  false, false, false, 1},
+    {"cmoveq", OpClass::Cmov,   ExecUnit::IntAlu,    true,  true,  true,  true,  true,  false, false, 1},
+    {"cmovne", OpClass::Cmov,   ExecUnit::IntAlu,    true,  true,  true,  true,  true,  false, false, 1},
+    {"cmovlt", OpClass::Cmov,   ExecUnit::IntAlu,    true,  true,  true,  true,  true,  false, false, 1},
+    {"cmovge", OpClass::Cmov,   ExecUnit::IntAlu,    true,  true,  true,  true,  true,  false, false, 1},
+    {"msk",    OpClass::Msk,    ExecUnit::IntAlu,    true,  true,  true,  false, false, false, false, 1},
+    {"sext",   OpClass::Msk,    ExecUnit::IntAlu,    true,  true,  true,  false, false, false, false, 1},
+    {"mov",    OpClass::Msk,    ExecUnit::IntAlu,    true,  true,  true,  false, false, false, false, 1},
+    {"ldi",    OpClass::Msk,    ExecUnit::IntAlu,    true,  true,  false, false, false, false, false, 1},
+    {"ld",     OpClass::Load,   ExecUnit::LoadPort,  true,  true,  true,  false, false, false, false, 1},
+    {"st",     OpClass::Store,  ExecUnit::StorePort, true,  false, true,  true,  false, false, false, 1},
+    {"br",     OpClass::Branch, ExecUnit::IntAlu,    false, false, false, false, false, false, true,  1},
+    {"beq",    OpClass::Branch, ExecUnit::IntAlu,    false, false, true,  false, false, true,  true,  1},
+    {"bne",    OpClass::Branch, ExecUnit::IntAlu,    false, false, true,  false, false, true,  true,  1},
+    {"blt",    OpClass::Branch, ExecUnit::IntAlu,    false, false, true,  false, false, true,  true,  1},
+    {"ble",    OpClass::Branch, ExecUnit::IntAlu,    false, false, true,  false, false, true,  true,  1},
+    {"bgt",    OpClass::Branch, ExecUnit::IntAlu,    false, false, true,  false, false, true,  true,  1},
+    {"bge",    OpClass::Branch, ExecUnit::IntAlu,    false, false, true,  false, false, true,  true,  1},
+    {"jsr",    OpClass::Call,   ExecUnit::IntAlu,    false, false, false, false, false, false, false, 1},
+    {"ret",    OpClass::Ret,    ExecUnit::IntAlu,    false, false, false, false, false, false, true,  1},
+    {"halt",   OpClass::Halt,   ExecUnit::None,      false, false, false, false, false, false, true,  1},
+    {"out",    OpClass::Out,    ExecUnit::IntAlu,    false, false, true,  false, false, false, false, 1},
+    {"nop",    OpClass::Nop,    ExecUnit::None,      false, false, false, false, false, false, false, 1},
+};
+
+} // namespace
+
+const OpInfo &og::opInfo(Op O) {
+  unsigned Idx = static_cast<unsigned>(O);
+  assert(Idx < NumOps && "bad op");
+  return Infos[Idx];
+}
+
+const char *og::opClassName(OpClass C) {
+  switch (C) {
+  case OpClass::Add:
+    return "ADD";
+  case OpClass::Sub:
+    return "SUB";
+  case OpClass::Mul:
+    return "MUL";
+  case OpClass::And:
+    return "AND";
+  case OpClass::Or:
+    return "OR";
+  case OpClass::Xor:
+    return "XOR";
+  case OpClass::Shift:
+    return "SHIFT";
+  case OpClass::Cmp:
+    return "CMP";
+  case OpClass::Cmov:
+    return "CMOV";
+  case OpClass::Msk:
+    return "MSK";
+  case OpClass::Load:
+    return "LOAD";
+  case OpClass::Store:
+    return "STORE";
+  case OpClass::Branch:
+    return "BRANCH";
+  case OpClass::Call:
+    return "CALL";
+  case OpClass::Ret:
+    return "RET";
+  case OpClass::Halt:
+    return "HALT";
+  case OpClass::Out:
+    return "OUT";
+  case OpClass::Nop:
+    return "NOP";
+  }
+  assert(false && "covered switch");
+  return "?";
+}
+
+WidthSet og::encodableWidths(Op O, IsaPolicy Policy) {
+  const OpInfo &Info = opInfo(O);
+  if (!Info.HasWidth)
+    return WidthSet::onlyQ();
+
+  // Memory, field-extract and sign-extension opcodes exist at every width in
+  // stock Alpha (LDBU/LDWU/LDL/LDQ, MSKxL, SEXTB/SEXTW via BWX).
+  switch (Info.Class) {
+  case OpClass::Load:
+  case OpClass::Store:
+    return WidthSet::all();
+  default:
+    break;
+  }
+  if (O == Op::Msk || O == Op::Sext || O == Op::Ldi)
+    return WidthSet::all();
+
+  if (Policy == IsaPolicy::BaseAlpha) {
+    // ADDL/SUBL/MULL give 32-bit variants; everything else is 64-bit only.
+    switch (Info.Class) {
+    case OpClass::Add:
+    case OpClass::Sub:
+    case OpClass::Mul:
+      return WidthSet{Width::W, Width::Q};
+    default:
+      return WidthSet::onlyQ();
+    }
+  }
+
+  // Extended ISA, paper Section 4.3: "byte and halfword addition; byte
+  // subtraction; byte and word logical operations (and, or, xor), and byte
+  // and word shifts, conditional moves and comparisons." MUL gains nothing.
+  switch (Info.Class) {
+  case OpClass::Add:
+    return WidthSet::all();
+  case OpClass::Sub:
+    return WidthSet{Width::B, Width::W, Width::Q};
+  case OpClass::Mul:
+    return WidthSet{Width::W, Width::Q};
+  case OpClass::And:
+  case OpClass::Or:
+  case OpClass::Xor:
+  case OpClass::Shift:
+  case OpClass::Cmp:
+  case OpClass::Cmov:
+    return WidthSet{Width::B, Width::W, Width::Q};
+  case OpClass::Msk:
+    return WidthSet::all();
+  default:
+    return WidthSet::onlyQ();
+  }
+}
+
+bool og::parseOpMnemonic(const std::string &Name, Op &O) {
+  for (unsigned I = 0; I < NumOps; ++I) {
+    if (Name == Infos[I].Mnemonic) {
+      O = static_cast<Op>(I);
+      return true;
+    }
+  }
+  return false;
+}

@@ -1,0 +1,163 @@
+//===- isa/Opcode.h - Operation kinds and metadata ---------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The instruction set is an Alpha-like 64-bit integer RISC. An opcode is a
+/// pair (Op, Width): the base operation plus an operand width, mirroring the
+/// paper's "opcodes that specify operand lengths (e.g. load byte, add
+/// halfword)". Which (Op, Width) pairs are encodable is a property of the
+/// IsaPolicy: BaseAlpha models the stock Alpha ISA, Extended adds exactly the
+/// opcodes the paper proposes in Section 4.3.
+///
+/// Notable Alpha-isms preserved because the analyses rely on them:
+///  - no integer divide (Alpha has none);
+///  - byte/halfword loads zero-extend, word loads sign-extend;
+///  - conditional branches test a register against zero; comparisons are
+///    separate CMP* instructions producing 0/1;
+///  - MSK extracts a zero-extended byte field (Section 2.2.5's useful-range
+///    source).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_ISA_OPCODE_H
+#define OG_ISA_OPCODE_H
+
+#include "isa/Width.h"
+
+#include <cstdint>
+#include <string>
+
+namespace og {
+
+/// Base operations. Keep the order stable: tables index by this.
+enum class Op : uint8_t {
+  // ALU, width-bearing. rd <- op(ra, rb|imm) at width W, result
+  // sign-extended to 64 bits.
+  Add,
+  Sub,
+  Mul,
+  And,
+  Or,
+  Xor,
+  Bic, ///< and-not: ra & ~rb
+  Sll,
+  Srl,
+  Sra,
+  CmpEq,
+  CmpLt,  ///< signed
+  CmpLe,  ///< signed
+  CmpUlt, ///< unsigned
+  CmpUle, ///< unsigned
+  // Conditional moves: rd <- rb|imm if cc(ra) else rd (rd is also an input).
+  CmovEq,
+  CmovNe,
+  CmovLt,
+  CmovGe,
+  /// Byte-field extract: rd <- zext(W-wide field of ra at byte offset imm).
+  Msk,
+  /// Explicit sign extension: rd <- signExtend(ra, W).
+  Sext,
+  /// Register move (BIS in Alpha): rd <- ra at width W.
+  Mov,
+  /// Load immediate: rd <- imm (stands for Alpha LDA/LDAH idioms).
+  Ldi,
+  // Memory, width-bearing. Address = ra + imm.
+  Ld, ///< B/H zero-extend, W sign-extends, Q full (Alpha LDBU/LDWU/LDL/LDQ)
+  St, ///< stores low W bytes of rb
+  // Control flow. Branches test ra against zero; Target is a block id.
+  Br, ///< unconditional
+  Beq,
+  Bne,
+  Blt,
+  Ble,
+  Bgt,
+  Bge,
+  Jsr, ///< direct call, Callee is a function id
+  Ret,
+  Halt,
+  /// Appends ra to the machine's output stream; the observable effect used
+  /// by the output-equivalence oracle.
+  Out,
+  Nop,
+};
+
+constexpr unsigned NumOps = static_cast<unsigned>(Op::Nop) + 1;
+
+/// Operation classes, matching the rows of the paper's Table 3 plus the
+/// non-ALU categories.
+enum class OpClass : uint8_t {
+  Add,
+  Sub,
+  Mul,
+  And, ///< includes Bic
+  Or,
+  Xor,
+  Shift,
+  Cmp,
+  Cmov,
+  Msk, ///< includes Sext/Mov/Ldi (field/move class)
+  Load,
+  Store,
+  Branch,
+  Call,
+  Ret,
+  Halt,
+  Out,
+  Nop,
+};
+
+/// Which functional unit executes the op (for the timing model).
+enum class ExecUnit : uint8_t { IntAlu, IntMul, LoadPort, StorePort, None };
+
+/// Static metadata for a base operation.
+struct OpInfo {
+  const char *Mnemonic;   ///< base mnemonic, no width suffix
+  OpClass Class;
+  ExecUnit Unit;
+  bool HasWidth;          ///< carries a meaningful Width field
+  bool HasDest;           ///< writes Rd
+  bool ReadsRa;
+  bool ReadsRb;           ///< reads Rb when UseImm is false
+  bool RdIsInput;         ///< Cmov: old Rd value is an input
+  bool IsCondBranch;
+  bool IsTerminator;      ///< must be the last instruction of a block
+  unsigned LatencyCycles; ///< execute latency in the timing model
+};
+
+/// Metadata accessor; total over all Ops.
+const OpInfo &opInfo(Op O);
+
+/// Convenience queries.
+inline bool isCompare(Op O) {
+  return O >= Op::CmpEq && O <= Op::CmpUle;
+}
+inline bool isCmov(Op O) { return O >= Op::CmovEq && O <= Op::CmovGe; }
+inline bool isCondBranch(Op O) { return opInfo(O).IsCondBranch; }
+inline bool isShift(Op O) { return O == Op::Sll || O == Op::Srl || O == Op::Sra; }
+
+/// Human-readable class name ("ADD", "MSK", ... as in Table 3).
+const char *opClassName(OpClass C);
+
+/// Which width variants of each op are encodable.
+enum class IsaPolicy : uint8_t {
+  /// Stock Alpha: all memory and MSK widths; W/Q add/sub/mul; Q-only
+  /// logicals, shifts, compares and cmovs.
+  BaseAlpha,
+  /// Paper Section 4.3 extension: + byte/halfword add, byte sub, byte/word
+  /// logicals, byte/word shifts, cmovs and comparisons.
+  Extended,
+};
+
+/// The encodable width set for \p O under \p Policy. Ops without a width
+/// return the Q-only set.
+WidthSet encodableWidths(Op O, IsaPolicy Policy);
+
+/// Parses a base mnemonic ("add", "cmplt", ...); returns false on failure.
+bool parseOpMnemonic(const std::string &Name, Op &O);
+
+} // namespace og
+
+#endif // OG_ISA_OPCODE_H

@@ -1,0 +1,53 @@
+//===- isa/Registers.cpp --------------------------------------------------==//
+
+#include "isa/Registers.h"
+
+#include <cstdio>
+
+using namespace og;
+
+namespace {
+
+struct RegAlias {
+  const char *Name;
+  Reg R;
+};
+
+// Alpha-flavored ABI names. Order matters only for printing preference.
+const RegAlias Aliases[] = {
+    {"v0", 0},   {"t0", 1},   {"t1", 2},   {"t2", 3},   {"t3", 4},
+    {"t4", 5},   {"t5", 6},   {"t6", 7},   {"t7", 8},   {"s0", 9},
+    {"s1", 10},  {"s2", 11},  {"s3", 12},  {"s4", 13},  {"s5", 14},
+    {"fp", 15},  {"a0", 16},  {"a1", 17},  {"a2", 18},  {"a3", 19},
+    {"a4", 20},  {"a5", 21},  {"t8", 22},  {"t9", 23},  {"t10", 24},
+    {"t11", 25}, {"ra", 26},  {"t12", 27}, {"at", 28},  {"gp", 29},
+    {"sp", 30},  {"zero", 31},
+};
+
+} // namespace
+
+std::string og::regName(Reg R) {
+  for (const RegAlias &A : Aliases)
+    if (A.R == R)
+      return A.Name;
+  char Buf[8];
+  std::snprintf(Buf, sizeof(Buf), "r%u", unsigned(R));
+  return Buf;
+}
+
+Reg og::parseRegName(const std::string &Name) {
+  for (const RegAlias &A : Aliases)
+    if (Name == A.Name)
+      return A.R;
+  if (Name.size() >= 2 && Name[0] == 'r') {
+    unsigned Value = 0;
+    for (size_t I = 1; I < Name.size(); ++I) {
+      if (Name[I] < '0' || Name[I] > '9')
+        return NumRegs;
+      Value = Value * 10 + unsigned(Name[I] - '0');
+    }
+    if (Value < NumRegs)
+      return static_cast<Reg>(Value);
+  }
+  return NumRegs;
+}

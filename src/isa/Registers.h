@@ -1,0 +1,83 @@
+//===- isa/Registers.h - Register file and ABI roles ------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// 32 integer registers with Alpha-like ABI roles. r31 reads as zero and
+/// ignores writes. The calling convention matters to the interprocedural
+/// VRP of Section 2.4: argument and return-value registers carry ranges
+/// across calls; caller-saved registers are clobbered to the full range.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_ISA_REGISTERS_H
+#define OG_ISA_REGISTERS_H
+
+#include <cstdint>
+#include <string>
+
+namespace og {
+
+using Reg = uint8_t;
+
+constexpr unsigned NumRegs = 32;
+
+/// ABI roles (Alpha-flavored).
+constexpr Reg RegV0 = 0;    ///< return value
+constexpr Reg RegT0 = 1;    ///< t0..t7 = r1..r8, caller-saved temporaries
+constexpr Reg RegT1 = 2;
+constexpr Reg RegT2 = 3;
+constexpr Reg RegT3 = 4;
+constexpr Reg RegT4 = 5;
+constexpr Reg RegT5 = 6;
+constexpr Reg RegT6 = 7;
+constexpr Reg RegT7 = 8;
+constexpr Reg RegS0 = 9;    ///< s0..s5 = r9..r14, callee-saved
+constexpr Reg RegS1 = 10;
+constexpr Reg RegS2 = 11;
+constexpr Reg RegS3 = 12;
+constexpr Reg RegS4 = 13;
+constexpr Reg RegS5 = 14;
+constexpr Reg RegFP = 15;   ///< frame pointer (callee-saved)
+constexpr Reg RegA0 = 16;   ///< a0..a5 = r16..r21, arguments
+constexpr Reg RegA1 = 17;
+constexpr Reg RegA2 = 18;
+constexpr Reg RegA3 = 19;
+constexpr Reg RegA4 = 20;
+constexpr Reg RegA5 = 21;
+constexpr Reg RegT8 = 22;   ///< t8..t11 = r22..r25, caller-saved
+constexpr Reg RegT9 = 23;
+constexpr Reg RegT10 = 24;
+constexpr Reg RegT11 = 25;
+constexpr Reg RegRA = 26;   ///< return address
+constexpr Reg RegT12 = 27;  ///< caller-saved scratch
+constexpr Reg RegAT = 28;   ///< assembler temporary (caller-saved)
+constexpr Reg RegGP = 29;   ///< global pointer
+constexpr Reg RegSP = 30;   ///< stack pointer (callee-saved)
+constexpr Reg RegZero = 31; ///< hardwired zero
+
+constexpr unsigned NumArgRegs = 6;
+
+/// True for registers a callee must preserve (s0..s5, fp, sp).
+inline bool isCalleeSaved(Reg R) {
+  return (R >= RegS0 && R <= RegFP) || R == RegSP;
+}
+
+/// True for registers a call may clobber (everything not callee-saved,
+/// except the hardwired zero which cannot change).
+inline bool isCallerSaved(Reg R) {
+  return R != RegZero && !isCalleeSaved(R);
+}
+
+/// Canonical textual name ("v0", "t3", "a1", "sp", "zero", ...).
+std::string regName(Reg R);
+
+/// Parses a register name (either an ABI alias or "rNN"); returns NumRegs
+/// on failure.
+Reg parseRegName(const std::string &Name);
+
+} // namespace og
+
+#endif // OG_ISA_REGISTERS_H

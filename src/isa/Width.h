@@ -1,0 +1,121 @@
+//===- isa/Width.h - Operand width (8/16/32/64 bit) -------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The four operand widths of the paper: byte, halfword, word, doubleword
+/// (Section 2: "opcodes may specify operand widths of a byte, halfword,
+/// word, and doubleword"). Every width-bearing opcode carries one of these.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_ISA_WIDTH_H
+#define OG_ISA_WIDTH_H
+
+#include "support/MathExtras.h"
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+
+namespace og {
+
+/// Operand width. Ordered narrow to wide so std::max picks the wider one.
+enum class Width : uint8_t {
+  B = 0, ///< byte, 8 bits
+  H = 1, ///< halfword, 16 bits
+  W = 2, ///< word, 32 bits
+  Q = 3, ///< doubleword ("quad" in Alpha parlance), 64 bits
+};
+
+inline unsigned widthBytes(Width W) { return 1u << static_cast<unsigned>(W); }
+inline unsigned widthBits(Width W) { return 8u * widthBytes(W); }
+
+/// Smallest Width holding \p Bytes bytes (1..8).
+inline Width widthForBytes(unsigned Bytes) {
+  assert(Bytes >= 1 && Bytes <= 8 && "byte count out of range");
+  if (Bytes <= 1)
+    return Width::B;
+  if (Bytes <= 2)
+    return Width::H;
+  if (Bytes <= 4)
+    return Width::W;
+  return Width::Q;
+}
+
+/// Smallest Width whose signed range covers [\p Min, \p Max].
+inline Width widthForSignedRange(int64_t Min, int64_t Max) {
+  return widthForBytes(bytesForSignedRange(Min, Max));
+}
+
+/// Most negative / most positive value representable at width \p W.
+inline int64_t widthSignedMin(Width W) {
+  return W == Width::Q ? INT64_MIN
+                       : -(int64_t(1) << (widthBits(W) - 1));
+}
+inline int64_t widthSignedMax(Width W) {
+  return W == Width::Q ? INT64_MAX
+                       : (int64_t(1) << (widthBits(W) - 1)) - 1;
+}
+
+/// Largest zero-extended value at width \p W (UINT64_MAX folded to int64
+/// only for Q, which callers must special-case; narrow widths fit easily).
+inline uint64_t widthUnsignedMax(Width W) {
+  return W == Width::Q ? UINT64_MAX
+                       : (uint64_t(1) << widthBits(W)) - 1;
+}
+
+/// One-letter suffix used in assembly ("addb", "addh", "addw", "addq").
+inline char widthSuffix(Width W) {
+  switch (W) {
+  case Width::B:
+    return 'b';
+  case Width::H:
+    return 'h';
+  case Width::W:
+    return 'w';
+  case Width::Q:
+    return 'q';
+  }
+  assert(false && "covered switch");
+  return '?';
+}
+
+/// A set of widths, used to describe which width variants of an opcode the
+/// (extended) ISA encodes (paper Section 4.3 discusses which extensions are
+/// worth adding).
+class WidthSet {
+public:
+  constexpr WidthSet() = default;
+  constexpr WidthSet(std::initializer_list<Width> Ws) {
+    for (Width W : Ws)
+      Bits |= 1u << static_cast<unsigned>(W);
+  }
+
+  constexpr bool contains(Width W) const {
+    return Bits & (1u << static_cast<unsigned>(W));
+  }
+
+  /// Narrowest available width >= \p Wanted bytes; falls back widening until
+  /// an encodable width is found (Q is always encodable).
+  Width narrowestAtLeast(Width Wanted) const {
+    for (unsigned I = static_cast<unsigned>(Wanted); I <= 3; ++I)
+      if (contains(static_cast<Width>(I)))
+        return static_cast<Width>(I);
+    return Width::Q;
+  }
+
+  static constexpr WidthSet all() {
+    return WidthSet{Width::B, Width::H, Width::W, Width::Q};
+  }
+  static constexpr WidthSet onlyQ() { return WidthSet{Width::Q}; }
+
+private:
+  uint8_t Bits = 0;
+};
+
+} // namespace og
+
+#endif // OG_ISA_WIDTH_H

@@ -1,0 +1,87 @@
+//===- pipeline/Pipeline.cpp ----------------------------------------------==//
+
+#include "pipeline/Pipeline.h"
+
+#include <cassert>
+
+using namespace og;
+
+const char *og::softwareModeName(SoftwareMode M) {
+  switch (M) {
+  case SoftwareMode::None:
+    return "none";
+  case SoftwareMode::ConventionalVrp:
+    return "conventional VRP";
+  case SoftwareMode::Vrp:
+    return "VRP";
+  case SoftwareMode::Vrs:
+    return "VRS";
+  }
+  return "?";
+}
+
+PipelineResult og::runPipeline(const Workload &W,
+                               const PipelineConfig &Config) {
+  PipelineResult Result;
+  Result.Transformed = W.Prog;
+  Program &P = Result.Transformed;
+
+  // ---- Software transformation.
+  NarrowingOptions Narrow = Config.Narrow;
+  switch (Config.Sw) {
+  case SoftwareMode::None:
+    break;
+  case SoftwareMode::ConventionalVrp:
+    Narrow.UseUsefulWidths = false;
+    Result.Narrowing = narrowProgram(P, Narrow);
+    break;
+  case SoftwareMode::Vrp:
+    Narrow.UseUsefulWidths = true;
+    Result.Narrowing = narrowProgram(P, Narrow);
+    break;
+  case SoftwareMode::Vrs: {
+    Narrow.UseUsefulWidths = true;
+    Result.Narrowing = narrowProgram(P, Narrow);
+    VrsOptions VO;
+    VO.Narrow = Narrow;
+    VO.Energy.TestCostNJ = Config.VrsTestCostNJ;
+    Result.Vrs = specializeProgram(P, W.Train, VO);
+    break;
+  }
+  }
+
+  // ---- Ref run through the timing + power models.
+  EnergyModel EM(Config.Scheme, Config.Coeffs);
+  OooCore Core(Config.Uarch, &EM);
+  RunOptions RefOpts = W.Ref;
+  RefOpts.Trace = [&](const DynInst &D) { Core.onInst(D); };
+  RunResult Run = runProgram(P, RefOpts);
+  assert(Run.Status == RunStatus::Halted && "ref run did not halt");
+  Result.RefStats = Run.Stats;
+  Result.Output = Run.Output;
+  Result.Report = makeReport(EM, Core.finish());
+
+  // ---- Figure-6 accounting.
+  if (Config.Sw == SoftwareMode::Vrs && Result.RefStats.DynInsts > 0) {
+    uint64_t Spec = 0, GuardDyn = 0;
+    for (const auto &[F, BB] : Result.Vrs.CloneBlocks)
+      Spec += Result.RefStats.BlockCounts[F][BB] * P.Funcs[F].Blocks[BB].Insts.size();
+    for (const auto &[F, BB] : Result.Vrs.GuardBlocks)
+      GuardDyn +=
+          Result.RefStats.BlockCounts[F][BB] * P.Funcs[F].Blocks[BB].Insts.size();
+    Result.DynSpecializedFrac =
+        static_cast<double>(Spec) / Result.RefStats.DynInsts;
+    Result.DynGuardFrac =
+        static_cast<double>(GuardDyn) / Result.RefStats.DynInsts;
+  }
+
+  // ---- Optional end-to-end equivalence oracle.
+  if (Config.CheckOutputEquivalence) {
+    RunResult Orig = runProgram(W.Prog, W.Ref);
+    assert(Orig.Status == RunStatus::Halted && "original run did not halt");
+    assert(Orig.Output == Result.Output &&
+           "transformation changed program output");
+    (void)Orig;
+  }
+  return Result;
+}

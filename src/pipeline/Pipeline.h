@@ -1,0 +1,69 @@
+//===- pipeline/Pipeline.h - End-to-end experiment driver --------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// One call from workload to energy report: apply a software
+/// operand-gating mode (none / conventional VRP / proposed VRP / VRS at a
+/// given test-cost configuration), execute the ref input on the
+/// out-of-order timing model, and account energy under a gating scheme.
+/// Every bench binary and example is a thin wrapper over this driver, so
+/// all experiment plumbing lives in one place.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_PIPELINE_PIPELINE_H
+#define OG_PIPELINE_PIPELINE_H
+
+#include "power/Report.h"
+#include "vrp/Narrowing.h"
+#include "vrs/Specializer.h"
+#include "workloads/Workloads.h"
+
+namespace og {
+
+/// The software side of the evaluation matrix.
+enum class SoftwareMode {
+  None,            ///< original binary
+  ConventionalVrp, ///< ranges only (Figure 2's "Conventional VRP")
+  Vrp,             ///< + useful ranges (the paper's proposal)
+  Vrs,             ///< VRP + profile-guided specialization
+};
+
+const char *softwareModeName(SoftwareMode M);
+
+/// Configuration of one experiment cell.
+struct PipelineConfig {
+  SoftwareMode Sw = SoftwareMode::Vrp;
+  GatingScheme Scheme = GatingScheme::Software;
+  double VrsTestCostNJ = 50.0; ///< Figure 8's sweep knob
+  NarrowingOptions Narrow;     ///< ISA policy, useful-width toggles
+  UarchConfig Uarch;
+  EnergyCoefficients Coeffs = EnergyCoefficients::defaults();
+  /// Re-run the original binary and assert identical output streams.
+  bool CheckOutputEquivalence = false;
+};
+
+/// Everything an experiment might want to report.
+struct PipelineResult {
+  Program Transformed;
+  NarrowingReport Narrowing; ///< meaningful for VRP/VRS modes
+  VrsReport Vrs;             ///< meaningful for VRS mode
+  EnergyReport Report;       ///< timing + energy of the ref run
+  ExecStats RefStats;        ///< functional statistics of the ref run
+  std::vector<int64_t> Output;
+
+  /// Fraction of ref-run dynamic instructions inside specialized clones /
+  /// guard tests (Figure 6); zero outside VRS mode.
+  double DynSpecializedFrac = 0.0;
+  double DynGuardFrac = 0.0;
+};
+
+/// Runs the full flow on a copy of \p W's program.
+PipelineResult runPipeline(const Workload &W, const PipelineConfig &Config);
+
+} // namespace og
+
+#endif // OG_PIPELINE_PIPELINE_H

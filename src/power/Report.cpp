@@ -1,0 +1,44 @@
+//===- power/Report.cpp ---------------------------------------------------==//
+
+#include "power/Report.h"
+
+using namespace og;
+
+double EnergyReport::structureSaving(const EnergyReport &Baseline,
+                                     Structure S) const {
+  double E0 = Baseline.PerStructure[static_cast<unsigned>(S)];
+  if (E0 <= 0.0)
+    return 0.0;
+  return 1.0 - PerStructure[static_cast<unsigned>(S)] / E0;
+}
+
+double EnergyReport::energySaving(const EnergyReport &Baseline) const {
+  if (Baseline.TotalEnergy <= 0.0)
+    return 0.0;
+  return 1.0 - TotalEnergy / Baseline.TotalEnergy;
+}
+
+double EnergyReport::ed2Saving(const EnergyReport &Baseline) const {
+  double Base = Baseline.ed2();
+  if (Base <= 0.0)
+    return 0.0;
+  return 1.0 - ed2() / Base;
+}
+
+double EnergyReport::timeSaving(const EnergyReport &Baseline) const {
+  if (Baseline.Uarch.Cycles == 0)
+    return 0.0;
+  return 1.0 - static_cast<double>(Uarch.Cycles) /
+                   static_cast<double>(Baseline.Uarch.Cycles);
+}
+
+EnergyReport og::makeReport(const EnergyModel &EM, const UarchStats &Stats) {
+  EnergyReport R;
+  R.Scheme = EM.scheme();
+  for (unsigned S = 0; S < NumStructures; ++S)
+    R.PerStructure[S] = EM.structureEnergy(static_cast<Structure>(S));
+  R.TotalEnergy =
+      EM.totalEnergy() + EM.clockPerCycle() * static_cast<double>(Stats.Cycles);
+  R.Uarch = Stats;
+  return R;
+}

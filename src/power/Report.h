@@ -1,0 +1,55 @@
+//===- power/Report.h - Energy/performance reports ---------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The combined outcome of one timing+power simulation, and the
+/// energy-delay^2 metric ([2] in the paper) used for Figures 11/15.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_POWER_REPORT_H
+#define OG_POWER_REPORT_H
+
+#include "power/EnergyModel.h"
+#include "uarch/Core.h"
+
+#include <array>
+
+namespace og {
+
+/// One simulated configuration's results.
+struct EnergyReport {
+  GatingScheme Scheme = GatingScheme::None;
+  std::array<double, NumStructures> PerStructure = {};
+  double TotalEnergy = 0.0;
+  UarchStats Uarch;
+
+  /// Energy-delay^2 (lower is better).
+  double ed2() const {
+    double D = static_cast<double>(Uarch.Cycles);
+    return TotalEnergy * D * D;
+  }
+
+  /// Fractional saving of this report versus \p Baseline, per structure
+  /// (1 - E/E0); 0 when the baseline is zero.
+  double structureSaving(const EnergyReport &Baseline, Structure S) const;
+
+  /// Fractional total-energy saving versus \p Baseline.
+  double energySaving(const EnergyReport &Baseline) const;
+
+  /// Fractional ED^2 saving versus \p Baseline.
+  double ed2Saving(const EnergyReport &Baseline) const;
+
+  /// Fractional execution-time saving versus \p Baseline.
+  double timeSaving(const EnergyReport &Baseline) const;
+};
+
+/// Packages an EnergyModel + OooCore run into a report.
+EnergyReport makeReport(const EnergyModel &EM, const UarchStats &Stats);
+
+} // namespace og
+
+#endif // OG_POWER_REPORT_H

@@ -1,0 +1,50 @@
+//===- power/WidthSource.cpp ----------------------------------------------==//
+
+#include "power/WidthSource.h"
+
+using namespace og;
+
+const char *og::gatingSchemeName(GatingScheme S) {
+  switch (S) {
+  case GatingScheme::None:
+    return "baseline";
+  case GatingScheme::Software:
+    return "software (opcode widths)";
+  case GatingScheme::HwSignificance:
+    return "hw significance compression";
+  case GatingScheme::HwSize:
+    return "hw size compression";
+  case GatingScheme::Combined:
+    return "combined sw+hw";
+  }
+  return "?";
+}
+
+unsigned og::effectiveBytes(GatingScheme S, int64_t Value, Width OpcodeW) {
+  switch (S) {
+  case GatingScheme::None:
+    return 8;
+  case GatingScheme::Software:
+    return widthBytes(OpcodeW);
+  case GatingScheme::HwSignificance:
+    return significanceBytes(Value);
+  case GatingScheme::HwSize:
+    return sizeCompressionBytes(Value);
+  case GatingScheme::Combined:
+    return combinedBytes(Value, OpcodeW);
+  }
+  return 8;
+}
+
+unsigned og::tagBits(GatingScheme S) {
+  switch (S) {
+  case GatingScheme::HwSignificance:
+    return SignificanceTagBits;
+  case GatingScheme::HwSize:
+    return SizeTagBits;
+  case GatingScheme::Combined:
+    return SizeTagBits; // §4.7: two significance tag bits follow values
+  default:
+    return 0;
+  }
+}

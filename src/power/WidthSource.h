@@ -1,0 +1,50 @@
+//===- power/WidthSource.h - Operand-gating schemes --------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// How many byte lanes a data access switches, under each operand-gating
+/// scheme the paper evaluates:
+///  - None: the full 64-bit datapath switches (baseline);
+///  - Software: the opcode width gates the lanes (VRP/VRS, Sections 2-3);
+///  - HwSignificance: per-value significant bytes + 7 tag bits (§4.6);
+///  - HwSize: {1,2,5,8}-byte buckets + 2 tag bits (§4.6);
+///  - Combined: hardware buckets capped by the opcode width + 2 tag bits
+///    (§4.7: values are 8/16/40/64 bits inside the core).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_POWER_WIDTHSOURCE_H
+#define OG_POWER_WIDTHSOURCE_H
+
+#include "hw/Compression.h"
+#include "isa/Width.h"
+
+#include <cstdint>
+
+namespace og {
+
+/// The operand-gating configurations of the evaluation.
+enum class GatingScheme : uint8_t {
+  None,
+  Software,
+  HwSignificance,
+  HwSize,
+  Combined,
+};
+
+/// Display name ("baseline", "VRP/VRS (software)", ...).
+const char *gatingSchemeName(GatingScheme S);
+
+/// Byte lanes that switch for a data access moving \p Value under opcode
+/// width \p OpcodeW.
+unsigned effectiveBytes(GatingScheme S, int64_t Value, Width OpcodeW);
+
+/// Tag storage overhead in bits per data word for the scheme.
+unsigned tagBits(GatingScheme S);
+
+} // namespace og
+
+#endif // OG_POWER_WIDTHSOURCE_H

@@ -1,0 +1,46 @@
+//===- profile/BlockProfile.cpp -------------------------------------------==//
+
+#include "profile/BlockProfile.h"
+
+#include <cassert>
+
+using namespace og;
+
+ProgramProfile
+og::collectProfile(const Program &P, const RunOptions &Options,
+                   const std::vector<std::pair<int32_t, size_t>> &Candidates,
+                   ValueProfileTable::Config TableCfg) {
+  ProgramProfile Profile;
+  for (const auto &C : Candidates)
+    Profile.Values.emplace(C, ValueProfileTable(TableCfg));
+
+  // Dense per-function instruction numbering (layout order), to match
+  // candidate ids.
+  std::vector<std::vector<size_t>> BlockBase(P.Funcs.size());
+  for (const Function &F : P.Funcs) {
+    auto &Bases = BlockBase[F.Id];
+    Bases.resize(F.Blocks.size());
+    size_t N = 0;
+    for (const BasicBlock &BB : F.Blocks) {
+      Bases[BB.Id] = N;
+      N += BB.Insts.size();
+    }
+  }
+
+  RunOptions Opts = Options;
+  Opts.Trace = [&](const DynInst &D) {
+    if (!D.WroteDest || Profile.Values.empty())
+      return;
+    size_t Id = BlockBase[D.Func][D.Block] + static_cast<size_t>(D.Index);
+    auto It = Profile.Values.find({D.Func, Id});
+    if (It == Profile.Values.end())
+      return;
+    It->second.record(D.Result);
+  };
+
+  RunResult R = runProgram(P, Opts);
+  assert(R.Status == RunStatus::Halted && "profiling run did not halt");
+  Profile.BlockCounts = std::move(R.Stats.BlockCounts);
+  Profile.DynInsts = R.Stats.DynInsts;
+  return Profile;
+}

@@ -1,0 +1,52 @@
+//===- profile/BlockProfile.h - Profiling runs -------------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Profile collection for VRS (paper Section 3): basic-block counts from a
+/// training run, plus per-candidate value profiles gathered through the
+/// interpreter's trace hook. Candidates are identified by (function id,
+/// dense instruction id).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_PROFILE_BLOCKPROFILE_H
+#define OG_PROFILE_BLOCKPROFILE_H
+
+#include "profile/ValueProfile.h"
+#include "sim/Interpreter.h"
+
+#include <map>
+#include <utility>
+#include <vector>
+
+namespace og {
+
+/// A whole-program profile from one (train-input) run.
+struct ProgramProfile {
+  /// Executions per [function][block].
+  std::vector<std::vector<uint64_t>> BlockCounts;
+  /// Value profiles of requested candidate points, keyed by
+  /// (function, instruction id).
+  std::map<std::pair<int32_t, size_t>, ValueProfileTable> Values;
+  uint64_t DynInsts = 0;
+
+  uint64_t blockCount(int32_t F, int32_t BB) const {
+    return BlockCounts[F][BB];
+  }
+};
+
+/// Runs \p P on the training input \p Options and collects block counts
+/// plus value profiles at \p Candidates (function, instruction-id pairs;
+/// instruction numbering is layout order as in FunctionRanges/
+/// ReachingDefs). The run must halt cleanly; asserts otherwise.
+ProgramProfile
+collectProfile(const Program &P, const RunOptions &Options,
+               const std::vector<std::pair<int32_t, size_t>> &Candidates,
+               ValueProfileTable::Config TableCfg = {});
+
+} // namespace og
+
+#endif // OG_PROFILE_BLOCKPROFILE_H

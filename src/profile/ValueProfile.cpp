@@ -1,0 +1,58 @@
+//===- profile/ValueProfile.cpp -------------------------------------------==//
+
+#include "profile/ValueProfile.h"
+
+using namespace og;
+
+void ValueProfileTable::record(int64_t Value) {
+  ++Total;
+  if (++SinceClean >= Cfg.CleanPeriod) {
+    SinceClean = 0;
+    clean();
+  }
+  for (Entry &E : Entries) {
+    if (E.Value == Value) {
+      ++E.Count;
+      return;
+    }
+  }
+  if (Entries.size() < Cfg.Capacity) {
+    Entries.push_back({Value, 1});
+    return;
+  }
+  // Table full: the value is ignored until the next clean frees space.
+}
+
+void ValueProfileTable::clean() {
+  if (Entries.size() < Cfg.Capacity)
+    return;
+  // Evict the least frequently used half so new values can enter.
+  std::sort(Entries.begin(), Entries.end(), [](const Entry &A,
+                                               const Entry &B) {
+    if (A.Count != B.Count)
+      return A.Count > B.Count;
+    return A.Value < B.Value;
+  });
+  Entries.resize(Entries.size() / 2);
+}
+
+std::vector<ValueProfileTable::Entry>
+ValueProfileTable::sortedEntries() const {
+  std::vector<Entry> Out = Entries;
+  std::sort(Out.begin(), Out.end(), [](const Entry &A, const Entry &B) {
+    if (A.Count != B.Count)
+      return A.Count > B.Count;
+    return A.Value < B.Value;
+  });
+  return Out;
+}
+
+double ValueProfileTable::freqInRange(int64_t Min, int64_t Max) const {
+  if (Total == 0)
+    return 0.0;
+  uint64_t Matching = 0;
+  for (const Entry &E : Entries)
+    if (E.Value >= Min && E.Value <= Max)
+      Matching += E.Count;
+  return static_cast<double>(Matching) / static_cast<double>(Total);
+}

@@ -1,0 +1,69 @@
+//===- profile/ValueProfile.h - Calder-style value profiling -----*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The value-profiling table of paper Section 3.3, following Calder et
+/// al. [MICRO'97]: a fixed-size table of (value, count) entries per
+/// profiling point. New values enter while space remains; when full,
+/// values are ignored until a periodic clean evicts the least frequently
+/// used half, letting fresh values in. A separate counter tracks the total
+/// number of executions of the point.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_PROFILE_VALUEPROFILE_H
+#define OG_PROFILE_VALUEPROFILE_H
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace og {
+
+/// One profiling point's value table.
+class ValueProfileTable {
+public:
+  struct Entry {
+    int64_t Value;
+    uint64_t Count;
+  };
+
+  struct Config {
+    unsigned Capacity = 16;     ///< fixed table size
+    uint64_t CleanPeriod = 512; ///< executions between LFU cleanings
+  };
+
+  ValueProfileTable() : ValueProfileTable(Config()) {}
+  explicit ValueProfileTable(Config C) : Cfg(C) {}
+
+  /// Records one observed value.
+  void record(int64_t Value);
+
+  /// Total executions of the profiling point (including ignored values).
+  uint64_t totalCount() const { return Total; }
+
+  /// Entries sorted by descending count (ties: ascending value, for
+  /// determinism).
+  std::vector<Entry> sortedEntries() const;
+
+  /// Fraction of executions whose value provably fell in [Min, Max]:
+  /// the sum of matching table counts over the total. A lower bound, since
+  /// evicted/ignored values are unknown (the conservative direction for
+  /// the specialization benefit estimate).
+  double freqInRange(int64_t Min, int64_t Max) const;
+
+private:
+  void clean();
+
+  Config Cfg;
+  std::vector<Entry> Entries;
+  uint64_t Total = 0;
+  uint64_t SinceClean = 0;
+};
+
+} // namespace og
+
+#endif // OG_PROFILE_VALUEPROFILE_H

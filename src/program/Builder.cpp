@@ -1,0 +1,225 @@
+//===- program/Builder.cpp ------------------------------------------------==//
+
+#include "program/Builder.h"
+
+#include "program/Verifier.h"
+
+#include <cassert>
+
+using namespace og;
+
+Function &FunctionBuilder::func() { return Parent.P.Funcs[FuncId]; }
+
+int32_t FunctionBuilder::blockId(const std::string &Label) {
+  auto It = LabelIds.find(Label);
+  if (It != LabelIds.end())
+    return It->second;
+  BasicBlock &BB = func().addBlock(Label);
+  LabelIds.emplace(Label, BB.Id);
+  return BB.Id;
+}
+
+FunctionBuilder &FunctionBuilder::block(const std::string &Label) {
+  int32_t Next = blockId(Label);
+  if (CurBlock != NoTarget) {
+    BasicBlock &BB = func().Blocks[CurBlock];
+    if (!BB.terminator() && BB.FallthroughSucc == NoTarget)
+      BB.FallthroughSucc = Next;
+  }
+  CurBlock = Next;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::emit(Instruction I) {
+  if (CurBlock == NoTarget)
+    block("entry");
+  BasicBlock &BB = func().Blocks[CurBlock];
+  assert(!BB.terminator() && "emitting into a terminated block");
+  BB.Insts.push_back(I);
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::ldi(Reg Rd, int64_t Imm) {
+  return emit(Instruction::ldi(Rd, Imm));
+}
+FunctionBuilder &FunctionBuilder::mov(Reg Rd, Reg Ra) {
+  return emit(Instruction::mov(Rd, Ra));
+}
+FunctionBuilder &FunctionBuilder::add(Reg Rd, Reg Ra, Reg Rb) {
+  return emit(Instruction::alu(Op::Add, Width::Q, Rd, Ra, Rb));
+}
+FunctionBuilder &FunctionBuilder::addi(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::Add, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::sub(Reg Rd, Reg Ra, Reg Rb) {
+  return emit(Instruction::alu(Op::Sub, Width::Q, Rd, Ra, Rb));
+}
+FunctionBuilder &FunctionBuilder::subi(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::Sub, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::mul(Reg Rd, Reg Ra, Reg Rb) {
+  return emit(Instruction::alu(Op::Mul, Width::Q, Rd, Ra, Rb));
+}
+FunctionBuilder &FunctionBuilder::muli(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::Mul, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::and_(Reg Rd, Reg Ra, Reg Rb) {
+  return emit(Instruction::alu(Op::And, Width::Q, Rd, Ra, Rb));
+}
+FunctionBuilder &FunctionBuilder::andi(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::And, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::or_(Reg Rd, Reg Ra, Reg Rb) {
+  return emit(Instruction::alu(Op::Or, Width::Q, Rd, Ra, Rb));
+}
+FunctionBuilder &FunctionBuilder::ori(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::Or, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::xor_(Reg Rd, Reg Ra, Reg Rb) {
+  return emit(Instruction::alu(Op::Xor, Width::Q, Rd, Ra, Rb));
+}
+FunctionBuilder &FunctionBuilder::xori(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::Xor, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::slli(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::Sll, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::srli(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::Srl, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::srai(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::Sra, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::sll(Reg Rd, Reg Ra, Reg Rb) {
+  return emit(Instruction::alu(Op::Sll, Width::Q, Rd, Ra, Rb));
+}
+FunctionBuilder &FunctionBuilder::srl(Reg Rd, Reg Ra, Reg Rb) {
+  return emit(Instruction::alu(Op::Srl, Width::Q, Rd, Ra, Rb));
+}
+FunctionBuilder &FunctionBuilder::cmpeq(Reg Rd, Reg Ra, Reg Rb) {
+  return emit(Instruction::alu(Op::CmpEq, Width::Q, Rd, Ra, Rb));
+}
+FunctionBuilder &FunctionBuilder::cmpeqImm(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::CmpEq, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::cmplt(Reg Rd, Reg Ra, Reg Rb) {
+  return emit(Instruction::alu(Op::CmpLt, Width::Q, Rd, Ra, Rb));
+}
+FunctionBuilder &FunctionBuilder::cmpltImm(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::CmpLt, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::cmple(Reg Rd, Reg Ra, Reg Rb) {
+  return emit(Instruction::alu(Op::CmpLe, Width::Q, Rd, Ra, Rb));
+}
+FunctionBuilder &FunctionBuilder::cmpleImm(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::CmpLe, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::cmpult(Reg Rd, Reg Ra, Reg Rb) {
+  return emit(Instruction::alu(Op::CmpUlt, Width::Q, Rd, Ra, Rb));
+}
+FunctionBuilder &FunctionBuilder::cmpultImm(Reg Rd, Reg Ra, int64_t Imm) {
+  return emit(Instruction::aluImm(Op::CmpUlt, Width::Q, Rd, Ra, Imm));
+}
+FunctionBuilder &FunctionBuilder::msk(Width W, Reg Rd, Reg Ra,
+                                      unsigned ByteOffset) {
+  return emit(Instruction::msk(W, Rd, Ra, ByteOffset));
+}
+FunctionBuilder &FunctionBuilder::sext(Width W, Reg Rd, Reg Ra) {
+  return emit(Instruction::sext(W, Rd, Ra));
+}
+FunctionBuilder &FunctionBuilder::ld(Width W, Reg Rd, Reg Base,
+                                     int64_t Offset) {
+  return emit(Instruction::load(W, Rd, Base, Offset));
+}
+FunctionBuilder &FunctionBuilder::st(Width W, Reg Value, Reg Base,
+                                     int64_t Offset) {
+  return emit(Instruction::store(W, Value, Base, Offset));
+}
+
+FunctionBuilder &FunctionBuilder::br(const std::string &Target) {
+  int32_t T = blockId(Target);
+  emit(Instruction::br(T));
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::condBr(Op O, Reg Ra,
+                                         const std::string &Taken,
+                                         const std::string &Fall) {
+  int32_t T = blockId(Taken);
+  int32_t F = blockId(Fall);
+  emit(Instruction::condBr(O, Ra, T));
+  func().Blocks[CurBlock].FallthroughSucc = F;
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::beq(Reg Ra, const std::string &Taken,
+                                      const std::string &Fall) {
+  return condBr(Op::Beq, Ra, Taken, Fall);
+}
+FunctionBuilder &FunctionBuilder::bne(Reg Ra, const std::string &Taken,
+                                      const std::string &Fall) {
+  return condBr(Op::Bne, Ra, Taken, Fall);
+}
+FunctionBuilder &FunctionBuilder::blt(Reg Ra, const std::string &Taken,
+                                      const std::string &Fall) {
+  return condBr(Op::Blt, Ra, Taken, Fall);
+}
+FunctionBuilder &FunctionBuilder::ble(Reg Ra, const std::string &Taken,
+                                      const std::string &Fall) {
+  return condBr(Op::Ble, Ra, Taken, Fall);
+}
+FunctionBuilder &FunctionBuilder::bgt(Reg Ra, const std::string &Taken,
+                                      const std::string &Fall) {
+  return condBr(Op::Bgt, Ra, Taken, Fall);
+}
+FunctionBuilder &FunctionBuilder::bge(Reg Ra, const std::string &Taken,
+                                      const std::string &Fall) {
+  return condBr(Op::Bge, Ra, Taken, Fall);
+}
+
+FunctionBuilder &FunctionBuilder::jsr(const std::string &Callee) {
+  emit(Instruction::jsr(NoTarget));
+  Parent.CallFixups.push_back({FuncId, CurBlock,
+                               func().Blocks[CurBlock].Insts.size() - 1,
+                               Callee});
+  return *this;
+}
+
+FunctionBuilder &FunctionBuilder::ret() { return emit(Instruction::ret()); }
+FunctionBuilder &FunctionBuilder::halt() { return emit(Instruction::halt()); }
+FunctionBuilder &FunctionBuilder::out(Reg Ra) {
+  return emit(Instruction::out(Ra));
+}
+
+ProgramBuilder::ProgramBuilder() = default;
+
+FunctionBuilder &ProgramBuilder::beginFunction(const std::string &Name) {
+  for (auto &FB : Builders)
+    if (P.Funcs[FB->id()].Name == Name)
+      return *FB;
+  Function &F = P.addFunction(Name);
+  if (EntryName.empty())
+    EntryName = Name;
+  Builders.emplace_back(new FunctionBuilder(*this, F.Id));
+  return *Builders.back();
+}
+
+void ProgramBuilder::setEntry(const std::string &Name) { EntryName = Name; }
+
+Program ProgramBuilder::finish() {
+  for (const CallFixup &Fix : CallFixups) {
+    Function *Callee = P.findFunction(Fix.Callee);
+    assert(Callee && "call to undefined function");
+    P.Funcs[Fix.FuncId].Blocks[Fix.BlockId].Insts[Fix.InstIndex].Callee =
+        Callee->Id;
+  }
+  const Function *Entry = P.findFunction(EntryName);
+  assert(Entry && "entry function missing");
+  P.EntryFunc = Entry->Id;
+
+  std::string Diag;
+  bool Ok = verifyProgram(P, &Diag);
+  assert(Ok && "builder produced a malformed program");
+  (void)Ok;
+  return std::move(P);
+}

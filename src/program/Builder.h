@@ -1,0 +1,174 @@
+//===- program/Builder.h - Fluent program construction ----------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builders for constructing programs in C++ (the synthetic SpecInt95
+/// stand-ins and most tests use this; the assembler is the other entry
+/// point). Blocks are named; forward references are resolved on demand.
+/// Switching blocks while the current block lacks a terminator installs a
+/// fallthrough edge, so straight-line code reads naturally:
+///
+/// \code
+///   ProgramBuilder PB;
+///   FunctionBuilder &Main = PB.beginFunction("main");
+///   Main.ldi(RegT0, 0);
+///   Main.block("loop");
+///   Main.addi(RegT0, RegT0, 1);
+///   Main.cmpltImm(RegT1, RegT0, 100);
+///   Main.bne(RegT1, "loop", "exit");
+///   Main.block("exit");
+///   Main.halt();
+///   Program P = PB.finish();
+/// \endcode
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_PROGRAM_BUILDER_H
+#define OG_PROGRAM_BUILDER_H
+
+#include "program/Program.h"
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace og {
+
+class ProgramBuilder;
+
+/// Builds one function. Obtain from ProgramBuilder::beginFunction.
+class FunctionBuilder {
+public:
+  /// Switches emission to the (possibly new) block named \p Label. If the
+  /// current block has no terminator, a fallthrough edge to \p Label is
+  /// installed.
+  FunctionBuilder &block(const std::string &Label);
+
+  /// Emits a raw instruction into the current block.
+  FunctionBuilder &emit(Instruction I);
+
+  // --- ALU conveniences (all default to width Q; the narrowing pass
+  // assigns final widths).
+  FunctionBuilder &ldi(Reg Rd, int64_t Imm);
+  FunctionBuilder &mov(Reg Rd, Reg Ra);
+  FunctionBuilder &add(Reg Rd, Reg Ra, Reg Rb);
+  FunctionBuilder &addi(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &sub(Reg Rd, Reg Ra, Reg Rb);
+  FunctionBuilder &subi(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &mul(Reg Rd, Reg Ra, Reg Rb);
+  FunctionBuilder &muli(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &and_(Reg Rd, Reg Ra, Reg Rb);
+  FunctionBuilder &andi(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &or_(Reg Rd, Reg Ra, Reg Rb);
+  FunctionBuilder &ori(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &xor_(Reg Rd, Reg Ra, Reg Rb);
+  FunctionBuilder &xori(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &slli(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &srli(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &srai(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &sll(Reg Rd, Reg Ra, Reg Rb);
+  FunctionBuilder &srl(Reg Rd, Reg Ra, Reg Rb);
+  FunctionBuilder &cmpeq(Reg Rd, Reg Ra, Reg Rb);
+  FunctionBuilder &cmpeqImm(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &cmplt(Reg Rd, Reg Ra, Reg Rb);
+  FunctionBuilder &cmpltImm(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &cmple(Reg Rd, Reg Ra, Reg Rb);
+  FunctionBuilder &cmpleImm(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &cmpult(Reg Rd, Reg Ra, Reg Rb);
+  FunctionBuilder &cmpultImm(Reg Rd, Reg Ra, int64_t Imm);
+  FunctionBuilder &msk(Width W, Reg Rd, Reg Ra, unsigned ByteOffset);
+  FunctionBuilder &sext(Width W, Reg Rd, Reg Ra);
+
+  // --- Memory.
+  FunctionBuilder &ld(Width W, Reg Rd, Reg Base, int64_t Offset);
+  FunctionBuilder &st(Width W, Reg Value, Reg Base, int64_t Offset);
+
+  // --- Control flow. Targets are block labels; condBr names both the taken
+  // label and the fallthrough label, and leaves the current block
+  // terminated (the next block() call starts fresh).
+  FunctionBuilder &br(const std::string &Target);
+  FunctionBuilder &beq(Reg Ra, const std::string &Taken,
+                       const std::string &Fall);
+  FunctionBuilder &bne(Reg Ra, const std::string &Taken,
+                       const std::string &Fall);
+  FunctionBuilder &blt(Reg Ra, const std::string &Taken,
+                       const std::string &Fall);
+  FunctionBuilder &ble(Reg Ra, const std::string &Taken,
+                       const std::string &Fall);
+  FunctionBuilder &bgt(Reg Ra, const std::string &Taken,
+                       const std::string &Fall);
+  FunctionBuilder &bge(Reg Ra, const std::string &Taken,
+                       const std::string &Fall);
+  FunctionBuilder &jsr(const std::string &Callee);
+  FunctionBuilder &ret();
+  FunctionBuilder &halt();
+  FunctionBuilder &out(Reg Ra);
+
+  /// The function id within the program.
+  int32_t id() const { return FuncId; }
+
+private:
+  friend class ProgramBuilder;
+  FunctionBuilder(ProgramBuilder &Parent, int32_t FuncId)
+      : Parent(Parent), FuncId(FuncId) {}
+
+  Function &func();
+  int32_t blockId(const std::string &Label);
+  FunctionBuilder &condBr(Op O, Reg Ra, const std::string &Taken,
+                          const std::string &Fall);
+
+  ProgramBuilder &Parent;
+  int32_t FuncId;
+  int32_t CurBlock = NoTarget;
+  std::map<std::string, int32_t> LabelIds;
+};
+
+/// Builds a whole program; resolves cross-function calls by name at
+/// finish() and runs the Verifier.
+class ProgramBuilder {
+public:
+  ProgramBuilder();
+
+  /// Starts (or resumes) building the function named \p Name. The first
+  /// function begun is the program entry unless setEntry overrides it.
+  FunctionBuilder &beginFunction(const std::string &Name);
+
+  /// Marks \p Name as the entry function.
+  void setEntry(const std::string &Name);
+
+  /// Data segment helpers (see Program).
+  uint64_t addZeroData(size_t Count) { return P.addZeroData(Count); }
+  uint64_t addQuadData(const std::vector<int64_t> &Vs) {
+    return P.addQuadData(Vs);
+  }
+  uint64_t addByteData(const std::vector<uint8_t> &Bs) {
+    return P.addByteData(Bs);
+  }
+
+  /// Resolves call targets, verifies, and returns the finished program.
+  /// Asserts on malformed input (builder misuse is a programming error).
+  Program finish();
+
+private:
+  friend class FunctionBuilder;
+
+  struct CallFixup {
+    int32_t FuncId;
+    int32_t BlockId;
+    size_t InstIndex;
+    std::string Callee;
+  };
+
+  Program P;
+  std::vector<std::unique_ptr<FunctionBuilder>> Builders;
+  std::vector<CallFixup> CallFixups;
+  std::string EntryName;
+};
+
+} // namespace og
+
+#endif // OG_PROGRAM_BUILDER_H

@@ -1,0 +1,40 @@
+//===- program/Clone.cpp --------------------------------------------------==//
+
+#include "program/Clone.h"
+
+#include "program/Program.h"
+
+#include <cassert>
+
+using namespace og;
+
+std::map<int32_t, int32_t>
+og::cloneRegion(Function &F, const std::vector<int32_t> &Region) {
+  std::map<int32_t, int32_t> Mapping;
+  // First pass: allocate clone ids (stable, in Region order).
+  int32_t NextId = static_cast<int32_t>(F.Blocks.size());
+  for (int32_t Old : Region) {
+    assert(Old >= 0 && static_cast<size_t>(Old) < F.Blocks.size() &&
+           "region block out of range");
+    assert(!Mapping.count(Old) && "duplicate block in region");
+    Mapping[Old] = NextId++;
+  }
+  // Second pass: copy blocks and remap intra-region control flow.
+  for (int32_t Old : Region) {
+    BasicBlock Copy = F.Blocks[Old]; // by value: F.Blocks may reallocate
+    Copy.Id = Mapping[Old];
+    if (!Copy.Label.empty())
+      Copy.Label += ".clone";
+    auto remap = [&](int32_t Id) {
+      auto It = Mapping.find(Id);
+      return It == Mapping.end() ? Id : It->second;
+    };
+    if (Copy.FallthroughSucc != NoTarget)
+      Copy.FallthroughSucc = remap(Copy.FallthroughSucc);
+    for (Instruction &I : Copy.Insts)
+      if (I.Target != NoTarget)
+        I.Target = remap(I.Target);
+    F.Blocks.push_back(std::move(Copy));
+  }
+  return Mapping;
+}

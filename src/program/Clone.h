@@ -1,0 +1,36 @@
+//===- program/Clone.h - Block-region cloning --------------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Region cloning, the mechanical half of Value Range Specialization
+/// (paper Section 3.4: "VRS basically duplicates the regions of code that
+/// are affected by the specialization"). Cloned blocks are appended to the
+/// function; branches between two cloned blocks are remapped to the clones,
+/// branches leaving the region keep their original targets.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_PROGRAM_CLONE_H
+#define OG_PROGRAM_CLONE_H
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace og {
+
+struct Function;
+
+/// Clones the blocks listed in \p Region (ids into \p F) and appends the
+/// clones to \p F. Returns the old-id -> new-id mapping. Intra-region edges
+/// are redirected to the clones; edges exiting the region are left pointing
+/// at the original blocks.
+std::map<int32_t, int32_t> cloneRegion(Function &F,
+                                       const std::vector<int32_t> &Region);
+
+} // namespace og
+
+#endif // OG_PROGRAM_CLONE_H

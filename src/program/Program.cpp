@@ -1,0 +1,93 @@
+//===- program/Program.cpp ------------------------------------------------==//
+
+#include "program/Program.h"
+
+#include <cassert>
+
+using namespace og;
+
+void BasicBlock::successors(std::vector<int32_t> &Out) const {
+  Out.clear();
+  if (const Instruction *Term = terminator()) {
+    if (Term->Target != NoTarget)
+      Out.push_back(Term->Target);
+    if (Term->isCondBranch() && FallthroughSucc != NoTarget &&
+        FallthroughSucc != Term->Target)
+      Out.push_back(FallthroughSucc);
+    return;
+  }
+  if (FallthroughSucc != NoTarget)
+    Out.push_back(FallthroughSucc);
+}
+
+BasicBlock &Function::addBlock(std::string Label) {
+  BasicBlock BB;
+  BB.Id = static_cast<int32_t>(Blocks.size());
+  BB.Label = std::move(Label);
+  Blocks.push_back(std::move(BB));
+  return Blocks.back();
+}
+
+size_t Function::numInstructions() const {
+  size_t N = 0;
+  for (const BasicBlock &BB : Blocks)
+    N += BB.Insts.size();
+  return N;
+}
+
+Function &Program::addFunction(std::string Name) {
+  Function F;
+  F.Id = static_cast<int32_t>(Funcs.size());
+  F.Name = std::move(Name);
+  Funcs.push_back(std::move(F));
+  return Funcs.back();
+}
+
+const Function *Program::findFunction(const std::string &Name) const {
+  for (const Function &F : Funcs)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+Function *Program::findFunction(const std::string &Name) {
+  for (Function &F : Funcs)
+    if (F.Name == Name)
+      return &F;
+  return nullptr;
+}
+
+size_t Program::numInstructions() const {
+  size_t N = 0;
+  for (const Function &F : Funcs)
+    N += F.numInstructions();
+  return N;
+}
+
+uint64_t Program::addZeroData(size_t Count) {
+  while (Data.size() % 8 != 0)
+    Data.push_back(0);
+  uint64_t Addr = DataBase + Data.size();
+  Data.resize(Data.size() + Count, 0);
+  return Addr;
+}
+
+uint64_t Program::addQuadData(const std::vector<int64_t> &Values) {
+  while (Data.size() % 8 != 0)
+    Data.push_back(0);
+  uint64_t Addr = DataBase + Data.size();
+  for (int64_t V : Values) {
+    uint64_t U = static_cast<uint64_t>(V);
+    for (int I = 0; I < 8; ++I)
+      Data.push_back(static_cast<uint8_t>(U >> (8 * I)));
+  }
+  return Addr;
+}
+
+uint64_t Program::addByteData(const std::vector<uint8_t> &Bytes) {
+  while (Data.size() % 8 != 0)
+    Data.push_back(0);
+  uint64_t Addr = DataBase + Data.size();
+  Data.insert(Data.end(), Bytes.begin(), Bytes.end());
+  return Addr;
+}

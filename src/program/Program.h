@@ -1,0 +1,107 @@
+//===- program/Program.h - Whole-program container ---------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The binary-level program representation the optimizer works on: a
+/// program is a list of functions; a function is a list of basic blocks; a
+/// block is a list of instructions plus an explicit fallthrough successor.
+/// This mirrors what a link-time optimizer like Alto reconstructs from a
+/// final binary: whole-program code (including "library" functions), direct
+/// control flow, and a flat initialized data segment.
+///
+/// Control-flow conventions (checked by the Verifier):
+///  - a block ends either with a terminator (br/ret/halt/conditional
+///    branch) or falls through; conditional branches and fallthrough blocks
+///    carry a valid FallthroughSucc; br/ret/halt carry none;
+///  - block ids equal their index within the function; function ids equal
+///    their index within the program.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_PROGRAM_PROGRAM_H
+#define OG_PROGRAM_PROGRAM_H
+
+#include "isa/Instruction.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace og {
+
+/// A basic block: straight-line instructions plus structural successor
+/// information.
+struct BasicBlock {
+  int32_t Id = 0;
+  std::string Label; ///< optional, used by the (dis)assembler
+  std::vector<Instruction> Insts;
+  /// Successor taken when the terminator is a not-taken conditional branch,
+  /// or when the block simply falls through. NoTarget when the block ends in
+  /// br/ret/halt.
+  int32_t FallthroughSucc = NoTarget;
+
+  /// The terminator if the last instruction is one, else nullptr
+  /// (fallthrough block).
+  const Instruction *terminator() const {
+    if (!Insts.empty() && Insts.back().isTerminator())
+      return &Insts.back();
+    return nullptr;
+  }
+
+  /// Collects successor block ids in deterministic order (taken target
+  /// first, then fallthrough).
+  void successors(std::vector<int32_t> &Out) const;
+};
+
+/// A function: an entry block plus a block list. Arguments arrive in
+/// a0..a5, the result leaves in v0 (isa/Registers.h).
+struct Function {
+  int32_t Id = 0;
+  std::string Name;
+  std::vector<BasicBlock> Blocks;
+  int32_t EntryBlock = 0;
+
+  /// Appends an empty block and returns it (id = index).
+  BasicBlock &addBlock(std::string Label = "");
+
+  /// Total instruction count across all blocks.
+  size_t numInstructions() const;
+};
+
+/// A whole program: functions, an entry function, and an initialized data
+/// segment mapped at DataBase in the machine's flat memory.
+struct Program {
+  /// Where the data segment is mapped in simulated memory.
+  static constexpr uint64_t DataBase = 0x10000;
+
+  std::vector<Function> Funcs;
+  int32_t EntryFunc = 0;
+  std::vector<uint8_t> Data;
+
+  /// Appends an empty function and returns it (id = index).
+  Function &addFunction(std::string Name);
+
+  /// Finds a function by name; nullptr when absent.
+  const Function *findFunction(const std::string &Name) const;
+  Function *findFunction(const std::string &Name);
+
+  /// Total instruction count across all functions.
+  size_t numInstructions() const;
+
+  /// Appends \p Count zero bytes to the data segment, 8-byte aligned;
+  /// returns the simulated address of the first byte.
+  uint64_t addZeroData(size_t Count);
+
+  /// Appends 64-bit little-endian words; returns the address of the first.
+  uint64_t addQuadData(const std::vector<int64_t> &Values);
+
+  /// Appends raw bytes; returns the address of the first.
+  uint64_t addByteData(const std::vector<uint8_t> &Bytes);
+};
+
+} // namespace og
+
+#endif // OG_PROGRAM_PROGRAM_H

@@ -1,0 +1,107 @@
+//===- program/Verifier.cpp -----------------------------------------------==//
+
+#include "program/Verifier.h"
+
+#include "program/Program.h"
+
+#include <cstdio>
+
+using namespace og;
+
+namespace {
+
+bool fail(std::string *Diag, const std::string &Message) {
+  if (Diag)
+    *Diag = Message;
+  return false;
+}
+
+std::string loc(const Function &F, const BasicBlock &BB, size_t InstIdx) {
+  char Buf[96];
+  std::snprintf(Buf, sizeof(Buf), "%s:bb%d:%zu: ", F.Name.c_str(), BB.Id,
+                InstIdx);
+  return Buf;
+}
+
+} // namespace
+
+bool og::verifyFunction(const Program &P, const Function &F,
+                        std::string *Diag) {
+  if (F.Blocks.empty())
+    return fail(Diag, F.Name + ": function has no blocks");
+  if (F.EntryBlock < 0 ||
+      static_cast<size_t>(F.EntryBlock) >= F.Blocks.size())
+    return fail(Diag, F.Name + ": entry block id out of range");
+
+  auto validBlock = [&](int32_t Id) {
+    return Id >= 0 && static_cast<size_t>(Id) < F.Blocks.size();
+  };
+
+  for (size_t BI = 0; BI < F.Blocks.size(); ++BI) {
+    const BasicBlock &BB = F.Blocks[BI];
+    if (BB.Id != static_cast<int32_t>(BI))
+      return fail(Diag, F.Name + ": block id does not match its index");
+    if (BB.Insts.empty() && BB.FallthroughSucc == NoTarget)
+      return fail(Diag, F.Name + ": empty block without fallthrough");
+
+    for (size_t II = 0; II < BB.Insts.size(); ++II) {
+      const Instruction &I = BB.Insts[II];
+      const OpInfo &Info = I.info();
+
+      if (I.isTerminator() && II + 1 != BB.Insts.size())
+        return fail(Diag, loc(F, BB, II) + "terminator not at block end");
+
+      if (I.Rd >= NumRegs || I.Ra >= NumRegs || I.Rb >= NumRegs)
+        return fail(Diag, loc(F, BB, II) + "register out of range");
+
+      if (I.Opc == Op::Msk && (I.Imm < 0 || I.Imm > 7))
+        return fail(Diag, loc(F, BB, II) + "msk byte offset out of range");
+
+      if (Info.IsCondBranch || I.Opc == Op::Br) {
+        if (!validBlock(I.Target))
+          return fail(Diag, loc(F, BB, II) + "branch target out of range");
+      } else if (I.Target != NoTarget) {
+        return fail(Diag, loc(F, BB, II) + "non-branch carries a target");
+      }
+
+      if (I.Opc == Op::Jsr) {
+        if (I.Callee < 0 ||
+            static_cast<size_t>(I.Callee) >= P.Funcs.size())
+          return fail(Diag, loc(F, BB, II) + "call target out of range");
+      } else if (I.Callee != NoTarget) {
+        return fail(Diag, loc(F, BB, II) + "non-call carries a callee");
+      }
+    }
+
+    const Instruction *Term = BB.terminator();
+    if (Term) {
+      if (Term->isCondBranch()) {
+        if (!validBlock(BB.FallthroughSucc))
+          return fail(Diag, F.Name +
+                                ": conditional branch without fallthrough");
+      } else if (BB.FallthroughSucc != NoTarget) {
+        return fail(Diag,
+                    F.Name + ": br/ret/halt block carries a fallthrough");
+      }
+    } else if (!validBlock(BB.FallthroughSucc)) {
+      return fail(Diag, F.Name + ": fallthrough block without successor");
+    }
+  }
+  return true;
+}
+
+bool og::verifyProgram(const Program &P, std::string *Diag) {
+  if (P.Funcs.empty())
+    return fail(Diag, "program has no functions");
+  if (P.EntryFunc < 0 ||
+      static_cast<size_t>(P.EntryFunc) >= P.Funcs.size())
+    return fail(Diag, "entry function id out of range");
+
+  for (size_t FI = 0; FI < P.Funcs.size(); ++FI) {
+    if (P.Funcs[FI].Id != static_cast<int32_t>(FI))
+      return fail(Diag, "function id does not match its index");
+    if (!verifyFunction(P, P.Funcs[FI], Diag))
+      return false;
+  }
+  return true;
+}

@@ -1,0 +1,36 @@
+//===- program/Verifier.h - Structural well-formedness ----------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Checks the structural invariants documented in program/Program.h. Every
+/// transformation in the repository (narrowing, specialization, cloning)
+/// re-verifies its output in tests, making the verifier the first line of
+/// defense against malformed rewrites.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_PROGRAM_VERIFIER_H
+#define OG_PROGRAM_VERIFIER_H
+
+#include <string>
+
+namespace og {
+
+struct Program;
+struct Function;
+
+/// Verifies one function; on failure returns false and, if \p Diag is
+/// non-null, stores a one-line description of the first problem found.
+bool verifyFunction(const Program &P, const Function &F,
+                    std::string *Diag = nullptr);
+
+/// Verifies the whole program (all functions, entry, call targets, data
+/// segment sanity).
+bool verifyProgram(const Program &P, std::string *Diag = nullptr);
+
+} // namespace og
+
+#endif // OG_PROGRAM_VERIFIER_H

@@ -1,0 +1,109 @@
+//===- sim/Interpreter.h - Functional simulator ------------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Executes a Program to completion, implementing the narrow-operand
+/// semantics the whole project depends on: a width-w operation reads the
+/// low w bits of its sources, computes modulo 2^w, and sign-extends the
+/// result to 64 bits (loads follow Alpha: byte/halfword zero-extend, word
+/// sign-extends). Because opcode widths change program state in this model,
+/// running the original and the narrowed binaries and comparing their
+/// output streams is a complete end-to-end check of VRP/VRS soundness.
+///
+/// The interpreter drives everything downstream: it collects the dynamic
+/// opcode/width histograms (Table 3, Figures 2/7), per-block execution
+/// counts (basic-block profiles for VRS), the dynamic value-size histogram
+/// (Figure 12), and can stream a full dynamic trace into the out-of-order
+/// timing model.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SIM_INTERPRETER_H
+#define OG_SIM_INTERPRETER_H
+
+#include "program/Program.h"
+#include "sim/Machine.h"
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace og {
+
+/// One executed instruction, as seen by trace consumers (profiler, timing
+/// model, power model).
+struct DynInst {
+  const Instruction *I = nullptr;
+  int32_t Func = 0;
+  int32_t Block = 0;
+  int32_t Index = 0;
+  uint64_t Pc = 0;       ///< synthetic code address (4 bytes/instruction)
+  uint64_t NextPc = 0;   ///< address of the next executed instruction
+  uint64_t SeqPc = 0;    ///< address of the sequentially-next instruction
+  unsigned NumSrcs = 0;
+  int64_t SrcVals[3] = {};
+  bool WroteDest = false;
+  int64_t Result = 0;
+  bool IsMem = false;
+  uint64_t MemAddr = 0;
+  bool IsBranch = false; ///< conditional branch
+  bool Taken = false;
+};
+
+/// Terminal states of a run.
+enum class RunStatus : uint8_t {
+  Halted,      ///< executed HALT (or returned from the entry function)
+  OutOfFuel,   ///< dynamic instruction budget exhausted
+  Fault,       ///< memory fault / stack overflow / missing return
+  CalleeSaveViolation, ///< checked mode: callee clobbered s0..s5/sp
+};
+
+/// Aggregate statistics of one run.
+struct ExecStats {
+  uint64_t DynInsts = 0;
+  /// Dynamic counts by operation class and opcode width.
+  uint64_t ClassWidth[18][4] = {};
+  /// Histogram of significant byte-lengths of produced/stored values
+  /// (index 1..8), the quantity of paper Figure 12.
+  uint64_t ValueSizeBytes[9] = {};
+  /// Per-function, per-block execution counts (basic-block profile).
+  std::vector<std::vector<uint64_t>> BlockCounts;
+
+  uint64_t classWidthTotal() const;
+};
+
+/// Result of a run.
+struct RunResult {
+  RunStatus Status = RunStatus::Halted;
+  std::string Message;
+  ExecStats Stats;
+  std::vector<int64_t> Output;
+};
+
+/// Options for one run.
+struct RunOptions {
+  uint64_t Fuel = 200'000'000; ///< max dynamic instructions
+  MachineConfig Machine;
+  std::vector<int64_t> ArgRegs;  ///< initial a0..a5 (unset = 0)
+  bool CheckCalleeSaved = false; ///< verify the ABI contract (test mode)
+  unsigned MaxCallDepth = 4096;
+  /// Optional dynamic trace consumer; called for every executed
+  /// instruction in order.
+  std::function<void(const DynInst &)> Trace;
+};
+
+/// Executes \p P under \p Options.
+RunResult runProgram(const Program &P, const RunOptions &Options);
+
+/// Computes the same per-instruction width-w ALU result the interpreter
+/// would (exposed so tests and the VRP transfer functions can cross-check
+/// against it). Returns the sign-extended 64-bit result.
+int64_t evalAluOp(Op O, Width W, int64_t A, int64_t B, int64_t OldRd);
+
+} // namespace og
+
+#endif // OG_SIM_INTERPRETER_H

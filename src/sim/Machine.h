@@ -1,0 +1,73 @@
+//===- sim/Machine.h - Architectural machine state ---------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Architectural state for the functional simulator: 32 integer registers
+/// (r31 hardwired to zero), a flat little-endian memory, and the output
+/// stream written by the OUT instruction. The output stream is the
+/// observable behavior that every program transformation must preserve —
+/// the project's end-to-end correctness oracle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SIM_MACHINE_H
+#define OG_SIM_MACHINE_H
+
+#include "isa/Registers.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace og {
+
+/// Sizing knobs for the simulated machine.
+struct MachineConfig {
+  size_t MemBytes = 8u << 20; ///< flat memory size
+};
+
+/// Registers + memory + output stream.
+class Machine {
+public:
+  explicit Machine(const MachineConfig &Config);
+
+  int64_t readReg(Reg R) const { return R == RegZero ? 0 : Regs[R]; }
+  void writeReg(Reg R, int64_t V) {
+    if (R != RegZero)
+      Regs[R] = V;
+  }
+
+  size_t memSize() const { return Mem.size(); }
+
+  /// Little-endian load of \p Bytes (1/2/4/8) at \p Addr. Sets the fault
+  /// flag and returns 0 when out of bounds.
+  uint64_t loadBytes(uint64_t Addr, unsigned Bytes);
+
+  /// Little-endian store of the low \p Bytes of \p Value.
+  void storeBytes(uint64_t Addr, unsigned Bytes, uint64_t Value);
+
+  /// Copies \p Data into memory at \p Addr (used to install the program's
+  /// data segment).
+  void installData(uint64_t Addr, const std::vector<uint8_t> &Data);
+
+  bool faulted() const { return Faulted; }
+  const std::string &faultMessage() const { return FaultMessage; }
+
+  /// The observable output stream (appended by OUT).
+  std::vector<int64_t> Output;
+
+private:
+  void fault(const char *What, uint64_t Addr);
+
+  int64_t Regs[NumRegs] = {};
+  std::vector<uint8_t> Mem;
+  bool Faulted = false;
+  std::string FaultMessage;
+};
+
+} // namespace og
+
+#endif // OG_SIM_MACHINE_H

@@ -1,0 +1,69 @@
+//===- support/Error.h - Lightweight Expected<T> ----------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A minimal Expected<T>: either a value or a diagnostic string. The project
+/// follows the LLVM convention of no exceptions; recoverable errors (e.g.
+/// assembler input) surface through this type, programmatic errors through
+/// assert.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SUPPORT_ERROR_H
+#define OG_SUPPORT_ERROR_H
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace og {
+
+/// Either a T or an error message. Unlike llvm::Expected there is no
+/// must-check enforcement; keep call sites simple.
+template <typename T> class Expected {
+public:
+  /// Constructs a success value.
+  Expected(T Value) : Value(std::move(Value)) {}
+
+  /// Constructs an error. Use the makeError free function for clarity.
+  struct ErrorTag {};
+  Expected(ErrorTag, std::string Message) : Message(std::move(Message)) {}
+
+  explicit operator bool() const { return Value.has_value(); }
+
+  T &operator*() {
+    assert(Value && "dereferencing an error Expected");
+    return *Value;
+  }
+  const T &operator*() const {
+    assert(Value && "dereferencing an error Expected");
+    return *Value;
+  }
+  T *operator->() {
+    assert(Value && "dereferencing an error Expected");
+    return &*Value;
+  }
+
+  /// The diagnostic; only valid when in the error state.
+  const std::string &error() const {
+    assert(!Value && "no error present");
+    return Message;
+  }
+
+private:
+  std::optional<T> Value;
+  std::string Message;
+};
+
+/// Builds an error-state Expected<T> carrying \p Message.
+template <typename T> Expected<T> makeError(std::string Message) {
+  return Expected<T>(typename Expected<T>::ErrorTag{}, std::move(Message));
+}
+
+} // namespace og
+
+#endif // OG_SUPPORT_ERROR_H

@@ -1,0 +1,126 @@
+//===- support/MathExtras.h - Bit and integer helpers ----------*- C++ -*-===//
+//
+// Part of the ogate project: a reproduction of "Software-Controlled
+// Operand-Gating" (Canal, Gonzalez, Smith; CGO 2004).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Small integer utilities used throughout the project: sign extension,
+/// truncation to a byte width, and "how many bytes does this value/range
+/// need" queries. All narrow-value reasoning in the paper is in terms of
+/// 2's-complement sign-extended byte widths (Section 2.4), so these helpers
+/// are the single source of truth for that arithmetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SUPPORT_MATHEXTRAS_H
+#define OG_SUPPORT_MATHEXTRAS_H
+
+#include <cassert>
+#include <cstdint>
+
+namespace og {
+
+/// Sign-extends the low \p Bits bits of \p V to a full int64_t.
+inline int64_t signExtend(uint64_t V, unsigned Bits) {
+  assert(Bits >= 1 && Bits <= 64 && "bit count out of range");
+  if (Bits == 64)
+    return static_cast<int64_t>(V);
+  uint64_t Mask = (uint64_t(1) << Bits) - 1;
+  uint64_t Sign = uint64_t(1) << (Bits - 1);
+  V &= Mask;
+  return static_cast<int64_t>((V ^ Sign) - Sign);
+}
+
+/// Zero-extends the low \p Bits bits of \p V.
+inline uint64_t zeroExtend(uint64_t V, unsigned Bits) {
+  assert(Bits >= 1 && Bits <= 64 && "bit count out of range");
+  if (Bits == 64)
+    return V;
+  return V & ((uint64_t(1) << Bits) - 1);
+}
+
+/// Reinterprets \p V as a \p Bytes-byte 2's-complement value: keeps the low
+/// 8*Bytes bits and sign-extends them to 64 bits. This is exactly what a
+/// width-limited datapath produces for its result (DESIGN.md, narrow-op
+/// semantics).
+inline int64_t truncSignExtend(int64_t V, unsigned Bytes) {
+  assert(Bytes >= 1 && Bytes <= 8 && "byte count out of range");
+  return signExtend(static_cast<uint64_t>(V), Bytes * 8);
+}
+
+/// Returns true if \p V is exactly representable as a sign-extended
+/// \p Bytes-byte value.
+inline bool fitsSignedBytes(int64_t V, unsigned Bytes) {
+  return truncSignExtend(V, Bytes) == V;
+}
+
+/// Returns true if \p V is representable as a zero-extended \p Bytes-byte
+/// value, i.e. 0 <= V < 2^(8*Bytes).
+inline bool fitsUnsignedBytes(int64_t V, unsigned Bytes) {
+  assert(Bytes >= 1 && Bytes <= 8 && "byte count out of range");
+  if (V < 0)
+    return false;
+  if (Bytes == 8)
+    return true;
+  return static_cast<uint64_t>(V) < (uint64_t(1) << (Bytes * 8));
+}
+
+/// Minimal number of bytes (1..8) such that \p V survives
+/// truncate-and-sign-extend. This is the "significant bytes" definition used
+/// by the hardware significance-compression scheme [Canal et al., MICRO'00].
+inline unsigned significantBytes(int64_t V) {
+  for (unsigned Bytes = 1; Bytes < 8; ++Bytes)
+    if (fitsSignedBytes(V, Bytes))
+      return Bytes;
+  return 8;
+}
+
+/// Minimal number of bytes (1..8) needed to hold every value in
+/// [\p Min, \p Max] as a sign-extended narrow value. Requires Min <= Max.
+inline unsigned bytesForSignedRange(int64_t Min, int64_t Max) {
+  assert(Min <= Max && "malformed range");
+  unsigned A = significantBytes(Min);
+  unsigned B = significantBytes(Max);
+  return A > B ? A : B;
+}
+
+/// Saturating addition on int64_t (no UB on overflow).
+inline int64_t saturatingAdd(int64_t A, int64_t B) {
+  __int128 R = static_cast<__int128>(A) + B;
+  if (R > INT64_MAX)
+    return INT64_MAX;
+  if (R < INT64_MIN)
+    return INT64_MIN;
+  return static_cast<int64_t>(R);
+}
+
+/// Saturating subtraction on int64_t (no UB on overflow).
+inline int64_t saturatingSub(int64_t A, int64_t B) {
+  __int128 R = static_cast<__int128>(A) - B;
+  if (R > INT64_MAX)
+    return INT64_MAX;
+  if (R < INT64_MIN)
+    return INT64_MIN;
+  return static_cast<int64_t>(R);
+}
+
+/// Wrapping (2's-complement) arithmetic helpers; signed overflow is UB in
+/// C++, so route through unsigned.
+inline int64_t wrapAdd(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) +
+                              static_cast<uint64_t>(B));
+}
+inline int64_t wrapSub(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) -
+                              static_cast<uint64_t>(B));
+}
+inline int64_t wrapMul(int64_t A, int64_t B) {
+  return static_cast<int64_t>(static_cast<uint64_t>(A) *
+                              static_cast<uint64_t>(B));
+}
+
+} // namespace og
+
+#endif // OG_SUPPORT_MATHEXTRAS_H

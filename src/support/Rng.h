@@ -1,0 +1,50 @@
+//===- support/Rng.h - Deterministic RNG ------------------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// SplitMix64: a tiny, fully deterministic generator. Workload input
+/// generation and property tests use this so every run of the suite sees
+/// exactly the same data (DESIGN.md: determinism).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SUPPORT_RNG_H
+#define OG_SUPPORT_RNG_H
+
+#include <cstdint>
+
+namespace og {
+
+/// SplitMix64 generator (public-domain constants).
+class Rng {
+public:
+  explicit Rng(uint64_t Seed) : State(Seed) {}
+
+  /// Next 64 uniformly distributed bits.
+  uint64_t next() {
+    State += 0x9E3779B97F4A7C15ull;
+    uint64_t Z = State;
+    Z = (Z ^ (Z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    Z = (Z ^ (Z >> 27)) * 0x94D049BB133111EBull;
+    return Z ^ (Z >> 31);
+  }
+
+  /// Uniform value in [0, Bound), Bound > 0.
+  uint64_t below(uint64_t Bound) { return next() % Bound; }
+
+  /// Uniform value in [Lo, Hi] (inclusive), Lo <= Hi.
+  int64_t range(int64_t Lo, int64_t Hi) {
+    return Lo + static_cast<int64_t>(
+                    below(static_cast<uint64_t>(Hi - Lo) + 1));
+  }
+
+private:
+  uint64_t State;
+};
+
+} // namespace og
+
+#endif // OG_SUPPORT_RNG_H

@@ -1,0 +1,31 @@
+//===- support/Statistic.cpp ----------------------------------------------==//
+
+#include "support/Statistic.h"
+
+#include <ostream>
+
+using namespace og;
+
+void StatisticSet::add(const std::string &Name, uint64_t Delta) {
+  for (auto &E : Entries) {
+    if (E.first == Name) {
+      E.second += Delta;
+      return;
+    }
+  }
+  Entries.emplace_back(Name, Delta);
+}
+
+uint64_t StatisticSet::get(const std::string &Name) const {
+  for (const auto &E : Entries)
+    if (E.first == Name)
+      return E.second;
+  return 0;
+}
+
+void StatisticSet::clear() { Entries.clear(); }
+
+void StatisticSet::print(std::ostream &OS) const {
+  for (const auto &E : Entries)
+    OS << E.second << "\t" << E.first << "\n";
+}

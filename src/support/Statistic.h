@@ -1,0 +1,53 @@
+//===- support/Statistic.h - Named counters --------------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny LLVM-Statistic-style registry of named counters. Passes bump
+/// counters while running; tools dump them in deterministic (registration)
+/// order. Unlike LLVM's, these are instance-based (a StatisticSet is passed
+/// around explicitly) so tests stay hermetic.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SUPPORT_STATISTIC_H
+#define OG_SUPPORT_STATISTIC_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace og {
+
+/// A set of named uint64 counters with deterministic dump order.
+class StatisticSet {
+public:
+  /// Adds \p Delta to the counter named \p Name, creating it at zero first
+  /// if needed.
+  void add(const std::string &Name, uint64_t Delta = 1);
+
+  /// Returns the current value of \p Name (0 if never touched).
+  uint64_t get(const std::string &Name) const;
+
+  /// Removes all counters.
+  void clear();
+
+  /// All counters in first-touch order.
+  const std::vector<std::pair<std::string, uint64_t>> &entries() const {
+    return Entries;
+  }
+
+  /// Prints "value  name" lines, LLVM -stats style.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<std::pair<std::string, uint64_t>> Entries;
+};
+
+} // namespace og
+
+#endif // OG_SUPPORT_STATISTIC_H

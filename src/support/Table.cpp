@@ -1,0 +1,55 @@
+//===- support/Table.cpp --------------------------------------------------==//
+
+#include "support/Table.h"
+
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+
+using namespace og;
+
+void TextTable::addRow(std::vector<std::string> Row) {
+  assert(Row.size() == Header.size() && "row arity mismatch");
+  Rows.push_back(std::move(Row));
+}
+
+std::string TextTable::num(double Value, int Decimals) {
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%.*f", Decimals, Value);
+  return Buf;
+}
+
+std::string TextTable::pct(double Fraction, int Decimals) {
+  return num(Fraction * 100.0, Decimals) + "%";
+}
+
+void TextTable::print(std::ostream &OS) const {
+  std::vector<size_t> Widths(Header.size(), 0);
+  for (size_t I = 0; I < Header.size(); ++I)
+    Widths[I] = Header[I].size();
+  for (const auto &Row : Rows)
+    for (size_t I = 0; I < Row.size(); ++I)
+      if (Row[I].size() > Widths[I])
+        Widths[I] = Row[I].size();
+
+  auto printRow = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      size_t Pad = Widths[I] - Row[I].size();
+      if (I == 0) {
+        // First column left-aligned.
+        OS << Row[I] << std::string(Pad, ' ');
+      } else {
+        OS << std::string(Pad, ' ') << Row[I];
+      }
+      OS << (I + 1 == Row.size() ? "\n" : "  ");
+    }
+  };
+
+  printRow(Header);
+  size_t Total = 0;
+  for (size_t W : Widths)
+    Total += W + 2;
+  OS << std::string(Total > 2 ? Total - 2 : Total, '-') << "\n";
+  for (const auto &Row : Rows)
+    printRow(Row);
+}

@@ -1,0 +1,47 @@
+//===- support/Table.h - Text table printer ---------------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Aligned text tables for the benchmark harnesses that regenerate the
+/// paper's tables/figures. Columns are right-aligned except the first.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SUPPORT_TABLE_H
+#define OG_SUPPORT_TABLE_H
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace og {
+
+/// A simple aligned text table: a header row plus data rows.
+class TextTable {
+public:
+  explicit TextTable(std::vector<std::string> Header)
+      : Header(std::move(Header)) {}
+
+  /// Appends a data row; must have the same arity as the header.
+  void addRow(std::vector<std::string> Row);
+
+  /// Formats a double with \p Decimals digits, e.g. for percentages.
+  static std::string num(double Value, int Decimals = 2);
+
+  /// Formats "12.34%".
+  static std::string pct(double Fraction, int Decimals = 2);
+
+  /// Prints the table with column alignment and a separator rule.
+  void print(std::ostream &OS) const;
+
+private:
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace og
+
+#endif // OG_SUPPORT_TABLE_H

@@ -1,0 +1,65 @@
+//===- uarch/Activity.h - Structure activity interface -----------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The processor structures whose activity the power model accounts
+/// (the rows of paper Figures 3/9/14), and the sink interface through
+/// which the timing core reports accesses. Data-carrying accesses pass
+/// the value and the opcode width so the power layer can apply any
+/// operand-gating scheme (software opcode widths, hardware significance
+/// or size tags, or the combination).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_UARCH_ACTIVITY_H
+#define OG_UARCH_ACTIVITY_H
+
+#include "isa/Width.h"
+
+#include <cstdint>
+
+namespace og {
+
+/// Processor structures, in the paper's Figure 9 order.
+enum class Structure : uint8_t {
+  Rename,
+  BPred,
+  IQueue,
+  Rob,
+  RenameBufs,
+  Lsq,
+  RegFile,
+  ICache,
+  DCacheL1,
+  DCacheL2,
+  IntAlu,
+  ResultBus,
+};
+constexpr unsigned NumStructures = 12;
+
+/// Display name ("Rename", "Instruction Queue", ...).
+const char *structureName(Structure S);
+
+/// Receiver of activity events from the timing core.
+class ActivitySink {
+public:
+  virtual ~ActivitySink();
+
+  /// A fixed-energy access (no data payload: tags, predictor arrays,
+  /// address paths, instruction fetch).
+  virtual void access(Structure S) = 0;
+
+  /// A data-carrying access moving \p Value under opcode width
+  /// \p OpcodeW; the power model decides how many byte lanes switch.
+  virtual void dataAccess(Structure S, int64_t Value, Width OpcodeW) = 0;
+
+  /// An extra fixed cost (cache miss handling, line fills).
+  virtual void missPenalty(Structure S) = 0;
+};
+
+} // namespace og
+
+#endif // OG_UARCH_ACTIVITY_H

@@ -1,0 +1,58 @@
+//===- uarch/BranchPredictor.cpp ------------------------------------------==//
+
+#include "uarch/BranchPredictor.h"
+
+#include <cstddef>
+
+using namespace og;
+
+namespace {
+
+void bump(uint8_t &Counter, bool Up) {
+  if (Up && Counter < 3)
+    ++Counter;
+  else if (!Up && Counter > 0)
+    --Counter;
+}
+
+} // namespace
+
+BranchPredictor::BranchPredictor(const UarchConfig &C)
+    : Gshare(C.GshareEntries, 1), Bimodal(C.BimodalEntries, 1),
+      Chooser(C.ChooserEntries, 2),
+      HistoryMask((uint64_t(1) << C.GlobalHistoryBits) - 1) {}
+
+unsigned BranchPredictor::gshareIndex(uint64_t Pc) const {
+  return static_cast<unsigned>(((Pc >> 2) ^ History) % Gshare.size());
+}
+
+bool BranchPredictor::predict(uint64_t Pc) const {
+  bool G = Gshare[gshareIndex(Pc)] >= 2;
+  bool B = Bimodal[(Pc >> 2) % Bimodal.size()] >= 2;
+  bool UseGshare = Chooser[(Pc >> 2) % Chooser.size()] >= 2;
+  return UseGshare ? G : B;
+}
+
+void BranchPredictor::update(uint64_t Pc, bool Taken) {
+  unsigned GIdx = gshareIndex(Pc);
+  size_t BIdx = (Pc >> 2) % Bimodal.size();
+  size_t CIdx = (Pc >> 2) % Chooser.size();
+  bool G = Gshare[GIdx] >= 2;
+  bool B = Bimodal[BIdx] >= 2;
+  // The chooser trains toward the component that was right (when they
+  // disagree).
+  if (G != B)
+    bump(Chooser[CIdx], G == Taken);
+  bump(Gshare[GIdx], Taken);
+  bump(Bimodal[BIdx], Taken);
+  History = ((History << 1) | (Taken ? 1 : 0)) & HistoryMask;
+}
+
+bool BranchPredictor::predictAndUpdate(uint64_t Pc, bool Taken) {
+  ++Lookups;
+  bool Predicted = predict(Pc);
+  if (Predicted != Taken)
+    ++Mispredicts;
+  update(Pc, Taken);
+  return Predicted == Taken;
+}

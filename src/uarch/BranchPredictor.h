@@ -1,0 +1,55 @@
+//===- uarch/BranchPredictor.h - Combined predictor --------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Table 2's combined predictor: a gshare component (64K 2-bit counters,
+/// 16-bit global history) and a bimodal component (2K 2-bit counters)
+/// arbitrated by a 1K-entry chooser.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_UARCH_BRANCHPREDICTOR_H
+#define OG_UARCH_BRANCHPREDICTOR_H
+
+#include "uarch/Config.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace og {
+
+/// Combined gshare + bimodal predictor with a per-PC chooser.
+class BranchPredictor {
+public:
+  explicit BranchPredictor(const UarchConfig &C);
+
+  /// Predicts the direction of the conditional branch at \p Pc.
+  bool predict(uint64_t Pc) const;
+
+  /// Trains all components with the actual outcome.
+  void update(uint64_t Pc, bool Taken);
+
+  uint64_t lookups() const { return Lookups; }
+  uint64_t mispredicts() const { return Mispredicts; }
+
+  /// Convenience: predict, compare, update, count.
+  bool predictAndUpdate(uint64_t Pc, bool Taken);
+
+private:
+  unsigned gshareIndex(uint64_t Pc) const;
+
+  std::vector<uint8_t> Gshare;  ///< 2-bit saturating counters
+  std::vector<uint8_t> Bimodal;
+  std::vector<uint8_t> Chooser; ///< >=2 selects gshare
+  uint64_t History = 0;
+  uint64_t HistoryMask;
+  uint64_t Lookups = 0;
+  uint64_t Mispredicts = 0;
+};
+
+} // namespace og
+
+#endif // OG_UARCH_BRANCHPREDICTOR_H

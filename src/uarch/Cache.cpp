@@ -1,0 +1,53 @@
+//===- uarch/Cache.cpp ----------------------------------------------------==//
+
+#include "uarch/Cache.h"
+
+#include <cassert>
+#include <cstddef>
+
+using namespace og;
+
+namespace {
+
+unsigned log2Exact(unsigned V) {
+  unsigned L = 0;
+  while ((1u << L) < V)
+    ++L;
+  assert((1u << L) == V && "cache geometry must be a power of two");
+  return L;
+}
+
+} // namespace
+
+Cache::Cache(unsigned SizeKB, unsigned Assoc, unsigned LineBytes)
+    : Assoc(Assoc), LineShift(log2Exact(LineBytes)),
+      NumSets(SizeKB * 1024 / LineBytes / Assoc) {
+  assert(NumSets > 0 && "cache too small for its associativity");
+  Ways.resize(static_cast<size_t>(NumSets) * Assoc);
+}
+
+bool Cache::access(uint64_t Addr) {
+  ++Tick;
+  uint64_t Line = Addr >> LineShift;
+  size_t Set = static_cast<size_t>(Line % NumSets) * Assoc;
+  for (size_t W = Set; W < Set + Assoc; ++W) {
+    if (Ways[W].Valid && Ways[W].Tag == Line) {
+      Ways[W].LastUse = Tick;
+      ++Hits;
+      return true;
+    }
+  }
+  // Miss: fill an invalid way if any, else evict the least recently used.
+  size_t Victim = Set;
+  for (size_t W = Set; W < Set + Assoc; ++W) {
+    if (!Ways[W].Valid) {
+      Victim = W;
+      break;
+    }
+    if (Ways[W].LastUse < Ways[Victim].LastUse)
+      Victim = W;
+  }
+  ++Misses;
+  Ways[Victim] = {Line, Tick, true};
+  return false;
+}

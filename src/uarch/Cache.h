@@ -1,0 +1,50 @@
+//===- uarch/Cache.h - Set-associative cache model ----------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A set-associative LRU cache for the timing model (hit/miss and latency
+/// only; data lives in the functional simulator).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_UARCH_CACHE_H
+#define OG_UARCH_CACHE_H
+
+#include <cstdint>
+#include <vector>
+
+namespace og {
+
+/// Tag-only set-associative cache with true-LRU replacement.
+class Cache {
+public:
+  Cache(unsigned SizeKB, unsigned Assoc, unsigned LineBytes);
+
+  /// Accesses \p Addr; returns true on hit and fills the line otherwise.
+  bool access(uint64_t Addr);
+
+  uint64_t hits() const { return Hits; }
+  uint64_t misses() const { return Misses; }
+
+private:
+  struct Way {
+    uint64_t Tag = ~uint64_t(0);
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
+  unsigned Assoc;
+  unsigned LineShift;
+  unsigned NumSets;
+  std::vector<Way> Ways; ///< NumSets * Assoc
+  uint64_t Tick = 0;
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+};
+
+} // namespace og
+
+#endif // OG_UARCH_CACHE_H

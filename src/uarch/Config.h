@@ -1,0 +1,52 @@
+//===- uarch/Config.h - Table 2 machine parameters ---------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The out-of-order machine of paper Table 2. Defaults reproduce the
+/// paper's configuration; tests shrink structures to provoke behavior.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_UARCH_CONFIG_H
+#define OG_UARCH_CONFIG_H
+
+namespace og {
+
+struct UarchConfig {
+  // Front end.
+  unsigned FetchWidth = 4;
+  unsigned DecodeWidth = 4;
+  unsigned RetireWidth = 4;
+  unsigned FrontendDepth = 3;    ///< fetch->rename pipeline stages
+  unsigned MispredictPenalty = 5; ///< redirect bubbles after resolution
+
+  // Window.
+  unsigned MaxInFlight = 64; ///< Table 2: max in-flight instructions
+  unsigned IssueWidth = 4;
+  unsigned NumIntAlu = 3;
+  unsigned NumIntMul = 1;
+  unsigned MemPorts = 3; ///< Table 2: 3 R/W D-cache ports
+
+  // Branch predictor (combined, Table 2).
+  unsigned ChooserEntries = 1024;
+  unsigned GshareEntries = 65536;
+  unsigned GlobalHistoryBits = 16;
+  unsigned BimodalEntries = 2048;
+
+  // Caches.
+  unsigned L1ISizeKB = 64, L1IAssoc = 2, L1ILine = 32, L1IHit = 1;
+  unsigned L1DSizeKB = 64, L1DAssoc = 2, L1DLine = 32, L1DHit = 1;
+  unsigned L1MissToL2 = 6; ///< Table 2: 6-cycle miss penalty
+  unsigned L2SizeKB = 256, L2Assoc = 4, L2Line = 64, L2Hit = 6;
+  unsigned MemFirstChunk = 16, MemInterChunk = 2, MemChunkBytes = 16;
+
+  // Execution latencies.
+  unsigned MulLatency = 7;
+};
+
+} // namespace og
+
+#endif // OG_UARCH_CONFIG_H

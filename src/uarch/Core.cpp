@@ -1,0 +1,205 @@
+//===- uarch/Core.cpp -----------------------------------------------------==//
+
+#include "uarch/Core.h"
+
+#include <algorithm>
+
+using namespace og;
+
+ActivitySink::~ActivitySink() = default;
+
+const char *og::structureName(Structure S) {
+  switch (S) {
+  case Structure::Rename:
+    return "Rename";
+  case Structure::BPred:
+    return "Branch Predictor";
+  case Structure::IQueue:
+    return "Instruction Queue";
+  case Structure::Rob:
+    return "ROB";
+  case Structure::RenameBufs:
+    return "Rename Buffers";
+  case Structure::Lsq:
+    return "LSQ";
+  case Structure::RegFile:
+    return "Register File";
+  case Structure::ICache:
+    return "I-cache";
+  case Structure::DCacheL1:
+    return "D-cache (L1)";
+  case Structure::DCacheL2:
+    return "D-cache (L2)";
+  case Structure::IntAlu:
+    return "ALU";
+  case Structure::ResultBus:
+    return "Result Bus";
+  }
+  return "?";
+}
+
+OooCore::OooCore(const UarchConfig &Config, ActivitySink *Sink)
+    : Cfg(Config), Sink(Sink), BPred(Config),
+      L1I(Config.L1ISizeKB, Config.L1IAssoc, Config.L1ILine),
+      L1D(Config.L1DSizeKB, Config.L1DAssoc, Config.L1DLine),
+      L2(Config.L2SizeKB, Config.L2Assoc, Config.L2Line),
+      FetchSlots(Config.FetchWidth), RenameSlots(Config.DecodeWidth),
+      RetireSlots(Config.RetireWidth), AluUnits(Config.NumIntAlu),
+      MulUnits(Config.NumIntMul), MemPortSlots(Config.MemPorts),
+      RegReady(NumRegs, 0), RobRetire(Config.MaxInFlight, 0) {}
+
+unsigned OooCore::memLatency(uint64_t Addr) {
+  ++Stats.DL1Accesses;
+  emitFixed(Structure::DCacheL1);
+  if (L1D.access(Addr))
+    return Cfg.L1DHit;
+  ++Stats.DL1Misses;
+  emitMiss(Structure::DCacheL1);
+  ++Stats.L2Accesses;
+  emitFixed(Structure::DCacheL2);
+  if (L2.access(Addr))
+    return Cfg.L1DHit + Cfg.L1MissToL2 + Cfg.L2Hit;
+  ++Stats.L2Misses;
+  emitMiss(Structure::DCacheL2);
+  unsigned Chunks = (Cfg.L2Line + Cfg.MemChunkBytes - 1) / Cfg.MemChunkBytes;
+  unsigned MemLat = Cfg.MemFirstChunk + (Chunks - 1) * Cfg.MemInterChunk;
+  return Cfg.L1DHit + Cfg.L1MissToL2 + Cfg.L2Hit + MemLat;
+}
+
+void OooCore::onInst(const DynInst &D) {
+  const Instruction &I = *D.I;
+  const OpInfo &Info = I.info();
+  ++Stats.Insts;
+
+  // ---- Fetch: bandwidth, I-cache lines, redirect stalls.
+  uint64_t FetchCycle = FetchSlots.schedule(FetchAvail);
+  uint64_t Line = D.Pc / Cfg.L1ILine;
+  if (Line != LastFetchLine) {
+    LastFetchLine = Line;
+    ++Stats.FetchGroups;
+    emitFixed(Structure::ICache);
+    emitFixed(Structure::BPred); // next-fetch-address lookup per group
+    if (!L1I.access(D.Pc)) {
+      ++Stats.ICacheMisses;
+      emitMiss(Structure::ICache);
+      ++Stats.L2Accesses;
+      emitFixed(Structure::DCacheL2);
+      unsigned Extra = Cfg.L1MissToL2;
+      if (!L2.access(D.Pc)) {
+        ++Stats.L2Misses;
+        emitMiss(Structure::DCacheL2);
+        unsigned Chunks =
+            (Cfg.L2Line + Cfg.MemChunkBytes - 1) / Cfg.MemChunkBytes;
+        Extra += Cfg.L2Hit + Cfg.MemFirstChunk +
+                 (Chunks - 1) * Cfg.MemInterChunk;
+      } else {
+        Extra += Cfg.L2Hit;
+      }
+      FetchAvail = std::max(FetchAvail, FetchCycle + Extra);
+    }
+    // Next-line instruction prefetch on every line crossing: sequential
+    // code streams without paying a demand miss per line (charged no
+    // latency; the stats below count demand accesses only).
+    L1I.access(D.Pc + Cfg.L1ILine);
+    L2.access(D.Pc + Cfg.L1ILine);
+  }
+
+  // ---- Rename/dispatch: bandwidth + window occupancy.
+  uint64_t WindowFree = RobRetire[RobHead]; // slot of inst i-MaxInFlight
+  uint64_t RenameCycle = RenameSlots.schedule(
+      std::max(FetchCycle + Cfg.FrontendDepth, WindowFree));
+  emitFixed(Structure::Rename);
+  emitFixed(Structure::Rob);
+  // Dispatch captures source operands into the queue.
+  for (unsigned S = 0; S < D.NumSrcs; ++S)
+    emitData(Structure::IQueue, D.SrcVals[S], I.W);
+  if (D.NumSrcs == 0)
+    emitFixed(Structure::IQueue);
+
+  // ---- Issue: operand readiness + unit availability.
+  uint64_t Ready = RenameCycle + 1;
+  for (unsigned S = 0; S < D.NumSrcs; ++S) {
+    Reg R = I.regSource(S);
+    Ready = std::max(Ready, RegReady[R]);
+    emitData(Structure::RegFile, D.SrcVals[S], I.W);
+  }
+
+  uint64_t IssueCycle = Ready;
+  uint64_t Complete = Ready;
+  switch (Info.Unit) {
+  case ExecUnit::IntMul:
+    IssueCycle = MulUnits.schedule(Ready);
+    Complete = IssueCycle + Cfg.MulLatency;
+    emitData(Structure::IntAlu, D.Result, I.W);
+    break;
+  case ExecUnit::LoadPort: {
+    IssueCycle = MemPortSlots.schedule(std::max(Ready, LastStoreIssue));
+    emitFixed(Structure::Lsq);
+    unsigned Lat = memLatency(D.MemAddr);
+    Complete = IssueCycle + Lat;
+    emitData(Structure::DCacheL1, D.Result, I.W);
+    break;
+  }
+  case ExecUnit::StorePort: {
+    IssueCycle = MemPortSlots.schedule(Ready);
+    LastStoreIssue = std::max(LastStoreIssue, IssueCycle);
+    emitFixed(Structure::Lsq);
+    emitData(Structure::Lsq, D.Result, I.W); // data payload into the queue
+    // The cache write happens at retire; latency charged there is 1.
+    unsigned Lat = memLatency(D.MemAddr);
+    (void)Lat; // stores complete into the LSQ; the line fill still happens
+    emitData(Structure::DCacheL1, D.Result, I.W);
+    Complete = IssueCycle + 1;
+    break;
+  }
+  case ExecUnit::IntAlu:
+    IssueCycle = AluUnits.schedule(Ready);
+    Complete = IssueCycle + Info.LatencyCycles;
+    if (D.WroteDest)
+      emitData(Structure::IntAlu, D.Result, I.W);
+    else
+      emitFixed(Structure::IntAlu);
+    break;
+  case ExecUnit::None:
+    IssueCycle = Ready;
+    Complete = Ready;
+    break;
+  }
+
+  if (D.WroteDest && I.Rd != RegZero) {
+    RegReady[I.Rd] = Complete;
+    emitData(Structure::RenameBufs, D.Result, I.W);
+    emitData(Structure::ResultBus, D.Result, I.W);
+    emitData(Structure::RegFile, D.Result, I.W); // retirement write
+  }
+
+  // ---- Control flow.
+  if (D.IsBranch) {
+    ++Stats.Branches;
+    emitFixed(Structure::BPred);
+    bool Correct = BPred.predictAndUpdate(D.Pc, D.Taken);
+    if (!Correct) {
+      ++Stats.Mispredicts;
+      FetchAvail = std::max(FetchAvail, Complete + Cfg.MispredictPenalty);
+      LastFetchLine = ~uint64_t(0);
+    }
+  } else if (D.NextPc != D.SeqPc) {
+    // Taken jumps/calls/returns break the fetch line.
+    LastFetchLine = ~uint64_t(0);
+  }
+
+  // ---- Retire: in order, bounded width.
+  uint64_t RetireCycle =
+      RetireSlots.schedule(std::max(Complete + 1, PrevRetire));
+  PrevRetire = RetireCycle;
+  emitFixed(Structure::Rob);
+  RobRetire[RobHead] = RetireCycle;
+  RobHead = (RobHead + 1) % RobRetire.size();
+  LastCycle = std::max(LastCycle, RetireCycle);
+}
+
+UarchStats OooCore::finish() {
+  Stats.Cycles = LastCycle + 1;
+  Stats.Mispredicts = BPred.mispredicts();
+  return Stats;
+}

@@ -1,0 +1,120 @@
+//===- uarch/Core.h - Trace-driven out-of-order core -------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A trace-driven timing model of the Table-2 out-of-order machine. It
+/// consumes the functional simulator's dynamic instruction stream and
+/// computes per-instruction fetch/rename/issue/complete/retire cycles
+/// under the structural constraints: fetch and retire bandwidth, a
+/// 64-entry in-flight window, 3 ALUs + 1 multiplier, 3 memory ports,
+/// two-level caches and the combined branch predictor (mispredictions
+/// stall fetch until the branch resolves, plus a redirect penalty).
+///
+/// Every structure touch is reported to an ActivitySink so the power
+/// model can charge it, with values and opcode widths attached where the
+/// access carries data (the operand-gating hook).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_UARCH_CORE_H
+#define OG_UARCH_CORE_H
+
+#include "sim/Interpreter.h"
+#include "uarch/Activity.h"
+#include "uarch/BranchPredictor.h"
+#include "uarch/Cache.h"
+#include "uarch/Config.h"
+
+#include <vector>
+
+namespace og {
+
+/// Timing and event counts of one simulated run.
+struct UarchStats {
+  uint64_t Insts = 0;
+  uint64_t Cycles = 0;
+  uint64_t FetchGroups = 0;
+  uint64_t ICacheMisses = 0;
+  uint64_t DL1Accesses = 0;
+  uint64_t DL1Misses = 0;
+  uint64_t L2Accesses = 0;
+  uint64_t L2Misses = 0;
+  uint64_t Branches = 0;
+  uint64_t Mispredicts = 0;
+
+  double ipc() const {
+    return Cycles ? static_cast<double>(Insts) / Cycles : 0.0;
+  }
+};
+
+/// Feed with onInst() in program order; call finish() once at the end.
+class OooCore {
+public:
+  OooCore(const UarchConfig &Config, ActivitySink *Sink);
+
+  void onInst(const DynInst &D);
+  UarchStats finish();
+
+private:
+  /// A W-slots-per-cycle resource; schedule() returns the cycle granted.
+  class SlotScheduler {
+  public:
+    explicit SlotScheduler(unsigned Slots) : Next(Slots, 0) {}
+    uint64_t schedule(uint64_t Earliest) {
+      size_t Best = 0;
+      for (size_t I = 1; I < Next.size(); ++I)
+        if (Next[I] < Next[Best])
+          Best = I;
+      uint64_t Cycle = Earliest > Next[Best] ? Earliest : Next[Best];
+      Next[Best] = Cycle + 1;
+      return Cycle;
+    }
+
+  private:
+    std::vector<uint64_t> Next;
+  };
+
+  void emitFixed(Structure S) {
+    if (Sink)
+      Sink->access(S);
+  }
+  void emitData(Structure S, int64_t V, Width W) {
+    if (Sink)
+      Sink->dataAccess(S, V, W);
+  }
+  void emitMiss(Structure S) {
+    if (Sink)
+      Sink->missPenalty(S);
+  }
+
+  /// Memory access latency through DL1 -> L2 -> memory; updates caches,
+  /// stats and power events.
+  unsigned memLatency(uint64_t Addr);
+
+  UarchConfig Cfg;
+  ActivitySink *Sink;
+
+  BranchPredictor BPred;
+  Cache L1I, L1D, L2;
+
+  SlotScheduler FetchSlots, RenameSlots, RetireSlots;
+  SlotScheduler AluUnits, MulUnits, MemPortSlots;
+
+  std::vector<uint64_t> RegReady;    ///< arch reg -> value-ready cycle
+  std::vector<uint64_t> RobRetire;   ///< ring of retire cycles
+  size_t RobHead = 0;
+  uint64_t FetchAvail = 0;           ///< next cycle fetch may proceed
+  uint64_t PrevRetire = 0;
+  uint64_t LastStoreIssue = 0;       ///< conservative load/store ordering
+  uint64_t LastFetchLine = ~uint64_t(0);
+  uint64_t LastCycle = 0;
+
+  UarchStats Stats;
+};
+
+} // namespace og
+
+#endif // OG_UARCH_CORE_H

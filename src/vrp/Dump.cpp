@@ -1,0 +1,48 @@
+//===- vrp/Dump.cpp -------------------------------------------------------==//
+
+#include "vrp/Dump.h"
+
+#include "vrp/RangeAnalysis.h"
+
+#include <iomanip>
+#include <ostream>
+
+using namespace og;
+
+void og::dumpFunctionRanges(const Program &P, const Function &F,
+                            const RangeAnalysis &RA, std::ostream &OS) {
+  (void)P;
+  const FunctionRanges &FR = RA.func(F.Id);
+  OS << "function " << F.Name << ":\n";
+  for (const BasicBlock &BB : F.Blocks) {
+    OS << " bb" << BB.Id;
+    if (!BB.Label.empty())
+      OS << " (" << BB.Label << ")";
+    OS << ":\n";
+    for (size_t II = 0; II < BB.Insts.size(); ++II) {
+      const Instruction &I = BB.Insts[II];
+      size_t Id = FR.idOf(BB.Id, static_cast<int32_t>(II));
+      OS << "   " << std::left << std::setw(30) << I.str() << std::right;
+      if (I.info().ReadsRa || I.Opc == Op::Ldi)
+        OS << "  inA=" << FR.InA[Id].str();
+      if (I.readsRbRegister() || (I.info().ReadsRb && I.UseImm))
+        OS << "  inB=" << FR.InB[Id].str();
+      if (I.hasDest() || I.isStore())
+        OS << "  out=" << FR.Out[Id].str();
+      if (FR.MayWrap[Id])
+        OS << "  (may wrap)";
+      OS << "\n";
+    }
+  }
+}
+
+void og::dumpProgramRanges(const Program &P, const RangeAnalysis &RA,
+                           std::ostream &OS) {
+  for (const Function &F : P.Funcs) {
+    dumpFunctionRanges(P, F, RA, OS);
+    OS << "   args:";
+    for (unsigned A = 0; A < NumArgRegs; ++A)
+      OS << " a" << A << "=" << RA.argRange(F.Id, A).str();
+    OS << "\n   ret: v0=" << RA.returnRange(F.Id).str() << "\n\n";
+  }
+}

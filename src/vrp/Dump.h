@@ -1,0 +1,37 @@
+//===- vrp/Dump.h - Analysis result printing ---------------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Human-readable dumps of range-analysis results, in the style of the
+/// paper's Figure 1 walkthrough: each instruction with its operand and
+/// result ranges. Used by `ogate-opt --print-ranges` and by debugging
+/// sessions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_VRP_DUMP_H
+#define OG_VRP_DUMP_H
+
+#include <iosfwd>
+
+namespace og {
+
+struct Program;
+struct Function;
+class RangeAnalysis;
+
+/// Prints every instruction of \p F with its recorded input/output ranges
+/// and wrap flags.
+void dumpFunctionRanges(const Program &P, const Function &F,
+                        const RangeAnalysis &RA, std::ostream &OS);
+
+/// Whole-program variant (all functions, plus interprocedural summaries).
+void dumpProgramRanges(const Program &P, const RangeAnalysis &RA,
+                       std::ostream &OS);
+
+} // namespace og
+
+#endif // OG_VRP_DUMP_H

@@ -1,0 +1,150 @@
+//===- vrp/Narrowing.cpp --------------------------------------------------==//
+
+#include "vrp/Narrowing.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace og;
+
+namespace {
+
+/// Smallest b with V <= 2^(8b)-1, for V >= 0.
+unsigned bytesUnsignedValue(int64_t V) {
+  assert(V >= 0);
+  for (unsigned B = 1; B < 8; ++B)
+    if (static_cast<uint64_t>(V) < (uint64_t(1) << (8 * B)))
+      return B;
+  return 8;
+}
+
+} // namespace
+
+unsigned og::rangeRequiredBytes(const Instruction &I, const ValueRange &InA,
+                                const ValueRange &InB, const ValueRange &Out,
+                                bool MayWrap) {
+  auto maxBytes = [](const ValueRange &X, const ValueRange &Y) {
+    return std::max(X.bytes(), Y.bytes());
+  };
+
+  switch (I.Opc) {
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+    // Exact at width w iff inputs and the true (unwrapped) result fit w.
+    if (MayWrap)
+      return 8;
+    return std::max(maxBytes(InA, InB), Out.bytes());
+  case Op::And:
+  case Op::Or:
+  case Op::Xor:
+  case Op::Bic:
+    // Bitwise on width-fitting operands is exact; the result fits too.
+    return maxBytes(InA, InB);
+  case Op::Sll:
+    if (MayWrap)
+      return 8;
+    // The amount operand reads 6 bits at any width.
+    return std::max(InA.bytes(), Out.bytes());
+  case Op::Srl:
+    // Exact iff the zero-extended narrow operand equals the value.
+    if (InA.isNonNegative() && !InA.isFull())
+      return std::max(InA.bytes(), Out.bytes());
+    return 8;
+  case Op::Sra:
+    return InA.bytes();
+  case Op::CmpEq:
+  case Op::CmpLt:
+  case Op::CmpLe:
+    return maxBytes(InA, InB);
+  case Op::CmpUlt:
+  case Op::CmpUle:
+    // Sign extension preserves unsigned order between two values that both
+    // fit the narrow width, so the signed-fit bound works here as well.
+    return maxBytes(InA, InB);
+  case Op::CmovEq:
+  case Op::CmovNe:
+  case Op::CmovLt:
+  case Op::CmovGe:
+    // Condition and moved value must both be exact; the kept-old-value
+    // path is untouched at any width.
+    return maxBytes(InA, InB);
+  case Op::Msk: {
+    // Shrinkable when the input has no set bits above offset + m bytes.
+    unsigned Cur = widthBytes(I.W);
+    if (InA.isNonNegative() && !InA.isFull()) {
+      unsigned Above = bytesUnsignedValue(InA.max());
+      unsigned Offset = static_cast<unsigned>(I.Imm);
+      unsigned Needed = Above > Offset ? Above - Offset : 1;
+      return std::min(Cur, std::max(1u, Needed));
+    }
+    return Cur;
+  }
+  case Op::Sext:
+  case Op::Mov:
+    // Lossless shrink when the operand already fits fewer bytes.
+    return std::min(widthBytes(I.W), InA.bytes());
+  case Op::Ldi:
+    return significantBytes(I.Imm);
+  case Op::Ld:
+  case Op::St:
+    // Memory widths are semantic; VRP uses them, it does not change them.
+    return widthBytes(I.W);
+  default:
+    return 8;
+  }
+}
+
+unsigned og::requiredBytes(const Instruction &I, const ValueRange &InA,
+                           const ValueRange &InB, const ValueRange &Out,
+                           bool MayWrap, unsigned UsefulBytes) {
+  unsigned RangePath = rangeRequiredBytes(I, InA, InB, Out, MayWrap);
+  unsigned UsefulPath = UsefulWidth::demandSafe(I.Opc) ? UsefulBytes : 8;
+  if (I.Opc == Op::Ld || I.Opc == Op::St)
+    UsefulPath = 8; // memory widths stay untouched
+  return std::max(1u, std::min(RangePath, UsefulPath));
+}
+
+NarrowingReport og::narrowProgram(Program &P, const NarrowingOptions &Opts) {
+  RangeAnalysis RA(P, Opts.Range);
+  for (const EdgeSeed &S : Opts.Seeds)
+    RA.addEdgeConstraint(S.Func, S.From, S.To, S.R, ValueRange(S.Min, S.Max));
+  RA.run();
+
+  NarrowingReport Report;
+  for (Function &F : P.Funcs) {
+    Cfg G(F);
+    ReachingDefs RD(F, G);
+    UsefulWidth::Options UWOpts;
+    UWOpts.ThroughArithmetic = Opts.UsefulThroughArith;
+    UsefulWidth UW(F, RD, UWOpts);
+    const FunctionRanges &FR = RA.func(F.Id);
+
+    for (BasicBlock &BB : F.Blocks) {
+      for (size_t II = 0; II < BB.Insts.size(); ++II) {
+        Instruction &I = BB.Insts[II];
+        ++Report.NumInsts;
+        if (!I.info().HasWidth) {
+          continue;
+        }
+        ++Report.NumWidthBearing;
+        size_t Id = FR.idOf(BB.Id, static_cast<int32_t>(II));
+        unsigned Useful =
+            Opts.UseUsefulWidths ? UW.usefulBytes(Id) : 8;
+        unsigned Bytes = requiredBytes(I, FR.InA[Id], FR.InB[Id],
+                                       FR.Out[Id], FR.MayWrap[Id], Useful);
+        Width Wanted = widthForBytes(Bytes);
+        Width Encodable =
+            encodableWidths(I.Opc, Opts.Policy).narrowestAtLeast(Wanted);
+        // Never widen: the current width is semantic for already-narrow
+        // code.
+        Width Final = std::min(I.W, Encodable);
+        if (Final != I.W)
+          ++Report.NumNarrowed;
+        I.W = Final;
+        ++Report.StaticWidth[static_cast<unsigned>(I.W)];
+      }
+    }
+  }
+  return Report;
+}

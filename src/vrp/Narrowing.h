@@ -1,0 +1,85 @@
+//===- vrp/Narrowing.h - Opcode width assignment -----------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The final step of VRP: "opcodes are assigned using the minimum required
+/// width". For each instruction the pass combines
+///  - the range-based width (exact-semantics narrowing: every operand range
+///    and the result range fit, and the computation cannot wrap), and
+///  - the useful-based width (demand-safe narrowing: consumers only ever
+///    read that many low bytes),
+/// takes the minimum, and picks the narrowest encodable opcode under the
+/// chosen IsaPolicy (paper Section 4.3 discusses the required opcode
+/// extensions; BaseAlpha models the unextended ISA for the ablation).
+///
+/// Loads, stores and other semantics-bearing widths are never changed; no
+/// width is ever increased (re-narrowing already-narrow code can only
+/// shrink further).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_VRP_NARROWING_H
+#define OG_VRP_NARROWING_H
+
+#include "vrp/RangeAnalysis.h"
+#include "vrp/UsefulWidth.h"
+
+namespace og {
+
+/// A guard-established fact injected into the analysis (used by VRS for
+/// specialized regions): on edge From -> To of function Func, register R
+/// lies in [Min, Max].
+struct EdgeSeed {
+  int32_t Func;
+  int32_t From;
+  int32_t To;
+  Reg R;
+  int64_t Min;
+  int64_t Max;
+};
+
+/// Knobs of the narrowing pipeline.
+struct NarrowingOptions {
+  IsaPolicy Policy = IsaPolicy::Extended;
+  /// false = "conventional VRP" (ranges only); true = the paper's proposed
+  /// VRP with useful-range propagation (Figure 2 compares the two).
+  bool UseUsefulWidths = true;
+  /// Ablation: propagate useful demand through arithmetic (off per §2.2.5).
+  bool UsefulThroughArith = false;
+  RangeAnalysis::Options Range;
+  std::vector<EdgeSeed> Seeds;
+};
+
+/// Static width distribution and a few counters.
+struct NarrowingReport {
+  uint64_t StaticWidth[4] = {}; ///< instructions per final width
+  uint64_t NumWidthBearing = 0;
+  uint64_t NumNarrowed = 0; ///< instructions whose width shrank
+  uint64_t NumInsts = 0;
+};
+
+/// Width required by the range-based (exact-semantics) rule for an
+/// instruction with the given analysis facts; 8 when no narrowing is
+/// justified. Exposed separately so VRS can re-evaluate it under a
+/// hypothetical input range.
+unsigned rangeRequiredBytes(const Instruction &I, const ValueRange &InA,
+                            const ValueRange &InB, const ValueRange &Out,
+                            bool MayWrap);
+
+/// Final required bytes combining both rules. \p UsefulBytes is the demand
+/// on the instruction's output (pass 8 to disable the useful rule).
+unsigned requiredBytes(const Instruction &I, const ValueRange &InA,
+                       const ValueRange &InB, const ValueRange &Out,
+                       bool MayWrap, unsigned UsefulBytes);
+
+/// Runs RangeAnalysis (+ UsefulWidth) over \p P and re-encodes every
+/// width-bearing instruction with its minimum encodable width.
+NarrowingReport narrowProgram(Program &P,
+                              const NarrowingOptions &Opts = {});
+
+} // namespace og
+
+#endif // OG_VRP_NARROWING_H

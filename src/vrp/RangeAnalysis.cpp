@@ -1,0 +1,506 @@
+//===- vrp/RangeAnalysis.cpp ----------------------------------------------==//
+
+#include "vrp/RangeAnalysis.h"
+
+#include <cassert>
+
+using namespace og;
+
+RangeAnalysis::RangeAnalysis(const Program &P, Options Opts)
+    : P(P), Opts(Opts) {
+  size_t N = P.Funcs.size();
+  Ctx.resize(N);
+  Results.resize(N);
+  RefinedOut.resize(N);
+  EntryStates.resize(N);
+  EntryStateValid.resize(N);
+  ArgSummary.resize(N);
+  RetSummary.assign(N, ValueRange::full());
+  NextArgs.resize(N);
+  NextArgsSeen.assign(N, 0);
+  NextRet.assign(N, ValueRange::full());
+  NextRetSeen.assign(N, 0);
+  for (auto &A : ArgSummary)
+    A.fill(ValueRange::full());
+
+  for (const Function &F : P.Funcs) {
+    FuncContext &C = Ctx[F.Id];
+    C.G.reset(new Cfg(F));
+    C.DT.reset(new DominatorTree(*C.G));
+    C.LI.reset(new LoopInfo(*C.G, *C.DT));
+    C.RD.reset(new ReachingDefs(F, *C.G));
+
+    FunctionRanges &R = Results[F.Id];
+    R.BlockBase.resize(F.Blocks.size());
+    size_t Count = 0;
+    for (size_t BB = 0; BB < F.Blocks.size(); ++BB) {
+      R.BlockBase[BB] = Count;
+      Count += F.Blocks[BB].Insts.size();
+    }
+    R.Out.assign(Count, ValueRange::full());
+    R.InA.assign(Count, ValueRange::full());
+    R.InB.assign(Count, ValueRange::full());
+    R.OldRd.assign(Count, ValueRange::full());
+    R.MayWrap.assign(Count, 1);
+    RefinedOut[F.Id].assign(Count, ValueRange::full());
+  }
+}
+
+void RangeAnalysis::addEdgeConstraint(int32_t Func, int32_t From, int32_t To,
+                                      Reg R, ValueRange Range) {
+  EdgeSeeds[{Func, From, To}].push_back({R, Range, Width::Q});
+}
+
+ValueRange RangeAnalysis::argRange(int32_t F, unsigned ArgIndex) const {
+  assert(ArgIndex < NumArgRegs && "arg index out of range");
+  return ArgSummary[F][ArgIndex];
+}
+
+ValueRange RangeAnalysis::returnRange(int32_t F) const {
+  return RetSummary[F];
+}
+
+const Instruction *RangeAnalysis::findCmpDef(const BasicBlock &BB) const {
+  const Instruction *Term = BB.terminator();
+  if (!Term || !Term->isCondBranch() || Term->Ra == RegZero)
+    return nullptr;
+  // Nearest in-block definition of the branch condition register; only a
+  // compare yields refinement.
+  for (size_t II = BB.Insts.size() - 1; II-- > 0;) {
+    const Instruction &I = BB.Insts[II];
+    if (!I.hasDest() || I.Rd != Term->Ra)
+      continue;
+    return isCompare(I.Opc) ? &I : nullptr;
+  }
+  return nullptr;
+}
+
+RangeAnalysis::RegState RangeAnalysis::entryState(int32_t F) const {
+  RegState S;
+  S.fill(ValueRange::full());
+  S[RegZero] = ValueRange::constant(0);
+  if (Opts.Interprocedural)
+    for (unsigned A = 0; A < NumArgRegs; ++A)
+      S[RegA0 + A] = ArgSummary[F][A];
+  return S;
+}
+
+void RangeAnalysis::applyEdge(int32_t F, int32_t From, int32_t To,
+                              RegState &State) const {
+  // VRS guard-edge seeds.
+  auto SeedIt = EdgeSeeds.find({F, From, To});
+  if (SeedIt != EdgeSeeds.end())
+    for (const EdgeConstraint &C : SeedIt->second)
+      State[C.R] = State[C.R].intersectWith(C.Range);
+
+  const BasicBlock &Pred = P.Funcs[F].Blocks[From];
+  const Instruction *Term = Pred.terminator();
+  if (!Term || !Term->isCondBranch())
+    return;
+  bool OnTaken = Term->Target == To;
+  bool OnFall = Pred.FallthroughSucc == To;
+  // A branch whose two targets coincide provides no information.
+  if (OnTaken == OnFall)
+    return;
+  std::vector<EdgeConstraint> Cs;
+  branchConstraints(*Term, findCmpDef(Pred), OnTaken, Cs);
+  for (const EdgeConstraint &C : Cs) {
+    // Narrow-compare facts only bind values that fit the compare width.
+    if (!State[C.R].fitsBytes(widthBytes(C.FitWidth)))
+      continue;
+    State[C.R] = State[C.R].intersectWith(C.Range);
+  }
+}
+
+void RangeAnalysis::transferInst(int32_t F, const Instruction &I, size_t Id,
+                                 RegState &State, bool Record) {
+  FunctionRanges &R = Results[F];
+  const OpInfo &Info = I.info();
+
+  ValueRange A = Info.ReadsRa ? State[I.Ra] : ValueRange::full();
+  if (I.Opc == Op::Ldi)
+    A = ValueRange::constant(I.Imm);
+  ValueRange B = I.UseImm ? ValueRange::constant(I.Imm)
+                          : (Info.ReadsRb ? State[I.Rb]
+                                          : ValueRange::full());
+  ValueRange Old = Info.RdIsInput ? State[I.Rd] : ValueRange::full();
+
+  if (Record) {
+    R.InA[Id] = A;
+    R.InB[Id] = B;
+    R.OldRd[Id] = Old;
+  }
+
+  if (I.isCall()) {
+    // Record argument contributions for the callee summary.
+    if (Opts.Interprocedural) {
+      for (unsigned AI = 0; AI < NumArgRegs; ++AI) {
+        ValueRange V = State[RegA0 + AI];
+        if (NextArgsSeen[I.Callee])
+          NextArgs[I.Callee][AI] = NextArgs[I.Callee][AI].unionWith(V);
+        else
+          NextArgs[I.Callee][AI] = V;
+      }
+      NextArgsSeen[I.Callee] = 1;
+    }
+    // The callee may clobber every caller-saved register; the return value
+    // takes the callee's summary.
+    for (Reg RR = 0; RR < NumRegs; ++RR)
+      if (isCallerSaved(RR))
+        State[RR] = ValueRange::full();
+    State[RegV0] =
+        Opts.Interprocedural ? RetSummary[I.Callee] : ValueRange::full();
+    return;
+  }
+  if (I.Opc == Op::Ret) {
+    if (Opts.Interprocedural) {
+      if (NextRetSeen[F])
+        NextRet[F] = NextRet[F].unionWith(State[RegV0]);
+      else
+        NextRet[F] = State[RegV0];
+      NextRetSeen[F] = 1;
+    }
+    return;
+  }
+  if (I.Opc == Op::St) {
+    if (Record) {
+      bool W = false;
+      R.Out[Id] = forwardTransfer(I, A, B, Old, W);
+      // Store "output" = the truncated stored value; used for statistics
+      // only. Record the stored operand truncated to the store width.
+      ValueRange Stored = State[I.Rb];
+      unsigned Bytes = widthBytes(I.W);
+      if (Stored.fitsBytes(Bytes))
+        R.Out[Id] = Stored;
+      else
+        R.Out[Id] = ValueRange::ofWidth(I.W);
+      R.MayWrap[Id] = 0;
+    }
+    return;
+  }
+  if (!Info.HasDest)
+    return;
+
+  bool MayWrap = false;
+  ValueRange OutR = forwardTransfer(I, A, B, Old, MayWrap);
+  // Backward-pass facts: values outside RefinedOut never occur at runtime.
+  OutR = OutR.intersectWith(RefinedOut[F][Id]);
+  State[I.Rd] = I.Rd == RegZero ? ValueRange::constant(0) : OutR;
+  if (Record) {
+    R.Out[Id] = OutR;
+    R.MayWrap[Id] = MayWrap;
+  }
+}
+
+void RangeAnalysis::forwardPass(int32_t F, bool Record) {
+  const Function &Fn = P.Funcs[F];
+  const Cfg &G = *Ctx[F].G;
+  const LoopInfo &LI = *Ctx[F].LI;
+  FunctionRanges &R = Results[F];
+
+  auto &Entry = EntryStates[F];
+  auto &Valid = EntryStateValid[F];
+  Entry.assign(Fn.Blocks.size(), RegState());
+  Valid.assign(Fn.Blocks.size(), 0);
+  std::vector<RegState> Exit(Fn.Blocks.size());
+  std::vector<uint8_t> ExitValid(Fn.Blocks.size(), 0);
+  std::vector<unsigned> Visits(Fn.Blocks.size(), 0);
+
+  // Iterate RPO sweeps to a bounded fixpoint.
+  unsigned MaxSweeps = Opts.WidenAfter + 4;
+  for (unsigned Sweep = 0; Sweep < MaxSweeps; ++Sweep) {
+    bool Changed = false;
+    for (int32_t BB : G.rpo()) {
+      // Meet over predecessors with edge refinement.
+      RegState In;
+      bool HaveIn = false;
+      if (BB == Fn.EntryBlock) {
+        In = entryState(F);
+        HaveIn = true;
+      }
+      for (int32_t Pr : G.predecessors(BB)) {
+        if (!ExitValid[Pr])
+          continue;
+        RegState EdgeState = Exit[Pr];
+        applyEdge(F, Pr, BB, EdgeState);
+        if (!HaveIn) {
+          In = EdgeState;
+          HaveIn = true;
+        } else {
+          for (unsigned RR = 0; RR < NumRegs; ++RR)
+            In[RR] = In[RR].unionWith(EdgeState[RR]);
+        }
+      }
+      if (!HaveIn)
+        continue; // nothing reaches this block yet
+
+      // Sound per-block facts re-applied after any widening: affine-loop
+      // iterator pins (§2.3).
+      auto applyFacts = [&](RegState &S) {
+        if (Opts.UseLoopBounds) {
+          const Loop *L = LI.loopWithHeader(BB);
+          if (L && L->Iterator) {
+            const AffineIterator &It = *L->Iterator;
+            // The init value is the meet over non-latch predecessors.
+            ValueRange Init = ValueRange::full();
+            bool HaveInit = false;
+            for (int32_t Pr : G.predecessors(BB)) {
+              bool IsLatch = false;
+              for (int32_t La : L->Latches)
+                IsLatch |= La == Pr;
+              if (IsLatch || !ExitValid[Pr])
+                continue;
+              RegState EdgeState = Exit[Pr];
+              applyEdge(F, Pr, BB, EdgeState);
+              Init = HaveInit ? Init.unionWith(EdgeState[It.X])
+                              : EdgeState[It.X];
+              HaveInit = true;
+            }
+            if (BB == Fn.EntryBlock)
+              HaveInit = false; // entry loops have an implicit full init
+            IteratorBounds Bounds;
+            if (HaveInit && Init.isConstant() &&
+                computeIteratorBounds(It, Init.min(), Bounds)) {
+              // Intersect: branch-refined back edges may already be
+              // tighter than the trip-count hull.
+              S[It.X] = S[It.X].intersectWith(
+                  ValueRange(Bounds.HeaderMin, Bounds.HeaderMax));
+            }
+          }
+        }
+        S[RegZero] = ValueRange::constant(0);
+      };
+
+      applyFacts(In);
+
+      if (Valid[BB] && In == Entry[BB] && ExitValid[BB])
+        continue; // stable
+
+      // Classic widening after several visits: keep the previous value
+      // when the new one only shrank (pins can tighten a meet after a
+      // widen, which must not count as change), jump to full on growth.
+      // Sound facts are re-applied afterwards.
+      if (Visits[BB] >= Opts.WidenAfter && Valid[BB]) {
+        for (unsigned RR = 0; RR < NumRegs; ++RR) {
+          if (In[RR] == Entry[BB][RR])
+            continue;
+          if (Entry[BB][RR].contains(In[RR]))
+            In[RR] = Entry[BB][RR]; // shrink: stay monotone
+          else
+            In[RR] = ValueRange::full();
+        }
+        applyFacts(In);
+      }
+      ++Visits[BB];
+
+      Entry[BB] = In;
+      Valid[BB] = 1;
+
+      RegState S = In;
+      const BasicBlock &Block = Fn.Blocks[BB];
+      for (size_t II = 0; II < Block.Insts.size(); ++II)
+        transferInst(F, Block.Insts[II], R.idOf(BB, II), S, false);
+      if (!ExitValid[BB] || !(S == Exit[BB])) {
+        Exit[BB] = S;
+        ExitValid[BB] = 1;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+  }
+
+  // Descending ("narrowing") sweeps: recompute each block once per sweep
+  // from the now-stable exits, without widening. This undoes transient
+  // over-widening that leaked downstream during the ascending phase; each
+  // recomputation only uses sound inputs, so the result stays sound.
+  for (unsigned Sweep = 0; Sweep < 2; ++Sweep) {
+    for (int32_t BB : G.rpo()) {
+      RegState In;
+      bool HaveIn = false;
+      if (BB == Fn.EntryBlock) {
+        In = entryState(F);
+        HaveIn = true;
+      }
+      for (int32_t Pr : G.predecessors(BB)) {
+        if (!ExitValid[Pr])
+          continue;
+        RegState EdgeState = Exit[Pr];
+        applyEdge(F, Pr, BB, EdgeState);
+        if (!HaveIn) {
+          In = EdgeState;
+          HaveIn = true;
+        } else {
+          for (unsigned RR = 0; RR < NumRegs; ++RR)
+            In[RR] = In[RR].unionWith(EdgeState[RR]);
+        }
+      }
+      if (!HaveIn)
+        continue;
+      // Re-apply block facts (loop pins) exactly as the ascending phase
+      // did, minus widening.
+      {
+        if (Opts.UseLoopBounds) {
+          const Loop *L = LI.loopWithHeader(BB);
+          if (L && L->Iterator) {
+            const AffineIterator &It = *L->Iterator;
+            ValueRange Init = ValueRange::full();
+            bool HaveInit = false;
+            for (int32_t Pr : G.predecessors(BB)) {
+              bool IsLatch = false;
+              for (int32_t La : L->Latches)
+                IsLatch |= La == Pr;
+              if (IsLatch || !ExitValid[Pr])
+                continue;
+              RegState EdgeState = Exit[Pr];
+              applyEdge(F, Pr, BB, EdgeState);
+              Init = HaveInit ? Init.unionWith(EdgeState[It.X])
+                              : EdgeState[It.X];
+              HaveInit = true;
+            }
+            if (BB == Fn.EntryBlock)
+              HaveInit = false;
+            IteratorBounds Bounds;
+            if (HaveInit && Init.isConstant() &&
+                computeIteratorBounds(It, Init.min(), Bounds))
+              In[It.X] = In[It.X].intersectWith(
+                  ValueRange(Bounds.HeaderMin, Bounds.HeaderMax));
+          }
+        }
+        In[RegZero] = ValueRange::constant(0);
+      }
+      Entry[BB] = In;
+      Valid[BB] = 1;
+      RegState S = In;
+      const BasicBlock &Block = Fn.Blocks[BB];
+      for (size_t II = 0; II < Block.Insts.size(); ++II)
+        transferInst(F, Block.Insts[II], R.idOf(BB, II), S, false);
+      Exit[BB] = S;
+      ExitValid[BB] = 1;
+    }
+  }
+
+  if (!Record)
+    return;
+  // Recording pass over the stable entry states.
+  for (int32_t BB : G.rpo()) {
+    if (!Valid[BB])
+      continue;
+    RegState S = Entry[BB];
+    const BasicBlock &Block = Fn.Blocks[BB];
+    for (size_t II = 0; II < Block.Insts.size(); ++II)
+      transferInst(F, Block.Insts[II], R.idOf(BB, II), S, true);
+  }
+}
+
+void RangeAnalysis::backwardPass(int32_t F) {
+  const Function &Fn = P.Funcs[F];
+  const ReachingDefs &RD = *Ctx[F].RD;
+  FunctionRanges &R = Results[F];
+
+  // Registers whose values may escape through implicit reads (calls read
+  // a0..a5/sp, returns read v0 and callee-saved): never refined backwards.
+  auto escapes = [](Reg RR) {
+    return RR == RegV0 || (RR >= RegA0 && RR < RegA0 + NumArgRegs) ||
+           isCalleeSaved(RR) || RR == RegRA;
+  };
+
+  // Reverse layout order approximates a bottom-up dependence walk; the
+  // outer alternation loop supplies the fixpoint iterations.
+  for (size_t Id = R.numInsts(); Id-- > 0;) {
+    InstRef Ref = RD.instRef(Id);
+    const Instruction &D = Fn.Blocks[Ref.Block].Insts[Ref.Index];
+    if (!D.hasDest() || D.Rd == RegZero || D.isCall())
+      continue;
+    if (escapes(D.Rd))
+      continue;
+    const std::vector<size_t> &Uses = RD.usesOf(Id);
+    if (Uses.empty())
+      continue;
+
+    // Demand = union over uses of the range the use permits for this
+    // operand (paper 2.2.1: apply to all dependent instructions, choose
+    // the min/max).
+    bool HaveDemand = false;
+    ValueRange Demand = ValueRange::full();
+    for (size_t UId : Uses) {
+      InstRef URef = RD.instRef(UId);
+      const Instruction &U = Fn.Blocks[URef.Block].Insts[URef.Index];
+      ValueRange Contribution = ValueRange::full();
+      // Invertible consumers refine; everything else contributes full.
+      if (!R.MayWrap[UId] &&
+          (U.Opc == Op::Add || U.Opc == Op::Sub || U.Opc == Op::Mul ||
+           U.Opc == Op::Mov || U.Opc == Op::Sext)) {
+        ValueRange UA = R.InA[UId];
+        ValueRange UB = R.InB[UId];
+        ValueRange UOut = R.Out[UId].intersectWith(RefinedOut[F][UId]);
+        backwardTransfer(U, UOut, UA, UB);
+        // The refined operand slot(s) matching our register contribute.
+        bool Matched = false;
+        if (U.info().ReadsRa && U.Ra == D.Rd) {
+          Contribution = UA;
+          Matched = true;
+        }
+        if (U.info().ReadsRb && !U.UseImm && U.Rb == D.Rd) {
+          Contribution = Matched ? Contribution.unionWith(UB) : UB;
+          Matched = true;
+        }
+        if (!Matched)
+          Contribution = ValueRange::full();
+      }
+      Demand = HaveDemand ? Demand.unionWith(Contribution) : Contribution;
+      HaveDemand = true;
+    }
+    if (!HaveDemand)
+      continue;
+    ValueRange New = RefinedOut[F][Id].intersectWith(Demand);
+    RefinedOut[F][Id] = New;
+  }
+}
+
+void RangeAnalysis::analyzeFunction(int32_t F) {
+  forwardPass(F, /*Record=*/true);
+  for (unsigned Alt = 0; Alt < Opts.Alternations; ++Alt) {
+    backwardPass(F);
+    forwardPass(F, /*Record=*/true);
+  }
+}
+
+void RangeAnalysis::run() {
+  const CallGraph CG(P);
+  unsigned Rounds = Opts.Interprocedural ? Opts.MaxInterRounds : 1;
+  for (unsigned Round = 0; Round < Rounds; ++Round) {
+    // Reset per-round contributions.
+    for (auto &A : NextArgs)
+      A.fill(ValueRange::full());
+    NextArgsSeen.assign(P.Funcs.size(), 0);
+    NextRet.assign(P.Funcs.size(), ValueRange::full());
+    NextRetSeen.assign(P.Funcs.size(), 0);
+
+    for (int32_t F : CG.bottomUpOrder())
+      analyzeFunction(F);
+
+    if (!Opts.Interprocedural)
+      return;
+
+    // Install new summaries; the entry function keeps full arguments.
+    bool ChangedSummaries = false;
+    for (const Function &Fn : P.Funcs) {
+      std::array<ValueRange, NumArgRegs> NewArgs;
+      NewArgs.fill(ValueRange::full());
+      if (Fn.Id != P.EntryFunc && NextArgsSeen[Fn.Id])
+        NewArgs = NextArgs[Fn.Id];
+      ValueRange NewRet =
+          NextRetSeen[Fn.Id] ? NextRet[Fn.Id] : ValueRange::full();
+      if (!(NewArgs == ArgSummary[Fn.Id]) || NewRet != RetSummary[Fn.Id])
+        ChangedSummaries = true;
+      ArgSummary[Fn.Id] = NewArgs;
+      RetSummary[Fn.Id] = NewRet;
+    }
+    if (!ChangedSummaries && Round > 0)
+      return;
+  }
+  // One final pass with the settled summaries so recorded ranges match.
+  for (int32_t F : CG.bottomUpOrder())
+    analyzeFunction(F);
+}

@@ -1,0 +1,146 @@
+//===- vrp/RangeAnalysis.h - Whole-program VRP driver ------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The Value Range Propagation driver of paper Section 2. Per function it
+/// runs a flow-sensitive forward interval analysis over the CFG with:
+///  - branch-edge refinement (Section 2.2.4),
+///  - loop-iterator bounding for recognized affine loops instead of
+///    widening (Section 2.3),
+///  - alternating backward refinement passes through invertible arithmetic
+///    (Section 2.2: "propagation alternates between forward and backward
+///    traversals ... until a stable state is attained or a limit on the
+///    number of traversals is reached").
+/// Across functions it iterates argument/return-register summaries over
+/// the call graph (Section 2.4). Ranges are never propagated through
+/// memory (Section 2: loads are bounded by their opcode only).
+///
+/// VRS reuses the driver by seeding block-entry constraints: the guard of
+/// a specialized region pins the specialized register's range inside the
+/// clone (Section 3.4: "propagates the new range to the specialized
+/// region").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_VRP_RANGEANALYSIS_H
+#define OG_VRP_RANGEANALYSIS_H
+
+#include "analysis/CallGraph.h"
+#include "analysis/Cfg.h"
+#include "analysis/Dominators.h"
+#include "analysis/Loops.h"
+#include "analysis/ReachingDefs.h"
+#include "vrp/Transfer.h"
+
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+namespace og {
+
+/// Per-function analysis results, indexed by dense instruction id
+/// (layout order, same numbering as ReachingDefs).
+struct FunctionRanges {
+  std::vector<size_t> BlockBase;
+  std::vector<ValueRange> Out;   ///< destination range (stores: the range
+                                 ///< of the stored value, truncated)
+  std::vector<ValueRange> InA;   ///< Ra operand value range
+  std::vector<ValueRange> InB;   ///< Rb/imm operand value range
+  std::vector<ValueRange> OldRd; ///< previous dest range (cmov input)
+  std::vector<uint8_t> MayWrap;  ///< width-W computation may wrap
+
+  size_t idOf(int32_t Block, int32_t Index) const {
+    return BlockBase[Block] + static_cast<size_t>(Index);
+  }
+  size_t numInsts() const { return Out.size(); }
+};
+
+/// Whole-program VRP.
+class RangeAnalysis {
+public:
+  struct Options {
+    bool Interprocedural = true; ///< propagate arg/return ranges (§2.4)
+    bool UseLoopBounds = true;   ///< affine-loop trip counts (§2.3)
+    unsigned Alternations = 2;   ///< forward/backward alternations
+    unsigned MaxInterRounds = 5; ///< call-graph summary iterations
+    unsigned WidenAfter = 3;     ///< block visits before widening
+  };
+
+  explicit RangeAnalysis(const Program &P) : RangeAnalysis(P, Options()) {}
+  RangeAnalysis(const Program &P, Options Opts);
+
+  /// Pins register \p R to \p Range on the CFG edge \p From -> \p To of
+  /// function \p Func. Used by VRS to inject guard-established facts (the
+  /// guard branch proves the range on exactly that edge; back edges into
+  /// the specialized region are not affected). Call before run().
+  void addEdgeConstraint(int32_t Func, int32_t From, int32_t To, Reg R,
+                         ValueRange Range);
+
+  /// Runs the analysis to (bounded) fixpoint.
+  void run();
+
+  const FunctionRanges &func(int32_t F) const { return Results[F]; }
+
+  /// Interprocedural summaries (full when not computed).
+  ValueRange argRange(int32_t F, unsigned ArgIndex) const;
+  ValueRange returnRange(int32_t F) const;
+
+private:
+  struct FuncContext {
+    std::unique_ptr<Cfg> G;
+    std::unique_ptr<DominatorTree> DT;
+    std::unique_ptr<LoopInfo> LI;
+    std::unique_ptr<ReachingDefs> RD;
+  };
+
+  using RegState = std::array<ValueRange, NumRegs>;
+
+  void analyzeFunction(int32_t F);
+  void forwardPass(int32_t F, bool Record);
+  void backwardPass(int32_t F);
+  RegState entryState(int32_t F) const;
+  void transferInst(int32_t F, const Instruction &I, size_t Id,
+                    RegState &State, bool Record);
+  void applyEdge(int32_t F, int32_t From, int32_t To, RegState &State) const;
+  const Instruction *findCmpDef(const BasicBlock &BB) const;
+
+  const Program &P;
+  Options Opts;
+  std::vector<FuncContext> Ctx;
+  std::vector<FunctionRanges> Results;
+  /// Backward-pass refinements intersected into forward results.
+  std::vector<std::vector<ValueRange>> RefinedOut;
+  /// Block entry states of the current function pass.
+  std::vector<std::vector<RegState>> EntryStates;
+  std::vector<std::vector<uint8_t>> EntryStateValid;
+
+  // Interprocedural summaries (always conservative; tightened per round).
+  std::vector<std::array<ValueRange, NumArgRegs>> ArgSummary;
+  std::vector<ValueRange> RetSummary;
+  std::vector<std::array<ValueRange, NumArgRegs>> NextArgs;
+  std::vector<uint8_t> NextArgsSeen;
+  std::vector<ValueRange> NextRet;
+  std::vector<uint8_t> NextRetSeen;
+
+  struct EdgeKey {
+    int32_t Func;
+    int32_t From;
+    int32_t To;
+    bool operator<(const EdgeKey &O) const {
+      if (Func != O.Func)
+        return Func < O.Func;
+      if (From != O.From)
+        return From < O.From;
+      return To < O.To;
+    }
+  };
+  std::map<EdgeKey, std::vector<EdgeConstraint>> EdgeSeeds;
+};
+
+} // namespace og
+
+#endif // OG_VRP_RANGEANALYSIS_H

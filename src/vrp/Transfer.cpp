@@ -1,0 +1,331 @@
+//===- vrp/Transfer.cpp ---------------------------------------------------==//
+
+#include "vrp/Transfer.h"
+
+#include <cassert>
+
+using namespace og;
+
+ValueRange og::forwardTransfer(const Instruction &I, const ValueRange &A,
+                               const ValueRange &B, const ValueRange &OldRd,
+                               bool &MayWrap) {
+  MayWrap = false;
+  unsigned Bytes = widthBytes(I.W);
+  ValueRange WidthHull = ValueRange::ofWidth(I.W);
+
+  // A width-w operation reads only the low w bytes of its sources; when a
+  // source range does not fit the width, the operand the hardware sees is
+  // unrelated to the range, so only the structural width bound survives.
+  auto fits = [&](const ValueRange &R) { return R.fitsBytes(Bytes); };
+  // Clamp an exact result into the width: wraps degrade to the width hull.
+  auto clampWidth = [&](const ValueRange &R, bool Wrapped) {
+    if (Wrapped || !fits(R)) {
+      MayWrap = true;
+      return WidthHull;
+    }
+    return R;
+  };
+
+  switch (I.Opc) {
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul: {
+    if (!fits(A) || !fits(B)) {
+      MayWrap = true;
+      return WidthHull;
+    }
+    bool Wrapped = false;
+    ValueRange R = I.Opc == Op::Add   ? ValueRange::add(A, B, Wrapped)
+                   : I.Opc == Op::Sub ? ValueRange::sub(A, B, Wrapped)
+                                      : ValueRange::mul(A, B, Wrapped);
+    return clampWidth(R, Wrapped);
+  }
+  case Op::And:
+  case Op::Or:
+  case Op::Xor:
+  case Op::Bic: {
+    if (!fits(A) || !fits(B))
+      return WidthHull;
+    ValueRange R = I.Opc == Op::And  ? ValueRange::bitAnd(A, B)
+                   : I.Opc == Op::Or ? ValueRange::bitOr(A, B)
+                   : I.Opc == Op::Xor ? ValueRange::bitXor(A, B)
+                                      : ValueRange::bitClear(A, B);
+    // Bitwise results of width-fitting operands always fit the width.
+    return R.intersectWith(WidthHull);
+  }
+  case Op::Sll: {
+    if (!fits(A)) {
+      MayWrap = true;
+      return WidthHull;
+    }
+    bool Wrapped = false;
+    ValueRange R = ValueRange::shiftLeft(A, B, Wrapped);
+    return clampWidth(R, Wrapped);
+  }
+  case Op::Srl: {
+    // Exact only when the zero-extended operand equals the value:
+    // nonnegative and width-fitting.
+    if (!fits(A) || !A.isNonNegative())
+      return WidthHull;
+    return ValueRange::shiftRightLogical(A, B).intersectWith(WidthHull);
+  }
+  case Op::Sra: {
+    if (!fits(A))
+      return WidthHull;
+    return ValueRange::shiftRightArith(A, B).intersectWith(WidthHull);
+  }
+  case Op::CmpEq:
+  case Op::CmpLt:
+  case Op::CmpLe:
+  case Op::CmpUlt:
+  case Op::CmpUle: {
+    // Decide statically when ranges permit; the 0/1 hull otherwise.
+    if (fits(A) && fits(B)) {
+      if (I.Opc == Op::CmpLt && A.max() < B.min())
+        return ValueRange::constant(1);
+      if (I.Opc == Op::CmpLt && A.min() >= B.max() && B.isConstant())
+        return ValueRange::constant(0);
+      if (I.Opc == Op::CmpLe && A.max() <= B.min() && B.isConstant())
+        return ValueRange::constant(1);
+      if (I.Opc == Op::CmpEq && A.isConstant() && B.isConstant())
+        return ValueRange::constant(A.min() == B.min() ? 1 : 0);
+      if (I.Opc == Op::CmpEq && A.disjointFrom(B))
+        return ValueRange::constant(0);
+    }
+    return ValueRange(0, 1);
+  }
+  case Op::CmovEq:
+  case Op::CmovNe:
+  case Op::CmovLt:
+  case Op::CmovGe: {
+    ValueRange Moved = fits(B) ? B : WidthHull;
+    if (fits(A)) {
+      // Statically decided conditions collapse the union.
+      bool CondAlways = false, CondNever = false;
+      switch (I.Opc) {
+      case Op::CmovEq:
+        CondAlways = A.isConstant() && A.min() == 0;
+        CondNever = !A.contains(0);
+        break;
+      case Op::CmovNe:
+        CondAlways = !A.contains(0);
+        CondNever = A.isConstant() && A.min() == 0;
+        break;
+      case Op::CmovLt:
+        CondAlways = A.max() < 0;
+        CondNever = A.min() >= 0;
+        break;
+      default: // CmovGe
+        CondAlways = A.min() >= 0;
+        CondNever = A.max() < 0;
+        break;
+      }
+      if (CondAlways)
+        return Moved;
+      if (CondNever)
+        return OldRd;
+    }
+    return Moved.unionWith(OldRd);
+  }
+  case Op::Msk: {
+    unsigned Shift = 8 * static_cast<unsigned>(I.Imm);
+    if (Bytes == 8 && Shift == 0)
+      return A; // identity
+    ValueRange ZeroExt = ValueRange::unsignedOfBytes(Bytes);
+    if (A.isNonNegative()) {
+      int64_t Lo = A.min() >> Shift;
+      int64_t Hi = A.max() >> Shift;
+      return ValueRange(Lo, Hi).intersectWith(ZeroExt);
+    }
+    return ZeroExt;
+  }
+  case Op::Sext:
+  case Op::Mov:
+    return fits(A) ? A : WidthHull;
+  case Op::Ldi:
+    return ValueRange::constant(truncSignExtend(I.Imm, Bytes));
+  case Op::Ld:
+    // Paper Section 2.2.2: the loaded range comes from the opcode. Alpha
+    // byte/halfword loads zero-extend, word loads sign-extend.
+    switch (I.W) {
+    case Width::B:
+      return ValueRange(0, 0xFF);
+    case Width::H:
+      return ValueRange(0, 0xFFFF);
+    case Width::W:
+      return ValueRange(INT32_MIN, INT32_MAX);
+    case Width::Q:
+      return ValueRange::full();
+    }
+    return ValueRange::full();
+  default:
+    // No register destination (stores, branches, calls...).
+    return ValueRange::full();
+  }
+}
+
+void og::backwardTransfer(const Instruction &I, const ValueRange &Out,
+                          ValueRange &A, ValueRange &B) {
+  bool Wrapped = false;
+  switch (I.Opc) {
+  case Op::Add: {
+    // Paper 2.2.1: In1 = Out - In2, In2 = Out - In1 (intersected).
+    ValueRange NewA = ValueRange::sub(Out, B, Wrapped);
+    ValueRange NewB = ValueRange::sub(Out, A, Wrapped);
+    // Saturation inside sub keeps these sound even near the domain edges.
+    A = A.intersectWith(NewA);
+    B = B.intersectWith(NewB);
+    return;
+  }
+  case Op::Sub: {
+    ValueRange NewA = ValueRange::add(Out, B, Wrapped);
+    ValueRange NewB = ValueRange::sub(A, Out, Wrapped);
+    A = A.intersectWith(NewA);
+    B = B.intersectWith(NewB);
+    return;
+  }
+  case Op::Mul: {
+    // Invert only through a nonzero constant multiplier.
+    if (B.isConstant() && B.min() != 0 && !Out.isFull()) {
+      int64_t C = B.min();
+      int64_t Lo = Out.min(), Hi = Out.max();
+      if (C < 0) {
+        std::swap(Lo, Hi);
+        // a = out / c with c negative: bounds swap.
+      }
+      // Conservative integer division bounds: any a with a*c in Out lies
+      // within [ceil(Lo/C'), floor(Hi/C')] for positive C' = |C|.
+      int64_t Ca = C < 0 ? -C : C;
+      auto floorDiv = [](int64_t X, int64_t D) {
+        int64_t Q = X / D;
+        if ((X % D != 0) && ((X < 0) != (D < 0)))
+          --Q;
+        return Q;
+      };
+      auto ceilDiv = [&](int64_t X, int64_t D) {
+        return -floorDiv(-X, D);
+      };
+      if (C < 0) {
+        Lo = -Out.max();
+        Hi = -Out.min();
+      }
+      int64_t NewLo = ceilDiv(Lo, Ca);
+      int64_t NewHi = floorDiv(Hi, Ca);
+      if (NewLo <= NewHi)
+        A = A.intersectWith(ValueRange(NewLo, NewHi));
+    }
+    return;
+  }
+  case Op::Mov:
+  case Op::Sext:
+    // Lossless only when the operand already fits the width.
+    if (A.fitsBytes(widthBytes(I.W)))
+      A = A.intersectWith(Out);
+    return;
+  default:
+    return;
+  }
+}
+
+void og::branchConstraints(const Instruction &Br, const Instruction *CmpDef,
+                           bool OnTaken, std::vector<EdgeConstraint> &Out) {
+  assert(Br.isCondBranch() && "not a conditional branch");
+
+  // Direct test of a data register against zero.
+  if (!CmpDef) {
+    ValueRange R = ValueRange::full();
+    bool Have = true;
+    switch (Br.Opc) {
+    case Op::Beq:
+      if (OnTaken)
+        R = ValueRange::constant(0);
+      else
+        Have = false; // x != 0: not an interval
+      break;
+    case Op::Bne:
+      if (!OnTaken)
+        R = ValueRange::constant(0);
+      else
+        Have = false;
+      break;
+    case Op::Blt:
+      R = OnTaken ? ValueRange(INT64_MIN, -1) : ValueRange(0, INT64_MAX);
+      break;
+    case Op::Ble:
+      R = OnTaken ? ValueRange(INT64_MIN, 0) : ValueRange(1, INT64_MAX);
+      break;
+    case Op::Bgt:
+      R = OnTaken ? ValueRange(1, INT64_MAX) : ValueRange(INT64_MIN, 0);
+      break;
+    case Op::Bge:
+      R = OnTaken ? ValueRange(0, INT64_MAX) : ValueRange(INT64_MIN, -1);
+      break;
+    default:
+      Have = false;
+      break;
+    }
+    if (Have)
+      Out.push_back({Br.Ra, R});
+    return;
+  }
+
+  // Branch on a compare result (0/1): determine whether the compare held
+  // on this edge.
+  bool CmpTrue;
+  switch (Br.Opc) {
+  case Op::Bne:
+  case Op::Bgt: // on a 0/1 value, >0 means ==1
+    CmpTrue = OnTaken;
+    break;
+  case Op::Beq:
+  case Op::Ble: // on a 0/1 value, <=0 means ==0
+    CmpTrue = !OnTaken;
+    break;
+  default:
+    return; // blt/bge of a 0/1 value carry no information
+  }
+
+  if (!CmpDef->UseImm)
+    return; // only constant comparisons are refined (loop bounds etc.)
+  // The compare read its operands at its width.
+  Width FW = CmpDef->W;
+  int64_t C = truncSignExtend(CmpDef->Imm, widthBytes(FW));
+  Reg X = CmpDef->Ra;
+  if (X == RegZero)
+    return;
+
+  switch (CmpDef->Opc) {
+  case Op::CmpEq:
+    if (CmpTrue)
+      Out.push_back({X, ValueRange::constant(C), FW});
+    return;
+  case Op::CmpLt:
+    if (CmpTrue) {
+      if (C != INT64_MIN)
+        Out.push_back({X, ValueRange(INT64_MIN, C - 1), FW});
+    } else {
+      Out.push_back({X, ValueRange(C, INT64_MAX), FW});
+    }
+    return;
+  case Op::CmpLe:
+    if (CmpTrue) {
+      Out.push_back({X, ValueRange(INT64_MIN, C), FW});
+    } else {
+      if (C != INT64_MAX)
+        Out.push_back({X, ValueRange(C + 1, INT64_MAX), FW});
+    }
+    return;
+  case Op::CmpUlt:
+    // Unsigned: x <u c with c >= 0 pins x into [0, c-1]; the false side
+    // includes huge-unsigned (negative-signed) values, no interval.
+    if (CmpTrue && C > 0)
+      Out.push_back({X, ValueRange(0, C - 1), FW});
+    return;
+  case Op::CmpUle:
+    if (CmpTrue && C >= 0)
+      Out.push_back({X, ValueRange(0, C), FW});
+    return;
+  default:
+    return;
+  }
+}

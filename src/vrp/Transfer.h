@@ -1,0 +1,64 @@
+//===- vrp/Transfer.h - Per-instruction range transfer -----------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-instruction pieces of VRP (paper Section 2.2): forward output
+/// ranges from input ranges, backward input refinement from output ranges
+/// (addition/subtraction/moves, Section 2.2.1), and branch-condition edge
+/// refinement (Section 2.2.4).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_VRP_TRANSFER_H
+#define OG_VRP_TRANSFER_H
+
+#include "isa/Instruction.h"
+#include "vrp/ValueRange.h"
+
+#include <vector>
+
+namespace og {
+
+/// Forward transfer: range of the destination of \p I given operand ranges.
+/// \p A is the Ra operand range (or the immediate for ldi), \p B the
+/// Rb/immediate operand range, \p OldRd the previous destination range
+/// (cmovs). \p MayWrap is set when the width-W computation may wrap, in
+/// which case the result is the conservative width hull and the backward
+/// rules must not invert through this instruction.
+ValueRange forwardTransfer(const Instruction &I, const ValueRange &A,
+                           const ValueRange &B, const ValueRange &OldRd,
+                           bool &MayWrap);
+
+/// Backward refinement through exactly-invertible operations
+/// (add/sub/mov/sext/mul-by-constant): given that the output of \p I lies
+/// in \p Out, tightens \p A / \p B in place. No-op for other opcodes.
+/// Must only be called when the forward transfer reported !MayWrap.
+void backwardTransfer(const Instruction &I, const ValueRange &Out,
+                      ValueRange &A, ValueRange &B);
+
+/// A branch-derived fact: on some CFG edge, register \p R lies in \p Range
+/// (paper: "if (X >= 7) places a lower bound on X along the true path").
+/// Constraints derived from a narrow compare only describe the low bytes
+/// the compare read; they apply to the register's value only when the
+/// current range already fits \p FitWidth (always true for Q).
+struct EdgeConstraint {
+  Reg R = RegZero;
+  ValueRange Range;
+  Width FitWidth = Width::Q;
+};
+
+/// Computes the constraints implied by taking (\p OnTaken = true) or
+/// falling through (\p OnTaken = false) the conditional branch \p Br,
+/// where \p CmpDef is the compare instruction defining the branch
+/// condition register in the same block (nullptr when the branch tests a
+/// data register directly). Constraints are appended to \p Out; at most
+/// one per register.
+void branchConstraints(const Instruction &Br, const Instruction *CmpDef,
+                       bool OnTaken, std::vector<EdgeConstraint> &Out);
+
+} // namespace og
+
+#endif // OG_VRP_TRANSFER_H

@@ -1,0 +1,200 @@
+//===- vrp/UsefulWidth.cpp ------------------------------------------------==//
+
+#include "vrp/UsefulWidth.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace og;
+
+namespace {
+
+/// Smallest b with V <= 2^(8b)-1, for V >= 0 (zero-extended byte length).
+unsigned bytesUnsigned(int64_t V) {
+  assert(V >= 0);
+  for (unsigned B = 1; B < 8; ++B)
+    if (static_cast<uint64_t>(V) < (uint64_t(1) << (8 * B)))
+      return B;
+  return 8;
+}
+
+/// Low bytes of a value OR'd with constant \p M that still matter: bytes at
+/// or above the first all-ones run ending at the top are forced.
+unsigned lowUnforcedBytes(int64_t M) {
+  uint64_t U = static_cast<uint64_t>(M);
+  unsigned K = 8;
+  while (K > 0) {
+    uint8_t TopByte = static_cast<uint8_t>(U >> (8 * (K - 1)));
+    if (TopByte != 0xFF)
+      break;
+    --K;
+  }
+  return K == 0 ? 1 : K;
+}
+
+} // namespace
+
+bool UsefulWidth::demandSafe(Op O) {
+  switch (O) {
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+  case Op::And:
+  case Op::Or:
+  case Op::Xor:
+  case Op::Bic:
+  case Op::Sll:
+  case Op::Mov:
+  case Op::Sext:
+  case Op::Ldi:
+  case Op::Msk:
+    return true;
+  default:
+    // Right shifts read high input bytes; compares/cmovs/branches read
+    // whole values; memory widths are semantic.
+    return false;
+  }
+}
+
+unsigned UsefulWidth::operandDemand(const Instruction &I, unsigned SrcIndex,
+                                    unsigned OutDemand) const {
+  const OpInfo &Info = I.info();
+  // Identify the role of this source: Ra, Rb, or the cmov old-dest.
+  enum class Role { Ra, Rb, OldRd } R;
+  {
+    unsigned Idx = SrcIndex;
+    if (Info.ReadsRa && Idx == 0) {
+      R = Role::Ra;
+    } else {
+      if (Info.ReadsRa)
+        --Idx;
+      if (I.readsRbRegister() && Idx == 0)
+        R = Role::Rb;
+      else
+        R = Role::OldRd;
+    }
+  }
+
+  switch (I.Opc) {
+  case Op::St:
+    return R == Role::Ra ? 8 : widthBytes(I.W); // address vs stored value
+  case Op::Ld:
+    return 8; // address
+  case Op::Beq:
+  case Op::Bne:
+  case Op::Blt:
+  case Op::Ble:
+  case Op::Bgt:
+  case Op::Bge:
+  case Op::Out:
+    return 8;
+  case Op::CmpEq:
+  case Op::CmpLt:
+  case Op::CmpLe:
+  case Op::CmpUlt:
+  case Op::CmpUle:
+    return 8; // whole values decide comparisons
+  case Op::CmovEq:
+  case Op::CmovNe:
+  case Op::CmovLt:
+  case Op::CmovGe:
+    return R == Role::Ra ? 8 : OutDemand; // condition vs moved/kept value
+  case Op::Add:
+  case Op::Sub:
+  case Op::Mul:
+    // Paper 2.2.5: no useful propagation through arithmetic by default.
+    return Opts.ThroughArithmetic ? OutDemand : 8;
+  case Op::And:
+    // AND with a nonnegative constant mask zeroes everything above the
+    // mask (the paper's flagship example).
+    if (I.UseImm && I.Imm >= 0)
+      return std::min(OutDemand, bytesUnsigned(I.Imm));
+    return OutDemand;
+  case Op::Or:
+    // OR with a constant whose top bytes are all ones forces them.
+    if (I.UseImm)
+      return std::min(OutDemand, lowUnforcedBytes(I.Imm));
+    return OutDemand;
+  case Op::Xor:
+  case Op::Bic:
+    return OutDemand;
+  case Op::Sll:
+    // Shift amounts occupy 6 bits (paper 2.2.5's "limited width fields").
+    if (R == Role::Rb)
+      return 1;
+    return OutDemand;
+  case Op::Srl:
+  case Op::Sra:
+    if (R == Role::Rb)
+      return 1;
+    if (I.UseImm) {
+      unsigned NeedBits = 8 * OutDemand + static_cast<unsigned>(I.Imm & 63);
+      return std::min(8u, (NeedBits + 7) / 8);
+    }
+    return 8;
+  case Op::Msk: {
+    unsigned Field = std::min(OutDemand, widthBytes(I.W));
+    return std::min<unsigned>(8, static_cast<unsigned>(I.Imm) + Field);
+  }
+  case Op::Sext:
+  case Op::Mov:
+    return std::min(OutDemand, widthBytes(I.W));
+  default:
+    return 8;
+  }
+}
+
+UsefulWidth::UsefulWidth(const Function &F, const ReachingDefs &RD,
+                         Options Opts)
+    : F(F), RD(RD), Opts(Opts) {
+  size_t N = RD.numInsts();
+  Bytes.assign(N, 1);
+
+  // Registers read implicitly (not via numRegSources): calls read
+  // arguments and sp, returns read v0 and callee-saved registers. Any
+  // definition of such a register escapes at full width whenever the
+  // function contains a call/return at all (conservative).
+  bool HasCall = false, HasRet = false;
+  for (const BasicBlock &BB : F.Blocks)
+    for (const Instruction &I : BB.Insts) {
+      HasCall |= I.isCall();
+      HasRet |= I.Opc == Op::Ret;
+    }
+  auto escapesFullWidth = [&](Reg R) {
+    if (HasCall && ((R >= RegA0 && R < RegA0 + NumArgRegs) || R == RegSP))
+      return true;
+    if (HasRet && (R == RegV0 || isCalleeSaved(R)))
+      return true;
+    // Other caller-visible flows (e.g. values live across calls in
+    // callee-saved registers) are covered by the cases above.
+    return false;
+  };
+
+  // Monotone fixpoint: demands only grow, bounded by 8 each.
+  unsigned Guard = 0;
+  bool Changed = true;
+  while (Changed && Guard++ < Opts.MaxIterations * 8) {
+    Changed = false;
+    for (size_t Id = N; Id-- > 0;) {
+      const Instruction &D = RD.inst(Id);
+      if (!D.hasDest() || D.Rd == RegZero || D.isCall())
+        continue;
+      unsigned Demand = escapesFullWidth(D.Rd) ? 8 : 1;
+      for (size_t UId : RD.usesOf(Id)) {
+        const Instruction &U = RD.inst(UId);
+        unsigned NSrc = U.numRegSources();
+        for (unsigned S = 0; S < NSrc; ++S) {
+          if (U.regSource(S) != D.Rd)
+            continue;
+          Demand = std::max(Demand, operandDemand(U, S, Bytes[UId]));
+        }
+        if (Demand >= 8)
+          break;
+      }
+      if (Demand > Bytes[Id]) {
+        Bytes[Id] = Demand;
+        Changed = true;
+      }
+    }
+  }
+}

@@ -1,0 +1,72 @@
+//===- vrp/UsefulWidth.h - Useful-byte demand analysis -----------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The "useful" range propagation of paper Section 2.2.5: a backward
+/// demand analysis computing, per instruction, how many low bytes of its
+/// result can ever influence program output. Demands originate from:
+///  - logical operations with constant masks (AND R1, 0xFF ... only the
+///    low byte of R1 is needed),
+///  - MSK field extracts,
+///  - shift amounts (only 6 bits are read),
+///  - store widths.
+/// Following the paper, demand is NOT propagated through arithmetic
+/// (add/sub/mul) by default "in order to avoid hiding overflows"; the
+/// ThroughArithmetic option enables it for the ablation study.
+///
+/// Safety rule (paper: "the technique must ensure there is no other point
+/// in the program where a wider range of the operand is semantically
+/// relevant"): a definition's useful width is the MAXIMUM demand over all
+/// its reaching uses, and implicit consumers (calls, returns, branches,
+/// compares, addresses) demand all 8 bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_VRP_USEFULWIDTH_H
+#define OG_VRP_USEFULWIDTH_H
+
+#include "analysis/ReachingDefs.h"
+
+#include <vector>
+
+namespace og {
+
+/// Per-function useful-byte analysis.
+class UsefulWidth {
+public:
+  struct Options {
+    /// Propagate demand through add/sub/mul (paper default: off).
+    bool ThroughArithmetic = false;
+    unsigned MaxIterations = 8;
+  };
+
+  UsefulWidth(const Function &F, const ReachingDefs &RD)
+      : UsefulWidth(F, RD, Options()) {}
+  UsefulWidth(const Function &F, const ReachingDefs &RD, Options Opts);
+
+  /// Useful bytes (1..8) of the value defined by instruction \p InstId;
+  /// 8 for instructions without a destination.
+  unsigned usefulBytes(size_t InstId) const { return Bytes[InstId]; }
+
+  /// True when narrowing \p O to its useful width is demand-safe, i.e. the
+  /// low output bytes depend only on equally-low input bytes.
+  static bool demandSafe(Op O);
+
+private:
+  /// Bytes of the value of operand \p SrcIndex that instruction \p I needs
+  /// in order to produce \p OutDemand correct output bytes.
+  unsigned operandDemand(const Instruction &I, unsigned SrcIndex,
+                         unsigned OutDemand) const;
+
+  const Function &F;
+  const ReachingDefs &RD;
+  Options Opts;
+  std::vector<unsigned> Bytes;
+};
+
+} // namespace og
+
+#endif // OG_VRP_USEFULWIDTH_H

@@ -1,0 +1,155 @@
+//===- vrp/ValueRange.cpp -------------------------------------------------==//
+
+#include "vrp/ValueRange.h"
+
+#include <cstdio>
+
+using namespace og;
+
+namespace {
+
+/// Clamps a 128-bit exact interval into the int64 domain; sets Wrapped and
+/// degrades to full when it does not fit (wrap-around can then produce any
+/// bit pattern in the worst case).
+ValueRange clamp128(__int128 Lo, __int128 Hi, bool &Wrapped) {
+  if (Lo < INT64_MIN || Hi > INT64_MAX) {
+    Wrapped = true;
+    return ValueRange::full();
+  }
+  return ValueRange(static_cast<int64_t>(Lo), static_cast<int64_t>(Hi));
+}
+
+/// Smallest power-of-two-minus-one covering \p V (V >= 0): the tightest
+/// "all bits below k" bound used for or/xor of nonnegative ranges.
+int64_t bitCeilMask(int64_t V) {
+  assert(V >= 0);
+  uint64_t U = static_cast<uint64_t>(V);
+  U |= U >> 1;
+  U |= U >> 2;
+  U |= U >> 4;
+  U |= U >> 8;
+  U |= U >> 16;
+  U |= U >> 32;
+  return static_cast<int64_t>(U);
+}
+
+} // namespace
+
+ValueRange ValueRange::add(const ValueRange &A, const ValueRange &B,
+                           bool &Wrapped) {
+  return clamp128(static_cast<__int128>(A.Min) + B.Min,
+                  static_cast<__int128>(A.Max) + B.Max, Wrapped);
+}
+
+ValueRange ValueRange::sub(const ValueRange &A, const ValueRange &B,
+                           bool &Wrapped) {
+  return clamp128(static_cast<__int128>(A.Min) - B.Max,
+                  static_cast<__int128>(A.Max) - B.Min, Wrapped);
+}
+
+ValueRange ValueRange::mul(const ValueRange &A, const ValueRange &B,
+                           bool &Wrapped) {
+  // Full operands would overflow the corner products; bail out directly.
+  if (A.isFull() || B.isFull()) {
+    Wrapped = true;
+    return full();
+  }
+  __int128 C[4] = {static_cast<__int128>(A.Min) * B.Min,
+                   static_cast<__int128>(A.Min) * B.Max,
+                   static_cast<__int128>(A.Max) * B.Min,
+                   static_cast<__int128>(A.Max) * B.Max};
+  __int128 Lo = C[0], Hi = C[0];
+  for (int I = 1; I < 4; ++I) {
+    Lo = std::min(Lo, C[I]);
+    Hi = std::max(Hi, C[I]);
+  }
+  return clamp128(Lo, Hi, Wrapped);
+}
+
+ValueRange ValueRange::bitAnd(const ValueRange &A, const ValueRange &B) {
+  if (A.isConstant() && B.isConstant())
+    return constant(A.Min & B.Min);
+  // Clearing bits of a nonnegative value can only shrink it toward zero.
+  if (A.isNonNegative() && B.isNonNegative())
+    return ValueRange(0, std::min(A.Max, B.Max));
+  if (A.isNonNegative())
+    return ValueRange(0, A.Max);
+  if (B.isNonNegative())
+    return ValueRange(0, B.Max);
+  return full();
+}
+
+ValueRange ValueRange::bitOr(const ValueRange &A, const ValueRange &B) {
+  if (A.isConstant() && B.isConstant())
+    return constant(A.Min | B.Min);
+  if (A.isNonNegative() && B.isNonNegative()) {
+    // Result keeps all set bits and cannot exceed the bit-ceiling of the
+    // larger operand.
+    int64_t Hi = bitCeilMask(std::max(A.Max, B.Max));
+    return ValueRange(std::max(A.Min, B.Min), Hi);
+  }
+  if (A.Max < 0 && B.Max < 0)
+    return ValueRange(std::max(A.Min, B.Min), -1);
+  return full();
+}
+
+ValueRange ValueRange::bitXor(const ValueRange &A, const ValueRange &B) {
+  if (A.isConstant() && B.isConstant())
+    return constant(A.Min ^ B.Min);
+  if (A.isNonNegative() && B.isNonNegative())
+    return ValueRange(0, bitCeilMask(std::max(A.Max, B.Max)));
+  return full();
+}
+
+ValueRange ValueRange::bitClear(const ValueRange &A, const ValueRange &B) {
+  if (A.isConstant() && B.isConstant())
+    return constant(A.Min & ~B.Min);
+  if (A.isNonNegative())
+    return ValueRange(0, A.Max);
+  return full();
+}
+
+ValueRange ValueRange::shiftLeft(const ValueRange &A, const ValueRange &Amt,
+                                 bool &Wrapped) {
+  if (Amt.isConstant() && Amt.Min >= 0 && Amt.Min <= 62) {
+    bool W2 = false;
+    ValueRange Factor = constant(int64_t(1) << Amt.Min);
+    ValueRange R = mul(A, Factor, W2);
+    Wrapped |= W2;
+    return R;
+  }
+  Wrapped = true;
+  return full();
+}
+
+ValueRange ValueRange::shiftRightLogical(const ValueRange &A,
+                                         const ValueRange &Amt) {
+  if (!A.isNonNegative()) {
+    // A negative input exposes huge unsigned values; only the "always
+    // nonnegative result for amt > 0" bound would remain, and amt may be 0.
+    return full();
+  }
+  if (Amt.isConstant() && Amt.Min >= 0 && Amt.Min <= 63)
+    return ValueRange(A.Min >> Amt.Min, A.Max >> Amt.Min);
+  return ValueRange(0, A.Max);
+}
+
+ValueRange ValueRange::shiftRightArith(const ValueRange &A,
+                                       const ValueRange &Amt) {
+  if (Amt.isConstant() && Amt.Min >= 0 && Amt.Min <= 63)
+    return ValueRange(A.Min >> Amt.Min, A.Max >> Amt.Min);
+  // Arbitrary amounts shrink magnitude toward 0 / -1; the hull always stays
+  // within [min(A.Min, -1|0), max(A.Max, 0)].
+  int64_t Lo = std::min<int64_t>(A.Min, A.Min < 0 ? -1 : 0);
+  int64_t Hi = std::max<int64_t>(A.Max, 0);
+  return ValueRange(Lo, Hi);
+}
+
+std::string ValueRange::str() const {
+  if (isFull())
+    return "full";
+  char Buf[64];
+  std::snprintf(Buf, sizeof(Buf), "%lld..%lld",
+                static_cast<long long>(Min), static_cast<long long>(Max));
+  return Buf;
+}

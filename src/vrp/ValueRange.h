@@ -1,0 +1,133 @@
+//===- vrp/ValueRange.h - Wrap-aware integer intervals -----------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interval domain of Value Range Propagation (paper Section 2):
+/// [Min, Max] over int64 with [INT64_MIN, INT64_MAX] as the "unknown"
+/// top element. All arithmetic is wrap-aware (Section 2.2.1: "if overflow
+/// is possible then the calculated range takes the wrap-around behavior
+/// into account"): whenever exact interval arithmetic can leave the int64
+/// domain, the result degrades to full — the conservative hull of the
+/// wrapped value set — and callers can observe the wrap through the MayWrap
+/// out-parameters of the transfer functions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_VRP_VALUERANGE_H
+#define OG_VRP_VALUERANGE_H
+
+#include "isa/Width.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdint>
+#include <string>
+
+namespace og {
+
+/// A closed signed interval [Min, Max]; Min <= Max always holds.
+class ValueRange {
+public:
+  /// Default-constructed ranges are full (unknown).
+  ValueRange() = default;
+  ValueRange(int64_t Min, int64_t Max) : Min(Min), Max(Max) {
+    assert(Min <= Max && "malformed range");
+  }
+
+  static ValueRange full() { return ValueRange(); }
+  static ValueRange constant(int64_t V) { return ValueRange(V, V); }
+  /// The representable range of a sign-extended width-W value.
+  static ValueRange ofWidth(Width W) {
+    return ValueRange(widthSignedMin(W), widthSignedMax(W));
+  }
+  /// [0, 2^(8*Bytes)-1]; Bytes == 8 degrades to the nonnegative half.
+  static ValueRange unsignedOfBytes(unsigned Bytes) {
+    if (Bytes >= 8)
+      return ValueRange(0, INT64_MAX);
+    return ValueRange(0, (int64_t(1) << (8 * Bytes)) - 1);
+  }
+
+  int64_t min() const { return Min; }
+  int64_t max() const { return Max; }
+
+  bool isFull() const { return Min == INT64_MIN && Max == INT64_MAX; }
+  bool isConstant() const { return Min == Max; }
+  bool contains(int64_t V) const { return Min <= V && V <= Max; }
+  bool contains(const ValueRange &O) const {
+    return Min <= O.Min && O.Max <= Max;
+  }
+  bool isNonNegative() const { return Min >= 0; }
+
+  bool operator==(const ValueRange &O) const {
+    return Min == O.Min && Max == O.Max;
+  }
+  bool operator!=(const ValueRange &O) const { return !(*this == O); }
+
+  /// Minimal sign-extended byte width holding every value of the range.
+  unsigned bytes() const { return bytesForSignedRange(Min, Max); }
+  Width width() const { return widthForBytes(bytes()); }
+
+  /// True when every value fits a sign-extended \p Bytes-byte value.
+  bool fitsBytes(unsigned Bytes) const {
+    return fitsSignedBytes(Min, Bytes) && fitsSignedBytes(Max, Bytes);
+  }
+
+  /// Interval hull (the conservative meet of VRP: "the widest range is
+  /// assumed").
+  ValueRange unionWith(const ValueRange &O) const {
+    return ValueRange(std::min(Min, O.Min), std::max(Max, O.Max));
+  }
+
+  /// Intersection; when empty (contradictory facts, e.g. an infeasible
+  /// branch path) returns the singleton at the nearer bound — harmlessly
+  /// conservative and keeps the lattice simple.
+  ValueRange intersectWith(const ValueRange &O) const {
+    int64_t Lo = std::max(Min, O.Min);
+    int64_t Hi = std::min(Max, O.Max);
+    if (Lo > Hi)
+      return ValueRange(Lo, Lo);
+    return ValueRange(Lo, Hi);
+  }
+
+  /// True when intersectWith(O) would be empty.
+  bool disjointFrom(const ValueRange &O) const {
+    return std::max(Min, O.Min) > std::min(Max, O.Max);
+  }
+
+  // --- Forward interval arithmetic. Each op also reports whether the
+  // result wrapped (degraded to full / width-clamped), which gates the
+  // backward rules.
+
+  static ValueRange add(const ValueRange &A, const ValueRange &B,
+                        bool &Wrapped);
+  static ValueRange sub(const ValueRange &A, const ValueRange &B,
+                        bool &Wrapped);
+  static ValueRange mul(const ValueRange &A, const ValueRange &B,
+                        bool &Wrapped);
+  static ValueRange bitAnd(const ValueRange &A, const ValueRange &B);
+  static ValueRange bitOr(const ValueRange &A, const ValueRange &B);
+  static ValueRange bitXor(const ValueRange &A, const ValueRange &B);
+  /// a & ~b.
+  static ValueRange bitClear(const ValueRange &A, const ValueRange &B);
+  static ValueRange shiftLeft(const ValueRange &A, const ValueRange &Amt,
+                              bool &Wrapped);
+  static ValueRange shiftRightLogical(const ValueRange &A,
+                                      const ValueRange &Amt);
+  static ValueRange shiftRightArith(const ValueRange &A,
+                                    const ValueRange &Amt);
+
+  /// "12..34" or "full".
+  std::string str() const;
+
+private:
+  int64_t Min = INT64_MIN;
+  int64_t Max = INT64_MAX;
+};
+
+} // namespace og
+
+#endif // OG_VRP_VALUERANGE_H

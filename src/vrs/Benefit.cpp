@@ -1,0 +1,155 @@
+//===- vrs/Benefit.cpp ----------------------------------------------------==//
+
+#include "vrs/Benefit.h"
+
+#include "vrp/Transfer.h"
+
+using namespace og;
+
+namespace {
+constexpr unsigned MaxDepth = 24;
+}
+
+ProgramBenefit::ProgramBenefit(const Program &P, const RangeAnalysis &RA,
+                               const ProgramProfile *Profile,
+                               IsaPolicy Policy, const EnergyParams &Energy,
+                               bool UsefulThroughArith)
+    : P(P), RA(RA), Profile(Profile), Policy(Policy), Energy(Energy) {
+  Ctx.resize(P.Funcs.size());
+  for (const Function &F : P.Funcs) {
+    FnCtx &C = Ctx[F.Id];
+    C.G.reset(new Cfg(F));
+    C.RD.reset(new ReachingDefs(F, *C.G));
+    UsefulWidth::Options UWOpts;
+    UWOpts.ThroughArithmetic = UsefulThroughArith;
+    C.UW.reset(new UsefulWidth(F, *C.RD, UWOpts));
+
+    std::vector<ReachingDefs::Def> Defs;
+    for (size_t Id = 0; Id < C.RD->numInsts(); ++Id) {
+      const Instruction &I = C.RD->inst(Id);
+      if (I.isCall())
+        C.Calls.push_back(Id);
+      // Which instructions read entry-argument values.
+      unsigned NSrc = I.numRegSources();
+      InstRef Ref = C.RD->instRef(Id);
+      for (unsigned S = 0; S < NSrc; ++S) {
+        Reg R = I.regSource(S);
+        if (R < RegA0 || R >= RegA0 + NumArgRegs)
+          continue;
+        C.RD->reachingDefs(Ref.Block, Ref.Index, R, Defs);
+        for (const auto &D : Defs)
+          if (D.Kind == ReachingDefs::Def::EntryDef) {
+            C.EntryArgUses[R - RegA0].push_back(Id);
+            break;
+          }
+      }
+    }
+  }
+}
+
+uint64_t ProgramBenefit::instCount(int32_t F, size_t InstId) const {
+  if (!Profile)
+    return 1;
+  InstRef Ref = Ctx[F].RD->instRef(InstId);
+  return Profile->blockCount(F, Ref.Block);
+}
+
+double ProgramBenefit::savings(int32_t F, size_t DefId,
+                               const ValueRange &R) const {
+  Visited V;
+  return savingsRec(F, DefId, R, V, 0);
+}
+
+double ProgramBenefit::useSavings(int32_t F, size_t UId, Reg R,
+                                  const ValueRange &NewOut, Visited &V,
+                                  unsigned Depth) const {
+  const ReachingDefs &RD = *Ctx[F].RD;
+  const UsefulWidth &UW = *Ctx[F].UW;
+  const FunctionRanges &FR = RA.func(F);
+  const Instruction &U = RD.inst(UId);
+  const OpInfo &Info = U.info();
+  if (!Info.HasWidth)
+    return 0.0;
+
+  ValueRange NewA = FR.InA[UId];
+  ValueRange NewB = FR.InB[UId];
+  if (Info.ReadsRa && U.Ra == R)
+    NewA = NewA.intersectWith(NewOut);
+  if (U.readsRbRegister() && U.Rb == R)
+    NewB = NewB.intersectWith(NewOut);
+
+  bool MayWrap = false;
+  ValueRange Out = forwardTransfer(U, NewA, NewB, FR.OldRd[UId], MayWrap);
+  Out = Out.intersectWith(FR.Out[UId]); // old facts still hold
+
+  double Total = 0.0;
+  unsigned Bytes =
+      requiredBytes(U, NewA, NewB, Out, MayWrap, UW.usefulBytes(UId));
+  Width Wanted =
+      encodableWidths(U.Opc, Policy).narrowestAtLeast(widthForBytes(Bytes));
+  if (Wanted < U.W) {
+    // "if the width of the output register has changed (meaning it may
+    // need a narrower opcode), the energy savings are computed."
+    Total += static_cast<double>(instCount(F, UId)) *
+             Energy.aluSaving(U.W, Wanted);
+  }
+  // Recurse when the use's own output range tightened (Section 3.1's
+  // Savings(D, r') term).
+  if (U.hasDest() && U.Rd != RegZero && !Out.contains(FR.Out[UId]))
+    Total += savingsRec(F, UId, Out, V, Depth + 1);
+  return Total;
+}
+
+double ProgramBenefit::savingsRec(int32_t F, size_t DefId,
+                                  const ValueRange &NewOut, Visited &V,
+                                  unsigned Depth) const {
+  if (Depth > MaxDepth)
+    return 0.0;
+  const ReachingDefs &RD = *Ctx[F].RD;
+  const Instruction &D = RD.inst(DefId);
+  Reg R = D.Rd;
+  double Total = 0.0;
+
+  for (size_t UId : RD.usesOf(DefId)) {
+    if (!V.insert({F, UId}).second)
+      continue;
+    Total += useSavings(F, UId, R, NewOut, V, Depth);
+  }
+
+  // Calls the pinned register reaches as an argument: the specializer
+  // clones such callees, so their narrowed bodies count too.
+  if (R >= RegA0 && R < RegA0 + NumArgRegs) {
+    unsigned ArgIdx = R - RegA0;
+    InstRef DRef = RD.instRef(DefId);
+    std::vector<ReachingDefs::Def> Defs;
+    for (size_t CallId : Ctx[F].Calls) {
+      InstRef CRef = RD.instRef(CallId);
+      RD.reachingDefs(CRef.Block, CRef.Index, R, Defs);
+      bool Reaches = false;
+      for (const auto &Def : Defs)
+        Reaches |= Def.Kind == ReachingDefs::Def::InstDef &&
+                   RD.instRef(Def.InstId) == DRef;
+      if (!Reaches)
+        continue;
+      int32_t Callee = RD.inst(CallId).Callee;
+      Total += argSavings(Callee, ArgIdx, NewOut, V, Depth + 1);
+    }
+  }
+  return Total;
+}
+
+double ProgramBenefit::argSavings(int32_t Callee, unsigned ArgIdx,
+                                  const ValueRange &R, Visited &V,
+                                  unsigned Depth) const {
+  if (Depth > MaxDepth)
+    return 0.0;
+  // One visit per (callee, arg): the sentinel id is beyond any real
+  // instruction id.
+  if (!V.insert({Callee, SIZE_MAX - ArgIdx}).second)
+    return 0.0;
+  double Total = 0.0;
+  for (size_t UId : Ctx[Callee].EntryArgUses[ArgIdx])
+    Total += useSavings(Callee, UId, static_cast<Reg>(RegA0 + ArgIdx), R, V,
+                        Depth);
+  return Total;
+}

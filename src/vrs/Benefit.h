@@ -1,0 +1,92 @@
+//===- vrs/Benefit.h - Savings/cost estimation for VRS -----------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Implements the recursive Savings formula of paper Section 3.1:
+///
+///   Savings(I,r,min,max) = sum over D in Uses(I,r) of
+///       InstCount(D) * InstSaving(D,r,min,max) + Savings(D,r',min',max')
+///
+/// where pinning r to [min,max] at D may let D use a narrower opcode
+/// (InstSaving from the Table-1 energy deltas) and narrows D's output
+/// range r', which recurses into D's own uses. InstCount comes from
+/// basic-block profiles.
+///
+/// The walk is interprocedural: when the pinned register feeds an argument
+/// register at a call site, the savings of pinning the callee's entry
+/// argument are added (the specializer clones such callees so the narrower
+/// argument range actually reaches them).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_VRS_BENEFIT_H
+#define OG_VRS_BENEFIT_H
+
+#include "analysis/ReachingDefs.h"
+#include "profile/BlockProfile.h"
+#include "vrp/Narrowing.h"
+#include "vrs/EnergyTables.h"
+
+#include <memory>
+#include <set>
+#include <vector>
+
+namespace og {
+
+/// Program-wide savings estimator; builds per-function def-use and
+/// useful-width contexts once.
+class ProgramBenefit {
+public:
+  ProgramBenefit(const Program &P, const RangeAnalysis &RA,
+                 const ProgramProfile *Profile, IsaPolicy Policy,
+                 const EnergyParams &Energy, bool UsefulThroughArith);
+
+  /// Total estimated energy saved when the output of instruction \p DefId
+  /// of function \p F is known to lie in \p R (before weighting by the
+  /// range frequency).
+  double savings(int32_t F, size_t DefId, const ValueRange &R) const;
+
+  /// Executions of the block containing \p InstId (1 without a profile).
+  uint64_t instCount(int32_t F, size_t InstId) const;
+
+  const ReachingDefs &reachingDefs(int32_t F) const { return *Ctx[F].RD; }
+  const UsefulWidth &usefulWidth(int32_t F) const { return *Ctx[F].UW; }
+
+private:
+  struct FnCtx {
+    std::unique_ptr<Cfg> G;
+    std::unique_ptr<ReachingDefs> RD;
+    std::unique_ptr<UsefulWidth> UW;
+    /// Instruction ids of call sites in this function.
+    std::vector<size_t> Calls;
+    /// [argIdx] -> instruction ids whose aK input may come from function
+    /// entry (targets of argument pinning).
+    std::vector<size_t> EntryArgUses[NumArgRegs];
+  };
+
+  /// Key for cycle avoidance across the recursion.
+  using Visited = std::set<std::pair<int32_t, size_t>>;
+
+  double savingsRec(int32_t F, size_t DefId, const ValueRange &NewOut,
+                    Visited &V, unsigned Depth) const;
+  /// Savings at one use site when operand register \p R is pinned.
+  double useSavings(int32_t F, size_t UId, Reg R, const ValueRange &NewOut,
+                    Visited &V, unsigned Depth) const;
+  /// Savings of pinning entry argument \p ArgIdx of function \p Callee.
+  double argSavings(int32_t Callee, unsigned ArgIdx, const ValueRange &R,
+                    Visited &V, unsigned Depth) const;
+
+  const Program &P;
+  const RangeAnalysis &RA;
+  const ProgramProfile *Profile;
+  IsaPolicy Policy;
+  EnergyParams Energy;
+  std::vector<FnCtx> Ctx;
+};
+
+} // namespace og
+
+#endif // OG_VRS_BENEFIT_H

@@ -1,0 +1,157 @@
+//===- vrs/ConstProp.cpp --------------------------------------------------==//
+
+#include "vrs/ConstProp.h"
+
+#include "analysis/Liveness.h"
+
+using namespace og;
+
+namespace {
+
+/// Pure value producers: no memory, control or output side effects. Loads
+/// are excluded from folding (the loaded location may change) but included
+/// in DCE (a dead load has no observable effect in this machine model).
+bool foldablePure(const Instruction &I) {
+  if (!I.hasDest() || I.Rd == RegZero)
+    return false;
+  switch (I.info().Class) {
+  case OpClass::Load:
+  case OpClass::Store:
+  case OpClass::Branch:
+  case OpClass::Call:
+  case OpClass::Ret:
+  case OpClass::Halt:
+  case OpClass::Out:
+    return false;
+  default:
+    return I.Opc != Op::Ldi; // already folded
+  }
+}
+
+bool dcePure(const Instruction &I) {
+  if (!I.hasDest())
+    return false;
+  switch (I.info().Class) {
+  case OpClass::Store:
+  case OpClass::Branch:
+  case OpClass::Call:
+  case OpClass::Ret:
+  case OpClass::Halt:
+  case OpClass::Out:
+    return false;
+  default:
+    return true;
+  }
+}
+
+} // namespace
+
+uint64_t og::foldConstants(Program &P, const RangeAnalysis &RA,
+                           BlockCountMap *PerBlock) {
+  uint64_t Folded = 0;
+  for (Function &F : P.Funcs) {
+    const FunctionRanges &FR = RA.func(F.Id);
+    for (BasicBlock &BB : F.Blocks) {
+      for (size_t II = 0; II < BB.Insts.size(); ++II) {
+        Instruction &I = BB.Insts[II];
+        if (!foldablePure(I))
+          continue;
+        size_t Id = FR.idOf(BB.Id, static_cast<int32_t>(II));
+        if (FR.MayWrap[Id] || !FR.Out[Id].isConstant())
+          continue;
+        I = Instruction::ldi(I.Rd, FR.Out[Id].min());
+        ++Folded;
+        if (PerBlock)
+          ++(*PerBlock)[{F.Id, BB.Id}];
+      }
+    }
+  }
+  return Folded;
+}
+
+uint64_t og::foldBranches(Program &P, const RangeAnalysis &RA,
+                          BlockCountMap *PerBlock) {
+  uint64_t Folded = 0;
+  for (Function &F : P.Funcs) {
+    const FunctionRanges &FR = RA.func(F.Id);
+    for (BasicBlock &BB : F.Blocks) {
+      const Instruction *Term = BB.terminator();
+      if (!Term || !Term->isCondBranch())
+        continue;
+      size_t Id = FR.idOf(BB.Id, static_cast<int32_t>(BB.Insts.size()) - 1);
+      const ValueRange &Cond = FR.InA[Id];
+      // Decide the branch from the tested register's range.
+      int Decided = 0; // +1 taken, -1 fallthrough, 0 unknown
+      switch (Term->Opc) {
+      case Op::Beq:
+        if (Cond.isConstant() && Cond.min() == 0)
+          Decided = 1;
+        else if (!Cond.contains(0))
+          Decided = -1;
+        break;
+      case Op::Bne:
+        if (!Cond.contains(0))
+          Decided = 1;
+        else if (Cond.isConstant() && Cond.min() == 0)
+          Decided = -1;
+        break;
+      case Op::Blt:
+        Decided = Cond.max() < 0 ? 1 : (Cond.min() >= 0 ? -1 : 0);
+        break;
+      case Op::Ble:
+        Decided = Cond.max() <= 0 ? 1 : (Cond.min() > 0 ? -1 : 0);
+        break;
+      case Op::Bgt:
+        Decided = Cond.min() > 0 ? 1 : (Cond.max() <= 0 ? -1 : 0);
+        break;
+      case Op::Bge:
+        Decided = Cond.min() >= 0 ? 1 : (Cond.max() < 0 ? -1 : 0);
+        break;
+      default:
+        break;
+      }
+      if (Decided == 0)
+        continue;
+      if (Decided > 0) {
+        int32_t Target = Term->Target;
+        BB.Insts.back() = Instruction::br(Target);
+        BB.FallthroughSucc = NoTarget;
+      } else {
+        BB.Insts.pop_back(); // fallthrough edge already present
+      }
+      ++Folded;
+      if (PerBlock)
+        ++(*PerBlock)[{F.Id, BB.Id}];
+    }
+  }
+  return Folded;
+}
+
+uint64_t og::eliminateDeadCode(Program &P, BlockCountMap *PerBlock) {
+  uint64_t Removed = 0;
+  for (Function &F : P.Funcs) {
+    bool Changed = true;
+    unsigned Guard = 0;
+    while (Changed && Guard++ < 8) {
+      Changed = false;
+      Cfg G(F);
+      Liveness LV(F, G);
+      for (BasicBlock &BB : F.Blocks) {
+        for (size_t II = BB.Insts.size(); II-- > 0;) {
+          Instruction &I = BB.Insts[II];
+          if (!dcePure(I) || I.isTerminator())
+            continue;
+          if (I.Rd == RegZero ||
+              !LV.liveAfter(BB.Id, static_cast<int32_t>(II), I.Rd)) {
+            BB.Insts.erase(BB.Insts.begin() + static_cast<long>(II));
+            ++Removed;
+            Changed = true;
+            if (PerBlock)
+              ++(*PerBlock)[{F.Id, BB.Id}];
+          }
+        }
+      }
+    }
+  }
+  return Removed;
+}

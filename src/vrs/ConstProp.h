@@ -1,0 +1,56 @@
+//===- vrs/ConstProp.h - Constant folding and DCE ----------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The cleanup passes run after specialization (paper Section 3.4 /
+/// Figure 5: single-value specialization "removes instructions from the
+/// specialized sections ... a consequence of specializing for a given
+/// value and applying constant propagation"):
+///  - fold: any instruction whose output range is a proven constant (and
+///    whose computation cannot wrap) becomes a load-immediate;
+///  - DCE: pure instructions whose destination is dead are removed.
+///
+/// Both passes are whole-program (a link-time optimizer like Alto runs
+/// them globally) and report per-block removal counts so the specializer
+/// can attribute eliminations to cloned regions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_VRS_CONSTPROP_H
+#define OG_VRS_CONSTPROP_H
+
+#include "program/Program.h"
+#include "vrp/RangeAnalysis.h"
+
+#include <map>
+#include <utility>
+
+namespace og {
+
+/// Per-(function, block) instruction-removal / rewrite counts.
+using BlockCountMap = std::map<std::pair<int32_t, int32_t>, uint64_t>;
+
+/// Replaces provably-constant pure instructions with ldi. Returns the
+/// number rewritten; per-block counts accumulate into \p PerBlock.
+uint64_t foldConstants(Program &P, const RangeAnalysis &RA,
+                       BlockCountMap *PerBlock = nullptr);
+
+/// Rewrites conditional branches whose direction the range analysis
+/// decides: always-taken branches become unconditional, never-taken
+/// branches are deleted (the fallthrough remains). This is what lets a
+/// single-value specialization collapse its region (paper Figure 5,
+/// m88ksim/vortex). Returns the number of branches rewritten.
+uint64_t foldBranches(Program &P, const RangeAnalysis &RA,
+                      BlockCountMap *PerBlock = nullptr);
+
+/// Removes pure instructions whose destinations are dead. Iterates to a
+/// fixpoint. Returns the number removed; per-block counts accumulate into
+/// \p PerBlock.
+uint64_t eliminateDeadCode(Program &P, BlockCountMap *PerBlock = nullptr);
+
+} // namespace og
+
+#endif // OG_VRS_CONSTPROP_H

@@ -1,0 +1,22 @@
+//===- vrs/EnergyTables.cpp -----------------------------------------------==//
+
+#include "vrs/EnergyTables.h"
+
+using namespace og;
+
+double og::paperTable1Saving(Width Dest, Width Source) {
+  // Table 1, CGO'04: rows = destination width, columns = source width.
+  //            src64 src32 src16 src8
+  //   dst64      -    -1    -3    -6
+  //   dst32      1     -    -2    -5
+  //   dst16      3     2     -    -3
+  //   dst8       6     5     3     -
+  static const double T[4][4] = {
+      // indexed [dest][source] with Width order B,H,W,Q
+      /*dst B*/ {0, 3, 5, 6},
+      /*dst H*/ {-3, 0, 2, 3},
+      /*dst W*/ {-5, -2, 0, 1},
+      /*dst Q*/ {-6, -3, -1, 0},
+  };
+  return T[static_cast<unsigned>(Dest)][static_cast<unsigned>(Source)];
+}

@@ -1,0 +1,387 @@
+//===- vrs/Specializer.cpp ------------------------------------------------==//
+
+#include "vrs/Specializer.h"
+
+#include "analysis/Liveness.h"
+#include "program/Clone.h"
+#include "program/Verifier.h"
+#include "vrs/Benefit.h"
+#include "vrs/ConstProp.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace og;
+
+namespace {
+
+/// A candidate that survived the prefilter and has a profitable profiled
+/// range.
+struct Candidate {
+  int32_t Func = 0;
+  InstRef Ref;       ///< kept current across block splits
+  Reg R = RegZero;   ///< the specialized output register
+  int64_t Min = 0;
+  int64_t Max = 0;
+  double NetBenefit = 0.0;
+};
+
+/// Splits block \p BB of \p F after instruction \p Index; the tail moves to
+/// a new block appended to the function. Returns the tail's block id.
+int32_t splitBlockAfter(Function &F, int32_t BB, int32_t Index) {
+  BasicBlock &Head = F.Blocks[BB];
+  assert(static_cast<size_t>(Index) < Head.Insts.size() &&
+         "split point out of range");
+  BasicBlock Tail;
+  Tail.Id = static_cast<int32_t>(F.Blocks.size());
+  Tail.Label = Head.Label.empty() ? "" : Head.Label + ".tail";
+  Tail.Insts.assign(Head.Insts.begin() + Index + 1, Head.Insts.end());
+  Tail.FallthroughSucc = Head.FallthroughSucc;
+  F.Blocks.push_back(std::move(Tail));
+  // push_back may invalidate Head.
+  BasicBlock &Head2 = F.Blocks[BB];
+  Head2.Insts.resize(static_cast<size_t>(Index) + 1);
+  Head2.FallthroughSucc = static_cast<int32_t>(F.Blocks.size()) - 1;
+  return Head2.FallthroughSucc;
+}
+
+/// Picks up to \p Needed scratch registers dead at the entry of block
+/// \p At (guards may clobber them). Prefers caller-saved temporaries.
+bool pickScratchRegs(const Function &F, int32_t At, Reg Avoid,
+                     unsigned Needed, Reg *Out) {
+  Cfg G(F);
+  Liveness LV(F, G);
+  uint32_t Live = LV.liveIn(At);
+  unsigned Got = 0;
+  const Reg Preferred[] = {RegT8,  RegT9,  RegT10, RegT11,
+                           RegAT,  RegT12, RegT0,  RegT1,
+                           RegT2,  RegT3,  RegT4,  RegT5};
+  for (Reg R : Preferred) {
+    if (R == Avoid || (Live & (uint32_t(1) << R)))
+      continue;
+    Out[Got++] = R;
+    if (Got == Needed)
+      return true;
+  }
+  return false;
+}
+
+} // namespace
+
+VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
+                                const VrsOptions &Opts) {
+  VrsReport Report;
+
+  // ---- Step 0: block counts from a plain training run.
+  ProgramProfile BlockProf = collectProfile(P, TrainOptions, {});
+
+  // ---- Step 1 (§3.3): prefilter candidates with the minimal-cost
+  // assumption, using ranges/useful widths of the current program.
+  RangeAnalysis RA(P, Opts.Narrow.Range);
+  RA.run();
+  ProgramBenefit PB(P, RA, &BlockProf, Opts.Narrow.Policy, Opts.Energy,
+                    Opts.Narrow.UsefulThroughArith);
+
+  std::vector<std::pair<int32_t, size_t>> ProfilePoints;
+  for (const Function &F : P.Funcs) {
+    const ReachingDefs &RD = PB.reachingDefs(F.Id);
+    const FunctionRanges &FR = RA.func(F.Id);
+    for (size_t Id = 0; Id < RD.numInsts(); ++Id) {
+      const Instruction &I = RD.inst(Id);
+      // Any value-producing instruction can be a specialization point; the
+      // benefit lives in its dependents, not its own opcode.
+      if (!I.hasDest() || I.Rd == RegZero || !I.info().HasWidth)
+        continue;
+      uint64_t Count = PB.instCount(F.Id, Id);
+      if (Count == 0)
+        continue; // never executed on the train input
+      // Best case: the output pinned to a constant within its range.
+      int64_t Pin = FR.Out[Id].isFull() ? 0 : FR.Out[Id].min();
+      double BestCase = PB.savings(F.Id, Id, ValueRange::constant(Pin));
+      double MinCost =
+          static_cast<double>(Count) * Opts.Energy.minimalTestCost();
+      if (BestCase > MinCost)
+        ProfilePoints.push_back({F.Id, Id});
+    }
+  }
+  Report.PointsProfiled = ProfilePoints.size();
+
+  // ---- Step 2 (§3.3): value-profile the candidates on the train input.
+  ProgramProfile ValueProf =
+      collectProfile(P, TrainOptions, ProfilePoints, Opts.TableCfg);
+
+  // ---- Step 3a (§3.4): evaluate profiled ranges; keep net winners.
+  std::vector<Candidate> Accepted;
+  for (const auto &Point : ProfilePoints) {
+    int32_t FId = Point.first;
+    size_t Id = Point.second;
+    const ReachingDefs &RD = PB.reachingDefs(FId);
+    const ValueRange StaticOut = RA.func(FId).Out[Id];
+
+    const ValueProfileTable &Table = ValueProf.Values.at(Point);
+    std::vector<ValueProfileTable::Entry> Entries = Table.sortedEntries();
+    if (Entries.empty() || Table.totalCount() == 0) {
+      ++Report.PointsNoBenefit;
+      continue;
+    }
+
+    uint64_t Count = PB.instCount(FId, Id);
+    double BestNet = 0.0;
+    int64_t BestMin = 0, BestMax = 0;
+    unsigned MaxK =
+        std::min<unsigned>(Opts.MaxProfiledRanges,
+                           static_cast<unsigned>(Entries.size()));
+    for (unsigned K = 1; K <= MaxK; ++K) {
+      // Hull of the top-K most frequent values.
+      int64_t Mn = Entries[0].Value, Mx = Entries[0].Value;
+      for (unsigned E = 1; E < K; ++E) {
+        Mn = std::min(Mn, Entries[E].Value);
+        Mx = std::max(Mx, Entries[E].Value);
+      }
+      // Widths are byte-granular, so widening the guard range to the full
+      // bucket of its width costs no savings but makes the guard robust
+      // against train/ref drift (e.g. counters that keep growing on the
+      // larger input). Nonnegative hulls expand to the unsigned bucket
+      // (zero-extended byte/halfword data), others to the signed hull.
+      if (Mn != Mx) {
+        if (Mn >= 0) {
+          unsigned Bytes = 1;
+          while (Bytes < 8 &&
+                 static_cast<uint64_t>(Mx) >= (uint64_t(1) << (8 * Bytes)))
+            ++Bytes;
+          if (Bytes < 8) {
+            Mn = 0;
+            Mx = (int64_t(1) << (8 * Bytes)) - 1;
+          }
+        } else {
+          Width HullW = widthForSignedRange(Mn, Mx);
+          if (HullW != Width::Q) {
+            Mn = widthSignedMin(HullW);
+            Mx = widthSignedMax(HullW);
+          }
+        }
+      }
+      double Freq = Table.freqInRange(Mn, Mx);
+      if (Freq < Opts.MinRangeFreq)
+        continue;
+      // The guard must teach the analysis something VRP does not already
+      // know; otherwise the clone is a no-op with a foldable guard.
+      if (ValueRange(Mn, Mx).contains(StaticOut))
+        continue;
+      double Sav = PB.savings(FId, Id, ValueRange(Mn, Mx));
+      double TestCost =
+          Mn == Mx ? (Mn == 0 ? Opts.Energy.zeroTestCost()
+                              : Opts.Energy.singleValueTestCost())
+                   : Opts.Energy.rangeTestCost();
+      TestCost += Opts.Energy.mispredictCost(Freq);
+      double Net = Sav * Freq - static_cast<double>(Count) * TestCost;
+      if (Net > BestNet) {
+        BestNet = Net;
+        BestMin = Mn;
+        BestMax = Mx;
+      }
+    }
+    if (BestNet <= 0.0) {
+      ++Report.PointsNoBenefit;
+      continue;
+    }
+    Candidate C;
+    C.Func = FId;
+    C.Ref = RD.instRef(Id);
+    C.R = RD.inst(Id).Rd;
+    C.Min = BestMin;
+    C.Max = BestMax;
+    C.NetBenefit = BestNet;
+    Accepted.push_back(C);
+  }
+
+  // Deterministic application order: best first.
+  std::sort(Accepted.begin(), Accepted.end(),
+            [](const Candidate &A, const Candidate &B) {
+              if (A.NetBenefit != B.NetBenefit)
+                return A.NetBenefit > B.NetBenefit;
+              if (A.Func != B.Func)
+                return A.Func < B.Func;
+              if (A.Ref.Block != B.Ref.Block)
+                return A.Ref.Block < B.Ref.Block;
+              return A.Ref.Index < B.Ref.Index;
+            });
+
+  // ---- Step 3b: apply the transformations.
+  std::vector<std::set<int32_t>> SpecializedBlocks(P.Funcs.size());
+  std::vector<unsigned> AppliedPerFunc(P.Funcs.size(), 0);
+  size_t OriginalNumFuncs = P.Funcs.size();
+
+  for (size_t CI = 0; CI < Accepted.size(); ++CI) {
+    Candidate &C = Accepted[CI];
+
+    if (AppliedPerFunc[C.Func] >= Opts.MaxSpecializationsPerFunction) {
+      ++Report.PointsNoBenefit;
+      continue;
+    }
+    // Dependence: a point inside a region some earlier point already
+    // cloned is handled by that specialization (paper Figure 4).
+    if (SpecializedBlocks[C.Func].count(C.Ref.Block)) {
+      ++Report.PointsDependent;
+      continue;
+    }
+
+    // Split after the candidate; the region entry is the tail.
+    int32_t Tail = splitBlockAfter(P.Funcs[C.Func], C.Ref.Block, C.Ref.Index);
+    // Later candidates in the same block move to the tail.
+    for (size_t CJ = CI + 1; CJ < Accepted.size(); ++CJ) {
+      Candidate &D = Accepted[CJ];
+      if (D.Func == C.Func && D.Ref.Block == C.Ref.Block &&
+          D.Ref.Index > C.Ref.Index) {
+        D.Ref.Block = Tail;
+        D.Ref.Index -= C.Ref.Index + 1;
+      }
+    }
+
+    // Region: blocks dominated by the tail, BFS-capped.
+    std::vector<int32_t> Region;
+    {
+      Function &F = P.Funcs[C.Func];
+      Cfg G(F);
+      DominatorTree DT(G);
+      std::set<int32_t> Dominated;
+      for (int32_t BB : DT.dominated(Tail))
+        Dominated.insert(BB);
+      std::vector<int32_t> Work{Tail};
+      std::set<int32_t> Seen{Tail};
+      while (!Work.empty() && Region.size() < Opts.MaxRegionBlocks) {
+        int32_t BB = Work.front();
+        Work.erase(Work.begin());
+        Region.push_back(BB);
+        for (int32_t S : G.successors(BB))
+          if (Dominated.count(S) && !Seen.count(S)) {
+            Seen.insert(S);
+            Work.push_back(S);
+          }
+      }
+    }
+
+    // Guard codegen needs scratch registers dead at the region entry.
+    bool IsConst = C.Min == C.Max;
+    bool IsZero = IsConst && C.Min == 0;
+    unsigned NeedScratch = IsZero ? 0 : (IsConst ? 1 : 2);
+    Reg Scratch[2] = {RegZero, RegZero};
+    if (NeedScratch > 0 &&
+        !pickScratchRegs(P.Funcs[C.Func], Tail, C.R, NeedScratch, Scratch)) {
+      ++Report.PointsNoBenefit;
+      continue;
+    }
+
+    // Clone the region.
+    std::map<int32_t, int32_t> Mapping =
+        cloneRegion(P.Funcs[C.Func], Region);
+    int32_t CloneTail = Mapping.at(Tail);
+
+    // Specialize callees called from the cloned region (one level): the
+    // clone gets its own copy of each callee so the narrowed argument
+    // ranges reach it through the interprocedural analysis.
+    {
+      std::map<int32_t, int32_t> CalleeClones;
+      for (const auto &[Old, New] : Mapping) {
+        (void)Old;
+        for (Instruction &I : P.Funcs[C.Func].Blocks[New].Insts) {
+          if (!I.isCall())
+            continue;
+          int32_t Callee = I.Callee;
+          if (Callee == P.EntryFunc ||
+              static_cast<size_t>(Callee) >= OriginalNumFuncs)
+            continue; // don't re-clone clones
+          auto It = CalleeClones.find(Callee);
+          if (It == CalleeClones.end()) {
+            Function Copy = P.Funcs[Callee];
+            Copy.Id = static_cast<int32_t>(P.Funcs.size());
+            Copy.Name += ".spec" + std::to_string(Copy.Id);
+            P.Funcs.push_back(std::move(Copy));
+            It = CalleeClones.emplace(Callee, P.Funcs.back().Id).first;
+            for (const BasicBlock &BB : P.Funcs.back().Blocks) {
+              Report.CloneBlocks.push_back({P.Funcs.back().Id, BB.Id});
+              Report.StaticSpecialized += BB.Insts.size();
+            }
+          }
+          I.Callee = It->second;
+        }
+      }
+    }
+
+    Function &F = P.Funcs[C.Func];
+    BasicBlock &Guard = F.addBlock("guard");
+    int32_t GuardId = Guard.Id;
+    if (IsZero) {
+      Guard.Insts.push_back(Instruction::condBr(Op::Beq, C.R, CloneTail));
+    } else if (IsConst) {
+      Guard.Insts.push_back(
+          Instruction::aluImm(Op::CmpEq, Width::Q, Scratch[0], C.R, C.Min));
+      Guard.Insts.push_back(
+          Instruction::condBr(Op::Bne, Scratch[0], CloneTail));
+    } else {
+      // (r <= max) & ~(r < min), then branch: the paper's two comparisons,
+      // an AND and a conditional branch.
+      Guard.Insts.push_back(
+          Instruction::aluImm(Op::CmpLe, Width::Q, Scratch[0], C.R, C.Max));
+      Guard.Insts.push_back(
+          Instruction::aluImm(Op::CmpLt, Width::Q, Scratch[1], C.R, C.Min));
+      Guard.Insts.push_back(Instruction::alu(Op::Bic, Width::Q, Scratch[0],
+                                             Scratch[0], Scratch[1]));
+      Guard.Insts.push_back(
+          Instruction::condBr(Op::Bne, Scratch[0], CloneTail));
+    }
+    Guard.FallthroughSucc = Tail;
+    F.Blocks[C.Ref.Block].FallthroughSucc = GuardId;
+
+    // Bookkeeping.
+    Report.Seeds.push_back(
+        {C.Func, GuardId, CloneTail, C.R, C.Min, C.Max});
+    Report.GuardBlocks.push_back({C.Func, GuardId});
+    for (const auto &[Old, New] : Mapping) {
+      Report.CloneBlocks.push_back({C.Func, New});
+      SpecializedBlocks[C.Func].insert(Old);
+      Report.StaticSpecialized += F.Blocks[New].Insts.size();
+    }
+    ++AppliedPerFunc[C.Func];
+    ++Report.PointsSpecialized;
+
+    std::string Diag;
+    bool Ok = verifyProgram(P, &Diag);
+    assert(Ok && "specialization produced a malformed program");
+    (void)Ok;
+  }
+
+  // ---- Step 3c: re-narrow with the guard facts, then fold and clean.
+  NarrowingOptions NarrowOpts = Opts.Narrow;
+  NarrowOpts.Seeds.insert(NarrowOpts.Seeds.end(), Report.Seeds.begin(),
+                          Report.Seeds.end());
+  narrowProgram(P, NarrowOpts);
+
+  {
+    RangeAnalysis RA2(P, NarrowOpts.Range);
+    for (const EdgeSeed &S : NarrowOpts.Seeds)
+      RA2.addEdgeConstraint(S.Func, S.From, S.To, S.R,
+                            ValueRange(S.Min, S.Max));
+    RA2.run();
+    BlockCountMap Removed;
+    foldConstants(P, RA2); // folds rewrite in place; DCE removes below
+    foldBranches(P, RA2, &Removed);
+    eliminateDeadCode(P, &Removed);
+    std::set<std::pair<int32_t, int32_t>> Clones(Report.CloneBlocks.begin(),
+                                                 Report.CloneBlocks.end());
+    for (const auto &[Loc, N] : Removed)
+      if (Clones.count(Loc))
+        Report.StaticEliminated += N;
+  }
+
+  // Final width assignment over the cleaned program.
+  narrowProgram(P, NarrowOpts);
+
+  std::string Diag;
+  bool Ok = verifyProgram(P, &Diag);
+  assert(Ok && "VRS produced a malformed program");
+  (void)Ok;
+  return Report;
+}

@@ -1,0 +1,81 @@
+//===- vrs/Specializer.h - Value Range Specialization ------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Value Range Specialization (paper Section 3), the profile-guided half
+/// of the system. The three steps of the paper:
+///
+///  1. Candidate identification (§3.3): a preliminary benefit analysis over
+///     basic-block counts, assuming the minimum test cost (one
+///     comparison), prunes the instructions worth value-profiling.
+///  2. Value profiling (§3.3): Calder-style fixed-size tables record the
+///     candidates' output values on the train input.
+///  3. Specialization (§3.4): candidates whose profiled range passes the
+///     energy cost/benefit test get their dominated region cloned, a
+///     range guard inserted (x>=min && x<=max: two comparisons, an AND and
+///     a branch; single-value and zero tests are cheaper), the range
+///     seeded into the clone, and VRP re-run. Single-value clones then
+///     constant-fold and dead-code-eliminate.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_VRS_SPECIALIZER_H
+#define OG_VRS_SPECIALIZER_H
+
+#include "profile/BlockProfile.h"
+#include "vrp/Narrowing.h"
+#include "vrs/EnergyTables.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace og {
+
+/// Tunables of the VRS pipeline.
+struct VrsOptions {
+  EnergyParams Energy;          ///< includes the TestCostNJ sweep knob
+  NarrowingOptions Narrow;      ///< re-VRP configuration
+  unsigned MaxRegionBlocks = 16;
+  unsigned MaxSpecializationsPerFunction = 8;
+  unsigned MaxProfiledRanges = 4; ///< candidate ranges tried per point
+  /// Minimum profiled frequency of the specialized range. Below this the
+  /// guard branch is poorly predictable and its misprediction cost (not
+  /// in the paper's energy-only test model) swamps the gating savings.
+  double MinRangeFreq = 0.90;
+  ValueProfileTable::Config TableCfg;
+};
+
+/// What happened, in the vocabulary of paper Figures 4-6.
+struct VrsReport {
+  // Figure 4: profiled points by fate.
+  uint64_t PointsProfiled = 0;
+  uint64_t PointsSpecialized = 0;
+  uint64_t PointsDependent = 0; ///< inside a region another point cloned
+  uint64_t PointsNoBenefit = 0;
+
+  // Figure 5: static instructions in specialized regions.
+  uint64_t StaticSpecialized = 0; ///< instructions cloned into regions
+  uint64_t StaticEliminated = 0;  ///< removed by const-prop/DCE in clones
+
+  // For Figure 6's run-time accounting.
+  std::vector<std::pair<int32_t, int32_t>> CloneBlocks; ///< (func, block)
+  std::vector<std::pair<int32_t, int32_t>> GuardBlocks;
+
+  /// Guard-edge facts, needed to re-run the narrowing pass later.
+  std::vector<EdgeSeed> Seeds;
+};
+
+/// Runs the full VRS pipeline on \p P (which should already be
+/// VRP-narrowed): profiles on \p TrainOptions, specializes, re-narrows,
+/// folds and cleans. The program is modified in place and stays
+/// semantically equivalent (same output stream on any input).
+VrsReport specializeProgram(Program &P, const RunOptions &TrainOptions,
+                            const VrsOptions &Opts);
+
+} // namespace og
+
+#endif // OG_VRS_SPECIALIZER_H

@@ -1,0 +1,59 @@
+//===- workloads/Common.cpp -----------------------------------------------==//
+
+#include "workloads/Common.h"
+
+using namespace og;
+
+uint64_t og::addRandomBytes(ProgramBuilder &PB, size_t Count, uint64_t Seed,
+                            uint8_t Lo, uint8_t Hi) {
+  Rng R(Seed);
+  std::vector<uint8_t> Bytes(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Bytes[I] = static_cast<uint8_t>(R.range(Lo, Hi));
+  return PB.addByteData(Bytes);
+}
+
+uint64_t og::addSkewedBytes(ProgramBuilder &PB, size_t Count, uint64_t Seed,
+                            uint8_t CommonLo, uint8_t CommonHi,
+                            unsigned CommonPct, uint8_t RareLo,
+                            uint8_t RareHi) {
+  Rng R(Seed);
+  std::vector<uint8_t> Bytes(Count);
+  for (size_t I = 0; I < Count; ++I) {
+    bool Common = R.below(100) < CommonPct;
+    Bytes[I] = static_cast<uint8_t>(
+        Common ? R.range(CommonLo, CommonHi) : R.range(RareLo, RareHi));
+  }
+  return PB.addByteData(Bytes);
+}
+
+uint64_t og::addRandomQuads(ProgramBuilder &PB, size_t Count, uint64_t Seed,
+                            int64_t Lo, int64_t Hi) {
+  Rng R(Seed);
+  std::vector<int64_t> Words(Count);
+  for (size_t I = 0; I < Count; ++I)
+    Words[I] = R.range(Lo, Hi);
+  return PB.addQuadData(Words);
+}
+
+void og::emitPrologue(FunctionBuilder &FB, const std::vector<Reg> &Regs) {
+  int64_t Frame = static_cast<int64_t>(Regs.size() + 1) * 8;
+  FB.subi(RegSP, RegSP, Frame);
+  FB.st(Width::Q, RegRA, RegSP, 0);
+  for (size_t I = 0; I < Regs.size(); ++I)
+    FB.st(Width::Q, Regs[I], RegSP, static_cast<int64_t>(I + 1) * 8);
+}
+
+void og::emitEpilogue(FunctionBuilder &FB, const std::vector<Reg> &Regs) {
+  int64_t Frame = static_cast<int64_t>(Regs.size() + 1) * 8;
+  FB.ld(Width::Q, RegRA, RegSP, 0);
+  for (size_t I = 0; I < Regs.size(); ++I)
+    FB.ld(Width::Q, Regs[I], RegSP, static_cast<int64_t>(I + 1) * 8);
+  FB.addi(RegSP, RegSP, Frame);
+}
+
+RunOptions og::runWithArg(int64_t Arg0) {
+  RunOptions Opts;
+  Opts.ArgRegs = {Arg0};
+  return Opts;
+}

@@ -1,0 +1,52 @@
+//===- workloads/Common.h - Workload construction helpers --------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shared scaffolding for the workload generators: deterministic input
+/// data, ABI-correct prologues/epilogues for functions that use
+/// callee-saved registers, and RunOptions wiring.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_WORKLOADS_COMMON_H
+#define OG_WORKLOADS_COMMON_H
+
+#include "program/Builder.h"
+#include "sim/Interpreter.h"
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace og {
+
+/// Deterministic random bytes in [Lo, Hi], placed in the data segment;
+/// returns the address.
+uint64_t addRandomBytes(ProgramBuilder &PB, size_t Count, uint64_t Seed,
+                        uint8_t Lo, uint8_t Hi);
+
+/// Deterministic skewed bytes: with probability \p CommonPct/100 a byte is
+/// drawn from [CommonLo, CommonHi], otherwise from [RareLo, RareHi]. Real
+/// program data is heavily skewed (paper Figure 12: 43% of SpecInt values
+/// fit one byte); uniform inputs would starve the value profiler.
+uint64_t addSkewedBytes(ProgramBuilder &PB, size_t Count, uint64_t Seed,
+                        uint8_t CommonLo, uint8_t CommonHi,
+                        unsigned CommonPct, uint8_t RareLo, uint8_t RareHi);
+
+/// Deterministic random 64-bit words in [Lo, Hi]; returns the address.
+uint64_t addRandomQuads(ProgramBuilder &PB, size_t Count, uint64_t Seed,
+                        int64_t Lo, int64_t Hi);
+
+/// Saves \p Regs (callee-saved) on the stack at function entry. Pair with
+/// emitEpilogue before every ret. Uses 8 bytes per register.
+void emitPrologue(FunctionBuilder &FB, const std::vector<Reg> &Regs);
+void emitEpilogue(FunctionBuilder &FB, const std::vector<Reg> &Regs);
+
+/// RunOptions with a0 = \p Arg0 (the input-size selector).
+RunOptions runWithArg(int64_t Arg0);
+
+} // namespace og
+
+#endif // OG_WORKLOADS_COMMON_H

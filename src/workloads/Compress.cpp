@@ -1,0 +1,108 @@
+//===- workloads/Compress.cpp - LZW-style byte compressor kernel ----------==//
+//
+// Stand-in for SpecInt95 `compress`: a byte stream is hashed into a code
+// table (the hot loop of LZW), emitting codes when hash chains saturate.
+// Dominated by byte loads, small-constant arithmetic and AND masks — the
+// paper's flagship useful-range case.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace og;
+
+Workload og::makeCompress(double Scale) {
+  ProgramBuilder PB;
+
+  size_t MaxN = static_cast<size_t>(60000 * Scale) + 64;
+  uint64_t Input =
+      addSkewedBytes(PB, MaxN, 0xC0817E55, 'a', 'z', 90, 0, 255);
+  uint64_t Table = PB.addZeroData(4096 * 2); // halfword counts
+
+  // emit_code(a0 = code) -> v0: fold the code into a byte-ish signature.
+  {
+    FunctionBuilder &F = PB.beginFunction("emit_code");
+    F.block("entry");
+    F.srli(RegT0, RegA0, 4);
+    F.xor_(RegT0, RegT0, RegA0);
+    F.andi(RegV0, RegT0, 0xFF);
+    F.ret();
+  }
+
+  // checksum(a0 = table base) -> v0: sum of all table counters.
+  {
+    FunctionBuilder &F = PB.beginFunction("checksum");
+    F.block("entry");
+    F.ldi(RegT0, 0);  // i
+    F.ldi(RegV0, 0);  // sum
+    F.block("loop");
+    F.slli(RegT1, RegT0, 1);
+    F.add(RegT1, RegA0, RegT1);
+    F.ld(Width::H, RegT2, RegT1, 0);
+    F.add(RegV0, RegV0, RegT2);
+    F.addi(RegT0, RegT0, 1);
+    F.cmpltImm(RegT3, RegT0, 4096);
+    F.bne(RegT3, "loop", "done");
+    F.block("done");
+    F.ret();
+  }
+
+  // main: a0 = number of input bytes to compress.
+  {
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.mov(RegS1, RegA0);          // n
+    F.ldi(RegS0, static_cast<int64_t>(Input));
+    F.ldi(RegS2, 0);              // i
+    F.ldi(RegS3, 0);              // h (rolling hash)
+    F.ldi(RegS4, 0);              // emitted codes
+    F.ldi(RegS5, 0);              // signature accumulator
+    F.block("loop");
+    F.cmplt(RegT0, RegS2, RegS1);
+    F.beq(RegT0, "finish", "body");
+    F.block("body");
+    // h = (h * 31 + input[i]) & 0xFFF
+    F.add(RegT1, RegS0, RegS2);
+    F.ld(Width::B, RegT2, RegT1, 0);
+    F.muli(RegT3, RegS3, 31);
+    F.add(RegT3, RegT3, RegT2);
+    F.andi(RegS3, RegT3, 0xFFF);
+    // table[h]++ (halfword counter, wraps like the original's code table)
+    F.slli(RegT4, RegS3, 1);
+    F.ldi(RegT5, static_cast<int64_t>(Table));
+    F.add(RegT4, RegT5, RegT4);
+    F.ld(Width::H, RegT6, RegT4, 0);
+    F.addi(RegT6, RegT6, 1);
+    F.st(Width::H, RegT6, RegT4, 0);
+    // Chain saturation: emit a code every time the low bits clear.
+    F.andi(RegT7, RegT6, 0x7);
+    F.bne(RegT7, "next", "emit");
+    F.block("emit");
+    F.mov(RegA0, RegS3);
+    F.jsr("emit_code");
+    F.add(RegS5, RegS5, RegV0);
+    F.addi(RegS4, RegS4, 1);
+    F.br("next");
+    F.block("next");
+    F.addi(RegS2, RegS2, 1);
+    F.br("loop");
+    F.block("finish");
+    F.out(RegS4);
+    F.out(RegS5);
+    F.out(RegS3);
+    F.ldi(RegA0, static_cast<int64_t>(Table));
+    F.jsr("checksum");
+    F.out(RegV0);
+    F.halt();
+  }
+
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "compress";
+  W.Prog = PB.finish();
+  W.Train = runWithArg(static_cast<int64_t>(7000 * Scale) + 32);
+  W.Ref = runWithArg(static_cast<int64_t>(60000 * Scale) + 32);
+  return W;
+}

@@ -1,0 +1,121 @@
+//===- workloads/Gcc.cpp - Table-driven cost selection kernel -------------==//
+//
+// Stand-in for SpecInt95 `gcc`: a stream of pseudo-IR opcodes is pushed
+// through comparison-heavy, table-driven cost evaluation across several
+// helper functions — the branchy, multi-function control flow that made
+// gcc the richest specialization target in the paper (55 points).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace og;
+
+namespace {
+
+/// Emits a leaf cost evaluator: v0 = table[a0 & 3] adjusted by a compare
+/// chain on a1 (an operand-size proxy).
+void makeEvaluator(ProgramBuilder &PB, const char *Name, uint64_t Table,
+                   int64_t Bias) {
+  FunctionBuilder &F = PB.beginFunction(Name);
+  F.block("entry");
+  F.andi(RegT0, RegA0, 3);
+  F.slli(RegT0, RegT0, 3);
+  F.ldi(RegT1, static_cast<int64_t>(Table));
+  F.add(RegT0, RegT0, RegT1);
+  F.ld(Width::Q, RegV0, RegT0, 0);
+  // Wide operands cost extra; tiny ones get a rebate.
+  F.cmpltImm(RegT2, RegA1, 16);
+  F.bne(RegT2, "small", "wide");
+  F.block("small");
+  F.subi(RegV0, RegV0, 1);
+  F.br("done");
+  F.block("wide");
+  F.cmpltImm(RegT3, RegA1, 128);
+  F.bne(RegT3, "done", "extra");
+  F.block("extra");
+  F.addi(RegV0, RegV0, Bias);
+  F.br("done");
+  F.block("done");
+  F.ret();
+}
+
+} // namespace
+
+Workload og::makeGcc(double Scale) {
+  ProgramBuilder PB;
+
+  size_t MaxN = static_cast<size_t>(40000 * Scale) + 64;
+  uint64_t Ops = addSkewedBytes(PB, MaxN, 0x6CC0FFEE, 0, 3, 75, 0, 15);
+  uint64_t Sizes = addSkewedBytes(PB, MaxN, 0x515E5EED, 1, 12, 85, 1, 200);
+  uint64_t CostArith = PB.addQuadData({2, 3, 4, 6});
+  uint64_t CostMem = PB.addQuadData({5, 7, 9, 12});
+  uint64_t CostBr = PB.addQuadData({1, 2, 8, 3});
+  uint64_t CostMisc = PB.addQuadData({1, 1, 2, 2});
+
+  makeEvaluator(PB, "eval_arith", CostArith, 2);
+  makeEvaluator(PB, "eval_mem", CostMem, 4);
+  makeEvaluator(PB, "eval_branch", CostBr, 1);
+  makeEvaluator(PB, "eval_misc", CostMisc, 1);
+
+  // main: a0 = stream length.
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.mov(RegS1, RegA0);
+  F.ldi(RegS0, static_cast<int64_t>(Ops));
+  F.ldi(RegS2, static_cast<int64_t>(Sizes));
+  F.ldi(RegS3, 0); // i
+  F.ldi(RegS4, 0); // total cost
+  F.ldi(RegS5, 0); // class histogram packed in bytes
+  F.block("loop");
+  F.cmplt(RegT0, RegS3, RegS1);
+  F.beq(RegT0, "finish", "body");
+  F.block("body");
+  F.add(RegT1, RegS0, RegS3);
+  F.ld(Width::B, RegT2, RegT1, 0); // op in [0,15]
+  F.add(RegT3, RegS2, RegS3);
+  F.ld(Width::B, RegA1, RegT3, 0); // size proxy
+  F.mov(RegA0, RegT2);
+  // Four-way dispatch on the opcode class.
+  F.cmpltImm(RegT4, RegT2, 4);
+  F.bne(RegT4, "arith", "notarith");
+  F.block("arith");
+  F.jsr("eval_arith");
+  F.br("accum");
+  F.block("notarith");
+  F.cmpltImm(RegT4, RegT2, 8);
+  F.bne(RegT4, "mem", "notmem");
+  F.block("mem");
+  F.jsr("eval_mem");
+  F.br("accum");
+  F.block("notmem");
+  F.cmpltImm(RegT4, RegT2, 12);
+  F.bne(RegT4, "branch", "misc");
+  F.block("branch");
+  F.jsr("eval_branch");
+  F.br("accum");
+  F.block("misc");
+  F.jsr("eval_misc");
+  F.br("accum");
+  F.block("accum");
+  F.add(RegS4, RegS4, RegV0);
+  // Histogram: bump the byte lane of the class (0..3).
+  F.andi(RegT5, RegV0, 0x7);
+  F.add(RegS5, RegS5, RegT5);
+  F.addi(RegS3, RegS3, 1);
+  F.br("loop");
+  F.block("finish");
+  F.out(RegS4);
+  F.out(RegS5);
+  F.halt();
+
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "gcc";
+  W.Prog = PB.finish();
+  W.Train = runWithArg(static_cast<int64_t>(5000 * Scale) + 32);
+  W.Ref = runWithArg(static_cast<int64_t>(40000 * Scale) + 32);
+  return W;
+}

@@ -1,0 +1,94 @@
+//===- workloads/Go.cpp - Board evaluation kernel --------------------------==//
+//
+// Stand-in for SpecInt95 `go`: repeated evaluation of a 19x19 byte board —
+// neighbor counting, influence scoring, territory accumulation — in
+// nested constant-bound loops, the shape the paper's loop trip-count
+// analysis (Section 2.3) is built for.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace og;
+
+Workload og::makeGo(double Scale) {
+  (void)Scale; // board size is fixed; iterations come from a0
+  ProgramBuilder PB;
+
+  uint64_t Board = addSkewedBytes(PB, 19 * 19, 0x60B04D99, 0, 0, 65, 1, 2);
+
+  // eval_point(a0 = board base, a1 = index) -> v0: signed influence of
+  // the four neighbors.
+  {
+    FunctionBuilder &F = PB.beginFunction("eval_point");
+    F.block("entry");
+    F.add(RegT0, RegA0, RegA1);
+    F.ld(Width::B, RegT1, RegT0, -1);
+    F.ld(Width::B, RegT2, RegT0, 1);
+    F.ld(Width::B, RegT3, RegT0, -19);
+    F.ld(Width::B, RegT4, RegT0, 19);
+    F.add(RegT1, RegT1, RegT2);
+    F.add(RegT1, RegT1, RegT3);
+    F.add(RegT1, RegT1, RegT4); // neighbor sum in [0,8]
+    F.ld(Width::B, RegT5, RegT0, 0);
+    // score = (c==1) ? +sum : (c==2) ? -sum : 0
+    F.ldi(RegV0, 0);
+    F.cmpeqImm(RegT6, RegT5, 1);
+    F.emit(Instruction::alu(Op::CmovNe, Width::Q, RegV0, RegT6, RegT1));
+    F.cmpeqImm(RegT6, RegT5, 2);
+    F.sub(RegT7, RegZero, RegT1);
+    F.emit(Instruction::alu(Op::CmovNe, Width::Q, RegV0, RegT6, RegT7));
+    F.ret();
+  }
+
+  // main: a0 = evaluation sweeps.
+  {
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.mov(RegS0, RegA0); // sweeps
+    F.ldi(RegS1, 0);     // sweep counter
+    F.ldi(RegS5, 0);     // global score
+    F.block("sweep");
+    F.cmplt(RegT0, RegS1, RegS0);
+    F.beq(RegT0, "finish", "yinit");
+    F.block("yinit");
+    F.ldi(RegS2, 1); // y
+    F.block("yloop");
+    F.cmpltImm(RegT0, RegS2, 18);
+    F.beq(RegT0, "ydone", "xinit");
+    F.block("xinit");
+    F.ldi(RegS3, 1); // x
+    F.block("xloop");
+    F.cmpltImm(RegT0, RegS3, 18);
+    F.beq(RegT0, "xdone", "body");
+    F.block("body");
+    F.muli(RegT1, RegS2, 19);
+    F.add(RegT1, RegT1, RegS3);
+    F.ldi(RegA0, static_cast<int64_t>(Board));
+    F.mov(RegA1, RegT1);
+    F.jsr("eval_point");
+    F.add(RegS5, RegS5, RegV0);
+    F.addi(RegS3, RegS3, 1);
+    F.br("xloop");
+    F.block("xdone");
+    F.addi(RegS2, RegS2, 1);
+    F.br("yloop");
+    F.block("ydone");
+    F.addi(RegS1, RegS1, 1);
+    F.br("sweep");
+    F.block("finish");
+    F.out(RegS5);
+    F.out(RegS1);
+    F.halt();
+  }
+
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "go";
+  W.Prog = PB.finish();
+  W.Train = runWithArg(static_cast<int64_t>(4 * Scale) + 1);
+  W.Ref = runWithArg(static_cast<int64_t>(36 * Scale) + 1);
+  return W;
+}

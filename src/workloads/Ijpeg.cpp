@@ -1,0 +1,96 @@
+//===- workloads/Ijpeg.cpp - Blocked integer transform kernel --------------==//
+//
+// Stand-in for SpecInt95 `ijpeg`: an 8-tap integer row transform over a
+// byte image with multiply-accumulate into 32 bits, downshift and clamp
+// back to a byte — the multiply-heavy, mixed-width pattern of the DCT.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace og;
+
+Workload og::makeIjpeg(double Scale) {
+  (void)Scale;
+  ProgramBuilder PB;
+
+  constexpr unsigned Dim = 96; // Dim x Dim byte image, Dim % 8 == 0
+  uint64_t Image =
+      addSkewedBytes(PB, Dim * Dim, 0x17E69EAD, 0, 40, 85, 0, 255);
+  uint64_t OutImg = PB.addZeroData(Dim * Dim);
+  uint64_t Coefs = addRandomQuads(PB, 8, 0xC0EF5EED, -8, 8);
+
+  // transform_row(a0 = src ptr, a1 = dst ptr): one 8-pixel tap.
+  {
+    FunctionBuilder &F = PB.beginFunction("transform_row");
+    F.block("entry");
+    F.ldi(RegT0, 0); // k
+    F.ldi(RegT1, 0); // acc
+    F.ldi(RegT2, static_cast<int64_t>(Coefs));
+    F.block("taps");
+    F.add(RegT3, RegA0, RegT0);
+    F.ld(Width::B, RegT4, RegT3, 0);
+    F.slli(RegT5, RegT0, 3);
+    F.add(RegT5, RegT2, RegT5);
+    F.ld(Width::Q, RegT6, RegT5, 0);
+    F.mul(RegT4, RegT4, RegT6);
+    F.add(RegT1, RegT1, RegT4);
+    F.addi(RegT0, RegT0, 1);
+    F.cmpltImm(RegT7, RegT0, 8);
+    F.bne(RegT7, "taps", "clamp");
+    F.block("clamp");
+    // v = clamp(acc >> 3, 0, 255)
+    F.srai(RegT1, RegT1, 3);
+    F.ldi(RegT5, 0);
+    F.cmplt(RegT6, RegT1, RegZero);
+    F.emit(Instruction::alu(Op::CmovNe, Width::Q, RegT1, RegT6, RegT5));
+    F.ldi(RegT5, 255);
+    F.cmpltImm(RegT6, RegT1, 256);
+    F.emit(Instruction::alu(Op::CmovEq, Width::Q, RegT1, RegT6, RegT5));
+    F.st(Width::B, RegT1, RegA1, 0);
+    F.mov(RegV0, RegT1);
+    F.ret();
+  }
+
+  // main: a0 = passes over the image.
+  {
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.mov(RegS0, RegA0);
+    F.ldi(RegS1, 0); // pass
+    F.ldi(RegS5, 0); // checksum
+    F.block("pass");
+    F.cmplt(RegT0, RegS1, RegS0);
+    F.beq(RegT0, "finish", "rowinit");
+    F.block("rowinit");
+    F.ldi(RegS2, 0); // pixel index, steps by 8
+    F.block("rows");
+    F.cmpltImm(RegT0, RegS2, Dim * Dim - 8);
+    F.beq(RegT0, "rowsdone", "dorow");
+    F.block("dorow");
+    F.ldi(RegA0, static_cast<int64_t>(Image));
+    F.add(RegA0, RegA0, RegS2);
+    F.ldi(RegA1, static_cast<int64_t>(OutImg));
+    F.add(RegA1, RegA1, RegS2);
+    F.jsr("transform_row");
+    F.add(RegS5, RegS5, RegV0);
+    F.addi(RegS2, RegS2, 8);
+    F.br("rows");
+    F.block("rowsdone");
+    F.addi(RegS1, RegS1, 1);
+    F.br("pass");
+    F.block("finish");
+    F.out(RegS5);
+    F.halt();
+  }
+
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "ijpeg";
+  W.Prog = PB.finish();
+  W.Train = runWithArg(static_cast<int64_t>(1 * Scale) + 1);
+  W.Ref = runWithArg(static_cast<int64_t>(10 * Scale) + 3);
+  return W;
+}

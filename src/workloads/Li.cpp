@@ -1,0 +1,113 @@
+//===- workloads/Li.cpp - List interpreter kernel --------------------------==//
+//
+// Stand-in for SpecInt95 `li` (xlisp): cons cells in a bump-allocated
+// arena, list construction, folding and reversal. Pointer-width (64-bit)
+// link fields mixed with tiny tagged payloads — the pointer-chasing shape
+// where software gating helps least on addresses but most on payloads.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace og;
+
+Workload og::makeLi(double Scale) {
+  ProgramBuilder PB;
+
+  size_t MaxCells = static_cast<size_t>(20000 * Scale) + 256;
+  uint64_t Arena = PB.addZeroData(MaxCells * 16); // {car, cdr} quads
+  uint64_t BumpPtr = PB.addQuadData({static_cast<int64_t>(Arena)});
+
+  // cons(a0 = car, a1 = cdr) -> v0: bump-allocate a cell.
+  {
+    FunctionBuilder &F = PB.beginFunction("cons");
+    F.block("entry");
+    F.ldi(RegT0, static_cast<int64_t>(BumpPtr));
+    F.ld(Width::Q, RegV0, RegT0, 0);
+    F.st(Width::Q, RegA0, RegV0, 0);
+    F.st(Width::Q, RegA1, RegV0, 8);
+    F.addi(RegT1, RegV0, 16);
+    F.st(Width::Q, RegT1, RegT0, 0);
+    F.ret();
+  }
+
+  // sum_list(a0 = list) -> v0: fold + over the cars (tagged small ints).
+  {
+    FunctionBuilder &F = PB.beginFunction("sum_list");
+    F.block("entry");
+    F.ldi(RegV0, 0);
+    F.block("loop");
+    F.beq(RegA0, "done", "body");
+    F.block("body");
+    F.ld(Width::Q, RegT0, RegA0, 0);
+    F.andi(RegT0, RegT0, 0xFF); // strip the tag: payloads are bytes
+    F.add(RegV0, RegV0, RegT0);
+    F.ld(Width::Q, RegA0, RegA0, 8);
+    F.br("loop");
+    F.block("done");
+    F.ret();
+  }
+
+  // reverse_list(a0 = list) -> v0: in-place pointer reversal.
+  {
+    FunctionBuilder &F = PB.beginFunction("reverse_list");
+    F.block("entry");
+    F.ldi(RegV0, 0); // acc
+    F.block("loop");
+    F.beq(RegA0, "done", "body");
+    F.block("body");
+    F.ld(Width::Q, RegT0, RegA0, 8); // next
+    F.st(Width::Q, RegV0, RegA0, 8); // cdr = acc
+    F.mov(RegV0, RegA0);
+    F.mov(RegA0, RegT0);
+    F.br("loop");
+    F.block("done");
+    F.ret();
+  }
+
+  // main: a0 = list length.
+  {
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.mov(RegS0, RegA0);
+    F.ldi(RegS1, 0); // i
+    F.ldi(RegS2, 0); // list head
+    F.block("build");
+    F.cmplt(RegT0, RegS1, RegS0);
+    F.beq(RegT0, "built", "cell");
+    F.block("cell");
+    // car = (i * 7) & 0xFF tagged with 0x100.
+    F.muli(RegT1, RegS1, 7);
+    F.andi(RegT1, RegT1, 0xFF);
+    F.ori(RegA0, RegT1, 0x100);
+    F.mov(RegA1, RegS2);
+    F.jsr("cons");
+    F.mov(RegS2, RegV0);
+    F.addi(RegS1, RegS1, 1);
+    F.br("build");
+    F.block("built");
+    F.mov(RegA0, RegS2);
+    F.jsr("sum_list");
+    F.out(RegV0);
+    F.mov(RegA0, RegS2);
+    F.jsr("reverse_list");
+    F.mov(RegS2, RegV0);
+    F.mov(RegA0, RegS2);
+    F.jsr("sum_list");
+    F.out(RegV0);
+    // Head car after reversal identifies the last-built cell.
+    F.ld(Width::Q, RegT0, RegS2, 0);
+    F.out(RegT0);
+    F.halt();
+  }
+
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "li";
+  W.Prog = PB.finish();
+  W.Train = runWithArg(static_cast<int64_t>(2500 * Scale) + 16);
+  W.Ref = runWithArg(static_cast<int64_t>(20000 * Scale) + 16);
+  return W;
+}

@@ -1,0 +1,147 @@
+//===- workloads/M88ksim.cpp - CPU-simulator kernel ------------------------==//
+//
+// Stand-in for SpecInt95 `m88ksim`: an instruction-set simulator. 32-bit
+// encodings are fetched from memory, fields extracted with shifts and
+// masks (MSK's natural habitat, paper Section 2.2.5), and a 16-entry
+// register file in memory is updated per opcode.
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace og;
+
+Workload og::makeM88ksim(double Scale) {
+  (void)Scale;
+  ProgramBuilder PB;
+
+  constexpr unsigned ProgWords = 512;
+  // Encodings: op = bits 28..31 (0..3 used), rd = 24..27, rs = 20..23,
+  // imm16 = bits 0..15. Like real instruction streams, the mix is skewed:
+  // mostly add/addi with small immediates.
+  std::vector<int64_t> Encodings(ProgWords);
+  {
+    Rng R(0x88D05E77);
+    for (unsigned I = 0; I < ProgWords; ++I) {
+      uint64_t Op = R.below(100) < 80 ? R.below(2) : R.below(4);
+      uint64_t Rd = R.below(16);
+      uint64_t Rs = R.below(16);
+      uint64_t Imm = R.below(100) < 85 ? R.below(256) : R.below(65536);
+      Encodings[I] = static_cast<int64_t>((Op << 28) | (Rd << 24) |
+                                          (Rs << 20) | Imm);
+    }
+  }
+  uint64_t SimProg = PB.addQuadData(Encodings);
+  uint64_t SimRegs = PB.addZeroData(16 * 8);
+
+  // step(a0 = encoded word): decode and execute one guest instruction.
+  {
+    FunctionBuilder &F = PB.beginFunction("step");
+    F.block("entry");
+    F.srli(RegT0, RegA0, 28);
+    F.andi(RegT0, RegT0, 0xF); // op
+    F.srli(RegT1, RegA0, 24);
+    F.andi(RegT1, RegT1, 0xF); // rd
+    F.srli(RegT2, RegA0, 20);
+    F.andi(RegT2, RegT2, 0xF); // rs
+    F.msk(Width::H, RegT3, RegA0, 0); // imm16 (zero-extended halfword)
+    // Register file addresses.
+    F.ldi(RegT4, static_cast<int64_t>(SimRegs));
+    F.slli(RegT5, RegT1, 3);
+    F.add(RegT5, RegT4, RegT5); // &regs[rd]
+    F.slli(RegT6, RegT2, 3);
+    F.add(RegT6, RegT4, RegT6); // &regs[rs]
+    F.ld(Width::Q, RegT7, RegT6, 0); // regs[rs]
+    F.andi(RegT0, RegT0, 3);
+    // op 0: add; 1: addi; 2: xor-imm; 3: compare-set.
+    F.cmpeqImm(RegT8, RegT0, 0);
+    F.bne(RegT8, "do_add", "chk1");
+    F.block("chk1");
+    F.cmpeqImm(RegT8, RegT0, 1);
+    F.bne(RegT8, "do_addi", "chk2");
+    F.block("chk2");
+    F.cmpeqImm(RegT8, RegT0, 2);
+    F.bne(RegT8, "do_xor", "do_cmp");
+    F.block("do_add");
+    F.ld(Width::Q, RegT9, RegT5, 0);
+    F.add(RegT9, RegT9, RegT7);
+    F.st(Width::W, RegT9, RegT5, 0); // guest regs are 32-bit words
+    F.ldi(RegV0, 1);
+    F.ret();
+    F.block("do_addi");
+    F.add(RegT9, RegT7, RegT3);
+    F.st(Width::W, RegT9, RegT5, 0);
+    F.ldi(RegV0, 2);
+    F.ret();
+    F.block("do_xor");
+    F.xor_(RegT9, RegT7, RegT3);
+    F.st(Width::W, RegT9, RegT5, 0);
+    F.ldi(RegV0, 3);
+    F.ret();
+    F.block("do_cmp");
+    F.cmplt(RegT9, RegT7, RegT3);
+    F.st(Width::B, RegT9, RegT5, 0); // flag byte
+    F.ldi(RegV0, 4);
+    F.ret();
+  }
+
+  // regsum() -> v0: checksum of the guest register file.
+  {
+    FunctionBuilder &F = PB.beginFunction("regsum");
+    F.block("entry");
+    F.ldi(RegT0, 0);
+    F.ldi(RegV0, 0);
+    F.ldi(RegT1, static_cast<int64_t>(SimRegs));
+    F.block("loop");
+    F.slli(RegT2, RegT0, 3);
+    F.add(RegT2, RegT1, RegT2);
+    F.ld(Width::W, RegT3, RegT2, 0);
+    F.xor_(RegV0, RegV0, RegT3);
+    F.addi(RegT0, RegT0, 1);
+    F.cmpltImm(RegT4, RegT0, 16);
+    F.bne(RegT4, "loop", "done");
+    F.block("done");
+    F.ret();
+  }
+
+  // main: a0 = guest instructions to execute.
+  {
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.mov(RegS0, RegA0);
+    F.ldi(RegS1, 0); // step count
+    F.ldi(RegS2, 0); // guest pc
+    F.ldi(RegS3, static_cast<int64_t>(SimProg));
+    F.ldi(RegS4, 0); // op-mix signature
+    F.block("loop");
+    F.cmplt(RegT0, RegS1, RegS0);
+    F.beq(RegT0, "finish", "body");
+    F.block("body");
+    F.slli(RegT1, RegS2, 3);
+    F.add(RegT1, RegS3, RegT1);
+    F.ld(Width::W, RegA0, RegT1, 0);
+    F.jsr("step");
+    F.add(RegS4, RegS4, RegV0);
+    // pc = (pc + 1) % ProgWords
+    F.addi(RegS2, RegS2, 1);
+    F.cmpltImm(RegT2, RegS2, ProgWords);
+    F.emit(Instruction::aluImm(Op::CmovEq, Width::Q, RegS2, RegT2, 0));
+    F.addi(RegS1, RegS1, 1);
+    F.br("loop");
+    F.block("finish");
+    F.out(RegS4);
+    F.jsr("regsum");
+    F.out(RegV0);
+    F.halt();
+  }
+
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "m88ksim";
+  W.Prog = PB.finish();
+  W.Train = runWithArg(static_cast<int64_t>(3000 * Scale) + 64);
+  W.Ref = runWithArg(static_cast<int64_t>(25000 * Scale) + 64);
+  return W;
+}

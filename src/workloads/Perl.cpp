@@ -1,0 +1,97 @@
+//===- workloads/Perl.cpp - String hashing kernel ---------------------------==//
+//
+// Stand-in for SpecInt95 `perl`: associative-array style string hashing
+// (djb2 over letter bytes) into counting buckets, then a scan for the
+// hottest bucket. A single hot leaf function — the shape that gave perl
+// the highest run-time specialized-instruction share in the paper
+// (Figure 6: 35%).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace og;
+
+Workload og::makePerl(double Scale) {
+  ProgramBuilder PB;
+
+  constexpr unsigned WordLen = 8;
+  size_t MaxWords = static_cast<size_t>(6000 * Scale) + 64;
+  uint64_t Text =
+      addRandomBytes(PB, MaxWords * WordLen, 0x9E271E77, 'a', 'z');
+  uint64_t Buckets = PB.addZeroData(1024 * 2); // halfword counts
+
+  // hash_word(a0 = ptr) -> v0: djb2 over WordLen letters.
+  {
+    FunctionBuilder &F = PB.beginFunction("hash_word");
+    F.block("entry");
+    F.ldi(RegV0, 5381);
+    F.ldi(RegT0, 0);
+    F.block("loop");
+    F.add(RegT1, RegA0, RegT0);
+    F.ld(Width::B, RegT2, RegT1, 0);
+    F.muli(RegV0, RegV0, 33);
+    F.xor_(RegV0, RegV0, RegT2);
+    // Keep the running hash in 32 bits like the original C unsigned int.
+    F.andi(RegV0, RegV0, 0x7FFFFFFF);
+    F.addi(RegT0, RegT0, 1);
+    F.cmpltImm(RegT3, RegT0, WordLen);
+    F.bne(RegT3, "loop", "done");
+    F.block("done");
+    F.ret();
+  }
+
+  // main: a0 = number of words to hash.
+  {
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.mov(RegS0, RegA0);
+    F.ldi(RegS1, 0); // word index
+    F.ldi(RegS2, static_cast<int64_t>(Text));
+    F.ldi(RegS3, static_cast<int64_t>(Buckets));
+    F.block("words");
+    F.cmplt(RegT0, RegS1, RegS0);
+    F.beq(RegT0, "scan", "body");
+    F.block("body");
+    F.muli(RegA0, RegS1, WordLen);
+    F.add(RegA0, RegS2, RegA0);
+    F.jsr("hash_word");
+    F.andi(RegT1, RegV0, 0x3FF);
+    F.slli(RegT1, RegT1, 1);
+    F.add(RegT1, RegS3, RegT1);
+    F.ld(Width::H, RegT2, RegT1, 0);
+    F.addi(RegT2, RegT2, 1);
+    F.st(Width::H, RegT2, RegT1, 0);
+    F.addi(RegS1, RegS1, 1);
+    F.br("words");
+    // Scan for the hottest bucket.
+    F.block("scan");
+    F.ldi(RegS4, 0); // i
+    F.ldi(RegS5, 0); // max
+    F.ldi(RegS1, 0); // total (reuse)
+    F.block("scanloop");
+    F.slli(RegT0, RegS4, 1);
+    F.add(RegT0, RegS3, RegT0);
+    F.ld(Width::H, RegT1, RegT0, 0);
+    F.add(RegS1, RegS1, RegT1);
+    F.cmplt(RegT2, RegS5, RegT1);
+    F.emit(Instruction::alu(Op::CmovNe, Width::Q, RegS5, RegT2, RegT1));
+    F.addi(RegS4, RegS4, 1);
+    F.cmpltImm(RegT3, RegS4, 1024);
+    F.bne(RegT3, "scanloop", "finish");
+    F.block("finish");
+    F.out(RegS5);
+    F.out(RegS1);
+    F.halt();
+  }
+
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "perl";
+  W.Prog = PB.finish();
+  W.Train = runWithArg(static_cast<int64_t>(800 * Scale) + 32);
+  W.Ref = runWithArg(static_cast<int64_t>(6000 * Scale) + 32);
+  return W;
+}

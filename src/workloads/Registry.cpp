@@ -1,0 +1,41 @@
+//===- workloads/Registry.cpp ---------------------------------------------==//
+
+#include "workloads/Workloads.h"
+
+#include <cassert>
+
+using namespace og;
+
+std::vector<Workload> og::makeAllWorkloads(double Scale) {
+  std::vector<Workload> All;
+  All.push_back(makeCompress(Scale));
+  All.push_back(makeGcc(Scale));
+  All.push_back(makeGo(Scale));
+  All.push_back(makeIjpeg(Scale));
+  All.push_back(makeLi(Scale));
+  All.push_back(makeM88ksim(Scale));
+  All.push_back(makePerl(Scale));
+  All.push_back(makeVortex(Scale));
+  return All;
+}
+
+Workload og::makeWorkload(const std::string &Name, double Scale) {
+  if (Name == "compress")
+    return makeCompress(Scale);
+  if (Name == "gcc")
+    return makeGcc(Scale);
+  if (Name == "go")
+    return makeGo(Scale);
+  if (Name == "ijpeg")
+    return makeIjpeg(Scale);
+  if (Name == "li")
+    return makeLi(Scale);
+  if (Name == "m88ksim")
+    return makeM88ksim(Scale);
+  if (Name == "perl")
+    return makePerl(Scale);
+  if (Name == "vortex")
+    return makeVortex(Scale);
+  assert(false && "unknown workload name");
+  return makeCompress(Scale);
+}

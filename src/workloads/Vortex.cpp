@@ -1,0 +1,105 @@
+//===- workloads/Vortex.cpp - Record-store kernel ---------------------------==//
+//
+// Stand-in for SpecInt95 `vortex`: an object store of fixed-layout
+// records with byte flags, halfword counters, word ids and quadword
+// links. One pass filters and mutates by predicate; a second follows the
+// link chain — the mixed-width field traffic that made vortex eliminate
+// nearly all of its specialized instructions in the paper (Figure 5).
+//
+//===----------------------------------------------------------------------===//
+
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+using namespace og;
+
+Workload og::makeVortex(double Scale) {
+  ProgramBuilder PB;
+
+  // Record layout (16 bytes): +0 flags (byte), +2 count (halfword),
+  // +4 id (word), +8 link (quad index of next record).
+  size_t NumRecords = static_cast<size_t>(4096 * Scale) + 64;
+  std::vector<uint8_t> Raw(NumRecords * 16, 0);
+  Rng R(0x40B7E399);
+  for (size_t I = 0; I < NumRecords; ++I) {
+    uint8_t *Rec = &Raw[I * 16];
+    Rec[0] = static_cast<uint8_t>(R.below(100) < 93 ? 1 : R.range(0, 7));
+    uint32_t Id = static_cast<uint32_t>(R.range(0, 1 << 20));
+    for (int B = 0; B < 4; ++B)
+      Rec[4 + B] = static_cast<uint8_t>(Id >> (8 * B));
+    uint64_t Link = static_cast<uint64_t>(R.range(
+        0, static_cast<int64_t>(NumRecords) - 1));
+    for (int B = 0; B < 8; ++B)
+      Rec[8 + B] = static_cast<uint8_t>(Link >> (8 * B));
+  }
+  uint64_t Store = PB.addByteData(Raw);
+
+  // touch_record(a0 = record ptr) -> v0: predicate + mutate.
+  {
+    FunctionBuilder &F = PB.beginFunction("touch_record");
+    F.block("entry");
+    F.ld(Width::B, RegT0, RegA0, 0); // flags
+    F.andi(RegT1, RegT0, 3);
+    F.cmpeqImm(RegT2, RegT1, 1);
+    F.beq(RegT2, "miss", "hit");
+    F.block("hit");
+    F.ld(Width::H, RegT3, RegA0, 2);
+    F.addi(RegT3, RegT3, 1);
+    F.st(Width::H, RegT3, RegA0, 2);
+    F.ldi(RegV0, 1);
+    F.ret();
+    F.block("miss");
+    F.ldi(RegV0, 0);
+    F.ret();
+  }
+
+  // main: a0 = chain hops for the second phase.
+  {
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.mov(RegS0, RegA0);
+    F.ldi(RegS1, static_cast<int64_t>(Store));
+    // Phase 1: filter + mutate every record.
+    F.ldi(RegS2, 0); // index
+    F.ldi(RegS3, 0); // hits
+    F.block("filter");
+    F.cmpltImm(RegT0, RegS2, static_cast<int64_t>(NumRecords));
+    F.beq(RegT0, "phase2", "frec");
+    F.block("frec");
+    F.slli(RegA0, RegS2, 4);
+    F.add(RegA0, RegS1, RegA0);
+    F.jsr("touch_record");
+    F.add(RegS3, RegS3, RegV0);
+    F.addi(RegS2, RegS2, 1);
+    F.br("filter");
+    // Phase 2: chase the link chain, xor the ids.
+    F.block("phase2");
+    F.ldi(RegS2, 0); // current record index
+    F.ldi(RegS4, 0); // hop counter
+    F.ldi(RegS5, 0); // id signature
+    F.block("chase");
+    F.cmplt(RegT0, RegS4, RegS0);
+    F.beq(RegT0, "finish", "hop");
+    F.block("hop");
+    F.slli(RegT1, RegS2, 4);
+    F.add(RegT1, RegS1, RegT1);
+    F.ld(Width::W, RegT2, RegT1, 4); // id
+    F.xor_(RegS5, RegS5, RegT2);
+    F.ld(Width::Q, RegS2, RegT1, 8); // next index
+    F.addi(RegS4, RegS4, 1);
+    F.br("chase");
+    F.block("finish");
+    F.out(RegS3);
+    F.out(RegS5);
+    F.halt();
+  }
+
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "vortex";
+  W.Prog = PB.finish();
+  W.Train = runWithArg(static_cast<int64_t>(3000 * Scale) + 64);
+  W.Ref = runWithArg(static_cast<int64_t>(30000 * Scale) + 64);
+  return W;
+}

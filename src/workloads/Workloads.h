@@ -1,0 +1,62 @@
+//===- workloads/Workloads.h - SpecInt95 stand-ins ---------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Synthetic stand-ins for the SpecInt95 programs the paper evaluates
+/// (compress, gcc, go, ijpeg, li, m88ksim, perl, vortex). Each generator
+/// builds a whole program around the dominant kernel of the original —
+/// LZW-style byte hashing, table-driven cost selection, board evaluation,
+/// blocked integer transforms, list interpretation, a CPU simulator,
+/// string hashing, and a record store — chosen to exercise the mixed
+/// 8/16/32/64-bit useful widths the paper's Figure 12 documents. Every
+/// workload has a `train` input (profiling, paper §4.1) and a larger `ref`
+/// input (evaluation), selected through the a0 argument register.
+///
+/// All programs are deterministic, halt cleanly, follow the callee-save
+/// ABI (checked in tests), and report their results through OUT, which is
+/// the output-equivalence oracle for every transformation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_WORKLOADS_WORKLOADS_H
+#define OG_WORKLOADS_WORKLOADS_H
+
+#include "program/Program.h"
+#include "sim/Interpreter.h"
+
+#include <string>
+#include <vector>
+
+namespace og {
+
+/// A benchmark program plus its two input configurations.
+struct Workload {
+  std::string Name;
+  Program Prog;
+  RunOptions Train;
+  RunOptions Ref;
+};
+
+Workload makeCompress(double Scale);
+Workload makeGcc(double Scale);
+Workload makeGo(double Scale);
+Workload makeIjpeg(double Scale);
+Workload makeLi(double Scale);
+Workload makeM88ksim(double Scale);
+Workload makePerl(double Scale);
+Workload makeVortex(double Scale);
+
+/// All eight, in the paper's order. \p Scale multiplies the ref input
+/// sizes (1.0 = the default benchmark size; tests use smaller values).
+std::vector<Workload> makeAllWorkloads(double Scale = 1.0);
+
+/// Looks up a single workload by name ("compress", ...); asserts on
+/// unknown names.
+Workload makeWorkload(const std::string &Name, double Scale = 1.0);
+
+} // namespace og
+
+#endif // OG_WORKLOADS_WORKLOADS_H

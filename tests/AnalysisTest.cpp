@@ -1,0 +1,297 @@
+//===- tests/AnalysisTest.cpp - analysis/ unit tests -------------------------==//
+
+#include "analysis/CallGraph.h"
+#include "analysis/Cfg.h"
+#include "analysis/Dominators.h"
+#include "analysis/Liveness.h"
+#include "analysis/Loops.h"
+#include "analysis/ReachingDefs.h"
+#include "program/Builder.h"
+
+#include <gtest/gtest.h>
+
+using namespace og;
+
+namespace {
+
+/// Diamond: entry -> (left | right) -> join, then a loop around body.
+Program diamondWithLoop() {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");       // 0
+  F.ldi(RegT0, 0);
+  F.beq(RegA0, "left", "right");
+  F.block("left");        // 1
+  F.ldi(RegT1, 1);
+  F.br("join");
+  F.block("right");       // 2
+  F.ldi(RegT1, 2);
+  F.br("join");
+  F.block("join");        // 3
+  F.ldi(RegT2, 0);
+  F.block("loop");        // 4
+  F.addi(RegT2, RegT2, 1);
+  F.cmpltImm(RegT3, RegT2, 50);
+  F.bne(RegT3, "loop", "exit");
+  F.block("exit");        // 5
+  F.out(RegT1);
+  F.halt();
+  return PB.finish();
+}
+
+} // namespace
+
+TEST(Cfg, SuccessorsAndPredecessors) {
+  Program P = diamondWithLoop();
+  Cfg G(P.Funcs[0]);
+  EXPECT_EQ(G.successors(0), (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(G.successors(1), (std::vector<int32_t>{3}));
+  EXPECT_EQ(G.successors(4), (std::vector<int32_t>{4, 5}));
+  EXPECT_EQ(G.predecessors(3), (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(G.predecessors(4).size(), 2u); // join + self
+}
+
+TEST(Cfg, RpoVisitsEverythingReachable) {
+  Program P = diamondWithLoop();
+  Cfg G(P.Funcs[0]);
+  EXPECT_EQ(G.rpo().size(), 6u);
+  EXPECT_EQ(G.rpo().front(), 0);
+  // Entry before everything; join before loop; loop before exit.
+  EXPECT_LT(G.rpoIndex(0), G.rpoIndex(3));
+  EXPECT_LT(G.rpoIndex(3), G.rpoIndex(4));
+  EXPECT_LT(G.rpoIndex(4), G.rpoIndex(5));
+}
+
+TEST(Cfg, UnreachableBlockExcluded) {
+  Program P = diamondWithLoop();
+  // Add an unreachable block (valid: ends in halt).
+  BasicBlock &BB = P.Funcs[0].addBlock("dead");
+  BB.Insts.push_back(Instruction::halt());
+  Cfg G(P.Funcs[0]);
+  EXPECT_FALSE(G.isReachable(BB.Id));
+  EXPECT_EQ(G.rpo().size(), 6u);
+}
+
+TEST(Dominators, DiamondStructure) {
+  Program P = diamondWithLoop();
+  Cfg G(P.Funcs[0]);
+  DominatorTree DT(G);
+  EXPECT_EQ(DT.idom(1), 0);
+  EXPECT_EQ(DT.idom(2), 0);
+  EXPECT_EQ(DT.idom(3), 0); // join dominated by entry, not a side
+  EXPECT_EQ(DT.idom(4), 3);
+  EXPECT_EQ(DT.idom(5), 4);
+  EXPECT_TRUE(DT.dominates(0, 5));
+  EXPECT_TRUE(DT.dominates(3, 4));
+  EXPECT_FALSE(DT.dominates(1, 3));
+  EXPECT_TRUE(DT.dominates(4, 4)); // reflexive
+  EXPECT_EQ(DT.dominated(3), (std::vector<int32_t>{3, 4, 5}));
+}
+
+TEST(Loops, DetectsNaturalLoopAndIterator) {
+  Program P = diamondWithLoop();
+  Cfg G(P.Funcs[0]);
+  DominatorTree DT(G);
+  LoopInfo LI(G, DT);
+  ASSERT_EQ(LI.loops().size(), 1u);
+  const Loop &L = LI.loops()[0];
+  EXPECT_EQ(L.Header, 4);
+  EXPECT_EQ(L.Blocks, (std::vector<int32_t>{4}));
+  ASSERT_TRUE(L.Iterator.has_value());
+  EXPECT_EQ(L.Iterator->X, RegT2);
+  EXPECT_EQ(L.Iterator->Step, 1);
+  EXPECT_EQ(L.Iterator->Bound, 50);
+  EXPECT_EQ(L.Iterator->CmpOp, Op::CmpLt);
+  EXPECT_TRUE(L.Iterator->ContinueWhenTrue);
+  EXPECT_EQ(LI.innermostLoop(4), &L);
+  EXPECT_EQ(LI.innermostLoop(0), nullptr);
+}
+
+TEST(Loops, IteratorBoundsUpwardLt) {
+  AffineIterator It;
+  It.X = RegT0;
+  It.Step = 1;
+  It.CmpOp = Op::CmpLt;
+  It.Bound = 100;
+  It.ContinueWhenTrue = true;
+  IteratorBounds B;
+  ASSERT_TRUE(computeIteratorBounds(It, 0, B));
+  EXPECT_EQ(B.BodyMin, 0);
+  EXPECT_EQ(B.BodyMax, 99);
+  EXPECT_EQ(B.HeaderMin, 0);
+  EXPECT_EQ(B.HeaderMax, 100);
+  EXPECT_EQ(B.TripCount, 100u);
+}
+
+TEST(Loops, IteratorBoundsStride3) {
+  AffineIterator It;
+  It.Step = 3;
+  It.CmpOp = Op::CmpLt;
+  It.Bound = 10;
+  It.ContinueWhenTrue = true;
+  IteratorBounds B;
+  ASSERT_TRUE(computeIteratorBounds(It, 0, B));
+  // Values 0,3,6,9 then 12 fails.
+  EXPECT_EQ(B.TripCount, 4u);
+  EXPECT_EQ(B.BodyMax, 9);
+  EXPECT_GE(B.HeaderMax, 12);
+}
+
+TEST(Loops, IteratorBoundsDownward) {
+  AffineIterator It;
+  It.Step = -2;
+  It.CmpOp = Op::CmpLe; // continue while !(x <= 0) i.e. x > 0
+  It.Bound = 0;
+  It.ContinueWhenTrue = false;
+  IteratorBounds B;
+  ASSERT_TRUE(computeIteratorBounds(It, 10, B));
+  // x = 10,8,6,4,2 then 0 fails.
+  EXPECT_EQ(B.TripCount, 5u);
+  EXPECT_EQ(B.BodyMin, 1);
+  EXPECT_EQ(B.BodyMax, 10);
+  EXPECT_LE(B.HeaderMin, 0);
+}
+
+TEST(Loops, IteratorBoundsNeDivisible) {
+  AffineIterator It;
+  It.Step = 5;
+  It.CmpOp = Op::CmpEq;
+  It.Bound = 20;
+  It.ContinueWhenTrue = false; // continue while x != 20
+  IteratorBounds B;
+  ASSERT_TRUE(computeIteratorBounds(It, 0, B));
+  EXPECT_EQ(B.TripCount, 4u);
+  EXPECT_EQ(B.HeaderMax, 20);
+}
+
+TEST(Loops, IteratorBoundsNeNonDivisibleFails) {
+  AffineIterator It;
+  It.Step = 5;
+  It.CmpOp = Op::CmpEq;
+  It.Bound = 21;
+  It.ContinueWhenTrue = false;
+  IteratorBounds B;
+  EXPECT_FALSE(computeIteratorBounds(It, 0, B)); // never hits 21: diverges
+}
+
+TEST(Loops, ZeroTripCount) {
+  AffineIterator It;
+  It.Step = 1;
+  It.CmpOp = Op::CmpLt;
+  It.Bound = 5;
+  It.ContinueWhenTrue = true;
+  IteratorBounds B;
+  ASSERT_TRUE(computeIteratorBounds(It, 9, B));
+  EXPECT_EQ(B.TripCount, 0u);
+}
+
+TEST(Loops, NonTerminatingShapeRejected) {
+  AffineIterator It;
+  It.Step = 1;
+  It.CmpOp = Op::CmpLt; // continue while !(x < 0): x >= 0 going up: forever
+  It.Bound = 0;
+  It.ContinueWhenTrue = false;
+  IteratorBounds B;
+  EXPECT_FALSE(computeIteratorBounds(It, 5, B));
+}
+
+TEST(ReachingDefs, LocalDefWins) {
+  Program P = diamondWithLoop();
+  Cfg G(P.Funcs[0]);
+  ReachingDefs RD(P.Funcs[0], G);
+  // In block exit, the use of t1 (out) sees defs from both sides.
+  std::vector<ReachingDefs::Def> Defs;
+  RD.reachingDefs(5, 0, RegT1, Defs);
+  ASSERT_EQ(Defs.size(), 2u);
+  EXPECT_EQ(Defs[0].Kind, ReachingDefs::Def::InstDef);
+  EXPECT_EQ(Defs[1].Kind, ReachingDefs::Def::InstDef);
+}
+
+TEST(ReachingDefs, EntryDefForArguments) {
+  Program P = diamondWithLoop();
+  Cfg G(P.Funcs[0]);
+  ReachingDefs RD(P.Funcs[0], G);
+  // The branch in entry reads a0, defined only by function entry.
+  std::vector<ReachingDefs::Def> Defs;
+  RD.reachingDefs(0, 1, RegA0, Defs);
+  ASSERT_EQ(Defs.size(), 1u);
+  EXPECT_EQ(Defs[0].Kind, ReachingDefs::Def::EntryDef);
+}
+
+TEST(ReachingDefs, UseDefChains) {
+  Program P = diamondWithLoop();
+  Cfg G(P.Funcs[0]);
+  ReachingDefs RD(P.Funcs[0], G);
+  // t2's init (join block) is used by the loop's increment.
+  size_t InitId = RD.instId(3, 0);
+  const auto &Uses = RD.usesOf(InitId);
+  ASSERT_FALSE(Uses.empty());
+  bool FoundInc = false;
+  for (size_t U : Uses)
+    FoundInc |= RD.inst(U).Opc == Op::Add;
+  EXPECT_TRUE(FoundInc);
+}
+
+TEST(ReachingDefs, UniqueReachingInstDef) {
+  Program P = diamondWithLoop();
+  Cfg G(P.Funcs[0]);
+  ReachingDefs RD(P.Funcs[0], G);
+  // In the loop block, t3's use by bne has the unique cmplt def.
+  EXPECT_NE(RD.uniqueReachingInstDef(4, 2, RegT3), SIZE_MAX);
+  // t1 at exit has two defs: not unique.
+  EXPECT_EQ(RD.uniqueReachingInstDef(5, 0, RegT1), SIZE_MAX);
+}
+
+TEST(Liveness, LoopKeepsIteratorLive) {
+  Program P = diamondWithLoop();
+  Cfg G(P.Funcs[0]);
+  Liveness LV(P.Funcs[0], G);
+  EXPECT_TRUE(LV.liveIn(4) & (1u << RegT2));  // iterator live into loop
+  EXPECT_TRUE(LV.liveIn(4) & (1u << RegT1));  // needed at exit
+  EXPECT_FALSE(LV.liveIn(5) & (1u << RegT2)); // dead after loop
+  EXPECT_TRUE(LV.liveAfter(3, 0, RegT2));
+}
+
+TEST(Liveness, CallDefsAndUses) {
+  Instruction Call = Instruction::jsr(0);
+  uint32_t Used = Liveness::usedRegs(Call);
+  EXPECT_TRUE(Used & (1u << RegA0));
+  EXPECT_TRUE(Used & (1u << RegSP));
+  uint32_t Defined = Liveness::definedRegs(Call);
+  EXPECT_TRUE(Defined & (1u << RegV0));
+  EXPECT_FALSE(Defined & (1u << RegS0)); // callee-saved survive
+  Instruction Ret = Instruction::ret();
+  EXPECT_TRUE(Liveness::usedRegs(Ret) & (1u << RegV0));
+  EXPECT_TRUE(Liveness::usedRegs(Ret) & (1u << RegS0));
+}
+
+TEST(CallGraph, EdgesAndOrder) {
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.jsr("a");
+  Main.jsr("b");
+  Main.halt();
+  FunctionBuilder &A = PB.beginFunction("a");
+  A.block("entry");
+  A.jsr("b");
+  A.ret();
+  FunctionBuilder &B = PB.beginFunction("b");
+  B.block("entry");
+  B.ret();
+  Program P = PB.finish();
+
+  CallGraph CG(P);
+  EXPECT_EQ(CG.callees(0), (std::vector<int32_t>{1, 2}));
+  EXPECT_EQ(CG.callees(1), (std::vector<int32_t>{2}));
+  EXPECT_EQ(CG.callers(2), (std::vector<int32_t>{0, 1}));
+  EXPECT_EQ(CG.callSites().size(), 3u);
+  EXPECT_EQ(CG.callSitesOf(2).size(), 2u);
+  // Bottom-up: b before a before main.
+  const auto &BU = CG.bottomUpOrder();
+  auto pos = [&](int32_t F) {
+    return std::find(BU.begin(), BU.end(), F) - BU.begin();
+  };
+  EXPECT_LT(pos(2), pos(1));
+  EXPECT_LT(pos(1), pos(0));
+}

@@ -1,0 +1,154 @@
+//===- tests/IsaTest.cpp - isa/ unit tests -----------------------------------==//
+
+#include "isa/Instruction.h"
+
+#include <gtest/gtest.h>
+
+using namespace og;
+
+TEST(Width, BytesAndBits) {
+  EXPECT_EQ(widthBytes(Width::B), 1u);
+  EXPECT_EQ(widthBytes(Width::H), 2u);
+  EXPECT_EQ(widthBytes(Width::W), 4u);
+  EXPECT_EQ(widthBytes(Width::Q), 8u);
+  EXPECT_EQ(widthBits(Width::W), 32u);
+}
+
+TEST(Width, ForBytes) {
+  EXPECT_EQ(widthForBytes(1), Width::B);
+  EXPECT_EQ(widthForBytes(2), Width::H);
+  EXPECT_EQ(widthForBytes(3), Width::W);
+  EXPECT_EQ(widthForBytes(4), Width::W);
+  EXPECT_EQ(widthForBytes(5), Width::Q);
+  EXPECT_EQ(widthForBytes(8), Width::Q);
+}
+
+TEST(Width, SignedBounds) {
+  EXPECT_EQ(widthSignedMin(Width::B), -128);
+  EXPECT_EQ(widthSignedMax(Width::B), 127);
+  EXPECT_EQ(widthSignedMin(Width::W), INT32_MIN);
+  EXPECT_EQ(widthSignedMax(Width::W), INT32_MAX);
+  EXPECT_EQ(widthSignedMin(Width::Q), INT64_MIN);
+  EXPECT_EQ(widthUnsignedMax(Width::H), 0xFFFFull);
+}
+
+TEST(Width, ForSignedRange) {
+  EXPECT_EQ(widthForSignedRange(0, 100), Width::B);
+  EXPECT_EQ(widthForSignedRange(0, 255), Width::H);
+  EXPECT_EQ(widthForSignedRange(-40000, 0), Width::W);
+}
+
+TEST(WidthSet, NarrowestAtLeast) {
+  WidthSet S{Width::B, Width::W, Width::Q};
+  EXPECT_EQ(S.narrowestAtLeast(Width::B), Width::B);
+  EXPECT_EQ(S.narrowestAtLeast(Width::H), Width::W); // H not encodable
+  EXPECT_EQ(S.narrowestAtLeast(Width::W), Width::W);
+  EXPECT_EQ(S.narrowestAtLeast(Width::Q), Width::Q);
+  EXPECT_EQ(WidthSet::onlyQ().narrowestAtLeast(Width::B), Width::Q);
+}
+
+TEST(Registers, NamesRoundTrip) {
+  for (Reg R = 0; R < NumRegs; ++R)
+    EXPECT_EQ(parseRegName(regName(R)), R) << unsigned(R);
+  EXPECT_EQ(parseRegName("r13"), 13);
+  EXPECT_EQ(parseRegName("nosuch"), NumRegs);
+  EXPECT_EQ(parseRegName("r32"), NumRegs);
+}
+
+TEST(Registers, AbiPartition) {
+  unsigned CalleeSaved = 0, CallerSaved = 0;
+  for (Reg R = 0; R < NumRegs; ++R) {
+    EXPECT_FALSE(isCalleeSaved(R) && isCallerSaved(R)) << unsigned(R);
+    CalleeSaved += isCalleeSaved(R);
+    CallerSaved += isCallerSaved(R);
+  }
+  EXPECT_EQ(CalleeSaved + CallerSaved + 1, NumRegs); // zero is neither
+  EXPECT_TRUE(isCalleeSaved(RegS0));
+  EXPECT_TRUE(isCalleeSaved(RegSP));
+  EXPECT_TRUE(isCallerSaved(RegV0));
+  EXPECT_TRUE(isCallerSaved(RegA0));
+}
+
+// Every op's metadata must be self-consistent.
+class OpInfoTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(OpInfoTest, MetadataConsistent) {
+  Op O = static_cast<Op>(GetParam());
+  const OpInfo &Info = opInfo(O);
+  EXPECT_NE(Info.Mnemonic, nullptr);
+  // Terminators never write registers.
+  if (Info.IsTerminator)
+    EXPECT_FALSE(Info.HasDest);
+  if (Info.IsCondBranch)
+    EXPECT_TRUE(Info.IsTerminator);
+  // Mnemonics parse back to the op.
+  Op Parsed;
+  EXPECT_TRUE(parseOpMnemonic(Info.Mnemonic, Parsed));
+  EXPECT_EQ(Parsed, O);
+  // The encodable width sets always include Q.
+  EXPECT_TRUE(encodableWidths(O, IsaPolicy::BaseAlpha).contains(Width::Q));
+  EXPECT_TRUE(encodableWidths(O, IsaPolicy::Extended).contains(Width::Q));
+  // Extended is a superset of BaseAlpha.
+  for (unsigned WI = 0; WI < 4; ++WI) {
+    Width W = static_cast<Width>(WI);
+    if (encodableWidths(O, IsaPolicy::BaseAlpha).contains(W))
+      EXPECT_TRUE(encodableWidths(O, IsaPolicy::Extended).contains(W));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOps, OpInfoTest,
+                         ::testing::Range(0u, NumOps));
+
+TEST(Opcode, PaperExtensionWidths) {
+  // Section 4.3: the extension adds byte+halfword add, byte sub, byte and
+  // word logicals/shifts/cmovs/comparisons; MUL gains nothing.
+  EXPECT_TRUE(encodableWidths(Op::Add, IsaPolicy::Extended).contains(Width::H));
+  EXPECT_FALSE(
+      encodableWidths(Op::Add, IsaPolicy::BaseAlpha).contains(Width::H));
+  EXPECT_TRUE(encodableWidths(Op::Sub, IsaPolicy::Extended).contains(Width::B));
+  EXPECT_FALSE(
+      encodableWidths(Op::Sub, IsaPolicy::Extended).contains(Width::H));
+  EXPECT_FALSE(
+      encodableWidths(Op::Mul, IsaPolicy::Extended).contains(Width::B));
+  EXPECT_TRUE(encodableWidths(Op::And, IsaPolicy::Extended).contains(Width::B));
+  EXPECT_FALSE(
+      encodableWidths(Op::And, IsaPolicy::BaseAlpha).contains(Width::B));
+  // Loads/stores exist at all widths in both.
+  EXPECT_TRUE(encodableWidths(Op::Ld, IsaPolicy::BaseAlpha).contains(Width::B));
+  EXPECT_TRUE(encodableWidths(Op::St, IsaPolicy::BaseAlpha).contains(Width::H));
+}
+
+TEST(Instruction, SourcesOfStoreIncludeValue) {
+  Instruction St = Instruction::store(Width::W, RegT1, RegT0, 8);
+  ASSERT_EQ(St.numRegSources(), 2u);
+  EXPECT_EQ(St.regSource(0), RegT0); // base
+  EXPECT_EQ(St.regSource(1), RegT1); // value
+  EXPECT_TRUE(St.readsRbRegister());
+}
+
+TEST(Instruction, SourcesOfCmovIncludeOldDest) {
+  Instruction I = Instruction::alu(Op::CmovEq, Width::Q, RegT2, RegT0, RegT1);
+  ASSERT_EQ(I.numRegSources(), 3u);
+  EXPECT_EQ(I.regSource(0), RegT0);
+  EXPECT_EQ(I.regSource(1), RegT1);
+  EXPECT_EQ(I.regSource(2), RegT2);
+}
+
+TEST(Instruction, ImmAluHasOneSource) {
+  Instruction I = Instruction::aluImm(Op::Add, Width::Q, RegT2, RegT0, 5);
+  ASSERT_EQ(I.numRegSources(), 1u);
+  EXPECT_EQ(I.regSource(0), RegT0);
+  EXPECT_FALSE(I.readsRbRegister());
+}
+
+TEST(Instruction, Factories) {
+  EXPECT_TRUE(Instruction::br(3).isTerminator());
+  EXPECT_TRUE(Instruction::condBr(Op::Bne, RegT0, 2).isCondBranch());
+  EXPECT_TRUE(Instruction::jsr(1).isCall());
+  EXPECT_TRUE(Instruction::load(Width::B, RegT0, RegT1, 0).isLoad());
+  EXPECT_TRUE(Instruction::store(Width::B, RegT0, RegT1, 0).isStore());
+  EXPECT_FALSE(Instruction::nop().hasDest());
+  Instruction Msk = Instruction::msk(Width::H, RegT0, RegT1, 3);
+  EXPECT_EQ(Msk.Imm, 3);
+  EXPECT_FALSE(Instruction::halt().str().empty());
+}

@@ -1,0 +1,283 @@
+//===- tests/ProgramAsmTest.cpp - program/ and asm/ tests --------------------==//
+
+#include "asm/Assembler.h"
+#include "asm/Disassembler.h"
+#include "program/Builder.h"
+#include "program/Clone.h"
+#include "program/Verifier.h"
+#include "sim/Interpreter.h"
+
+#include <gtest/gtest.h>
+
+using namespace og;
+
+namespace {
+
+Program tinyLoop() {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 0);
+  F.block("loop");
+  F.addi(RegT0, RegT0, 1);
+  F.cmpltImm(RegT1, RegT0, 10);
+  F.bne(RegT1, "loop", "done");
+  F.block("done");
+  F.out(RegT0);
+  F.halt();
+  return PB.finish();
+}
+
+} // namespace
+
+TEST(Builder, ProducesVerifiedProgram) {
+  Program P = tinyLoop();
+  std::string Diag;
+  EXPECT_TRUE(verifyProgram(P, &Diag)) << Diag;
+  EXPECT_EQ(P.Funcs.size(), 1u);
+  EXPECT_EQ(P.Funcs[0].Blocks.size(), 3u);
+  EXPECT_EQ(P.numInstructions(), 6u);
+}
+
+TEST(Builder, FallthroughInstalledOnBlockSwitch) {
+  Program P = tinyLoop();
+  // entry falls through to loop.
+  EXPECT_EQ(P.Funcs[0].Blocks[0].FallthroughSucc, 1);
+  // loop's conditional branch falls through to done.
+  EXPECT_EQ(P.Funcs[0].Blocks[1].FallthroughSucc, 2);
+}
+
+TEST(Builder, CallsResolvedByName) {
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.jsr("helper");
+  Main.out(RegV0);
+  Main.halt();
+  FunctionBuilder &H = PB.beginFunction("helper");
+  H.block("entry");
+  H.ldi(RegV0, 7);
+  H.ret();
+  Program P = PB.finish();
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  ASSERT_EQ(R.Output.size(), 1u);
+  EXPECT_EQ(R.Output[0], 7);
+}
+
+TEST(Builder, DataSegmentAllocation) {
+  ProgramBuilder PB;
+  uint64_t A = PB.addQuadData({1, 2, 3});
+  uint64_t B = PB.addZeroData(10);
+  uint64_t C = PB.addByteData({9, 8});
+  EXPECT_EQ(A, Program::DataBase);
+  EXPECT_EQ(B, Program::DataBase + 24);
+  EXPECT_EQ(C % 8, 0u); // aligned
+  EXPECT_GT(C, B);
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.halt();
+  Program P = PB.finish();
+  EXPECT_GE(P.Data.size(), 24u + 10u + 2u);
+}
+
+TEST(Verifier, CatchesBadBranchTarget) {
+  Program P = tinyLoop();
+  P.Funcs[0].Blocks[1].Insts.back().Target = 99;
+  std::string Diag;
+  EXPECT_FALSE(verifyProgram(P, &Diag));
+  EXPECT_NE(Diag.find("target"), std::string::npos);
+}
+
+TEST(Verifier, CatchesMissingFallthrough) {
+  Program P = tinyLoop();
+  P.Funcs[0].Blocks[1].FallthroughSucc = NoTarget;
+  EXPECT_FALSE(verifyProgram(P));
+}
+
+TEST(Verifier, CatchesTerminatorMidBlock) {
+  Program P = tinyLoop();
+  P.Funcs[0].Blocks[2].Insts.insert(P.Funcs[0].Blocks[2].Insts.begin(),
+                                    Instruction::halt());
+  EXPECT_FALSE(verifyProgram(P));
+}
+
+TEST(Verifier, CatchesDanglingFallthroughOnBr) {
+  Program P = tinyLoop();
+  P.Funcs[0].Blocks[2].FallthroughSucc = 0; // halt block with fallthrough
+  EXPECT_FALSE(verifyProgram(P));
+}
+
+TEST(Verifier, CatchesBadCallee) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.halt();
+  Program P = PB.finish();
+  P.Funcs[0].Blocks[0].Insts.insert(P.Funcs[0].Blocks[0].Insts.begin(),
+                                    Instruction::jsr(5));
+  EXPECT_FALSE(verifyProgram(P));
+}
+
+TEST(Clone, RemapsIntraRegionEdges) {
+  Program P = tinyLoop();
+  Function &F = P.Funcs[0];
+  auto Mapping = cloneRegion(F, {1, 2}); // loop + done
+  ASSERT_EQ(Mapping.size(), 2u);
+  int32_t CloneLoop = Mapping.at(1);
+  int32_t CloneDone = Mapping.at(2);
+  // Clone's self-branch targets the cloned loop, fallthrough the cloned
+  // done block.
+  EXPECT_EQ(F.Blocks[CloneLoop].Insts.back().Target, CloneLoop);
+  EXPECT_EQ(F.Blocks[CloneLoop].FallthroughSucc, CloneDone);
+  // The original is untouched.
+  EXPECT_EQ(F.Blocks[1].Insts.back().Target, 1);
+  EXPECT_TRUE(verifyProgram(P));
+}
+
+TEST(Clone, EdgesLeavingRegionKeepTargets) {
+  Program P = tinyLoop();
+  Function &F = P.Funcs[0];
+  auto Mapping = cloneRegion(F, {1}); // loop only
+  int32_t CloneLoop = Mapping.at(1);
+  EXPECT_EQ(F.Blocks[CloneLoop].FallthroughSucc, 2); // original done
+}
+
+// --- Assembler/disassembler.
+
+TEST(Assembler, RoundTripsTinyProgram) {
+  Program P = tinyLoop();
+  std::string Text = disassembleToString(P);
+  Expected<Program> Q = assembleProgram(Text);
+  ASSERT_TRUE(static_cast<bool>(Q)) << Q.error();
+  // Executions agree.
+  RunResult A = runProgram(P, RunOptions());
+  RunResult B = runProgram(*Q, RunOptions());
+  EXPECT_EQ(A.Output, B.Output);
+  // Disassembly is a fixpoint after one round.
+  EXPECT_EQ(disassembleToString(*Q), Text);
+}
+
+TEST(Assembler, ParsesDataAndSymbols) {
+  const char *Src = R"(
+.data
+tbl: .quad 10, 20, 30
+buf: .zero 8
+bs:  .byte 1, 2, 255
+
+.func main
+entry:
+  ldi a0, =tbl
+  ldq t0, 8(a0)
+  out t0
+  halt
+)";
+  Expected<Program> P = assembleProgram(Src);
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  RunResult R = runProgram(*P, RunOptions());
+  ASSERT_EQ(R.Output.size(), 1u);
+  EXPECT_EQ(R.Output[0], 20);
+}
+
+TEST(Assembler, WidthSuffixes) {
+  const char *Src = R"(
+.func main
+entry:
+  ldi t0, #300
+  addb t1, t0, #1
+  addh t2, t0, #1
+  addw t3, t0, #1
+  addq t4, t0, #1
+  out t1
+  out t2
+  halt
+)";
+  Expected<Program> P = assembleProgram(Src);
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  RunResult R = runProgram(*P, RunOptions());
+  // 300 = 0x12C; low byte 0x2C=44; 44+1=45. Halfword: 300+1=301.
+  EXPECT_EQ(R.Output[0], 45);
+  EXPECT_EQ(R.Output[1], 301);
+}
+
+TEST(Assembler, ImplicitFallthroughIsNextLabel) {
+  const char *Src = R"(
+.func main
+entry:
+  ldi t0, #0
+  beq t0, yes
+  out t0
+  halt
+yes:
+  ldi t1, #1
+  out t1
+  halt
+)";
+  Expected<Program> P = assembleProgram(Src);
+  ASSERT_TRUE(static_cast<bool>(P)) << P.error();
+  RunResult R = runProgram(*P, RunOptions());
+  ASSERT_EQ(R.Output.size(), 1u);
+  EXPECT_EQ(R.Output[0], 1); // branch taken to yes
+}
+
+struct AsmErrorCase {
+  const char *Name;
+  const char *Src;
+  const char *ExpectSubstring;
+};
+
+class AssemblerErrorTest : public ::testing::TestWithParam<AsmErrorCase> {};
+
+TEST_P(AssemblerErrorTest, Diagnoses) {
+  Expected<Program> P = assembleProgram(GetParam().Src);
+  ASSERT_FALSE(static_cast<bool>(P));
+  EXPECT_NE(P.error().find(GetParam().ExpectSubstring), std::string::npos)
+      << P.error();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, AssemblerErrorTest,
+    ::testing::Values(
+        AsmErrorCase{"BadMnemonic", ".func main\n adq t0, t1, t2\n halt\n",
+                     "unknown mnemonic"},
+        AsmErrorCase{"BadRegister", ".func main\n add t0, t1, r99\n halt\n",
+                     "bad register"},
+        AsmErrorCase{"UndefLabel", ".func main\n br nowhere\n", "undefined"},
+        AsmErrorCase{"UndefFunc", ".func main\n jsr nofn\n halt\n",
+                     "undefined function"},
+        AsmErrorCase{"UndefData", ".func main\n ldi t0, =nodata\n halt\n",
+                     "undefined data label"},
+        AsmErrorCase{"CodeOutsideFunc", "add t0, t1, t2\n", "outside"},
+        AsmErrorCase{"MskRange", ".func main\n mskb t0, t1, #9\n halt\n",
+                     "offset out of range"},
+        AsmErrorCase{"FallsOffEnd", ".func main\n ldi t0, #1\n",
+                     "falls off"},
+        AsmErrorCase{"BadDirective", ".bogus\n", "unknown directive"},
+        AsmErrorCase{"NoEntry", ".entry nope\n.func main\n halt\n",
+                     "not defined"}),
+    [](const ::testing::TestParamInfo<AsmErrorCase> &I) {
+      return I.param.Name;
+    });
+
+TEST(Disassembler, EmitsExplicitBrForNonAdjacentFallthrough) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 1);
+  F.br("far");
+  F.block("mid");
+  F.out(RegT0);
+  F.halt();
+  F.block("far");
+  F.addi(RegT0, RegT0, 1);
+  F.br("mid"); // mid is *before* far in layout
+  Program P = PB.finish();
+  std::string Text = disassembleToString(P);
+  Expected<Program> Q = assembleProgram(Text);
+  ASSERT_TRUE(static_cast<bool>(Q)) << Q.error();
+  RunResult A = runProgram(P, RunOptions());
+  RunResult B = runProgram(*Q, RunOptions());
+  EXPECT_EQ(A.Output, B.Output);
+  ASSERT_EQ(A.Output.size(), 1u);
+  EXPECT_EQ(A.Output[0], 2);
+}

@@ -1,0 +1,290 @@
+//===- tests/PropertyTest.cpp - Cross-cutting property tests ------------------==//
+//
+// Randomized and exhaustive checks of the invariants the whole system
+// rests on: transfer-function soundness against concrete execution,
+// iterator-bound math against actual loop simulation, assembler
+// round-trips over the full workload suite, and end-to-end narrowing
+// monotonicity.
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/Loops.h"
+#include "program/Builder.h"
+#include "asm/Assembler.h"
+#include "asm/Disassembler.h"
+#include "support/Rng.h"
+#include "vrp/Narrowing.h"
+#include "vrp/Transfer.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace og;
+
+// --- Forward transfer soundness, all ALU ops x all widths, checked
+// exhaustively over small concrete ranges.
+
+class TransferSoundness
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(TransferSoundness, ContainsEveryConcreteResult) {
+  Op O = static_cast<Op>(std::get<0>(GetParam()));
+  Width W = static_cast<Width>(std::get<1>(GetParam()));
+  if (!encodableWidths(O, IsaPolicy::Extended).contains(W))
+    GTEST_SKIP() << "width not encodable";
+
+  Rng R(static_cast<uint64_t>(std::get<0>(GetParam())) * 131 +
+        std::get<1>(GetParam()));
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    int64_t ALo = R.range(-200, 200);
+    int64_t AHi = ALo + R.range(0, 12);
+    int64_t BLo = R.range(-200, 200);
+    int64_t BHi = BLo + R.range(0, 12);
+    int64_t OldLo = R.range(-50, 50);
+    ValueRange A(ALo, AHi), B(BLo, BHi), Old(OldLo, OldLo + 5);
+
+    bool MayWrap = false;
+    Instruction I = Instruction::alu(O, W, RegT2, RegT0, RegT1);
+    ValueRange Out = forwardTransfer(I, A, B, Old, MayWrap);
+
+    for (int64_t AV = ALo; AV <= AHi; ++AV)
+      for (int64_t BV = BLo; BV <= BHi; ++BV)
+        for (int64_t OV : {OldLo, OldLo + 5}) {
+          int64_t Result = evalAluOp(O, W, AV, BV, OV);
+          EXPECT_TRUE(Out.contains(Result))
+              << opInfo(O).Mnemonic << widthSuffix(W) << " " << AV << ","
+              << BV << " -> " << Result << " not in " << Out.str();
+        }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AluOpsTimesWidths, TransferSoundness,
+    ::testing::Combine(
+        ::testing::Range(0u, static_cast<unsigned>(Op::Msk)),
+        ::testing::Range(0u, 4u)),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, unsigned>> &I) {
+      return std::string(
+                 opInfo(static_cast<Op>(std::get<0>(I.param))).Mnemonic) +
+             "_" + widthSuffix(static_cast<Width>(std::get<1>(I.param)));
+    });
+
+// --- Backward transfer soundness: the refined input ranges still contain
+// every (a, b) pair that produces an output in the given range.
+
+TEST(BackwardTransfer, RefinementKeepsWitnesses) {
+  Rng R(4242);
+  const Op Ops[] = {Op::Add, Op::Sub};
+  for (int Trial = 0; Trial < 500; ++Trial) {
+    Op O = Ops[R.below(2)];
+    int64_t ALo = R.range(-100, 100), AHi = ALo + R.range(0, 20);
+    int64_t BLo = R.range(-100, 100), BHi = BLo + R.range(0, 20);
+    ValueRange A(ALo, AHi), B(BLo, BHi);
+    // Pick a concrete witness and build an output range around it.
+    int64_t AV = R.range(ALo, AHi), BV = R.range(BLo, BHi);
+    int64_t OutV = O == Op::Add ? AV + BV : AV - BV;
+    ValueRange Out(OutV - R.range(0, 5), OutV + R.range(0, 5));
+
+    ValueRange NewA = A, NewB = B;
+    Instruction I = Instruction::alu(O, Width::Q, RegT2, RegT0, RegT1);
+    backwardTransfer(I, Out, NewA, NewB);
+    EXPECT_TRUE(NewA.contains(AV)) << NewA.str();
+    EXPECT_TRUE(NewB.contains(BV)) << NewB.str();
+    // Refinement never widens.
+    EXPECT_TRUE(A.contains(NewA));
+    EXPECT_TRUE(B.contains(NewB));
+  }
+}
+
+// --- Iterator-bound math vs direct simulation of the affine loop.
+
+TEST(IteratorBounds, MatchesDirectSimulation) {
+  Rng R(20260608);
+  int Checked = 0;
+  for (int Trial = 0; Trial < 3000; ++Trial) {
+    AffineIterator It;
+    It.Step = R.range(-6, 6);
+    if (It.Step == 0)
+      continue;
+    const Op Cmps[] = {Op::CmpLt, Op::CmpLe, Op::CmpEq};
+    It.CmpOp = Cmps[R.below(3)];
+    It.Bound = R.range(-60, 60);
+    It.ContinueWhenTrue = R.below(2);
+    int64_t Init = R.range(-60, 60);
+
+    IteratorBounds B;
+    bool Ok = computeIteratorBounds(It, Init, B);
+
+    // Direct simulation with a generous cap.
+    int64_t X = Init;
+    uint64_t Trips = 0;
+    int64_t HeaderMin = X, HeaderMax = X;
+    int64_t BodyMin = INT64_MAX, BodyMax = INT64_MIN;
+    bool Terminated = false;
+    for (int Iter = 0; Iter < 4000; ++Iter) {
+      bool CmpResult;
+      switch (It.CmpOp) {
+      case Op::CmpLt:
+        CmpResult = X < It.Bound;
+        break;
+      case Op::CmpLe:
+        CmpResult = X <= It.Bound;
+        break;
+      default:
+        CmpResult = X == It.Bound;
+        break;
+      }
+      bool Continue = CmpResult == It.ContinueWhenTrue;
+      if (!Continue) {
+        Terminated = true;
+        break;
+      }
+      BodyMin = std::min(BodyMin, X);
+      BodyMax = std::max(BodyMax, X);
+      ++Trips;
+      X += It.Step;
+      HeaderMin = std::min(HeaderMin, X);
+      HeaderMax = std::max(HeaderMax, X);
+    }
+
+    if (!Ok) {
+      // The analysis may refuse terminating-but-awkward shapes
+      // (conservative), but it must refuse every non-terminating one.
+      continue;
+    }
+    ASSERT_TRUE(Terminated)
+        << "analysis accepted a non-terminating loop: init " << Init
+        << " step " << It.Step << " bound " << It.Bound;
+    EXPECT_EQ(B.TripCount, Trips);
+    // Computed ranges are conservative supersets of the observed ones.
+    EXPECT_LE(B.HeaderMin, HeaderMin);
+    EXPECT_GE(B.HeaderMax, HeaderMax);
+    if (Trips > 0) {
+      EXPECT_LE(B.BodyMin, BodyMin);
+      EXPECT_GE(B.BodyMax, BodyMax);
+    }
+    ++Checked;
+  }
+  // Make sure the property actually exercised plenty of accepted shapes.
+  EXPECT_GT(Checked, 500);
+}
+
+// --- Assembler round-trips over the whole workload suite.
+
+class WorkloadRoundTrip : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadRoundTrip, DisassembleAssembleMatches) {
+  Workload W = makeWorkload(GetParam(), 0.03);
+  std::string Text = disassembleToString(W.Prog);
+  Expected<Program> Q = assembleProgram(Text);
+  ASSERT_TRUE(static_cast<bool>(Q)) << Q.error();
+  RunResult A = runProgram(W.Prog, W.Train);
+  RunResult B = runProgram(*Q, W.Train);
+  EXPECT_EQ(A.Output, B.Output);
+  // Second disassembly is a fixpoint.
+  EXPECT_EQ(disassembleToString(*Q), Text);
+}
+
+TEST_P(WorkloadRoundTrip, NarrowedProgramAlsoRoundTrips) {
+  Workload W = makeWorkload(GetParam(), 0.03);
+  Program P = W.Prog;
+  narrowProgram(P);
+  std::string Text = disassembleToString(P);
+  Expected<Program> Q = assembleProgram(Text);
+  ASSERT_TRUE(static_cast<bool>(Q)) << Q.error();
+  RunResult A = runProgram(P, W.Train);
+  RunResult B = runProgram(*Q, W.Train);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadRoundTrip,
+                         ::testing::Values("compress", "gcc", "go", "ijpeg",
+                                           "li", "m88ksim", "perl",
+                                           "vortex"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });
+
+// --- Useful-width widths never under-run the range-based widths in ways
+// that break execution: stress with randomized mask/shift/store chains.
+
+TEST(NarrowingProperty, RandomMaskChainsPreserveOutput) {
+  Rng R(987654);
+  for (int Trial = 0; Trial < 60; ++Trial) {
+    ProgramBuilder PB;
+    uint64_t Data = PB.addQuadData({R.range(INT32_MIN, INT32_MAX),
+                                    R.range(-255, 255), R.range(0, 1023)});
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.ldi(RegT0, static_cast<int64_t>(Data));
+    F.ld(Width::Q, RegT1, RegT0, 0);
+    F.ld(Width::Q, RegT2, RegT0, 8);
+    F.ld(Width::Q, RegT3, RegT0, 16);
+    Reg Regs[] = {RegT1, RegT2, RegT3, RegT4};
+    for (int K = 0; K < 10; ++K) {
+      Reg Rd = Regs[R.below(4)];
+      Reg Ra = Regs[R.below(4)];
+      switch (R.below(5)) {
+      case 0:
+        F.andi(Rd, Ra, static_cast<int64_t>(R.below(0xFFFF)));
+        break;
+      case 1:
+        F.emit(Instruction::msk(static_cast<Width>(R.below(3)), Rd, Ra,
+                                static_cast<unsigned>(R.below(4))));
+        break;
+      case 2:
+        F.srli(Rd, Ra, static_cast<int64_t>(R.below(16)));
+        break;
+      case 3:
+        F.add(Rd, Ra, Regs[R.below(4)]);
+        break;
+      default:
+        F.ori(Rd, Ra, static_cast<int64_t>(R.below(0xFF)));
+        break;
+      }
+    }
+    // Stores of several widths: useful-width demand sources.
+    F.st(Width::B, Regs[R.below(4)], RegT0, 0);
+    F.st(Width::H, Regs[R.below(4)], RegT0, 2);
+    F.ld(Width::Q, RegT5, RegT0, 0);
+    F.out(RegT5);
+    for (Reg Out : Regs)
+      F.out(Out);
+    F.halt();
+    Program P = PB.finish();
+    Program N = P;
+    narrowProgram(N);
+    RunResult A = runProgram(P, RunOptions());
+    RunResult B = runProgram(N, RunOptions());
+    ASSERT_EQ(A.Status, RunStatus::Halted);
+    EXPECT_EQ(A.Output, B.Output) << "trial " << Trial;
+  }
+}
+
+// --- Interval algebra laws.
+
+TEST(ValueRangeLaws, UnionIntersectProperties) {
+  Rng R(55);
+  for (int Trial = 0; Trial < 2000; ++Trial) {
+    int64_t ALo = R.range(-1000, 1000), AHi = ALo + R.range(0, 500);
+    int64_t BLo = R.range(-1000, 1000), BHi = BLo + R.range(0, 500);
+    ValueRange A(ALo, AHi), B(BLo, BHi);
+    // Commutativity.
+    EXPECT_EQ(A.unionWith(B), B.unionWith(A));
+    EXPECT_EQ(A.intersectWith(B), B.intersectWith(A));
+    // Union contains both.
+    EXPECT_TRUE(A.unionWith(B).contains(A));
+    EXPECT_TRUE(A.unionWith(B).contains(B));
+    // Intersection contained in both when non-disjoint.
+    if (!A.disjointFrom(B)) {
+      EXPECT_TRUE(A.contains(A.intersectWith(B)));
+      EXPECT_TRUE(B.contains(A.intersectWith(B)));
+    }
+    // Absorption with full.
+    EXPECT_EQ(A.unionWith(ValueRange::full()), ValueRange::full());
+    EXPECT_EQ(A.intersectWith(ValueRange::full()), A);
+    // bytes() monotone under union.
+    EXPECT_GE(A.unionWith(B).bytes(), A.bytes() > B.bytes() ? A.bytes()
+                                                            : B.bytes());
+  }
+}

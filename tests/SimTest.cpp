@@ -1,0 +1,503 @@
+//===- tests/SimTest.cpp - functional simulator tests ------------------------==//
+
+#include "program/Builder.h"
+#include "sim/Interpreter.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+using namespace og;
+
+namespace {
+
+/// Runs a single ALU op through a real program and returns the result.
+int64_t runOp(Op O, Width W, int64_t A, int64_t B) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, A);
+  F.ldi(RegT1, B);
+  if (O == Op::Sext)
+    F.emit(Instruction::sext(W, RegT2, RegT0));
+  else if (O == Op::Mov) {
+    Instruction I = Instruction::mov(RegT2, RegT0);
+    I.W = W;
+    F.emit(I);
+  } else {
+    F.emit(Instruction::alu(O, W, RegT2, RegT0, RegT1));
+  }
+  F.out(RegT2);
+  F.halt();
+  Program P = PB.finish();
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  return R.Output.at(0);
+}
+
+} // namespace
+
+// --- evalAluOp semantics, exhaustive over interesting operand pairs.
+
+struct AluCase {
+  Op O;
+  Width W;
+  int64_t A, B, Expect;
+};
+
+class AluSemanticsTest : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluSemanticsTest, EvalMatches) {
+  const AluCase &C = GetParam();
+  EXPECT_EQ(evalAluOp(C.O, C.W, C.A, C.B, /*OldRd=*/-7), C.Expect);
+  // The interpreter agrees with the pure evaluator for non-cmov ops.
+  if (!isCmov(C.O)) {
+    EXPECT_EQ(runOp(C.O, C.W, C.A, C.B), C.Expect);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, AluSemanticsTest,
+    ::testing::Values(
+        AluCase{Op::Add, Width::Q, 2, 3, 5},
+        AluCase{Op::Add, Width::B, 100, 100, -56}, // 200 wraps to -56
+        AluCase{Op::Add, Width::H, 0x7FFF, 1, -32768},
+        AluCase{Op::Add, Width::W, INT32_MAX, 1, INT32_MIN},
+        AluCase{Op::Add, Width::Q, INT64_MAX, 1, INT64_MIN},
+        AluCase{Op::Sub, Width::Q, 2, 3, -1},
+        AluCase{Op::Sub, Width::B, -128, 1, 127},
+        AluCase{Op::Mul, Width::Q, -4, 6, -24},
+        AluCase{Op::Mul, Width::B, 16, 16, 0}, // 256 wraps to 0
+        AluCase{Op::Mul, Width::W, 1 << 16, 1 << 16, 0}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Logical, AluSemanticsTest,
+    ::testing::Values(
+        AluCase{Op::And, Width::Q, 0xFF00FF, 0x00FFFF, 0x0000FF},
+        AluCase{Op::And, Width::B, 0x1FF, 0xFF, -1}, // low bytes all ones
+        AluCase{Op::Or, Width::Q, 0xF0, 0x0F, 0xFF},
+        AluCase{Op::Xor, Width::Q, 0xFF, 0x0F, 0xF0},
+        AluCase{Op::Bic, Width::Q, 0xFF, 0x0F, 0xF0},
+        AluCase{Op::Or, Width::B, 0x80, 0x01, -127}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Shifts, AluSemanticsTest,
+    ::testing::Values(
+        AluCase{Op::Sll, Width::Q, 1, 8, 256},
+        AluCase{Op::Sll, Width::B, 1, 7, -128},
+        AluCase{Op::Sll, Width::Q, 1, 64 + 3, 8}, // amount masked to 6 bits
+        AluCase{Op::Srl, Width::Q, -1, 56, 255},
+        AluCase{Op::Srl, Width::B, 0x80, 1, 0x40},
+        AluCase{Op::Srl, Width::B, 0x80, 0, -128}, // identity keeps sign
+        AluCase{Op::Sra, Width::Q, -256, 4, -16},
+        AluCase{Op::Sra, Width::B, 0x80, 4, -8},
+        AluCase{Op::Sra, Width::Q, -1, 63, -1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Compares, AluSemanticsTest,
+    ::testing::Values(
+        AluCase{Op::CmpEq, Width::Q, 5, 5, 1},
+        AluCase{Op::CmpEq, Width::B, 0x100, 0, 1}, // equal at byte width
+        AluCase{Op::CmpLt, Width::Q, -1, 0, 1},
+        AluCase{Op::CmpLt, Width::B, 0xFF, 0, 1}, // 0xFF is -1 as a byte
+        AluCase{Op::CmpLe, Width::Q, 3, 3, 1},
+        AluCase{Op::CmpUlt, Width::Q, -1, 0, 0}, // unsigned: huge > 0
+        AluCase{Op::CmpUlt, Width::B, 0xFF, 3, 0},
+        AluCase{Op::CmpUle, Width::B, 1, 0xFF, 1}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Moves, AluSemanticsTest,
+    ::testing::Values(
+        AluCase{Op::Sext, Width::B, 0xFF, 0, -1},
+        AluCase{Op::Sext, Width::H, 0x8000, 0, -32768},
+        AluCase{Op::Mov, Width::Q, -42, 0, -42},
+        AluCase{Op::Mov, Width::B, 0x17F, 0, 0x7F},
+        AluCase{Op::CmovEq, Width::Q, 0, 9, 9},    // cond true: moves
+        AluCase{Op::CmovEq, Width::Q, 1, 9, -7},   // cond false: keeps OldRd
+        AluCase{Op::CmovNe, Width::Q, 1, 9, 9},
+        AluCase{Op::CmovLt, Width::Q, -1, 9, 9},
+        AluCase{Op::CmovGe, Width::Q, 0, 9, 9},
+        AluCase{Op::CmovLt, Width::B, 0x80, 9, 9})); // byte -128 < 0
+
+// Property: for any op, the width-Q result sign-extended to a narrower
+// width equals evaluating at that width directly when operands fit.
+TEST(AluSemantics, NarrowConsistencyProperty) {
+  Rng R(123);
+  const Op Ops[] = {Op::Add, Op::Sub, Op::Mul, Op::And, Op::Or, Op::Xor};
+  for (int I = 0; I < 4000; ++I) {
+    Op O = Ops[R.below(6)];
+    Width W = static_cast<Width>(R.below(3)); // B, H, W
+    unsigned Bytes = widthBytes(W);
+    int64_t A = truncSignExtend(static_cast<int64_t>(R.next()), Bytes);
+    int64_t B = truncSignExtend(static_cast<int64_t>(R.next()), Bytes);
+    int64_t Wide = evalAluOp(O, Width::Q, A, B, 0);
+    int64_t Narrow = evalAluOp(O, W, A, B, 0);
+    EXPECT_EQ(truncSignExtend(Wide, Bytes), Narrow)
+        << opInfo(O).Mnemonic << " " << A << "," << B;
+  }
+}
+
+// Property: unsigned compare of sign-extended width-fitting values matches
+// the narrow unsigned compare (the CmpUlt narrowing rule).
+TEST(AluSemantics, UnsignedCompareSignExtensionProperty) {
+  Rng R(99);
+  for (int I = 0; I < 4000; ++I) {
+    Width W = static_cast<Width>(R.below(3));
+    unsigned Bytes = widthBytes(W);
+    int64_t A = truncSignExtend(static_cast<int64_t>(R.next()), Bytes);
+    int64_t B = truncSignExtend(static_cast<int64_t>(R.next()), Bytes);
+    EXPECT_EQ(evalAluOp(Op::CmpUlt, Width::Q, A, B, 0),
+              evalAluOp(Op::CmpUlt, W, A, B, 0));
+    EXPECT_EQ(evalAluOp(Op::CmpUle, Width::Q, A, B, 0),
+              evalAluOp(Op::CmpUle, W, A, B, 0));
+  }
+}
+
+// --- Memory and control flow.
+
+TEST(Interpreter, LoadSemanticsPerWidth) {
+  ProgramBuilder PB;
+  uint64_t Addr = PB.addQuadData({static_cast<int64_t>(0xFFFFFFFF80C3B2A1ull)});
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, static_cast<int64_t>(Addr));
+  F.ld(Width::B, RegT1, RegT0, 0);
+  F.out(RegT1); // zero-extended byte
+  F.ld(Width::H, RegT1, RegT0, 0);
+  F.out(RegT1); // zero-extended halfword
+  F.ld(Width::W, RegT1, RegT0, 0);
+  F.out(RegT1); // sign-extended word
+  F.ld(Width::Q, RegT1, RegT0, 0);
+  F.out(RegT1);
+  F.halt();
+  Program P = PB.finish();
+  RunResult R = runProgram(P, RunOptions());
+  ASSERT_EQ(R.Output.size(), 4u);
+  EXPECT_EQ(R.Output[0], 0xA1);
+  EXPECT_EQ(R.Output[1], 0xB2A1);
+  EXPECT_EQ(R.Output[2], signExtend(0x80C3B2A1, 32));
+  EXPECT_EQ(R.Output[3], static_cast<int64_t>(0xFFFFFFFF80C3B2A1ull));
+}
+
+TEST(Interpreter, StoreWidthsArePartial) {
+  ProgramBuilder PB;
+  uint64_t Addr = PB.addQuadData({-1});
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, static_cast<int64_t>(Addr));
+  F.ldi(RegT1, 0);
+  F.st(Width::B, RegT1, RegT0, 0); // clear only the low byte
+  F.ld(Width::Q, RegT2, RegT0, 0);
+  F.out(RegT2);
+  F.halt();
+  Program P = PB.finish();
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Output.at(0), static_cast<int64_t>(0xFFFFFFFFFFFFFF00ull));
+}
+
+TEST(Interpreter, MskExtractsZeroExtendedFields) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, static_cast<int64_t>(0x1122334455667788ull));
+  F.msk(Width::B, RegT1, RegT0, 0);
+  F.out(RegT1);
+  F.msk(Width::B, RegT1, RegT0, 7);
+  F.out(RegT1);
+  F.msk(Width::H, RegT1, RegT0, 2);
+  F.out(RegT1);
+  F.msk(Width::W, RegT1, RegT0, 4);
+  F.out(RegT1);
+  F.halt();
+  Program P = PB.finish();
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Output[0], 0x88); // little-endian: byte 0 is the low byte
+  EXPECT_EQ(R.Output[1], 0x11);
+  EXPECT_EQ(R.Output[2], 0x5566);
+  EXPECT_EQ(R.Output[3], 0x11223344);
+}
+
+TEST(Interpreter, BranchDirections) {
+  // Test all six branch ops against negative/zero/positive.
+  for (auto [O, V, Taken] : std::vector<std::tuple<Op, int64_t, bool>>{
+           {Op::Beq, 0, true},   {Op::Beq, 1, false},
+           {Op::Bne, 0, false},  {Op::Bne, -1, true},
+           {Op::Blt, -1, true},  {Op::Blt, 0, false},
+           {Op::Ble, 0, true},   {Op::Ble, 1, false},
+           {Op::Bgt, 1, true},   {Op::Bgt, 0, false},
+           {Op::Bge, 0, true},   {Op::Bge, -1, false}}) {
+    ProgramBuilder PB;
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.ldi(RegT0, V);
+    switch (O) {
+    case Op::Beq:
+      F.beq(RegT0, "yes", "no");
+      break;
+    case Op::Bne:
+      F.bne(RegT0, "yes", "no");
+      break;
+    case Op::Blt:
+      F.blt(RegT0, "yes", "no");
+      break;
+    case Op::Ble:
+      F.ble(RegT0, "yes", "no");
+      break;
+    case Op::Bgt:
+      F.bgt(RegT0, "yes", "no");
+      break;
+    default:
+      F.bge(RegT0, "yes", "no");
+      break;
+    }
+    F.block("no");
+    F.ldi(RegT1, 0);
+    F.out(RegT1);
+    F.halt();
+    F.block("yes");
+    F.ldi(RegT1, 1);
+    F.out(RegT1);
+    F.halt();
+    // Fix the fallthrough of entry's conditional branch.
+    Program P = PB.finish();
+    RunResult R = runProgram(P, RunOptions());
+    ASSERT_EQ(R.Output.size(), 1u);
+    EXPECT_EQ(R.Output[0], Taken ? 1 : 0)
+        << opInfo(O).Mnemonic << " of " << V;
+  }
+}
+
+TEST(Interpreter, OutOfFuel) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.block("spin");
+  F.addi(RegT0, RegT0, 1);
+  F.br("spin");
+  Program P = PB.finish();
+  RunOptions O;
+  O.Fuel = 1000;
+  RunResult R = runProgram(P, O);
+  EXPECT_EQ(R.Status, RunStatus::OutOfFuel);
+  EXPECT_EQ(R.Stats.DynInsts, 1000u);
+}
+
+TEST(Interpreter, MemoryFaultReported) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, -8);
+  F.ld(Width::Q, RegT1, RegT0, 0);
+  F.halt();
+  Program P = PB.finish();
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Status, RunStatus::Fault);
+  EXPECT_NE(R.Message.find("load fault"), std::string::npos);
+}
+
+TEST(Interpreter, CallDepthLimit) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.jsr("main"); // unbounded recursion
+  F.halt();
+  Program P = PB.finish();
+  RunOptions O;
+  O.MaxCallDepth = 64;
+  RunResult R = runProgram(P, O);
+  EXPECT_EQ(R.Status, RunStatus::Fault);
+  EXPECT_NE(R.Message.find("depth"), std::string::npos);
+}
+
+TEST(Interpreter, CalleeSaveViolationDetected) {
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.ldi(RegS0, 5);
+  Main.jsr("bad");
+  Main.halt();
+  FunctionBuilder &Bad = PB.beginFunction("bad");
+  Bad.block("entry");
+  Bad.ldi(RegS0, 99); // clobbers callee-saved without restoring
+  Bad.ret();
+  Program P = PB.finish();
+  RunOptions O;
+  O.CheckCalleeSaved = true;
+  RunResult R = runProgram(P, O);
+  EXPECT_EQ(R.Status, RunStatus::CalleeSaveViolation);
+}
+
+TEST(Interpreter, ReturnFromEntryHalts) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegV0, 3);
+  F.out(RegV0);
+  F.ret();
+  Program P = PB.finish();
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  EXPECT_EQ(R.Output.at(0), 3);
+}
+
+TEST(Interpreter, ZeroRegisterIgnoresWrites) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegZero, 42);
+  F.out(RegZero);
+  F.halt();
+  Program P = PB.finish();
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Output.at(0), 0);
+}
+
+TEST(Interpreter, StatsCountClassesAndWidths) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.emit(Instruction::aluImm(Op::Add, Width::B, RegT0, RegT0, 1));
+  F.emit(Instruction::aluImm(Op::Add, Width::B, RegT0, RegT0, 1));
+  F.emit(Instruction::aluImm(Op::Add, Width::Q, RegT0, RegT0, 1));
+  F.halt();
+  Program P = PB.finish();
+  RunResult R = runProgram(P, RunOptions());
+  unsigned AddClass = static_cast<unsigned>(OpClass::Add);
+  EXPECT_EQ(R.Stats.ClassWidth[AddClass][0], 2u);
+  EXPECT_EQ(R.Stats.ClassWidth[AddClass][3], 1u);
+  EXPECT_EQ(R.Stats.DynInsts, 4u);
+}
+
+TEST(Interpreter, BlockCountsMatchExecution) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 0);
+  F.block("loop");
+  F.addi(RegT0, RegT0, 1);
+  F.cmpltImm(RegT1, RegT0, 7);
+  F.bne(RegT1, "loop", "done");
+  F.block("done");
+  F.halt();
+  Program P = PB.finish();
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Stats.BlockCounts[0][0], 1u);
+  EXPECT_EQ(R.Stats.BlockCounts[0][1], 7u);
+  EXPECT_EQ(R.Stats.BlockCounts[0][2], 1u);
+}
+
+TEST(Interpreter, TraceStreamIsCompleteAndOrdered) {
+  Program P = [] {
+    ProgramBuilder PB;
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.ldi(RegT0, 1);
+    F.addi(RegT1, RegT0, 2);
+    F.out(RegT1);
+    F.halt();
+    return PB.finish();
+  }();
+  std::vector<uint64_t> Pcs;
+  std::vector<int64_t> Results;
+  RunOptions O;
+  O.Trace = [&](const DynInst &D) {
+    Pcs.push_back(D.Pc);
+    if (D.WroteDest)
+      Results.push_back(D.Result);
+  };
+  RunResult R = runProgram(P, O);
+  EXPECT_EQ(R.Stats.DynInsts, Pcs.size());
+  for (size_t I = 1; I < Pcs.size(); ++I)
+    EXPECT_EQ(Pcs[I], Pcs[I - 1] + 4); // straight-line code
+  ASSERT_EQ(Results.size(), 2u);
+  EXPECT_EQ(Results[1], 3);
+}
+
+TEST(Interpreter, DeterministicAcrossRuns) {
+  ProgramBuilder PB;
+  uint64_t Data = PB.addQuadData({5, 6, 7});
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, static_cast<int64_t>(Data));
+  F.ld(Width::Q, RegT1, RegT0, 8);
+  F.out(RegT1);
+  F.halt();
+  Program P = PB.finish();
+  RunResult A = runProgram(P, RunOptions());
+  RunResult B = runProgram(P, RunOptions());
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Stats.DynInsts, B.Stats.DynInsts);
+}
+
+// Parameterized width sweeps for the memory and field-extract ops.
+
+class MskSweepTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, unsigned>> {};
+
+TEST_P(MskSweepTest, FieldMatchesShiftAndMask) {
+  Width W = static_cast<Width>(std::get<0>(GetParam()));
+  unsigned Offset = std::get<1>(GetParam());
+  const uint64_t Pattern = 0xF1E2D3C4B5A69788ull;
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, static_cast<int64_t>(Pattern));
+  F.msk(W, RegT1, RegT0, Offset);
+  F.out(RegT1);
+  F.halt();
+  Program P = PB.finish();
+  RunResult R = runProgram(P, RunOptions());
+  unsigned Bytes = widthBytes(W);
+  uint64_t Expected = Pattern >> (8 * Offset);
+  if (Bytes < 8)
+    Expected &= (uint64_t(1) << (8 * Bytes)) - 1;
+  EXPECT_EQ(static_cast<uint64_t>(R.Output.at(0)), Expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WidthsTimesOffsets, MskSweepTest,
+    ::testing::Combine(::testing::Range(0u, 4u), ::testing::Range(0u, 8u)),
+    [](const ::testing::TestParamInfo<std::tuple<unsigned, unsigned>> &I) {
+      return std::string(1, widthSuffix(static_cast<Width>(
+                                std::get<0>(I.param)))) +
+             "_off" + std::to_string(std::get<1>(I.param));
+    });
+
+class StoreLoadSweepTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(StoreLoadSweepTest, StoreThenLoadRoundTrips) {
+  Width W = static_cast<Width>(GetParam());
+  unsigned Bytes = widthBytes(W);
+  const int64_t Value = -0x123456789ABCDEFll;
+  ProgramBuilder PB;
+  uint64_t Addr = PB.addZeroData(16);
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, static_cast<int64_t>(Addr));
+  F.ldi(RegT1, Value);
+  F.st(W, RegT1, RegT0, 0);
+  F.ld(W, RegT2, RegT0, 0);
+  F.out(RegT2);
+  F.ld(Width::Q, RegT3, RegT0, 8); // the next quad stays zero
+  F.out(RegT3);
+  F.halt();
+  Program P = PB.finish();
+  RunResult R = runProgram(P, RunOptions());
+  // Loads zero-extend B/H, sign-extend W, are exact for Q.
+  int64_t Expected;
+  if (W == Width::B || W == Width::H)
+    Expected = static_cast<int64_t>(
+        zeroExtend(static_cast<uint64_t>(Value), 8 * Bytes));
+  else if (W == Width::W)
+    Expected = truncSignExtend(Value, 4);
+  else
+    Expected = Value;
+  EXPECT_EQ(R.Output.at(0), Expected);
+  EXPECT_EQ(R.Output.at(1), 0); // no spill past the store width
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, StoreLoadSweepTest,
+                         ::testing::Range(0u, 4u),
+                         [](const ::testing::TestParamInfo<unsigned> &I) {
+                           return std::string(
+                               1, widthSuffix(static_cast<Width>(I.param)));
+                         });

@@ -1,0 +1,155 @@
+//===- tests/SupportTest.cpp - support/ unit tests --------------------------==//
+
+#include "support/Error.h"
+#include "support/MathExtras.h"
+#include "support/Rng.h"
+#include "support/Statistic.h"
+#include "support/Table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+using namespace og;
+
+TEST(MathExtras, SignExtendBasics) {
+  EXPECT_EQ(signExtend(0xFF, 8), -1);
+  EXPECT_EQ(signExtend(0x7F, 8), 127);
+  EXPECT_EQ(signExtend(0x80, 8), -128);
+  EXPECT_EQ(signExtend(0xFFFF, 16), -1);
+  EXPECT_EQ(signExtend(0x8000, 16), -32768);
+  EXPECT_EQ(signExtend(0x1234, 16), 0x1234);
+  EXPECT_EQ(signExtend(0xFFFFFFFFFFFFFFFFull, 64), -1);
+}
+
+TEST(MathExtras, SignExtendIgnoresHighBits) {
+  EXPECT_EQ(signExtend(0xABCDEF12345678FFull, 8), -1);
+  EXPECT_EQ(signExtend(0xABCDEF1234567800ull, 8), 0);
+}
+
+TEST(MathExtras, ZeroExtend) {
+  EXPECT_EQ(zeroExtend(0xFFFFFFFFFFFFFFFFull, 8), 0xFFull);
+  EXPECT_EQ(zeroExtend(0x1234, 8), 0x34ull);
+  EXPECT_EQ(zeroExtend(0x1234, 64), 0x1234ull);
+}
+
+TEST(MathExtras, TruncSignExtendRoundTrips) {
+  for (int64_t V : {-128ll, -1ll, 0ll, 1ll, 127ll})
+    EXPECT_EQ(truncSignExtend(V, 1), V) << V;
+  EXPECT_EQ(truncSignExtend(128, 1), -128);
+  EXPECT_EQ(truncSignExtend(256, 1), 0);
+  EXPECT_EQ(truncSignExtend(-129, 1), 127);
+}
+
+TEST(MathExtras, FitsSignedBytes) {
+  EXPECT_TRUE(fitsSignedBytes(127, 1));
+  EXPECT_FALSE(fitsSignedBytes(128, 1));
+  EXPECT_TRUE(fitsSignedBytes(-128, 1));
+  EXPECT_FALSE(fitsSignedBytes(-129, 1));
+  EXPECT_TRUE(fitsSignedBytes(INT64_MAX, 8));
+  EXPECT_TRUE(fitsSignedBytes(INT64_MIN, 8));
+}
+
+TEST(MathExtras, FitsUnsignedBytes) {
+  EXPECT_TRUE(fitsUnsignedBytes(255, 1));
+  EXPECT_FALSE(fitsUnsignedBytes(256, 1));
+  EXPECT_FALSE(fitsUnsignedBytes(-1, 1));
+  EXPECT_TRUE(fitsUnsignedBytes(INT64_MAX, 8));
+}
+
+TEST(MathExtras, SignificantBytes) {
+  EXPECT_EQ(significantBytes(0), 1u);
+  EXPECT_EQ(significantBytes(-1), 1u);
+  EXPECT_EQ(significantBytes(127), 1u);
+  EXPECT_EQ(significantBytes(128), 2u);
+  EXPECT_EQ(significantBytes(-128), 1u);
+  EXPECT_EQ(significantBytes(-129), 2u);
+  EXPECT_EQ(significantBytes(0x7FFF), 2u);
+  EXPECT_EQ(significantBytes(0x8000), 3u);
+  EXPECT_EQ(significantBytes(INT64_MAX), 8u);
+  EXPECT_EQ(significantBytes(INT64_MIN), 8u);
+}
+
+// Property: significantBytes is the least b with truncSignExtend identity.
+TEST(MathExtras, SignificantBytesIsMinimal) {
+  Rng R(42);
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = static_cast<int64_t>(R.next()) >>
+                static_cast<unsigned>(R.below(64));
+    unsigned B = significantBytes(V);
+    EXPECT_EQ(truncSignExtend(V, B), V);
+    if (B > 1)
+      EXPECT_NE(truncSignExtend(V, B - 1), V);
+  }
+}
+
+TEST(MathExtras, BytesForSignedRange) {
+  EXPECT_EQ(bytesForSignedRange(0, 100), 1u);
+  EXPECT_EQ(bytesForSignedRange(0, 255), 2u); // 255 needs 2 signed bytes
+  EXPECT_EQ(bytesForSignedRange(-128, 127), 1u);
+  EXPECT_EQ(bytesForSignedRange(-32768, 32767), 2u);
+  EXPECT_EQ(bytesForSignedRange(INT64_MIN, INT64_MAX), 8u);
+}
+
+TEST(MathExtras, SaturatingArith) {
+  EXPECT_EQ(saturatingAdd(INT64_MAX, 1), INT64_MAX);
+  EXPECT_EQ(saturatingAdd(INT64_MIN, -1), INT64_MIN);
+  EXPECT_EQ(saturatingAdd(1, 2), 3);
+  EXPECT_EQ(saturatingSub(INT64_MIN, 1), INT64_MIN);
+  EXPECT_EQ(saturatingSub(INT64_MAX, -1), INT64_MAX);
+}
+
+TEST(MathExtras, WrapArith) {
+  EXPECT_EQ(wrapAdd(INT64_MAX, 1), INT64_MIN);
+  EXPECT_EQ(wrapSub(INT64_MIN, 1), INT64_MAX);
+  EXPECT_EQ(wrapMul(INT64_MAX, 2), -2);
+}
+
+TEST(Statistic, AccumulatesAndOrders) {
+  StatisticSet S;
+  S.add("b", 2);
+  S.add("a");
+  S.add("b", 3);
+  EXPECT_EQ(S.get("b"), 5u);
+  EXPECT_EQ(S.get("a"), 1u);
+  EXPECT_EQ(S.get("missing"), 0u);
+  ASSERT_EQ(S.entries().size(), 2u);
+  EXPECT_EQ(S.entries()[0].first, "b"); // first-touch order
+  std::ostringstream OS;
+  S.print(OS);
+  EXPECT_NE(OS.str().find("5\tb"), std::string::npos);
+}
+
+TEST(Expected, ValueAndError) {
+  Expected<int> Ok(42);
+  ASSERT_TRUE(static_cast<bool>(Ok));
+  EXPECT_EQ(*Ok, 42);
+  Expected<int> Err = makeError<int>("boom");
+  ASSERT_FALSE(static_cast<bool>(Err));
+  EXPECT_EQ(Err.error(), "boom");
+}
+
+TEST(Rng, DeterministicAndInRange) {
+  Rng A(7), B(7);
+  for (int I = 0; I < 100; ++I)
+    EXPECT_EQ(A.next(), B.next());
+  Rng C(9);
+  for (int I = 0; I < 1000; ++I) {
+    int64_t V = C.range(-5, 5);
+    EXPECT_GE(V, -5);
+    EXPECT_LE(V, 5);
+  }
+}
+
+TEST(Table, AlignsColumns) {
+  TextTable T({"name", "value"});
+  T.addRow({"x", "1"});
+  T.addRow({"longer", "23"});
+  std::ostringstream OS;
+  T.print(OS);
+  std::string Out = OS.str();
+  EXPECT_NE(Out.find("name"), std::string::npos);
+  EXPECT_NE(Out.find("longer"), std::string::npos);
+  EXPECT_EQ(TextTable::pct(0.1234, 1), "12.3%");
+  EXPECT_EQ(TextTable::num(1.5, 0), "2");
+}

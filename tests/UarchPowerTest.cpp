@@ -1,0 +1,420 @@
+//===- tests/UarchPowerTest.cpp - uarch/, power/, hw/ tests ------------------==//
+
+#include "hw/Compression.h"
+#include "power/Report.h"
+#include "program/Builder.h"
+#include "support/Rng.h"
+#include "uarch/BranchPredictor.h"
+#include "uarch/Cache.h"
+#include "uarch/Core.h"
+
+#include <gtest/gtest.h>
+
+using namespace og;
+
+// --- Hardware compression (§4.6).
+
+TEST(HwCompression, SignificanceBytes) {
+  EXPECT_EQ(significanceBytes(0), 1u);
+  EXPECT_EQ(significanceBytes(-1), 1u);
+  EXPECT_EQ(significanceBytes(127), 1u);
+  EXPECT_EQ(significanceBytes(128), 2u);
+  EXPECT_EQ(significanceBytes(INT64_MIN), 8u);
+}
+
+TEST(HwCompression, SizeBuckets) {
+  // {1, 2, 5, 8}: the 5-byte bucket absorbs 33..40-bit addresses (§4.6).
+  EXPECT_EQ(sizeCompressionBytes(0), 1u);
+  EXPECT_EQ(sizeCompressionBytes(1000), 2u);
+  EXPECT_EQ(sizeCompressionBytes(1 << 20), 5u);
+  EXPECT_EQ(sizeCompressionBytes(int64_t(1) << 38), 5u);
+  EXPECT_EQ(sizeCompressionBytes(int64_t(1) << 45), 8u);
+}
+
+// Property: buckets dominate significance; combined never exceeds either.
+TEST(HwCompression, CombinedProperty) {
+  Rng R(5);
+  for (int I = 0; I < 2000; ++I) {
+    int64_t V = static_cast<int64_t>(R.next()) >>
+                static_cast<unsigned>(R.below(64));
+    EXPECT_GE(sizeCompressionBytes(V), significanceBytes(V));
+    for (unsigned WI = 0; WI < 4; ++WI) {
+      Width W = static_cast<Width>(WI);
+      unsigned C = combinedBytes(V, W);
+      EXPECT_LE(C, widthBytes(W));
+      EXPECT_LE(C, sizeCompressionBytes(V));
+    }
+  }
+}
+
+// --- Branch predictor.
+
+TEST(BranchPredictor, LearnsStableBranch) {
+  UarchConfig C;
+  BranchPredictor BP(C);
+  for (int I = 0; I < 100; ++I)
+    BP.predictAndUpdate(0x1000, true);
+  EXPECT_LT(BP.mispredicts(), 5u); // warms up quickly
+  EXPECT_EQ(BP.lookups(), 100u);
+}
+
+TEST(BranchPredictor, LearnsAlternatingViaHistory) {
+  UarchConfig C;
+  BranchPredictor BP(C);
+  // Strict alternation is history-predictable by gshare.
+  for (int I = 0; I < 2000; ++I)
+    BP.predictAndUpdate(0x2000, I % 2 == 0);
+  EXPECT_LT(BP.mispredicts(), 200u); // far better than the 1000 of always-X
+}
+
+TEST(BranchPredictor, RandomIsHard) {
+  UarchConfig C;
+  BranchPredictor BP(C);
+  Rng R(3);
+  unsigned N = 2000;
+  for (unsigned I = 0; I < N; ++I)
+    BP.predictAndUpdate(0x3000 + (R.below(64) * 4), R.below(2));
+  EXPECT_GT(BP.mispredicts(), N / 4); // no free lunch on noise
+}
+
+// --- Cache.
+
+TEST(Cache, HitsAfterFill) {
+  Cache C(1, 2, 32); // 1KB, 2-way, 32B lines
+  EXPECT_FALSE(C.access(0x100));
+  EXPECT_TRUE(C.access(0x100));
+  EXPECT_TRUE(C.access(0x11F)); // same line
+  EXPECT_FALSE(C.access(0x120)); // next line
+  EXPECT_EQ(C.misses(), 2u);
+  EXPECT_EQ(C.hits(), 2u);
+}
+
+TEST(Cache, LruEvictionWithinSet) {
+  Cache C(1, 2, 32); // 16 sets
+  uint64_t SetStride = 16 * 32;
+  C.access(0);              // way A
+  C.access(SetStride);      // way B
+  C.access(0);              // refresh A
+  C.access(2 * SetStride);  // evicts B (LRU)
+  EXPECT_TRUE(C.access(0));
+  EXPECT_FALSE(C.access(SetStride)); // was evicted
+}
+
+TEST(Cache, SequentialStreamMissesOncePerLine) {
+  Cache C(64, 2, 32);
+  for (uint64_t A = 0; A < 4096; A += 4)
+    C.access(A);
+  EXPECT_EQ(C.misses(), 4096u / 32u);
+}
+
+// --- The OoO core on synthetic traces.
+
+namespace {
+
+UarchStats runCore(const Program &P, const RunOptions &Base,
+                   ActivitySink *Sink = nullptr) {
+  UarchConfig C;
+  OooCore Core(C, Sink);
+  RunOptions O = Base;
+  O.Trace = [&](const DynInst &D) { Core.onInst(D); };
+  RunResult R = runProgram(P, O);
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  return Core.finish();
+}
+
+Program independentAdds(unsigned N) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  for (unsigned I = 0; I < N; ++I)
+    F.addi(static_cast<Reg>(RegT0 + (I % 6)), RegZero, 1);
+  F.halt();
+  return PB.finish();
+}
+
+Program dependentChain(unsigned N) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  for (unsigned I = 0; I < N; ++I)
+    F.addi(RegT0, RegT0, 1);
+  F.halt();
+  return PB.finish();
+}
+
+} // namespace
+
+TEST(OooCore, IpcBoundedByMachineWidth) {
+  UarchStats S = runCore(independentAdds(2000), RunOptions());
+  EXPECT_LE(S.ipc(), 4.0);
+  // Independent work should sustain well above scalar throughput (3 ALUs).
+  EXPECT_GT(S.ipc(), 2.0);
+}
+
+TEST(OooCore, DependenceChainsSerialize) {
+  UarchStats Par = runCore(independentAdds(2000), RunOptions());
+  UarchStats Ser = runCore(dependentChain(2000), RunOptions());
+  EXPECT_GT(Ser.Cycles, Par.Cycles * 2);
+  EXPECT_LE(Ser.ipc(), 1.1); // one add per cycle at best
+}
+
+TEST(OooCore, MispredictionsCostCycles) {
+  // A data-dependent unpredictable branch vs a stable one.
+  auto mkBranchy = [](bool Random) {
+    ProgramBuilder PB;
+    std::vector<uint8_t> Bits(4096);
+    Rng R(11);
+    for (size_t I = 0; I < Bits.size(); ++I)
+      Bits[I] = Random ? static_cast<uint8_t>(R.below(2)) : 1;
+    uint64_t Data = PB.addByteData(Bits);
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.ldi(RegS0, static_cast<int64_t>(Data));
+    F.ldi(RegS1, 0);
+    F.ldi(RegS2, 0);
+    F.block("loop");
+    F.add(RegT0, RegS0, RegS1);
+    F.ld(Width::B, RegT1, RegT0, 0);
+    F.beq(RegT1, "skip", "add1");
+    F.block("add1");
+    F.addi(RegS2, RegS2, 1);
+    F.br("skip");
+    F.block("skip");
+    F.addi(RegS1, RegS1, 1);
+    F.cmpltImm(RegT2, RegS1, 4096);
+    F.bne(RegT2, "loop", "done");
+    F.block("done");
+    F.out(RegS2);
+    F.halt();
+    return PB.finish();
+  };
+  UarchStats Stable = runCore(mkBranchy(false), RunOptions());
+  UarchStats Noisy = runCore(mkBranchy(true), RunOptions());
+  EXPECT_GT(Noisy.Mispredicts, Stable.Mispredicts * 5);
+  EXPECT_GT(Noisy.Cycles, Stable.Cycles);
+}
+
+TEST(OooCore, CacheMissesCostCycles) {
+  // Fixed 20k loads; friendly ones hit a single line, hostile ones stream
+  // through 2MB (beyond L1+L2).
+  auto mkStrided = [](int64_t Stride, int64_t Mask) {
+    ProgramBuilder PB;
+    uint64_t Data = PB.addZeroData(2u << 20);
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.ldi(RegS0, static_cast<int64_t>(Data));
+    F.ldi(RegS1, 0);
+    F.ldi(RegS4, 0);
+    F.block("loop");
+    F.muli(RegT0, RegS1, Stride);
+    F.andi(RegT0, RegT0, Mask);
+    F.add(RegT0, RegS0, RegT0);
+    F.ld(Width::Q, RegT1, RegT0, 0);
+    F.add(RegS2, RegS2, RegT1);
+    F.addi(RegS1, RegS1, 1);
+    F.cmpltImm(RegT2, RegS1, 20000);
+    F.bne(RegT2, "loop", "done");
+    F.block("done");
+    F.halt();
+    return PB.finish();
+  };
+  UarchStats Friendly = runCore(mkStrided(0, 0), RunOptions());
+  UarchStats Hostile =
+      runCore(mkStrided(64, (2 << 20) - 8), RunOptions());
+  EXPECT_GT(Hostile.DL1Misses, Friendly.DL1Misses + 1000);
+  EXPECT_GT(Hostile.L2Misses, 0u);
+  EXPECT_GT(Hostile.Cycles, Friendly.Cycles);
+}
+
+// --- Power model.
+
+TEST(EnergyModel, TotalsAreSumOfParts) {
+  EnergyModel EM(GatingScheme::None);
+  EM.access(Structure::Rename);
+  EM.dataAccess(Structure::RegFile, 42, Width::Q);
+  EM.missPenalty(Structure::DCacheL1);
+  double Sum = 0.0;
+  for (unsigned S = 0; S < NumStructures; ++S)
+    Sum += EM.structureEnergy(static_cast<Structure>(S));
+  EXPECT_DOUBLE_EQ(Sum, EM.totalEnergy());
+  EXPECT_GT(Sum, 0.0);
+}
+
+TEST(EnergyModel, NarrowValuesCostLessUnderGating) {
+  for (GatingScheme S : {GatingScheme::Software, GatingScheme::HwSignificance,
+                         GatingScheme::HwSize, GatingScheme::Combined}) {
+    EnergyModel Narrow(S), Wide(S);
+    Width NarrowW = S == GatingScheme::Software ? Width::B : Width::Q;
+    Narrow.dataAccess(Structure::IntAlu, 3, NarrowW);
+    Wide.dataAccess(Structure::IntAlu, INT64_MAX, Width::Q);
+    EXPECT_LT(Narrow.totalEnergy(), Wide.totalEnergy())
+        << gatingSchemeName(S);
+  }
+  // The baseline is width-insensitive.
+  EnergyModel A(GatingScheme::None), B(GatingScheme::None);
+  A.dataAccess(Structure::IntAlu, 3, Width::B);
+  B.dataAccess(Structure::IntAlu, INT64_MAX, Width::Q);
+  EXPECT_DOUBLE_EQ(A.totalEnergy(), B.totalEnergy());
+}
+
+TEST(EnergyModel, HwSchemesPayTagOverhead) {
+  // For a full-width value, hw schemes cost slightly MORE than baseline
+  // because of the tag bits.
+  EnergyModel None(GatingScheme::None), Sig(GatingScheme::HwSignificance);
+  None.dataAccess(Structure::RegFile, INT64_MAX, Width::Q);
+  Sig.dataAccess(Structure::RegFile, INT64_MAX, Width::Q);
+  EXPECT_GT(Sig.totalEnergy(), None.totalEnergy());
+  EXPECT_EQ(tagBits(GatingScheme::HwSignificance), 7u);
+  EXPECT_EQ(tagBits(GatingScheme::HwSize), 2u);
+  EXPECT_EQ(tagBits(GatingScheme::Combined), 2u);
+  EXPECT_EQ(tagBits(GatingScheme::Software), 0u);
+}
+
+TEST(EnergyModel, EffectiveBytesPerScheme) {
+  int64_t V = 300; // needs 2 significant bytes
+  EXPECT_EQ(effectiveBytes(GatingScheme::None, V, Width::B), 8u);
+  EXPECT_EQ(effectiveBytes(GatingScheme::Software, V, Width::H), 2u);
+  EXPECT_EQ(effectiveBytes(GatingScheme::HwSignificance, V, Width::Q), 2u);
+  EXPECT_EQ(effectiveBytes(GatingScheme::HwSize, V, Width::Q), 2u);
+  EXPECT_EQ(effectiveBytes(GatingScheme::HwSize, 1 << 20, Width::Q), 5u);
+  EXPECT_EQ(effectiveBytes(GatingScheme::Combined, V, Width::Q), 2u);
+  // Combined caps by the opcode width.
+  EXPECT_EQ(effectiveBytes(GatingScheme::Combined, 1 << 20, Width::H), 2u);
+}
+
+TEST(EnergyReport, SavingsAndEd2Math) {
+  EnergyReport Base;
+  Base.TotalEnergy = 100;
+  Base.Uarch.Cycles = 10;
+  EnergyReport Better;
+  Better.TotalEnergy = 80;
+  Better.Uarch.Cycles = 10;
+  EXPECT_DOUBLE_EQ(Better.energySaving(Base), 0.2);
+  EXPECT_DOUBLE_EQ(Better.ed2Saving(Base), 0.2);
+  EXPECT_DOUBLE_EQ(Better.timeSaving(Base), 0.0);
+  Better.Uarch.Cycles = 5; // halving delay gives 4x ED^2 on top
+  EXPECT_DOUBLE_EQ(Better.ed2(), 80.0 * 25.0);
+  EXPECT_DOUBLE_EQ(Better.ed2Saving(Base), 1.0 - (80.0 * 25) / (100.0 * 100));
+}
+
+TEST(EnergyReport, StructureSavings) {
+  EnergyReport Base, Other;
+  Base.PerStructure[static_cast<unsigned>(Structure::IntAlu)] = 50;
+  Other.PerStructure[static_cast<unsigned>(Structure::IntAlu)] = 40;
+  EXPECT_DOUBLE_EQ(Other.structureSaving(Base, Structure::IntAlu), 0.2);
+  EXPECT_DOUBLE_EQ(Other.structureSaving(Base, Structure::Rename), 0.0);
+}
+
+TEST(Power, EndToEndSchemesOrderSanely) {
+  // On a narrow-value workload: any gating beats baseline; significance
+  // beats size compression (finer granularity).
+  Program P = [] {
+    ProgramBuilder PB;
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.ldi(RegS0, 0);
+    F.ldi(RegS1, 0);
+    F.block("loop");
+    F.andi(RegT0, RegS1, 0x3F);
+    F.add(RegS0, RegS0, RegT0);
+    F.addi(RegS1, RegS1, 1);
+    F.cmpltImm(RegT1, RegS1, 3000);
+    F.bne(RegT1, "loop", "done");
+    F.block("done");
+    F.out(RegS0);
+    F.halt();
+    return PB.finish();
+  }();
+  auto energyUnder = [&](GatingScheme S) {
+    EnergyModel EM(S);
+    UarchConfig C;
+    OooCore Core(C, &EM);
+    RunOptions O;
+    O.Trace = [&](const DynInst &D) { Core.onInst(D); };
+    runProgram(P, O);
+    return makeReport(EM, Core.finish()).TotalEnergy;
+  };
+  double None = energyUnder(GatingScheme::None);
+  double Sig = energyUnder(GatingScheme::HwSignificance);
+  double Size = energyUnder(GatingScheme::HwSize);
+  EXPECT_LT(Sig, None);
+  EXPECT_LT(Size, None);
+  // Significance gates finer but pays 7 tag bits to size compression's 2;
+  // on already-narrow values the two land close together.
+  EXPECT_LE(Sig, Size * 1.05);
+}
+
+TEST(EnergyModel, SoftwareSchemePaysCacheTags) {
+  // Paper 2.4: under the software scheme cached values carry two size
+  // bits; register-file traffic does not.
+  EnergyModel None(GatingScheme::None), Sw(GatingScheme::Software);
+  None.dataAccess(Structure::DCacheL1, INT64_MAX, Width::Q);
+  Sw.dataAccess(Structure::DCacheL1, INT64_MAX, Width::Q);
+  EXPECT_GT(Sw.structureEnergy(Structure::DCacheL1),
+            None.structureEnergy(Structure::DCacheL1));
+
+  EnergyModel None2(GatingScheme::None), Sw2(GatingScheme::Software);
+  None2.dataAccess(Structure::RegFile, INT64_MAX, Width::Q);
+  Sw2.dataAccess(Structure::RegFile, INT64_MAX, Width::Q);
+  EXPECT_DOUBLE_EQ(Sw2.structureEnergy(Structure::RegFile),
+                   None2.structureEnergy(Structure::RegFile));
+}
+
+TEST(OooCore, MulLatencyIsVisible) {
+  // A chain of dependent multiplies runs at the multiply latency.
+  auto chain = [](Op O, unsigned N) {
+    ProgramBuilder PB;
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.ldi(RegT0, 1);
+    for (unsigned I = 0; I < N; ++I)
+      F.emit(Instruction::aluImm(O, Width::Q, RegT0, RegT0, 1));
+    F.halt();
+    return PB.finish();
+  };
+  UarchStats Adds = runCore(chain(Op::Add, 600), RunOptions());
+  UarchStats Muls = runCore(chain(Op::Mul, 600), RunOptions());
+  UarchConfig C;
+  EXPECT_GT(Muls.Cycles, Adds.Cycles * (C.MulLatency - 2));
+}
+
+TEST(OooCore, WindowBoundsOutstandingWork) {
+  // Independent loads that all miss: a 64-entry window cannot overlap more
+  // than 64 of them, so halving memory-level parallelism shows up as
+  // cycles. Compare the default window against a tiny one.
+  ProgramBuilder PB;
+  uint64_t Data = PB.addZeroData(2u << 20);
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegS0, static_cast<int64_t>(Data));
+  F.ldi(RegS1, 0);
+  F.block("loop");
+  F.muli(RegT0, RegS1, 4096 + 64); // new set + new line every access
+  F.andi(RegT0, RegT0, (2 << 20) - 8);
+  F.add(RegT0, RegS0, RegT0);
+  F.ld(Width::Q, RegT1, RegT0, 0);
+  F.addi(RegS1, RegS1, 1);
+  F.cmpltImm(RegT2, RegS1, 4000);
+  F.bne(RegT2, "loop", "done");
+  F.block("done");
+  F.halt();
+  Program P = PB.finish();
+
+  auto cyclesWith = [&](unsigned Window) {
+    UarchConfig C;
+    C.MaxInFlight = Window;
+    OooCore Core(C, nullptr);
+    RunOptions O;
+    O.Trace = [&](const DynInst &D) { Core.onInst(D); };
+    runProgram(P, O);
+    return Core.finish().Cycles;
+  };
+  EXPECT_GT(cyclesWith(4), cyclesWith(64));
+}
+
+TEST(OooCore, RetireIsInOrder) {
+  // The final cycle count can never undercut insts / retire-width.
+  UarchStats S = runCore(independentAdds(4000), RunOptions());
+  UarchConfig C;
+  EXPECT_GE(S.Cycles, S.Insts / C.RetireWidth);
+}

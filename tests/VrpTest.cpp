@@ -1,0 +1,691 @@
+//===- tests/VrpTest.cpp - Value Range Propagation tests ---------------------==//
+
+#include "program/Builder.h"
+#include "sim/Interpreter.h"
+#include "support/Rng.h"
+#include "vrp/Narrowing.h"
+#include "vrp/RangeAnalysis.h"
+#include "vrp/Transfer.h"
+#include "vrp/UsefulWidth.h"
+
+#include <gtest/gtest.h>
+
+using namespace og;
+
+// --- ValueRange algebra.
+
+TEST(ValueRange, Basics) {
+  ValueRange Full;
+  EXPECT_TRUE(Full.isFull());
+  ValueRange C = ValueRange::constant(7);
+  EXPECT_TRUE(C.isConstant());
+  EXPECT_EQ(C.bytes(), 1u);
+  EXPECT_TRUE(C.contains(7));
+  EXPECT_FALSE(C.contains(8));
+  EXPECT_EQ(ValueRange(0, 255).bytes(), 2u);
+  EXPECT_EQ(ValueRange(-128, 127).bytes(), 1u);
+  EXPECT_EQ(ValueRange(0, 255).width(), Width::H);
+}
+
+TEST(ValueRange, UnionAndIntersect) {
+  ValueRange A(0, 10), B(5, 20);
+  EXPECT_EQ(A.unionWith(B), ValueRange(0, 20));
+  EXPECT_EQ(A.intersectWith(B), ValueRange(5, 10));
+  ValueRange Dis(100, 200);
+  EXPECT_TRUE(A.disjointFrom(Dis));
+  EXPECT_FALSE(A.disjointFrom(B));
+}
+
+TEST(ValueRange, AddWrapsToFull) {
+  bool W = false;
+  ValueRange R = ValueRange::add(ValueRange(0, INT64_MAX),
+                                 ValueRange(1, 1), W);
+  EXPECT_TRUE(W);
+  EXPECT_TRUE(R.isFull());
+  W = false;
+  EXPECT_EQ(ValueRange::add(ValueRange(1, 2), ValueRange(3, 4), W),
+            ValueRange(4, 6));
+  EXPECT_FALSE(W);
+}
+
+TEST(ValueRange, MulCorners) {
+  bool W = false;
+  EXPECT_EQ(ValueRange::mul(ValueRange(-2, 3), ValueRange(-5, 7), W),
+            ValueRange(-15, 21));
+  EXPECT_FALSE(W);
+  ValueRange Big = ValueRange::mul(ValueRange(INT64_MAX / 2, INT64_MAX),
+                                   ValueRange(4, 4), W);
+  EXPECT_TRUE(W);
+  EXPECT_TRUE(Big.isFull());
+}
+
+// Property: forward interval ops contain all concrete results.
+TEST(ValueRange, ForwardSoundnessProperty) {
+  Rng R(2024);
+  for (int Trial = 0; Trial < 3000; ++Trial) {
+    int64_t ALo = R.range(-1000, 1000);
+    int64_t AHi = ALo + R.range(0, 100);
+    int64_t BLo = R.range(-1000, 1000);
+    int64_t BHi = BLo + R.range(0, 100);
+    ValueRange A(ALo, AHi), B(BLo, BHi);
+    int64_t X = R.range(ALo, AHi);
+    int64_t Y = R.range(BLo, BHi);
+    bool W = false;
+    EXPECT_TRUE(ValueRange::add(A, B, W).contains(X + Y));
+    EXPECT_TRUE(ValueRange::sub(A, B, W).contains(X - Y));
+    EXPECT_TRUE(ValueRange::mul(A, B, W).contains(X * Y));
+    EXPECT_TRUE(ValueRange::bitAnd(A, B).contains(X & Y));
+    EXPECT_TRUE(ValueRange::bitOr(A, B).contains(X | Y));
+    EXPECT_TRUE(ValueRange::bitXor(A, B).contains(X ^ Y));
+    EXPECT_TRUE(ValueRange::bitClear(A, B).contains(X & ~Y));
+    unsigned Amt = static_cast<unsigned>(R.below(20));
+    EXPECT_TRUE(ValueRange::shiftRightArith(A, ValueRange::constant(Amt))
+                    .contains(X >> Amt));
+    if (X >= 0) {
+      EXPECT_TRUE(
+          ValueRange::shiftRightLogical(ValueRange(0, AHi < 0 ? 0 : AHi),
+                                        ValueRange::constant(Amt))
+              .contains((X < 0 ? 0 : X) >> Amt));
+    }
+  }
+}
+
+// --- Forward transfer functions.
+
+namespace {
+
+ValueRange fwd(const Instruction &I, ValueRange A, ValueRange B) {
+  bool W = false;
+  return forwardTransfer(I, A, B, ValueRange::full(), W);
+}
+
+} // namespace
+
+TEST(Transfer, LoadRangesFollowOpcode) {
+  EXPECT_EQ(fwd(Instruction::load(Width::B, RegT0, RegT1, 0),
+                ValueRange::full(), ValueRange::full()),
+            ValueRange(0, 0xFF));
+  EXPECT_EQ(fwd(Instruction::load(Width::H, RegT0, RegT1, 0),
+                ValueRange::full(), ValueRange::full()),
+            ValueRange(0, 0xFFFF));
+  EXPECT_EQ(fwd(Instruction::load(Width::W, RegT0, RegT1, 0),
+                ValueRange::full(), ValueRange::full()),
+            ValueRange(INT32_MIN, INT32_MAX));
+  EXPECT_TRUE(fwd(Instruction::load(Width::Q, RegT0, RegT1, 0),
+                  ValueRange::full(), ValueRange::full())
+                  .isFull());
+}
+
+TEST(Transfer, NarrowAddClampsToWidthHull) {
+  Instruction I = Instruction::alu(Op::Add, Width::B, RegT0, RegT1, RegT2);
+  bool MayWrap = false;
+  ValueRange R = forwardTransfer(I, ValueRange(100, 120), ValueRange(20, 30),
+                                 ValueRange::full(), MayWrap);
+  EXPECT_TRUE(MayWrap); // 150 does not fit a signed byte
+  EXPECT_EQ(R, ValueRange(-128, 127));
+  MayWrap = false;
+  R = forwardTransfer(I, ValueRange(1, 5), ValueRange(2, 3),
+                      ValueRange::full(), MayWrap);
+  EXPECT_FALSE(MayWrap);
+  EXPECT_EQ(R, ValueRange(3, 8));
+}
+
+TEST(Transfer, CompareProducesBit) {
+  Instruction I = Instruction::aluImm(Op::CmpLt, Width::Q, RegT0, RegT1, 10);
+  EXPECT_EQ(fwd(I, ValueRange(0, 5), ValueRange::constant(10)),
+            ValueRange::constant(1));
+  EXPECT_EQ(fwd(I, ValueRange(20, 30), ValueRange::constant(10)),
+            ValueRange::constant(0));
+  EXPECT_EQ(fwd(I, ValueRange(0, 30), ValueRange::constant(10)),
+            ValueRange(0, 1));
+}
+
+TEST(Transfer, MskZeroExtends) {
+  Instruction I = Instruction::msk(Width::B, RegT0, RegT1, 0);
+  EXPECT_EQ(fwd(I, ValueRange(0, 77), ValueRange::full()),
+            ValueRange(0, 77));
+  EXPECT_EQ(fwd(I, ValueRange::full(), ValueRange::full()),
+            ValueRange(0, 255));
+  Instruction H = Instruction::msk(Width::H, RegT0, RegT1, 1);
+  EXPECT_EQ(fwd(H, ValueRange::full(), ValueRange::full()),
+            ValueRange(0, 0xFFFF));
+}
+
+TEST(Transfer, CmovUnionsBothSources) {
+  Instruction I = Instruction::alu(Op::CmovNe, Width::Q, RegT0, RegT1, RegT2);
+  bool W = false;
+  ValueRange R = forwardTransfer(I, ValueRange(0, 1), ValueRange(5, 6),
+                                 ValueRange(10, 11), W);
+  EXPECT_EQ(R, ValueRange(5, 11));
+  // Statically-decided condition collapses.
+  R = forwardTransfer(I, ValueRange::constant(1), ValueRange(5, 6),
+                      ValueRange(10, 11), W);
+  EXPECT_EQ(R, ValueRange(5, 6));
+  R = forwardTransfer(I, ValueRange::constant(0), ValueRange(5, 6),
+                      ValueRange(10, 11), W);
+  EXPECT_EQ(R, ValueRange(10, 11));
+}
+
+TEST(Transfer, BackwardAddRefinesPaperStyle) {
+  // Paper 2.2.1: RangeIn1 = Out - In2 intersected with the old input.
+  Instruction I = Instruction::alu(Op::Add, Width::Q, RegT0, RegT1, RegT2);
+  ValueRange A = ValueRange::full();
+  ValueRange B(1, 1);
+  backwardTransfer(I, /*Out=*/ValueRange(1, 100), A, B);
+  EXPECT_EQ(A, ValueRange(0, 99)); // the Figure-1 a1in example
+}
+
+TEST(Transfer, BackwardMulByConstant) {
+  Instruction I = Instruction::aluImm(Op::Mul, Width::Q, RegT0, RegT1, 4);
+  ValueRange A = ValueRange::full();
+  ValueRange B = ValueRange::constant(4);
+  backwardTransfer(I, ValueRange(0, 396), A, B);
+  EXPECT_EQ(A, ValueRange(0, 99));
+}
+
+TEST(Transfer, BranchConstraintsFromCompare) {
+  Instruction Cmp = Instruction::aluImm(Op::CmpLt, Width::Q, RegT1, RegT0, 100);
+  Instruction Br = Instruction::condBr(Op::Bne, RegT1, 1);
+  std::vector<EdgeConstraint> Cs;
+  branchConstraints(Br, &Cmp, /*OnTaken=*/true, Cs);
+  ASSERT_EQ(Cs.size(), 1u);
+  EXPECT_EQ(Cs[0].R, RegT0);
+  EXPECT_EQ(Cs[0].Range, ValueRange(INT64_MIN, 99));
+  Cs.clear();
+  branchConstraints(Br, &Cmp, /*OnTaken=*/false, Cs);
+  ASSERT_EQ(Cs.size(), 1u);
+  EXPECT_EQ(Cs[0].Range, ValueRange(100, INT64_MAX));
+}
+
+TEST(Transfer, BranchConstraintsDirectZeroTests) {
+  Instruction Br = Instruction::condBr(Op::Bge, RegT0, 1);
+  std::vector<EdgeConstraint> Cs;
+  branchConstraints(Br, nullptr, true, Cs);
+  ASSERT_EQ(Cs.size(), 1u);
+  EXPECT_EQ(Cs[0].Range, ValueRange(0, INT64_MAX));
+  Cs.clear();
+  branchConstraints(Br, nullptr, false, Cs);
+  ASSERT_EQ(Cs.size(), 1u);
+  EXPECT_EQ(Cs[0].Range, ValueRange(INT64_MIN, -1));
+}
+
+// --- Whole-function range analysis: the paper's Figure 1 example.
+//   for (i = 0; i < 100; i++) a[i] = i;
+TEST(RangeAnalysis, Figure1Example) {
+  ProgramBuilder PB;
+  uint64_t Arr = PB.addZeroData(800);
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, static_cast<int64_t>(Arr)); // a0 = @a
+  F.ldi(RegT1, 0);                         // a1 = 0
+  F.block("loop");
+  F.muli(RegT3, RegT1, 8);                 // a3 = a1*8 (quad elements)
+  F.add(RegT2, RegT0, RegT3);              // a2 = a0+a3
+  F.st(Width::Q, RegT1, RegT2, 0);         // mem[a2] = a1
+  F.addi(RegT1, RegT1, 1);                 // a1 = a1+1
+  F.cmpltImm(RegT4, RegT1, 100);
+  F.bne(RegT4, "loop", "exit");            // a1 < 100
+  F.block("exit");
+  F.out(RegT1);
+  F.halt();
+  Program P = PB.finish();
+
+  RangeAnalysis RA(P);
+  RA.run();
+  const FunctionRanges &FR = RA.func(0);
+
+  // The iterator is bounded by the trip count: body sees [0, 99].
+  size_t MulId = FR.idOf(1, 0);
+  EXPECT_TRUE(ValueRange(0, 99).contains(FR.InA[MulId]));
+  // a3 = a1 * 8 is in [0, 792] (the paper's step 9, scaled by 8).
+  EXPECT_TRUE(ValueRange(0, 792).contains(FR.Out[MulId]));
+  // After the loop a1 is exactly 100.
+  size_t OutId = FR.idOf(2, 0);
+  EXPECT_EQ(FR.InA[OutId], ValueRange::constant(100));
+  // The increment's output spans the loop range plus the final value.
+  size_t IncId = FR.idOf(1, 3);
+  EXPECT_TRUE(ValueRange(1, 100).contains(FR.Out[IncId]));
+}
+
+TEST(RangeAnalysis, BranchRefinementSplitsPaths) {
+  // if (a0 <= 100) use-narrow else use-wide (paper 2.2.4 example).
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.cmpleImm(RegT0, RegA0, 100);
+  F.bne(RegT0, "small", "big");
+  F.block("big");
+  F.mov(RegT1, RegA0);
+  F.out(RegT1);
+  F.halt();
+  F.block("small");
+  F.mov(RegT2, RegA0);
+  F.out(RegT2);
+  F.halt();
+  Program P = PB.finish();
+  RangeAnalysis::Options O;
+  O.Interprocedural = false;
+  RangeAnalysis RA(P, O);
+  RA.run();
+  const FunctionRanges &FR = RA.func(0);
+  // Branch targets are created at first reference: "small" (the taken
+  // label) becomes block 1, "big" block 2.
+  int32_t SmallBB = 1, BigBB = 2;
+  ASSERT_EQ(P.Funcs[0].Blocks[SmallBB].Label, "small");
+  size_t SmallMov = FR.idOf(SmallBB, 0);
+  size_t BigMov = FR.idOf(BigBB, 0);
+  EXPECT_LE(FR.InA[SmallMov].max(), 100);
+  EXPECT_GE(FR.InA[BigMov].min(), 101);
+}
+
+TEST(RangeAnalysis, InterproceduralArgAndReturn) {
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.ldi(RegA0, 7);
+  Main.jsr("f");
+  Main.out(RegV0);
+  Main.ldi(RegA0, 9);
+  Main.jsr("f");
+  Main.out(RegV0);
+  Main.halt();
+  FunctionBuilder &Fn = PB.beginFunction("f");
+  Fn.block("entry");
+  Fn.addi(RegV0, RegA0, 1);
+  Fn.ret();
+  Program P = PB.finish();
+  RangeAnalysis RA(P);
+  RA.run();
+  int32_t FId = P.findFunction("f")->Id;
+  // f's argument summary is the union of both call sites.
+  EXPECT_EQ(RA.argRange(FId, 0), ValueRange(7, 9));
+  // f's return is arg+1.
+  EXPECT_EQ(RA.returnRange(FId), ValueRange(8, 10));
+}
+
+TEST(RangeAnalysis, CallsClobberCallerSaved) {
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.ldi(RegT0, 1);  // caller-saved
+  Main.ldi(RegS1, 2);  // callee-saved
+  Main.jsr("f");
+  Main.out(RegT0);
+  Main.out(RegS1);
+  Main.halt();
+  FunctionBuilder &Fn = PB.beginFunction("f");
+  Fn.block("entry");
+  Fn.ret();
+  Program P = PB.finish();
+  RangeAnalysis RA(P);
+  RA.run();
+  const FunctionRanges &FR = RA.func(0);
+  size_t OutT0 = FR.idOf(0, 3);
+  size_t OutS1 = FR.idOf(0, 4);
+  EXPECT_TRUE(FR.InA[OutT0].isFull());               // clobbered
+  EXPECT_EQ(FR.InA[OutS1], ValueRange::constant(2)); // preserved
+}
+
+TEST(RangeAnalysis, EdgeConstraintSeeding) {
+  // VRS-style seed: the guard edge pins t0 in [0, 7].
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ld(Width::Q, RegT0, RegSP, -8); // unknown value
+  F.br("body");
+  F.block("body");
+  F.addi(RegT1, RegT0, 1);
+  F.out(RegT1);
+  F.halt();
+  Program P = PB.finish();
+  RangeAnalysis RA(P);
+  RA.addEdgeConstraint(0, 0, 1, RegT0, ValueRange(0, 7));
+  RA.run();
+  const FunctionRanges &FR = RA.func(0);
+  size_t AddId = FR.idOf(1, 0);
+  EXPECT_EQ(FR.InA[AddId], ValueRange(0, 7));
+  EXPECT_EQ(FR.Out[AddId], ValueRange(1, 8));
+}
+
+// --- Useful widths (paper 2.2.5).
+
+TEST(UsefulWidth, AndMaskDemandsLowByte) {
+  // The paper's flagship example: AND R1, 0xFF kills demand above byte 0.
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ld(Width::Q, RegT0, RegSP, -8);
+  F.addi(RegT1, RegT0, 12345); // chain feeding only the AND
+  F.andi(RegT2, RegT1, 0xFF);
+  F.out(RegT2);
+  F.halt();
+  Program P = PB.finish();
+  Cfg G(P.Funcs[0]);
+  ReachingDefs RD(P.Funcs[0], G);
+  UsefulWidth UW(P.Funcs[0], RD);
+  size_t AddId = RD.instId(0, 1);
+  size_t AndId = RD.instId(0, 2);
+  // The AND's output feeds OUT: all 8 bytes demanded of the AND...
+  EXPECT_EQ(UW.usefulBytes(AndId), 8u);
+  // ...but the AND itself only needs one byte of its input chain. The
+  // add's demand would be 1 were demand propagated through arithmetic;
+  // the paper forbids that, so the add is demanded at... the AND's
+  // contribution min(out-demand, mask) = 1.
+  EXPECT_EQ(UW.usefulBytes(AddId), 1u);
+}
+
+TEST(UsefulWidth, ArithmeticBlocksDemandByDefault) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ld(Width::Q, RegT0, RegSP, -8);
+  F.addi(RegT1, RegT0, 1);   // t1 = t0 + 1
+  F.andi(RegT2, RegT1, 0xFF);
+  F.addi(RegT3, RegT2, 1);   // consumer of the AND through arithmetic
+  F.st(Width::B, RegT3, RegSP, -16);
+  F.halt();
+  Program P = PB.finish();
+  Cfg G(P.Funcs[0]);
+  ReachingDefs RD(P.Funcs[0], G);
+  // Default: no demand through add -> the AND is fully demanded.
+  UsefulWidth UW(P.Funcs[0], RD);
+  EXPECT_EQ(UW.usefulBytes(RD.instId(0, 2)), 8u);
+  // Ablation: with ThroughArithmetic the store width (1 byte) flows up.
+  UsefulWidth::Options O;
+  O.ThroughArithmetic = true;
+  UsefulWidth UW2(P.Funcs[0], RD, O);
+  EXPECT_EQ(UW2.usefulBytes(RD.instId(0, 2)), 1u);
+}
+
+TEST(UsefulWidth, ShiftAmountIsOneByte) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ld(Width::Q, RegT0, RegSP, -8);  // shift amount source
+  F.mov(RegT1, RegT0);
+  F.sll(RegT2, RegA0, RegT1);        // t1 used only as an amount
+  F.out(RegT2);
+  F.halt();
+  Program P = PB.finish();
+  Cfg G(P.Funcs[0]);
+  ReachingDefs RD(P.Funcs[0], G);
+  UsefulWidth UW(P.Funcs[0], RD);
+  EXPECT_EQ(UW.usefulBytes(RD.instId(0, 1)), 1u); // the mov feeding amt
+}
+
+TEST(UsefulWidth, StoreWidthDemandsValue) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ld(Width::Q, RegT0, RegSP, -8);
+  F.mov(RegT1, RegT0);
+  F.st(Width::H, RegT1, RegSP, -16);
+  F.halt();
+  Program P = PB.finish();
+  Cfg G(P.Funcs[0]);
+  ReachingDefs RD(P.Funcs[0], G);
+  UsefulWidth UW(P.Funcs[0], RD);
+  EXPECT_EQ(UW.usefulBytes(RD.instId(0, 1)), 2u);
+}
+
+TEST(UsefulWidth, WidestUseWins) {
+  // Paper: "if R1 is used somewhere else with a wider range, the wider
+  // range is used."
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ld(Width::Q, RegT0, RegSP, -8);
+  F.mov(RegT1, RegT0);
+  F.andi(RegT2, RegT1, 0xFF); // narrow use
+  F.out(RegT1);               // wide use of the same value
+  F.out(RegT2);
+  F.halt();
+  Program P = PB.finish();
+  Cfg G(P.Funcs[0]);
+  ReachingDefs RD(P.Funcs[0], G);
+  UsefulWidth UW(P.Funcs[0], RD);
+  EXPECT_EQ(UW.usefulBytes(RD.instId(0, 1)), 8u);
+}
+
+// --- Narrowing end-to-end.
+
+TEST(Narrowing, AssignsMinimalWidths) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 5);
+  F.ldi(RegT1, 1000);
+  F.add(RegT2, RegT0, RegT1);
+  F.out(RegT2);
+  F.halt();
+  Program P = PB.finish();
+  NarrowingReport R = narrowProgram(P);
+  EXPECT_GT(R.NumNarrowed, 0u);
+  // ldi 5 fits a byte; ldi 1000 a halfword; the add fits a halfword.
+  EXPECT_EQ(P.Funcs[0].Blocks[0].Insts[0].W, Width::B);
+  EXPECT_EQ(P.Funcs[0].Blocks[0].Insts[1].W, Width::H);
+  EXPECT_EQ(P.Funcs[0].Blocks[0].Insts[2].W, Width::H);
+}
+
+TEST(Narrowing, RespectsIsaPolicy) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 5);
+  F.andi(RegT1, RegT0, 3); // byte-able AND
+  F.out(RegT1);
+  F.halt();
+  Program Base = PB.finish();
+  Program Ext = Base;
+
+  NarrowingOptions BaseOpts;
+  BaseOpts.Policy = IsaPolicy::BaseAlpha;
+  narrowProgram(Base, BaseOpts);
+  // Stock Alpha has no byte AND: stays Q.
+  EXPECT_EQ(Base.Funcs[0].Blocks[0].Insts[1].W, Width::Q);
+
+  narrowProgram(Ext); // Extended by default
+  EXPECT_EQ(Ext.Funcs[0].Blocks[0].Insts[1].W, Width::B);
+}
+
+TEST(Narrowing, NeverWidensExistingNarrowOps) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ld(Width::Q, RegT0, RegSP, -8);
+  F.emit(Instruction::alu(Op::Add, Width::B, RegT1, RegT0, RegT0));
+  F.out(RegT1);
+  F.halt();
+  Program P = PB.finish();
+  narrowProgram(P);
+  EXPECT_EQ(P.Funcs[0].Blocks[0].Insts[1].W, Width::B);
+}
+
+TEST(Narrowing, MemoryWidthsUntouched) {
+  ProgramBuilder PB;
+  uint64_t D = PB.addQuadData({1});
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, static_cast<int64_t>(D));
+  F.ld(Width::W, RegT1, RegT0, 0);
+  F.st(Width::H, RegT1, RegT0, 0);
+  F.halt();
+  Program P = PB.finish();
+  narrowProgram(P);
+  EXPECT_EQ(P.Funcs[0].Blocks[0].Insts[1].W, Width::W);
+  EXPECT_EQ(P.Funcs[0].Blocks[0].Insts[2].W, Width::H);
+}
+
+TEST(Narrowing, ConventionalVsUsefulDistribution) {
+  // Useful-range propagation must never be *worse* than conventional.
+  ProgramBuilder PB;
+  uint64_t D = PB.addZeroData(64);
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, static_cast<int64_t>(D));
+  F.ld(Width::Q, RegT1, RegT0, 0);
+  F.slli(RegT2, RegT1, 3);
+  F.andi(RegT3, RegT2, 0xFF);
+  F.out(RegT3);
+  F.halt();
+  Program Conv = PB.finish();
+  Program Useful = Conv;
+
+  NarrowingOptions ConvOpts;
+  ConvOpts.UseUsefulWidths = false;
+  NarrowingReport CR = narrowProgram(Conv, ConvOpts);
+  NarrowingReport UR = narrowProgram(Useful);
+  // Weighted static width under useful <= conventional.
+  auto weight = [](const NarrowingReport &R) {
+    return R.StaticWidth[0] * 1 + R.StaticWidth[1] * 2 +
+           R.StaticWidth[2] * 4 + R.StaticWidth[3] * 8;
+  };
+  EXPECT_LE(weight(UR), weight(CR));
+  // The sll feeding only the AND narrows under useful widths.
+  EXPECT_EQ(Useful.Funcs[0].Blocks[0].Insts[2].W, Width::B);
+  EXPECT_EQ(Conv.Funcs[0].Blocks[0].Insts[2].W, Width::Q);
+}
+
+// Property: narrowing preserves program output on randomized programs.
+TEST(Narrowing, RandomProgramEquivalenceProperty) {
+  Rng R(7777);
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    ProgramBuilder PB;
+    uint64_t Data = PB.addQuadData(
+        {R.range(-1000, 1000), R.range(0, 255), R.range(-5, 5)});
+    FunctionBuilder &F = PB.beginFunction("main");
+    F.block("entry");
+    F.ldi(RegT0, static_cast<int64_t>(Data));
+    F.ld(Width::Q, RegT1, RegT0, 0);
+    F.ld(Width::B, RegT2, RegT0, 8);
+    F.ldi(RegT3, R.range(-100, 100));
+    // A short random op chain.
+    const Op Pool[] = {Op::Add, Op::Sub, Op::Mul, Op::And,
+                       Op::Or,  Op::Xor, Op::Sll, Op::Sra};
+    Reg Regs[] = {RegT1, RegT2, RegT3, RegT4, RegT5};
+    for (int K = 0; K < 8; ++K) {
+      Op O = Pool[R.below(8)];
+      Reg Rd = Regs[R.below(5)];
+      Reg Ra = Regs[R.below(5)];
+      if (isShift(O)) {
+        F.emit(Instruction::aluImm(O, Width::Q, Rd, Ra,
+                                   static_cast<int64_t>(R.below(8))));
+      } else if (R.below(2)) {
+        F.emit(Instruction::aluImm(O, Width::Q, Rd, Ra, R.range(-64, 64)));
+      } else {
+        F.emit(Instruction::alu(O, Width::Q, Rd, Ra, Regs[R.below(5)]));
+      }
+    }
+    for (Reg Out : Regs)
+      F.out(Out);
+    F.halt();
+    Program P = PB.finish();
+    Program Narrowed = P;
+    narrowProgram(Narrowed);
+    RunResult A = runProgram(P, RunOptions());
+    RunResult B = runProgram(Narrowed, RunOptions());
+    ASSERT_EQ(A.Status, RunStatus::Halted);
+    EXPECT_EQ(A.Output, B.Output) << "trial " << Trial;
+  }
+}
+
+// --- Soundness regressions for tricky narrowing interactions.
+
+TEST(Narrowing, CompareConsumersBlockDemandNarrowing) {
+  // A value feeding both an AND mask and a full compare must stay wide
+  // enough for the compare (the paper's widest-use rule).
+  ProgramBuilder PB;
+  uint64_t D = PB.addQuadData({1000000, 1000000});
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, static_cast<int64_t>(D));
+  F.ld(Width::Q, RegT1, RegT0, 0);
+  F.ld(Width::Q, RegT2, RegT0, 8);
+  F.andi(RegT3, RegT1, 0xFF);     // narrow use of t1
+  F.cmpeq(RegT4, RegT1, RegT2);   // wide use of t1
+  F.out(RegT3);
+  F.out(RegT4);
+  F.halt();
+  Program P = PB.finish();
+  Program N = P;
+  narrowProgram(N);
+  RunResult A = runProgram(P, RunOptions());
+  RunResult B = runProgram(N, RunOptions());
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Output.at(1), 1); // the compare still sees equal values
+}
+
+TEST(Narrowing, CmovKeptValueSurvivesNarrowing) {
+  // cmov at a narrow width must not corrupt the kept-old-value path.
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 1);              // condition: nonzero
+  F.ldi(RegT1, 5);              // narrow candidate value
+  F.ldi(RegT2, 1 << 20);        // wide old value
+  F.emit(Instruction::alu(Op::CmovEq, Width::Q, RegT2, RegT0, RegT1));
+  F.out(RegT2);                 // cond false: old (wide) value kept
+  F.halt();
+  Program P = PB.finish();
+  Program N = P;
+  narrowProgram(N);
+  RunResult A = runProgram(P, RunOptions());
+  RunResult B = runProgram(N, RunOptions());
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(B.Output.at(0), 1 << 20);
+}
+
+TEST(Narrowing, WrapAroundAddStaysWide) {
+  // Byte-wrapping arithmetic must not be range-narrowed into different
+  // results: with operands that overflow a byte, the add keeps a width
+  // that preserves the 64-bit semantics.
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 100);
+  F.ldi(RegT1, 100);
+  F.add(RegT2, RegT0, RegT1); // 200: overflows a signed byte
+  F.out(RegT2);
+  F.halt();
+  Program P = PB.finish();
+  narrowProgram(P);
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Output.at(0), 200);
+  // The add must sit at halfword or wider.
+  EXPECT_GE(static_cast<unsigned>(P.Funcs[0].Blocks[0].Insts[2].W),
+            static_cast<unsigned>(Width::H));
+}
+
+TEST(RangeAnalysis, RecursionStaysConservative) {
+  // Direct recursion: summaries must settle without unsound tightening.
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.ldi(RegA0, 5);
+  Main.jsr("fact");
+  Main.out(RegV0);
+  Main.halt();
+  FunctionBuilder &Fact = PB.beginFunction("fact");
+  Fact.block("entry");
+  Fact.bgt(RegA0, "rec", "base");
+  Fact.block("base");
+  Fact.ldi(RegV0, 1);
+  Fact.ret();
+  Fact.block("rec");
+  Fact.subi(RegSP, RegSP, 16);
+  Fact.st(Width::Q, RegA0, RegSP, 0);
+  Fact.subi(RegA0, RegA0, 1);
+  Fact.jsr("fact");
+  Fact.ld(Width::Q, RegT0, RegSP, 0);
+  Fact.addi(RegSP, RegSP, 16);
+  Fact.mul(RegV0, RegV0, RegT0);
+  Fact.ret();
+  Program P = PB.finish();
+  Program N = P;
+  narrowProgram(N);
+  RunResult A = runProgram(P, RunOptions());
+  RunResult B = runProgram(N, RunOptions());
+  ASSERT_EQ(A.Status, RunStatus::Halted);
+  EXPECT_EQ(A.Output.at(0), 120);
+  EXPECT_EQ(A.Output, B.Output);
+}

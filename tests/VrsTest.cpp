@@ -1,0 +1,375 @@
+//===- tests/VrsTest.cpp - profiling and VRS tests ---------------------------==//
+
+#include "profile/BlockProfile.h"
+#include "program/Builder.h"
+#include "program/Verifier.h"
+#include "vrp/Narrowing.h"
+#include "vrs/ConstProp.h"
+#include "vrs/EnergyTables.h"
+#include "vrs/Specializer.h"
+#include "workloads/Common.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+using namespace og;
+
+// --- Value profile table (Calder-style, §3.3).
+
+TEST(ValueProfile, CountsAndTotal) {
+  ValueProfileTable T;
+  for (int I = 0; I < 10; ++I)
+    T.record(5);
+  T.record(9);
+  EXPECT_EQ(T.totalCount(), 11u);
+  auto E = T.sortedEntries();
+  ASSERT_EQ(E.size(), 2u);
+  EXPECT_EQ(E[0].Value, 5);
+  EXPECT_EQ(E[0].Count, 10u);
+  EXPECT_NEAR(T.freqInRange(5, 5), 10.0 / 11.0, 1e-9);
+  EXPECT_NEAR(T.freqInRange(0, 100), 1.0, 1e-9);
+  EXPECT_EQ(T.freqInRange(100, 200), 0.0);
+}
+
+TEST(ValueProfile, FullTableIgnoresNewValues) {
+  ValueProfileTable::Config C;
+  C.Capacity = 4;
+  C.CleanPeriod = 1000000; // never clean in this test
+  ValueProfileTable T(C);
+  for (int V = 0; V < 8; ++V)
+    T.record(V);
+  EXPECT_EQ(T.totalCount(), 8u);
+  EXPECT_EQ(T.sortedEntries().size(), 4u); // 4..7 were ignored
+}
+
+TEST(ValueProfile, PeriodicCleanEvictsLfuHalf) {
+  ValueProfileTable::Config C;
+  C.Capacity = 4;
+  C.CleanPeriod = 16;
+  ValueProfileTable T(C);
+  // Fill with skew: 0 is hot, 1..3 cold.
+  for (int I = 0; I < 10; ++I)
+    T.record(0);
+  T.record(1);
+  T.record(2);
+  T.record(3);
+  // Trigger a clean; hot value must survive, new values can enter.
+  for (int I = 0; I < 8; ++I)
+    T.record(77);
+  auto E = T.sortedEntries();
+  bool Has0 = false, Has77 = false;
+  for (auto &Entry : E) {
+    Has0 |= Entry.Value == 0;
+    Has77 |= Entry.Value == 77;
+  }
+  EXPECT_TRUE(Has0);
+  EXPECT_TRUE(Has77);
+}
+
+TEST(ValueProfile, FreqIsConservativeLowerBound) {
+  ValueProfileTable::Config C;
+  C.Capacity = 2;
+  C.CleanPeriod = 1000000;
+  ValueProfileTable T(C);
+  T.record(1);
+  T.record(2);
+  T.record(3); // ignored (table full) but counted in total
+  EXPECT_EQ(T.totalCount(), 3u);
+  EXPECT_LT(T.freqInRange(1, 3), 1.0); // 2/3: the ignored value is unknown
+}
+
+// --- Block profiles through the interpreter.
+
+TEST(BlockProfile, CollectsCountsAndValues) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 0);
+  F.block("loop");
+  F.addi(RegT0, RegT0, 1);
+  F.andi(RegT1, RegT0, 3); // the profiled instruction (id 2)
+  F.cmpltImm(RegT2, RegT0, 12);
+  F.bne(RegT2, "loop", "done");
+  F.block("done");
+  F.halt();
+  Program P = PB.finish();
+
+  ProgramProfile Prof = collectProfile(P, RunOptions(), {{0, 2}});
+  EXPECT_EQ(Prof.blockCount(0, 1), 12u);
+  const ValueProfileTable &T = Prof.Values.at({0, 2});
+  EXPECT_EQ(T.totalCount(), 12u);
+  // Values cycle 1,2,3,0: each value ~3 times.
+  EXPECT_NEAR(T.freqInRange(0, 3), 1.0, 1e-9);
+  EXPECT_NEAR(T.freqInRange(1, 1), 3.0 / 12.0, 1e-9);
+}
+
+// --- Energy tables (paper Table 1 and §3.2 test costs).
+
+TEST(EnergyTables, PaperTable1Deltas) {
+  // Spot-check the published matrix.
+  EXPECT_EQ(paperTable1Saving(Width::B, Width::Q), 6);
+  EXPECT_EQ(paperTable1Saving(Width::Q, Width::B), -6);
+  EXPECT_EQ(paperTable1Saving(Width::H, Width::Q), 3);
+  EXPECT_EQ(paperTable1Saving(Width::W, Width::Q), 1);
+  EXPECT_EQ(paperTable1Saving(Width::B, Width::W), 5);
+  EXPECT_EQ(paperTable1Saving(Width::Q, Width::Q), 0);
+}
+
+TEST(EnergyTables, ModelMatchesPaperTable1) {
+  // Our per-width ALU energy reproduces every delta of Table 1.
+  EnergyParams E;
+  for (unsigned D = 0; D < 4; ++D)
+    for (unsigned S = 0; S < 4; ++S)
+      EXPECT_DOUBLE_EQ(
+          E.aluSaving(static_cast<Width>(S), static_cast<Width>(D)),
+          paperTable1Saving(static_cast<Width>(D), static_cast<Width>(S)));
+}
+
+TEST(EnergyTables, TestCostShapes) {
+  EnergyParams E;
+  // Section 3.2: range test (4 instructions) > single-value (2) > zero (1).
+  EXPECT_GT(E.rangeTestCost(), E.singleValueTestCost());
+  EXPECT_GT(E.singleValueTestCost(), E.zeroTestCost());
+  EXPECT_DOUBLE_EQ(E.zeroTestCost(), E.minimalTestCost());
+  EXPECT_DOUBLE_EQ(E.singleValueTestCost() * 2.0, E.rangeTestCost());
+}
+
+// --- Constant folding / DCE / branch folding.
+
+TEST(ConstProp, FoldsProvableConstants) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 6);
+  F.muli(RegT1, RegT0, 7); // provably 42
+  F.out(RegT1);
+  F.halt();
+  Program P = PB.finish();
+  RangeAnalysis RA(P);
+  RA.run();
+  EXPECT_EQ(foldConstants(P, RA), 1u);
+  EXPECT_EQ(P.Funcs[0].Blocks[0].Insts[1].Opc, Op::Ldi);
+  EXPECT_EQ(P.Funcs[0].Blocks[0].Insts[1].Imm, 42);
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Output.at(0), 42);
+}
+
+TEST(ConstProp, DceRemovesDeadChains) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 1);
+  F.addi(RegT1, RegT0, 2); // dead
+  F.muli(RegT2, RegT1, 3); // dead
+  F.out(RegT0);
+  F.halt();
+  Program P = PB.finish();
+  EXPECT_EQ(eliminateDeadCode(P), 2u);
+  EXPECT_EQ(P.Funcs[0].Blocks[0].Insts.size(), 3u);
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Output.at(0), 1);
+}
+
+TEST(ConstProp, DceKeepsSideEffects) {
+  ProgramBuilder PB;
+  uint64_t D = PB.addZeroData(8);
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, static_cast<int64_t>(D));
+  F.ldi(RegT1, 5);
+  F.st(Width::Q, RegT1, RegT0, 0); // store must survive
+  F.halt();
+  Program P = PB.finish();
+  size_t Before = P.numInstructions();
+  eliminateDeadCode(P);
+  // The store and its operands stay (the operands feed the store).
+  EXPECT_EQ(P.numInstructions(), Before);
+}
+
+TEST(ConstProp, FoldsDecidedBranches) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 1);
+  F.bne(RegT0, "yes", "no"); // always taken
+  F.block("no");
+  F.ldi(RegT1, 0);
+  F.out(RegT1);
+  F.halt();
+  F.block("yes");
+  F.ldi(RegT1, 1);
+  F.out(RegT1);
+  F.halt();
+  Program P = PB.finish();
+  RangeAnalysis RA(P);
+  RA.run();
+  EXPECT_EQ(foldBranches(P, RA), 1u);
+  EXPECT_EQ(P.Funcs[0].Blocks[0].Insts.back().Opc, Op::Br);
+  EXPECT_TRUE(verifyProgram(P));
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Output.at(0), 1);
+}
+
+TEST(ConstProp, DropsNeverTakenBranches) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 5);
+  F.beq(RegT0, "yes", "no"); // never taken (5 != 0)
+  F.block("no");
+  F.ldi(RegT1, 0);
+  F.out(RegT1);
+  F.halt();
+  F.block("yes");
+  F.ldi(RegT1, 1);
+  F.out(RegT1);
+  F.halt();
+  Program P = PB.finish();
+  RangeAnalysis RA(P);
+  RA.run();
+  EXPECT_EQ(foldBranches(P, RA), 1u);
+  // The branch is gone; entry falls through.
+  EXPECT_EQ(P.Funcs[0].Blocks[0].Insts.size(), 1u);
+  EXPECT_TRUE(verifyProgram(P));
+  RunResult R = runProgram(P, RunOptions());
+  EXPECT_EQ(R.Output.at(0), 0);
+}
+
+// --- The full VRS pipeline on a purpose-built program.
+
+namespace {
+
+/// A program whose hot leaf receives an argument that is almost always 3:
+/// the textbook specialization candidate.
+Workload specializableWorkload() {
+  ProgramBuilder PB;
+  // 0..63: mostly 3.
+  std::vector<uint8_t> Vals(512, 3);
+  for (size_t I = 0; I < Vals.size(); I += 61)
+    Vals[I] = static_cast<uint8_t>(I % 11);
+  uint64_t Data = PB.addByteData(Vals);
+
+  FunctionBuilder &Hot = PB.beginFunction("hot");
+  // v0 = (a0*5 + 1) ^ a0, several dependents on a0.
+  Hot.block("entry");
+  Hot.muli(RegT0, RegA0, 5);
+  Hot.addi(RegT0, RegT0, 1);
+  Hot.xor_(RegT1, RegT0, RegA0);
+  Hot.slli(RegT2, RegA0, 2);
+  Hot.add(RegV0, RegT1, RegT2);
+  Hot.ret();
+
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.mov(RegS1, RegA0); // iterations
+  Main.ldi(RegS0, static_cast<int64_t>(Data));
+  Main.ldi(RegS2, 0);
+  Main.ldi(RegS3, 0);
+  Main.block("loop");
+  Main.cmplt(RegT0, RegS2, RegS1);
+  Main.beq(RegT0, "done", "body");
+  Main.block("body");
+  Main.andi(RegT1, RegS2, 511);
+  Main.add(RegT1, RegS0, RegT1);
+  Main.ld(Width::B, RegA0, RegT1, 0); // almost always 3
+  Main.jsr("hot");
+  Main.add(RegS3, RegS3, RegV0);
+  Main.addi(RegS2, RegS2, 1);
+  Main.br("loop");
+  Main.block("done");
+  Main.out(RegS3);
+  Main.halt();
+  PB.setEntry("main");
+
+  Workload W;
+  W.Name = "spec";
+  W.Prog = PB.finish();
+  W.Train = runWithArg(600);
+  W.Ref = runWithArg(4000);
+  return W;
+}
+
+} // namespace
+
+TEST(Vrs, SpecializesTheHotArgument) {
+  Workload W = specializableWorkload();
+  Program P = W.Prog;
+  narrowProgram(P);
+  VrsOptions Opts;
+  VrsReport R = specializeProgram(P, W.Train, Opts);
+  EXPECT_GT(R.PointsProfiled, 0u);
+  EXPECT_GE(R.PointsSpecialized, 1u);
+  EXPECT_GT(R.StaticSpecialized, 0u);
+  EXPECT_FALSE(R.Seeds.empty());
+  // Output equivalence on the ref input.
+  RunResult Orig = runProgram(W.Prog, W.Ref);
+  RunResult Spec = runProgram(P, W.Ref);
+  ASSERT_EQ(Spec.Status, RunStatus::Halted);
+  EXPECT_EQ(Orig.Output, Spec.Output);
+}
+
+TEST(Vrs, GuardTestShapeMatchesPaper) {
+  Workload W = specializableWorkload();
+  Program P = W.Prog;
+  narrowProgram(P);
+  VrsOptions Opts;
+  VrsReport R = specializeProgram(P, W.Train, Opts);
+  ASSERT_FALSE(R.GuardBlocks.empty());
+  // Section 3.2 shapes: zero test = 1 instruction, single-value = 2,
+  // range = 4 (two compares, an AND-class op, a branch). Later branch
+  // folding may statically decide a guard inside another clone, so at
+  // least one live guard with the paper shape must remain.
+  bool FoundPaperShape = false;
+  for (auto [F, BB] : R.GuardBlocks) {
+    const BasicBlock &Guard = P.Funcs[F].Blocks[BB];
+    if (!Guard.Insts.empty() && Guard.Insts.back().isCondBranch() &&
+        (Guard.Insts.size() == 1 || Guard.Insts.size() == 2 ||
+         Guard.Insts.size() == 4))
+      FoundPaperShape = true;
+  }
+  EXPECT_TRUE(FoundPaperShape);
+}
+
+TEST(Vrs, HigherTestCostSpecializesLess) {
+  Workload W = specializableWorkload();
+  Program Cheap = W.Prog;
+  narrowProgram(Cheap);
+  Program Costly = Cheap;
+
+  VrsOptions CheapOpts;
+  CheapOpts.Energy.TestCostNJ = 30;
+  VrsReport CR = specializeProgram(Cheap, W.Train, CheapOpts);
+
+  VrsOptions CostlyOpts;
+  CostlyOpts.Energy.TestCostNJ = 100000; // absurd: nothing is worth it
+  VrsReport XR = specializeProgram(Costly, W.Train, CostlyOpts);
+
+  EXPECT_GE(CR.PointsSpecialized, XR.PointsSpecialized);
+  EXPECT_EQ(XR.PointsSpecialized, 0u);
+}
+
+TEST(Vrs, ReportsDependentPoints) {
+  // Two candidates in the same block: the second lands inside the first's
+  // region and is reported as dependent (Figure 4's middle bar).
+  Workload W = specializableWorkload();
+  Program P = W.Prog;
+  narrowProgram(P);
+  VrsOptions Opts;
+  VrsReport R = specializeProgram(P, W.Train, Opts);
+  EXPECT_EQ(R.PointsProfiled, R.PointsSpecialized + R.PointsDependent +
+                                  R.PointsNoBenefit);
+}
+
+TEST(Vrs, WorksUnderBaseAlphaPolicy) {
+  Workload W = specializableWorkload();
+  Program P = W.Prog;
+  NarrowingOptions N;
+  N.Policy = IsaPolicy::BaseAlpha;
+  narrowProgram(P, N);
+  VrsOptions Opts;
+  Opts.Narrow = N;
+  specializeProgram(P, W.Train, Opts);
+  RunResult Orig = runProgram(W.Prog, W.Ref);
+  RunResult Spec = runProgram(P, W.Ref);
+  EXPECT_EQ(Orig.Output, Spec.Output);
+}

@@ -1,0 +1,217 @@
+//===- tests/WorkloadIntegrationTest.cpp - end-to-end suite -------------------==//
+//
+// The project's main correctness oracle, run over every workload: every
+// software transformation (conventional VRP, proposed VRP, VRS at several
+// test costs, under both ISA policies) must leave the output stream
+// byte-identical, and the whole pipeline must hold its structural
+// invariants.
+//
+//===----------------------------------------------------------------------===//
+
+#include "pipeline/Pipeline.h"
+#include "program/Verifier.h"
+#include "vrp/Narrowing.h"
+#include "vrs/Specializer.h"
+
+#include <gtest/gtest.h>
+
+using namespace og;
+
+namespace {
+constexpr double TestScale = 0.05; // keep unit-test runtimes low
+}
+
+class WorkloadTest : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadTest, RunsToCompletionDeterministically) {
+  Workload W = makeWorkload(GetParam(), TestScale);
+  RunResult A = runProgram(W.Prog, W.Ref);
+  ASSERT_EQ(A.Status, RunStatus::Halted) << A.Message;
+  EXPECT_FALSE(A.Output.empty());
+  EXPECT_GT(A.Stats.DynInsts, 1000u);
+  RunResult B = runProgram(W.Prog, W.Ref);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST_P(WorkloadTest, RespectsCalleeSaveDiscipline) {
+  Workload W = makeWorkload(GetParam(), TestScale);
+  RunOptions O = W.Train;
+  O.CheckCalleeSaved = true;
+  RunResult R = runProgram(W.Prog, O);
+  EXPECT_EQ(R.Status, RunStatus::Halted) << R.Message;
+}
+
+TEST_P(WorkloadTest, TrainAndRefDiffer) {
+  Workload W = makeWorkload(GetParam(), TestScale);
+  RunResult T = runProgram(W.Prog, W.Train);
+  RunResult R = runProgram(W.Prog, W.Ref);
+  ASSERT_EQ(T.Status, RunStatus::Halted);
+  EXPECT_LT(T.Stats.DynInsts, R.Stats.DynInsts);
+}
+
+TEST_P(WorkloadTest, VrpPreservesOutput) {
+  Workload W = makeWorkload(GetParam(), TestScale);
+  Program P = W.Prog;
+  NarrowingReport Rep = narrowProgram(P);
+  EXPECT_GT(Rep.NumNarrowed, 0u) << "VRP should narrow something";
+  EXPECT_TRUE(verifyProgram(P));
+  RunResult A = runProgram(W.Prog, W.Ref);
+  RunResult B = runProgram(P, W.Ref);
+  ASSERT_EQ(B.Status, RunStatus::Halted) << B.Message;
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST_P(WorkloadTest, ConventionalVrpPreservesOutput) {
+  Workload W = makeWorkload(GetParam(), TestScale);
+  Program P = W.Prog;
+  NarrowingOptions O;
+  O.UseUsefulWidths = false;
+  narrowProgram(P, O);
+  RunResult A = runProgram(W.Prog, W.Ref);
+  RunResult B = runProgram(P, W.Ref);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST_P(WorkloadTest, BaseAlphaPolicyPreservesOutput) {
+  Workload W = makeWorkload(GetParam(), TestScale);
+  Program P = W.Prog;
+  NarrowingOptions O;
+  O.Policy = IsaPolicy::BaseAlpha;
+  narrowProgram(P, O);
+  RunResult A = runProgram(W.Prog, W.Ref);
+  RunResult B = runProgram(P, W.Ref);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST_P(WorkloadTest, UsefulThroughArithAblationPreservesOutput) {
+  Workload W = makeWorkload(GetParam(), TestScale);
+  Program P = W.Prog;
+  NarrowingOptions O;
+  O.UsefulThroughArith = true;
+  narrowProgram(P, O);
+  RunResult A = runProgram(W.Prog, W.Ref);
+  RunResult B = runProgram(P, W.Ref);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST_P(WorkloadTest, VrpConvergesMonotonically) {
+  // Re-running VRP may narrow further (narrow ops sharpen ranges), but it
+  // must converge quickly, never widen, and preserve output throughout.
+  Workload W = makeWorkload(GetParam(), TestScale);
+  Program P = W.Prog;
+  uint64_t Prev = narrowProgram(P).NumNarrowed;
+  bool Converged = false;
+  for (int I = 0; I < 4; ++I) {
+    uint64_t Next = narrowProgram(P).NumNarrowed;
+    EXPECT_LE(Next, Prev == 0 ? 0 : SIZE_MAX); // monotone byte-count only
+    if (Next == 0) {
+      Converged = true;
+      break;
+    }
+    Prev = Next;
+  }
+  EXPECT_TRUE(Converged);
+  RunResult A = runProgram(W.Prog, W.Ref);
+  RunResult B = runProgram(P, W.Ref);
+  EXPECT_EQ(A.Output, B.Output);
+}
+
+TEST_P(WorkloadTest, VrpOnlyShrinksWidths) {
+  Workload W = makeWorkload(GetParam(), TestScale);
+  Program P = W.Prog;
+  narrowProgram(P);
+  for (size_t FI = 0; FI < P.Funcs.size(); ++FI)
+    for (size_t BI = 0; BI < P.Funcs[FI].Blocks.size(); ++BI)
+      for (size_t II = 0; II < P.Funcs[FI].Blocks[BI].Insts.size(); ++II) {
+        const Instruction &Orig = W.Prog.Funcs[FI].Blocks[BI].Insts[II];
+        const Instruction &New = P.Funcs[FI].Blocks[BI].Insts[II];
+        EXPECT_LE(static_cast<unsigned>(New.W),
+                  static_cast<unsigned>(Orig.W));
+        EXPECT_EQ(New.Opc, Orig.Opc);
+      }
+}
+
+TEST_P(WorkloadTest, VrsPreservesOutputAcrossTestCosts) {
+  Workload W = makeWorkload(GetParam(), TestScale);
+  RunResult A = runProgram(W.Prog, W.Ref);
+  for (double Cost : {30.0, 70.0, 110.0}) {
+    Program P = W.Prog;
+    narrowProgram(P);
+    VrsOptions Opts;
+    Opts.Energy.TestCostNJ = Cost;
+    VrsReport Rep = specializeProgram(P, W.Train, Opts);
+    EXPECT_TRUE(verifyProgram(P));
+    EXPECT_EQ(Rep.PointsProfiled, Rep.PointsSpecialized +
+                                      Rep.PointsDependent +
+                                      Rep.PointsNoBenefit);
+    RunResult B = runProgram(P, W.Ref);
+    ASSERT_EQ(B.Status, RunStatus::Halted) << B.Message;
+    EXPECT_EQ(A.Output, B.Output) << "cost " << Cost;
+  }
+}
+
+TEST_P(WorkloadTest, PipelineEnergyOrdering) {
+  Workload W = makeWorkload(GetParam(), TestScale);
+  PipelineConfig Base;
+  Base.Sw = SoftwareMode::None;
+  Base.Scheme = GatingScheme::None;
+  PipelineResult B = runPipeline(W, Base);
+
+  PipelineConfig Sw;
+  Sw.Sw = SoftwareMode::Vrp;
+  Sw.Scheme = GatingScheme::Software;
+  Sw.CheckOutputEquivalence = true;
+  PipelineResult V = runPipeline(W, Sw);
+
+  PipelineConfig Hw;
+  Hw.Sw = SoftwareMode::None;
+  Hw.Scheme = GatingScheme::HwSignificance;
+  PipelineResult H = runPipeline(W, Hw);
+
+  // Gating saves energy; the VRP binary has identical cycle count (it only
+  // re-encodes opcodes, §4.4).
+  EXPECT_GT(V.Report.energySaving(B.Report), 0.0);
+  EXPECT_GT(H.Report.energySaving(B.Report), 0.0);
+  EXPECT_EQ(V.Report.Uarch.Cycles, B.Report.Uarch.Cycles);
+  EXPECT_EQ(V.Report.Uarch.Insts, B.Report.Uarch.Insts);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadTest,
+                         ::testing::Values("compress", "gcc", "go", "ijpeg",
+                                           "li", "m88ksim", "perl",
+                                           "vortex"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });
+
+TEST(WorkloadRegistry, AllEightPresent) {
+  auto All = makeAllWorkloads(TestScale);
+  ASSERT_EQ(All.size(), 8u);
+  const char *Names[] = {"compress", "gcc",     "go",   "ijpeg",
+                         "li",       "m88ksim", "perl", "vortex"};
+  for (size_t I = 0; I < 8; ++I)
+    EXPECT_EQ(All[I].Name, Names[I]);
+}
+
+TEST(Pipeline, CombinedSchemeUsesMinOfBoth) {
+  Workload W = makeWorkload("compress", TestScale);
+  PipelineConfig Base;
+  Base.Sw = SoftwareMode::None;
+  Base.Scheme = GatingScheme::None;
+  PipelineResult B = runPipeline(W, Base);
+
+  PipelineConfig Comb;
+  Comb.Sw = SoftwareMode::Vrp;
+  Comb.Scheme = GatingScheme::Combined;
+  PipelineResult C = runPipeline(W, Comb);
+
+  PipelineConfig SwOnly;
+  SwOnly.Sw = SoftwareMode::Vrp;
+  SwOnly.Scheme = GatingScheme::Software;
+  PipelineResult S = runPipeline(W, SwOnly);
+
+  // §4.7: the combination gates at least as much as software alone (the
+  // tag overhead is small next to the per-value wins).
+  EXPECT_GT(C.Report.energySaving(B.Report),
+            S.Report.energySaving(B.Report) - 0.02);
+}

@@ -1,0 +1,151 @@
+//===- tools/ogate-opt.cpp - Binary optimizer CLI ---------------------------==//
+//
+// The Alto-style command-line front end: reads textual assembly, applies
+// the requested operand-gating transformations, and writes the re-encoded
+// assembly.
+//
+//   ogate-opt [options] input.s
+//     --conventional      ranges-only VRP (no useful widths)
+//     --base-alpha        restrict to the stock Alpha width sets
+//     --vrs[=COST]        run VRS after VRP (profile on --train-arg)
+//     --train-arg=N       a0 for the VRS training run (default 0)
+//     --print-ranges      dump the range-analysis results to stderr
+//     --no-verify-output  skip the output-equivalence self-check
+//     -o FILE             write result to FILE (default: stdout)
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "vrp/Dump.h"
+#include "asm/Disassembler.h"
+#include "vrp/Narrowing.h"
+#include "vrs/Specializer.h"
+
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace og;
+
+namespace {
+
+void usage() {
+  std::cerr << "usage: ogate-opt [--conventional] [--base-alpha] "
+               "[--vrs[=COST]] [--train-arg=N]\n"
+               "                 [--no-verify-output] [-o FILE] input.s\n";
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  std::string InputPath, OutputPath;
+  bool Conventional = false, BaseAlpha = false, RunVrs = false;
+  bool VerifyOutput = true, PrintRanges = false;
+  double VrsCost = 50.0;
+  int64_t TrainArg = 0;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg == "--conventional") {
+      Conventional = true;
+    } else if (Arg == "--base-alpha") {
+      BaseAlpha = true;
+    } else if (Arg == "--vrs") {
+      RunVrs = true;
+    } else if (Arg.rfind("--vrs=", 0) == 0) {
+      RunVrs = true;
+      VrsCost = std::atof(Arg.c_str() + 6);
+    } else if (Arg.rfind("--train-arg=", 0) == 0) {
+      TrainArg = std::atoll(Arg.c_str() + 12);
+    } else if (Arg == "--print-ranges") {
+      PrintRanges = true;
+    } else if (Arg == "--no-verify-output") {
+      VerifyOutput = false;
+    } else if (Arg == "-o") {
+      if (++I >= argc) {
+        usage();
+        return 1;
+      }
+      OutputPath = argv[I];
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "ogate-opt: unknown option '" << Arg << "'\n";
+      return 1;
+    } else {
+      InputPath = Arg;
+    }
+  }
+  if (InputPath.empty()) {
+    usage();
+    return 1;
+  }
+
+  std::ifstream In(InputPath);
+  if (!In) {
+    std::cerr << "ogate-opt: cannot open '" << InputPath << "'\n";
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+
+  Expected<Program> Parsed = assembleProgram(Buffer.str());
+  if (!Parsed) {
+    std::cerr << "ogate-opt: " << InputPath << ": " << Parsed.error()
+              << "\n";
+    return 1;
+  }
+  Program P = std::move(*Parsed);
+  Program Original = P;
+
+  NarrowingOptions Narrow;
+  Narrow.UseUsefulWidths = !Conventional;
+  Narrow.Policy = BaseAlpha ? IsaPolicy::BaseAlpha : IsaPolicy::Extended;
+  if (PrintRanges) {
+    RangeAnalysis RA(P, Narrow.Range);
+    RA.run();
+    dumpProgramRanges(P, RA, std::cerr);
+  }
+  NarrowingReport Report = narrowProgram(P, Narrow);
+  std::cerr << "ogate-opt: narrowed " << Report.NumNarrowed << " of "
+            << Report.NumWidthBearing << " width-bearing instructions\n";
+
+  if (RunVrs) {
+    RunOptions Train;
+    Train.ArgRegs = {TrainArg};
+    VrsOptions Opts;
+    Opts.Narrow = Narrow;
+    Opts.Energy.TestCostNJ = VrsCost;
+    VrsReport VR = specializeProgram(P, Train, Opts);
+    std::cerr << "ogate-opt: VRS profiled " << VR.PointsProfiled
+              << " points, specialized " << VR.PointsSpecialized << "\n";
+  }
+
+  if (VerifyOutput) {
+    RunOptions Opts;
+    Opts.ArgRegs = {TrainArg};
+    RunResult A = runProgram(Original, Opts);
+    RunResult B = runProgram(P, Opts);
+    if (A.Output != B.Output || A.Status != B.Status) {
+      std::cerr << "ogate-opt: OUTPUT MISMATCH after transformation; "
+                   "refusing to emit\n";
+      return 2;
+    }
+    std::cerr << "ogate-opt: output equivalence verified ("
+              << A.Output.size() << " values)\n";
+  }
+
+  if (OutputPath.empty()) {
+    disassembleProgram(P, std::cout);
+  } else {
+    std::ofstream Out(OutputPath);
+    if (!Out) {
+      std::cerr << "ogate-opt: cannot write '" << OutputPath << "'\n";
+      return 1;
+    }
+    disassembleProgram(P, Out);
+  }
+  return 0;
+}

@@ -1,0 +1,141 @@
+//===- tools/ogate-sim.cpp - Simulator CLI -----------------------------------==//
+//
+// Runs an assembly program through the functional simulator and,
+// optionally, the out-of-order timing + power models.
+//
+//   ogate-sim [options] input.s
+//     --arg=N           initial a0 (repeatable: fills a0..a5 in order)
+//     --uarch           also run the Table-2 timing model
+//     --scheme=NAME     power accounting: none|sw|hwsig|hwsize|combined
+//     --stats           print the dynamic width/class histograms
+//     --fuel=N          dynamic instruction budget
+//
+//===----------------------------------------------------------------------===//
+
+#include "asm/Assembler.h"
+#include "power/Report.h"
+#include "support/Table.h"
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+using namespace og;
+
+int main(int argc, char **argv) {
+  std::string InputPath;
+  std::vector<int64_t> Args;
+  bool Uarch = false, Stats = false;
+  GatingScheme Scheme = GatingScheme::None;
+  uint64_t Fuel = 200'000'000;
+
+  for (int I = 1; I < argc; ++I) {
+    std::string Arg = argv[I];
+    if (Arg.rfind("--arg=", 0) == 0) {
+      Args.push_back(std::atoll(Arg.c_str() + 6));
+    } else if (Arg == "--uarch") {
+      Uarch = true;
+    } else if (Arg.rfind("--scheme=", 0) == 0) {
+      std::string S = Arg.substr(9);
+      Uarch = true;
+      if (S == "none")
+        Scheme = GatingScheme::None;
+      else if (S == "sw")
+        Scheme = GatingScheme::Software;
+      else if (S == "hwsig")
+        Scheme = GatingScheme::HwSignificance;
+      else if (S == "hwsize")
+        Scheme = GatingScheme::HwSize;
+      else if (S == "combined")
+        Scheme = GatingScheme::Combined;
+      else {
+        std::cerr << "ogate-sim: unknown scheme '" << S << "'\n";
+        return 1;
+      }
+    } else if (Arg == "--stats") {
+      Stats = true;
+    } else if (Arg.rfind("--fuel=", 0) == 0) {
+      Fuel = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    } else if (Arg == "--help" || Arg == "-h") {
+      std::cerr << "usage: ogate-sim [--arg=N]... [--uarch] "
+                   "[--scheme=none|sw|hwsig|hwsize|combined] [--stats] "
+                   "[--fuel=N] input.s\n";
+      return 0;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "ogate-sim: unknown option '" << Arg << "'\n";
+      return 1;
+    } else {
+      InputPath = Arg;
+    }
+  }
+  if (InputPath.empty()) {
+    std::cerr << "ogate-sim: no input file\n";
+    return 1;
+  }
+
+  std::ifstream In(InputPath);
+  if (!In) {
+    std::cerr << "ogate-sim: cannot open '" << InputPath << "'\n";
+    return 1;
+  }
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  Expected<Program> Parsed = assembleProgram(Buffer.str());
+  if (!Parsed) {
+    std::cerr << "ogate-sim: " << InputPath << ": " << Parsed.error()
+              << "\n";
+    return 1;
+  }
+
+  RunOptions Opts;
+  Opts.ArgRegs = Args;
+  Opts.Fuel = Fuel;
+
+  EnergyModel EM(Scheme);
+  OooCore Core(UarchConfig(), &EM);
+  if (Uarch)
+    Opts.Trace = [&](const DynInst &D) { Core.onInst(D); };
+
+  RunResult R = runProgram(*Parsed, Opts);
+
+  std::cout << "status: "
+            << (R.Status == RunStatus::Halted ? "halted" : R.Message.c_str())
+            << "\n"
+            << "dynamic instructions: " << R.Stats.DynInsts << "\n"
+            << "output:";
+  for (int64_t V : R.Output)
+    std::cout << " " << V;
+  std::cout << "\n";
+
+  if (Stats) {
+    TextTable T({"class", "8b", "16b", "32b", "64b"});
+    for (unsigned C = 0; C < 18; ++C) {
+      uint64_t N = 0;
+      for (unsigned W = 0; W < 4; ++W)
+        N += R.Stats.ClassWidth[C][W];
+      if (!N)
+        continue;
+      T.addRow({opClassName(static_cast<OpClass>(C)),
+                std::to_string(R.Stats.ClassWidth[C][0]),
+                std::to_string(R.Stats.ClassWidth[C][1]),
+                std::to_string(R.Stats.ClassWidth[C][2]),
+                std::to_string(R.Stats.ClassWidth[C][3])});
+    }
+    T.print(std::cout);
+  }
+
+  if (Uarch) {
+    UarchStats S = Core.finish();
+    EnergyReport Rep = makeReport(EM, S);
+    std::cout << "cycles: " << S.Cycles << "  (IPC "
+              << TextTable::num(S.ipc(), 2) << ")\n"
+              << "branches: " << S.Branches << " (" << S.Mispredicts
+              << " mispredicted)\n"
+              << "L1D misses: " << S.DL1Misses
+              << "  L2 misses: " << S.L2Misses << "\n"
+              << "energy (" << gatingSchemeName(Scheme)
+              << "): " << TextTable::num(Rep.TotalEnergy, 1) << "  ED^2 "
+              << TextTable::num(Rep.ed2(), 1) << "\n";
+  }
+  return R.Status == RunStatus::Halted ? 0 : 1;
+}
