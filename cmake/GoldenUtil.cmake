@@ -1,0 +1,71 @@
+# Golden-output smoke testing, run in CMake script mode:
+#
+#   cmake -DBINARY=<exe> -DGOLDEN=<file> [-DMODE=check|update] \
+#         -P GoldenUtil.cmake
+#
+# MODE=check (default): run BINARY, diff its stdout against GOLDEN,
+# fail with the first differing line on mismatch.
+# MODE=update: run BINARY and (re)write GOLDEN with its stdout.
+
+if(NOT DEFINED MODE)
+  set(MODE check)
+endif()
+
+execute_process(
+  COMMAND ${BINARY}
+  OUTPUT_VARIABLE ACTUAL
+  RESULT_VARIABLE RC
+)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "${BINARY} exited with status ${RC}")
+endif()
+
+if(MODE STREQUAL "update")
+  file(WRITE "${GOLDEN}" "${ACTUAL}")
+  message(STATUS "wrote ${GOLDEN}")
+  return()
+endif()
+
+if(NOT EXISTS "${GOLDEN}")
+  message(FATAL_ERROR
+    "golden file ${GOLDEN} is missing; regenerate with the "
+    "`regen-golden` build target")
+endif()
+file(READ "${GOLDEN}" EXPECTED)
+
+if(ACTUAL STREQUAL EXPECTED)
+  return()
+endif()
+
+# Report the first differing line to make mismatches debuggable without
+# rerunning anything by hand.
+string(REPLACE ";" "\\;" ACTUAL_ESC "${ACTUAL}")
+string(REPLACE "\n" ";" ACTUAL_LINES "${ACTUAL_ESC}")
+string(REPLACE ";" "\\;" EXPECTED_ESC "${EXPECTED}")
+string(REPLACE "\n" ";" EXPECTED_LINES "${EXPECTED_ESC}")
+list(LENGTH ACTUAL_LINES NA)
+list(LENGTH EXPECTED_LINES NE)
+set(LINENO 1)
+set(DETAIL "outputs differ in length (${NA} vs ${NE} lines)")
+if(NA LESS NE)
+  set(NMIN ${NA})
+else()
+  set(NMIN ${NE})
+endif()
+math(EXPR NMIN "${NMIN} - 1")
+if(NMIN GREATER_EQUAL 0)
+  foreach(I RANGE 0 ${NMIN})
+    list(GET ACTUAL_LINES ${I} LA)
+    list(GET EXPECTED_LINES ${I} LE)
+    if(NOT LA STREQUAL LE)
+      math(EXPR LINENO "${I} + 1")
+      set(DETAIL "first difference at line ${LINENO}:\n  expected: ${LE}\n  actual:   ${LA}")
+      break()
+    endif()
+  endforeach()
+endif()
+
+message(FATAL_ERROR
+  "stdout of ${BINARY} does not match ${GOLDEN}\n${DETAIL}\n"
+  "(regenerate intentionally changed output with the `regen-golden` "
+  "build target)")

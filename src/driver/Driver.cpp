@@ -1,0 +1,75 @@
+//===- driver/Driver.cpp --------------------------------------------------==//
+
+#include "driver/Driver.h"
+
+#include "driver/JobQueue.h"
+#include "driver/ThreadPool.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <exception>
+
+using namespace og;
+
+PipelineResult og::runSpecPipeline(const ExperimentSpec &Spec, Rng &R) {
+  (void)R; // the standard pipeline is fully deterministic
+  Workload W = makeWorkload(Spec.Workload, Spec.Scale);
+  return runPipeline(W, Spec.Config);
+}
+
+SweepResult og::runSweep(const std::vector<ExperimentSpec> &Specs,
+                         const SweepOptions &Opts) {
+  SweepResult Result;
+  Result.Outcomes.resize(Specs.size());
+  const ExperimentJob &Job = Opts.Job ? Opts.Job : runSpecPipeline;
+
+  JobQueue Queue(Specs.size());
+  auto RunOne = [&](size_t I) {
+    JobOutcome &Out = Result.Outcomes[I];
+    Rng R(effectiveSeed(Specs[I]));
+    try {
+      Out.Result = Job(Specs[I], R);
+      Out.Ok = true;
+    } catch (const std::exception &E) {
+      Out.Error = "spec '" + Specs[I].name() + "': " + E.what();
+    } catch (...) {
+      Out.Error = "spec '" + Specs[I].name() + "': unknown exception";
+    }
+    if (!Out.Ok && !Opts.KeepGoing)
+      Queue.cancel();
+  };
+  auto WorkerLoop = [&] {
+    size_t I;
+    while (Queue.pop(I))
+      RunOne(I);
+  };
+
+  // No point spawning more workers than there are jobs.
+  const unsigned Jobs = static_cast<unsigned>(
+      std::min<size_t>(Opts.Jobs, Specs.size()));
+  if (Jobs <= 1) {
+    WorkerLoop();
+  } else {
+    ThreadPool Pool(Jobs);
+    for (unsigned T = 0; T < Jobs; ++T)
+      Pool.submit(WorkerLoop);
+    Pool.wait();
+  }
+
+  // Serial aggregation in spec order: the report bytes are independent of
+  // job count and completion order.
+  Result.AllOk = true;
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    const JobOutcome &Out = Result.Outcomes[I];
+    if (Out.Ok) {
+      Result.Aggregate.add(Specs[I], Out.Result);
+    } else {
+      Result.AllOk = false;
+      if (Result.FirstError.empty() && !Out.Error.empty())
+        Result.FirstError = Out.Error;
+    }
+  }
+  if (!Result.AllOk && Result.FirstError.empty())
+    Result.FirstError = "sweep cancelled before all jobs ran";
+  return Result;
+}

@@ -1,0 +1,83 @@
+//===- driver/Driver.h - Parallel experiment driver --------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// runSweep shards a vector of ExperimentSpecs across N worker threads
+/// (JobQueue + ThreadPool) and collects per-job outcomes into a vector
+/// aligned with the input specs. Aggregation happens after the parallel
+/// phase, serially and in spec order, so the aggregate report is
+/// byte-identical for any job count. Each job gets a deterministic Rng
+/// seeded from its spec (never from time or scheduling), and a job that
+/// throws fails the run with its spec named; by default a failure also
+/// cancels the indices not yet claimed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_DRIVER_DRIVER_H
+#define OG_DRIVER_DRIVER_H
+
+#include "driver/ExperimentSpec.h"
+#include "driver/ResultAggregator.h"
+#include "support/Rng.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace og {
+
+/// What happened to one job.
+struct JobOutcome {
+  /// Job ran to completion. false for both failed and never-run
+  /// (cancelled) jobs; the latter have an empty Error.
+  bool Ok = false;
+  std::string Error; ///< "spec 'compress/vrp': <what>" when the job threw
+  PipelineResult Result; ///< valid only when Ok
+};
+
+/// The work run for each spec. \p R is seeded deterministically per spec
+/// (effectiveSeed); jobs with randomized components draw from it so
+/// results do not depend on which worker ran them.
+using ExperimentJob =
+    std::function<PipelineResult(const ExperimentSpec &Spec, Rng &R)>;
+
+/// The default job: build the spec's workload and run the full pipeline.
+PipelineResult runSpecPipeline(const ExperimentSpec &Spec, Rng &R);
+
+/// Sweep execution knobs.
+struct SweepOptions {
+  /// Worker threads. 1 runs everything inline on the calling thread.
+  unsigned Jobs = 1;
+  /// false (default): the first failure cancels not-yet-claimed jobs.
+  /// true: run every job regardless and report all failures.
+  bool KeepGoing = false;
+  /// The per-spec work; defaults to runSpecPipeline.
+  ExperimentJob Job;
+};
+
+/// Everything a sweep produced.
+struct SweepResult {
+  /// One outcome per input spec, index-aligned.
+  std::vector<JobOutcome> Outcomes;
+  bool AllOk = false;
+  /// Failure message of the lowest-index failed job; empty when AllOk.
+  /// With KeepGoing this is deterministic even when several jobs fail;
+  /// under cancel-on-failure the set of jobs that ran before the cancel
+  /// is scheduling-dependent, so only *a* failure is guaranteed, not
+  /// which one.
+  std::string FirstError;
+  /// Aggregate over the successful jobs, filled in spec order.
+  ResultAggregator Aggregate;
+};
+
+/// Runs \p Specs under \p Opts and returns all outcomes. Never throws;
+/// job exceptions are captured into the corresponding outcome.
+SweepResult runSweep(const std::vector<ExperimentSpec> &Specs,
+                     const SweepOptions &Opts = SweepOptions());
+
+} // namespace og
+
+#endif // OG_DRIVER_DRIVER_H

@@ -1,0 +1,134 @@
+//===- driver/ExperimentSpec.cpp ------------------------------------------==//
+
+#include "driver/ExperimentSpec.h"
+
+using namespace og;
+
+uint64_t og::specSeed(const ExperimentSpec &Spec) {
+  // FNV-1a over the spec name and the scale's bit pattern.
+  uint64_t H = 0xCBF29CE484222325ull;
+  auto Mix = [&H](const void *Data, size_t Len) {
+    const unsigned char *P = static_cast<const unsigned char *>(Data);
+    for (size_t I = 0; I < Len; ++I) {
+      H ^= P[I];
+      H *= 0x100000001B3ull;
+    }
+  };
+  std::string Name = Spec.name();
+  Mix(Name.data(), Name.size());
+  Mix(&Spec.Scale, sizeof(Spec.Scale));
+  // Seed 0 means "derive me", so never return it.
+  return H ? H : 1;
+}
+
+namespace {
+
+ExperimentSpec makeConfig(const char *Label, SoftwareMode Sw,
+                          GatingScheme Scheme, IsaPolicy Policy,
+                          double VrsCostNJ = 50.0) {
+  ExperimentSpec S;
+  S.ConfigLabel = Label;
+  S.Config.Sw = Sw;
+  S.Config.Scheme = Scheme;
+  S.Config.Narrow.Policy = Policy;
+  S.Config.VrsTestCostNJ = VrsCostNJ;
+  return S;
+}
+
+} // namespace
+
+std::vector<ExperimentSpec> og::standardConfigs() {
+  std::vector<ExperimentSpec> C;
+  C.push_back(makeConfig("baseline", SoftwareMode::None, GatingScheme::None,
+                         IsaPolicy::Extended));
+  C.push_back(makeConfig("conv-vrp", SoftwareMode::ConventionalVrp,
+                         GatingScheme::Software, IsaPolicy::Extended));
+  C.push_back(makeConfig("vrp", SoftwareMode::Vrp, GatingScheme::Software,
+                         IsaPolicy::Extended));
+  C.push_back(makeConfig("vrs-50", SoftwareMode::Vrs, GatingScheme::Software,
+                         IsaPolicy::Extended));
+  C.push_back(makeConfig("hw-sig", SoftwareMode::None,
+                         GatingScheme::HwSignificance, IsaPolicy::Extended));
+  C.push_back(makeConfig("hw-size", SoftwareMode::None, GatingScheme::HwSize,
+                         IsaPolicy::Extended));
+  // Label built the same way Harness::combined builds its cache key, so
+  // prefetchStandard() warms the cell the benches actually read.
+  ExperimentSpec Comb = makeConfig("", SoftwareMode::Vrp,
+                                   GatingScheme::Combined,
+                                   IsaPolicy::Extended);
+  Comb.ConfigLabel = std::string("comb-") +
+                     softwareModeName(SoftwareMode::Vrp) + "-" +
+                     gatingSchemeName(GatingScheme::Combined);
+  C.push_back(std::move(Comb));
+  return C;
+}
+
+std::vector<std::string> og::allWorkloadNames() {
+  return {"compress", "gcc", "go", "ijpeg", "li", "m88ksim", "perl",
+          "vortex"};
+}
+
+std::vector<ExperimentSpec> og::makeStandardSweep(double Scale) {
+  return makeStandardSweep(allWorkloadNames(), Scale);
+}
+
+std::vector<ExperimentSpec>
+og::makeStandardSweep(const std::vector<std::string> &Workloads,
+                      double Scale) {
+  std::vector<ExperimentSpec> Sweep;
+  for (const std::string &W : Workloads)
+    for (ExperimentSpec S : standardConfigs()) {
+      S.Workload = W;
+      S.Scale = Scale;
+      S.Seed = specSeed(S);
+      Sweep.push_back(std::move(S));
+    }
+  return Sweep;
+}
+
+std::vector<ExperimentSpec>
+og::makeMatrixSweep(const std::vector<std::string> &Workloads, double Scale) {
+  // The width-mechanism axis. ISA policy only matters when software
+  // narrowing runs, so the baseline and pure-hardware mechanisms appear
+  // once while each software mode appears under both policies.
+  std::vector<ExperimentSpec> Mechanisms;
+  Mechanisms.push_back(makeConfig("baseline", SoftwareMode::None,
+                                  GatingScheme::None, IsaPolicy::Extended));
+  Mechanisms.push_back(makeConfig("hw-sig", SoftwareMode::None,
+                                  GatingScheme::HwSignificance,
+                                  IsaPolicy::Extended));
+  Mechanisms.push_back(makeConfig("hw-size", SoftwareMode::None,
+                                  GatingScheme::HwSize, IsaPolicy::Extended));
+  struct SwMode {
+    const char *Label;
+    SoftwareMode Sw;
+  };
+  const SwMode SwModes[] = {{"conv-vrp", SoftwareMode::ConventionalVrp},
+                            {"vrp", SoftwareMode::Vrp},
+                            {"vrs-50", SoftwareMode::Vrs}};
+  for (const SwMode &M : SwModes) {
+    Mechanisms.push_back(makeConfig(M.Label, M.Sw, GatingScheme::Software,
+                                    IsaPolicy::Extended));
+    ExperimentSpec Base = makeConfig(M.Label, M.Sw, GatingScheme::Software,
+                                     IsaPolicy::BaseAlpha);
+    Base.ConfigLabel += "/base-alpha";
+    Mechanisms.push_back(std::move(Base));
+  }
+  ExperimentSpec Comb = makeConfig("", SoftwareMode::Vrp,
+                                   GatingScheme::Combined,
+                                   IsaPolicy::Extended);
+  Comb.ConfigLabel = std::string("comb-") +
+                     softwareModeName(SoftwareMode::Vrp) + "-" +
+                     gatingSchemeName(GatingScheme::Combined);
+  Mechanisms.push_back(std::move(Comb));
+
+  std::vector<ExperimentSpec> Sweep;
+  for (const std::string &W : Workloads)
+    for (ExperimentSpec S : Mechanisms) {
+      S.Workload = W;
+      S.Scale = Scale;
+      S.Seed = specSeed(S);
+      Sweep.push_back(std::move(S));
+    }
+  return Sweep;
+}

@@ -1,0 +1,80 @@
+//===- driver/ExperimentSpec.h - One cell of an experiment matrix -*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// An ExperimentSpec names one cell of the evaluation matrix: a workload,
+/// a scale, and a pipeline configuration with a human-readable label. The
+/// sweep builders enumerate the paper's standard configuration axis and
+/// the full workload x IsaPolicy x width-mechanism matrix in a fixed,
+/// deterministic order; the driver shards the resulting vector across
+/// worker threads. Every spec carries its own deterministic Rng seed
+/// (derived from the spec identity, never from time or thread id) so a
+/// randomized job sees the same stream no matter which worker runs it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_DRIVER_EXPERIMENTSPEC_H
+#define OG_DRIVER_EXPERIMENTSPEC_H
+
+#include "pipeline/Pipeline.h"
+
+#include <string>
+#include <vector>
+
+namespace og {
+
+/// One (workload, configuration) cell of an experiment sweep.
+struct ExperimentSpec {
+  std::string Workload;    ///< registry name ("compress", ...)
+  double Scale = 0.25;     ///< ref-input scale (1.0 = paper-sized)
+  std::string ConfigLabel; ///< short label ("vrp", "hw-sig", ...)
+  PipelineConfig Config;
+  /// Deterministic per-job Rng seed; 0 means "derive from identity"
+  /// (see specSeed).
+  uint64_t Seed = 0;
+
+  /// "workload/label", the name used in reports and error messages.
+  std::string name() const { return Workload + "/" + ConfigLabel; }
+};
+
+/// Deterministic seed derived from the spec's identity (FNV-1a over
+/// name() and the scale). Independent of sweep order, thread assignment,
+/// and time, so per-job random streams are reproducible.
+uint64_t specSeed(const ExperimentSpec &Spec);
+
+/// Effective seed for a job: Spec.Seed when set, specSeed otherwise.
+inline uint64_t effectiveSeed(const ExperimentSpec &Spec) {
+  return Spec.Seed ? Spec.Seed : specSeed(Spec);
+}
+
+/// The paper's standard configuration axis (the same cells BenchCommon's
+/// Harness names): baseline, conventional VRP, VRP, VRS at 50nJ, the two
+/// hardware schemes, and the SW+HW combination.
+std::vector<ExperimentSpec> standardConfigs();
+
+/// standardConfigs() crossed with every workload in the registry, in the
+/// paper's workload order. \p Scale multiplies the ref inputs.
+std::vector<ExperimentSpec> makeStandardSweep(double Scale);
+
+/// standardConfigs() crossed with a workload subset, in the given order.
+std::vector<ExperimentSpec>
+makeStandardSweep(const std::vector<std::string> &Workloads, double Scale);
+
+/// The full matrix of \p Workloads x IsaPolicy x width mechanism:
+/// software modes (conventional VRP / VRP / VRS) run under both the
+/// Extended and BaseAlpha ISA policies, the baseline and the pure
+/// hardware mechanisms (significance / size tags) once each (the ISA
+/// policy only affects software narrowing). Deterministic order:
+/// workloads outer, mechanisms inner.
+std::vector<ExperimentSpec>
+makeMatrixSweep(const std::vector<std::string> &Workloads, double Scale);
+
+/// The eight SpecInt95 stand-in names in the paper's order.
+std::vector<std::string> allWorkloadNames();
+
+} // namespace og
+
+#endif // OG_DRIVER_EXPERIMENTSPEC_H

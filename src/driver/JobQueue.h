@@ -1,0 +1,59 @@
+//===- driver/JobQueue.h - Sharded job-index dispenser -----------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A lock-free dispenser of job indices [0, NumJobs). Workers pop the
+/// next unclaimed index until the queue drains or a failing job cancels
+/// the run. Claiming is a single fetch_add, so every index is handed out
+/// exactly once regardless of worker count — the shard-coverage property
+/// DriverTest checks.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_DRIVER_JOBQUEUE_H
+#define OG_DRIVER_JOBQUEUE_H
+
+#include <atomic>
+#include <cstddef>
+
+namespace og {
+
+/// Dispenses each index in [0, size) exactly once across any number of
+/// concurrently popping threads.
+class JobQueue {
+public:
+  explicit JobQueue(size_t NumJobs) : NumJobs(NumJobs) {}
+
+  /// Claims the next index into \p Index. Returns false once the queue is
+  /// drained or cancelled; a false return never consumes an index.
+  bool pop(size_t &Index) {
+    if (Cancelled.load(std::memory_order_acquire))
+      return false;
+    size_t I = Next.fetch_add(1, std::memory_order_relaxed);
+    if (I >= NumJobs)
+      return false;
+    Index = I;
+    return true;
+  }
+
+  /// Stops handing out further indices (already-claimed jobs finish).
+  void cancel() { Cancelled.store(true, std::memory_order_release); }
+
+  bool cancelled() const {
+    return Cancelled.load(std::memory_order_acquire);
+  }
+
+  size_t size() const { return NumJobs; }
+
+private:
+  std::atomic<size_t> Next{0};
+  std::atomic<bool> Cancelled{false};
+  size_t NumJobs;
+};
+
+} // namespace og
+
+#endif // OG_DRIVER_JOBQUEUE_H

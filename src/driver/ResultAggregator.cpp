@@ -1,0 +1,80 @@
+//===- driver/ResultAggregator.cpp ----------------------------------------==//
+
+#include "driver/ResultAggregator.h"
+
+#include "support/Table.h"
+
+#include <algorithm>
+#include <map>
+#include <ostream>
+
+using namespace og;
+
+void ResultAggregator::add(const ExperimentSpec &Spec,
+                           const PipelineResult &Result) {
+  Cell C;
+  C.Workload = Spec.Workload;
+  C.Label = Spec.ConfigLabel;
+  C.DynInsts = Result.RefStats.DynInsts;
+  C.Cycles = Result.Report.Uarch.Cycles;
+  C.Ipc = Result.Report.Uarch.ipc();
+  C.Energy = Result.Report.TotalEnergy;
+  C.Ed2 = Result.Report.ed2();
+  C.Narrowed = Result.Narrowing.NumNarrowed;
+  C.WidthBearing = Result.Narrowing.NumWidthBearing;
+  Cells.push_back(std::move(C));
+}
+
+StatisticSet ResultAggregator::stats() const {
+  StatisticSet S;
+  // Touch every counter up front so the dump order is fixed even when a
+  // sum happens to be zero.
+  S.add("sweep.cells", 0);
+  S.add("sweep.dyn-insts", 0);
+  S.add("sweep.cycles", 0);
+  S.add("sweep.narrowed-opcodes", 0);
+  S.add("sweep.width-bearing-opcodes", 0);
+  for (const Cell &C : Cells) {
+    S.add("sweep.cells");
+    S.add("sweep.dyn-insts", C.DynInsts);
+    S.add("sweep.cycles", C.Cycles);
+    S.add("sweep.narrowed-opcodes", C.Narrowed);
+    S.add("sweep.width-bearing-opcodes", C.WidthBearing);
+  }
+  return S;
+}
+
+void ResultAggregator::print(std::ostream &OS) const {
+  std::vector<Cell> Sorted = Cells;
+  std::stable_sort(Sorted.begin(), Sorted.end(),
+                   [](const Cell &A, const Cell &B) {
+                     if (A.Workload != B.Workload)
+                       return A.Workload < B.Workload;
+                     return A.Label < B.Label;
+                   });
+
+  // Savings are computed against each workload's baseline cell.
+  std::map<std::string, const Cell *> Baselines;
+  for (const Cell &C : Sorted)
+    if (C.Label == "baseline")
+      Baselines.emplace(C.Workload, &C);
+
+  TextTable T({"workload", "config", "insts", "cycles", "IPC", "energy",
+               "ED^2", "dE%", "dED2%"});
+  for (const Cell &C : Sorted) {
+    auto BaseIt = Baselines.find(C.Workload);
+    const Cell *Base = BaseIt == Baselines.end() ? nullptr : BaseIt->second;
+    std::string DE = "-", DEd2 = "-";
+    if (Base && Base != &C && Base->Energy > 0 && Base->Ed2 > 0) {
+      DE = TextTable::num(100.0 * (1.0 - C.Energy / Base->Energy), 1);
+      DEd2 = TextTable::num(100.0 * (1.0 - C.Ed2 / Base->Ed2), 1);
+    }
+    T.addRow({C.Workload, C.Label, std::to_string(C.DynInsts),
+              std::to_string(C.Cycles), TextTable::num(C.Ipc, 2),
+              TextTable::num(C.Energy, 1), TextTable::num(C.Ed2, 1), DE,
+              DEd2});
+  }
+  T.print(OS);
+  OS << "\n";
+  stats().print(OS);
+}

@@ -1,0 +1,66 @@
+//===- driver/ResultAggregator.h - Deterministic sweep reports ---*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Collects per-cell pipeline results (in any completion order) and
+/// renders one deterministic aggregate report on top of support/Table and
+/// support/Statistic. Rows are sorted by (workload, config label) and
+/// savings are computed against each workload's "baseline" cell at print
+/// time, so the report bytes depend only on the set of cells — never on
+/// worker count, scheduling, or wall-clock. That is the property that
+/// lets `ogate-sim --jobs 8` promise byte-identical output to `--jobs 1`.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_DRIVER_RESULTAGGREGATOR_H
+#define OG_DRIVER_RESULTAGGREGATOR_H
+
+#include "driver/ExperimentSpec.h"
+#include "support/Statistic.h"
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace og {
+
+/// Order-independent accumulator of sweep cells.
+class ResultAggregator {
+public:
+  /// Records one finished cell. Thread-compatible, not thread-safe: the
+  /// driver adds results serially in spec order after the parallel phase.
+  void add(const ExperimentSpec &Spec, const PipelineResult &Result);
+
+  /// Number of recorded cells.
+  size_t size() const { return Cells.size(); }
+
+  /// Sweep-wide counters (cells, dynamic instructions, cycles, narrowed
+  /// opcodes) in a deterministic registration order.
+  StatisticSet stats() const;
+
+  /// Prints the per-cell table plus the counter summary. Deterministic:
+  /// same cells (in any insertion order) => same bytes.
+  void print(std::ostream &OS) const;
+
+private:
+  struct Cell {
+    std::string Workload;
+    std::string Label;
+    uint64_t DynInsts = 0;
+    uint64_t Cycles = 0;
+    double Ipc = 0.0;
+    double Energy = 0.0;
+    double Ed2 = 0.0;
+    uint64_t Narrowed = 0;
+    uint64_t WidthBearing = 0;
+  };
+
+  std::vector<Cell> Cells;
+};
+
+} // namespace og
+
+#endif // OG_DRIVER_RESULTAGGREGATOR_H

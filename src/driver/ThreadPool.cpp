@@ -1,0 +1,69 @@
+//===- driver/ThreadPool.cpp ----------------------------------------------==//
+
+#include "driver/ThreadPool.h"
+
+using namespace og;
+
+ThreadPool::ThreadPool(unsigned NumThreads) {
+  if (NumThreads <= 1)
+    return; // inline mode
+  Workers.reserve(NumThreads);
+  for (unsigned I = 0; I < NumThreads; ++I)
+    Workers.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Stopping = true;
+  }
+  TaskReady.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+void ThreadPool::submit(std::function<void()> Task) {
+  if (Workers.empty()) {
+    Task();
+    return;
+  }
+  {
+    std::unique_lock<std::mutex> Lock(Mutex);
+    Tasks.push_back(std::move(Task));
+  }
+  TaskReady.notify_one();
+}
+
+void ThreadPool::wait() {
+  if (Workers.empty())
+    return;
+  std::unique_lock<std::mutex> Lock(Mutex);
+  Idle.wait(Lock, [this] { return Tasks.empty() && Active == 0; });
+}
+
+void ThreadPool::workerLoop() {
+  for (;;) {
+    std::function<void()> Task;
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      TaskReady.wait(Lock, [this] { return Stopping || !Tasks.empty(); });
+      if (Tasks.empty())
+        return; // stopping and drained
+      Task = std::move(Tasks.front());
+      Tasks.pop_front();
+      ++Active;
+    }
+    Task();
+    {
+      std::unique_lock<std::mutex> Lock(Mutex);
+      --Active;
+      if (Tasks.empty() && Active == 0)
+        Idle.notify_all();
+    }
+  }
+}
+
+unsigned ThreadPool::defaultJobs() {
+  unsigned N = std::thread::hardware_concurrency();
+  return N ? N : 1;
+}

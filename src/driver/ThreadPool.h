@@ -1,0 +1,71 @@
+//===- driver/ThreadPool.h - Worker threads for the driver -------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small fixed-size pool of worker threads with a FIFO task queue and a
+/// wait() barrier. The experiment driver submits one worker loop per
+/// thread (each pulling indices from a JobQueue); the pool itself is
+/// generic so later subsystems (batching, async report generation) can
+/// reuse it. With one thread requested the pool runs tasks inline on the
+/// submitting thread — the serial path has no threading at all, which is
+/// what makes --jobs 1 a true serial baseline.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_DRIVER_THREADPOOL_H
+#define OG_DRIVER_THREADPOOL_H
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace og {
+
+/// Fixed-size FIFO thread pool.
+class ThreadPool {
+public:
+  /// Spawns \p NumThreads workers; 0 or 1 means "inline" (tasks run on
+  /// the thread that calls submit()).
+  explicit ThreadPool(unsigned NumThreads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Enqueues \p Task; runs it immediately when the pool is inline.
+  void submit(std::function<void()> Task);
+
+  /// Blocks until every submitted task has finished.
+  void wait();
+
+  /// Number of worker threads (0 when inline).
+  unsigned numThreads() const {
+    return static_cast<unsigned>(Workers.size());
+  }
+
+  /// A sensible default worker count: hardware_concurrency, at least 1.
+  static unsigned defaultJobs();
+
+private:
+  void workerLoop();
+
+  std::vector<std::thread> Workers;
+  std::deque<std::function<void()>> Tasks;
+  std::mutex Mutex;
+  std::condition_variable TaskReady; ///< signalled on submit/stop
+  std::condition_variable Idle;      ///< signalled when work drains
+  size_t Active = 0;                 ///< tasks currently executing
+  bool Stopping = false;
+};
+
+} // namespace og
+
+#endif // OG_DRIVER_THREADPOOL_H

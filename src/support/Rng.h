@@ -15,8 +15,25 @@
 #define OG_SUPPORT_RNG_H
 
 #include <cstdint>
+#include <cstdlib>
 
 namespace og {
+
+/// Seed override hook for randomized (property) tests: returns the value
+/// of the \p Var environment variable when it is set and parses cleanly
+/// (decimal, 0x hex, or 0 octal), \p Default otherwise. Tests print the
+/// effective seed on failure so any run can be reproduced with
+/// OGATE_SEED=<seed>.
+inline uint64_t seedFromEnv(uint64_t Default,
+                            const char *Var = "OGATE_SEED") {
+  if (const char *S = std::getenv(Var)) {
+    char *End = nullptr;
+    uint64_t V = std::strtoull(S, &End, 0);
+    if (End != S && *End == '\0')
+      return V;
+  }
+  return Default;
+}
 
 /// SplitMix64 generator (public-domain constants).
 class Rng {

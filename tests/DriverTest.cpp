@@ -1,0 +1,250 @@
+//===- tests/DriverTest.cpp - Parallel experiment driver tests ----------------==//
+//
+// The contracts the sweep driver promises: the aggregate report is
+// byte-identical for any worker count, sharding hands every job out
+// exactly once, per-job Rng streams depend only on the spec, and a
+// throwing job fails the run with its spec named.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "driver/JobQueue.h"
+#include "driver/ThreadPool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+using namespace og;
+
+namespace {
+
+/// A small but real sweep: two workloads x two configurations at a tiny
+/// scale, enough to produce non-trivial aggregate rows quickly.
+std::vector<ExperimentSpec> smallRealSweep() {
+  std::vector<ExperimentSpec> Specs;
+  for (const char *W : {"compress", "li"})
+    for (ExperimentSpec S : standardConfigs()) {
+      if (S.ConfigLabel != "baseline" && S.ConfigLabel != "vrp")
+        continue;
+      S.Workload = W;
+      S.Scale = 0.02;
+      S.Seed = specSeed(S);
+      Specs.push_back(std::move(S));
+    }
+  return Specs;
+}
+
+std::string aggregateReport(const SweepResult &R) {
+  std::ostringstream OS;
+  R.Aggregate.print(OS);
+  return OS.str();
+}
+
+/// Specs for custom-job tests; the job never looks at the pipeline
+/// config, only the name/seed.
+std::vector<ExperimentSpec> syntheticSpecs(size_t N) {
+  std::vector<ExperimentSpec> Specs(N);
+  for (size_t I = 0; I < N; ++I) {
+    Specs[I].Workload = "job" + std::to_string(I);
+    Specs[I].ConfigLabel = "cfg";
+    Specs[I].Seed = specSeed(Specs[I]);
+  }
+  return Specs;
+}
+
+} // namespace
+
+TEST(Driver, AggregateIdenticalAcrossJobCounts) {
+  std::vector<ExperimentSpec> Specs = smallRealSweep();
+  SweepOptions O1, O4, O8;
+  O1.Jobs = 1;
+  O4.Jobs = 4;
+  O8.Jobs = 8;
+  SweepResult R1 = runSweep(Specs, O1);
+  SweepResult R4 = runSweep(Specs, O4);
+  SweepResult R8 = runSweep(Specs, O8);
+  ASSERT_TRUE(R1.AllOk) << R1.FirstError;
+  ASSERT_TRUE(R4.AllOk) << R4.FirstError;
+  ASSERT_TRUE(R8.AllOk) << R8.FirstError;
+
+  std::string Rep1 = aggregateReport(R1);
+  EXPECT_FALSE(Rep1.empty());
+  EXPECT_EQ(Rep1, aggregateReport(R4));
+  EXPECT_EQ(Rep1, aggregateReport(R8));
+  // And the per-cell outputs really are the same runs.
+  for (size_t I = 0; I < Specs.size(); ++I)
+    EXPECT_EQ(R1.Outcomes[I].Result.Output, R8.Outcomes[I].Result.Output)
+        << Specs[I].name();
+}
+
+TEST(Driver, ShardsCoverEveryJobExactlyOnce) {
+  for (unsigned Jobs : {1u, 3u, 8u}) {
+    const size_t N = 13; // deliberately not a multiple of any job count
+    std::vector<ExperimentSpec> Specs = syntheticSpecs(N);
+    std::vector<std::atomic<int>> Ran(N);
+    for (auto &A : Ran)
+      A = 0;
+    SweepOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.Job = [&](const ExperimentSpec &S, Rng &) {
+      size_t I = std::stoul(S.Workload.substr(3));
+      ++Ran[I];
+      return PipelineResult();
+    };
+    SweepResult R = runSweep(Specs, Opts);
+    ASSERT_TRUE(R.AllOk) << "jobs=" << Jobs << ": " << R.FirstError;
+    for (size_t I = 0; I < N; ++I)
+      EXPECT_EQ(Ran[I].load(), 1)
+          << "jobs=" << Jobs << " job " << I << " ran a wrong number of times";
+  }
+}
+
+TEST(Driver, PerJobSeedsAreDeterministicAcrossWorkerCounts) {
+  const size_t N = 9;
+  std::vector<ExperimentSpec> Specs = syntheticSpecs(N);
+  auto Draws = [&](unsigned Jobs) {
+    std::vector<uint64_t> D(N);
+    SweepOptions Opts;
+    Opts.Jobs = Jobs;
+    Opts.Job = [&](const ExperimentSpec &S, Rng &R) {
+      D[std::stoul(S.Workload.substr(3))] = R.next();
+      return PipelineResult();
+    };
+    EXPECT_TRUE(runSweep(Specs, Opts).AllOk);
+    return D;
+  };
+  std::vector<uint64_t> Serial = Draws(1), Parallel = Draws(8);
+  EXPECT_EQ(Serial, Parallel);
+  // Distinct specs get distinct streams.
+  for (size_t I = 1; I < N; ++I)
+    EXPECT_NE(Serial[0], Serial[I]);
+}
+
+TEST(Driver, ThrowingJobFailsRunAndNamesSpec) {
+  std::vector<ExperimentSpec> Specs = syntheticSpecs(8);
+  Specs[3].Workload = "doomed";
+  SweepOptions Opts;
+  Opts.Jobs = 4;
+  Opts.Job = [&](const ExperimentSpec &S, Rng &) {
+    if (S.Workload == "doomed")
+      throw std::runtime_error("synthetic crash");
+    return PipelineResult();
+  };
+  SweepResult R = runSweep(Specs, Opts);
+  EXPECT_FALSE(R.AllOk);
+  EXPECT_NE(R.FirstError.find("doomed/cfg"), std::string::npos)
+      << R.FirstError;
+  EXPECT_NE(R.FirstError.find("synthetic crash"), std::string::npos)
+      << R.FirstError;
+  EXPECT_FALSE(R.Outcomes[3].Ok);
+}
+
+TEST(Driver, KeepGoingRunsEveryJobDespiteFailure) {
+  const size_t N = 10;
+  std::vector<ExperimentSpec> Specs = syntheticSpecs(N);
+  std::atomic<int> Ran{0};
+  SweepOptions Opts;
+  Opts.Jobs = 2;
+  Opts.KeepGoing = true;
+  Opts.Job = [&](const ExperimentSpec &S, Rng &) {
+    ++Ran;
+    if (S.Workload == "job0")
+      throw std::runtime_error("early crash");
+    return PipelineResult();
+  };
+  SweepResult R = runSweep(Specs, Opts);
+  EXPECT_FALSE(R.AllOk);
+  EXPECT_EQ(Ran.load(), static_cast<int>(N));
+  // Only the crashed job is marked failed.
+  for (size_t I = 1; I < N; ++I)
+    EXPECT_TRUE(R.Outcomes[I].Ok) << "job " << I;
+}
+
+TEST(JobQueue, PopsEachIndexOnceAndCancelStops) {
+  JobQueue Q(100);
+  std::vector<std::atomic<int>> Seen(100);
+  for (auto &A : Seen)
+    A = 0;
+  std::vector<std::thread> Ts;
+  for (int T = 0; T < 4; ++T)
+    Ts.emplace_back([&] {
+      size_t I;
+      while (Q.pop(I))
+        ++Seen[I];
+    });
+  for (auto &T : Ts)
+    T.join();
+  for (size_t I = 0; I < 100; ++I)
+    EXPECT_EQ(Seen[I].load(), 1) << "index " << I;
+
+  JobQueue Q2(100);
+  size_t I;
+  ASSERT_TRUE(Q2.pop(I));
+  Q2.cancel();
+  EXPECT_FALSE(Q2.pop(I));
+  EXPECT_TRUE(Q2.cancelled());
+}
+
+TEST(ThreadPool, RunsAllTasksAndWaits) {
+  ThreadPool Pool(4);
+  EXPECT_EQ(Pool.numThreads(), 4u);
+  std::atomic<int> Count{0};
+  for (int I = 0; I < 64; ++I)
+    Pool.submit([&] { ++Count; });
+  Pool.wait();
+  EXPECT_EQ(Count.load(), 64);
+
+  // Inline pool: tasks run on the submitting thread immediately.
+  ThreadPool Inline(1);
+  EXPECT_EQ(Inline.numThreads(), 0u);
+  std::thread::id Tid;
+  Inline.submit([&] { Tid = std::this_thread::get_id(); });
+  EXPECT_EQ(Tid, std::this_thread::get_id());
+}
+
+TEST(ExperimentSpec, SeedsAreStableAndIdentityDerived) {
+  ExperimentSpec A;
+  A.Workload = "compress";
+  A.ConfigLabel = "vrp";
+  A.Scale = 0.25;
+  ExperimentSpec B = A;
+  EXPECT_EQ(specSeed(A), specSeed(B));
+  B.ConfigLabel = "baseline";
+  EXPECT_NE(specSeed(A), specSeed(B));
+  B = A;
+  B.Scale = 0.5;
+  EXPECT_NE(specSeed(A), specSeed(B));
+  // Seed 0 means "derive": effectiveSeed never returns 0.
+  EXPECT_NE(effectiveSeed(A), 0u);
+  A.Seed = 77;
+  EXPECT_EQ(effectiveSeed(A), 77u);
+}
+
+TEST(ExperimentSpec, SweepsEnumerateTheFullMatrix) {
+  std::vector<ExperimentSpec> Std = makeStandardSweep(0.1);
+  EXPECT_EQ(Std.size(), allWorkloadNames().size() * standardConfigs().size());
+  // Deterministic order and unique names.
+  std::vector<ExperimentSpec> Again = makeStandardSweep(0.1);
+  ASSERT_EQ(Std.size(), Again.size());
+  for (size_t I = 0; I < Std.size(); ++I) {
+    EXPECT_EQ(Std[I].name(), Again[I].name());
+    EXPECT_EQ(Std[I].Seed, Again[I].Seed);
+  }
+
+  std::vector<ExperimentSpec> M = makeMatrixSweep({"compress", "go"}, 0.1);
+  EXPECT_EQ(M.size(), 2u * 10u); // 3 policy-free + 3 sw modes x 2 policies + 1 combined
+  size_t BaseAlpha = 0;
+  for (const ExperimentSpec &S : M)
+    if (S.ConfigLabel.find("base-alpha") != std::string::npos) {
+      ++BaseAlpha;
+      EXPECT_EQ(static_cast<int>(S.Config.Narrow.Policy),
+                static_cast<int>(IsaPolicy::BaseAlpha));
+    }
+  EXPECT_EQ(BaseAlpha, 2u * 3u);
+}

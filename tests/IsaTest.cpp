@@ -77,10 +77,12 @@ TEST_P(OpInfoTest, MetadataConsistent) {
   const OpInfo &Info = opInfo(O);
   EXPECT_NE(Info.Mnemonic, nullptr);
   // Terminators never write registers.
-  if (Info.IsTerminator)
+  if (Info.IsTerminator) {
     EXPECT_FALSE(Info.HasDest);
-  if (Info.IsCondBranch)
+  }
+  if (Info.IsCondBranch) {
     EXPECT_TRUE(Info.IsTerminator);
+  }
   // Mnemonics parse back to the op.
   Op Parsed;
   EXPECT_TRUE(parseOpMnemonic(Info.Mnemonic, Parsed));
@@ -91,8 +93,9 @@ TEST_P(OpInfoTest, MetadataConsistent) {
   // Extended is a superset of BaseAlpha.
   for (unsigned WI = 0; WI < 4; ++WI) {
     Width W = static_cast<Width>(WI);
-    if (encodableWidths(O, IsaPolicy::BaseAlpha).contains(W))
+    if (encodableWidths(O, IsaPolicy::BaseAlpha).contains(W)) {
       EXPECT_TRUE(encodableWidths(O, IsaPolicy::Extended).contains(W));
+    }
   }
 }
 

@@ -21,6 +21,20 @@
 
 using namespace og;
 
+namespace {
+
+// Every randomized property seeds its Rng through this: OGATE_SEED in the
+// environment overrides the per-test default, and the SCOPED_TRACE below
+// each call site prints the effective seed on failure so any run is
+// reproducible with OGATE_SEED=<seed>.
+uint64_t propertySeed(uint64_t Default) { return seedFromEnv(Default); }
+
+std::string seedTrace(uint64_t Seed) {
+  return "reproduce with OGATE_SEED=" + std::to_string(Seed);
+}
+
+} // namespace
+
 // --- Forward transfer soundness, all ALU ops x all widths, checked
 // exhaustively over small concrete ranges.
 
@@ -33,8 +47,11 @@ TEST_P(TransferSoundness, ContainsEveryConcreteResult) {
   if (!encodableWidths(O, IsaPolicy::Extended).contains(W))
     GTEST_SKIP() << "width not encodable";
 
-  Rng R(static_cast<uint64_t>(std::get<0>(GetParam())) * 131 +
-        std::get<1>(GetParam()));
+  const uint64_t Seed =
+      propertySeed(static_cast<uint64_t>(std::get<0>(GetParam())) * 131 +
+                   std::get<1>(GetParam()));
+  SCOPED_TRACE(seedTrace(Seed));
+  Rng R(Seed);
   for (int Trial = 0; Trial < 60; ++Trial) {
     int64_t ALo = R.range(-200, 200);
     int64_t AHi = ALo + R.range(0, 12);
@@ -73,7 +90,9 @@ INSTANTIATE_TEST_SUITE_P(
 // every (a, b) pair that produces an output in the given range.
 
 TEST(BackwardTransfer, RefinementKeepsWitnesses) {
-  Rng R(4242);
+  const uint64_t Seed = propertySeed(4242);
+  SCOPED_TRACE(seedTrace(Seed));
+  Rng R(Seed);
   const Op Ops[] = {Op::Add, Op::Sub};
   for (int Trial = 0; Trial < 500; ++Trial) {
     Op O = Ops[R.below(2)];
@@ -99,7 +118,9 @@ TEST(BackwardTransfer, RefinementKeepsWitnesses) {
 // --- Iterator-bound math vs direct simulation of the affine loop.
 
 TEST(IteratorBounds, MatchesDirectSimulation) {
-  Rng R(20260608);
+  const uint64_t Seed = propertySeed(20260608);
+  SCOPED_TRACE(seedTrace(Seed));
+  Rng R(Seed);
   int Checked = 0;
   for (int Trial = 0; Trial < 3000; ++Trial) {
     AffineIterator It;
@@ -209,7 +230,9 @@ INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadRoundTrip,
 // that break execution: stress with randomized mask/shift/store chains.
 
 TEST(NarrowingProperty, RandomMaskChainsPreserveOutput) {
-  Rng R(987654);
+  const uint64_t Seed = propertySeed(987654);
+  SCOPED_TRACE(seedTrace(Seed));
+  Rng R(Seed);
   for (int Trial = 0; Trial < 60; ++Trial) {
     ProgramBuilder PB;
     uint64_t Data = PB.addQuadData({R.range(INT32_MIN, INT32_MAX),
@@ -264,7 +287,9 @@ TEST(NarrowingProperty, RandomMaskChainsPreserveOutput) {
 // --- Interval algebra laws.
 
 TEST(ValueRangeLaws, UnionIntersectProperties) {
-  Rng R(55);
+  const uint64_t Seed = propertySeed(55);
+  SCOPED_TRACE(seedTrace(Seed));
+  Rng R(Seed);
   for (int Trial = 0; Trial < 2000; ++Trial) {
     int64_t ALo = R.range(-1000, 1000), AHi = ALo + R.range(0, 500);
     int64_t BLo = R.range(-1000, 1000), BHi = BLo + R.range(0, 500);

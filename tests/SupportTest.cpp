@@ -78,8 +78,9 @@ TEST(MathExtras, SignificantBytesIsMinimal) {
                 static_cast<unsigned>(R.below(64));
     unsigned B = significantBytes(V);
     EXPECT_EQ(truncSignExtend(V, B), V);
-    if (B > 1)
+    if (B > 1) {
       EXPECT_NE(truncSignExtend(V, B - 1), V);
+    }
   }
 }
 
@@ -152,4 +153,28 @@ TEST(Table, AlignsColumns) {
   EXPECT_NE(Out.find("longer"), std::string::npos);
   EXPECT_EQ(TextTable::pct(0.1234, 1), "12.3%");
   EXPECT_EQ(TextTable::num(1.5, 0), "2");
+}
+
+TEST(Rng, SeedFromEnvOverride) {
+  // No variable set: the default comes back untouched.
+  unsetenv("OGATE_TEST_SEED_VAR");
+  EXPECT_EQ(seedFromEnv(7, "OGATE_TEST_SEED_VAR"), 7u);
+
+  // Decimal and hex overrides parse (strtoull base 0).
+  setenv("OGATE_TEST_SEED_VAR", "12345", 1);
+  EXPECT_EQ(seedFromEnv(7, "OGATE_TEST_SEED_VAR"), 12345u);
+  setenv("OGATE_TEST_SEED_VAR", "0x10", 1);
+  EXPECT_EQ(seedFromEnv(7, "OGATE_TEST_SEED_VAR"), 16u);
+
+  // Garbage falls back to the default rather than seeding from a prefix.
+  setenv("OGATE_TEST_SEED_VAR", "12abc", 1);
+  EXPECT_EQ(seedFromEnv(7, "OGATE_TEST_SEED_VAR"), 7u);
+  setenv("OGATE_TEST_SEED_VAR", "", 1);
+  EXPECT_EQ(seedFromEnv(7, "OGATE_TEST_SEED_VAR"), 7u);
+  unsetenv("OGATE_TEST_SEED_VAR");
+
+  // The default variable name is OGATE_SEED, the one PropertyTest honors.
+  setenv("OGATE_SEED", "99", 1);
+  EXPECT_EQ(seedFromEnv(1), 99u);
+  unsetenv("OGATE_SEED");
 }

@@ -1,26 +1,105 @@
 //===- tools/ogate-sim.cpp - Simulator CLI -----------------------------------==//
 //
 // Runs an assembly program through the functional simulator and,
-// optionally, the out-of-order timing + power models.
+// optionally, the out-of-order timing + power models — or fans the full
+// workload x configuration evaluation matrix out across worker threads
+// via the experiment driver.
 //
-//   ogate-sim [options] input.s
+//   ogate-sim [options] input.s           single-program mode
 //     --arg=N           initial a0 (repeatable: fills a0..a5 in order)
 //     --uarch           also run the Table-2 timing model
 //     --scheme=NAME     power accounting: none|sw|hwsig|hwsize|combined
 //     --stats           print the dynamic width/class histograms
 //     --fuel=N          dynamic instruction budget
 //
+//   ogate-sim --sweep[=standard|matrix]   sweep mode (no input file)
+//     --jobs=N          worker threads (default 1; serial and parallel
+//                       aggregate reports are byte-identical)
+//     --scale=S         workload ref-input scale (default 0.25)
+//     --workloads=a,b   comma-separated subset (default: all eight)
+//     --keep-going      run every cell even after a failure
+//
+// Sweep mode prints the deterministic aggregate report on stdout and
+// timing/progress on stderr, so stdout can be diffed across --jobs.
+//
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
+#include "driver/Driver.h"
 #include "power/Report.h"
 #include "support/Table.h"
 
+#include <algorithm>
+#include <chrono>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
 using namespace og;
+
+namespace {
+
+int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
+                 const std::string &WorkloadCsv, bool KeepGoing) {
+  std::vector<std::string> Names;
+  if (WorkloadCsv.empty()) {
+    Names = allWorkloadNames();
+  } else {
+    const std::vector<std::string> Known = allWorkloadNames();
+    std::stringstream SS(WorkloadCsv);
+    std::string Item;
+    while (std::getline(SS, Item, ',')) {
+      if (Item.empty())
+        continue;
+      if (std::find(Known.begin(), Known.end(), Item) == Known.end()) {
+        std::cerr << "ogate-sim: unknown workload '" << Item << "' (known:";
+        for (const std::string &K : Known)
+          std::cerr << " " << K;
+        std::cerr << ")\n";
+        return 1;
+      }
+      Names.push_back(Item);
+    }
+  }
+  if (Names.empty()) {
+    std::cerr << "ogate-sim: no workloads selected\n";
+    return 1;
+  }
+
+  std::vector<ExperimentSpec> Specs;
+  if (SweepKind == "matrix") {
+    Specs = makeMatrixSweep(Names, Scale);
+  } else if (SweepKind == "standard") {
+    Specs = makeStandardSweep(Names, Scale);
+  } else {
+    std::cerr << "ogate-sim: unknown sweep kind '" << SweepKind << "'\n";
+    return 1;
+  }
+
+  std::cerr << "ogate-sim: sweeping " << Specs.size() << " cells ("
+            << Names.size() << " workloads, scale " << Scale << ", jobs "
+            << Jobs << ")\n";
+
+  SweepOptions Opts;
+  Opts.Jobs = Jobs;
+  Opts.KeepGoing = KeepGoing;
+  auto Start = std::chrono::steady_clock::now();
+  SweepResult R = runSweep(Specs, Opts);
+  double Seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
+          .count();
+
+  if (!R.AllOk) {
+    std::cerr << "ogate-sim: sweep FAILED: " << R.FirstError << "\n";
+    return 1;
+  }
+  R.Aggregate.print(std::cout);
+  std::cerr << "ogate-sim: sweep finished in " << TextTable::num(Seconds, 2)
+            << "s\n";
+  return 0;
+}
+
+} // namespace
 
 int main(int argc, char **argv) {
   std::string InputPath;
@@ -28,6 +107,10 @@ int main(int argc, char **argv) {
   bool Uarch = false, Stats = false;
   GatingScheme Scheme = GatingScheme::None;
   uint64_t Fuel = 200'000'000;
+  bool Sweep = false, KeepGoing = false;
+  std::string SweepKind = "standard", WorkloadCsv;
+  unsigned Jobs = 1;
+  double Scale = 0.25;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -56,10 +139,31 @@ int main(int argc, char **argv) {
       Stats = true;
     } else if (Arg.rfind("--fuel=", 0) == 0) {
       Fuel = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+    } else if (Arg == "--sweep") {
+      Sweep = true;
+    } else if (Arg.rfind("--sweep=", 0) == 0) {
+      Sweep = true;
+      SweepKind = Arg.substr(8);
+    } else if (Arg.rfind("--jobs=", 0) == 0) {
+      Sweep = true;
+      int N = std::atoi(Arg.c_str() + 7);
+      Jobs = N < 1 ? 1 : static_cast<unsigned>(N);
+    } else if (Arg == "--jobs" && I + 1 < argc) {
+      Sweep = true;
+      int N = std::atoi(argv[++I]);
+      Jobs = N < 1 ? 1 : static_cast<unsigned>(N);
+    } else if (Arg.rfind("--scale=", 0) == 0) {
+      Scale = std::atof(Arg.c_str() + 8);
+    } else if (Arg.rfind("--workloads=", 0) == 0) {
+      WorkloadCsv = Arg.substr(12);
+    } else if (Arg == "--keep-going") {
+      KeepGoing = true;
     } else if (Arg == "--help" || Arg == "-h") {
       std::cerr << "usage: ogate-sim [--arg=N]... [--uarch] "
                    "[--scheme=none|sw|hwsig|hwsize|combined] [--stats] "
-                   "[--fuel=N] input.s\n";
+                   "[--fuel=N] input.s\n"
+                   "       ogate-sim --sweep[=standard|matrix] [--jobs N] "
+                   "[--scale=S] [--workloads=a,b] [--keep-going]\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "ogate-sim: unknown option '" << Arg << "'\n";
@@ -68,6 +172,17 @@ int main(int argc, char **argv) {
       InputPath = Arg;
     }
   }
+
+  if (Sweep) {
+    if (!InputPath.empty()) {
+      std::cerr << "ogate-sim: --sweep takes no input file\n";
+      return 1;
+    }
+    if (Jobs < 1)
+      Jobs = 1;
+    return runSweepMode(SweepKind, Jobs, Scale, WorkloadCsv, KeepGoing);
+  }
+
   if (InputPath.empty()) {
     std::cerr << "ogate-sim: no input file\n";
     return 1;
