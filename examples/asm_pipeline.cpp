@@ -10,6 +10,7 @@
 
 #include "asm/Assembler.h"
 #include "asm/Disassembler.h"
+#include "sim/ExecEngine.h"
 #include "sim/Interpreter.h"
 #include "vrp/Narrowing.h"
 
@@ -68,7 +69,9 @@ int main() {
     return 1;
   }
 
-  RunResult Before = runProgram(*P, RunOptions());
+  // Decode once, run from the flat form (sim/ExecEngine.h).
+  DecodedProgram Decoded(*P);
+  RunResult Before = runProgram(Decoded, RunOptions());
   std::cout << "original output:  ";
   for (int64_t V : Before.Output)
     std::cout << V << " ";

@@ -50,8 +50,11 @@ int main() {
   disassembleProgram(Narrowed, std::cout);
 
   // Output equivalence: the narrowed binary must behave identically.
-  RunResult Before = runProgram(P, RunOptions());
-  RunResult After = runProgram(Narrowed, RunOptions());
+  // Each binary is flattened into a DecodedProgram once; the decode is
+  // reusable for any number of runs of the same program.
+  DecodedProgram OrigDecode(P), NarrowDecode(Narrowed);
+  RunResult Before = runProgram(OrigDecode, RunOptions());
+  RunResult After = runProgram(NarrowDecode, RunOptions());
   std::cout << "outputs match: "
             << (Before.Output == After.Output ? "yes" : "NO") << "\n\n";
 

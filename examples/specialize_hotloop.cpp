@@ -74,22 +74,25 @@ static Workload makeHotArgWorkload() {
 int main() {
   Workload W = makeHotArgWorkload();
 
+  // The untransformed binary is decoded once and shared by every cell.
+  DecodedProgram BaseDecode(W.Prog);
+
   PipelineConfig Base;
   Base.Sw = SoftwareMode::None;
   Base.Scheme = GatingScheme::None;
-  PipelineResult B = runPipeline(W, Base);
+  PipelineResult B = runPipeline(W, Base, &BaseDecode);
 
   PipelineConfig Vrp;
   Vrp.Sw = SoftwareMode::Vrp;
   Vrp.Scheme = GatingScheme::Software;
-  PipelineResult V = runPipeline(W, Vrp);
+  PipelineResult V = runPipeline(W, Vrp, &BaseDecode);
 
   PipelineConfig Vrs;
   Vrs.Sw = SoftwareMode::Vrs;
   Vrs.Scheme = GatingScheme::Software;
   Vrs.VrsTestCostNJ = 50;
   Vrs.CheckOutputEquivalence = true; // assert the oracle
-  PipelineResult S = runPipeline(W, Vrs);
+  PipelineResult S = runPipeline(W, Vrs, &BaseDecode);
 
   std::cout << "VRS candidate funnel (paper Figure 4):\n"
             << "  points profiled:   " << S.Vrs.PointsProfiled << "\n"

@@ -8,6 +8,8 @@
 
 #include <algorithm>
 #include <exception>
+#include <map>
+#include <memory>
 
 using namespace og;
 
@@ -17,11 +19,51 @@ PipelineResult og::runSpecPipeline(const ExperimentSpec &Spec, Rng &R) {
   return runPipeline(W, Spec.Config);
 }
 
+namespace {
+
+/// A workload built once per sweep, with its base program pre-decoded.
+/// Many specs reference the same (workload, scale) — the standard sweep
+/// crosses every workload with seven configurations — so sharing one
+/// Workload and one DecodedProgram across those jobs replaces per-spec
+/// rebuild + re-decode. Built serially before the parallel phase and
+/// only read afterwards, so workers need no locking.
+struct SharedWorkload {
+  Workload W;
+  std::unique_ptr<DecodedProgram> Decoded;
+
+  explicit SharedWorkload(Workload Built) : W(std::move(Built)) {
+    Decoded = std::make_unique<DecodedProgram>(W.Prog);
+  }
+};
+
+} // namespace
+
 SweepResult og::runSweep(const std::vector<ExperimentSpec> &Specs,
                          const SweepOptions &Opts) {
   SweepResult Result;
   Result.Outcomes.resize(Specs.size());
-  const ExperimentJob &Job = Opts.Job ? Opts.Job : runSpecPipeline;
+
+  // Default job: build each distinct workload once, share across specs.
+  std::map<std::pair<std::string, double>,
+           std::shared_ptr<const SharedWorkload>>
+      WorkloadCache;
+  ExperimentJob SharedJob;
+  if (!Opts.Job) {
+    for (const ExperimentSpec &Spec : Specs) {
+      auto Key = std::make_pair(Spec.Workload, Spec.Scale);
+      if (!WorkloadCache.count(Key))
+        WorkloadCache.emplace(
+            Key, std::make_shared<SharedWorkload>(
+                     makeWorkload(Spec.Workload, Spec.Scale)));
+    }
+    SharedJob = [&WorkloadCache](const ExperimentSpec &Spec, Rng &R) {
+      (void)R;
+      const SharedWorkload &SW =
+          *WorkloadCache.at({Spec.Workload, Spec.Scale});
+      return runPipeline(SW.W, Spec.Config, SW.Decoded.get());
+    };
+  }
+  const ExperimentJob &Job = Opts.Job ? Opts.Job : SharedJob;
 
   JobQueue Queue(Specs.size());
   auto RunOne = [&](size_t I) {

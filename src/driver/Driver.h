@@ -14,6 +14,10 @@
 /// throws fails the run with its spec named; by default a failure also
 /// cancels the indices not yet claimed.
 ///
+/// Under the default job, each distinct (workload, scale) is built and
+/// pre-decoded (sim/ExecEngine.h) once per sweep and shared read-only
+/// across every spec that references it, instead of rebuilt per job.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef OG_DRIVER_DRIVER_H

@@ -20,8 +20,10 @@ const char *og::softwareModeName(SoftwareMode M) {
   return "?";
 }
 
-PipelineResult og::runPipeline(const Workload &W,
-                               const PipelineConfig &Config) {
+PipelineResult og::runPipeline(const Workload &W, const PipelineConfig &Config,
+                               const DecodedProgram *BaseDecode) {
+  assert((!BaseDecode || &BaseDecode->program() == &W.Prog) &&
+         "BaseDecode must decode this workload's program");
   PipelineResult Result;
   Result.Transformed = W.Prog;
   Program &P = Result.Transformed;
@@ -50,12 +52,21 @@ PipelineResult og::runPipeline(const Workload &W,
   }
   }
 
-  // ---- Ref run through the timing + power models.
+  // ---- Ref run through the timing + power models. The core consumes the
+  // trace directly as a batched sink. Decode the transformed binary once;
+  // in None mode the binary is untouched, so a caller-provided decode of
+  // the original stands in and the per-spec decode is skipped entirely.
   EnergyModel EM(Config.Scheme, Config.Coeffs);
   OooCore Core(Config.Uarch, &EM);
   RunOptions RefOpts = W.Ref;
-  RefOpts.Trace = [&](const DynInst &D) { Core.onInst(D); };
-  RunResult Run = runProgram(P, RefOpts);
+  RefOpts.Sink = &Core;
+  RunResult Run;
+  if (Config.Sw == SoftwareMode::None && BaseDecode) {
+    Run = runProgram(*BaseDecode, RefOpts);
+  } else {
+    DecodedProgram Decoded(P);
+    Run = runProgram(Decoded, RefOpts);
+  }
   assert(Run.Status == RunStatus::Halted && "ref run did not halt");
   Result.RefStats = Run.Stats;
   Result.Output = Run.Output;
@@ -77,7 +88,8 @@ PipelineResult og::runPipeline(const Workload &W,
 
   // ---- Optional end-to-end equivalence oracle.
   if (Config.CheckOutputEquivalence) {
-    RunResult Orig = runProgram(W.Prog, W.Ref);
+    RunResult Orig = BaseDecode ? runProgram(*BaseDecode, W.Ref)
+                                : runProgram(W.Prog, W.Ref);
     assert(Orig.Status == RunStatus::Halted && "original run did not halt");
     assert(Orig.Output == Result.Output &&
            "transformation changed program output");

@@ -18,6 +18,7 @@
 #define OG_PIPELINE_PIPELINE_H
 
 #include "power/Report.h"
+#include "sim/ExecEngine.h"
 #include "vrp/Narrowing.h"
 #include "vrs/Specializer.h"
 #include "workloads/Workloads.h"
@@ -62,7 +63,14 @@ struct PipelineResult {
 };
 
 /// Runs the full flow on a copy of \p W's program.
-PipelineResult runPipeline(const Workload &W, const PipelineConfig &Config);
+///
+/// \p BaseDecode, when given, must be a DecodedProgram of W.Prog (the
+/// untransformed binary); the pipeline then reuses it for every run of
+/// the original — the SoftwareMode::None ref run and the output-
+/// equivalence oracle — instead of re-decoding. The experiment driver
+/// shares one per workload across a whole sweep.
+PipelineResult runPipeline(const Workload &W, const PipelineConfig &Config,
+                           const DecodedProgram *BaseDecode = nullptr);
 
 } // namespace og
 

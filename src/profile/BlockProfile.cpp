@@ -7,9 +7,10 @@
 using namespace og;
 
 ProgramProfile
-og::collectProfile(const Program &P, const RunOptions &Options,
+og::collectProfile(const DecodedProgram &DP, const RunOptions &Options,
                    const std::vector<std::pair<int32_t, size_t>> &Candidates,
                    ValueProfileTable::Config TableCfg) {
+  const Program &P = DP.program();
   ProgramProfile Profile;
   for (const auto &C : Candidates)
     Profile.Values.emplace(C, ValueProfileTable(TableCfg));
@@ -28,7 +29,7 @@ og::collectProfile(const Program &P, const RunOptions &Options,
   }
 
   RunOptions Opts = Options;
-  Opts.Trace = [&](const DynInst &D) {
+  FnTraceSink Recorder([&](const DynInst &D) {
     if (!D.WroteDest || Profile.Values.empty())
       return;
     size_t Id = BlockBase[D.Func][D.Block] + static_cast<size_t>(D.Index);
@@ -36,11 +37,23 @@ og::collectProfile(const Program &P, const RunOptions &Options,
     if (It == Profile.Values.end())
       return;
     It->second.record(D.Result);
-  };
+  });
+  // Without candidates the recorder would drop every record; leave the
+  // sink detached so the run takes the no-trace fast path.
+  if (!Profile.Values.empty())
+    Opts.Sink = &Recorder;
 
-  RunResult R = runProgram(P, Opts);
+  RunResult R = runProgram(DP, Opts);
   assert(R.Status == RunStatus::Halted && "profiling run did not halt");
   Profile.BlockCounts = std::move(R.Stats.BlockCounts);
   Profile.DynInsts = R.Stats.DynInsts;
   return Profile;
+}
+
+ProgramProfile
+og::collectProfile(const Program &P, const RunOptions &Options,
+                   const std::vector<std::pair<int32_t, size_t>> &Candidates,
+                   ValueProfileTable::Config TableCfg) {
+  DecodedProgram DP(P);
+  return collectProfile(DP, Options, Candidates, TableCfg);
 }

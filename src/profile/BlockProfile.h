@@ -16,6 +16,7 @@
 #define OG_PROFILE_BLOCKPROFILE_H
 
 #include "profile/ValueProfile.h"
+#include "sim/ExecEngine.h"
 #include "sim/Interpreter.h"
 
 #include <map>
@@ -44,6 +45,13 @@ struct ProgramProfile {
 /// ReachingDefs). The run must halt cleanly; asserts otherwise.
 ProgramProfile
 collectProfile(const Program &P, const RunOptions &Options,
+               const std::vector<std::pair<int32_t, size_t>> &Candidates,
+               ValueProfileTable::Config TableCfg = {});
+
+/// Same, over an already-decoded program (skips the per-call decode when
+/// the caller profiles one binary repeatedly).
+ProgramProfile
+collectProfile(const DecodedProgram &DP, const RunOptions &Options,
                const std::vector<std::pair<int32_t, size_t>> &Candidates,
                ValueProfileTable::Config TableCfg = {});
 

@@ -1,0 +1,490 @@
+//===- sim/ExecEngine.cpp -------------------------------------------------==//
+//
+// DecodedProgram construction and the flat dispatch loop. The contract is
+// bit-exact equivalence with the historical nested interpreter: the same
+// RunResult (status, message, stats, output) and the same DynInst stream,
+// for every program including ones that fault or run out of fuel.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/ExecEngine.h"
+
+#include "sim/Interpreter.h"
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+using namespace og;
+
+namespace {
+
+/// Code addresses start here; 4 bytes per instruction, functions laid out
+/// in declaration order. Matches the layout every consumer (fetch model,
+/// branch predictor indexing) has always seen.
+constexpr uint64_t CodeBase = 0x1000;
+
+} // namespace
+
+DecodedProgram::DecodedProgram(const Program &P) : Prog(&P) {
+  const size_t NumFuncs = P.Funcs.size();
+
+  // Dense layout: per-block instruction bases within each function, the
+  // function PC bases, and each function's base into the flat array.
+  std::vector<std::vector<size_t>> BlockBase(NumFuncs);
+  std::vector<uint64_t> FuncPcBase(NumFuncs);
+  std::vector<size_t> GlobalBase(NumFuncs);
+  uint64_t Pc = CodeBase;
+  size_t Flat = 0;
+  for (const Function &F : P.Funcs) {
+    FuncPcBase[F.Id] = Pc;
+    GlobalBase[F.Id] = Flat;
+    auto &Bases = BlockBase[F.Id];
+    Bases.resize(F.Blocks.size());
+    size_t N = 0;
+    for (const BasicBlock &BB : F.Blocks) {
+      Bases[BB.Id] = N;
+      N += BB.Insts.size();
+    }
+    Pc += N * 4;
+    Flat += N;
+  }
+
+  // Flat slot per (function, block) for the engine's block-count array.
+  SlotBase.resize(NumFuncs);
+  NumBlockSlots = 0;
+  for (const Function &F : P.Funcs) {
+    SlotBase[F.Id] = NumBlockSlots;
+    NumBlockSlots += F.Blocks.size();
+  }
+
+  auto pcOf = [&](int32_t F, int32_t B, int32_t I) {
+    return FuncPcBase[F] +
+           (BlockBase[F][B] + static_cast<size_t>(I)) * 4;
+  };
+  auto flatOf = [&](int32_t F, int32_t B, int32_t I) {
+    return static_cast<int32_t>(GlobalBase[F] + BlockBase[F][B] +
+                                static_cast<size_t>(I));
+  };
+  auto countBlock = [&](int32_t F, int32_t B) {
+    Counted.emplace_back(F, B);
+    CountSlots.push_back(static_cast<uint32_t>(SlotBase[F] + B));
+  };
+
+  // Structural fallthrough from an exhausted block: hop FallthroughSucc
+  // links, counting every block entered, until a block with instructions
+  // is reached — or the chain faults. Mirrors the nested loop exactly,
+  // including the empty-hop limit that detects cycles of empty blocks.
+  auto chain = [&](int32_t F, int32_t B, Edge &E) {
+    const Function &Fn = P.Funcs[F];
+    size_t EmptyHops = 0;
+    int32_t Cur = B;
+    while (true) {
+      const BasicBlock &BB = Fn.Blocks[Cur];
+      if (BB.FallthroughSucc == NoTarget) {
+        E.Fault = EdgeFault::FellOffBlock;
+        return;
+      }
+      if (++EmptyHops > Fn.Blocks.size() + 1) {
+        E.Fault = EdgeFault::EmptyCycle;
+        return;
+      }
+      Cur = BB.FallthroughSucc;
+      countBlock(F, Cur);
+      if (!Fn.Blocks[Cur].Insts.empty()) {
+        E.Target = flatOf(F, Cur, 0);
+        return;
+      }
+    }
+  };
+
+  // A jump to the start of a block: counts the block itself (the nested
+  // interpreter bumped the count on every taken transfer), then chains if
+  // it is empty. An out-of-range block id (possible only in unverified
+  // programs) becomes a deterministic fault edge instead of wild reads.
+  auto jumpEdge = [&](int32_t F, int32_t B) {
+    Edge E;
+    E.CountsBegin = E.CountsEnd = static_cast<uint32_t>(Counted.size());
+    if (B < 0 || static_cast<size_t>(B) >= P.Funcs[F].Blocks.size()) {
+      E.Fault = EdgeFault::FellOffBlock;
+      return E;
+    }
+    E.NextPc = pcOf(F, B, 0);
+    countBlock(F, B);
+    if (P.Funcs[F].Blocks[B].Insts.empty())
+      chain(F, B, E);
+    else
+      E.Target = flatOf(F, B, 0);
+    E.CountsEnd = static_cast<uint32_t>(Counted.size());
+    return E;
+  };
+
+  // Sequential advance to (B, NextI): a direct neighbor while inside the
+  // block, the fallthrough chain once past its end. No count for the
+  // block itself — re-entering a block mid-way (returns) never counted.
+  auto seqEdge = [&](int32_t F, int32_t B, int32_t NextI) {
+    Edge E;
+    E.CountsBegin = static_cast<uint32_t>(Counted.size());
+    E.NextPc = pcOf(F, B, NextI);
+    const BasicBlock &BB = P.Funcs[F].Blocks[B];
+    if (static_cast<size_t>(NextI) < BB.Insts.size())
+      E.Target = flatOf(F, B, NextI);
+    else
+      chain(F, B, E);
+    E.CountsEnd = static_cast<uint32_t>(Counted.size());
+    return E;
+  };
+
+  // Function entries first so call edges can copy them.
+  FuncEntries.reserve(NumFuncs);
+  for (const Function &F : P.Funcs) {
+    if (F.Blocks.empty()) {
+      // Degenerate (unverified) function: entering it can only fall off.
+      Edge E;
+      E.CountsBegin = E.CountsEnd = static_cast<uint32_t>(Counted.size());
+      E.Fault = EdgeFault::FellOffBlock;
+      FuncEntries.push_back(E);
+      continue;
+    }
+    FuncEntries.push_back(jumpEdge(F.Id, F.EntryBlock));
+  }
+
+  Insts.reserve(Flat);
+  for (const Function &F : P.Funcs) {
+    for (const BasicBlock &BB : F.Blocks) {
+      for (size_t K = 0; K < BB.Insts.size(); ++K) {
+        const Instruction &I = BB.Insts[K];
+        const OpInfo &Info = I.info();
+        DInst D;
+        D.I = &I;
+        D.Func = F.Id;
+        D.Block = BB.Id;
+        D.Index = static_cast<int32_t>(K);
+        D.Pc = pcOf(F.Id, BB.Id, D.Index);
+        D.Imm = I.Imm;
+        D.Opc = I.Opc;
+        D.W = I.W;
+        D.Rd = I.Rd;
+        D.Ra = I.Ra;
+        D.Rb = I.Rb;
+        D.UseImm = I.UseImm;
+        D.ReadsRa = Info.ReadsRa;
+        D.ReadsRb = Info.ReadsRb;
+        D.RdIsInput = Info.RdIsInput;
+        D.NumSrcs = static_cast<uint8_t>(I.numRegSources());
+        for (unsigned S = 0; S < D.NumSrcs; ++S)
+          D.Srcs[S] = I.regSource(S);
+        D.ClassIdx = static_cast<uint8_t>(Info.Class);
+        D.WidthIdx = static_cast<uint8_t>(I.W);
+        D.WidthBytes = static_cast<uint8_t>(widthBytes(I.W));
+
+        if (Info.IsCondBranch) {
+          D.Taken = jumpEdge(F.Id, I.Target);
+          D.Seq = jumpEdge(F.Id, BB.FallthroughSucc);
+        } else if (I.Opc == Op::Br) {
+          D.Taken = jumpEdge(F.Id, I.Target);
+          D.Seq = seqEdge(F.Id, BB.Id, D.Index + 1); // unused (terminator)
+        } else if (I.Opc == Op::Jsr) {
+          D.Taken = FuncEntries[I.Callee]; // call entry
+          D.Seq = seqEdge(F.Id, BB.Id, D.Index + 1); // the Ret's edge
+        } else {
+          D.Seq = seqEdge(F.Id, BB.Id, D.Index + 1);
+        }
+        Insts.push_back(D);
+      }
+    }
+  }
+}
+
+void DecodedProgram::initBlockCounts(
+    std::vector<std::vector<uint64_t>> &Counts) const {
+  Counts.resize(Prog->Funcs.size());
+  for (const Function &F : Prog->Funcs)
+    Counts[F.Id].assign(F.Blocks.size(), 0);
+}
+
+namespace {
+
+struct Frame {
+  int32_t JsrFlat;            ///< flat index of the calling Jsr
+  int64_t SavedCalleeRegs[8]; ///< s0..s5, fp, sp (checked mode)
+};
+
+template <bool HasSink>
+RunResult execute(const DecodedProgram &DP, const RunOptions &Options) {
+  using Edge = DecodedProgram::Edge;
+  using EdgeFault = DecodedProgram::EdgeFault;
+  using DInst = DecodedProgram::DInst;
+
+  RunResult Result;
+  const Program &P = DP.program();
+  Machine M(Options.Machine);
+  M.installData(Program::DataBase, P.Data);
+
+  // Initial state: SP at the top of memory, arguments in a0..a5.
+  M.writeReg(RegSP, static_cast<int64_t>(M.memSize()) - 64);
+  for (size_t I = 0; I < Options.ArgRegs.size() && I < NumArgRegs; ++I)
+    M.writeReg(static_cast<Reg>(RegA0 + I), Options.ArgRegs[I]);
+
+  ExecStats &Stats = Result.Stats;
+  std::vector<uint64_t> FlatCounts(DP.numBlockSlots(), 0);
+  const uint32_t *CountSlots = DP.countSlots().data();
+  const DInst *Insts = DP.insts().data();
+
+  std::vector<Frame> Frames;
+
+  TraceSink *Sink = Options.Sink;
+  std::vector<DynInst> Batch;
+  size_t BatchN = 0;
+  if constexpr (HasSink)
+    Batch.resize(TraceBatchCapacity);
+
+  auto saveCalleeRegs = [&](Frame &Fr) {
+    int Slot = 0;
+    for (Reg R = RegS0; R <= RegFP; ++R)
+      Fr.SavedCalleeRegs[Slot++] = M.readReg(R);
+    Fr.SavedCalleeRegs[Slot] = M.readReg(RegSP);
+  };
+  auto calleeRegsIntact = [&](const Frame &Fr) {
+    int Slot = 0;
+    for (Reg R = RegS0; R <= RegFP; ++R)
+      if (Fr.SavedCalleeRegs[Slot++] != M.readReg(R))
+        return false;
+    return Fr.SavedCalleeRegs[Slot] == M.readReg(RegSP);
+  };
+
+  // Applies a pre-resolved transfer: block counts first (they accrue even
+  // when the transfer then faults, as the nested hop loop did), then
+  // either land or terminate the run.
+  int32_t Cur = -1;
+  auto follow = [&](const Edge &E) -> bool {
+    for (uint32_t Ci = E.CountsBegin; Ci != E.CountsEnd; ++Ci)
+      ++FlatCounts[CountSlots[Ci]];
+    if (E.Fault != EdgeFault::None) {
+      Result.Status = RunStatus::Fault;
+      Result.Message = E.Fault == EdgeFault::FellOffBlock
+                           ? "control fell off a block without successor"
+                           : "cycle of empty blocks";
+      return false;
+    }
+    Cur = E.Target;
+    return true;
+  };
+
+  uint64_t Fuel = Options.Fuel;
+
+  if (follow(DP.entry())) {
+    while (true) {
+      if (Fuel == 0) {
+        Result.Status = RunStatus::OutOfFuel;
+        Result.Message = "dynamic instruction budget exhausted";
+        break;
+      }
+      --Fuel;
+
+      const DInst &DI = Insts[Cur];
+
+      DynInst *D = nullptr;
+      if constexpr (HasSink) {
+        D = &Batch[BatchN];
+        *D = DynInst();
+        D->I = DI.I;
+        D->Func = DI.Func;
+        D->Block = DI.Block;
+        D->Index = DI.Index;
+        D->Pc = DI.Pc;
+        D->SeqPc = DI.Pc + 4;
+        D->NumSrcs = DI.NumSrcs;
+        for (unsigned S = 0; S < DI.NumSrcs; ++S)
+          D->SrcVals[S] = M.readReg(DI.Srcs[S]);
+      }
+
+      int64_t A = DI.ReadsRa ? M.readReg(DI.Ra) : 0;
+      int64_t B = DI.UseImm ? DI.Imm : (DI.ReadsRb ? M.readReg(DI.Rb) : 0);
+
+      int64_t Val = 0;
+      bool WroteDest = false;
+      bool Stop = false;
+      const Edge *Next = &DI.Seq;
+
+      switch (DI.Opc) {
+      case Op::Ldi:
+        Val = truncSignExtend(DI.Imm, DI.WidthBytes);
+        M.writeReg(DI.Rd, Val);
+        WroteDest = true;
+        break;
+      case Op::Msk: {
+        unsigned Bytes = DI.WidthBytes;
+        uint64_t Field = static_cast<uint64_t>(A) >> (8 * DI.Imm);
+        Val = static_cast<int64_t>(
+            Bytes == 8 ? Field : Field & ((uint64_t(1) << (8 * Bytes)) - 1));
+        M.writeReg(DI.Rd, Val);
+        WroteDest = true;
+        break;
+      }
+      case Op::Ld: {
+        uint64_t Addr = static_cast<uint64_t>(A + DI.Imm);
+        uint64_t Raw = M.loadBytes(Addr, DI.WidthBytes);
+        // Alpha semantics: LDBU/LDWU zero-extend, LDL sign-extends, LDQ raw.
+        Val = DI.W == Width::W ? signExtend(Raw, 32)
+                               : static_cast<int64_t>(Raw);
+        M.writeReg(DI.Rd, Val);
+        WroteDest = true;
+        if constexpr (HasSink) {
+          D->IsMem = true;
+          D->MemAddr = Addr;
+        }
+        break;
+      }
+      case Op::St: {
+        uint64_t Addr = static_cast<uint64_t>(A + DI.Imm);
+        int64_t Value = M.readReg(DI.Rb);
+        M.storeBytes(Addr, DI.WidthBytes, static_cast<uint64_t>(Value));
+        Val = truncSignExtend(Value, DI.WidthBytes);
+        if constexpr (HasSink) {
+          D->IsMem = true;
+          D->MemAddr = Addr;
+        }
+        break;
+      }
+      case Op::Br:
+        Next = &DI.Taken;
+        break;
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blt:
+      case Op::Ble:
+      case Op::Bgt:
+      case Op::Bge: {
+        bool Taken = false;
+        switch (DI.Opc) {
+        case Op::Beq:
+          Taken = A == 0;
+          break;
+        case Op::Bne:
+          Taken = A != 0;
+          break;
+        case Op::Blt:
+          Taken = A < 0;
+          break;
+        case Op::Ble:
+          Taken = A <= 0;
+          break;
+        case Op::Bgt:
+          Taken = A > 0;
+          break;
+        default:
+          Taken = A >= 0;
+          break;
+        }
+        if constexpr (HasSink) {
+          D->IsBranch = true;
+          D->Taken = Taken;
+        }
+        Next = Taken ? &DI.Taken : &DI.Seq;
+        break;
+      }
+      case Op::Jsr: {
+        if (Frames.size() >= Options.MaxCallDepth) {
+          Result.Status = RunStatus::Fault;
+          Result.Message = "call depth limit exceeded";
+          Stop = true;
+          break;
+        }
+        Frame Fr{Cur, {}};
+        if (Options.CheckCalleeSaved)
+          saveCalleeRegs(Fr);
+        Frames.push_back(Fr);
+        Next = &DI.Taken;
+        break;
+      }
+      case Op::Ret: {
+        if (Frames.empty()) {
+          // Returning from the entry function terminates the program.
+          Stop = true;
+          Result.Status = RunStatus::Halted;
+          break;
+        }
+        Frame Fr = Frames.back();
+        Frames.pop_back();
+        if (Options.CheckCalleeSaved && !calleeRegsIntact(Fr)) {
+          Result.Status = RunStatus::CalleeSaveViolation;
+          Result.Message = "callee-saved register clobbered by " +
+                           P.Funcs[DI.Func].Name;
+          Stop = true;
+          break;
+        }
+        Next = &Insts[Fr.JsrFlat].Seq;
+        break;
+      }
+      case Op::Halt:
+        Stop = true;
+        Result.Status = RunStatus::Halted;
+        break;
+      case Op::Out:
+        M.Output.push_back(A);
+        break;
+      case Op::Nop:
+        break;
+      default: {
+        // Generic ALU (arithmetic, logical, shifts, compares, cmovs, sext,
+        // mov).
+        int64_t OldRd = DI.RdIsInput ? M.readReg(DI.Rd) : 0;
+        Val = evalAluOp(DI.Opc, DI.W, A, B, OldRd);
+        M.writeReg(DI.Rd, Val);
+        WroteDest = true;
+        break;
+      }
+      }
+
+      if (M.faulted()) {
+        Result.Status = RunStatus::Fault;
+        Result.Message = M.faultMessage();
+        Stop = true;
+      }
+
+      // Statistics.
+      ++Stats.DynInsts;
+      ++Stats.ClassWidth[DI.ClassIdx][DI.WidthIdx];
+      if (WroteDest || DI.Opc == Op::St)
+        ++Stats.ValueSizeBytes[significantBytes(Val)];
+
+      if constexpr (HasSink) {
+        D->WroteDest = WroteDest;
+        D->Result = Val;
+        D->NextPc = Stop ? DI.Pc + 4 : Next->NextPc;
+        if (++BatchN == TraceBatchCapacity) {
+          Sink->onBatch(Batch.data(), BatchN);
+          BatchN = 0;
+        }
+      }
+
+      if (Stop)
+        break;
+      if (!follow(*Next))
+        break;
+    }
+  }
+
+  if constexpr (HasSink) if (BatchN)
+    Sink->onBatch(Batch.data(), BatchN);
+
+  // Scatter the flat block counters back into the per-function shape the
+  // profile consumers expect.
+  DP.initBlockCounts(Stats.BlockCounts);
+  {
+    size_t Slot = 0;
+    for (auto &FuncCounts : Stats.BlockCounts)
+      for (uint64_t &C : FuncCounts)
+        C = FlatCounts[Slot++];
+  }
+
+  Result.Output = std::move(M.Output);
+  return Result;
+}
+
+} // namespace
+
+RunResult og::runProgram(const DecodedProgram &DP, const RunOptions &Options) {
+  return Options.Sink ? execute<true>(DP, Options)
+                      : execute<false>(DP, Options);
+}

@@ -1,0 +1,140 @@
+//===- sim/ExecEngine.h - Pre-decoded execution engine -----------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The flattened program representation the interpreter main loop
+/// dispatches over. DecodedProgram lowers a verified Program's nested
+/// Funcs[f].Blocks[b].Insts[i] structure into one contiguous array of
+/// pre-decoded instructions: operand metadata (source registers, read
+/// flags, class/width histogram slots) is resolved once, synthetic PCs are
+/// assigned, and every control transfer — sequential advance, taken/
+/// not-taken branch, call, and the structural fallthrough chains through
+/// empty blocks — is pre-resolved to a flat instruction index plus the
+/// exact list of basic-block-count increments the nested interpreter would
+/// have performed along the way. Building it costs one pass over the
+/// static code; it is immutable afterwards and can be cached and shared
+/// across any number of runs (and threads) of the same Program.
+///
+/// The decode borrows nothing from the Program but pointers: the source
+/// Program must outlive the DecodedProgram, and the per-instruction
+/// `const Instruction *` handed to trace sinks points into it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SIM_EXECENGINE_H
+#define OG_SIM_EXECENGINE_H
+
+#include "program/Program.h"
+#include "sim/TraceSink.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace og {
+
+struct RunOptions;
+struct RunResult;
+
+/// A Program flattened for execution: one contiguous instruction array
+/// with pre-resolved control-flow edges and operand metadata.
+class DecodedProgram {
+public:
+  /// Why following an edge terminates the run instead of landing on an
+  /// instruction.
+  enum class EdgeFault : uint8_t {
+    None = 0,
+    FellOffBlock, ///< fallthrough chain reached a block without successor
+    EmptyCycle,   ///< fallthrough chain exceeded the empty-hop limit
+  };
+
+  /// One pre-resolved control transfer. Following an edge increments the
+  /// block counts in [CountsBegin, CountsEnd) — the blocks the nested
+  /// interpreter would have entered, including hops through empty blocks —
+  /// and then either faults or continues at flat index Target.
+  struct Edge {
+    int32_t Target = -1;    ///< flat instruction index; -1 when faulting
+    uint32_t CountsBegin = 0, CountsEnd = 0; ///< range into countedBlocks()
+    EdgeFault Fault = EdgeFault::None;
+    /// The architectural next-PC of the transfer, computed from the
+    /// pre-chain position exactly as the nested interpreter did (a
+    /// position one past a block end reports Pc + 4).
+    uint64_t NextPc = 0;
+  };
+
+  /// One pre-decoded instruction. Field semantics match isa/Instruction;
+  /// everything derivable from OpInfo or program layout is resolved here
+  /// so the dispatch loop never touches the nested structure.
+  struct DInst {
+    const Instruction *I = nullptr; ///< source instruction (for sinks)
+    uint64_t Pc = 0;
+    int64_t Imm = 0;
+    int32_t Func = 0, Block = 0, Index = 0;
+    /// Control continues here when the instruction neither jumps nor
+    /// stops; for a conditional branch this is the not-taken edge, for a
+    /// call it is the return-site edge its Ret will follow.
+    Edge Seq;
+    /// Taken-branch / unconditional-branch / call-entry edge.
+    Edge Taken;
+    Op Opc = Op::Nop;
+    Width W = Width::Q;
+    Reg Rd = 0, Ra = 0, Rb = 0;
+    uint8_t NumSrcs = 0;
+    Reg Srcs[3] = {};
+    bool UseImm = false, ReadsRa = false, ReadsRb = false;
+    bool RdIsInput = false;
+    uint8_t ClassIdx = 0;  ///< ExecStats::ClassWidth row
+    uint8_t WidthIdx = 0;  ///< ExecStats::ClassWidth column
+    uint8_t WidthBytes = 8;
+  };
+
+  /// Flattens \p P. The Program must stay alive (and unmodified) for the
+  /// lifetime of this object.
+  explicit DecodedProgram(const Program &P);
+
+  const Program &program() const { return *Prog; }
+
+  const std::vector<DInst> &insts() const { return Insts; }
+  size_t numInsts() const { return Insts.size(); }
+
+  /// (function, block) pairs referenced by Edge count ranges.
+  const std::vector<std::pair<int32_t, int32_t>> &countedBlocks() const {
+    return Counted;
+  }
+
+  /// Flat block-count slot per countedBlocks() entry (engine internal:
+  /// the run loop counts into one dense array and scatters at the end).
+  const std::vector<uint32_t> &countSlots() const { return CountSlots; }
+  size_t numBlockSlots() const { return NumBlockSlots; }
+
+  /// The edge entering \p Func at its entry block (counts the entry block
+  /// and any structural fallthrough chain from it).
+  const Edge &funcEntry(int32_t Func) const { return FuncEntries[Func]; }
+
+  /// Program entry edge.
+  const Edge &entry() const { return FuncEntries[Prog->EntryFunc]; }
+
+  /// Sizes \p Counts to the program shape ([func][block]) and zeroes it.
+  void initBlockCounts(std::vector<std::vector<uint64_t>> &Counts) const;
+
+private:
+  const Program *Prog;
+  std::vector<DInst> Insts;
+  std::vector<std::pair<int32_t, int32_t>> Counted;
+  std::vector<uint32_t> CountSlots;
+  std::vector<size_t> SlotBase; ///< per-function base into the flat slots
+  size_t NumBlockSlots = 0;
+  std::vector<Edge> FuncEntries;
+};
+
+/// Executes the decoded program under \p Options (see sim/Interpreter.h
+/// for the options and result types). Equivalent to runProgram on the
+/// source Program — bit-identical stats, output, and trace stream — but
+/// skips the per-run decode, so repeated runs of one program amortize it.
+RunResult runProgram(const DecodedProgram &DP, const RunOptions &Options);
+
+} // namespace og
+
+#endif // OG_SIM_EXECENGINE_H

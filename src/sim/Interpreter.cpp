@@ -2,6 +2,7 @@
 
 #include "sim/Interpreter.h"
 
+#include "sim/ExecEngine.h"
 #include "support/MathExtras.h"
 
 #include <cassert>
@@ -84,310 +85,11 @@ int64_t og::evalAluOp(Op O, Width W, int64_t A, int64_t B, int64_t OldRd) {
   }
 }
 
-namespace {
-
-constexpr uint64_t CodeBase = 0x1000;
-
-/// Precomputed code layout: dense instruction ids and synthetic PCs.
-struct CodeLayout {
-  std::vector<std::vector<size_t>> BlockBase; ///< [func][block] -> inst id
-  std::vector<uint64_t> FuncPcBase;           ///< [func] -> base PC
-
-  explicit CodeLayout(const Program &P) {
-    BlockBase.resize(P.Funcs.size());
-    FuncPcBase.resize(P.Funcs.size());
-    uint64_t Pc = CodeBase;
-    for (const Function &F : P.Funcs) {
-      FuncPcBase[F.Id] = Pc;
-      auto &Bases = BlockBase[F.Id];
-      Bases.resize(F.Blocks.size());
-      size_t N = 0;
-      for (const BasicBlock &BB : F.Blocks) {
-        Bases[BB.Id] = N;
-        N += BB.Insts.size();
-      }
-      Pc += N * 4;
-    }
-  }
-
-  uint64_t pcOf(int32_t Func, int32_t Block, int32_t Index) const {
-    return FuncPcBase[Func] +
-           (BlockBase[Func][Block] + static_cast<size_t>(Index)) * 4;
-  }
-};
-
-struct Frame {
-  int32_t Func;
-  int32_t Block;
-  int32_t Index;
-  int64_t SavedCalleeRegs[8]; ///< s0..s5, fp, sp (checked mode)
-};
-
-} // namespace
-
 RunResult og::runProgram(const Program &P, const RunOptions &Options) {
-  RunResult Result;
-  Machine M(Options.Machine);
-  M.installData(Program::DataBase, P.Data);
-  CodeLayout Layout(P);
-
-  ExecStats &Stats = Result.Stats;
-  Stats.BlockCounts.resize(P.Funcs.size());
-  for (const Function &F : P.Funcs)
-    Stats.BlockCounts[F.Id].assign(F.Blocks.size(), 0);
-
-  // Initial state: SP at the top of memory, arguments in a0..a5.
-  M.writeReg(RegSP, static_cast<int64_t>(M.memSize()) - 64);
-  for (size_t I = 0; I < Options.ArgRegs.size() && I < NumArgRegs; ++I)
-    M.writeReg(static_cast<Reg>(RegA0 + I), Options.ArgRegs[I]);
-
-  std::vector<Frame> Frames;
-  int32_t Func = P.EntryFunc;
-  int32_t Block = P.Funcs[Func].EntryBlock;
-  int32_t Index = 0;
-  ++Stats.BlockCounts[Func][Block];
-
-  auto saveCalleeRegs = [&](Frame &Fr) {
-    int Slot = 0;
-    for (Reg R = RegS0; R <= RegFP; ++R)
-      Fr.SavedCalleeRegs[Slot++] = M.readReg(R);
-    Fr.SavedCalleeRegs[Slot] = M.readReg(RegSP);
-  };
-  auto calleeRegsIntact = [&](const Frame &Fr) {
-    int Slot = 0;
-    for (Reg R = RegS0; R <= RegFP; ++R)
-      if (Fr.SavedCalleeRegs[Slot++] != M.readReg(R))
-        return false;
-    return Fr.SavedCalleeRegs[Slot] == M.readReg(RegSP);
-  };
-
-  uint64_t Fuel = Options.Fuel;
-  size_t EmptyHops = 0;
-
-  while (true) {
-    const Function &F = P.Funcs[Func];
-    const BasicBlock &BB = F.Blocks[Block];
-
-    // Block exhausted: structural fallthrough (no instruction executes).
-    if (static_cast<size_t>(Index) >= BB.Insts.size()) {
-      if (BB.FallthroughSucc == NoTarget) {
-        Result.Status = RunStatus::Fault;
-        Result.Message = "control fell off a block without successor";
-        break;
-      }
-      if (++EmptyHops > F.Blocks.size() + 1) {
-        Result.Status = RunStatus::Fault;
-        Result.Message = "cycle of empty blocks";
-        break;
-      }
-      Block = BB.FallthroughSucc;
-      Index = 0;
-      ++Stats.BlockCounts[Func][Block];
-      continue;
-    }
-    EmptyHops = 0;
-
-    if (Fuel == 0) {
-      Result.Status = RunStatus::OutOfFuel;
-      Result.Message = "dynamic instruction budget exhausted";
-      break;
-    }
-    --Fuel;
-
-    const Instruction &I = BB.Insts[Index];
-    const OpInfo &Info = I.info();
-
-    DynInst D;
-    bool WantTrace = static_cast<bool>(Options.Trace);
-    D.I = &I;
-    D.Func = Func;
-    D.Block = Block;
-    D.Index = Index;
-    D.Pc = Layout.pcOf(Func, Block, Index);
-    D.SeqPc = D.Pc + 4;
-
-    // Gather sources (also feeds the trace).
-    unsigned NSrc = I.numRegSources();
-    D.NumSrcs = NSrc;
-    for (unsigned S = 0; S < NSrc; ++S)
-      D.SrcVals[S] = M.readReg(I.regSource(S));
-
-    int64_t A = Info.ReadsRa ? M.readReg(I.Ra) : 0;
-    int64_t B = I.UseImm ? I.Imm : (Info.ReadsRb ? M.readReg(I.Rb) : 0);
-
-    // Next position defaults to sequential.
-    int32_t NextFunc = Func, NextBlock = Block, NextIndex = Index + 1;
-    bool Stop = false;
-    bool Jumped = false;
-
-    switch (I.Opc) {
-    case Op::Ldi:
-      D.Result = truncSignExtend(I.Imm, widthBytes(I.W));
-      M.writeReg(I.Rd, D.Result);
-      D.WroteDest = true;
-      break;
-    case Op::Msk: {
-      unsigned Bytes = widthBytes(I.W);
-      uint64_t Field = static_cast<uint64_t>(A) >> (8 * I.Imm);
-      D.Result = static_cast<int64_t>(
-          Bytes == 8 ? Field : Field & ((uint64_t(1) << (8 * Bytes)) - 1));
-      M.writeReg(I.Rd, D.Result);
-      D.WroteDest = true;
-      break;
-    }
-    case Op::Ld: {
-      uint64_t Addr = static_cast<uint64_t>(A + I.Imm);
-      unsigned Bytes = widthBytes(I.W);
-      uint64_t Raw = M.loadBytes(Addr, Bytes);
-      // Alpha semantics: LDBU/LDWU zero-extend, LDL sign-extends, LDQ raw.
-      D.Result = I.W == Width::W ? signExtend(Raw, 32)
-                                 : static_cast<int64_t>(Raw);
-      M.writeReg(I.Rd, D.Result);
-      D.WroteDest = true;
-      D.IsMem = true;
-      D.MemAddr = Addr;
-      break;
-    }
-    case Op::St: {
-      uint64_t Addr = static_cast<uint64_t>(A + I.Imm);
-      unsigned Bytes = widthBytes(I.W);
-      int64_t Value = M.readReg(I.Rb);
-      M.storeBytes(Addr, Bytes, static_cast<uint64_t>(Value));
-      D.Result = truncSignExtend(Value, Bytes);
-      D.IsMem = true;
-      D.MemAddr = Addr;
-      break;
-    }
-    case Op::Br:
-      NextBlock = I.Target;
-      NextIndex = 0;
-      Jumped = true;
-      break;
-    case Op::Beq:
-    case Op::Bne:
-    case Op::Blt:
-    case Op::Ble:
-    case Op::Bgt:
-    case Op::Bge: {
-      bool Taken = false;
-      switch (I.Opc) {
-      case Op::Beq:
-        Taken = A == 0;
-        break;
-      case Op::Bne:
-        Taken = A != 0;
-        break;
-      case Op::Blt:
-        Taken = A < 0;
-        break;
-      case Op::Ble:
-        Taken = A <= 0;
-        break;
-      case Op::Bgt:
-        Taken = A > 0;
-        break;
-      default:
-        Taken = A >= 0;
-        break;
-      }
-      D.IsBranch = true;
-      D.Taken = Taken;
-      NextBlock = Taken ? I.Target : BB.FallthroughSucc;
-      NextIndex = 0;
-      Jumped = true;
-      break;
-    }
-    case Op::Jsr: {
-      if (Frames.size() >= Options.MaxCallDepth) {
-        Result.Status = RunStatus::Fault;
-        Result.Message = "call depth limit exceeded";
-        Stop = true;
-        break;
-      }
-      Frame Fr{Func, Block, Index + 1, {}};
-      if (Options.CheckCalleeSaved)
-        saveCalleeRegs(Fr);
-      Frames.push_back(Fr);
-      NextFunc = I.Callee;
-      NextBlock = P.Funcs[I.Callee].EntryBlock;
-      NextIndex = 0;
-      Jumped = true;
-      break;
-    }
-    case Op::Ret: {
-      if (Frames.empty()) {
-        // Returning from the entry function terminates the program.
-        Stop = true;
-        Result.Status = RunStatus::Halted;
-        break;
-      }
-      Frame Fr = Frames.back();
-      Frames.pop_back();
-      if (Options.CheckCalleeSaved && !calleeRegsIntact(Fr)) {
-        Result.Status = RunStatus::CalleeSaveViolation;
-        Result.Message = "callee-saved register clobbered by " +
-                         P.Funcs[Func].Name;
-        Stop = true;
-        break;
-      }
-      NextFunc = Fr.Func;
-      NextBlock = Fr.Block;
-      NextIndex = Fr.Index;
-      break;
-    }
-    case Op::Halt:
-      Stop = true;
-      Result.Status = RunStatus::Halted;
-      break;
-    case Op::Out:
-      M.Output.push_back(A);
-      break;
-    case Op::Nop:
-      break;
-    default: {
-      // Generic ALU (arithmetic, logical, shifts, compares, cmovs, sext,
-      // mov).
-      int64_t OldRd = Info.RdIsInput ? M.readReg(I.Rd) : 0;
-      int64_t SrcA = I.Opc == Op::Ldi ? I.Imm : A;
-      D.Result = evalAluOp(I.Opc, I.W, SrcA, B, OldRd);
-      M.writeReg(I.Rd, D.Result);
-      D.WroteDest = true;
-      break;
-    }
-    }
-
-    if (M.faulted()) {
-      Result.Status = RunStatus::Fault;
-      Result.Message = M.faultMessage();
-      Stop = true;
-    }
-
-    // Statistics.
-    ++Stats.DynInsts;
-    ++Stats.ClassWidth[static_cast<unsigned>(Info.Class)]
-                      [static_cast<unsigned>(I.W)];
-    if (D.WroteDest || I.Opc == Op::St)
-      ++Stats.ValueSizeBytes[significantBytes(D.Result)];
-
-    if (WantTrace) {
-      D.NextPc = Stop ? D.Pc + 4
-                      : Layout.pcOf(NextFunc, NextBlock, NextIndex);
-      // A trailing position one past the block end resolves to the next
-      // block's fallthrough; pcOf stays monotone in that case, good enough
-      // for the fetch model.
-      Options.Trace(D);
-    }
-
-    if (Stop)
-      break;
-
-    Func = NextFunc;
-    Block = NextBlock;
-    Index = NextIndex;
-    if (Jumped && NextIndex == 0)
-      ++Stats.BlockCounts[Func][Block];
-  }
-
-  Result.Output = std::move(M.Output);
-  return Result;
+  // Decode-and-run convenience path. Callers that execute one program many
+  // times should build the DecodedProgram once (sim/ExecEngine.h) and use
+  // the overload taking it; the decode is a single pass over the static
+  // code, so for one-shot runs this wrapper costs next to nothing.
+  DecodedProgram DP(P);
+  return runProgram(DP, Options);
 }

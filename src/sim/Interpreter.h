@@ -16,8 +16,13 @@
 /// The interpreter drives everything downstream: it collects the dynamic
 /// opcode/width histograms (Table 3, Figures 2/7), per-block execution
 /// counts (basic-block profiles for VRS), the dynamic value-size histogram
-/// (Figure 12), and can stream a full dynamic trace into the out-of-order
-/// timing model.
+/// (Figure 12), and can stream the full dynamic trace — in batches,
+/// through a TraceSink — into the out-of-order timing model.
+///
+/// Execution dispatches over a flattened, pre-decoded form of the program
+/// (sim/ExecEngine.h). The Program overload below decodes on every call;
+/// callers that run one program repeatedly should build a DecodedProgram
+/// once and use the overload taking it.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -26,33 +31,13 @@
 
 #include "program/Program.h"
 #include "sim/Machine.h"
+#include "sim/TraceSink.h"
 
 #include <cstdint>
-#include <functional>
 #include <string>
 #include <vector>
 
 namespace og {
-
-/// One executed instruction, as seen by trace consumers (profiler, timing
-/// model, power model).
-struct DynInst {
-  const Instruction *I = nullptr;
-  int32_t Func = 0;
-  int32_t Block = 0;
-  int32_t Index = 0;
-  uint64_t Pc = 0;       ///< synthetic code address (4 bytes/instruction)
-  uint64_t NextPc = 0;   ///< address of the next executed instruction
-  uint64_t SeqPc = 0;    ///< address of the sequentially-next instruction
-  unsigned NumSrcs = 0;
-  int64_t SrcVals[3] = {};
-  bool WroteDest = false;
-  int64_t Result = 0;
-  bool IsMem = false;
-  uint64_t MemAddr = 0;
-  bool IsBranch = false; ///< conditional branch
-  bool Taken = false;
-};
 
 /// Terminal states of a run.
 enum class RunStatus : uint8_t {
@@ -91,12 +76,14 @@ struct RunOptions {
   std::vector<int64_t> ArgRegs;  ///< initial a0..a5 (unset = 0)
   bool CheckCalleeSaved = false; ///< verify the ABI contract (test mode)
   unsigned MaxCallDepth = 4096;
-  /// Optional dynamic trace consumer; called for every executed
-  /// instruction in order.
-  std::function<void(const DynInst &)> Trace;
+  /// Optional dynamic trace consumer; receives every executed instruction
+  /// in order, in batches of up to TraceBatchCapacity (sim/TraceSink.h).
+  /// Wrap a per-instruction callback in FnTraceSink for the old ergonomics.
+  TraceSink *Sink = nullptr;
 };
 
-/// Executes \p P under \p Options.
+/// Executes \p P under \p Options. Decodes the program first; see
+/// sim/ExecEngine.h for the overload that reuses a cached decode.
 RunResult runProgram(const Program &P, const RunOptions &Options);
 
 /// Computes the same per-instruction width-w ALU result the interpreter

@@ -1,0 +1,8 @@
+//===- sim/TraceSink.cpp --------------------------------------------------==//
+
+#include "sim/TraceSink.h"
+
+using namespace og;
+
+// Out-of-line key function so the vtable has one home.
+TraceSink::~TraceSink() = default;

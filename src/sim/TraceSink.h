@@ -1,0 +1,83 @@
+//===- sim/TraceSink.h - Dynamic trace consumers -----------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dynamic-instruction record the interpreter produces and the batched
+/// sink interface through which every trace consumer (profiler, timing
+/// model, power model) receives it. The engine buffers executed
+/// instructions and hands them over in fixed-size batches — one virtual
+/// call per TraceBatchCapacity instructions instead of one std::function
+/// call per instruction — which keeps the interpreter hot loop free of
+/// indirect calls. DynInst is self-contained (no live machine state is
+/// referenced), so deferring delivery by up to a batch is observationally
+/// equivalent to the old per-instruction callback.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SIM_TRACESINK_H
+#define OG_SIM_TRACESINK_H
+
+#include "isa/Instruction.h"
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+
+namespace og {
+
+/// One executed instruction, as seen by trace consumers (profiler, timing
+/// model, power model).
+struct DynInst {
+  const Instruction *I = nullptr;
+  int32_t Func = 0;
+  int32_t Block = 0;
+  int32_t Index = 0;
+  uint64_t Pc = 0;       ///< synthetic code address (4 bytes/instruction)
+  uint64_t NextPc = 0;   ///< address of the next executed instruction
+  uint64_t SeqPc = 0;    ///< address of the sequentially-next instruction
+  unsigned NumSrcs = 0;
+  int64_t SrcVals[3] = {};
+  bool WroteDest = false;
+  int64_t Result = 0;
+  bool IsMem = false;
+  uint64_t MemAddr = 0;
+  bool IsBranch = false; ///< conditional branch
+  bool Taken = false;
+};
+
+/// Instructions per onBatch() delivery; the final batch of a run may be
+/// shorter.
+constexpr size_t TraceBatchCapacity = 4096;
+
+/// Receiver of the dynamic instruction stream. The engine calls onBatch()
+/// with consecutive, program-ordered slices: every batch holds
+/// TraceBatchCapacity records except possibly the last one of the run.
+/// Pointers into the batch are valid only for the duration of the call.
+class TraceSink {
+public:
+  virtual ~TraceSink();
+  virtual void onBatch(const DynInst *Batch, size_t N) = 0;
+};
+
+/// Adapter for call sites that want the old per-instruction-callback
+/// ergonomics: wraps a function and invokes it once per record, in order.
+class FnTraceSink final : public TraceSink {
+public:
+  explicit FnTraceSink(std::function<void(const DynInst &)> Fn)
+      : Fn(std::move(Fn)) {}
+
+  void onBatch(const DynInst *Batch, size_t N) override {
+    for (size_t I = 0; I < N; ++I)
+      Fn(Batch[I]);
+  }
+
+private:
+  std::function<void(const DynInst &)> Fn;
+};
+
+} // namespace og
+
+#endif // OG_SIM_TRACESINK_H

@@ -198,6 +198,11 @@ void OooCore::onInst(const DynInst &D) {
   LastCycle = std::max(LastCycle, RetireCycle);
 }
 
+void OooCore::onBatch(const DynInst *Batch, size_t N) {
+  for (size_t I = 0; I < N; ++I)
+    onInst(Batch[I]);
+}
+
 UarchStats OooCore::finish() {
   Stats.Cycles = LastCycle + 1;
   Stats.Mispredicts = BPred.mispredicts();

@@ -50,33 +50,66 @@ struct UarchStats {
   }
 };
 
-/// Feed with onInst() in program order; call finish() once at the end.
-class OooCore {
+/// A W-slots-per-cycle resource; schedule() returns the cycle granted.
+///
+/// Semantically a bank of identical slots where each request takes the
+/// earliest-available slot: the granted cycle is max(Earliest, min of the
+/// slot-free times), and that slot becomes busy until Cycle + 1. Instead
+/// of re-scanning all slots for the minimum on every request, the free
+/// times live in a circular buffer kept sorted ascending from a rolling
+/// head pointer: the head IS the minimum, and the freshly granted slot is
+/// re-inserted behind it. When requests arrive with non-decreasing
+/// Earliest (fetch/rename/retire), the new free time is the largest value
+/// and the re-insert is a single store — the scheduler degenerates to
+/// pure pointer rotation. Out-of-order request times (ALU/memory issue)
+/// fall back to an insertion walk over at most Slots-1 entries, which
+/// preserves exact min-scan grant sequences (UarchPowerTest cross-checks
+/// this against a reference implementation).
+class SlotScheduler {
+public:
+  explicit SlotScheduler(unsigned Slots) : Ring(Slots, 0), Head(0) {}
+
+  uint64_t schedule(uint64_t Earliest) {
+    const size_t W = Ring.size();
+    uint64_t Min = Ring[Head];
+    uint64_t Cycle = Earliest > Min ? Earliest : Min;
+    uint64_t Busy = Cycle + 1;
+    // Pop the minimum at Head and re-insert Busy into the remaining
+    // ascending ring, walking backward from the vacated slot (the last
+    // position in the new ring order) past entries larger than Busy.
+    size_t Free = Head;
+    for (size_t N = W - 1; N >= 1; --N) {
+      size_t I = Head + N;
+      if (I >= W)
+        I -= W;
+      if (Ring[I] <= Busy)
+        break;
+      Ring[Free] = Ring[I];
+      Free = I;
+    }
+    Ring[Free] = Busy;
+    Head = Head + 1 == W ? 0 : Head + 1;
+    return Cycle;
+  }
+
+private:
+  std::vector<uint64_t> Ring; ///< slot-free cycles, ascending from Head
+  size_t Head;                ///< rolling pointer to the minimum
+};
+
+/// Feed the dynamic instruction stream in program order — either
+/// per-instruction through onInst() or in batches through the TraceSink
+/// interface (RunOptions::Sink can point directly at the core) — and call
+/// finish() once at the end.
+class OooCore : public TraceSink {
 public:
   OooCore(const UarchConfig &Config, ActivitySink *Sink);
 
   void onInst(const DynInst &D);
+  void onBatch(const DynInst *Batch, size_t N) override;
   UarchStats finish();
 
 private:
-  /// A W-slots-per-cycle resource; schedule() returns the cycle granted.
-  class SlotScheduler {
-  public:
-    explicit SlotScheduler(unsigned Slots) : Next(Slots, 0) {}
-    uint64_t schedule(uint64_t Earliest) {
-      size_t Best = 0;
-      for (size_t I = 1; I < Next.size(); ++I)
-        if (Next[I] < Next[Best])
-          Best = I;
-      uint64_t Cycle = Earliest > Next[Best] ? Earliest : Next[Best];
-      Next[Best] = Cycle + 1;
-      return Cycle;
-    }
-
-  private:
-    std::vector<uint64_t> Next;
-  };
-
   void emitFixed(Structure S) {
     if (Sink)
       Sink->access(S);

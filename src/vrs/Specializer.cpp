@@ -74,8 +74,11 @@ VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
                                 const VrsOptions &Opts) {
   VrsReport Report;
 
-  // ---- Step 0: block counts from a plain training run.
-  ProgramProfile BlockProf = collectProfile(P, TrainOptions, {});
+  // ---- Step 0: block counts from a plain training run. P is not
+  // mutated until step 3b, so this decode also serves the step-2 value
+  // profiling run.
+  DecodedProgram TrainDecode(P);
+  ProgramProfile BlockProf = collectProfile(TrainDecode, TrainOptions, {});
 
   // ---- Step 1 (§3.3): prefilter candidates with the minimal-cost
   // assumption, using ranges/useful widths of the current program.
@@ -110,7 +113,7 @@ VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
 
   // ---- Step 2 (§3.3): value-profile the candidates on the train input.
   ProgramProfile ValueProf =
-      collectProfile(P, TrainOptions, ProfilePoints, Opts.TableCfg);
+      collectProfile(TrainDecode, TrainOptions, ProfilePoints, Opts.TableCfg);
 
   // ---- Step 3a (§3.4): evaluate profiled ranges; keep net winners.
   std::vector<Candidate> Accepted;

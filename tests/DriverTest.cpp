@@ -83,6 +83,30 @@ TEST(Driver, AggregateIdenticalAcrossJobCounts) {
         << Specs[I].name();
 }
 
+TEST(Driver, SharedDecodeMatchesPerSpecPipeline) {
+  // The default job shares one Workload + DecodedProgram per (workload,
+  // scale) across the sweep; runSpecPipeline rebuilds and re-decodes per
+  // spec. Cell outputs and the aggregate report must not notice.
+  std::vector<ExperimentSpec> Specs = smallRealSweep();
+  SweepOptions Shared;
+  Shared.Jobs = 4;
+  SweepOptions PerSpec;
+  PerSpec.Jobs = 4;
+  PerSpec.Job = runSpecPipeline;
+  SweepResult A = runSweep(Specs, Shared);
+  SweepResult B = runSweep(Specs, PerSpec);
+  ASSERT_TRUE(A.AllOk) << A.FirstError;
+  ASSERT_TRUE(B.AllOk) << B.FirstError;
+  EXPECT_EQ(aggregateReport(A), aggregateReport(B));
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    EXPECT_EQ(A.Outcomes[I].Result.Output, B.Outcomes[I].Result.Output)
+        << Specs[I].name();
+    EXPECT_EQ(A.Outcomes[I].Result.RefStats.DynInsts,
+              B.Outcomes[I].Result.RefStats.DynInsts)
+        << Specs[I].name();
+  }
+}
+
 TEST(Driver, ShardsCoverEveryJobExactlyOnce) {
   for (unsigned Jobs : {1u, 3u, 8u}) {
     const size_t N = 13; // deliberately not a multiple of any job count

@@ -1,6 +1,7 @@
 //===- tests/SimTest.cpp - functional simulator tests ------------------------==//
 
 #include "program/Builder.h"
+#include "sim/ExecEngine.h"
 #include "sim/Interpreter.h"
 #include "support/Rng.h"
 
@@ -398,12 +399,13 @@ TEST(Interpreter, TraceStreamIsCompleteAndOrdered) {
   }();
   std::vector<uint64_t> Pcs;
   std::vector<int64_t> Results;
-  RunOptions O;
-  O.Trace = [&](const DynInst &D) {
+  FnTraceSink Sink([&](const DynInst &D) {
     Pcs.push_back(D.Pc);
     if (D.WroteDest)
       Results.push_back(D.Result);
-  };
+  });
+  RunOptions O;
+  O.Sink = &Sink;
   RunResult R = runProgram(P, O);
   EXPECT_EQ(R.Stats.DynInsts, Pcs.size());
   for (size_t I = 1; I < Pcs.size(); ++I)
@@ -501,3 +503,222 @@ INSTANTIATE_TEST_SUITE_P(AllWidths, StoreLoadSweepTest,
                            return std::string(
                                1, widthSuffix(static_cast<Width>(I.param)));
                          });
+
+// --- Trace batching: the batched sink must observe exactly the stream a
+// per-instruction callback sees, delivered in full batches plus one
+// partial final batch.
+
+namespace {
+
+/// Records raw batches as delivered.
+struct BatchRecorder final : TraceSink {
+  std::vector<DynInst> Seq;
+  std::vector<size_t> BatchSizes;
+  void onBatch(const DynInst *Batch, size_t N) override {
+    BatchSizes.push_back(N);
+    Seq.insert(Seq.end(), Batch, Batch + N);
+  }
+};
+
+void expectSameDynInst(const DynInst &A, const DynInst &B, size_t At) {
+  EXPECT_EQ(A.I, B.I) << "record " << At;
+  EXPECT_EQ(A.Func, B.Func) << "record " << At;
+  EXPECT_EQ(A.Block, B.Block) << "record " << At;
+  EXPECT_EQ(A.Index, B.Index) << "record " << At;
+  EXPECT_EQ(A.Pc, B.Pc) << "record " << At;
+  EXPECT_EQ(A.NextPc, B.NextPc) << "record " << At;
+  EXPECT_EQ(A.SeqPc, B.SeqPc) << "record " << At;
+  ASSERT_EQ(A.NumSrcs, B.NumSrcs) << "record " << At;
+  for (unsigned S = 0; S < A.NumSrcs; ++S)
+    EXPECT_EQ(A.SrcVals[S], B.SrcVals[S]) << "record " << At;
+  EXPECT_EQ(A.WroteDest, B.WroteDest) << "record " << At;
+  EXPECT_EQ(A.Result, B.Result) << "record " << At;
+  EXPECT_EQ(A.IsMem, B.IsMem) << "record " << At;
+  EXPECT_EQ(A.MemAddr, B.MemAddr) << "record " << At;
+  EXPECT_EQ(A.IsBranch, B.IsBranch) << "record " << At;
+  EXPECT_EQ(A.Taken, B.Taken) << "record " << At;
+}
+
+void expectSameStats(const ExecStats &A, const ExecStats &B) {
+  EXPECT_EQ(A.DynInsts, B.DynInsts);
+  for (unsigned C = 0; C < 18; ++C)
+    for (unsigned W = 0; W < 4; ++W)
+      EXPECT_EQ(A.ClassWidth[C][W], B.ClassWidth[C][W]) << C << "/" << W;
+  for (unsigned I = 0; I < 9; ++I)
+    EXPECT_EQ(A.ValueSizeBytes[I], B.ValueSizeBytes[I]) << "bytes " << I;
+  EXPECT_EQ(A.BlockCounts, B.BlockCounts);
+}
+
+/// Branchy loop: ~5 instructions per iteration with a taken/not-taken
+/// conditional each time; > TraceBatchCapacity dynamic instructions.
+Program branchyProgram() {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 0);
+  F.ldi(RegS0, 0);
+  F.block("loop");
+  F.addi(RegT0, RegT0, 1);
+  F.andi(RegT1, RegT0, 1);
+  F.beq(RegT1, "even", "odd");
+  F.block("odd");
+  F.addi(RegS0, RegS0, 3);
+  F.br("next");
+  F.block("even");
+  F.addi(RegS0, RegS0, -1);
+  F.block("next");
+  F.cmpltImm(RegT1, RegT0, 1500);
+  F.bne(RegT1, "loop", "done");
+  F.block("done");
+  F.out(RegS0);
+  F.halt();
+  return PB.finish();
+}
+
+/// Recursion through calls and returns.
+Program recursiveProgram() {
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.ldi(RegA0, 60);
+  Main.jsr("rec");
+  Main.out(RegV0);
+  Main.halt();
+  FunctionBuilder &Rec = PB.beginFunction("rec");
+  Rec.block("entry");
+  Rec.ble(RegA0, "base", "go");
+  Rec.block("go");
+  Rec.addi(RegA0, RegA0, -1);
+  Rec.jsr("rec");
+  Rec.addi(RegV0, RegV0, 1);
+  Rec.ret();
+  Rec.block("base");
+  Rec.ldi(RegV0, 0);
+  Rec.ret();
+  return PB.finish();
+}
+
+/// Walks loads downward until the address leaves memory: the run faults
+/// mid-loop, and the faulting load must still appear in the trace.
+Program faultingProgram() {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 40);
+  F.block("loop");
+  F.ld(Width::Q, RegT1, RegT0, 0);
+  F.addi(RegT0, RegT0, -8);
+  F.br("loop");
+  return PB.finish();
+}
+
+} // namespace
+
+class TraceBatchingTest : public ::testing::TestWithParam<int> {
+protected:
+  Program makeProgram() const {
+    switch (GetParam()) {
+    case 0:
+      return branchyProgram();
+    case 1:
+      return recursiveProgram();
+    default:
+      return faultingProgram();
+    }
+  }
+};
+
+TEST_P(TraceBatchingTest, BatchedSinkSeesPerInstructionStream) {
+  Program P = makeProgram();
+  DecodedProgram Decoded(P);
+
+  // Reference stream through the per-instruction adapter.
+  std::vector<DynInst> PerInst;
+  FnTraceSink Fn([&](const DynInst &D) { PerInst.push_back(D); });
+  RunOptions FnOpts;
+  FnOpts.Sink = &Fn;
+  RunResult FnRun = runProgram(P, FnOpts);
+
+  // Raw batches from the decoded-program run.
+  BatchRecorder Rec;
+  RunOptions RecOpts;
+  RecOpts.Sink = &Rec;
+  RunResult RecRun = runProgram(Decoded, RecOpts);
+
+  // Same terminal state and same stream, record by record.
+  EXPECT_EQ(FnRun.Status, RecRun.Status);
+  EXPECT_EQ(FnRun.Message, RecRun.Message);
+  EXPECT_EQ(FnRun.Output, RecRun.Output);
+  expectSameStats(FnRun.Stats, RecRun.Stats);
+  ASSERT_EQ(PerInst.size(), Rec.Seq.size());
+  EXPECT_EQ(Rec.Seq.size(), RecRun.Stats.DynInsts);
+  for (size_t I = 0; I < PerInst.size(); ++I)
+    expectSameDynInst(PerInst[I], Rec.Seq[I], I);
+
+  // Batch shape: every delivery full except a final partial remainder.
+  ASSERT_FALSE(Rec.BatchSizes.empty());
+  for (size_t I = 0; I + 1 < Rec.BatchSizes.size(); ++I)
+    EXPECT_EQ(Rec.BatchSizes[I], TraceBatchCapacity) << "batch " << I;
+  size_t Tail = RecRun.Stats.DynInsts % TraceBatchCapacity;
+  EXPECT_EQ(Rec.BatchSizes.back(), Tail == 0 ? TraceBatchCapacity : Tail);
+
+  // A sink-free run reports identical results (tracing is observation).
+  RunResult Plain = runProgram(Decoded, RunOptions());
+  EXPECT_EQ(Plain.Status, RecRun.Status);
+  EXPECT_EQ(Plain.Output, RecRun.Output);
+  expectSameStats(Plain.Stats, RecRun.Stats);
+}
+
+static std::string traceBatchingCaseName(
+    const ::testing::TestParamInfo<int> &I) {
+  switch (I.param) {
+  case 0:
+    return "branchy";
+  case 1:
+    return "recursive";
+  default:
+    return "faulting";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Programs, TraceBatchingTest,
+                         ::testing::Values(0, 1, 2), traceBatchingCaseName);
+
+TEST(TraceBatching, PartialFinalBatchOnly) {
+  // A short straight-line program: one delivery, well under capacity.
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 1);
+  F.addi(RegT0, RegT0, 2);
+  F.out(RegT0);
+  F.halt();
+  Program P = PB.finish();
+  BatchRecorder Rec;
+  RunOptions O;
+  O.Sink = &Rec;
+  RunResult R = runProgram(P, O);
+  EXPECT_EQ(R.Status, RunStatus::Halted);
+  ASSERT_EQ(Rec.BatchSizes.size(), 1u);
+  EXPECT_EQ(Rec.BatchSizes[0], 4u);
+  EXPECT_EQ(Rec.Seq.size(), R.Stats.DynInsts);
+}
+
+TEST(TraceBatching, BranchyStreamExceedsOneBatch) {
+  // Guard against the fixture silently shrinking below batch capacity.
+  RunResult R = runProgram(branchyProgram(), RunOptions());
+  EXPECT_GT(R.Stats.DynInsts, TraceBatchCapacity);
+}
+
+TEST(DecodedProgramTest, ReusableAcrossRuns) {
+  Program P = branchyProgram();
+  DecodedProgram Decoded(P);
+  RunResult A = runProgram(Decoded, RunOptions());
+  RunResult B = runProgram(Decoded, RunOptions());
+  RunResult C = runProgram(P, RunOptions()); // convenience decode-and-run
+  EXPECT_EQ(A.Output, B.Output);
+  EXPECT_EQ(A.Output, C.Output);
+  expectSameStats(A.Stats, B.Stats);
+  expectSameStats(A.Stats, C.Stats);
+  EXPECT_EQ(Decoded.numInsts(), P.numInstructions());
+}

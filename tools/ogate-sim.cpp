@@ -11,6 +11,9 @@
 //     --scheme=NAME     power accounting: none|sw|hwsig|hwsize|combined
 //     --stats           print the dynamic width/class histograms
 //     --fuel=N          dynamic instruction budget
+//     --timing-line     print "sim-speed: <N> MIPS, <M> dyn insts"
+//                       (wall-clock dependent; never part of sweep
+//                       reports, so determinism checks stay byte-exact)
 //
 //   ogate-sim --sweep[=standard|matrix]   sweep mode (no input file)
 //     --jobs=N          worker threads (default 1; serial and parallel
@@ -104,7 +107,7 @@ int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
 int main(int argc, char **argv) {
   std::string InputPath;
   std::vector<int64_t> Args;
-  bool Uarch = false, Stats = false;
+  bool Uarch = false, Stats = false, TimingLine = false;
   GatingScheme Scheme = GatingScheme::None;
   uint64_t Fuel = 200'000'000;
   bool Sweep = false, KeepGoing = false;
@@ -137,6 +140,8 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--stats") {
       Stats = true;
+    } else if (Arg == "--timing-line") {
+      TimingLine = true;
     } else if (Arg.rfind("--fuel=", 0) == 0) {
       Fuel = std::strtoull(Arg.c_str() + 7, nullptr, 10);
     } else if (Arg == "--sweep") {
@@ -161,7 +166,7 @@ int main(int argc, char **argv) {
     } else if (Arg == "--help" || Arg == "-h") {
       std::cerr << "usage: ogate-sim [--arg=N]... [--uarch] "
                    "[--scheme=none|sw|hwsig|hwsize|combined] [--stats] "
-                   "[--fuel=N] input.s\n"
+                   "[--fuel=N] [--timing-line] input.s\n"
                    "       ogate-sim --sweep[=standard|matrix] [--jobs N] "
                    "[--scale=S] [--workloads=a,b] [--keep-going]\n";
       return 0;
@@ -209,9 +214,14 @@ int main(int argc, char **argv) {
   EnergyModel EM(Scheme);
   OooCore Core(UarchConfig(), &EM);
   if (Uarch)
-    Opts.Trace = [&](const DynInst &D) { Core.onInst(D); };
+    Opts.Sink = &Core; // the core consumes the trace in batches
 
-  RunResult R = runProgram(*Parsed, Opts);
+  DecodedProgram Decoded(*Parsed);
+  auto RunStart = std::chrono::steady_clock::now();
+  RunResult R = runProgram(Decoded, Opts);
+  double RunSeconds = std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - RunStart)
+                          .count();
 
   std::cout << "status: "
             << (R.Status == RunStatus::Halted ? "halted" : R.Message.c_str())
@@ -221,6 +231,14 @@ int main(int argc, char **argv) {
   for (int64_t V : R.Output)
     std::cout << " " << V;
   std::cout << "\n";
+
+  if (TimingLine) {
+    double Mips = RunSeconds > 0.0
+                      ? static_cast<double>(R.Stats.DynInsts) / RunSeconds / 1e6
+                      : 0.0;
+    std::cout << "sim-speed: " << TextTable::num(Mips, 1) << " MIPS, "
+              << R.Stats.DynInsts << " dyn insts\n";
+  }
 
   if (Stats) {
     TextTable T({"class", "8b", "16b", "32b", "64b"});
