@@ -15,6 +15,10 @@
 /// Environment: OG_BENCH_SCALE scales the workload ref inputs
 /// (default 0.25; the paper-sized runs use 1.0). OG_BENCH_JOBS sets the
 /// driver worker count for cache fills (default: all hardware threads).
+/// OG_BENCH_JSON=<dir> additionally writes every experiment cell the
+/// bench computed (plus any explicitly recorded wall-clock metrics) as a
+/// schema-versioned `BENCH_<id>.json` report into that directory, in the
+/// src/report/ format `ogate-report diff` consumes.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -24,12 +28,14 @@
 #include "driver/Driver.h"
 #include "driver/ThreadPool.h"
 #include "pipeline/Pipeline.h"
+#include "report/ReportSchema.h"
 #include "support/Table.h"
 
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <iostream>
 #include <map>
 #include <string>
@@ -53,6 +59,61 @@ inline unsigned benchJobs() {
     // silently degrading to serial.
   }
   return ThreadPool::defaultJobs();
+}
+
+/// Structured-output state of the running bench binary: the report id
+/// (set by banner()), every experiment cell the Harness computed, and
+/// any wall-clock metrics recorded with jsonMetric(). Written out once
+/// by writeBenchJson() when OG_BENCH_JSON names a directory.
+struct BenchJsonState {
+  std::string Id;
+  JsonValue Cells = JsonValue::array();
+  JsonValue Metrics = JsonValue::object();
+  bool Written = false;
+};
+
+inline BenchJsonState &benchJsonState() {
+  static BenchJsonState S;
+  return S;
+}
+
+inline bool benchJsonEnabled() {
+  const char *Dir = std::getenv("OG_BENCH_JSON");
+  return Dir && *Dir;
+}
+
+/// Records a named wall-clock measurement (MIPS, seconds). Lands under
+/// the document's "metrics" object, which `ogate-report diff` compares
+/// with a relative tolerance rather than exactly.
+inline void jsonMetric(const std::string &Name, double Value) {
+  benchJsonState().Metrics.set(Name, JsonValue::number(Value));
+}
+
+/// Writes $OG_BENCH_JSON/BENCH_<id>.json (no-op without the env var;
+/// exits non-zero if the write fails, so CI cannot upload a truncated
+/// artifact). Cells appear in cache-fill order, which is deterministic
+/// for a fixed bench binary.
+inline void writeBenchJson() {
+  BenchJsonState &S = benchJsonState();
+  if (!benchJsonEnabled() || S.Written || S.Id.empty())
+    return;
+  S.Written = true;
+  JsonValue Doc = makeReportRoot("bench");
+  Doc.set("bench", JsonValue::str(S.Id));
+  Doc.set("scale", JsonValue::number(benchScale()));
+  Doc.set("cells", S.Cells);
+  if (S.Metrics.size())
+    Doc.set("metrics", S.Metrics);
+  const std::string Dir = std::getenv("OG_BENCH_JSON");
+  std::error_code Ec;
+  std::filesystem::create_directories(Dir, Ec); // write below reports failure
+  std::string Path = Dir + "/BENCH_" + S.Id + ".json";
+  std::string Err;
+  if (!writeJsonFile(Path, Doc, &Err)) {
+    std::cerr << "bench: " << Err << "\n";
+    std::exit(1);
+  }
+  std::cerr << "bench: wrote " << Path << "\n";
 }
 
 /// Cached pipeline cells keyed by (workload, config label).
@@ -81,9 +142,11 @@ public:
       std::cerr << "bench: sweep failed: " << R.FirstError << "\n";
       std::exit(1);
     }
-    for (size_t I = 0; I < Todo.size(); ++I)
+    for (size_t I = 0; I < Todo.size(); ++I) {
+      recordCell(Todo[I].Workload, Todo[I].ConfigLabel, R.Outcomes[I].Result);
       Cache.emplace(std::make_pair(Todo[I].Workload, Todo[I].ConfigLabel),
                     std::move(R.Outcomes[I].Result));
+    }
   }
 
   /// Warms the full workload x standard-configuration matrix in parallel.
@@ -98,8 +161,10 @@ public:
                             const PipelineConfig &Config) {
     auto Key = std::make_pair(W.Name, Label);
     auto It = Cache.find(Key);
-    if (It == Cache.end())
+    if (It == Cache.end()) {
       It = Cache.emplace(Key, runPipeline(W, Config)).first;
+      recordCell(W.Name, Label, It->second);
+    }
     return It->second;
   }
 
@@ -154,6 +219,14 @@ public:
   }
 
 private:
+  /// Every first computation of a cell lands in the bench JSON report
+  /// (when enabled); repeat run() hits are cache reads, not new results.
+  static void recordCell(const std::string &Workload, const std::string &Label,
+                         const PipelineResult &R) {
+    if (benchJsonEnabled())
+      benchJsonState().Cells.push(cellToJson(Workload, Label, R));
+  }
+
   std::vector<Workload> Workloads;
   std::map<std::pair<std::string, std::string>, PipelineResult> Cache;
 };
@@ -161,8 +234,11 @@ private:
 /// The VRS test-cost sweep of Figure 8.
 inline const double VrsCostSweep[] = {110, 90, 70, 50, 30};
 
-/// Prints the standard bench banner.
-inline void banner(const char *Exp, const char *What) {
+/// Prints the standard bench banner and names the structured report:
+/// \p Id is the file-safe report id ("fig10", "table1"; the JSON lands
+/// in $OG_BENCH_JSON/BENCH_<Id>.json), \p Exp the display title.
+inline void banner(const char *Id, const char *Exp, const char *What) {
+  benchJsonState().Id = Id;
   std::cout << "\n=== " << Exp << ": " << What << " ===\n"
             << "(workload scale " << benchScale()
             << "; shapes, not absolute values, are the reproduction "
@@ -184,6 +260,10 @@ inline void widthShares(const ExecStats &S, double Out[4]) {
 /// google-benchmark micro-benchmarks of the machinery behind the figures;
 /// each binary registers the ones it exercises, then calls runMicro().
 inline void runMicro(int argc, char **argv) {
+  // The structured report is complete once the figure's tables printed;
+  // write it before the micro timings so a micro-benchmark failure can
+  // not cost CI the artifact.
+  writeBenchJson();
   benchmark::Initialize(&argc, argv);
   std::cout << "\n--- google-benchmark timings of the underlying machinery "
                "---\n";

@@ -28,7 +28,7 @@ PipelineConfig configFor(IsaPolicy Policy, bool Useful, bool ThroughArith) {
 } // namespace
 
 int main(int argc, char **argv) {
-  banner("Ablation", "ISA policy (Section 4.3) and useful-range variants");
+  banner("ablation", "Ablation", "ISA policy (Section 4.3) and useful-range variants");
 
   Harness H;
   struct Cell {

@@ -11,7 +11,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 10", "execution time savings under VRS");
+  banner("fig10", "Figure 10", "execution time savings under VRS");
 
   Harness H;
   TextTable T({"benchmark", "VRS 110nJ", "VRS 70nJ", "VRS 30nJ",

@@ -10,7 +10,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 11", "energy-delay^2 savings: VRP and VRS");
+  banner("fig11", "Figure 11", "energy-delay^2 savings: VRP and VRS");
 
   Harness H;
   TextTable T({"benchmark", "VRP", "VRS 110nJ", "VRS 70nJ", "VRS 50nJ",

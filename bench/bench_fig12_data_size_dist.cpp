@@ -12,7 +12,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 12", "dynamic data size distribution (significant bytes)");
+  banner("fig12", "Figure 12", "dynamic data size distribution (significant bytes)");
 
   Harness H;
   uint64_t Hist[9] = {};

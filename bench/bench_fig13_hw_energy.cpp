@@ -11,7 +11,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 13", "energy savings of the hardware schemes");
+  banner("fig13", "Figure 13", "energy savings of the hardware schemes");
 
   Harness H;
   TextTable T({"benchmark", "size compression", "significance compression"});

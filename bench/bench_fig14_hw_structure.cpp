@@ -10,7 +10,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 14", "per-structure savings of the hardware schemes");
+  banner("fig14", "Figure 14", "per-structure savings of the hardware schemes");
 
   Harness H;
   TextTable T({"processor part", "size compression",

@@ -11,7 +11,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 15", "ED^2 savings of software, hardware and combined "
+  banner("fig15", "Figure 15", "ED^2 savings of software, hardware and combined "
                       "schemes");
 
   Harness H;

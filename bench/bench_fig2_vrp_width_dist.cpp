@@ -11,7 +11,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 2", "dynamic width distribution: conventional vs proposed "
+  banner("fig2", "Figure 2", "dynamic width distribution: conventional vs proposed "
                      "VRP");
 
   Harness H;

@@ -12,7 +12,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 3", "energy savings with VRP per processor structure");
+  banner("fig3", "Figure 3", "energy savings with VRP per processor structure");
 
   Harness H;
   const Structure Rows[] = {Structure::IQueue, Structure::RenameBufs,

@@ -11,7 +11,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 4", "distribution of profiled points after specialization");
+  banner("fig4", "Figure 4", "distribution of profiled points after specialization");
 
   Harness H;
   TextTable T({"benchmark", "points", "specialized", "dependent",

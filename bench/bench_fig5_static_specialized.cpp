@@ -11,7 +11,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 5", "static instructions specialized at compile time");
+  banner("fig5", "Figure 5", "static instructions specialized at compile time");
 
   Harness H;
   TextTable T({"benchmark", "static in regions", "kept specialized",

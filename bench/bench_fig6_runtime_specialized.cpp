@@ -11,7 +11,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 6", "run-time specialized instructions and guard overhead");
+  banner("fig6", "Figure 6", "run-time specialized instructions and guard overhead");
 
   Harness H;
   TextTable T({"benchmark", "specialized insts", "guard comparisons"});

@@ -10,7 +10,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 7", "run-time instruction widths: none / VRP / VRS-50");
+  banner("fig7", "Figure 7", "run-time instruction widths: none / VRP / VRS-50");
 
   Harness H;
   double None[4] = {}, Vrp[4] = {}, Vrs[4] = {};

@@ -10,7 +10,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 8", "energy savings per benchmark: VRP and the VRS sweep");
+  banner("fig8", "Figure 8", "energy savings per benchmark: VRP and the VRS sweep");
 
   Harness H;
   TextTable T({"benchmark", "VRP", "VRS 110nJ", "VRS 90nJ", "VRS 70nJ",

@@ -10,7 +10,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Figure 9", "per-structure energy savings: VRP and VRS configs");
+  banner("fig9", "Figure 9", "per-structure energy savings: VRP and VRS configs");
 
   Harness H;
   const double Costs[] = {110, 50};

@@ -86,7 +86,7 @@ void microDecode(benchmark::State &State) {
 } // namespace
 
 int main(int argc, char **argv) {
-  banner("sim-throughput",
+  banner("sim-throughput", "sim-throughput",
          "interpreter MIPS by sink stack (pre-decoded engine)");
 
   const unsigned Reps = 3;
@@ -125,6 +125,9 @@ int main(int argc, char **argv) {
 
     T.addRow({W.Name, std::to_string(Dyn), TextTable::num(NoSink, 1),
               TextTable::num(Counting, 1), TextTable::num(Full, 1)});
+    jsonMetric(W.Name + ".no-sink-mips", NoSink);
+    jsonMetric(W.Name + ".counting-sink-mips", Counting);
+    jsonMetric(W.Name + ".ooo-power-sink-mips", Full);
   }
   T.print(std::cout);
   std::cout << "\nMIPS = dynamic instructions / wall-clock seconds over "

@@ -14,7 +14,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Table 1", "energy savings for ALU operations (nJ)");
+  banner("table1", "Table 1", "energy savings for ALU operations (nJ)");
 
   EnergyParams E;
   const Width Order[] = {Width::Q, Width::W, Width::H, Width::B};

@@ -13,7 +13,7 @@
 using namespace ogbench;
 
 int main(int argc, char **argv) {
-  banner("Table 3", "distribution of operation types under VRP (dynamic)");
+  banner("table3", "Table 3", "distribution of operation types under VRP (dynamic)");
 
   Harness H;
   uint64_t ClassWidth[18][4] = {};

@@ -1,0 +1,62 @@
+# The sweep regression gate, run in CMake script mode:
+#
+#   cmake -DSIM=<ogate-sim> -DREPORT=<ogate-report> -DBASELINE=<json>
+#         -DOUT_DIR=<dir> [-DSCALE=0.05] [-DJOBS=8] [-DTOLERANCE=2]
+#         -P SweepGate.cmake
+#
+# Steps (any failure is FATAL_ERROR, so the CTest wrapper fails):
+#   1. run the sweep serially and in parallel, each with --json;
+#   2. require the two JSON documents to be byte-identical (the
+#      determinism contract of the experiment driver);
+#   3. `ogate-report diff` the parallel document against the checked-in
+#      baseline under the metrics tolerance.
+
+if(NOT DEFINED SCALE)
+  set(SCALE 0.05)
+endif()
+if(NOT DEFINED JOBS)
+  set(JOBS 8)
+endif()
+if(NOT DEFINED TOLERANCE)
+  set(TOLERANCE 2)
+endif()
+
+set(SERIAL_JSON ${OUT_DIR}/sweep-serial.json)
+set(PARALLEL_JSON ${OUT_DIR}/sweep-parallel.json)
+
+foreach(CONF "1;${SERIAL_JSON}" "${JOBS};${PARALLEL_JSON}")
+  list(GET CONF 0 NJOBS)
+  list(GET CONF 1 JSON)
+  execute_process(
+    COMMAND ${SIM} --sweep --scale=${SCALE} --jobs=${NJOBS} --json=${JSON}
+    RESULT_VARIABLE RC
+    OUTPUT_QUIET
+    ERROR_VARIABLE ERR
+  )
+  if(NOT RC EQUAL 0)
+    message(FATAL_ERROR "${SIM} --jobs=${NJOBS} failed (${RC}):\n${ERR}")
+  endif()
+endforeach()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${SERIAL_JSON} ${PARALLEL_JSON}
+  RESULT_VARIABLE RC
+)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR
+    "sweep JSON is not byte-identical between --jobs=1 and --jobs=${JOBS} "
+    "(${SERIAL_JSON} vs ${PARALLEL_JSON}); the aggregate report must not "
+    "depend on worker count")
+endif()
+
+execute_process(
+  COMMAND ${REPORT} diff --tolerance=${TOLERANCE} ${BASELINE} ${PARALLEL_JSON}
+  RESULT_VARIABLE RC
+  OUTPUT_VARIABLE MSG
+  ERROR_VARIABLE MSG
+)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR
+    "sweep regressed against ${BASELINE}:\n${MSG}")
+endif()
+message(STATUS "${MSG}")

@@ -44,7 +44,7 @@ StatisticSet ResultAggregator::stats() const {
   return S;
 }
 
-void ResultAggregator::print(std::ostream &OS) const {
+std::vector<ResultAggregator::Cell> ResultAggregator::sortedCells() const {
   std::vector<Cell> Sorted = Cells;
   std::stable_sort(Sorted.begin(), Sorted.end(),
                    [](const Cell &A, const Cell &B) {
@@ -52,6 +52,11 @@ void ResultAggregator::print(std::ostream &OS) const {
                        return A.Workload < B.Workload;
                      return A.Label < B.Label;
                    });
+  return Sorted;
+}
+
+void ResultAggregator::print(std::ostream &OS) const {
+  std::vector<Cell> Sorted = sortedCells();
 
   // Savings are computed against each workload's baseline cell.
   std::map<std::string, const Cell *> Baselines;

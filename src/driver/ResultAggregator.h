@@ -30,22 +30,9 @@ namespace og {
 /// Order-independent accumulator of sweep cells.
 class ResultAggregator {
 public:
-  /// Records one finished cell. Thread-compatible, not thread-safe: the
-  /// driver adds results serially in spec order after the parallel phase.
-  void add(const ExperimentSpec &Spec, const PipelineResult &Result);
-
-  /// Number of recorded cells.
-  size_t size() const { return Cells.size(); }
-
-  /// Sweep-wide counters (cells, dynamic instructions, cycles, narrowed
-  /// opcodes) in a deterministic registration order.
-  StatisticSet stats() const;
-
-  /// Prints the per-cell table plus the counter summary. Deterministic:
-  /// same cells (in any insertion order) => same bytes.
-  void print(std::ostream &OS) const;
-
-private:
+  /// The reduced per-cell record kept for reporting; exposed so the
+  /// JSON serializer (report/ReportSchema.h) renders the same cells the
+  /// printed table shows.
   struct Cell {
     std::string Workload;
     std::string Label;
@@ -58,6 +45,27 @@ private:
     uint64_t WidthBearing = 0;
   };
 
+  /// Records one finished cell. Thread-compatible, not thread-safe: the
+  /// driver adds results serially in spec order after the parallel phase.
+  void add(const ExperimentSpec &Spec, const PipelineResult &Result);
+
+  /// Number of recorded cells.
+  size_t size() const { return Cells.size(); }
+
+  /// Cells sorted by (workload, config label) — the row order of both
+  /// the printed table and the JSON document, independent of insertion
+  /// order.
+  std::vector<Cell> sortedCells() const;
+
+  /// Sweep-wide counters (cells, dynamic instructions, cycles, narrowed
+  /// opcodes) in a deterministic registration order.
+  StatisticSet stats() const;
+
+  /// Prints the per-cell table plus the counter summary. Deterministic:
+  /// same cells (in any insertion order) => same bytes.
+  void print(std::ostream &OS) const;
+
+private:
   std::vector<Cell> Cells;
 };
 

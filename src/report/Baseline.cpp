@@ -1,0 +1,194 @@
+//===- report/Baseline.cpp -------------------------------------------------==//
+
+#include "report/Baseline.h"
+
+#include <cmath>
+#include <cstdlib>
+
+using namespace og;
+
+namespace {
+
+/// Stateful walker so the options and findings don't thread through every
+/// signature.
+class Differ {
+public:
+  Differ(const DiffOptions &Opts, DiffResult &Out) : Opts(Opts), Out(Out) {}
+
+  void walk(const std::string &Path, const JsonValue &Base,
+            const JsonValue &Cur, bool InMetrics) {
+    if (Base.kind() != Cur.kind() &&
+        !(Base.isNumber() && Cur.isNumber())) {
+      report(Path, "kind changed: baseline " + kindName(Base) + ", current " +
+                       kindName(Cur));
+      return;
+    }
+    switch (Base.kind()) {
+    case JsonValue::Kind::Null:
+      ++Out.LeavesCompared;
+      return;
+    case JsonValue::Kind::Bool:
+      ++Out.LeavesCompared;
+      if (Base.asBool() != Cur.asBool())
+        report(Path, std::string("baseline ") +
+                         (Base.asBool() ? "true" : "false") + ", current " +
+                         (Cur.asBool() ? "true" : "false"));
+      return;
+    case JsonValue::Kind::Number:
+      compareNumbers(Path, Base, Cur, InMetrics);
+      return;
+    case JsonValue::Kind::String:
+      ++Out.LeavesCompared;
+      if (Base.asString() != Cur.asString())
+        report(Path, "baseline \"" + Base.asString() + "\", current \"" +
+                         Cur.asString() + "\"");
+      return;
+    case JsonValue::Kind::Array:
+      compareArrays(Path, Base, Cur, InMetrics);
+      return;
+    case JsonValue::Kind::Object:
+      compareObjects(Path, Base, Cur, InMetrics);
+      return;
+    }
+  }
+
+private:
+  static std::string kindName(const JsonValue &V) {
+    switch (V.kind()) {
+    case JsonValue::Kind::Null:
+      return "null";
+    case JsonValue::Kind::Bool:
+      return "bool";
+    case JsonValue::Kind::Number:
+      return "number";
+    case JsonValue::Kind::String:
+      return "string";
+    case JsonValue::Kind::Array:
+      return "array";
+    case JsonValue::Kind::Object:
+      return "object";
+    }
+    return "?";
+  }
+
+  void report(const std::string &Path, const std::string &What) {
+    Out.Findings.push_back({Path, What});
+  }
+
+  void compareNumbers(const std::string &Path, const JsonValue &Base,
+                      const JsonValue &Cur, bool InMetrics) {
+    ++Out.LeavesCompared;
+    if (!InMetrics) {
+      // Counter discipline: integerness and value must both hold.
+      if (Base.isInteger() != Cur.isInteger() ||
+          (Base.isInteger() ? Base.asInt() != Cur.asInt()
+                            : JsonValue::formatDouble(Base.asNumber()) !=
+                                  JsonValue::formatDouble(Cur.asNumber())))
+        report(Path, "exact mismatch: baseline " + numStr(Base) +
+                         ", current " + numStr(Cur));
+      return;
+    }
+    double A = Base.asNumber(), B = Cur.asNumber();
+    if (A == B)
+      return;
+    double Mag = std::max(std::fabs(A), std::fabs(B));
+    double Rel = Mag > 0 ? std::fabs(A - B) / Mag : 0.0;
+    if (Rel > Opts.TolerancePct / 100.0)
+      report(Path, "beyond " + JsonValue::formatDouble(Opts.TolerancePct) +
+                       "% tolerance: baseline " + numStr(Base) + ", current " +
+                       numStr(Cur) + " (" +
+                       JsonValue::formatDouble(100.0 * Rel) + "% off)");
+  }
+
+  static std::string numStr(const JsonValue &V) {
+    return V.isInteger() ? std::to_string(V.asInt())
+                         : JsonValue::formatDouble(V.asNumber());
+  }
+
+  /// "workload/config" when \p V is a cell-shaped object, else "".
+  static std::string cellKey(const JsonValue &V) {
+    const JsonValue *W = V.get("workload");
+    const JsonValue *C = V.get("config");
+    if (W && C && W->isString() && C->isString())
+      return W->asString() + "/" + C->asString();
+    return std::string();
+  }
+
+  static bool isCellArray(const JsonValue &V) {
+    if (!V.isArray() || V.size() == 0)
+      return false;
+    for (size_t J = 0; J < V.size(); ++J)
+      if (cellKey(V.at(J)).empty())
+        return false;
+    return true;
+  }
+
+  void compareArrays(const std::string &Path, const JsonValue &Base,
+                     const JsonValue &Cur, bool InMetrics) {
+    if (isCellArray(Base) && isCellArray(Cur)) {
+      // Key cells by workload/config so a dropped or added cell reads as
+      // exactly that, not as every later index mismatching.
+      for (size_t J = 0; J < Base.size(); ++J) {
+        const std::string Key = cellKey(Base.at(J));
+        const JsonValue *Match = nullptr;
+        for (size_t K = 0; K < Cur.size(); ++K)
+          if (cellKey(Cur.at(K)) == Key) {
+            Match = &Cur.at(K);
+            break;
+          }
+        if (!Match) {
+          report(Path + "[" + Key + "]", "cell missing from current report");
+          continue;
+        }
+        walk(Path + "[" + Key + "]", Base.at(J), *Match, InMetrics);
+      }
+      for (size_t K = 0; K < Cur.size(); ++K) {
+        const std::string Key = cellKey(Cur.at(K));
+        bool Known = false;
+        for (size_t J = 0; J < Base.size(); ++J)
+          Known = Known || cellKey(Base.at(J)) == Key;
+        if (!Known)
+          report(Path + "[" + Key + "]", "cell not present in baseline");
+      }
+      return;
+    }
+    if (Base.size() != Cur.size()) {
+      report(Path, "array length changed: baseline " +
+                       std::to_string(Base.size()) + ", current " +
+                       std::to_string(Cur.size()));
+      return;
+    }
+    for (size_t J = 0; J < Base.size(); ++J)
+      walk(Path + "[" + std::to_string(J) + "]", Base.at(J), Cur.at(J),
+           InMetrics);
+  }
+
+  void compareObjects(const std::string &Path, const JsonValue &Base,
+                      const JsonValue &Cur, bool InMetrics) {
+    for (const auto &M : Base.members()) {
+      const std::string Sub = Path.empty() ? M.first : Path + "." + M.first;
+      const JsonValue *Other = Cur.get(M.first);
+      if (!Other) {
+        report(Sub, "key missing from current report");
+        continue;
+      }
+      walk(Sub, M.second, *Other, InMetrics || M.first == "metrics");
+    }
+    for (const auto &M : Cur.members())
+      if (!Base.get(M.first))
+        report(Path.empty() ? M.first : Path + "." + M.first,
+               "key not present in baseline");
+  }
+
+  const DiffOptions &Opts;
+  DiffResult &Out;
+};
+
+} // namespace
+
+DiffResult og::diffReports(const JsonValue &Baseline, const JsonValue &Current,
+                           const DiffOptions &Opts) {
+  DiffResult R;
+  Differ(Opts, R).walk("", Baseline, Current, /*InMetrics=*/false);
+  return R;
+}

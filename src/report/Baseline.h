@@ -1,0 +1,63 @@
+//===- report/Baseline.h - Tolerance-checked report diffing ------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Compares a fresh report document against a checked-in baseline and
+/// classifies every divergence, the engine behind `ogate-report diff`
+/// and the CI perf-smoke gate. The comparison is schema-directed:
+///
+///  - leaves under a "metrics" object compare under a relative tolerance
+///    (|a-b| <= tol% of max(|a|,|b|)) — derived FP values and wall-clock
+///    measurements are allowed to breathe;
+///  - every other leaf (the "counters" sections, labels, structure)
+///    compares exactly — a one-instruction drift in a deterministic
+///    counter is a regression, not noise;
+///  - arrays of {workload, config} cells are matched by that key, not by
+///    position, so a missing or extra cell is reported by name.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_REPORT_BASELINE_H
+#define OG_REPORT_BASELINE_H
+
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace og {
+
+/// Knobs of a baseline comparison.
+struct DiffOptions {
+  /// Relative tolerance, in percent, applied to leaves under "metrics".
+  double TolerancePct = 2.0;
+};
+
+/// One divergence between baseline and current.
+struct DiffFinding {
+  std::string Path; ///< "cells[compress/vrp].counters.cycles"
+  std::string What; ///< human-readable description with both values
+};
+
+/// Outcome of one comparison.
+struct DiffResult {
+  /// All divergences, in document order. Empty <=> match.
+  std::vector<DiffFinding> Findings;
+  /// Leaves compared (so "0 differences" can be told from "compared
+  /// nothing" in CI logs).
+  size_t LeavesCompared = 0;
+
+  bool ok() const { return Findings.empty(); }
+};
+
+/// Compares \p Current against \p Baseline under \p Opts. Both documents
+/// must pass checkReportRoot first; this function only walks values.
+DiffResult diffReports(const JsonValue &Baseline, const JsonValue &Current,
+                       const DiffOptions &Opts = DiffOptions());
+
+} // namespace og
+
+#endif // OG_REPORT_BASELINE_H

@@ -1,0 +1,184 @@
+//===- report/ReportSchema.cpp ---------------------------------------------==//
+
+#include "report/ReportSchema.h"
+
+#include "driver/ResultAggregator.h"
+#include "pipeline/Pipeline.h"
+
+using namespace og;
+
+JsonValue og::makeReportRoot(const std::string &Kind) {
+  JsonValue Root = JsonValue::object();
+  Root.set("schema", JsonValue::str("ogate-report"));
+  Root.set("version", JsonValue::integer(ReportSchemaVersion));
+  Root.set("kind", JsonValue::str(Kind));
+  return Root;
+}
+
+bool og::checkReportRoot(const JsonValue &Root, std::string *Why) {
+  auto Fail = [&](const std::string &Msg) {
+    if (Why)
+      *Why = Msg;
+    return false;
+  };
+  if (!Root.isObject())
+    return Fail("document is not a JSON object");
+  const JsonValue *Schema = Root.get("schema");
+  if (!Schema || !Schema->isString() || Schema->asString() != "ogate-report")
+    return Fail("missing or wrong \"schema\" marker (want \"ogate-report\")");
+  const JsonValue *Version = Root.get("version");
+  if (!Version || !Version->isInteger())
+    return Fail("missing \"version\"");
+  if (Version->asInt() != ReportSchemaVersion)
+    return Fail("schema version " + std::to_string(Version->asInt()) +
+                " does not match this build's version " +
+                std::to_string(ReportSchemaVersion) +
+                " (regenerate with `regen-baselines`)");
+  return true;
+}
+
+JsonValue og::toJson(const ExecStats &S) {
+  JsonValue Counters = JsonValue::object();
+  Counters.set("dyn-insts", JsonValue::integer(S.DynInsts));
+
+  // Only classes that executed, in enum order — stable and compact.
+  JsonValue ClassWidth = JsonValue::object();
+  for (unsigned C = 0; C < 18; ++C) {
+    uint64_t N = 0;
+    for (unsigned W = 0; W < 4; ++W)
+      N += S.ClassWidth[C][W];
+    if (!N)
+      continue;
+    JsonValue Row = JsonValue::array();
+    for (unsigned W = 0; W < 4; ++W)
+      Row.push(JsonValue::integer(S.ClassWidth[C][W]));
+    ClassWidth.set(opClassName(static_cast<OpClass>(C)), std::move(Row));
+  }
+  Counters.set("class-width", std::move(ClassWidth));
+
+  JsonValue Sizes = JsonValue::array();
+  for (unsigned B = 1; B <= 8; ++B)
+    Sizes.push(JsonValue::integer(S.ValueSizeBytes[B]));
+  Counters.set("value-size-bytes", std::move(Sizes));
+
+  JsonValue Out = JsonValue::object();
+  Out.set("counters", std::move(Counters));
+  return Out;
+}
+
+JsonValue og::toJson(const UarchStats &S) {
+  JsonValue Counters = JsonValue::object();
+  Counters.set("insts", JsonValue::integer(S.Insts));
+  Counters.set("cycles", JsonValue::integer(S.Cycles));
+  Counters.set("fetch-groups", JsonValue::integer(S.FetchGroups));
+  Counters.set("icache-misses", JsonValue::integer(S.ICacheMisses));
+  Counters.set("dl1-accesses", JsonValue::integer(S.DL1Accesses));
+  Counters.set("dl1-misses", JsonValue::integer(S.DL1Misses));
+  Counters.set("l2-accesses", JsonValue::integer(S.L2Accesses));
+  Counters.set("l2-misses", JsonValue::integer(S.L2Misses));
+  Counters.set("branches", JsonValue::integer(S.Branches));
+  Counters.set("mispredicts", JsonValue::integer(S.Mispredicts));
+
+  JsonValue Metrics = JsonValue::object();
+  Metrics.set("ipc", JsonValue::number(S.ipc()));
+
+  JsonValue Out = JsonValue::object();
+  Out.set("counters", std::move(Counters));
+  Out.set("metrics", std::move(Metrics));
+  return Out;
+}
+
+JsonValue og::toJson(const EnergyReport &R) {
+  JsonValue Metrics = JsonValue::object();
+  Metrics.set("total-energy", JsonValue::number(R.TotalEnergy));
+  Metrics.set("ed2", JsonValue::number(R.ed2()));
+  JsonValue PerStructure = JsonValue::object();
+  for (unsigned S = 0; S < NumStructures; ++S)
+    PerStructure.set(structureName(static_cast<Structure>(S)),
+                     JsonValue::number(R.PerStructure[S]));
+  Metrics.set("per-structure", std::move(PerStructure));
+
+  JsonValue Out = JsonValue::object();
+  Out.set("scheme", JsonValue::str(gatingSchemeName(R.Scheme)));
+  Out.set("metrics", std::move(Metrics));
+  return Out;
+}
+
+JsonValue og::toJson(const NarrowingReport &R) {
+  JsonValue Counters = JsonValue::object();
+  JsonValue Widths = JsonValue::array();
+  for (unsigned W = 0; W < 4; ++W)
+    Widths.push(JsonValue::integer(R.StaticWidth[W]));
+  Counters.set("static-width", std::move(Widths));
+  Counters.set("width-bearing", JsonValue::integer(R.NumWidthBearing));
+  Counters.set("narrowed", JsonValue::integer(R.NumNarrowed));
+  Counters.set("insts", JsonValue::integer(R.NumInsts));
+
+  JsonValue Out = JsonValue::object();
+  Out.set("counters", std::move(Counters));
+  return Out;
+}
+
+JsonValue og::cellToJson(const std::string &Workload, const std::string &Label,
+                         const PipelineResult &R) {
+  JsonValue Counters = JsonValue::object();
+  Counters.set("dyn-insts", JsonValue::integer(R.RefStats.DynInsts));
+  Counters.set("cycles", JsonValue::integer(R.Report.Uarch.Cycles));
+  Counters.set("narrowed-opcodes", JsonValue::integer(R.Narrowing.NumNarrowed));
+  Counters.set("width-bearing-opcodes",
+               JsonValue::integer(R.Narrowing.NumWidthBearing));
+  Counters.set("branches", JsonValue::integer(R.Report.Uarch.Branches));
+  Counters.set("mispredicts", JsonValue::integer(R.Report.Uarch.Mispredicts));
+  Counters.set("dl1-misses", JsonValue::integer(R.Report.Uarch.DL1Misses));
+  Counters.set("l2-misses", JsonValue::integer(R.Report.Uarch.L2Misses));
+
+  JsonValue Metrics = JsonValue::object();
+  Metrics.set("ipc", JsonValue::number(R.Report.Uarch.ipc()));
+  Metrics.set("energy", JsonValue::number(R.Report.TotalEnergy));
+  Metrics.set("ed2", JsonValue::number(R.Report.ed2()));
+  Metrics.set("dyn-specialized-frac", JsonValue::number(R.DynSpecializedFrac));
+  Metrics.set("dyn-guard-frac", JsonValue::number(R.DynGuardFrac));
+
+  JsonValue Out = JsonValue::object();
+  Out.set("workload", JsonValue::str(Workload));
+  Out.set("config", JsonValue::str(Label));
+  Out.set("counters", std::move(Counters));
+  Out.set("metrics", std::move(Metrics));
+  return Out;
+}
+
+JsonValue og::sweepToJson(const ResultAggregator &Agg,
+                          const std::string &SweepKind, double Scale) {
+  JsonValue Root = makeReportRoot("sweep");
+  Root.set("sweep", JsonValue::str(SweepKind));
+  Root.set("scale", JsonValue::number(Scale));
+
+  JsonValue Cells = JsonValue::array();
+  for (const ResultAggregator::Cell &C : Agg.sortedCells()) {
+    JsonValue Counters = JsonValue::object();
+    Counters.set("dyn-insts", JsonValue::integer(C.DynInsts));
+    Counters.set("cycles", JsonValue::integer(C.Cycles));
+    Counters.set("narrowed-opcodes", JsonValue::integer(C.Narrowed));
+    Counters.set("width-bearing-opcodes", JsonValue::integer(C.WidthBearing));
+
+    JsonValue Metrics = JsonValue::object();
+    Metrics.set("ipc", JsonValue::number(C.Ipc));
+    Metrics.set("energy", JsonValue::number(C.Energy));
+    Metrics.set("ed2", JsonValue::number(C.Ed2));
+
+    JsonValue Cell = JsonValue::object();
+    Cell.set("workload", JsonValue::str(C.Workload));
+    Cell.set("config", JsonValue::str(C.Label));
+    Cell.set("counters", std::move(Counters));
+    Cell.set("metrics", std::move(Metrics));
+    Cells.push(std::move(Cell));
+  }
+  Root.set("cells", std::move(Cells));
+
+  JsonValue Counters = JsonValue::object();
+  const StatisticSet Stats = Agg.stats();
+  for (const auto &E : Stats.entries())
+    Counters.set(E.first, JsonValue::integer(E.second));
+  Root.set("counters", std::move(Counters));
+  return Root;
+}

@@ -1,0 +1,87 @@
+//===- report/ReportSchema.h - Structured result reports ---------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machine-readable form of everything the tools and benches print:
+/// interpreter statistics, out-of-order timing + energy reports, sweep
+/// aggregates and bench harness cells, all as schema-versioned JSON
+/// (support/Json.h). The schema splits every leaf into one of two
+/// sections, and `ogate-report diff` keys its comparison rules off that
+/// split:
+///
+///  - "counters": deterministic integers (dynamic instructions, cycles,
+///    cache misses, histogram buckets). Compared exactly; any drift is a
+///    correctness regression, not noise.
+///  - "metrics": derived floating-point values (IPC, energy, ED^2) and
+///    wall-clock measurements (MIPS). Compared under a relative
+///    tolerance; cross-compiler FP rounding and machine noise live here.
+///
+/// Every document carries {"schema": "ogate-report", "version": N} so
+/// baselines fail loudly instead of drifting silently when the layout
+/// changes. Bump ReportSchemaVersion on any incompatible change and
+/// regenerate baselines/ with the `regen-baselines` target.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_REPORT_REPORTSCHEMA_H
+#define OG_REPORT_REPORTSCHEMA_H
+
+#include "support/Json.h"
+
+#include <string>
+
+namespace og {
+
+class ResultAggregator;
+struct EnergyReport;
+struct ExecStats;
+struct NarrowingReport;
+struct PipelineResult;
+struct UarchStats;
+
+/// Current schema version; serialized into every report document.
+constexpr int64_t ReportSchemaVersion = 1;
+
+/// A fresh report root: {"schema": "ogate-report", "version": ...,
+/// "kind": \p Kind}. Callers append their payload to it.
+JsonValue makeReportRoot(const std::string &Kind);
+
+/// True when \p Root is an ogate-report document of the current schema
+/// version; otherwise fills \p Why.
+bool checkReportRoot(const JsonValue &Root, std::string *Why = nullptr);
+
+/// Functional-run statistics: a "counters" payload with the dynamic
+/// instruction count, the per-class width histogram (only classes that
+/// executed, in enum order) and the value-size histogram of Figure 12.
+JsonValue toJson(const ExecStats &S);
+
+/// Timing-model statistics: "counters" (cycles, branches, misses...) plus
+/// a "metrics" object holding the derived IPC.
+JsonValue toJson(const UarchStats &S);
+
+/// Energy accounting: scheme name, per-structure energies and the total
+/// + ED^2, all under "metrics".
+JsonValue toJson(const EnergyReport &R);
+
+/// Static narrowing counters (width histogram, narrowed / width-bearing /
+/// total instruction counts).
+JsonValue toJson(const NarrowingReport &R);
+
+/// One experiment cell (workload x configuration) of a sweep or bench
+/// harness: {"workload", "config", "counters", "metrics"}.
+JsonValue cellToJson(const std::string &Workload, const std::string &Label,
+                     const PipelineResult &R);
+
+/// A whole sweep: kind "sweep" root + sorted "cells" + the aggregate
+/// "counters". Cells are sorted by (workload, config) exactly like the
+/// printed table, so the document bytes are independent of completion
+/// order and worker count.
+JsonValue sweepToJson(const ResultAggregator &Agg, const std::string &SweepKind,
+                      double Scale);
+
+} // namespace og
+
+#endif // OG_REPORT_REPORTSCHEMA_H

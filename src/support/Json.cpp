@@ -1,0 +1,628 @@
+//===- support/Json.cpp ----------------------------------------------------==//
+
+#include "support/Json.h"
+
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <ostream>
+#include <sstream>
+
+using namespace og;
+
+//===----------------------------------------------------------------------===//
+// Value model
+//===----------------------------------------------------------------------===//
+
+JsonValue JsonValue::boolean(bool B) {
+  JsonValue V;
+  V.K = Kind::Bool;
+  V.B = B;
+  return V;
+}
+
+JsonValue JsonValue::integer(int64_t I) {
+  JsonValue V;
+  V.K = Kind::Number;
+  V.IntNum = true;
+  V.I = I;
+  V.D = static_cast<double>(I);
+  return V;
+}
+
+JsonValue JsonValue::number(double D) {
+  if (std::isnan(D) || std::isinf(D))
+    return null(); // the documented NaN/inf policy
+  JsonValue V;
+  V.K = Kind::Number;
+  V.IntNum = false;
+  V.D = D;
+  return V;
+}
+
+JsonValue JsonValue::str(std::string S) {
+  JsonValue V;
+  V.K = Kind::String;
+  V.S = std::move(S);
+  return V;
+}
+
+JsonValue JsonValue::array() {
+  JsonValue V;
+  V.K = Kind::Array;
+  return V;
+}
+
+JsonValue JsonValue::object() {
+  JsonValue V;
+  V.K = Kind::Object;
+  return V;
+}
+
+bool JsonValue::asBool() const {
+  assert(isBool() && "not a bool");
+  return B;
+}
+
+double JsonValue::asNumber() const {
+  assert(isNumber() && "not a number");
+  return IntNum ? static_cast<double>(I) : D;
+}
+
+int64_t JsonValue::asInt() const {
+  assert(isInteger() && "not an integer number");
+  return I;
+}
+
+const std::string &JsonValue::asString() const {
+  assert(isString() && "not a string");
+  return S;
+}
+
+size_t JsonValue::size() const {
+  if (K == Kind::Array)
+    return Elems.size();
+  if (K == Kind::Object)
+    return Members.size();
+  return 0;
+}
+
+const JsonValue &JsonValue::at(size_t Idx) const {
+  assert(isArray() && Idx < Elems.size() && "bad array access");
+  return Elems[Idx];
+}
+
+void JsonValue::push(JsonValue V) {
+  assert(isArray() && "push on non-array");
+  Elems.push_back(std::move(V));
+}
+
+void JsonValue::set(const std::string &Key, JsonValue V) {
+  assert(isObject() && "set on non-object");
+  for (auto &M : Members)
+    if (M.first == Key) {
+      M.second = std::move(V);
+      return;
+    }
+  Members.emplace_back(Key, std::move(V));
+}
+
+const JsonValue *JsonValue::get(const std::string &Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  for (const auto &M : Members)
+    if (M.first == Key)
+      return &M.second;
+  return nullptr;
+}
+
+const std::vector<std::pair<std::string, JsonValue>> &
+JsonValue::members() const {
+  assert(isObject() && "members on non-object");
+  return Members;
+}
+
+bool JsonValue::operator==(const JsonValue &O) const {
+  if (K != O.K)
+    return false;
+  switch (K) {
+  case Kind::Null:
+    return true;
+  case Kind::Bool:
+    return B == O.B;
+  case Kind::Number:
+    if (IntNum != O.IntNum)
+      return false;
+    return IntNum ? I == O.I : formatDouble(D) == formatDouble(O.D);
+  case Kind::String:
+    return S == O.S;
+  case Kind::Array:
+    return Elems == O.Elems;
+  case Kind::Object:
+    return Members == O.Members;
+  }
+  return false;
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+std::string JsonValue::formatDouble(double D) {
+  if (std::isnan(D) || std::isinf(D))
+    return "null";
+  // Shortest form that round-trips: try increasing precision until
+  // strtod gives the bits back. Deterministic and locale-independent
+  // (snprintf %g with the C locale the project runs under).
+  char Buf[64];
+  for (int Prec = 1; Prec <= 17; ++Prec) {
+    std::snprintf(Buf, sizeof(Buf), "%.*g", Prec, D);
+    if (std::strtod(Buf, nullptr) == D)
+      break;
+  }
+  std::string Out = Buf;
+  // "3" would re-parse as an integer and break write/parse idempotence;
+  // keep doubles visibly doubles.
+  if (Out.find_first_of(".eE") == std::string::npos)
+    Out += ".0";
+  return Out;
+}
+
+namespace {
+
+void writeEscaped(std::ostream &OS, const std::string &S) {
+  OS << '"';
+  for (unsigned char C : S) {
+    switch (C) {
+    case '"':
+      OS << "\\\"";
+      break;
+    case '\\':
+      OS << "\\\\";
+      break;
+    case '\n':
+      OS << "\\n";
+      break;
+    case '\t':
+      OS << "\\t";
+      break;
+    case '\r':
+      OS << "\\r";
+      break;
+    case '\b':
+      OS << "\\b";
+      break;
+    case '\f':
+      OS << "\\f";
+      break;
+    default:
+      if (C < 0x20) {
+        char Buf[8];
+        std::snprintf(Buf, sizeof(Buf), "\\u%04x", C);
+        OS << Buf;
+      } else {
+        OS << static_cast<char>(C); // UTF-8 passes through raw
+      }
+    }
+  }
+  OS << '"';
+}
+
+void indentTo(std::ostream &OS, unsigned Indent) {
+  for (unsigned J = 0; J < Indent; ++J)
+    OS << ' ';
+}
+
+bool isScalar(const JsonValue &V) {
+  return !V.isArray() && !V.isObject();
+}
+
+} // namespace
+
+void JsonValue::write(std::ostream &OS, unsigned Indent) const {
+  switch (K) {
+  case Kind::Null:
+    OS << "null";
+    return;
+  case Kind::Bool:
+    OS << (B ? "true" : "false");
+    return;
+  case Kind::Number:
+    if (IntNum)
+      OS << I;
+    else
+      OS << formatDouble(D);
+    return;
+  case Kind::String:
+    writeEscaped(OS, S);
+    return;
+  case Kind::Array: {
+    if (Elems.empty()) {
+      OS << "[]";
+      return;
+    }
+    bool AllScalar = true;
+    for (const JsonValue &E : Elems)
+      AllScalar = AllScalar && isScalar(E);
+    if (AllScalar) {
+      OS << '[';
+      for (size_t J = 0; J < Elems.size(); ++J) {
+        if (J)
+          OS << ", ";
+        Elems[J].write(OS, 0);
+      }
+      OS << ']';
+      return;
+    }
+    OS << "[\n";
+    for (size_t J = 0; J < Elems.size(); ++J) {
+      indentTo(OS, Indent + 2);
+      Elems[J].write(OS, Indent + 2);
+      OS << (J + 1 < Elems.size() ? ",\n" : "\n");
+    }
+    indentTo(OS, Indent);
+    OS << ']';
+    return;
+  }
+  case Kind::Object: {
+    if (Members.empty()) {
+      OS << "{}";
+      return;
+    }
+    OS << "{\n";
+    for (size_t J = 0; J < Members.size(); ++J) {
+      indentTo(OS, Indent + 2);
+      writeEscaped(OS, Members[J].first);
+      OS << ": ";
+      Members[J].second.write(OS, Indent + 2);
+      OS << (J + 1 < Members.size() ? ",\n" : "\n");
+    }
+    indentTo(OS, Indent);
+    OS << '}';
+    return;
+  }
+  }
+}
+
+std::string JsonValue::toString() const {
+  std::ostringstream OS;
+  write(OS);
+  OS << '\n';
+  return OS.str();
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Recursive-descent parser over the whole input string. Errors carry the
+/// byte offset; good enough for files we generate ourselves.
+class Parser {
+public:
+  explicit Parser(const std::string &Text) : Text(Text) {}
+
+  Expected<JsonValue> parse() {
+    skipWs();
+    JsonValue V;
+    if (!parseValue(V))
+      return makeError<JsonValue>(Err);
+    skipWs();
+    if (Pos != Text.size())
+      return makeError<JsonValue>(at("trailing content after JSON value"));
+    return V;
+  }
+
+private:
+  std::string at(const std::string &What) {
+    return "offset " + std::to_string(Pos) + ": " + What;
+  }
+
+  bool fail(const std::string &What) {
+    if (Err.empty())
+      Err = at(What);
+    return false;
+  }
+
+  void skipWs() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool literal(const char *Lit) {
+    size_t N = std::string(Lit).size();
+    if (Text.compare(Pos, N, Lit) == 0) {
+      Pos += N;
+      return true;
+    }
+    return false;
+  }
+
+  bool parseValue(JsonValue &Out) {
+    if (Pos >= Text.size())
+      return fail("unexpected end of input");
+    char C = Text[Pos];
+    if (C == '{')
+      return parseObject(Out);
+    if (C == '[')
+      return parseArray(Out);
+    if (C == '"')
+      return parseString(Out);
+    if (C == '-' || (C >= '0' && C <= '9'))
+      return parseNumber(Out);
+    if (literal("true")) {
+      Out = JsonValue::boolean(true);
+      return true;
+    }
+    if (literal("false")) {
+      Out = JsonValue::boolean(false);
+      return true;
+    }
+    if (literal("null")) {
+      Out = JsonValue::null();
+      return true;
+    }
+    return fail("unexpected character");
+  }
+
+  bool parseObject(JsonValue &Out) {
+    ++Pos; // '{'
+    Out = JsonValue::object();
+    skipWs();
+    if (consume('}'))
+      return true;
+    for (;;) {
+      skipWs();
+      JsonValue Key;
+      if (Pos >= Text.size() || Text[Pos] != '"')
+        return fail("expected object key string");
+      if (!parseString(Key))
+        return false;
+      skipWs();
+      if (!consume(':'))
+        return fail("expected ':' after object key");
+      skipWs();
+      JsonValue Val;
+      if (!parseValue(Val))
+        return false;
+      if (Out.get(Key.asString()))
+        return fail("duplicate object key '" + Key.asString() + "'");
+      Out.set(Key.asString(), std::move(Val));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume('}'))
+        return true;
+      return fail("expected ',' or '}' in object");
+    }
+  }
+
+  bool parseArray(JsonValue &Out) {
+    ++Pos; // '['
+    Out = JsonValue::array();
+    skipWs();
+    if (consume(']'))
+      return true;
+    for (;;) {
+      skipWs();
+      JsonValue Val;
+      if (!parseValue(Val))
+        return false;
+      Out.push(std::move(Val));
+      skipWs();
+      if (consume(','))
+        continue;
+      if (consume(']'))
+        return true;
+      return fail("expected ',' or ']' in array");
+    }
+  }
+
+  bool hex4(unsigned &Out) {
+    if (Pos + 4 > Text.size())
+      return fail("truncated \\u escape");
+    Out = 0;
+    for (int J = 0; J < 4; ++J) {
+      char C = Text[Pos++];
+      Out <<= 4;
+      if (C >= '0' && C <= '9')
+        Out |= static_cast<unsigned>(C - '0');
+      else if (C >= 'a' && C <= 'f')
+        Out |= static_cast<unsigned>(C - 'a' + 10);
+      else if (C >= 'A' && C <= 'F')
+        Out |= static_cast<unsigned>(C - 'A' + 10);
+      else
+        return fail("bad hex digit in \\u escape");
+    }
+    return true;
+  }
+
+  void appendUtf8(std::string &S, unsigned CP) {
+    if (CP < 0x80) {
+      S += static_cast<char>(CP);
+    } else if (CP < 0x800) {
+      S += static_cast<char>(0xC0 | (CP >> 6));
+      S += static_cast<char>(0x80 | (CP & 0x3F));
+    } else if (CP < 0x10000) {
+      S += static_cast<char>(0xE0 | (CP >> 12));
+      S += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      S += static_cast<char>(0x80 | (CP & 0x3F));
+    } else {
+      S += static_cast<char>(0xF0 | (CP >> 18));
+      S += static_cast<char>(0x80 | ((CP >> 12) & 0x3F));
+      S += static_cast<char>(0x80 | ((CP >> 6) & 0x3F));
+      S += static_cast<char>(0x80 | (CP & 0x3F));
+    }
+  }
+
+  bool parseString(JsonValue &Out) {
+    ++Pos; // '"'
+    std::string S;
+    for (;;) {
+      if (Pos >= Text.size())
+        return fail("unterminated string");
+      char C = Text[Pos++];
+      if (C == '"')
+        break;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return fail("raw control character in string");
+      if (C != '\\') {
+        S += C;
+        continue;
+      }
+      if (Pos >= Text.size())
+        return fail("truncated escape");
+      char E = Text[Pos++];
+      switch (E) {
+      case '"':
+        S += '"';
+        break;
+      case '\\':
+        S += '\\';
+        break;
+      case '/':
+        S += '/';
+        break;
+      case 'n':
+        S += '\n';
+        break;
+      case 't':
+        S += '\t';
+        break;
+      case 'r':
+        S += '\r';
+        break;
+      case 'b':
+        S += '\b';
+        break;
+      case 'f':
+        S += '\f';
+        break;
+      case 'u': {
+        unsigned CP;
+        if (!hex4(CP))
+          return false;
+        if (CP >= 0xD800 && CP <= 0xDBFF) {
+          // High surrogate: must be followed by \uDC00..\uDFFF.
+          if (!literal("\\u"))
+            return fail("unpaired high surrogate");
+          unsigned Lo;
+          if (!hex4(Lo))
+            return false;
+          if (Lo < 0xDC00 || Lo > 0xDFFF)
+            return fail("invalid low surrogate");
+          CP = 0x10000 + ((CP - 0xD800) << 10) + (Lo - 0xDC00);
+        } else if (CP >= 0xDC00 && CP <= 0xDFFF) {
+          return fail("unpaired low surrogate");
+        }
+        appendUtf8(S, CP);
+        break;
+      }
+      default:
+        return fail("unknown escape");
+      }
+    }
+    Out = JsonValue::str(std::move(S));
+    return true;
+  }
+
+  bool parseNumber(JsonValue &Out) {
+    size_t Start = Pos;
+    if (consume('-')) {
+    }
+    if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+      return fail("malformed number");
+    if (Text[Pos] == '0')
+      ++Pos;
+    else
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    bool IsInt = true;
+    if (consume('.')) {
+      IsInt = false;
+      if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail("digits required after decimal point");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    if (Pos < Text.size() && (Text[Pos] == 'e' || Text[Pos] == 'E')) {
+      IsInt = false;
+      ++Pos;
+      if (Pos < Text.size() && (Text[Pos] == '+' || Text[Pos] == '-'))
+        ++Pos;
+      if (Pos >= Text.size() || Text[Pos] < '0' || Text[Pos] > '9')
+        return fail("digits required in exponent");
+      while (Pos < Text.size() && Text[Pos] >= '0' && Text[Pos] <= '9')
+        ++Pos;
+    }
+    std::string Tok = Text.substr(Start, Pos - Start);
+    if (IsInt) {
+      errno = 0;
+      char *End = nullptr;
+      long long V = std::strtoll(Tok.c_str(), &End, 10);
+      if (errno == 0 && End && *End == '\0') {
+        Out = JsonValue::integer(static_cast<int64_t>(V));
+        return true;
+      }
+      // Out-of-int64-range integers degrade to doubles.
+    }
+    double D = std::strtod(Tok.c_str(), nullptr);
+    if (std::isinf(D) || std::isnan(D))
+      return fail("number out of double range"); // 1e999 must not become null
+    Out = JsonValue::number(D);
+    return true;
+  }
+
+  const std::string &Text;
+  size_t Pos = 0;
+  std::string Err;
+};
+
+} // namespace
+
+Expected<JsonValue> og::parseJson(const std::string &Text) {
+  return Parser(Text).parse();
+}
+
+Expected<JsonValue> og::readJsonFile(const std::string &Path) {
+  std::ifstream In(Path);
+  if (!In)
+    return makeError<JsonValue>("cannot open '" + Path + "'");
+  std::stringstream Buf;
+  Buf << In.rdbuf();
+  Expected<JsonValue> V = parseJson(Buf.str());
+  if (!V)
+    return makeError<JsonValue>(Path + ": " + V.error());
+  return V;
+}
+
+bool og::writeJsonFile(const std::string &Path, const JsonValue &V,
+                       std::string *ErrorOut) {
+  std::ofstream Out(Path);
+  if (!Out) {
+    if (ErrorOut)
+      *ErrorOut = "cannot write '" + Path + "'";
+    return false;
+  }
+  Out << V.toString();
+  Out.flush();
+  if (!Out) {
+    if (ErrorOut)
+      *ErrorOut = "I/O error writing '" + Path + "'";
+    return false;
+  }
+  return true;
+}

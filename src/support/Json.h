@@ -1,0 +1,145 @@
+//===- support/Json.h - Schema-agnostic JSON value model ---------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small JSON value model with a deterministic writer and a strict
+/// parser, the substrate of the machine-readable report files under
+/// src/report/. Design points that matter for regression gating:
+///
+///  - Objects preserve insertion order and the writer emits keys in that
+///    order, so "same values => same bytes" holds and sweep reports stay
+///    byte-identical across worker counts.
+///  - Numbers keep their integerness: a value built from an (u)int64
+///    prints without a decimal point and round-trips exactly, which is
+///    what lets `ogate-report diff` compare counters with ==. Doubles
+///    print with the shortest representation that parses back to the
+///    same bits.
+///  - NaN and infinity have no JSON encoding; they serialize as null
+///    (the documented policy, asserted by ReportTest). Parsing never
+///    produces them.
+///  - write(parse(write(v))) == write(v): the writer/parser pair is
+///    idempotent after the first write, so baselines can be regenerated
+///    from parsed files without spurious diffs.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SUPPORT_JSON_H
+#define OG_SUPPORT_JSON_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace og {
+
+/// One JSON value (null / bool / number / string / array / object).
+class JsonValue {
+public:
+  enum class Kind : uint8_t { Null, Bool, Number, String, Array, Object };
+
+  /// Defaults to null.
+  JsonValue() = default;
+
+  // --- Factories (named, so call sites read as the schema they build).
+  static JsonValue null() { return JsonValue(); }
+  static JsonValue boolean(bool B);
+  /// An integer-valued number; prints without a decimal point. uint64
+  /// values above INT64_MAX degrade to doubles (mirroring the parser's
+  /// out-of-int64 handling) instead of wrapping negative.
+  static JsonValue integer(int64_t I);
+  static JsonValue integer(uint64_t U) {
+    return U <= static_cast<uint64_t>(INT64_MAX)
+               ? integer(static_cast<int64_t>(U))
+               : number(static_cast<double>(U));
+  }
+  static JsonValue integer(int I) { return integer(static_cast<int64_t>(I)); }
+  static JsonValue integer(unsigned U) { return integer(static_cast<int64_t>(U)); }
+  /// A double-valued number. NaN/inf collapse to null (see file comment).
+  static JsonValue number(double D);
+  static JsonValue str(std::string S);
+  static JsonValue array();
+  static JsonValue object();
+
+  Kind kind() const { return K; }
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  /// True for numbers built from integers or parsed without '.'/exponent.
+  bool isInteger() const { return K == Kind::Number && IntNum; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  bool asBool() const;
+  /// Numeric value as a double (integers convert).
+  double asNumber() const;
+  /// Numeric value as int64; must be isInteger().
+  int64_t asInt() const;
+  const std::string &asString() const;
+
+  // --- Array access.
+  size_t size() const;
+  const JsonValue &at(size_t I) const;
+  /// Appends to an array value.
+  void push(JsonValue V);
+
+  // --- Object access. Keys keep insertion order.
+  /// Sets \p Key to \p V (replacing an existing entry in place).
+  void set(const std::string &Key, JsonValue V);
+  /// Member lookup; nullptr when absent (or not an object).
+  const JsonValue *get(const std::string &Key) const;
+  const std::vector<std::pair<std::string, JsonValue>> &members() const;
+
+  /// Serializes with 2-space indentation. Deterministic: equal values
+  /// produce equal bytes. Arrays whose elements are all scalars print on
+  /// one line; everything else is multi-line.
+  void write(std::ostream &OS, unsigned Indent = 0) const;
+
+  /// write() into a string, with a trailing newline (file form).
+  std::string toString() const;
+
+  /// Structural equality. Numbers with different integerness never
+  /// compare equal (integer 3 prints "3", double 3.0 prints "3.0");
+  /// doubles compare by their serialized form, so -0.0 == 0.0 iff they
+  /// print identically (they do not).
+  bool operator==(const JsonValue &O) const;
+  bool operator!=(const JsonValue &O) const { return !(*this == O); }
+
+  /// The shortest decimal form of \p D that parses back to the same
+  /// double; "null" for NaN/inf (exposed for tests).
+  static std::string formatDouble(double D);
+
+private:
+  Kind K = Kind::Null;
+  bool B = false;
+  bool IntNum = false;
+  int64_t I = 0;
+  double D = 0.0;
+  std::string S;
+  std::vector<JsonValue> Elems;
+  std::vector<std::pair<std::string, JsonValue>> Members;
+};
+
+/// Parses one JSON document (trailing whitespace allowed, anything else
+/// after the value is an error). Strict: no comments, no trailing commas,
+/// no NaN/inf literals.
+Expected<JsonValue> parseJson(const std::string &Text);
+
+/// Reads and parses \p Path; the error names the file.
+Expected<JsonValue> readJsonFile(const std::string &Path);
+
+/// Writes \p V to \p Path with a trailing newline. Returns false (and
+/// leaves an error in \p ErrorOut when non-null) on I/O failure.
+bool writeJsonFile(const std::string &Path, const JsonValue &V,
+                   std::string *ErrorOut = nullptr);
+
+} // namespace og
+
+#endif // OG_SUPPORT_JSON_H

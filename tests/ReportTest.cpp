@@ -1,0 +1,426 @@
+//===- tests/ReportTest.cpp - JSON model + report diff unit tests ----------==//
+//
+// Covers the structured-report substrate end to end: JSON write/parse
+// round-trips (idempotence, escaping, number formats, the NaN/inf
+// policy), parser rejection of malformed input, schema-envelope checks,
+// the tolerance semantics of diffReports (exact counters, tolerated
+// metrics, structural changes), and the determinism of the sweep
+// serializer across cell insertion orders.
+//
+//===----------------------------------------------------------------------==//
+
+#include "driver/ResultAggregator.h"
+#include "report/Baseline.h"
+#include "report/ReportSchema.h"
+#include "support/Json.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+using namespace og;
+
+namespace {
+
+/// write(parse(Text)) as a string; fails the test on parse error.
+std::string reserialize(const std::string &Text) {
+  Expected<JsonValue> V = parseJson(Text);
+  EXPECT_TRUE(static_cast<bool>(V)) << (V ? "" : V.error());
+  if (!V)
+    return std::string();
+  return V->toString();
+}
+
+JsonValue sampleDoc() {
+  JsonValue Counters = JsonValue::object();
+  Counters.set("dyn-insts", JsonValue::integer(int64_t(123456789)));
+  Counters.set("cycles", JsonValue::integer(int64_t(987654)));
+  JsonValue Metrics = JsonValue::object();
+  Metrics.set("ipc", JsonValue::number(1.5784772771985047));
+  Metrics.set("energy", JsonValue::number(720583.2179997836));
+  JsonValue Doc = makeReportRoot("run");
+  Doc.set("counters", std::move(Counters));
+  Doc.set("metrics", std::move(Metrics));
+  Doc.set("output", [] {
+    JsonValue A = JsonValue::array();
+    A.push(JsonValue::integer(-5));
+    A.push(JsonValue::integer(0));
+    A.push(JsonValue::integer(42));
+    return A;
+  }());
+  return Doc;
+}
+
+//===----------------------------------------------------------------------===//
+// JSON value model + writer
+//===----------------------------------------------------------------------===//
+
+TEST(Json, WriterBasics) {
+  JsonValue O = JsonValue::object();
+  O.set("b", JsonValue::boolean(true));
+  O.set("n", JsonValue::null());
+  O.set("i", JsonValue::integer(-7));
+  O.set("s", JsonValue::str("hi"));
+  EXPECT_EQ(O.toString(),
+            "{\n  \"b\": true,\n  \"n\": null,\n  \"i\": -7,\n  \"s\": "
+            "\"hi\"\n}\n");
+}
+
+TEST(Json, ObjectKeysKeepInsertionOrderAndReplaceInPlace) {
+  JsonValue O = JsonValue::object();
+  O.set("z", JsonValue::integer(1));
+  O.set("a", JsonValue::integer(2));
+  O.set("z", JsonValue::integer(3)); // replaces, does not reorder
+  ASSERT_EQ(O.members().size(), 2u);
+  EXPECT_EQ(O.members()[0].first, "z");
+  EXPECT_EQ(O.members()[0].second.asInt(), 3);
+  EXPECT_EQ(O.members()[1].first, "a");
+}
+
+TEST(Json, ScalarArraysPrintInline) {
+  JsonValue A = JsonValue::array();
+  A.push(JsonValue::integer(1));
+  A.push(JsonValue::integer(2));
+  EXPECT_EQ(A.toString(), "[1, 2]\n");
+
+  JsonValue Nested = JsonValue::array();
+  Nested.push(JsonValue::object());
+  EXPECT_EQ(Nested.toString(), "[\n  {}\n]\n");
+}
+
+TEST(Json, IntegersPrintExactlyAtTheLimits) {
+  EXPECT_EQ(JsonValue::integer(std::numeric_limits<int64_t>::max()).toString(),
+            "9223372036854775807\n");
+  EXPECT_EQ(JsonValue::integer(std::numeric_limits<int64_t>::min()).toString(),
+            "-9223372036854775808\n");
+}
+
+TEST(Json, Uint64AboveInt64MaxDegradesToDouble) {
+  // Mirrors the parser: never wrap a big counter negative.
+  JsonValue V = JsonValue::integer(uint64_t(18446744073709551615ull));
+  EXPECT_FALSE(V.isInteger());
+  EXPECT_DOUBLE_EQ(V.asNumber(), 18446744073709551615.0);
+  EXPECT_TRUE(
+      JsonValue::integer(uint64_t(INT64_MAX)).isInteger());
+}
+
+TEST(Json, DoublesUseShortestRoundTripForm) {
+  EXPECT_EQ(JsonValue::formatDouble(0.25), "0.25");
+  EXPECT_EQ(JsonValue::formatDouble(0.1), "0.1");
+  // Integral doubles keep a visible fraction so they stay doubles when
+  // re-parsed (write/parse idempotence).
+  EXPECT_EQ(JsonValue::formatDouble(3.0), "3.0");
+  double Pi = 3.141592653589793;
+  std::string S = JsonValue::formatDouble(Pi);
+  EXPECT_EQ(std::strtod(S.c_str(), nullptr), Pi);
+}
+
+TEST(Json, NanAndInfSerializeAsNull) {
+  EXPECT_TRUE(JsonValue::number(std::nan("")).isNull());
+  EXPECT_TRUE(JsonValue::number(std::numeric_limits<double>::infinity())
+                  .isNull());
+  EXPECT_TRUE(JsonValue::number(-std::numeric_limits<double>::infinity())
+                  .isNull());
+  JsonValue O = JsonValue::object();
+  O.set("x", JsonValue::number(std::nan("")));
+  EXPECT_EQ(O.toString(), "{\n  \"x\": null\n}\n");
+  // And the parser never produces them: the literals are rejected.
+  EXPECT_FALSE(static_cast<bool>(parseJson("NaN")));
+  EXPECT_FALSE(static_cast<bool>(parseJson("Infinity")));
+}
+
+TEST(Json, StringEscaping) {
+  JsonValue S = JsonValue::str("a\"b\\c\nd\te\x01"
+                               "f");
+  EXPECT_EQ(S.toString(), "\"a\\\"b\\\\c\\nd\\te\\u0001f\"\n");
+  // UTF-8 passes through raw.
+  EXPECT_EQ(JsonValue::str("caf\xc3\xa9").toString(), "\"caf\xc3\xa9\"\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+TEST(Json, ParseBasics) {
+  Expected<JsonValue> V =
+      parseJson("{\"a\": [1, 2.5, true, null, \"x\"], \"b\": {}}");
+  ASSERT_TRUE(static_cast<bool>(V));
+  ASSERT_TRUE(V->isObject());
+  const JsonValue *A = V->get("a");
+  ASSERT_TRUE(A && A->isArray());
+  EXPECT_EQ(A->size(), 5u);
+  EXPECT_TRUE(A->at(0).isInteger());
+  EXPECT_EQ(A->at(0).asInt(), 1);
+  EXPECT_FALSE(A->at(1).isInteger());
+  EXPECT_DOUBLE_EQ(A->at(1).asNumber(), 2.5);
+  EXPECT_TRUE(A->at(2).asBool());
+  EXPECT_TRUE(A->at(3).isNull());
+  EXPECT_EQ(A->at(4).asString(), "x");
+}
+
+TEST(Json, ParseEscapesAndSurrogates) {
+  Expected<JsonValue> V = parseJson("\"\\u0041\\n\\u00e9\\ud83d\\ude00\"");
+  ASSERT_TRUE(static_cast<bool>(V));
+  EXPECT_EQ(V->asString(), "A\n\xc3\xa9\xf0\x9f\x98\x80");
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  const char *Bad[] = {
+      "",             // empty
+      "{",            // unterminated object
+      "[1, 2",        // unterminated array
+      "[1,]",         // trailing comma
+      "{\"a\" 1}",    // missing colon
+      "{a: 1}",       // unquoted key
+      "\"abc",        // unterminated string
+      "\"\\q\"",      // unknown escape
+      "\"\\ud800\"",  // unpaired surrogate
+      "01",           // leading zero
+      "1.",           // digits required after point
+      "1e",           // digits required in exponent
+      "-",            // bare minus
+      "tru",          // bad literal
+      "1 2",          // trailing content
+      "{\"a\":1,\"a\":2}", // duplicate key
+      "1e999",        // beyond double range (must not become null)
+      "-1e999",
+  };
+  for (const char *T : Bad)
+    EXPECT_FALSE(static_cast<bool>(parseJson(T))) << "accepted: " << T;
+}
+
+TEST(Json, ParseIntegerness) {
+  // int64 range parses as integer; beyond it degrades to double.
+  Expected<JsonValue> In = parseJson("9223372036854775807");
+  ASSERT_TRUE(static_cast<bool>(In));
+  EXPECT_TRUE(In->isInteger());
+  EXPECT_EQ(In->asInt(), std::numeric_limits<int64_t>::max());
+
+  Expected<JsonValue> Big = parseJson("18446744073709551616");
+  ASSERT_TRUE(static_cast<bool>(Big));
+  EXPECT_TRUE(Big->isNumber());
+  EXPECT_FALSE(Big->isInteger());
+}
+
+TEST(Json, RoundTripIdempotence) {
+  // write(parse(write(v))) == write(v) over a value exercising every
+  // kind, nesting, escapes and both number flavors.
+  JsonValue Doc = sampleDoc();
+  Doc.set("weird", JsonValue::str("tab\t quote\" slash\\ \x7f"));
+  Doc.set("tiny", JsonValue::number(1e-17));
+  Doc.set("huge", JsonValue::number(1.7976931348623157e308));
+  std::string Once = Doc.toString();
+  std::string Twice = reserialize(Once);
+  EXPECT_EQ(Once, Twice);
+  // And a third pass for good measure (fixed point, not a 2-cycle).
+  EXPECT_EQ(reserialize(Twice), Twice);
+}
+
+TEST(Json, RoundTripPreservesEquality) {
+  JsonValue Doc = sampleDoc();
+  Expected<JsonValue> Back = parseJson(Doc.toString());
+  ASSERT_TRUE(static_cast<bool>(Back));
+  EXPECT_TRUE(Doc == *Back);
+}
+
+//===----------------------------------------------------------------------===//
+// Schema envelope
+//===----------------------------------------------------------------------===//
+
+TEST(ReportSchema, RootCarriesSchemaAndVersion) {
+  JsonValue Root = makeReportRoot("sweep");
+  EXPECT_TRUE(checkReportRoot(Root));
+  EXPECT_EQ(Root.get("schema")->asString(), "ogate-report");
+  EXPECT_EQ(Root.get("version")->asInt(), ReportSchemaVersion);
+  EXPECT_EQ(Root.get("kind")->asString(), "sweep");
+}
+
+TEST(ReportSchema, CheckRejectsForeignAndStaleDocuments) {
+  std::string Why;
+  EXPECT_FALSE(checkReportRoot(JsonValue::array(), &Why));
+  EXPECT_FALSE(Why.empty());
+
+  JsonValue NoSchema = JsonValue::object();
+  EXPECT_FALSE(checkReportRoot(NoSchema, &Why));
+
+  JsonValue Stale = makeReportRoot("run");
+  Stale.set("version", JsonValue::integer(ReportSchemaVersion + 1));
+  EXPECT_FALSE(checkReportRoot(Stale, &Why));
+  EXPECT_NE(Why.find("version"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// diffReports tolerance semantics
+//===----------------------------------------------------------------------===//
+
+TEST(ReportDiff, IdenticalDocumentsMatch) {
+  JsonValue Doc = sampleDoc();
+  DiffResult R = diffReports(Doc, Doc);
+  EXPECT_TRUE(R.ok());
+  EXPECT_GT(R.LeavesCompared, 5u);
+}
+
+TEST(ReportDiff, CounterMismatchFailsExactlyEvenWithinTolerance) {
+  JsonValue Base = sampleDoc();
+  JsonValue Cur = sampleDoc();
+  // One part in ~1e8 — far inside any tolerance, but counters are exact.
+  JsonValue Counters = *Base.get("counters");
+  Counters.set("dyn-insts", JsonValue::integer(int64_t(123456790)));
+  Cur.set("counters", Counters);
+  DiffOptions Opts;
+  Opts.TolerancePct = 50.0;
+  DiffResult R = diffReports(Base, Cur, Opts);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_EQ(R.Findings[0].Path, "counters.dyn-insts");
+  EXPECT_NE(R.Findings[0].What.find("exact mismatch"), std::string::npos);
+}
+
+TEST(ReportDiff, MetricsDriftWithinToleranceIsAccepted) {
+  JsonValue Base = sampleDoc();
+  JsonValue Cur = sampleDoc();
+  JsonValue Metrics = *Base.get("metrics");
+  Metrics.set("ipc", JsonValue::number(1.5784772771985047 * 1.015)); // +1.5%
+  Cur.set("metrics", Metrics);
+  EXPECT_TRUE(diffReports(Base, Cur, {2.0}).ok());
+  // The same drift fails a tighter gate.
+  EXPECT_FALSE(diffReports(Base, Cur, {1.0}).ok());
+}
+
+TEST(ReportDiff, InjectedMetricRegressionIsCaught) {
+  JsonValue Base = sampleDoc();
+  JsonValue Cur = sampleDoc();
+  JsonValue Metrics = *Base.get("metrics");
+  Metrics.set("energy", JsonValue::number(720583.2179997836 * 1.10)); // +10%
+  Cur.set("metrics", Metrics);
+  DiffResult R = diffReports(Base, Cur, {2.0});
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_EQ(R.Findings[0].Path, "metrics.energy");
+  EXPECT_NE(R.Findings[0].What.find("tolerance"), std::string::npos);
+}
+
+TEST(ReportDiff, ToleranceIsRelativeToTheLargerMagnitude) {
+  JsonValue Base = JsonValue::object();
+  JsonValue BM = JsonValue::object();
+  BM.set("v", JsonValue::number(100.0));
+  Base.set("metrics", BM);
+  JsonValue Cur = JsonValue::object();
+  JsonValue CM = JsonValue::object();
+  CM.set("v", JsonValue::number(98.05)); // 1.95% below
+  Cur.set("metrics", CM);
+  EXPECT_TRUE(diffReports(Base, Cur, {2.0}).ok());
+  CM.set("v", JsonValue::number(97.9)); // 2.1% below
+  Cur.set("metrics", CM);
+  EXPECT_FALSE(diffReports(Base, Cur, {2.0}).ok());
+  // Zero baseline vs zero current is fine; zero vs nonzero is 100% off.
+  BM.set("v", JsonValue::number(0.0));
+  Base.set("metrics", BM);
+  CM.set("v", JsonValue::number(0.0));
+  Cur.set("metrics", CM);
+  EXPECT_TRUE(diffReports(Base, Cur, {2.0}).ok());
+  CM.set("v", JsonValue::number(0.001));
+  Cur.set("metrics", CM);
+  EXPECT_FALSE(diffReports(Base, Cur, {2.0}).ok());
+}
+
+TEST(ReportDiff, StructuralChangesAreFindings) {
+  JsonValue Base = sampleDoc();
+  JsonValue Cur = sampleDoc();
+  Cur.set("extra", JsonValue::integer(1));
+  DiffResult R = diffReports(Base, Cur);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_EQ(R.Findings[0].Path, "extra");
+
+  JsonValue Cur2 = sampleDoc();
+  Cur2.set("kind", JsonValue::integer(3)); // string -> number
+  R = diffReports(Base, Cur2);
+  ASSERT_EQ(R.Findings.size(), 1u);
+  EXPECT_NE(R.Findings[0].What.find("kind changed"), std::string::npos);
+}
+
+TEST(ReportDiff, CellArraysMatchByWorkloadAndConfig) {
+  auto MakeCell = [](const char *W, const char *C, int64_t Cycles) {
+    JsonValue Cell = JsonValue::object();
+    Cell.set("workload", JsonValue::str(W));
+    Cell.set("config", JsonValue::str(C));
+    JsonValue Counters = JsonValue::object();
+    Counters.set("cycles", JsonValue::integer(Cycles));
+    Cell.set("counters", std::move(Counters));
+    return Cell;
+  };
+  JsonValue Base = JsonValue::object();
+  JsonValue BC = JsonValue::array();
+  BC.push(MakeCell("compress", "baseline", 100));
+  BC.push(MakeCell("compress", "vrp", 90));
+  Base.set("cells", std::move(BC));
+
+  // Same cells, different order: still a clean match.
+  JsonValue Cur = JsonValue::object();
+  JsonValue CC = JsonValue::array();
+  CC.push(MakeCell("compress", "vrp", 90));
+  CC.push(MakeCell("compress", "baseline", 100));
+  Cur.set("cells", std::move(CC));
+  EXPECT_TRUE(diffReports(Base, Cur).ok());
+
+  // A dropped cell is reported by name, not as index noise.
+  JsonValue Cur2 = JsonValue::object();
+  JsonValue C2 = JsonValue::array();
+  C2.push(MakeCell("compress", "baseline", 100));
+  C2.push(MakeCell("compress", "hw-sig", 80));
+  Cur2.set("cells", std::move(C2));
+  DiffResult R = diffReports(Base, Cur2);
+  ASSERT_EQ(R.Findings.size(), 2u);
+  EXPECT_EQ(R.Findings[0].Path, "cells[compress/vrp]");
+  EXPECT_NE(R.Findings[0].What.find("missing"), std::string::npos);
+  EXPECT_EQ(R.Findings[1].Path, "cells[compress/hw-sig]");
+  EXPECT_NE(R.Findings[1].What.find("not present"), std::string::npos);
+}
+
+//===----------------------------------------------------------------------===//
+// Sweep serialization determinism
+//===----------------------------------------------------------------------===//
+
+TEST(ReportSchema, SweepJsonIsInsertionOrderIndependent) {
+  ExperimentSpec A;
+  A.Workload = "compress";
+  A.ConfigLabel = "baseline";
+  ExperimentSpec B;
+  B.Workload = "compress";
+  B.ConfigLabel = "vrp";
+  ExperimentSpec C;
+  C.Workload = "gcc";
+  C.ConfigLabel = "baseline";
+
+  PipelineResult R1;
+  R1.RefStats.DynInsts = 1000;
+  R1.Report.Uarch.Cycles = 500;
+  R1.Report.TotalEnergy = 10.5;
+  PipelineResult R2;
+  R2.RefStats.DynInsts = 1000;
+  R2.Report.Uarch.Cycles = 450;
+  R2.Report.TotalEnergy = 8.25;
+  PipelineResult R3;
+  R3.RefStats.DynInsts = 2000;
+  R3.Report.Uarch.Cycles = 900;
+  R3.Report.TotalEnergy = 20.0;
+
+  ResultAggregator Fwd;
+  Fwd.add(A, R1);
+  Fwd.add(B, R2);
+  Fwd.add(C, R3);
+  ResultAggregator Rev;
+  Rev.add(C, R3);
+  Rev.add(B, R2);
+  Rev.add(A, R1);
+
+  std::string FwdDoc = sweepToJson(Fwd, "standard", 0.05).toString();
+  std::string RevDoc = sweepToJson(Rev, "standard", 0.05).toString();
+  EXPECT_EQ(FwdDoc, RevDoc);
+  EXPECT_NE(FwdDoc.find("\"kind\": \"sweep\""), std::string::npos);
+  // The document must carry no wall-clock or worker-count fields; that
+  // is the byte-determinism contract ogate-sim --sweep --json relies on.
+  EXPECT_EQ(FwdDoc.find("jobs"), std::string::npos);
+  EXPECT_EQ(FwdDoc.find("seconds"), std::string::npos);
+}
+
+} // namespace

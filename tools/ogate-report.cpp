@@ -1,0 +1,128 @@
+//===- tools/ogate-report.cpp - Report inspection / regression gate --------==//
+//
+// Works on the schema-versioned JSON documents every ogate tool and bench
+// can emit (src/report/). Subcommands:
+//
+//   ogate-report diff [--tolerance=PCT] <baseline.json> <current.json>
+//     Compares a fresh report against a checked-in baseline: leaves
+//     under "metrics" may drift by the relative tolerance (default 2%),
+//     everything else — the deterministic counters, labels, document
+//     structure — must match exactly. Exit status: 0 match, 1 regression
+//     (every divergence listed on stdout), 2 usage/parse/schema error.
+//     This is the CI perf-smoke gate.
+//
+//   ogate-report print <file.json>
+//     Validates the schema envelope and pretty-prints the normalized
+//     document (also handy to canonicalize a hand-edited baseline).
+//
+//===----------------------------------------------------------------------===//
+
+#include "report/Baseline.h"
+#include "report/ReportSchema.h"
+
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace og;
+
+namespace {
+
+int usage() {
+  std::cerr << "usage: ogate-report diff [--tolerance=PCT] <baseline.json> "
+               "<current.json>\n"
+               "       ogate-report print <file.json>\n";
+  return 2;
+}
+
+/// Loads + schema-checks one report document; exits the process with
+/// status 2 on failure (both subcommands want exactly that behavior).
+JsonValue loadReport(const std::string &Path) {
+  Expected<JsonValue> Doc = readJsonFile(Path);
+  if (!Doc) {
+    std::cerr << "ogate-report: " << Doc.error() << "\n";
+    std::exit(2);
+  }
+  std::string Why;
+  if (!checkReportRoot(*Doc, &Why)) {
+    std::cerr << "ogate-report: " << Path << ": " << Why << "\n";
+    std::exit(2);
+  }
+  return std::move(*Doc);
+}
+
+int runDiff(const std::vector<std::string> &Args) {
+  DiffOptions Opts;
+  std::vector<std::string> Paths;
+  for (const std::string &Arg : Args) {
+    if (Arg.rfind("--tolerance=", 0) == 0) {
+      const char *Val = Arg.c_str() + 12;
+      char *End = nullptr;
+      Opts.TolerancePct = std::strtod(Val, &End);
+      // Reject empty, trailing junk, negatives AND nan/inf — a NaN
+      // tolerance would make every comparison pass and silently turn
+      // the regression gate into a no-op.
+      if (End == Val || *End != '\0' || !std::isfinite(Opts.TolerancePct) ||
+          Opts.TolerancePct < 0) {
+        std::cerr << "ogate-report: bad --tolerance value '"
+                  << Arg.substr(12) << "'\n";
+        return 2;
+      }
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "ogate-report: unknown option '" << Arg << "'\n";
+      return 2;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.size() != 2)
+    return usage();
+
+  JsonValue Baseline = loadReport(Paths[0]);
+  JsonValue Current = loadReport(Paths[1]);
+
+  DiffResult R = diffReports(Baseline, Current, Opts);
+  if (R.ok()) {
+    std::cout << "ogate-report: match (" << R.LeavesCompared
+              << " leaves compared, metrics tolerance "
+              << JsonValue::formatDouble(Opts.TolerancePct) << "%)\n";
+    return 0;
+  }
+  std::cout << "ogate-report: " << R.Findings.size() << " difference"
+            << (R.Findings.size() == 1 ? "" : "s") << " vs baseline "
+            << Paths[0] << ":\n";
+  for (const DiffFinding &F : R.Findings)
+    std::cout << "  " << F.Path << ": " << F.What << "\n";
+  std::cout << "(intentional change? regenerate the baseline with the "
+               "`regen-baselines` build target)\n";
+  return 1;
+}
+
+int runPrint(const std::vector<std::string> &Args) {
+  if (Args.size() != 1)
+    return usage();
+  JsonValue Doc = loadReport(Args[0]);
+  std::cout << Doc.toString();
+  return 0;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  if (argc < 2)
+    return usage();
+  std::string Cmd = argv[1];
+  std::vector<std::string> Args(argv + 2, argv + argc);
+  if (Cmd == "diff")
+    return runDiff(Args);
+  if (Cmd == "print")
+    return runPrint(Args);
+  if (Cmd == "--help" || Cmd == "-h") {
+    usage();
+    return 0;
+  }
+  std::cerr << "ogate-report: unknown command '" << Cmd << "'\n";
+  return usage();
+}

@@ -13,7 +13,10 @@
 //     --fuel=N          dynamic instruction budget
 //     --timing-line     print "sim-speed: <N> MIPS, <M> dyn insts"
 //                       (wall-clock dependent; never part of sweep
-//                       reports, so determinism checks stay byte-exact)
+//                       reports, so determinism checks stay byte-exact;
+//                       rejected in --sweep mode for the same reason)
+//     --json=PATH       also write the run as a schema-versioned
+//                       ogate-report JSON document (src/report/)
 //
 //   ogate-sim --sweep[=standard|matrix]   sweep mode (no input file)
 //     --jobs=N          worker threads (default 1; serial and parallel
@@ -21,6 +24,8 @@
 //     --scale=S         workload ref-input scale (default 0.25)
 //     --workloads=a,b   comma-separated subset (default: all eight)
 //     --keep-going      run every cell even after a failure
+//     --json=PATH       write the aggregate as JSON; byte-identical for
+//                       any --jobs value (no wall-clock in the document)
 //
 // Sweep mode prints the deterministic aggregate report on stdout and
 // timing/progress on stderr, so stdout can be diffed across --jobs.
@@ -30,6 +35,7 @@
 #include "asm/Assembler.h"
 #include "driver/Driver.h"
 #include "power/Report.h"
+#include "report/ReportSchema.h"
 #include "support/Table.h"
 
 #include <algorithm>
@@ -43,7 +49,8 @@ using namespace og;
 namespace {
 
 int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
-                 const std::string &WorkloadCsv, bool KeepGoing) {
+                 const std::string &WorkloadCsv, bool KeepGoing,
+                 const std::string &JsonPath) {
   std::vector<std::string> Names;
   if (WorkloadCsv.empty()) {
     Names = allWorkloadNames();
@@ -97,6 +104,18 @@ int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
     return 1;
   }
   R.Aggregate.print(std::cout);
+  if (!JsonPath.empty()) {
+    // The document deliberately contains no wall-clock or worker-count
+    // fields: the bytes depend only on the cells, so any --jobs value
+    // writes the identical file.
+    std::string Err;
+    if (!writeJsonFile(JsonPath, sweepToJson(R.Aggregate, SweepKind, Scale),
+                       &Err)) {
+      std::cerr << "ogate-sim: " << Err << "\n";
+      return 1;
+    }
+    std::cerr << "ogate-sim: wrote " << JsonPath << "\n";
+  }
   std::cerr << "ogate-sim: sweep finished in " << TextTable::num(Seconds, 2)
             << "s\n";
   return 0;
@@ -111,7 +130,7 @@ int main(int argc, char **argv) {
   GatingScheme Scheme = GatingScheme::None;
   uint64_t Fuel = 200'000'000;
   bool Sweep = false, KeepGoing = false;
-  std::string SweepKind = "standard", WorkloadCsv;
+  std::string SweepKind = "standard", WorkloadCsv, JsonPath;
   unsigned Jobs = 1;
   double Scale = 0.25;
 
@@ -161,14 +180,21 @@ int main(int argc, char **argv) {
       Scale = std::atof(Arg.c_str() + 8);
     } else if (Arg.rfind("--workloads=", 0) == 0) {
       WorkloadCsv = Arg.substr(12);
+    } else if (Arg.rfind("--json=", 0) == 0) {
+      JsonPath = Arg.substr(7);
+      if (JsonPath.empty()) {
+        std::cerr << "ogate-sim: --json needs a path\n";
+        return 1;
+      }
     } else if (Arg == "--keep-going") {
       KeepGoing = true;
     } else if (Arg == "--help" || Arg == "-h") {
       std::cerr << "usage: ogate-sim [--arg=N]... [--uarch] "
                    "[--scheme=none|sw|hwsig|hwsize|combined] [--stats] "
-                   "[--fuel=N] [--timing-line] input.s\n"
+                   "[--fuel=N] [--timing-line] [--json=PATH] input.s\n"
                    "       ogate-sim --sweep[=standard|matrix] [--jobs N] "
-                   "[--scale=S] [--workloads=a,b] [--keep-going]\n";
+                   "[--scale=S] [--workloads=a,b] [--keep-going] "
+                   "[--json=PATH]\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "ogate-sim: unknown option '" << Arg << "'\n";
@@ -183,9 +209,19 @@ int main(int argc, char **argv) {
       std::cerr << "ogate-sim: --sweep takes no input file\n";
       return 1;
     }
+    if (TimingLine) {
+      // Used to be silently dropped; reject it so nobody builds a
+      // workflow on an option that cannot work here (sweep reports are
+      // deterministic by contract, sim-speed is wall-clock).
+      std::cerr << "ogate-sim: --timing-line is wall-clock-dependent and "
+                   "not supported in --sweep mode (sweep reports are "
+                   "byte-deterministic); drop it or run a single program\n";
+      return 1;
+    }
     if (Jobs < 1)
       Jobs = 1;
-    return runSweepMode(SweepKind, Jobs, Scale, WorkloadCsv, KeepGoing);
+    return runSweepMode(SweepKind, Jobs, Scale, WorkloadCsv, KeepGoing,
+                        JsonPath);
   }
 
   if (InputPath.empty()) {
@@ -232,13 +268,12 @@ int main(int argc, char **argv) {
     std::cout << " " << V;
   std::cout << "\n";
 
-  if (TimingLine) {
-    double Mips = RunSeconds > 0.0
-                      ? static_cast<double>(R.Stats.DynInsts) / RunSeconds / 1e6
-                      : 0.0;
+  double Mips = RunSeconds > 0.0
+                    ? static_cast<double>(R.Stats.DynInsts) / RunSeconds / 1e6
+                    : 0.0;
+  if (TimingLine)
     std::cout << "sim-speed: " << TextTable::num(Mips, 1) << " MIPS, "
               << R.Stats.DynInsts << " dyn insts\n";
-  }
 
   if (Stats) {
     TextTable T({"class", "8b", "16b", "32b", "64b"});
@@ -257,9 +292,11 @@ int main(int argc, char **argv) {
     T.print(std::cout);
   }
 
+  UarchStats S;
+  EnergyReport Rep;
   if (Uarch) {
-    UarchStats S = Core.finish();
-    EnergyReport Rep = makeReport(EM, S);
+    S = Core.finish();
+    Rep = makeReport(EM, S);
     std::cout << "cycles: " << S.Cycles << "  (IPC "
               << TextTable::num(S.ipc(), 2) << ")\n"
               << "branches: " << S.Branches << " (" << S.Mispredicts
@@ -269,6 +306,52 @@ int main(int argc, char **argv) {
               << "energy (" << gatingSchemeName(Scheme)
               << "): " << TextTable::num(Rep.TotalEnergy, 1) << "  ED^2 "
               << TextTable::num(Rep.ed2(), 1) << "\n";
+  }
+
+  if (!JsonPath.empty()) {
+    // "status" is a stable token consumers can switch on; the free-form
+    // diagnostic (fault addresses etc.) rides separately in "message"
+    // so two faulting runs do not diff as a status mismatch.
+    const char *StatusTok = "halted";
+    switch (R.Status) {
+    case RunStatus::Halted:
+      break;
+    case RunStatus::OutOfFuel:
+      StatusTok = "out-of-fuel";
+      break;
+    case RunStatus::Fault:
+      StatusTok = "fault";
+      break;
+    case RunStatus::CalleeSaveViolation:
+      StatusTok = "callee-save-violation";
+      break;
+    }
+    JsonValue Doc = makeReportRoot("run");
+    Doc.set("input", JsonValue::str(InputPath));
+    Doc.set("status", JsonValue::str(StatusTok));
+    if (R.Status != RunStatus::Halted)
+      Doc.set("message", JsonValue::str(R.Message));
+    JsonValue Output = JsonValue::array();
+    for (int64_t V : R.Output)
+      Output.push(JsonValue::integer(V));
+    Doc.set("output", std::move(Output));
+    Doc.set("stats", toJson(R.Stats));
+    if (Uarch) {
+      Doc.set("uarch", toJson(S));
+      Doc.set("energy", toJson(Rep));
+    }
+    if (TimingLine) {
+      // Wall-clock lives under "metrics" so `ogate-report diff` applies
+      // its relative tolerance instead of demanding exact MIPS.
+      JsonValue Metrics = JsonValue::object();
+      Metrics.set("sim-mips", JsonValue::number(Mips));
+      Doc.set("metrics", std::move(Metrics));
+    }
+    std::string Err;
+    if (!writeJsonFile(JsonPath, Doc, &Err)) {
+      std::cerr << "ogate-sim: " << Err << "\n";
+      return 1;
+    }
   }
   return R.Status == RunStatus::Halted ? 0 : 1;
 }
