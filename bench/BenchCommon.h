@@ -221,10 +221,13 @@ public:
 private:
   /// Every first computation of a cell lands in the bench JSON report
   /// (when enabled); repeat run() hits are cache reads, not new results.
+  /// Bench artifacts carry the "opt" analysis-cache counters group
+  /// unconditionally (they have no shape-pinned baseline to protect).
   static void recordCell(const std::string &Workload, const std::string &Label,
                          const PipelineResult &R) {
     if (benchJsonEnabled())
-      benchJsonState().Cells.push(cellToJson(Workload, Label, R));
+      benchJsonState().Cells.push(
+          cellToJson(Workload, Label, R, &R.OptStats));
   }
 
   std::vector<Workload> Workloads;

@@ -1,0 +1,121 @@
+//===- bench/bench_transform_time.cpp - SoftwareMode transform time --------==//
+//
+// Tracks the transform-throughput trajectory: wall-clock per SoftwareMode
+// software transformation (conventional-VRP narrow, VRP narrow, full VRS
+// specialize) per workload, all through the opt/ layer the real pipeline
+// uses (one AnalysisManager per transformed program). Not a paper figure
+// — this is the other half of the perf budget bench_sim_throughput does
+// not see: every sweep cell pays the transform before it simulates, and
+// VRS in particular re-runs VRP several times over a shared analysis
+// cache. The VRS column also reports the manager's hit rate so a cache
+// regression shows up next to the seconds it costs.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "opt/TransformPipeline.h"
+
+#include <chrono>
+
+using namespace ogbench;
+
+namespace {
+
+double now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+struct Measurement {
+  double Seconds = 0.0; ///< best of Reps
+  StatisticSet Opt;     ///< manager counters of the best run
+};
+
+/// Runs the \p Sw transform on a fresh copy of \p W's program \p Reps
+/// times; keeps the fastest run's wall-clock and counters.
+Measurement measureTransform(const Workload &W, SoftwareMode Sw,
+                             unsigned Reps) {
+  Measurement Best;
+  Best.Seconds = 1e100;
+  for (unsigned R = 0; R < Reps; ++R) {
+    Program P = W.Prog;
+    StatisticSet Stats;
+    AnalysisManager AM(P, &Stats);
+    TransformContext Ctx;
+    Ctx.Narrow.UseUsefulWidths = Sw != SoftwareMode::ConventionalVrp;
+    if (Sw == SoftwareMode::Vrs)
+      Ctx.Train = W.Train;
+    TransformPipeline TP = makeSoftwareModePipeline(Sw);
+    double T0 = now();
+    TP.run(P, AM, Ctx);
+    double Elapsed = now() - T0;
+    benchmark::DoNotOptimize(Ctx.Narrowing.NumNarrowed);
+    if (Elapsed < Best.Seconds) {
+      Best.Seconds = Elapsed;
+      Best.Opt = Stats;
+    }
+  }
+  return Best;
+}
+
+void microSpecializeVrs(benchmark::State &State) {
+  Workload W = makeWorkload("compress", 0.05);
+  for (auto _ : State) {
+    Program P = W.Prog;
+    AnalysisManager AM(P);
+    narrowProgram(P, AM);
+    VrsOptions VO;
+    VrsReport R = specializeProgram(P, AM, W.Train, VO);
+    benchmark::DoNotOptimize(R.PointsSpecialized);
+  }
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  banner("transform_time", "transform-time",
+         "SoftwareMode transform wall-clock per workload");
+
+  const unsigned Reps = 3;
+  TextTable T({"workload", "conv-vrp ms", "vrp ms", "vrs ms", "vrs hits",
+               "vrs misses", "hit%"});
+  Harness H;
+  for (const Workload &W : H.workloads()) {
+    Measurement Conv =
+        measureTransform(W, SoftwareMode::ConventionalVrp, Reps);
+    Measurement Vrp = measureTransform(W, SoftwareMode::Vrp, Reps);
+    Measurement Vrs = measureTransform(W, SoftwareMode::Vrs, Reps);
+
+    uint64_t Hits = Vrs.Opt.get("analysis-hits");
+    uint64_t Misses = Vrs.Opt.get("analysis-misses");
+    double HitPct = Hits + Misses
+                        ? 100.0 * static_cast<double>(Hits) /
+                              static_cast<double>(Hits + Misses)
+                        : 0.0;
+    T.addRow({W.Name, TextTable::num(Conv.Seconds * 1e3, 3),
+              TextTable::num(Vrp.Seconds * 1e3, 3),
+              TextTable::num(Vrs.Seconds * 1e3, 3), std::to_string(Hits),
+              std::to_string(Misses), TextTable::num(HitPct, 1)});
+
+    jsonMetric(W.Name + ".conv-vrp-transform-seconds", Conv.Seconds);
+    jsonMetric(W.Name + ".vrp-transform-seconds", Vrp.Seconds);
+    jsonMetric(W.Name + ".vrs-transform-seconds", Vrs.Seconds);
+    jsonMetric(W.Name + ".vrs-analysis-hit-pct", HitPct);
+  }
+  T.print(std::cout);
+  std::cout << "\nBest of " << Reps
+            << " reps per cell; each run transforms a fresh program copy "
+               "through the mode's\nTransformPipeline with one shared "
+               "AnalysisManager (exactly what a sweep cell does).\nThe "
+               "hit columns are the manager's cache traffic during the "
+               "VRS run.\n";
+
+  // microNarrow is the shared BenchCommon narrow micro (its convenience
+  // narrowProgram overload constructs the same one-shot manager).
+  benchmark::RegisterBenchmark("BM_NarrowVrp", microNarrow);
+  benchmark::RegisterBenchmark("BM_SpecializeVrs", microSpecializeVrs);
+  runMicro(argc, argv);
+  return 0;
+}

@@ -22,6 +22,7 @@ void ResultAggregator::add(const ExperimentSpec &Spec,
   C.Ed2 = Result.Report.ed2();
   C.Narrowed = Result.Narrowing.NumNarrowed;
   C.WidthBearing = Result.Narrowing.NumWidthBearing;
+  C.Opt = Result.OptStats;
   Cells.push_back(std::move(C));
 }
 

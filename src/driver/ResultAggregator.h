@@ -43,6 +43,10 @@ public:
     double Ed2 = 0.0;
     uint64_t Narrowed = 0;
     uint64_t WidthBearing = 0;
+    /// Analysis-cache counters of the transform phase (PipelineResult::
+    /// OptStats); serialized only on request (`ogate-sim --opt-stats`) so
+    /// default sweep documents keep their baseline-stable shape.
+    StatisticSet Opt;
   };
 
   /// Records one finished cell. Thread-compatible, not thread-safe: the

@@ -1,0 +1,229 @@
+//===- opt/AnalysisManager.cpp --------------------------------------------==//
+
+#include "opt/AnalysisManager.h"
+
+#include <cassert>
+
+using namespace og;
+
+void AnalysisManager::count(const char *Name, uint64_t Delta) {
+  if (Stats)
+    Stats->add(Name, Delta);
+}
+
+void AnalysisManager::dropAll(Slot &S) {
+  uint64_t Live = (S.G ? 1 : 0) + (S.DT ? 1 : 0) + (S.LI ? 1 : 0) +
+                  (S.LV ? 1 : 0) + (S.RD ? 1 : 0) + (S.UW ? 1 : 0);
+  if (Live)
+    count("analysis-invalidations", Live);
+  // Dependents before dependencies (DominatorTree holds a Cfg pointer,
+  // UsefulWidth a ReachingDefs reference).
+  S.LI.reset();
+  S.DT.reset();
+  S.UW.reset();
+  S.RD.reset();
+  S.LV.reset();
+  S.G.reset();
+}
+
+void AnalysisManager::clearBuildHistory(Slot &S) {
+  for (unsigned K = 0; K < NumAnalysisKinds; ++K) {
+    S.BuiltFn[K] = nullptr;
+    S.BuiltEpoch[K] = 0;
+  }
+}
+
+AnalysisManager::Slot &AnalysisManager::refresh(int32_t F) {
+  assert(F >= 0 && static_cast<size_t>(F) < P.Funcs.size() &&
+         "function id out of range");
+  if (Slots.size() < P.Funcs.size())
+    Slots.resize(P.Funcs.size());
+  Slot &S = Slots[F];
+  const Function &Fn = P.Funcs[F];
+  if (S.Fn != &Fn || S.Epoch != Fn.Epoch) {
+    // A moved Function (Funcs reallocation) legitimately forces a
+    // rebuild at an unchanged epoch, and the allocator may even hand the
+    // original address back on a later growth — forget the build history
+    // so the same-epoch guard cannot false-positive on that ABA. The
+    // guard only tracks rebuilds at a stable address.
+    if (S.Fn != &Fn)
+      clearBuildHistory(S);
+    dropAll(S);
+    S.Fn = &Fn;
+    S.Epoch = Fn.Epoch;
+  }
+  return S;
+}
+
+bool AnalysisManager::lookup(const Slot &S, bool Present) {
+  (void)S;
+  count(Present ? "analysis-hits" : "analysis-misses");
+  return Present;
+}
+
+void AnalysisManager::noteBuild(Slot &S, AnalysisKind K) {
+  unsigned I = static_cast<unsigned>(K);
+  // The same (function address, epoch) building the same analysis twice
+  // means the cache lost an entry without any mutation — exactly the
+  // per-iteration rebuild class of bug this manager removes.
+  bool SameKey = S.BuiltFn[I] == S.Fn && S.BuiltEpoch[I] == S.Epoch &&
+                 (K != AnalysisKind::UsefulWidth ||
+                  S.BuiltUWThroughArith == S.UWThroughArith);
+  if (SameKey)
+    count("same-epoch-rebuilds");
+  assert(!SameKey && "analysis rebuilt twice at one epoch");
+  S.BuiltFn[I] = S.Fn;
+  S.BuiltEpoch[I] = S.Epoch;
+  if (K == AnalysisKind::UsefulWidth)
+    S.BuiltUWThroughArith = S.UWThroughArith;
+  static const char *BuildCounter[NumAnalysisKinds] = {
+      "cfg-builds",      "domtree-builds",      "loops-builds",
+      "liveness-builds", "reachingdefs-builds", "usefulwidth-builds"};
+  count(BuildCounter[I]);
+}
+
+// The ensure* helpers build missing dependencies WITHOUT touching the
+// hit/miss counters: only the analysis the caller actually asked for
+// counts as cache traffic, so the reported hit rate measures query-level
+// reuse, not dependency-chain bookkeeping. Build counters still count
+// every construction.
+
+const Cfg &AnalysisManager::ensureCfg(Slot &S) {
+  if (!S.G) {
+    S.G = std::make_unique<Cfg>(*S.Fn);
+    noteBuild(S, AnalysisKind::Cfg);
+  }
+  return *S.G;
+}
+
+const DominatorTree &AnalysisManager::ensureDominators(Slot &S) {
+  if (!S.DT) {
+    S.DT = std::make_unique<DominatorTree>(ensureCfg(S));
+    noteBuild(S, AnalysisKind::Dominators);
+  }
+  return *S.DT;
+}
+
+const ReachingDefs &AnalysisManager::ensureReachingDefs(Slot &S) {
+  if (!S.RD) {
+    S.RD = std::make_unique<ReachingDefs>(*S.Fn, ensureCfg(S));
+    noteBuild(S, AnalysisKind::ReachingDefs);
+  }
+  return *S.RD;
+}
+
+const Cfg &AnalysisManager::cfg(int32_t F) {
+  Slot &S = refresh(F);
+  lookup(S, S.G != nullptr);
+  return ensureCfg(S);
+}
+
+const DominatorTree &AnalysisManager::dominators(int32_t F) {
+  Slot &S = refresh(F);
+  lookup(S, S.DT != nullptr);
+  return ensureDominators(S);
+}
+
+const LoopInfo &AnalysisManager::loops(int32_t F) {
+  Slot &S = refresh(F);
+  if (lookup(S, S.LI != nullptr))
+    return *S.LI;
+  const DominatorTree &DT = ensureDominators(S);
+  S.LI = std::make_unique<LoopInfo>(*S.G, DT);
+  noteBuild(S, AnalysisKind::Loops);
+  return *S.LI;
+}
+
+const Liveness &AnalysisManager::liveness(int32_t F) {
+  Slot &S = refresh(F);
+  if (lookup(S, S.LV != nullptr))
+    return *S.LV;
+  S.LV = std::make_unique<Liveness>(*S.Fn, ensureCfg(S));
+  noteBuild(S, AnalysisKind::Liveness);
+  return *S.LV;
+}
+
+const ReachingDefs &AnalysisManager::reachingDefs(int32_t F) {
+  Slot &S = refresh(F);
+  lookup(S, S.RD != nullptr);
+  return ensureReachingDefs(S);
+}
+
+const UsefulWidth &AnalysisManager::usefulWidth(int32_t F,
+                                                bool ThroughArithmetic) {
+  Slot &S = refresh(F);
+  if (S.UW && S.UWThroughArith != ThroughArithmetic) {
+    count("analysis-invalidations");
+    S.UW.reset();
+  }
+  if (lookup(S, S.UW != nullptr))
+    return *S.UW;
+  const ReachingDefs &RD = ensureReachingDefs(S);
+  UsefulWidth::Options O;
+  O.ThroughArithmetic = ThroughArithmetic;
+  S.UWThroughArith = ThroughArithmetic;
+  S.UW = std::make_unique<UsefulWidth>(*S.Fn, RD, O);
+  noteBuild(S, AnalysisKind::UsefulWidth);
+  return *S.UW;
+}
+
+void AnalysisManager::invalidate(int32_t F, const PreservedAnalyses &PA) {
+  assert(F >= 0 && static_cast<size_t>(F) < P.Funcs.size() &&
+         "function id out of range");
+  if (Slots.size() < P.Funcs.size())
+    Slots.resize(P.Funcs.size());
+  Slot &S = Slots[F];
+  const Function &Fn = P.Funcs[F];
+
+  // A moved Function (Funcs reallocation) invalidates everything: the
+  // cached analyses hold pointers to the old storage. Forget the build
+  // history too (see refresh()).
+  if (S.Fn != &Fn) {
+    clearBuildHistory(S);
+    dropAll(S);
+    S.Fn = &Fn;
+    S.Epoch = Fn.Epoch;
+    return;
+  }
+
+  // Normalize dependency chains (see PreservedAnalyses).
+  unsigned M = PA.mask();
+  if (!(M & analysisBit(AnalysisKind::Cfg)))
+    M &= ~(analysisBit(AnalysisKind::Dominators) |
+           analysisBit(AnalysisKind::Loops));
+  if (!(M & analysisBit(AnalysisKind::Dominators)))
+    M &= ~analysisBit(AnalysisKind::Loops);
+  if (!(M & analysisBit(AnalysisKind::ReachingDefs)))
+    M &= ~analysisBit(AnalysisKind::UsefulWidth);
+
+  uint64_t Dropped = 0;
+  auto apply = [&](AnalysisKind K, auto &Ptr) {
+    if (!Ptr)
+      return;
+    if (!(M & analysisBit(K))) {
+      Ptr.reset();
+      ++Dropped;
+    }
+  };
+  // Dependents first so nothing ever dangles mid-walk.
+  apply(AnalysisKind::Loops, S.LI);
+  apply(AnalysisKind::Dominators, S.DT);
+  apply(AnalysisKind::UsefulWidth, S.UW);
+  apply(AnalysisKind::ReachingDefs, S.RD);
+  apply(AnalysisKind::Liveness, S.LV);
+  apply(AnalysisKind::Cfg, S.G);
+  if (Dropped)
+    count("analysis-invalidations", Dropped);
+
+  // Re-stamp: whatever survived is declared valid at the new epoch.
+  S.Epoch = Fn.Epoch;
+}
+
+void AnalysisManager::invalidateAll() {
+  for (Slot &S : Slots) {
+    dropAll(S);
+    // Explicit whole-cache flush: also forget the build history so a
+    // rebuild at an unchanged epoch is not misread as a cache-loss bug.
+    S = Slot();
+  }
+}

@@ -1,0 +1,202 @@
+//===- opt/AnalysisManager.h - Cached per-function analyses ------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A typed per-function cache for the intra-procedural analyses every
+/// transform stage needs (Cfg, DominatorTree, LoopInfo, Liveness,
+/// ReachingDefs, UsefulWidth). Before this manager existed each pass
+/// rebuilt its analyses from scratch per function per invocation — VRS's
+/// re-VRP over a program whose functions are almost all untouched paid
+/// the full price again on every sweep cell.
+///
+/// Validity is keyed on Function::Epoch: every mutation site
+/// (program/Builder, program/Clone, the vrp/vrs rewriting passes) bumps
+/// the mutated function's epoch, and a cached analysis is reused only
+/// while the epoch (and the Function's address — Program::Funcs may
+/// reallocate when the specializer clones callees) still matches the one
+/// it was computed at. A pass that knows its mutation left some analyses
+/// valid declares that through PreservedAnalyses: `invalidate(F, PA)`
+/// re-stamps the preserved analyses to the new epoch and frees the rest.
+/// Wrong preservation declarations are the one way to break the
+/// bit-identity of transformed programs, so declare conservatively; the
+/// per-kind preservation rules used by the in-tree passes are documented
+/// at the PreservedAnalyses factories below.
+///
+/// References returned by the manager stay valid until the next
+/// invalidation (explicit or epoch-triggered) of that function. The
+/// manager is not thread-safe; the driver builds one per experiment cell.
+///
+/// Cache traffic lands in an optional support/Statistic set ("opt"
+/// counters group in reports): analysis-hits / analysis-misses /
+/// analysis-invalidations, per-kind build counts, and
+/// same-epoch-rebuilds, which must stay zero (an analysis rebuilt twice
+/// at one epoch means the cache was dropped without a mutation — the
+/// regression the manager exists to prevent).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_OPT_ANALYSISMANAGER_H
+#define OG_OPT_ANALYSISMANAGER_H
+
+#include "analysis/Liveness.h"
+#include "analysis/Loops.h"
+#include "analysis/ReachingDefs.h"
+#include "support/Statistic.h"
+#include "vrp/UsefulWidth.h"
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace og {
+
+/// The analyses the manager caches.
+enum class AnalysisKind : unsigned {
+  Cfg = 0,
+  Dominators,
+  Loops,
+  Liveness,
+  ReachingDefs,
+  UsefulWidth,
+};
+constexpr unsigned NumAnalysisKinds = 6;
+
+constexpr unsigned analysisBit(AnalysisKind K) {
+  return 1u << static_cast<unsigned>(K);
+}
+
+/// What a mutating pass declares it kept valid. The manager normalizes
+/// dependency chains: Dominators/Loops cannot outlive the Cfg they were
+/// built from, and UsefulWidth holds a reference into ReachingDefs, so
+/// preserving a dependent without its dependency silently preserves
+/// neither.
+class PreservedAnalyses {
+public:
+  /// Nothing survives (structural mutation: split blocks, cloned regions,
+  /// rewritten terminators, new guard blocks).
+  static PreservedAnalyses none() { return PreservedAnalyses(); }
+
+  /// Everything survives (the pass looked but did not touch).
+  static PreservedAnalyses all() {
+    PreservedAnalyses PA;
+    PA.Mask = (1u << NumAnalysisKinds) - 1;
+    return PA;
+  }
+
+  /// A width-only rewrite (vrp/Narrowing: only Instruction::W changes).
+  /// Cfg/Dominators/Loops/Liveness/ReachingDefs read opcodes, registers
+  /// and control flow but never widths, so all five survive; UsefulWidth
+  /// derives demand from store/msk widths and is dropped.
+  static PreservedAnalyses widthRewrite() {
+    PreservedAnalyses PA;
+    PA.Mask = analysisBit(AnalysisKind::Cfg) |
+              analysisBit(AnalysisKind::Dominators) |
+              analysisBit(AnalysisKind::Loops) |
+              analysisBit(AnalysisKind::Liveness) |
+              analysisBit(AnalysisKind::ReachingDefs);
+    return PA;
+  }
+
+  /// An in-block instruction rewrite or deletion that touches no
+  /// terminator (vrs/ConstProp fold + DCE): block edges are intact so
+  /// Cfg and Dominators survive, but instruction operands/indices changed
+  /// — Loops (which records the iterator's instruction index and shape),
+  /// Liveness, ReachingDefs and UsefulWidth are dropped.
+  static PreservedAnalyses cfgOnly() {
+    PreservedAnalyses PA;
+    PA.Mask = analysisBit(AnalysisKind::Cfg) |
+              analysisBit(AnalysisKind::Dominators);
+    return PA;
+  }
+
+  PreservedAnalyses &preserve(AnalysisKind K) {
+    Mask |= analysisBit(K);
+    return *this;
+  }
+
+  bool isPreserved(AnalysisKind K) const { return Mask & analysisBit(K); }
+  unsigned mask() const { return Mask; }
+
+private:
+  unsigned Mask = 0;
+};
+
+/// Lazily-built, epoch-validated analysis cache over one Program.
+class AnalysisManager {
+public:
+  /// \p Stats, when given, receives the cache counters (it must outlive
+  /// the manager).
+  explicit AnalysisManager(const Program &P, StatisticSet *Stats = nullptr)
+      : P(P), Stats(Stats) {}
+
+  AnalysisManager(const AnalysisManager &) = delete;
+  AnalysisManager &operator=(const AnalysisManager &) = delete;
+
+  const Program &program() const { return P; }
+  StatisticSet *statistics() const { return Stats; }
+
+  // --- Queries. Each returns a cached analysis when the function's epoch
+  // (and address) still match, and rebuilds otherwise.
+  const Cfg &cfg(int32_t F);
+  const DominatorTree &dominators(int32_t F);
+  const LoopInfo &loops(int32_t F);
+  const Liveness &liveness(int32_t F);
+  const ReachingDefs &reachingDefs(int32_t F);
+  /// UsefulWidth additionally keys on the ThroughArithmetic ablation flag;
+  /// asking with a different flag than cached rebuilds.
+  const UsefulWidth &usefulWidth(int32_t F, bool ThroughArithmetic);
+
+  /// Called by a pass after it mutated function \p F (and bumped its
+  /// epoch): frees everything not named in \p PA and re-stamps the
+  /// preserved analyses to the new epoch. Without this call staleness is
+  /// still detected lazily at the next query — invalidate() exists so a
+  /// pass can *keep* analyses across its own mutation.
+  void invalidate(int32_t F, const PreservedAnalyses &PA);
+
+  /// Drops every cached analysis of every function.
+  void invalidateAll();
+
+private:
+  struct Slot {
+    const Function *Fn = nullptr; ///< address validity (Funcs may realloc)
+    uint64_t Epoch = 0;           ///< epoch the cached analyses match
+    std::unique_ptr<Cfg> G;
+    std::unique_ptr<DominatorTree> DT;
+    std::unique_ptr<LoopInfo> LI;
+    std::unique_ptr<Liveness> LV;
+    std::unique_ptr<ReachingDefs> RD;
+    std::unique_ptr<UsefulWidth> UW;
+    bool UWThroughArith = false;
+    // Regression guard: where each kind was last *built*. Rebuilding at
+    // an unchanged (address, epoch) means cache loss without mutation.
+    const Function *BuiltFn[NumAnalysisKinds] = {};
+    uint64_t BuiltEpoch[NumAnalysisKinds] = {};
+    bool BuiltUWThroughArith = false;
+  };
+
+  /// Slot for \p F, with stale contents (address or epoch mismatch)
+  /// dropped.
+  Slot &refresh(int32_t F);
+  void dropAll(Slot &S);
+  void clearBuildHistory(Slot &S);
+  void count(const char *Name, uint64_t Delta = 1);
+  void noteBuild(Slot &S, AnalysisKind K);
+  /// Counts a hit or miss; returns true on hit (cached object present).
+  bool lookup(const Slot &S, bool Present);
+  // Build-if-absent without hit/miss counting — dependency resolution is
+  // not user cache traffic (builds are still counted per kind).
+  const Cfg &ensureCfg(Slot &S);
+  const DominatorTree &ensureDominators(Slot &S);
+  const ReachingDefs &ensureReachingDefs(Slot &S);
+
+  const Program &P;
+  StatisticSet *Stats;
+  std::vector<Slot> Slots;
+};
+
+} // namespace og
+
+#endif // OG_OPT_ANALYSISMANAGER_H

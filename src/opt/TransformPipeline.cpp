@@ -1,0 +1,60 @@
+//===- opt/TransformPipeline.cpp ------------------------------------------==//
+
+#include "opt/TransformPipeline.h"
+
+#include "pipeline/Pipeline.h"
+#include "vrs/ConstProp.h"
+
+using namespace og;
+
+TransformPass og::makeNarrowPass() {
+  return [](Program &P, AnalysisManager &AM, TransformContext &Ctx) {
+    Ctx.Narrowing = narrowProgram(P, AM, Ctx.Narrow);
+  };
+}
+
+TransformPass og::makeSpecializePass() {
+  return [](Program &P, AnalysisManager &AM, TransformContext &Ctx) {
+    // The specializer's internal re-VRP/re-narrow always runs under the
+    // pipeline's narrowing configuration — derived here rather than
+    // hand-mirrored by every caller into Ctx.Vrs.Narrow, so a
+    // composition cannot silently specialize under different narrowing
+    // knobs than its narrow pass.
+    VrsOptions VO = Ctx.Vrs;
+    VO.Narrow = Ctx.Narrow;
+    Ctx.VrsResult = specializeProgram(P, AM, Ctx.Train, VO);
+  };
+}
+
+TransformPass og::makeCleanupPass() {
+  return [](Program &P, AnalysisManager &AM, TransformContext &Ctx) {
+    // Both seed sources: caller-provided facts and the guard facts a
+    // preceding specialize pass established — a cleanup composed after
+    // specialization folds with the same knowledge the built-in VRS
+    // step-3c cleanup had (it is literally the same runCleanup helper).
+    std::vector<EdgeSeed> Seeds = Ctx.Narrow.Seeds;
+    Seeds.insert(Seeds.end(), Ctx.VrsResult.Seeds.begin(),
+                 Ctx.VrsResult.Seeds.end());
+    CleanupCounts C = runCleanup(P, AM, Ctx.Narrow.Range, Seeds);
+    Ctx.CleanupFolded += C.Folded;
+    Ctx.CleanupBranchesFolded += C.BranchesFolded;
+    Ctx.CleanupRemoved += C.Removed;
+  };
+}
+
+TransformPipeline og::makeSoftwareModePipeline(SoftwareMode Sw) {
+  TransformPipeline TP;
+  switch (Sw) {
+  case SoftwareMode::None:
+    break;
+  case SoftwareMode::ConventionalVrp:
+  case SoftwareMode::Vrp:
+    TP.add("narrow", makeNarrowPass());
+    break;
+  case SoftwareMode::Vrs:
+    TP.add("narrow", makeNarrowPass());
+    TP.add("specialize", makeSpecializePass());
+    break;
+  }
+  return TP;
+}

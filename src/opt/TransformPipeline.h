@@ -1,0 +1,112 @@
+//===- opt/TransformPipeline.h - Composable transform passes -----*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The pass layer over vrp/ and vrs/: a TransformPipeline is an ordered
+/// list of named passes, each running against one Program and one shared
+/// AnalysisManager so analyses built by an early pass survive into later
+/// ones (a pass invalidates only what its mutation destroyed — see
+/// opt/AnalysisManager.h). The existing SoftwareMode flows are expressed
+/// as compositions of the stock passes:
+///
+///   None             — (empty pipeline)
+///   ConventionalVrp  — narrow            (Ctx.Narrow.UseUsefulWidths=false)
+///   Vrp              — narrow            (Ctx.Narrow.UseUsefulWidths=true)
+///   Vrs              — narrow, specialize
+///
+/// A new gating mode is a new composition (or a new pass), not a new
+/// hard-wired code path in pipeline/Pipeline.cpp. Stock pass factories:
+/// makeNarrowPass(), makeSpecializePass(), makeCleanupPass() (constant/
+/// branch folding + DCE, for custom compositions).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_OPT_TRANSFORMPIPELINE_H
+#define OG_OPT_TRANSFORMPIPELINE_H
+
+#include "opt/AnalysisManager.h"
+#include "sim/Interpreter.h"
+#include "vrp/Narrowing.h"
+#include "vrs/Specializer.h"
+
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace og {
+
+enum class SoftwareMode; // pipeline/Pipeline.h
+
+/// Everything the passes of one pipeline run read and produce. The caller
+/// fills the configuration half before run(); passes deposit their
+/// reports in the result half.
+struct TransformContext {
+  // --- Configuration (set by the caller).
+  NarrowingOptions Narrow; ///< narrowing knobs, mode-adjusted; also used
+                           ///< for the re-VRP inside the specialize pass
+                           ///< (Vrs.Narrow is overridden with it)
+  VrsOptions Vrs;          ///< specializer knobs (energy/test-cost etc.)
+  RunOptions Train;        ///< VRS training input
+
+  // --- Results (filled by passes).
+  NarrowingReport Narrowing; ///< last narrow pass
+  VrsReport VrsResult;       ///< specialize pass
+  uint64_t CleanupFolded = 0;
+  uint64_t CleanupBranchesFolded = 0;
+  uint64_t CleanupRemoved = 0;
+};
+
+/// One transform pass: mutates \p P, keeps \p AM honest about what it
+/// mutated, reports through \p Ctx.
+using TransformPass =
+    std::function<void(Program &P, AnalysisManager &AM, TransformContext &Ctx)>;
+
+/// An ordered, named pass list.
+class TransformPipeline {
+public:
+  TransformPipeline &add(std::string Name, TransformPass Pass) {
+    Passes.push_back({std::move(Name), std::move(Pass)});
+    return *this;
+  }
+
+  /// Runs every pass in order over the same program and manager.
+  void run(Program &P, AnalysisManager &AM, TransformContext &Ctx) const {
+    for (const NamedPass &NP : Passes)
+      NP.Pass(P, AM, Ctx);
+  }
+
+  size_t size() const { return Passes.size(); }
+  const std::string &passName(size_t I) const { return Passes[I].Name; }
+
+private:
+  struct NamedPass {
+    std::string Name;
+    TransformPass Pass;
+  };
+  std::vector<NamedPass> Passes;
+};
+
+/// vrp/Narrowing as a pass (re-encodes widths; reports to Ctx.Narrowing).
+TransformPass makeNarrowPass();
+
+/// vrs/Specializer as a pass (profile-guided region specialization,
+/// including its internal re-narrow + cleanup; reports to Ctx.VrsResult).
+TransformPass makeSpecializePass();
+
+/// vrs/ConstProp constant folding + branch folding + DCE as a standalone
+/// pass for custom compositions (counts land in Ctx.Cleanup*). Seeds its
+/// range analysis from Ctx.Narrow.Seeds plus any guard facts a preceding
+/// specialize pass deposited in Ctx.VrsResult.Seeds.
+TransformPass makeCleanupPass();
+
+/// The pipeline for one SoftwareMode (see file comment). The caller still
+/// sets Ctx.Narrow.UseUsefulWidths to distinguish ConventionalVrp from
+/// Vrp, exactly like the pre-pipeline switch did.
+TransformPipeline makeSoftwareModePipeline(SoftwareMode Sw);
+
+} // namespace og
+
+#endif // OG_OPT_TRANSFORMPIPELINE_H

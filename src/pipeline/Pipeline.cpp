@@ -2,6 +2,8 @@
 
 #include "pipeline/Pipeline.h"
 
+#include "opt/TransformPipeline.h"
+
 #include <cassert>
 
 using namespace og;
@@ -28,29 +30,31 @@ PipelineResult og::runPipeline(const Workload &W, const PipelineConfig &Config,
   Result.Transformed = W.Prog;
   Program &P = Result.Transformed;
 
-  // ---- Software transformation.
-  NarrowingOptions Narrow = Config.Narrow;
+  // ---- Software transformation: one AnalysisManager per experiment
+  // cell, shared by every pass of the mode's TransformPipeline (the VRS
+  // flow in particular re-runs VRP several times over a program whose
+  // functions are mostly untouched between runs).
+  AnalysisManager AM(P, &Result.OptStats);
+  TransformContext Ctx;
+  Ctx.Narrow = Config.Narrow;
   switch (Config.Sw) {
   case SoftwareMode::None:
     break;
   case SoftwareMode::ConventionalVrp:
-    Narrow.UseUsefulWidths = false;
-    Result.Narrowing = narrowProgram(P, Narrow);
+    Ctx.Narrow.UseUsefulWidths = false;
     break;
   case SoftwareMode::Vrp:
-    Narrow.UseUsefulWidths = true;
-    Result.Narrowing = narrowProgram(P, Narrow);
+    Ctx.Narrow.UseUsefulWidths = true;
     break;
-  case SoftwareMode::Vrs: {
-    Narrow.UseUsefulWidths = true;
-    Result.Narrowing = narrowProgram(P, Narrow);
-    VrsOptions VO;
-    VO.Narrow = Narrow;
-    VO.Energy.TestCostNJ = Config.VrsTestCostNJ;
-    Result.Vrs = specializeProgram(P, W.Train, VO);
+  case SoftwareMode::Vrs:
+    Ctx.Narrow.UseUsefulWidths = true;
+    Ctx.Vrs.Energy.TestCostNJ = Config.VrsTestCostNJ;
+    Ctx.Train = W.Train;
     break;
   }
-  }
+  makeSoftwareModePipeline(Config.Sw).run(P, AM, Ctx);
+  Result.Narrowing = Ctx.Narrowing;
+  Result.Vrs = Ctx.VrsResult;
 
   // ---- Ref run through the timing + power models. The core consumes the
   // trace directly as a batched sink. Decode the transformed binary once;

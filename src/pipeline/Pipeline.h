@@ -19,6 +19,7 @@
 
 #include "power/Report.h"
 #include "sim/ExecEngine.h"
+#include "support/Statistic.h"
 #include "vrp/Narrowing.h"
 #include "vrs/Specializer.h"
 #include "workloads/Workloads.h"
@@ -60,6 +61,12 @@ struct PipelineResult {
   /// guard tests (Figure 6); zero outside VRS mode.
   double DynSpecializedFrac = 0.0;
   double DynGuardFrac = 0.0;
+
+  /// opt/AnalysisManager cache counters of the transform phase
+  /// (analysis-hits / analysis-misses / analysis-invalidations, per-kind
+  /// build counts, same-epoch-rebuilds). Deterministic for a given
+  /// workload + configuration; empty in SoftwareMode::None.
+  StatisticSet OptStats;
 };
 
 /// Runs the full flow on a copy of \p W's program.

@@ -23,8 +23,10 @@ FunctionBuilder &FunctionBuilder::block(const std::string &Label) {
   int32_t Next = blockId(Label);
   if (CurBlock != NoTarget) {
     BasicBlock &BB = func().Blocks[CurBlock];
-    if (!BB.terminator() && BB.FallthroughSucc == NoTarget)
+    if (!BB.terminator() && BB.FallthroughSucc == NoTarget) {
       BB.FallthroughSucc = Next;
+      func().bumpEpoch();
+    }
   }
   CurBlock = Next;
   return *this;
@@ -36,6 +38,7 @@ FunctionBuilder &FunctionBuilder::emit(Instruction I) {
   BasicBlock &BB = func().Blocks[CurBlock];
   assert(!BB.terminator() && "emitting into a terminated block");
   BB.Insts.push_back(I);
+  func().bumpEpoch();
   return *this;
 }
 

@@ -36,5 +36,6 @@ og::cloneRegion(Function &F, const std::vector<int32_t> &Region) {
         I.Target = remap(I.Target);
     F.Blocks.push_back(std::move(Copy));
   }
+  F.bumpEpoch();
   return Mapping;
 }

@@ -25,6 +25,7 @@ BasicBlock &Function::addBlock(std::string Label) {
   BB.Id = static_cast<int32_t>(Blocks.size());
   BB.Label = std::move(Label);
   Blocks.push_back(std::move(BB));
+  bumpEpoch();
   return Blocks.back();
 }
 

@@ -63,8 +63,16 @@ struct Function {
   std::string Name;
   std::vector<BasicBlock> Blocks;
   int32_t EntryBlock = 0;
+  /// Modification epoch: every mutation of the function body (builder
+  /// emission, block splits, cloning, rewriting passes) bumps it. The
+  /// opt/AnalysisManager keys its per-function analysis cache on this, so
+  /// forgetting to bump after a mutation means stale analyses. Use
+  /// bumpEpoch() at every mutation site.
+  uint64_t Epoch = 0;
 
-  /// Appends an empty block and returns it (id = index).
+  void bumpEpoch() { ++Epoch; }
+
+  /// Appends an empty block and returns it (id = index). Bumps the epoch.
   BasicBlock &addBlock(std::string Label = "");
 
   /// Total instruction count across all blocks.

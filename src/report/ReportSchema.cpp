@@ -119,8 +119,23 @@ JsonValue og::toJson(const NarrowingReport &R) {
   return Out;
 }
 
+namespace {
+
+/// The "opt" counters group: analysis-cache traffic in registration
+/// (first-touch) order, which is deterministic for a deterministic
+/// transform run.
+JsonValue optStatsToJson(const StatisticSet &S) {
+  JsonValue Opt = JsonValue::object();
+  for (const auto &E : S.entries())
+    Opt.set(E.first, JsonValue::integer(static_cast<int64_t>(E.second)));
+  return Opt;
+}
+
+} // namespace
+
 JsonValue og::cellToJson(const std::string &Workload, const std::string &Label,
-                         const PipelineResult &R) {
+                         const PipelineResult &R,
+                         const StatisticSet *OptStats) {
   JsonValue Counters = JsonValue::object();
   Counters.set("dyn-insts", JsonValue::integer(R.RefStats.DynInsts));
   Counters.set("cycles", JsonValue::integer(R.Report.Uarch.Cycles));
@@ -144,11 +159,14 @@ JsonValue og::cellToJson(const std::string &Workload, const std::string &Label,
   Out.set("config", JsonValue::str(Label));
   Out.set("counters", std::move(Counters));
   Out.set("metrics", std::move(Metrics));
+  if (OptStats && !OptStats->entries().empty())
+    Out.set("opt", optStatsToJson(*OptStats));
   return Out;
 }
 
 JsonValue og::sweepToJson(const ResultAggregator &Agg,
-                          const std::string &SweepKind, double Scale) {
+                          const std::string &SweepKind, double Scale,
+                          bool IncludeOptCounters) {
   JsonValue Root = makeReportRoot("sweep");
   Root.set("sweep", JsonValue::str(SweepKind));
   Root.set("scale", JsonValue::number(Scale));
@@ -171,6 +189,8 @@ JsonValue og::sweepToJson(const ResultAggregator &Agg,
     Cell.set("config", JsonValue::str(C.Label));
     Cell.set("counters", std::move(Counters));
     Cell.set("metrics", std::move(Metrics));
+    if (IncludeOptCounters && !C.Opt.entries().empty())
+      Cell.set("opt", optStatsToJson(C.Opt));
     Cells.push(std::move(Cell));
   }
   Root.set("cells", std::move(Cells));

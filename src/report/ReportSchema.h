@@ -36,6 +36,7 @@
 namespace og {
 
 class ResultAggregator;
+class StatisticSet;
 struct EnergyReport;
 struct ExecStats;
 struct NarrowingReport;
@@ -71,16 +72,22 @@ JsonValue toJson(const EnergyReport &R);
 JsonValue toJson(const NarrowingReport &R);
 
 /// One experiment cell (workload x configuration) of a sweep or bench
-/// harness: {"workload", "config", "counters", "metrics"}.
+/// harness: {"workload", "config", "counters", "metrics"} — plus an
+/// "opt" counters group (opt/AnalysisManager cache traffic) when
+/// \p OptStats is given and non-empty.
 JsonValue cellToJson(const std::string &Workload, const std::string &Label,
-                     const PipelineResult &R);
+                     const PipelineResult &R,
+                     const StatisticSet *OptStats = nullptr);
 
 /// A whole sweep: kind "sweep" root + sorted "cells" + the aggregate
 /// "counters". Cells are sorted by (workload, config) exactly like the
 /// printed table, so the document bytes are independent of completion
-/// order and worker count.
+/// order and worker count. \p IncludeOptCounters adds each cell's "opt"
+/// group (`ogate-sim --sweep --opt-stats`); it defaults off because the
+/// checked-in baselines predate the group and `ogate-report diff` treats
+/// an added key as a finding.
 JsonValue sweepToJson(const ResultAggregator &Agg, const std::string &SweepKind,
-                      double Scale);
+                      double Scale, bool IncludeOptCounters = false);
 
 } // namespace og
 

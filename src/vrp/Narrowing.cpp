@@ -105,20 +105,18 @@ unsigned og::requiredBytes(const Instruction &I, const ValueRange &InA,
   return std::max(1u, std::min(RangePath, UsefulPath));
 }
 
-NarrowingReport og::narrowProgram(Program &P, const NarrowingOptions &Opts) {
-  RangeAnalysis RA(P, Opts.Range);
+NarrowingReport og::narrowProgram(Program &P, AnalysisManager &AM,
+                                  const NarrowingOptions &Opts) {
+  RangeAnalysis RA(AM, Opts.Range);
   for (const EdgeSeed &S : Opts.Seeds)
     RA.addEdgeConstraint(S.Func, S.From, S.To, S.R, ValueRange(S.Min, S.Max));
   RA.run();
 
   NarrowingReport Report;
   for (Function &F : P.Funcs) {
-    Cfg G(F);
-    ReachingDefs RD(F, G);
-    UsefulWidth::Options UWOpts;
-    UWOpts.ThroughArithmetic = Opts.UsefulThroughArith;
-    UsefulWidth UW(F, RD, UWOpts);
+    const UsefulWidth &UW = AM.usefulWidth(F.Id, Opts.UsefulThroughArith);
     const FunctionRanges &FR = RA.func(F.Id);
+    bool Changed = false;
 
     for (BasicBlock &BB : F.Blocks) {
       for (size_t II = 0; II < BB.Insts.size(); ++II) {
@@ -139,12 +137,23 @@ NarrowingReport og::narrowProgram(Program &P, const NarrowingOptions &Opts) {
         // Never widen: the current width is semantic for already-narrow
         // code.
         Width Final = std::min(I.W, Encodable);
-        if (Final != I.W)
+        if (Final != I.W) {
           ++Report.NumNarrowed;
+          Changed = true;
+        }
         I.W = Final;
         ++Report.StaticWidth[static_cast<unsigned>(I.W)];
       }
     }
+    if (Changed) {
+      F.bumpEpoch();
+      AM.invalidate(F.Id, PreservedAnalyses::widthRewrite());
+    }
   }
   return Report;
+}
+
+NarrowingReport og::narrowProgram(Program &P, const NarrowingOptions &Opts) {
+  AnalysisManager AM(P);
+  return narrowProgram(P, AM, Opts);
 }

@@ -76,7 +76,16 @@ unsigned requiredBytes(const Instruction &I, const ValueRange &InA,
                        bool MayWrap, unsigned UsefulBytes);
 
 /// Runs RangeAnalysis (+ UsefulWidth) over \p P and re-encodes every
-/// width-bearing instruction with its minimum encodable width.
+/// width-bearing instruction with its minimum encodable width. Analyses
+/// come from \p AM; functions whose widths actually changed get their
+/// epoch bumped with a width-rewrite preservation declaration
+/// (Cfg/Dominators/Loops/Liveness/ReachingDefs survive, UsefulWidth is
+/// dropped), so a re-narrow over an untouched function reuses everything.
+NarrowingReport narrowProgram(Program &P, AnalysisManager &AM,
+                              const NarrowingOptions &Opts = {});
+
+/// Convenience without a shared manager (tests, examples): runs over a
+/// private AnalysisManager.
 NarrowingReport narrowProgram(Program &P,
                               const NarrowingOptions &Opts = {});
 

@@ -6,8 +6,17 @@
 
 using namespace og;
 
+RangeAnalysis::RangeAnalysis(AnalysisManager &AM, Options Opts)
+    : P(AM.program()), Opts(Opts), AM(&AM) {
+  init();
+}
+
 RangeAnalysis::RangeAnalysis(const Program &P, Options Opts)
-    : P(P), Opts(Opts) {
+    : P(P), Opts(Opts), OwnedAM(new AnalysisManager(P)), AM(OwnedAM.get()) {
+  init();
+}
+
+void RangeAnalysis::init() {
   size_t N = P.Funcs.size();
   Ctx.resize(N);
   Results.resize(N);
@@ -25,10 +34,9 @@ RangeAnalysis::RangeAnalysis(const Program &P, Options Opts)
 
   for (const Function &F : P.Funcs) {
     FuncContext &C = Ctx[F.Id];
-    C.G.reset(new Cfg(F));
-    C.DT.reset(new DominatorTree(*C.G));
-    C.LI.reset(new LoopInfo(*C.G, *C.DT));
-    C.RD.reset(new ReachingDefs(F, *C.G));
+    C.G = &AM->cfg(F.Id);
+    C.LI = &AM->loops(F.Id);
+    C.RD = &AM->reachingDefs(F.Id);
 
     FunctionRanges &R = Results[F.Id];
     R.BlockBase.resize(F.Blocks.size());
@@ -466,7 +474,7 @@ void RangeAnalysis::analyzeFunction(int32_t F) {
   }
 }
 
-void RangeAnalysis::run() {
+void RangeAnalysis::runImpl() {
   const CallGraph CG(P);
   unsigned Rounds = Opts.Interprocedural ? Opts.MaxInterRounds : 1;
   for (unsigned Round = 0; Round < Rounds; ++Round) {
@@ -503,4 +511,15 @@ void RangeAnalysis::run() {
   // One final pass with the settled summaries so recorded ranges match.
   for (int32_t F : CG.bottomUpOrder())
     analyzeFunction(F);
+}
+
+void RangeAnalysis::run() {
+  runImpl();
+  // Drop the borrowed views: a later pass invalidating the shared
+  // manager must not leave this object holding dangling analysis
+  // pointers. Anything still reachable (func()/argRange()/returnRange())
+  // reads RangeAnalysis-owned storage; an accidental re-run() faults on
+  // the nulls instead of silently using freed memory.
+  for (FuncContext &C : Ctx)
+    C = FuncContext();
 }

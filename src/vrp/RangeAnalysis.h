@@ -29,10 +29,7 @@
 #define OG_VRP_RANGEANALYSIS_H
 
 #include "analysis/CallGraph.h"
-#include "analysis/Cfg.h"
-#include "analysis/Dominators.h"
-#include "analysis/Loops.h"
-#include "analysis/ReachingDefs.h"
+#include "opt/AnalysisManager.h"
 #include "vrp/Transfer.h"
 
 #include <array>
@@ -70,6 +67,15 @@ public:
     unsigned WidenAfter = 3;     ///< block visits before widening
   };
 
+  /// Preferred form: pulls Cfg/Dominators/Loops/ReachingDefs from \p AM's
+  /// cache instead of rebuilding them per run. One experiment cell shares
+  /// one manager across every VRP/VRS invocation, so a re-run after a
+  /// localized mutation only rebuilds the touched functions' analyses.
+  explicit RangeAnalysis(AnalysisManager &AM) : RangeAnalysis(AM, Options()) {}
+  RangeAnalysis(AnalysisManager &AM, Options Opts);
+
+  /// Convenience for callers without a manager (tests, one-shot dumps):
+  /// owns a private AnalysisManager over \p P.
   explicit RangeAnalysis(const Program &P) : RangeAnalysis(P, Options()) {}
   RangeAnalysis(const Program &P, Options Opts);
 
@@ -80,7 +86,9 @@ public:
   void addEdgeConstraint(int32_t Func, int32_t From, int32_t To, Reg R,
                          ValueRange Range);
 
-  /// Runs the analysis to (bounded) fixpoint.
+  /// Runs the analysis to (bounded) fixpoint. Single-shot: the borrowed
+  /// analysis views are released when it returns (only the recorded
+  /// results stay live), so it must not be called twice.
   void run();
 
   const FunctionRanges &func(int32_t F) const { return Results[F]; }
@@ -90,15 +98,25 @@ public:
   ValueRange returnRange(int32_t F) const;
 
 private:
+  /// Borrowed analysis views, owned by the AnalysisManager. They are only
+  /// guaranteed valid until the next invalidation of their function
+  /// through the shared manager, so they are used exclusively between
+  /// construction and the end of run() — run() clears them when it
+  /// finishes. The accessors that remain usable afterwards (func(),
+  /// argRange(), returnRange()) read only RangeAnalysis-owned results,
+  /// which is what lets callers keep a finished analysis around while
+  /// other passes mutate the program (e.g. fold/DCE consuming the
+  /// specializer's re-VRP).
   struct FuncContext {
-    std::unique_ptr<Cfg> G;
-    std::unique_ptr<DominatorTree> DT;
-    std::unique_ptr<LoopInfo> LI;
-    std::unique_ptr<ReachingDefs> RD;
+    const Cfg *G = nullptr;
+    const LoopInfo *LI = nullptr;
+    const ReachingDefs *RD = nullptr;
   };
 
   using RegState = std::array<ValueRange, NumRegs>;
 
+  void init();
+  void runImpl();
   void analyzeFunction(int32_t F);
   void forwardPass(int32_t F, bool Record);
   void backwardPass(int32_t F);
@@ -110,6 +128,8 @@ private:
 
   const Program &P;
   Options Opts;
+  std::unique_ptr<AnalysisManager> OwnedAM; ///< convenience-ctor manager
+  AnalysisManager *AM;
   std::vector<FuncContext> Ctx;
   std::vector<FunctionRanges> Results;
   /// Backward-pass refinements intersected into forward results.

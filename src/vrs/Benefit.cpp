@@ -10,33 +10,32 @@ namespace {
 constexpr unsigned MaxDepth = 24;
 }
 
-ProgramBenefit::ProgramBenefit(const Program &P, const RangeAnalysis &RA,
+ProgramBenefit::ProgramBenefit(AnalysisManager &AM, const RangeAnalysis &RA,
                                const ProgramProfile *Profile,
                                IsaPolicy Policy, const EnergyParams &Energy,
                                bool UsefulThroughArith)
-    : P(P), RA(RA), Profile(Profile), Policy(Policy), Energy(Energy) {
+    : P(AM.program()), RA(RA), Profile(Profile), Policy(Policy),
+      Energy(Energy) {
   Ctx.resize(P.Funcs.size());
   for (const Function &F : P.Funcs) {
     FnCtx &C = Ctx[F.Id];
-    C.G.reset(new Cfg(F));
-    C.RD.reset(new ReachingDefs(F, *C.G));
-    UsefulWidth::Options UWOpts;
-    UWOpts.ThroughArithmetic = UsefulThroughArith;
-    C.UW.reset(new UsefulWidth(F, *C.RD, UWOpts));
+    const ReachingDefs &RD = AM.reachingDefs(F.Id);
+    C.RD = &RD;
+    C.UW = &AM.usefulWidth(F.Id, UsefulThroughArith);
 
     std::vector<ReachingDefs::Def> Defs;
-    for (size_t Id = 0; Id < C.RD->numInsts(); ++Id) {
-      const Instruction &I = C.RD->inst(Id);
+    for (size_t Id = 0; Id < RD.numInsts(); ++Id) {
+      const Instruction &I = RD.inst(Id);
       if (I.isCall())
         C.Calls.push_back(Id);
       // Which instructions read entry-argument values.
       unsigned NSrc = I.numRegSources();
-      InstRef Ref = C.RD->instRef(Id);
+      InstRef Ref = RD.instRef(Id);
       for (unsigned S = 0; S < NSrc; ++S) {
         Reg R = I.regSource(S);
         if (R < RegA0 || R >= RegA0 + NumArgRegs)
           continue;
-        C.RD->reachingDefs(Ref.Block, Ref.Index, R, Defs);
+        RD.reachingDefs(Ref.Block, Ref.Index, R, Defs);
         for (const auto &D : Defs)
           if (D.Kind == ReachingDefs::Def::EntryDef) {
             C.EntryArgUses[R - RegA0].push_back(Id);
@@ -50,7 +49,7 @@ ProgramBenefit::ProgramBenefit(const Program &P, const RangeAnalysis &RA,
 uint64_t ProgramBenefit::instCount(int32_t F, size_t InstId) const {
   if (!Profile)
     return 1;
-  InstRef Ref = Ctx[F].RD->instRef(InstId);
+  InstRef Ref = reachingDefs(F).instRef(InstId);
   return Profile->blockCount(F, Ref.Block);
 }
 
@@ -63,8 +62,8 @@ double ProgramBenefit::savings(int32_t F, size_t DefId,
 double ProgramBenefit::useSavings(int32_t F, size_t UId, Reg R,
                                   const ValueRange &NewOut, Visited &V,
                                   unsigned Depth) const {
-  const ReachingDefs &RD = *Ctx[F].RD;
-  const UsefulWidth &UW = *Ctx[F].UW;
+  const ReachingDefs &RD = reachingDefs(F);
+  const UsefulWidth &UW = usefulWidth(F);
   const FunctionRanges &FR = RA.func(F);
   const Instruction &U = RD.inst(UId);
   const OpInfo &Info = U.info();
@@ -105,7 +104,7 @@ double ProgramBenefit::savingsRec(int32_t F, size_t DefId,
                                   unsigned Depth) const {
   if (Depth > MaxDepth)
     return 0.0;
-  const ReachingDefs &RD = *Ctx[F].RD;
+  const ReachingDefs &RD = reachingDefs(F);
   const Instruction &D = RD.inst(DefId);
   Reg R = D.Rd;
   double Total = 0.0;

@@ -25,22 +25,25 @@
 #ifndef OG_VRS_BENEFIT_H
 #define OG_VRS_BENEFIT_H
 
-#include "analysis/ReachingDefs.h"
 #include "profile/BlockProfile.h"
 #include "vrp/Narrowing.h"
 #include "vrs/EnergyTables.h"
 
-#include <memory>
 #include <set>
 #include <vector>
 
 namespace og {
 
-/// Program-wide savings estimator; builds per-function def-use and
-/// useful-width contexts once.
+/// Program-wide savings estimator over the shared analysis cache: def-use
+/// chains and useful widths come from \p AM (usually warm from the
+/// preceding narrowing run), per-function call-site / entry-argument-use
+/// indices are built once here.
 class ProgramBenefit {
 public:
-  ProgramBenefit(const Program &P, const RangeAnalysis &RA,
+  /// \p AM must outlive the estimator, and the program must not be
+  /// mutated while the estimator is in use (the candidate indices are
+  /// snapshots of construction time).
+  ProgramBenefit(AnalysisManager &AM, const RangeAnalysis &RA,
                  const ProgramProfile *Profile, IsaPolicy Policy,
                  const EnergyParams &Energy, bool UsefulThroughArith);
 
@@ -57,9 +60,13 @@ public:
 
 private:
   struct FnCtx {
-    std::unique_ptr<Cfg> G;
-    std::unique_ptr<ReachingDefs> RD;
-    std::unique_ptr<UsefulWidth> UW;
+    /// Manager-owned analyses, snapshotted at construction so the
+    /// savings recursion (potentially millions of accessor calls per
+    /// cell) pays a pointer dereference, not a cache lookup + counter
+    /// bump per query. Valid under the class contract that the program
+    /// is not mutated while the estimator is in use.
+    const ReachingDefs *RD = nullptr;
+    const UsefulWidth *UW = nullptr;
     /// Instruction ids of call sites in this function.
     std::vector<size_t> Calls;
     /// [argIdx] -> instruction ids whose aK input may come from function

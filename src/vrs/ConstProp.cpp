@@ -2,8 +2,6 @@
 
 #include "vrs/ConstProp.h"
 
-#include "analysis/Liveness.h"
-
 using namespace og;
 
 namespace {
@@ -47,10 +45,11 @@ bool dcePure(const Instruction &I) {
 } // namespace
 
 uint64_t og::foldConstants(Program &P, const RangeAnalysis &RA,
-                           BlockCountMap *PerBlock) {
+                           BlockCountMap *PerBlock, AnalysisManager *AM) {
   uint64_t Folded = 0;
   for (Function &F : P.Funcs) {
     const FunctionRanges &FR = RA.func(F.Id);
+    uint64_t FuncFolded = 0;
     for (BasicBlock &BB : F.Blocks) {
       for (size_t II = 0; II < BB.Insts.size(); ++II) {
         Instruction &I = BB.Insts[II];
@@ -60,20 +59,27 @@ uint64_t og::foldConstants(Program &P, const RangeAnalysis &RA,
         if (FR.MayWrap[Id] || !FR.Out[Id].isConstant())
           continue;
         I = Instruction::ldi(I.Rd, FR.Out[Id].min());
-        ++Folded;
+        ++FuncFolded;
         if (PerBlock)
           ++(*PerBlock)[{F.Id, BB.Id}];
       }
+    }
+    if (FuncFolded) {
+      Folded += FuncFolded;
+      F.bumpEpoch();
+      if (AM)
+        AM->invalidate(F.Id, PreservedAnalyses::cfgOnly());
     }
   }
   return Folded;
 }
 
 uint64_t og::foldBranches(Program &P, const RangeAnalysis &RA,
-                          BlockCountMap *PerBlock) {
+                          BlockCountMap *PerBlock, AnalysisManager *AM) {
   uint64_t Folded = 0;
   for (Function &F : P.Funcs) {
     const FunctionRanges &FR = RA.func(F.Id);
+    uint64_t FuncFolded = 0;
     for (BasicBlock &BB : F.Blocks) {
       const Instruction *Term = BB.terminator();
       if (!Term || !Term->isCondBranch())
@@ -119,23 +125,29 @@ uint64_t og::foldBranches(Program &P, const RangeAnalysis &RA,
       } else {
         BB.Insts.pop_back(); // fallthrough edge already present
       }
-      ++Folded;
+      ++FuncFolded;
       if (PerBlock)
         ++(*PerBlock)[{F.Id, BB.Id}];
+    }
+    if (FuncFolded) {
+      Folded += FuncFolded;
+      F.bumpEpoch();
+      if (AM)
+        AM->invalidate(F.Id, PreservedAnalyses::none());
     }
   }
   return Folded;
 }
 
-uint64_t og::eliminateDeadCode(Program &P, BlockCountMap *PerBlock) {
+uint64_t og::eliminateDeadCode(Program &P, AnalysisManager &AM,
+                               BlockCountMap *PerBlock) {
   uint64_t Removed = 0;
   for (Function &F : P.Funcs) {
     bool Changed = true;
     unsigned Guard = 0;
     while (Changed && Guard++ < 8) {
       Changed = false;
-      Cfg G(F);
-      Liveness LV(F, G);
+      const Liveness &LV = AM.liveness(F.Id);
       for (BasicBlock &BB : F.Blocks) {
         for (size_t II = BB.Insts.size(); II-- > 0;) {
           Instruction &I = BB.Insts[II];
@@ -151,7 +163,33 @@ uint64_t og::eliminateDeadCode(Program &P, BlockCountMap *PerBlock) {
           }
         }
       }
+      if (Changed) {
+        // Deletions shift instruction indices but touch no terminator:
+        // the next round reuses the Cfg and rebuilds only Liveness.
+        F.bumpEpoch();
+        AM.invalidate(F.Id, PreservedAnalyses::cfgOnly());
+      }
     }
   }
   return Removed;
+}
+
+uint64_t og::eliminateDeadCode(Program &P, BlockCountMap *PerBlock) {
+  AnalysisManager AM(P);
+  return eliminateDeadCode(P, AM, PerBlock);
+}
+
+CleanupCounts og::runCleanup(Program &P, AnalysisManager &AM,
+                             const RangeAnalysis::Options &RangeOpts,
+                             const std::vector<EdgeSeed> &Seeds,
+                             BlockCountMap *PerBlock) {
+  RangeAnalysis RA(AM, RangeOpts);
+  for (const EdgeSeed &S : Seeds)
+    RA.addEdgeConstraint(S.Func, S.From, S.To, S.R, ValueRange(S.Min, S.Max));
+  RA.run();
+  CleanupCounts C;
+  C.Folded = foldConstants(P, RA, nullptr, &AM);
+  C.BranchesFolded = foldBranches(P, RA, PerBlock, &AM);
+  C.Removed = eliminateDeadCode(P, AM, PerBlock);
+  return C;
 }

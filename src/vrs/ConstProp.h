@@ -23,10 +23,11 @@
 #define OG_VRS_CONSTPROP_H
 
 #include "program/Program.h"
-#include "vrp/RangeAnalysis.h"
+#include "vrp/Narrowing.h"
 
 #include <map>
 #include <utility>
+#include <vector>
 
 namespace og {
 
@@ -35,21 +36,51 @@ using BlockCountMap = std::map<std::pair<int32_t, int32_t>, uint64_t>;
 
 /// Replaces provably-constant pure instructions with ldi. Returns the
 /// number rewritten; per-block counts accumulate into \p PerBlock.
+/// Mutated functions get their epoch bumped; when \p AM is given they are
+/// invalidated with Cfg/Dominators preserved (the rewrite touches no
+/// terminator, but operands — and hence Liveness/ReachingDefs/Loops —
+/// change).
 uint64_t foldConstants(Program &P, const RangeAnalysis &RA,
-                       BlockCountMap *PerBlock = nullptr);
+                       BlockCountMap *PerBlock = nullptr,
+                       AnalysisManager *AM = nullptr);
 
 /// Rewrites conditional branches whose direction the range analysis
 /// decides: always-taken branches become unconditional, never-taken
 /// branches are deleted (the fallthrough remains). This is what lets a
 /// single-value specialization collapse its region (paper Figure 5,
-/// m88ksim/vortex). Returns the number of branches rewritten.
+/// m88ksim/vortex). Returns the number of branches rewritten. Terminators
+/// change, so mutated functions preserve nothing in \p AM.
 uint64_t foldBranches(Program &P, const RangeAnalysis &RA,
-                      BlockCountMap *PerBlock = nullptr);
+                      BlockCountMap *PerBlock = nullptr,
+                      AnalysisManager *AM = nullptr);
 
 /// Removes pure instructions whose destinations are dead. Iterates to a
-/// fixpoint. Returns the number removed; per-block counts accumulate into
-/// \p PerBlock.
+/// fixpoint over \p AM's cached Cfg + a per-round Liveness. Returns the
+/// number removed; per-block counts accumulate into \p PerBlock.
+uint64_t eliminateDeadCode(Program &P, AnalysisManager &AM,
+                           BlockCountMap *PerBlock = nullptr);
+
+/// Convenience without a shared manager (tests): private AnalysisManager.
 uint64_t eliminateDeadCode(Program &P, BlockCountMap *PerBlock = nullptr);
+
+/// What one seeded cleanup round did.
+struct CleanupCounts {
+  uint64_t Folded = 0;         ///< constants rewritten to ldi
+  uint64_t BranchesFolded = 0; ///< decided conditional branches
+  uint64_t Removed = 0;        ///< dead instructions deleted
+};
+
+/// The full cleanup sequence, shared by VRS step 3c and the standalone
+/// cleanup pass (opt/TransformPipeline): one RangeAnalysis seeded with
+/// \p Seeds, then constant folding, branch folding and DCE through \p AM.
+/// \p PerBlock (when given) accumulates removal counts of the branch-fold
+/// and DCE steps only — constant folds rewrite in place and the rewritten
+/// instructions are deleted by the DCE step, so counting them too would
+/// double-count eliminations.
+CleanupCounts runCleanup(Program &P, AnalysisManager &AM,
+                         const RangeAnalysis::Options &RangeOpts,
+                         const std::vector<EdgeSeed> &Seeds,
+                         BlockCountMap *PerBlock = nullptr);
 
 } // namespace og
 

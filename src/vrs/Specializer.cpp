@@ -2,7 +2,6 @@
 
 #include "vrs/Specializer.h"
 
-#include "analysis/Liveness.h"
 #include "program/Clone.h"
 #include "program/Verifier.h"
 #include "vrs/Benefit.h"
@@ -44,15 +43,15 @@ int32_t splitBlockAfter(Function &F, int32_t BB, int32_t Index) {
   BasicBlock &Head2 = F.Blocks[BB];
   Head2.Insts.resize(static_cast<size_t>(Index) + 1);
   Head2.FallthroughSucc = static_cast<int32_t>(F.Blocks.size()) - 1;
+  F.bumpEpoch();
   return Head2.FallthroughSucc;
 }
 
 /// Picks up to \p Needed scratch registers dead at the entry of block
 /// \p At (guards may clobber them). Prefers caller-saved temporaries.
-bool pickScratchRegs(const Function &F, int32_t At, Reg Avoid,
+bool pickScratchRegs(AnalysisManager &AM, int32_t Func, int32_t At, Reg Avoid,
                      unsigned Needed, Reg *Out) {
-  Cfg G(F);
-  Liveness LV(F, G);
+  const Liveness &LV = AM.liveness(Func);
   uint32_t Live = LV.liveIn(At);
   unsigned Got = 0;
   const Reg Preferred[] = {RegT8,  RegT9,  RegT10, RegT11,
@@ -70,7 +69,8 @@ bool pickScratchRegs(const Function &F, int32_t At, Reg Avoid,
 
 } // namespace
 
-VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
+VrsReport og::specializeProgram(Program &P, AnalysisManager &AM,
+                                const RunOptions &TrainOptions,
                                 const VrsOptions &Opts) {
   VrsReport Report;
 
@@ -81,10 +81,12 @@ VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
   ProgramProfile BlockProf = collectProfile(TrainDecode, TrainOptions, {});
 
   // ---- Step 1 (§3.3): prefilter candidates with the minimal-cost
-  // assumption, using ranges/useful widths of the current program.
-  RangeAnalysis RA(P, Opts.Narrow.Range);
+  // assumption, using ranges/useful widths of the current program. The
+  // structural analyses are usually warm from the narrowing run that
+  // preceded this (the manager is shared across the whole cell).
+  RangeAnalysis RA(AM, Opts.Narrow.Range);
   RA.run();
-  ProgramBenefit PB(P, RA, &BlockProf, Opts.Narrow.Policy, Opts.Energy,
+  ProgramBenefit PB(AM, RA, &BlockProf, Opts.Narrow.Policy, Opts.Energy,
                     Opts.Narrow.UsefulThroughArith);
 
   std::vector<std::pair<int32_t, size_t>> ProfilePoints;
@@ -243,12 +245,14 @@ VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
       }
     }
 
-    // Region: blocks dominated by the tail, BFS-capped.
+    // Region: blocks dominated by the tail, BFS-capped. Cfg + dominator
+    // tree are rebuilt once after the split (the epoch moved) and then
+    // shared with the scratch-register liveness query below — the
+    // pre-manager code rebuilt a second Cfg for that.
     std::vector<int32_t> Region;
     {
-      Function &F = P.Funcs[C.Func];
-      Cfg G(F);
-      DominatorTree DT(G);
+      const Cfg &G = AM.cfg(C.Func);
+      const DominatorTree &DT = AM.dominators(C.Func);
       std::set<int32_t> Dominated;
       for (int32_t BB : DT.dominated(Tail))
         Dominated.insert(BB);
@@ -272,7 +276,7 @@ VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
     unsigned NeedScratch = IsZero ? 0 : (IsConst ? 1 : 2);
     Reg Scratch[2] = {RegZero, RegZero};
     if (NeedScratch > 0 &&
-        !pickScratchRegs(P.Funcs[C.Func], Tail, C.R, NeedScratch, Scratch)) {
+        !pickScratchRegs(AM, C.Func, Tail, C.R, NeedScratch, Scratch)) {
       ++Report.PointsNoBenefit;
       continue;
     }
@@ -287,6 +291,7 @@ VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
     // ranges reach it through the interprocedural analysis.
     {
       std::map<int32_t, int32_t> CalleeClones;
+      bool RewroteCall = false;
       for (const auto &[Old, New] : Mapping) {
         (void)Old;
         for (Instruction &I : P.Funcs[C.Func].Blocks[New].Insts) {
@@ -309,8 +314,11 @@ VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
             }
           }
           I.Callee = It->second;
+          RewroteCall = true;
         }
       }
+      if (RewroteCall)
+        P.Funcs[C.Func].bumpEpoch();
     }
 
     Function &F = P.Funcs[C.Func];
@@ -337,6 +345,7 @@ VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
     }
     Guard.FallthroughSucc = Tail;
     F.Blocks[C.Ref.Block].FallthroughSucc = GuardId;
+    F.bumpEpoch();
 
     // Bookkeeping.
     Report.Seeds.push_back(
@@ -357,21 +366,17 @@ VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
   }
 
   // ---- Step 3c: re-narrow with the guard facts, then fold and clean.
+  // Everything below shares the cell's manager: only the functions the
+  // apply loop actually mutated (and the cloned callees) rebuild their
+  // structural analyses; the rest of the program is served from cache.
   NarrowingOptions NarrowOpts = Opts.Narrow;
   NarrowOpts.Seeds.insert(NarrowOpts.Seeds.end(), Report.Seeds.begin(),
                           Report.Seeds.end());
-  narrowProgram(P, NarrowOpts);
+  narrowProgram(P, AM, NarrowOpts);
 
   {
-    RangeAnalysis RA2(P, NarrowOpts.Range);
-    for (const EdgeSeed &S : NarrowOpts.Seeds)
-      RA2.addEdgeConstraint(S.Func, S.From, S.To, S.R,
-                            ValueRange(S.Min, S.Max));
-    RA2.run();
     BlockCountMap Removed;
-    foldConstants(P, RA2); // folds rewrite in place; DCE removes below
-    foldBranches(P, RA2, &Removed);
-    eliminateDeadCode(P, &Removed);
+    runCleanup(P, AM, NarrowOpts.Range, NarrowOpts.Seeds, &Removed);
     std::set<std::pair<int32_t, int32_t>> Clones(Report.CloneBlocks.begin(),
                                                  Report.CloneBlocks.end());
     for (const auto &[Loc, N] : Removed)
@@ -380,11 +385,17 @@ VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
   }
 
   // Final width assignment over the cleaned program.
-  narrowProgram(P, NarrowOpts);
+  narrowProgram(P, AM, NarrowOpts);
 
   std::string Diag;
   bool Ok = verifyProgram(P, &Diag);
   assert(Ok && "VRS produced a malformed program");
   (void)Ok;
   return Report;
+}
+
+VrsReport og::specializeProgram(Program &P, const RunOptions &TrainOptions,
+                                const VrsOptions &Opts) {
+  AnalysisManager AM(P);
+  return specializeProgram(P, AM, TrainOptions, Opts);
 }

@@ -73,6 +73,16 @@ struct VrsReport {
 /// VRP-narrowed): profiles on \p TrainOptions, specializes, re-narrows,
 /// folds and cleans. The program is modified in place and stays
 /// semantically equivalent (same output stream on any input).
+///
+/// All dataflow analyses come from \p AM — sharing the manager with the
+/// preceding narrowProgram call means the candidate analysis starts from
+/// warm caches, and the re-VRP after specialization rebuilds analyses
+/// only for the functions the specializer actually mutated.
+VrsReport specializeProgram(Program &P, AnalysisManager &AM,
+                            const RunOptions &TrainOptions,
+                            const VrsOptions &Opts);
+
+/// Convenience without a shared manager (tests): private AnalysisManager.
 VrsReport specializeProgram(Program &P, const RunOptions &TrainOptions,
                             const VrsOptions &Opts);
 

@@ -100,15 +100,18 @@ int main(int argc, char **argv) {
   Program P = std::move(*Parsed);
   Program Original = P;
 
+  // One analysis manager for the whole optimizer invocation: the range
+  // dump, the narrowing run and the VRS pipeline share cached analyses.
+  AnalysisManager AM(P);
   NarrowingOptions Narrow;
   Narrow.UseUsefulWidths = !Conventional;
   Narrow.Policy = BaseAlpha ? IsaPolicy::BaseAlpha : IsaPolicy::Extended;
   if (PrintRanges) {
-    RangeAnalysis RA(P, Narrow.Range);
+    RangeAnalysis RA(AM, Narrow.Range);
     RA.run();
     dumpProgramRanges(P, RA, std::cerr);
   }
-  NarrowingReport Report = narrowProgram(P, Narrow);
+  NarrowingReport Report = narrowProgram(P, AM, Narrow);
   std::cerr << "ogate-opt: narrowed " << Report.NumNarrowed << " of "
             << Report.NumWidthBearing << " width-bearing instructions\n";
 
@@ -118,7 +121,7 @@ int main(int argc, char **argv) {
     VrsOptions Opts;
     Opts.Narrow = Narrow;
     Opts.Energy.TestCostNJ = VrsCost;
-    VrsReport VR = specializeProgram(P, Train, Opts);
+    VrsReport VR = specializeProgram(P, AM, Train, Opts);
     std::cerr << "ogate-opt: VRS profiled " << VR.PointsProfiled
               << " points, specialized " << VR.PointsSpecialized << "\n";
   }

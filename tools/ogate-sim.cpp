@@ -26,6 +26,10 @@
 //     --keep-going      run every cell even after a failure
 //     --json=PATH       write the aggregate as JSON; byte-identical for
 //                       any --jobs value (no wall-clock in the document)
+//     --opt-stats       add each cell's "opt" counters group (analysis-
+//                       cache hits/misses/invalidations of the transform
+//                       phase) to the JSON document; off by default so
+//                       default documents keep the baseline-stable shape
 //
 // Sweep mode prints the deterministic aggregate report on stdout and
 // timing/progress on stderr, so stdout can be diffed across --jobs.
@@ -50,7 +54,7 @@ namespace {
 
 int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
                  const std::string &WorkloadCsv, bool KeepGoing,
-                 const std::string &JsonPath) {
+                 const std::string &JsonPath, bool OptStats) {
   std::vector<std::string> Names;
   if (WorkloadCsv.empty()) {
     Names = allWorkloadNames();
@@ -109,7 +113,8 @@ int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
     // fields: the bytes depend only on the cells, so any --jobs value
     // writes the identical file.
     std::string Err;
-    if (!writeJsonFile(JsonPath, sweepToJson(R.Aggregate, SweepKind, Scale),
+    if (!writeJsonFile(JsonPath,
+                       sweepToJson(R.Aggregate, SweepKind, Scale, OptStats),
                        &Err)) {
       std::cerr << "ogate-sim: " << Err << "\n";
       return 1;
@@ -129,7 +134,7 @@ int main(int argc, char **argv) {
   bool Uarch = false, Stats = false, TimingLine = false;
   GatingScheme Scheme = GatingScheme::None;
   uint64_t Fuel = 200'000'000;
-  bool Sweep = false, KeepGoing = false;
+  bool Sweep = false, KeepGoing = false, OptStats = false;
   std::string SweepKind = "standard", WorkloadCsv, JsonPath;
   unsigned Jobs = 1;
   double Scale = 0.25;
@@ -188,13 +193,15 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--keep-going") {
       KeepGoing = true;
+    } else if (Arg == "--opt-stats") {
+      OptStats = true;
     } else if (Arg == "--help" || Arg == "-h") {
       std::cerr << "usage: ogate-sim [--arg=N]... [--uarch] "
                    "[--scheme=none|sw|hwsig|hwsize|combined] [--stats] "
                    "[--fuel=N] [--timing-line] [--json=PATH] input.s\n"
                    "       ogate-sim --sweep[=standard|matrix] [--jobs N] "
                    "[--scale=S] [--workloads=a,b] [--keep-going] "
-                   "[--json=PATH]\n";
+                   "[--json=PATH] [--opt-stats]\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "ogate-sim: unknown option '" << Arg << "'\n";
@@ -218,10 +225,26 @@ int main(int argc, char **argv) {
                    "byte-deterministic); drop it or run a single program\n";
       return 1;
     }
+    if (OptStats && JsonPath.empty()) {
+      // Same contract as --timing-line: never silently ignore a flag
+      // the mode cannot honor. The counters only exist in the JSON
+      // document, so without --json there is nothing to surface them in.
+      std::cerr << "ogate-sim: --opt-stats adds the per-cell \"opt\" "
+                   "counters group to the JSON document and needs "
+                   "--json=PATH alongside it\n";
+      return 1;
+    }
     if (Jobs < 1)
       Jobs = 1;
     return runSweepMode(SweepKind, Jobs, Scale, WorkloadCsv, KeepGoing,
-                        JsonPath);
+                        JsonPath, OptStats);
+  }
+
+  if (OptStats) {
+    std::cerr << "ogate-sim: --opt-stats reports the transform phase's "
+                 "analysis-cache counters and only applies to --sweep "
+                 "mode (single-program mode runs no transforms)\n";
+    return 1;
   }
 
   if (InputPath.empty()) {
