@@ -23,6 +23,7 @@ void ResultAggregator::add(const ExperimentSpec &Spec,
   C.Narrowed = Result.Narrowing.NumNarrowed;
   C.WidthBearing = Result.Narrowing.NumWidthBearing;
   C.Opt = Result.OptStats;
+  C.Sample = Result.Sample;
   Cells.push_back(std::move(C));
 }
 
@@ -46,6 +47,10 @@ StatisticSet ResultAggregator::stats() const {
 }
 
 std::vector<ResultAggregator::Cell> ResultAggregator::sortedCells() const {
+  // stable_sort so duplicate (workload, config) keys — which a correct
+  // sweep never produces — at least keep their deterministic insertion
+  // order (add() runs serially in spec order) instead of falling into
+  // unspecified-order territory.
   std::vector<Cell> Sorted = Cells;
   std::stable_sort(Sorted.begin(), Sorted.end(),
                    [](const Cell &A, const Cell &B) {
@@ -53,6 +58,13 @@ std::vector<ResultAggregator::Cell> ResultAggregator::sortedCells() const {
                        return A.Workload < B.Workload;
                      return A.Label < B.Label;
                    });
+#ifndef NDEBUG
+  for (size_t I = 1; I < Sorted.size(); ++I)
+    assert((Sorted[I - 1].Workload != Sorted[I].Workload ||
+            Sorted[I - 1].Label != Sorted[I].Label) &&
+           "duplicate (workload, config) cell in aggregate — check the "
+           "sweep's spec construction");
+#endif
   return Sorted;
 }
 

@@ -47,6 +47,10 @@ public:
     /// OptStats); serialized only on request (`ogate-sim --opt-stats`) so
     /// default sweep documents keep their baseline-stable shape.
     StatisticSet Opt;
+    /// Sampled-estimation provenance (PipelineResult::Sample); Used is
+    /// false for exact cells, and exact sweep documents stay
+    /// byte-identical to their pre-sampling shape.
+    PipelineSampleInfo Sample;
   };
 
   /// Records one finished cell. Thread-compatible, not thread-safe: the
@@ -58,7 +62,11 @@ public:
 
   /// Cells sorted by (workload, config label) — the row order of both
   /// the printed table and the JSON document, independent of insertion
-  /// order.
+  /// order. (workload, config) keys are normally unique; duplicates
+  /// (two add() calls for the same cell) keep their insertion order —
+  /// deterministic because aggregation is serial in spec order — and
+  /// assert in debug builds, since a sweep that produces them almost
+  /// certainly has a spec-construction bug.
   std::vector<Cell> sortedCells() const;
 
   /// Sweep-wide counters (cells, dynamic instructions, cycles, narrowed

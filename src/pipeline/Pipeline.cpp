@@ -5,6 +5,7 @@
 #include "opt/TransformPipeline.h"
 
 #include <cassert>
+#include <memory>
 
 using namespace og;
 
@@ -56,25 +57,46 @@ PipelineResult og::runPipeline(const Workload &W, const PipelineConfig &Config,
   Result.Narrowing = Ctx.Narrowing;
   Result.Vrs = Ctx.VrsResult;
 
-  // ---- Ref run through the timing + power models. The core consumes the
-  // trace directly as a batched sink. Decode the transformed binary once;
-  // in None mode the binary is untouched, so a caller-provided decode of
-  // the original stands in and the per-spec decode is skipped entirely.
-  EnergyModel EM(Config.Scheme, Config.Coeffs);
-  OooCore Core(Config.Uarch, &EM);
-  RunOptions RefOpts = W.Ref;
-  RefOpts.Sink = &Core;
-  RunResult Run;
-  if (Config.Sw == SoftwareMode::None && BaseDecode) {
-    Run = runProgram(*BaseDecode, RefOpts);
+  // ---- Ref run through the timing + power models. Decode the
+  // transformed binary once; in None mode the binary is untouched, so a
+  // caller-provided decode of the original stands in and the per-spec
+  // decode is skipped entirely. Exact mode feeds the core the whole
+  // trace as a batched sink; sampled mode (Config.Sample) estimates the
+  // detailed report from representative phase windows while the
+  // functional results stay exact.
+  const bool ShareDecode = Config.Sw == SoftwareMode::None && BaseDecode;
+  std::unique_ptr<DecodedProgram> Owned;
+  if (!ShareDecode)
+    Owned = std::make_unique<DecodedProgram>(P);
+  const DecodedProgram &Decoded = ShareDecode ? *BaseDecode : *Owned;
+
+  if (Config.Sample.enabled()) {
+    SampleEstimate Est =
+        estimateSampled(Decoded, W.Ref, Config.Uarch, Config.Scheme,
+                        Config.Coeffs, Config.Sample);
+    assert(Est.Run.Status == RunStatus::Halted && "ref run did not halt");
+    Result.RefStats = Est.Run.Stats;
+    Result.Output = Est.Run.Output;
+    Result.Report = Est.Report;
+    Result.Sample.Used = true;
+    Result.Sample.IntervalLen = Est.Plan.IntervalLen;
+    Result.Sample.Intervals = Est.Plan.numIntervals();
+    Result.Sample.K = Est.Plan.K;
+    Result.Sample.DetailedInsts = Est.DetailedInsts;
+    Result.Sample.Weights = Est.Plan.Weights;
+    Result.Sample.Reps = Est.Plan.Reps;
+    Result.Sample.EstError = Est.Plan.Dispersion;
   } else {
-    DecodedProgram Decoded(P);
-    Run = runProgram(Decoded, RefOpts);
+    EnergyModel EM(Config.Scheme, Config.Coeffs);
+    OooCore Core(Config.Uarch, &EM);
+    RunOptions RefOpts = W.Ref;
+    RefOpts.Sink = &Core;
+    RunResult Run = runProgram(Decoded, RefOpts);
+    assert(Run.Status == RunStatus::Halted && "ref run did not halt");
+    Result.RefStats = Run.Stats;
+    Result.Output = Run.Output;
+    Result.Report = makeReport(EM, Core.finish());
   }
-  assert(Run.Status == RunStatus::Halted && "ref run did not halt");
-  Result.RefStats = Run.Stats;
-  Result.Output = Run.Output;
-  Result.Report = makeReport(EM, Core.finish());
 
   // ---- Figure-6 accounting.
   if (Config.Sw == SoftwareMode::Vrs && Result.RefStats.DynInsts > 0) {

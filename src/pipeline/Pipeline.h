@@ -18,6 +18,7 @@
 #define OG_PIPELINE_PIPELINE_H
 
 #include "power/Report.h"
+#include "sample/SampleRunner.h"
 #include "sim/ExecEngine.h"
 #include "support/Statistic.h"
 #include "vrp/Narrowing.h"
@@ -44,8 +45,31 @@ struct PipelineConfig {
   NarrowingOptions Narrow;     ///< ISA policy, useful-width toggles
   UarchConfig Uarch;
   EnergyCoefficients Coeffs = EnergyCoefficients::defaults();
+  /// Phase-sampled estimation of the ref run (src/sample/): disabled by
+  /// default (exact detailed simulation). When enabled, the pipeline
+  /// profiles the transformed binary's ref run once (exact functional
+  /// stats and output), clusters it, and estimates the timing/energy
+  /// report from representative windows instead of simulating every
+  /// instruction in detail.
+  SampleSpec Sample;
   /// Re-run the original binary and assert identical output streams.
   bool CheckOutputEquivalence = false;
+};
+
+/// How a sampled cell was estimated, surfaced for reports (the optional
+/// "sample" group of report/ReportSchema.h).
+struct PipelineSampleInfo {
+  bool Used = false;
+  uint64_t IntervalLen = 0;
+  uint64_t Intervals = 0;
+  unsigned K = 0;
+  uint64_t DetailedInsts = 0;   ///< insts through the detailed stack
+  std::vector<double> Weights;  ///< per-cluster dyn-inst share
+  std::vector<uint32_t> Reps;   ///< per-cluster representative interval
+  /// BBV-dispersion error proxy (SamplePlan::Dispersion) — not a true
+  /// error bound; tests and bench_sample compute real errors against
+  /// exact runs.
+  double EstError = 0.0;
 };
 
 /// Everything an experiment might want to report.
@@ -67,6 +91,10 @@ struct PipelineResult {
   /// build counts, same-epoch-rebuilds). Deterministic for a given
   /// workload + configuration; empty in SoftwareMode::None.
   StatisticSet OptStats;
+
+  /// Filled when PipelineConfig::Sample was enabled; Report/RefStats are
+  /// then sampled estimates / exact functional stats respectively.
+  PipelineSampleInfo Sample;
 };
 
 /// Runs the full flow on a copy of \p W's program.

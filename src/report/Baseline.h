@@ -16,7 +16,16 @@
 ///    compares exactly — a one-instruction drift in a deterministic
 ///    counter is a regression, not noise;
 ///  - arrays of {workload, config} cells are matched by that key, not by
-///    position, so a missing or extra cell is reported by name.
+///    position, so a missing or extra cell is reported by name;
+///  - an object in the current report that carries a "sample" marker the
+///    baseline lacks is a sampled estimate held against an exact
+///    baseline: its *estimated* counters (cycles, branches, cache
+///    events — what the windowed estimator scales) compare under the
+///    metrics tolerance, its functional counters (dyn-insts,
+///    narrowed-opcodes, ...) stay exact — sampling never changes them —
+///    and the marker itself is not a finding. This is what lets a
+///    sampled sweep gate against the checked-in exact baseline with a
+///    widened --tolerance without losing functional-drift detection.
 ///
 //===----------------------------------------------------------------------===//
 

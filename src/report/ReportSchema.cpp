@@ -133,6 +133,25 @@ JsonValue optStatsToJson(const StatisticSet &S) {
 
 } // namespace
 
+JsonValue og::sampleToJson(const PipelineSampleInfo &S) {
+  JsonValue Out = JsonValue::object();
+  Out.set("interval-len", JsonValue::integer(static_cast<int64_t>(S.IntervalLen)));
+  Out.set("intervals", JsonValue::integer(static_cast<int64_t>(S.Intervals)));
+  Out.set("k", JsonValue::integer(S.K));
+  Out.set("detailed-insts",
+          JsonValue::integer(static_cast<int64_t>(S.DetailedInsts)));
+  JsonValue Weights = JsonValue::array();
+  for (double W : S.Weights)
+    Weights.push(JsonValue::number(W));
+  Out.set("weights", std::move(Weights));
+  JsonValue Reps = JsonValue::array();
+  for (uint32_t R : S.Reps)
+    Reps.push(JsonValue::integer(R));
+  Out.set("reps", std::move(Reps));
+  Out.set("est-error", JsonValue::number(S.EstError));
+  return Out;
+}
+
 JsonValue og::cellToJson(const std::string &Workload, const std::string &Label,
                          const PipelineResult &R,
                          const StatisticSet *OptStats) {
@@ -161,15 +180,24 @@ JsonValue og::cellToJson(const std::string &Workload, const std::string &Label,
   Out.set("metrics", std::move(Metrics));
   if (OptStats && !OptStats->entries().empty())
     Out.set("opt", optStatsToJson(*OptStats));
+  if (R.Sample.Used)
+    Out.set("sample", sampleToJson(R.Sample));
   return Out;
 }
 
 JsonValue og::sweepToJson(const ResultAggregator &Agg,
                           const std::string &SweepKind, double Scale,
-                          bool IncludeOptCounters) {
+                          bool IncludeOptCounters, const SampleSpec *Sample) {
   JsonValue Root = makeReportRoot("sweep");
   Root.set("sweep", JsonValue::str(SweepKind));
   Root.set("scale", JsonValue::number(Scale));
+  if (Sample && Sample->enabled()) {
+    JsonValue Spec = JsonValue::object();
+    Spec.set("interval-len",
+             JsonValue::integer(static_cast<int64_t>(Sample->IntervalLen)));
+    Spec.set("k", JsonValue::integer(Sample->K));
+    Root.set("sample", std::move(Spec));
+  }
 
   JsonValue Cells = JsonValue::array();
   for (const ResultAggregator::Cell &C : Agg.sortedCells()) {
@@ -191,6 +219,8 @@ JsonValue og::sweepToJson(const ResultAggregator &Agg,
     Cell.set("metrics", std::move(Metrics));
     if (IncludeOptCounters && !C.Opt.entries().empty())
       Cell.set("opt", optStatsToJson(C.Opt));
+    if (C.Sample.Used)
+      Cell.set("sample", sampleToJson(C.Sample));
     Cells.push(std::move(Cell));
   }
   Root.set("cells", std::move(Cells));

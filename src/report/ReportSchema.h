@@ -71,10 +71,20 @@ JsonValue toJson(const EnergyReport &R);
 /// total instruction counts).
 JsonValue toJson(const NarrowingReport &R);
 
+struct PipelineSampleInfo;
+struct SampleSpec;
+
+/// The optional "sample" group of a sampled cell: interval length and
+/// count, k, per-cluster weights and representatives, detailed
+/// instruction count and the BBV-dispersion error proxy. Its presence is
+/// the marker report/Baseline.h keys estimated-counter tolerance off.
+JsonValue sampleToJson(const PipelineSampleInfo &S);
+
 /// One experiment cell (workload x configuration) of a sweep or bench
 /// harness: {"workload", "config", "counters", "metrics"} — plus an
 /// "opt" counters group (opt/AnalysisManager cache traffic) when
-/// \p OptStats is given and non-empty.
+/// \p OptStats is given and non-empty, and a "sample" group when the
+/// cell was estimated by sampled simulation.
 JsonValue cellToJson(const std::string &Workload, const std::string &Label,
                      const PipelineResult &R,
                      const StatisticSet *OptStats = nullptr);
@@ -85,9 +95,14 @@ JsonValue cellToJson(const std::string &Workload, const std::string &Label,
 /// order and worker count. \p IncludeOptCounters adds each cell's "opt"
 /// group (`ogate-sim --sweep --opt-stats`); it defaults off because the
 /// checked-in baselines predate the group and `ogate-report diff` treats
-/// an added key as a finding.
+/// an added key as a finding. \p Sample, when given and enabled, records
+/// the sweep-level sampling spec in a root "sample" group; per-cell
+/// "sample" groups ride on the cells themselves (exact sweeps emit
+/// neither, keeping their documents byte-identical to the pre-sampling
+/// shape).
 JsonValue sweepToJson(const ResultAggregator &Agg, const std::string &SweepKind,
-                      double Scale, bool IncludeOptCounters = false);
+                      double Scale, bool IncludeOptCounters = false,
+                      const SampleSpec *Sample = nullptr);
 
 } // namespace og
 

@@ -1,0 +1,77 @@
+//===- sample/IntervalProfiler.cpp -----------------------------------------==//
+
+#include "sample/IntervalProfiler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace og;
+
+IntervalProfiler::IntervalProfiler(const DecodedProgram &DP,
+                                   uint64_t IntervalLen)
+    : DP(&DP), Len(IntervalLen), Cur(DP.numBlockSlots(), 0),
+      LoadWrote(NumRegs, false) {
+  assert(Len > 0 && "interval length must be positive");
+}
+
+void IntervalProfiler::onBatch(const DynInst *Batch, size_t N) {
+  // Batches can straddle interval boundaries; the per-record walk closes
+  // an interval the moment it fills, so bookkeeping is exact regardless
+  // of how the engine batches the stream.
+  for (size_t I = 0; I < N; ++I) {
+    const DynInst &D = Batch[I];
+    ++Cur[DP->blockSlot(D.Func, D.Block)];
+    ++CurDepth[CallDepth < NumDepthBuckets ? CallDepth
+                                           : NumDepthBuckets - 1];
+    const Op Opc = D.I->Opc;
+    if (Opc == Op::Jsr)
+      ++CallDepth;
+    else if (Opc == Op::Ret && CallDepth > 0)
+      --CallDepth;
+    if (Opc == Op::Ld) {
+      if (LoadWrote[D.I->Ra])
+        ++CurChase;
+      LoadWrote[D.I->Rd] = true;
+    } else if (D.WroteDest) {
+      LoadWrote[D.I->Rd] = false;
+    }
+    if (++InInterval == Len)
+      flushInterval();
+  }
+}
+
+void IntervalProfiler::flushInterval() {
+  Bbvs.push_back(Cur);
+  Depths.push_back(CurDepth);
+  Chases.push_back(CurChase);
+  Insts.push_back(InInterval);
+  Total += InInterval;
+  std::fill(Cur.begin(), Cur.end(), 0u);
+  CurDepth.fill(0u);
+  CurChase = 0;
+  InInterval = 0;
+}
+
+void IntervalProfiler::finish() {
+  if (InInterval > 0)
+    flushInterval();
+}
+
+std::vector<std::vector<double>> IntervalProfiler::normalizedBbvs() const {
+  std::vector<std::vector<double>> Out;
+  Out.reserve(Bbvs.size());
+  for (size_t I = 0; I < Bbvs.size(); ++I) {
+    const double Mass = static_cast<double>(Insts[I]);
+    std::vector<double> V(Bbvs[I].size() + NumDepthBuckets + 1);
+    for (size_t S = 0; S < Bbvs[I].size(); ++S)
+      V[S] = static_cast<double>(Bbvs[I][S]) / Mass;
+    for (size_t B = 0; B < NumDepthBuckets; ++B)
+      V[Bbvs[I].size() + B] = static_cast<double>(Depths[I][B]) / Mass;
+    // Pointer-chase intensity, amplified so a serial-vs-overlapped phase
+    // split registers against the unit-mass BBV coordinates.
+    V[Bbvs[I].size() + NumDepthBuckets] =
+        4.0 * static_cast<double>(Chases[I]) / Mass;
+    Out.push_back(std::move(V));
+  }
+  return Out;
+}

@@ -1,0 +1,111 @@
+//===- sample/IntervalProfiler.h - Per-interval BBV collection ---*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The profiling half of phase-aware sampled simulation (SimPoint-style):
+/// a batched TraceSink that slices the dynamic instruction stream into
+/// fixed-length intervals and records one basic-block vector per
+/// interval. The BBV dimension space is DecodedProgram's flat block-slot
+/// space (one dense slot per (function, block)), and each executed
+/// instruction contributes one count to its block's slot — the
+/// instruction-weighted BBV of the SimPoint literature, which makes a
+/// vector's L1 mass equal the interval length by construction.
+///
+/// The profiler is a plain sink: attach it to any run via
+/// RunOptions::Sink, then call finish() once so the partial final
+/// interval (if the run length is not a multiple of the interval length)
+/// is recorded too.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SAMPLE_INTERVALPROFILER_H
+#define OG_SAMPLE_INTERVALPROFILER_H
+
+#include "sim/ExecEngine.h"
+#include "sim/TraceSink.h"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace og {
+
+/// Slices a run into IntervalLen-instruction intervals and accumulates
+/// one instruction-weighted basic-block vector per interval.
+class IntervalProfiler final : public TraceSink {
+public:
+  /// \p DP supplies the flat block-slot space (blockSlot / numBlockSlots)
+  /// and must be the decode the profiled run executes. \p IntervalLen is
+  /// the interval length in dynamic instructions (> 0).
+  IntervalProfiler(const DecodedProgram &DP, uint64_t IntervalLen);
+
+  void onBatch(const DynInst *Batch, size_t N) override;
+
+  /// Records the partial final interval. Call exactly once, after the
+  /// profiled run returned; idempotent when the run ended on an interval
+  /// boundary (the partial interval is then empty and dropped).
+  void finish();
+
+  uint64_t intervalLen() const { return Len; }
+  size_t numIntervals() const { return Bbvs.size(); }
+  uint64_t totalInsts() const { return Total; }
+
+  /// Raw per-interval BBVs: Bbvs()[i][slot] = instructions interval i
+  /// executed inside countedBlocks()[slot]'s block. Every interval sums
+  /// to intervalLen() except possibly the last.
+  const std::vector<std::vector<uint32_t>> &bbvs() const { return Bbvs; }
+
+  /// Instructions per interval (IntervalLen except possibly the last).
+  const std::vector<uint64_t> &intervalInsts() const { return Insts; }
+
+  /// Call-depth buckets appended to each feature vector (instructions
+  /// executed at call depth d, d >= NumDepthBuckets-1 clamped into the
+  /// last bucket). Programs with few static blocks (small interpreters,
+  /// recursive kernels) can have near-identical BBVs across phases that
+  /// differ wildly in behavior; where they spend their time in the call
+  /// tree is the signature that separates those phases.
+  static constexpr size_t NumDepthBuckets = 16;
+
+  /// Per-interval depth-bucket counts, parallel to bbvs().
+  const std::vector<std::array<uint32_t, NumDepthBuckets>> &depths() const {
+    return Depths;
+  }
+
+  /// Per-interval pointer-chase counts: loads whose address base register
+  /// was last written by another load. Phases with identical block
+  /// vectors and even identical miss counts can still differ several-fold
+  /// in cycles when one overlaps its misses and the other serializes them
+  /// behind a pointer chain; this is the cheap functional signal that
+  /// separates the two.
+  const std::vector<uint32_t> &chases() const { return Chases; }
+
+  /// L1-normalized feature vectors as doubles: the BBV slots (summing to
+  /// 1, so intervals of different lengths — the final partial one —
+  /// compare by shape, not mass) followed by the call-depth bucket
+  /// fractions. This is the clustering input (sample/KMeans.h).
+  std::vector<std::vector<double>> normalizedBbvs() const;
+
+private:
+  void flushInterval();
+
+  const DecodedProgram *DP;
+  uint64_t Len;
+  uint64_t InInterval = 0; ///< instructions accumulated into Cur
+  uint64_t Total = 0;
+  uint32_t CallDepth = 0;
+  uint32_t CurChase = 0;
+  std::vector<uint32_t> Cur; ///< per-slot counts of the open interval
+  std::array<uint32_t, NumDepthBuckets> CurDepth{};
+  std::vector<bool> LoadWrote; ///< reg -> last writer was a load
+  std::vector<std::vector<uint32_t>> Bbvs;
+  std::vector<std::array<uint32_t, NumDepthBuckets>> Depths;
+  std::vector<uint32_t> Chases;
+  std::vector<uint64_t> Insts;
+};
+
+} // namespace og
+
+#endif // OG_SAMPLE_INTERVALPROFILER_H

@@ -1,0 +1,244 @@
+//===- sample/KMeans.cpp ---------------------------------------------------==//
+
+#include "sample/KMeans.h"
+
+#include "support/Rng.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace og;
+
+std::vector<size_t> KMeansResult::clusterSizes() const {
+  std::vector<size_t> Sizes(K, 0);
+  for (int A : Assign)
+    ++Sizes[static_cast<size_t>(A)];
+  return Sizes;
+}
+
+double og::squaredDistance(const std::vector<double> &A,
+                           const std::vector<double> &B) {
+  double S = 0.0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    double D = A[I] - B[I];
+    S += D * D;
+  }
+  return S;
+}
+
+namespace {
+
+/// Uniform double in [0, 1) from the top 53 bits of one SplitMix64 draw.
+double nextUnit(Rng &R) {
+  return static_cast<double>(R.next() >> 11) * 0x1.0p-53;
+}
+
+double sqDist(const std::vector<double> &A, const std::vector<double> &B) {
+  return squaredDistance(A, B);
+}
+
+} // namespace
+
+std::vector<std::vector<double>>
+og::projectPoints(const std::vector<std::vector<double>> &Points, size_t Dims,
+                  uint64_t Seed) {
+  if (Points.empty() || Points.front().size() <= Dims)
+    return Points;
+  const size_t InDims = Points.front().size();
+  // One fixed projection matrix per (InDims, Dims, Seed), row-major over
+  // input dimensions so every point sees the same map.
+  Rng R(Seed);
+  const double Scale = std::sqrt(3.0 / static_cast<double>(Dims));
+  std::vector<double> Matrix(InDims * Dims);
+  for (double &M : Matrix) {
+    uint64_t Die = R.below(6);
+    M = Die == 0 ? Scale : (Die == 1 ? -Scale : 0.0);
+  }
+  std::vector<std::vector<double>> Out;
+  Out.reserve(Points.size());
+  for (const std::vector<double> &P : Points) {
+    assert(P.size() == InDims && "points must share one dimension");
+    std::vector<double> Q(Dims, 0.0);
+    for (size_t I = 0; I < InDims; ++I) {
+      const double V = P[I];
+      if (V == 0.0)
+        continue; // BBVs are sparse; skip the zero mass
+      const double *Row = &Matrix[I * Dims];
+      for (size_t J = 0; J < Dims; ++J)
+        Q[J] += V * Row[J];
+    }
+    Out.push_back(std::move(Q));
+  }
+  return Out;
+}
+
+KMeansResult og::kmeansCluster(const std::vector<std::vector<double>> &Points,
+                               unsigned K, uint64_t Seed, unsigned MaxIters) {
+  KMeansResult Res;
+  const size_t N = Points.size();
+  if (N == 0)
+    return Res;
+  K = static_cast<unsigned>(std::min<size_t>(K ? K : 1, N));
+  Res.K = K;
+  const size_t Dims = Points.front().size();
+  Rng R(Seed);
+
+  // k-means++ seeding: first centroid uniform, the rest D^2-weighted.
+  std::vector<std::vector<double>> C;
+  C.reserve(K);
+  C.push_back(Points[R.below(N)]);
+  std::vector<double> Dist2(N);
+  for (unsigned J = 1; J < K; ++J) {
+    double Total = 0.0;
+    for (size_t I = 0; I < N; ++I) {
+      double Best = std::numeric_limits<double>::infinity();
+      for (const std::vector<double> &Cj : C)
+        Best = std::min(Best, sqDist(Points[I], Cj));
+      Dist2[I] = Best;
+      Total += Best;
+    }
+    size_t Pick = 0;
+    if (Total > 0.0) {
+      // Walk the cumulative mass; lands on a point with Dist2 > 0.
+      double Target = nextUnit(R) * Total;
+      double Acc = 0.0;
+      for (size_t I = 0; I < N; ++I) {
+        Acc += Dist2[I];
+        if (Target < Acc) {
+          Pick = I;
+          break;
+        }
+      }
+    } else {
+      // All points coincide with some centroid; any choice is equal.
+      Pick = R.below(N);
+    }
+    C.push_back(Points[Pick]);
+  }
+
+  // Lloyd iterations with smallest-index tie-breaks and farthest-point
+  // reseeding for emptied clusters; stops when assignments fixpoint.
+  Res.Assign.assign(N, -1);
+  std::vector<size_t> Count(K);
+  std::vector<std::vector<double>> Sum(K, std::vector<double>(Dims));
+  for (unsigned Iter = 0; Iter < MaxIters; ++Iter) {
+    bool Changed = false;
+    for (size_t I = 0; I < N; ++I) {
+      int Best = 0;
+      double BestD = sqDist(Points[I], C[0]);
+      for (unsigned J = 1; J < K; ++J) {
+        double D = sqDist(Points[I], C[J]);
+        if (D < BestD) {
+          BestD = D;
+          Best = static_cast<int>(J);
+        }
+      }
+      if (Res.Assign[I] != Best) {
+        Res.Assign[I] = Best;
+        Changed = true;
+      }
+    }
+    if (!Changed)
+      break;
+
+    for (unsigned J = 0; J < K; ++J) {
+      Count[J] = 0;
+      std::fill(Sum[J].begin(), Sum[J].end(), 0.0);
+    }
+    for (size_t I = 0; I < N; ++I) {
+      unsigned J = static_cast<unsigned>(Res.Assign[I]);
+      ++Count[J];
+      for (size_t D = 0; D < Dims; ++D)
+        Sum[J][D] += Points[I][D];
+    }
+    for (unsigned J = 0; J < K; ++J) {
+      if (Count[J] == 0) {
+        // Reseed an emptied cluster at the point farthest from its
+        // centroid (deterministic: smallest index wins ties).
+        size_t Far = 0;
+        double FarD = -1.0;
+        for (size_t I = 0; I < N; ++I) {
+          double D = sqDist(Points[I], C[static_cast<size_t>(Res.Assign[I])]);
+          if (D > FarD) {
+            FarD = D;
+            Far = I;
+          }
+        }
+        C[J] = Points[Far];
+        continue;
+      }
+      for (size_t D = 0; D < Dims; ++D)
+        C[J][D] = Sum[J][D] / static_cast<double>(Count[J]);
+    }
+  }
+
+  Res.Centroids = std::move(C);
+  Res.Inertia = 0.0;
+  for (size_t I = 0; I < N; ++I)
+    Res.Inertia +=
+        sqDist(Points[I], Res.Centroids[static_cast<size_t>(Res.Assign[I])]);
+  return Res;
+}
+
+double og::bicScore(const std::vector<std::vector<double>> &Points,
+                    const KMeansResult &R) {
+  // Spherical-Gaussian BIC (Pelleg & Moore's X-means formulation, the one
+  // SimPoint uses): log-likelihood of the clustering minus a
+  // (parameters/2)*log(n) complexity penalty.
+  const double N = static_cast<double>(Points.size());
+  const double D = Points.empty() ? 1.0
+                                  : static_cast<double>(Points.front().size());
+  const double K = static_cast<double>(R.K);
+  if (N <= K)
+    return -std::numeric_limits<double>::infinity();
+  // Variance MLE; clamp so a perfect clustering does not produce log(0).
+  double Var = R.Inertia / (D * (N - K));
+  Var = std::max(Var, 1e-12);
+  std::vector<size_t> Sizes = R.clusterSizes();
+  double LogLik = 0.0;
+  for (size_t Nc : Sizes)
+    if (Nc > 0)
+      LogLik += static_cast<double>(Nc) * std::log(static_cast<double>(Nc) / N);
+  LogLik -= N * D / 2.0 * std::log(2.0 * 3.14159265358979323846 * Var);
+  LogLik -= D * (N - K) / 2.0;
+  const double NumParams = K * (D + 1.0);
+  return LogLik - NumParams / 2.0 * std::log(N);
+}
+
+unsigned og::pickK(const std::vector<std::vector<double>> &Points,
+                   unsigned MaxK, uint64_t Seed, std::vector<double> *Scores,
+                   double Threshold, KMeansResult *Winner) {
+  const size_t N = Points.size();
+  if (N == 0)
+    return 0;
+  MaxK = static_cast<unsigned>(std::min<size_t>(MaxK ? MaxK : 1, N));
+  std::vector<KMeansResult> Runs(MaxK);
+  std::vector<double> Bic(MaxK);
+  for (unsigned K = 1; K <= MaxK; ++K) {
+    Runs[K - 1] = kmeansCluster(Points, K, Seed);
+    Bic[K - 1] = bicScore(Points, Runs[K - 1]);
+  }
+  if (Scores)
+    *Scores = Bic;
+  auto Choose = [&](unsigned K) {
+    if (Winner)
+      *Winner = std::move(Runs[K - 1]);
+    return K;
+  };
+  double Lo = Bic[0], Hi = Bic[0];
+  for (double B : Bic) {
+    if (std::isfinite(B)) {
+      Lo = std::min(Lo, B);
+      Hi = std::max(Hi, B);
+    }
+  }
+  if (!(Hi > Lo)) // one candidate, or a flat score curve: simplest wins
+    return Choose(1);
+  const double Cut = Lo + Threshold * (Hi - Lo);
+  for (unsigned K = 1; K <= MaxK; ++K)
+    if (Bic[K - 1] >= Cut)
+      return Choose(K);
+  return Choose(MaxK);
+}

@@ -1,0 +1,80 @@
+//===- sample/KMeans.h - Deterministic k-means++ clustering ------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The clustering half of phase-aware sampled simulation: seeded,
+/// fully deterministic k-means++ (Lloyd iterations, smallest-index tie
+/// breaks, farthest-point reseeding of emptied clusters) plus the
+/// SimPoint-style model-selection helpers — a sparse random projection
+/// that shrinks BBVs to a handful of dimensions before clustering, and a
+/// BIC score that picks the smallest k whose score reaches 90% of the
+/// best across 1..MaxK. Everything draws from support/Rng (SplitMix64)
+/// seeded explicitly, so a (points, seed) pair reproduces bit-identical
+/// clusterings on any host — the property the sweep driver's
+/// serial-vs-parallel byte-identity contract rests on.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SAMPLE_KMEANS_H
+#define OG_SAMPLE_KMEANS_H
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace og {
+
+/// Outcome of one k-means run.
+struct KMeansResult {
+  unsigned K = 0;
+  std::vector<int> Assign; ///< per-point cluster id in [0, K)
+  std::vector<std::vector<double>> Centroids;
+  double Inertia = 0.0; ///< sum of squared point-to-centroid distances
+
+  /// Points per cluster.
+  std::vector<size_t> clusterSizes() const;
+};
+
+/// Squared Euclidean distance between two equal-dimension points (the
+/// metric every consumer of this header clusters and elects under).
+double squaredDistance(const std::vector<double> &A,
+                       const std::vector<double> &B);
+
+/// Projects \p Points into \p Dims dimensions with the Achlioptas sparse
+/// random projection (entries +1/0/-1 with probability 1/6, 2/3, 1/6,
+/// scaled by sqrt(3/Dims)), deterministically from \p Seed. Distances are
+/// approximately preserved, which is all clustering needs; BBVs with
+/// hundreds of block slots cluster an order of magnitude faster in the
+/// projected space. Inputs with <= Dims dimensions are returned as-is.
+std::vector<std::vector<double>>
+projectPoints(const std::vector<std::vector<double>> &Points, size_t Dims,
+              uint64_t Seed);
+
+/// Clusters \p Points (all the same dimension) into \p K clusters with
+/// k-means++ seeding and at most \p MaxIters Lloyd iterations. K is
+/// clamped to the number of points. Deterministic in (Points, K, Seed).
+KMeansResult kmeansCluster(const std::vector<std::vector<double>> &Points,
+                           unsigned K, uint64_t Seed,
+                           unsigned MaxIters = 64);
+
+/// Bayesian information criterion of a clustering under the spherical
+/// Gaussian model (higher is better); the SimPoint model-selection score.
+double bicScore(const std::vector<std::vector<double>> &Points,
+                const KMeansResult &R);
+
+/// Runs kmeansCluster for every k in 1..MaxK and returns the smallest k
+/// whose BIC reaches \p Threshold (default 0.9) of the way from the worst
+/// to the best score — SimPoint's "90% of the best BIC" rule. \p Scores,
+/// when given, receives the BIC of every candidate k (index k-1);
+/// \p Winner, when given, receives the chosen k's clustering so callers
+/// do not re-run it.
+unsigned pickK(const std::vector<std::vector<double>> &Points, unsigned MaxK,
+               uint64_t Seed, std::vector<double> *Scores = nullptr,
+               double Threshold = 0.9, KMeansResult *Winner = nullptr);
+
+} // namespace og
+
+#endif // OG_SAMPLE_KMEANS_H

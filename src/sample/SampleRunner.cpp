@@ -1,0 +1,500 @@
+//===- sample/SampleRunner.cpp ---------------------------------------------==//
+
+#include "sample/SampleRunner.h"
+
+#include "sample/KMeans.h"
+
+#include <algorithm>
+#include <array>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+using namespace og;
+
+SamplePlan og::makeSamplePlan(const IntervalProfiler &Prof,
+                              const SampleSpec &Spec) {
+  assert(Spec.enabled() && "sampling disabled in spec");
+  assert(Prof.numIntervals() > 0 && "profile recorded no intervals");
+
+  SamplePlan Plan;
+  Plan.IntervalLen = Prof.intervalLen();
+  Plan.TotalInsts = Prof.totalInsts();
+  Plan.IntervalInsts = Prof.intervalInsts();
+  {
+    uint64_t Chase = 0;
+    for (uint32_t C : Prof.chases())
+      Chase += C;
+    Plan.ChaseFrac =
+        static_cast<double>(Chase) / static_cast<double>(Plan.TotalInsts);
+  }
+
+  std::vector<std::vector<double>> Points =
+      projectPoints(Prof.normalizedBbvs(), Spec.ProjectDims, Spec.Seed);
+  const size_t N = Points.size();
+  if (Spec.TimeWeight > 0.0) {
+    // Temporal augmentation: one extra coordinate walking 0..TimeWeight
+    // across the run (see SampleSpec::TimeWeight).
+    for (size_t I = 0; I < N; ++I)
+      Points[I].push_back(N > 1 ? Spec.TimeWeight * static_cast<double>(I) /
+                                      static_cast<double>(N - 1)
+                                : 0.0);
+  }
+
+  // Fixed k when the spec names one. Otherwise BIC picks the phase
+  // count, and a coverage floor of one cluster per 16 intervals (capped)
+  // adds sampling capacity for long runs: their residual error is
+  // within-phase variance, which more strata shrink even when the BIC
+  // curve is happy with a handful of phases.
+  unsigned K;
+  KMeansResult Clusters;
+  if (Spec.K) {
+    K = Spec.K;
+    Clusters = kmeansCluster(Points, K, Spec.Seed);
+  } else {
+    KMeansResult BicWinner;
+    const unsigned Bic =
+        pickK(Points, Spec.MaxK, Spec.Seed, nullptr, 0.9, &BicWinner);
+    const unsigned Coverage = std::min<unsigned>(
+        std::max<unsigned>(static_cast<unsigned>(N / 16), 1), 24);
+    K = std::max(Bic, Coverage);
+    // Reuse the BIC winner when the coverage floor did not raise k.
+    Clusters = K == Bic ? std::move(BicWinner)
+                        : kmeansCluster(Points, K, Spec.Seed);
+  }
+
+  // Elect per-cluster representatives (member closest to the centroid,
+  // smallest index on ties) and the dynamic-instruction weights.
+  // Clusters that ended up empty are dropped — they carry no weight and
+  // would have nothing to represent.
+  std::vector<int> Remap(Clusters.K, -1);
+  std::vector<std::vector<uint32_t>> MemberSets;
+  std::vector<size_t> RepPositions;
+  std::vector<double> ClusterDisp; ///< weighted mean dist to centroid
+  for (unsigned C = 0; C < Clusters.K; ++C) {
+    uint32_t Rep = 0;
+    size_t RepPos = 0;
+    double RepD = std::numeric_limits<double>::infinity();
+    uint64_t Insts = 0;
+    double Disp = 0.0;
+    std::vector<uint32_t> Members;
+    for (size_t I = 0; I < N; ++I) {
+      if (Clusters.Assign[I] != static_cast<int>(C))
+        continue;
+      Insts += Plan.IntervalInsts[I];
+      Members.push_back(static_cast<uint32_t>(I));
+      double D = squaredDistance(Points[I], Clusters.Centroids[C]);
+      Disp += static_cast<double>(Plan.IntervalInsts[I]) * std::sqrt(D);
+      if (D < RepD) {
+        RepD = D;
+        Rep = static_cast<uint32_t>(I);
+        RepPos = Members.size() - 1;
+      }
+    }
+    if (Insts == 0)
+      continue;
+    Remap[C] = static_cast<int>(Plan.Reps.size());
+    Plan.Reps.push_back(Rep);
+    Plan.Weights.push_back(static_cast<double>(Insts) /
+                           static_cast<double>(Plan.TotalInsts));
+    MemberSets.push_back(std::move(Members));
+    RepPositions.push_back(RepPos);
+    ClusterDisp.push_back(Disp / static_cast<double>(Plan.TotalInsts));
+  }
+  Plan.K = static_cast<unsigned>(Plan.Reps.size());
+
+  // Sample allocation (Neyman-style): every cluster gets its
+  // representative; the remaining budget of (SamplesPerCluster - 1) * K
+  // extra samples goes to clusters in proportion to their dispersion,
+  // where single-rep estimation is least trustworthy (phase ramps,
+  // drifting behavior — the temporal feature gives even BBV-identical
+  // drift stretches a usable spread). A plan with no dispersion signal
+  // at all spreads the budget evenly.
+  {
+    const size_t Budget =
+        static_cast<size_t>(std::max(Spec.SamplesPerCluster, 1u) - 1) *
+        Plan.K;
+    double DispTotal = 0.0;
+    for (double D : ClusterDisp)
+      DispTotal += D;
+    std::vector<size_t> Extra(Plan.K, 0);
+    if (DispTotal > 0.0) {
+      // Largest-remainder apportionment, deterministic tie-break by
+      // cluster index.
+      std::vector<std::pair<double, unsigned>> Rema;
+      size_t Assigned = 0;
+      for (unsigned C = 0; C < Plan.K; ++C) {
+        double Share =
+            static_cast<double>(Budget) * ClusterDisp[C] / DispTotal;
+        Extra[C] = static_cast<size_t>(Share);
+        Assigned += Extra[C];
+        Rema.push_back({Share - static_cast<double>(Extra[C]), C});
+      }
+      std::sort(Rema.begin(), Rema.end(), [](const auto &A, const auto &B) {
+        if (A.first != B.first)
+          return A.first > B.first;
+        return A.second < B.second;
+      });
+      for (size_t J = 0; J < Rema.size() && Assigned < Budget;
+           ++J, ++Assigned)
+        ++Extra[Rema[J].second];
+    } else if (Plan.K) {
+      for (unsigned C = 0; C < Plan.K; ++C)
+        Extra[C] = Budget / Plan.K;
+    }
+
+    for (unsigned C = 0; C < Plan.K; ++C) {
+      const std::vector<uint32_t> &Members = MemberSets[C];
+      const size_t M = Members.size();
+      const size_t R = std::min<size_t>(1 + Extra[C], M);
+      // Evenly-spaced member picks (stratified within the cluster), with
+      // the pick nearest the representative's slot replaced by the
+      // representative itself.
+      std::vector<uint32_t> Samples;
+      size_t Nearest = 0;
+      size_t NearestDist = M;
+      for (size_t J = 0; J < R; ++J) {
+        const size_t Pos = (2 * J + 1) * M / (2 * R);
+        Samples.push_back(Members[Pos]);
+        const size_t Dist = Pos > RepPositions[C] ? Pos - RepPositions[C]
+                                                  : RepPositions[C] - Pos;
+        if (Dist < NearestDist) {
+          NearestDist = Dist;
+          Nearest = J;
+        }
+      }
+      Samples[Nearest] = Plan.Reps[C];
+      std::sort(Samples.begin(), Samples.end());
+      Samples.erase(std::unique(Samples.begin(), Samples.end()),
+                    Samples.end());
+      Plan.Samples.push_back(std::move(Samples));
+    }
+  }
+  Plan.Assign.resize(N);
+  for (size_t I = 0; I < N; ++I)
+    Plan.Assign[I] = Remap[static_cast<size_t>(Clusters.Assign[I])];
+
+  // Homogeneity proxy: instruction-weighted mean distance of every
+  // interval to its cluster's representative vector.
+  double Disp = 0.0;
+  for (size_t I = 0; I < N; ++I) {
+    const uint32_t Rep = Plan.Reps[static_cast<size_t>(Plan.Assign[I])];
+    Disp += static_cast<double>(Plan.IntervalInsts[I]) /
+            static_cast<double>(Plan.TotalInsts) *
+            std::sqrt(squaredDistance(Points[I], Points[Rep]));
+  }
+  Plan.Dispersion = Disp;
+  return Plan;
+}
+
+namespace {
+
+/// Mirrors UarchStats with double-precision accumulators so per-cluster
+/// deltas can be scaled by fractional weights before the final rounding.
+struct ScaledStats {
+  double Insts = 0, Cycles = 0, FetchGroups = 0, ICacheMisses = 0,
+         DL1Accesses = 0, DL1Misses = 0, L2Accesses = 0, L2Misses = 0,
+         Branches = 0, Mispredicts = 0;
+
+  void addScaled(double F, const UarchStats &A, const UarchStats &B) {
+    Insts += F * static_cast<double>(B.Insts - A.Insts);
+    Cycles += F * static_cast<double>(B.Cycles - A.Cycles);
+    FetchGroups += F * static_cast<double>(B.FetchGroups - A.FetchGroups);
+    ICacheMisses += F * static_cast<double>(B.ICacheMisses - A.ICacheMisses);
+    DL1Accesses += F * static_cast<double>(B.DL1Accesses - A.DL1Accesses);
+    DL1Misses += F * static_cast<double>(B.DL1Misses - A.DL1Misses);
+    L2Accesses += F * static_cast<double>(B.L2Accesses - A.L2Accesses);
+    L2Misses += F * static_cast<double>(B.L2Misses - A.L2Misses);
+    Branches += F * static_cast<double>(B.Branches - A.Branches);
+    Mispredicts += F * static_cast<double>(B.Mispredicts - A.Mispredicts);
+  }
+
+  UarchStats rounded() const {
+    auto R = [](double V) { return static_cast<uint64_t>(std::llround(V)); };
+    UarchStats S;
+    S.Insts = R(Insts);
+    S.Cycles = R(Cycles);
+    S.FetchGroups = R(FetchGroups);
+    S.ICacheMisses = R(ICacheMisses);
+    S.DL1Accesses = R(DL1Accesses);
+    S.DL1Misses = R(DL1Misses);
+    S.L2Accesses = R(L2Accesses);
+    S.L2Misses = R(L2Misses);
+    S.Branches = R(Branches);
+    S.Mispredicts = R(Mispredicts);
+    return S;
+  }
+};
+
+/// Feeds the in-window trace to one OooCore+EnergyModel stack and records
+/// per-cluster stat/energy deltas across each window's counted stretch.
+/// Each window arrives in three phases: a functional-warming shadow
+/// (light records routed to OooCore::warmOnly), a detailed-but-uncounted
+/// warm-up, and the counted representative interval bracketed by the
+/// stat/energy snapshots.
+class WindowEstimator final : public TraceSink {
+public:
+  struct Win {
+    uint64_t Shadow = 0, Warmup = 0, Counted = 0;
+    unsigned Cluster = 0;
+  };
+
+  WindowEstimator(const UarchConfig &Uarch, GatingScheme Scheme,
+                  const EnergyCoefficients &Coeffs, std::vector<Win> Windows)
+      : EM(Scheme, Coeffs), Core(Uarch, &EM), Wins(std::move(Windows)),
+        StatDelta(Wins.size()), EnergyDelta(Wins.size()) {
+    EnergyStart.fill(0.0);
+  }
+
+  void onBatch(const DynInst *Batch, size_t N) override {
+    Delivered += N;
+    while (N > 0) {
+      assert(Cur < Wins.size() && "trace exceeds the planned windows");
+      const Win &W = Wins[Cur];
+      if (!CountingStarted && Into >= W.Shadow + W.Warmup) {
+        snapStart();
+        CountingStarted = true;
+      }
+      const bool InShadow = Into < W.Shadow;
+      const uint64_t Limit = InShadow
+                                 ? W.Shadow
+                                 : (CountingStarted
+                                        ? W.Shadow + W.Warmup + W.Counted
+                                        : W.Shadow + W.Warmup);
+      const size_t Take =
+          static_cast<size_t>(std::min<uint64_t>(N, Limit - Into));
+      if (InShadow)
+        Core.warmOnly(Batch, Take);
+      else
+        Core.onBatch(Batch, Take);
+      Batch += Take;
+      N -= Take;
+      Into += Take;
+      if (CountingStarted && Into == W.Shadow + W.Warmup + W.Counted) {
+        snapEnd(Cur);
+        ++Cur;
+        Into = 0;
+        CountingStarted = false;
+      }
+    }
+  }
+
+  bool allWindowsComplete() const { return Cur == Wins.size(); }
+  uint64_t deliveredInsts() const { return Delivered; }
+
+  /// Scales the per-window deltas into the whole-run estimate.
+  void estimate(const std::vector<double> &Factors, UarchStats &OutStats,
+                EnergyReport &OutReport) const {
+    assert(Factors.size() == StatDelta.size());
+    ScaledStats Acc;
+    std::array<double, NumStructures> Energy;
+    Energy.fill(0.0);
+    for (size_t C = 0; C < Factors.size(); ++C) {
+      Acc.addScaled(Factors[C], UarchStats(), StatDelta[C]);
+      for (unsigned S = 0; S < NumStructures; ++S)
+        Energy[S] += Factors[C] * EnergyDelta[C][S];
+    }
+    OutStats = Acc.rounded();
+    OutReport.Scheme = EM.scheme();
+    OutReport.PerStructure = Energy;
+    double Total = 0.0;
+    for (double E : Energy)
+      Total += E;
+    OutReport.TotalEnergy =
+        Total + EM.clockPerCycle() * static_cast<double>(OutStats.Cycles);
+    OutReport.Uarch = OutStats;
+  }
+
+private:
+  void snapStart() {
+    StatStart = Core.snapshot();
+    for (unsigned S = 0; S < NumStructures; ++S)
+      EnergyStart[S] = EM.structureEnergy(static_cast<Structure>(S));
+  }
+
+  void snapEnd(size_t Window) {
+    const UarchStats End = Core.snapshot();
+    const UarchStats &A = StatStart;
+    UarchStats &D = StatDelta[Window];
+    D.Insts += End.Insts - A.Insts;
+    D.Cycles += End.Cycles - A.Cycles;
+    D.FetchGroups += End.FetchGroups - A.FetchGroups;
+    D.ICacheMisses += End.ICacheMisses - A.ICacheMisses;
+    D.DL1Accesses += End.DL1Accesses - A.DL1Accesses;
+    D.DL1Misses += End.DL1Misses - A.DL1Misses;
+    D.L2Accesses += End.L2Accesses - A.L2Accesses;
+    D.L2Misses += End.L2Misses - A.L2Misses;
+    D.Branches += End.Branches - A.Branches;
+    D.Mispredicts += End.Mispredicts - A.Mispredicts;
+    for (unsigned S = 0; S < NumStructures; ++S)
+      EnergyDelta[Window][S] +=
+          EM.structureEnergy(static_cast<Structure>(S)) - EnergyStart[S];
+  }
+
+  EnergyModel EM;
+  OooCore Core;
+  std::vector<Win> Wins;
+  size_t Cur = 0;
+  uint64_t Into = 0;
+  uint64_t Delivered = 0;
+  bool CountingStarted = false;
+  UarchStats StatStart;
+  std::vector<UarchStats> StatDelta;
+  std::array<double, NumStructures> EnergyStart;
+  std::vector<std::array<double, NumStructures>> EnergyDelta;
+};
+
+} // namespace
+
+SampleEstimate og::runSampled(const DecodedProgram &DP, const RunOptions &Ref,
+                              const UarchConfig &Uarch, GatingScheme Scheme,
+                              const EnergyCoefficients &Coeffs,
+                              const SamplePlan &Plan, const SampleSpec &Spec) {
+  assert(Plan.K > 0 && "plan has no clusters");
+
+  // Interval start offsets in dynamic-instruction space.
+  std::vector<uint64_t> Starts(Plan.numIntervals());
+  uint64_t Off = 0;
+  for (size_t I = 0; I < Plan.numIntervals(); ++I) {
+    Starts[I] = Off;
+    Off += Plan.IntervalInsts[I];
+  }
+
+  // One window per (cluster, sample), ordered by position in the run.
+  // Warm-up is clamped so windows never overlap the run start or each
+  // other (a sample directly behind another window keeps its counted
+  // stretch and loses warm-up instead).
+  struct SampleSite {
+    uint32_t Interval = 0;
+    unsigned Cluster = 0;
+  };
+  std::vector<SampleSite> Sites;
+  for (unsigned C = 0; C < Plan.K; ++C)
+    for (uint32_t I : Plan.Samples[C])
+      Sites.push_back({I, C});
+  std::sort(Sites.begin(), Sites.end(),
+            [](const SampleSite &A, const SampleSite &B) {
+              return A.Interval < B.Interval;
+            });
+
+  // Shadow length per window. Deliberately scaled by K (not the number
+  // of sample windows): more samples per cluster must not dilute each
+  // window's warming. Chase-heavy plans widen the budget — their cycles
+  // depend on cache history no short shadow can rebuild (see
+  // SampleSpec::ChaseWarmGain).
+  const double ShadowFrac = std::min(
+      Spec.WarmupFrac + Spec.ChaseWarmGain * Plan.ChaseFrac, 1.0);
+  const uint64_t ShadowTarget = static_cast<uint64_t>(
+      ShadowFrac * static_cast<double>(Plan.TotalInsts) /
+      static_cast<double>(Plan.K));
+
+  std::vector<SampleWindow> Windows;
+  std::vector<WindowEstimator::Win> Wins;
+  uint64_t PrevEnd = 0;
+  for (const SampleSite &S : Sites) {
+    const uint64_t Begin = Starts[S.Interval];
+    // Per-sample measuring stretch: the cluster's CountedLen budget
+    // split over its samples, clamped to the interval.
+    uint64_t Counted = Plan.IntervalInsts[S.Interval];
+    if (Spec.CountedLen) {
+      // Floor of 700 so heavily-sampled clusters still measure stretches
+      // long enough to amortize window-boundary effects.
+      const uint64_t Share = std::max<uint64_t>(
+          Spec.CountedLen / Plan.Samples[S.Cluster].size(), 700);
+      Counted = std::min(Share, Counted);
+    }
+    const uint64_t End = Begin + Counted;
+    // Warm-up prefix, clamped to the gap behind the previous window: the
+    // detailed warm-up keeps priority, the cheap warming shadow takes
+    // whatever budget remains.
+    const uint64_t Gap = Begin - PrevEnd;
+    const uint64_t Warmup = std::min(Spec.WarmupLen, Gap);
+    const uint64_t Shadow = std::min(ShadowTarget, Gap - Warmup);
+    Windows.push_back({Begin - Warmup - Shadow, End, Shadow});
+    Wins.push_back({Shadow, Warmup, Counted, S.Cluster});
+    PrevEnd = End;
+  }
+
+  // Post-stratified weighting: every interval is represented by the
+  // temporally-nearest sample of its own cluster, and each window's
+  // counted delta is scaled by (instructions it represents / counted
+  // instructions). Inside a heterogeneous cluster this keeps a sample at
+  // a phase edge from diluting the mass of the plateau members — each
+  // member is accounted by its most-similar sample — and the integer
+  // represented-instruction totals keep the Insts estimate exact.
+  std::vector<std::vector<size_t>> ClusterWindows(Plan.K);
+  for (size_t W = 0; W < Sites.size(); ++W)
+    ClusterWindows[Sites[W].Cluster].push_back(W);
+  std::vector<uint64_t> Represented(Sites.size(), 0);
+  for (size_t I = 0; I < Plan.numIntervals(); ++I) {
+    const unsigned C = static_cast<unsigned>(Plan.Assign[I]);
+    size_t Best = ClusterWindows[C].front();
+    uint64_t BestDist = ~uint64_t(0);
+    for (size_t W : ClusterWindows[C]) {
+      const uint32_t S = Sites[W].Interval;
+      const uint64_t Dist =
+          S > I ? static_cast<uint64_t>(S) - I : I - static_cast<uint64_t>(S);
+      if (Dist < BestDist) {
+        BestDist = Dist;
+        Best = W;
+      }
+    }
+    Represented[Best] += Plan.IntervalInsts[I];
+  }
+  std::vector<double> Factors(Sites.size());
+  for (size_t W = 0; W < Sites.size(); ++W)
+    Factors[W] = static_cast<double>(Represented[W]) /
+                 static_cast<double>(Wins[W].Counted);
+
+  WindowEstimator Estimator(Uarch, Scheme, Coeffs, std::move(Wins));
+  RunOptions Opts = Ref;
+  Opts.Sink = &Estimator;
+
+  SampleEstimate Est;
+  Est.Plan = Plan;
+  Est.Run = runProgramWindowed(DP, Opts, Windows);
+  Est.DetailedInsts = Estimator.deliveredInsts();
+  assert(Estimator.allWindowsComplete() &&
+         "sampled run ended before the planned windows");
+
+  Estimator.estimate(Factors, Est.Uarch, Est.Report);
+  return Est;
+}
+
+SampleEstimate og::estimateSampled(const DecodedProgram &DP,
+                                   const RunOptions &Ref,
+                                   const UarchConfig &Uarch,
+                                   GatingScheme Scheme,
+                                   const EnergyCoefficients &Coeffs,
+                                   const SampleSpec &Spec) {
+  IntervalProfiler Prof(DP, Spec.IntervalLen);
+  RunOptions ProfOpts = Ref;
+  ProfOpts.Sink = &Prof;
+  RunResult ProfRun = runProgram(DP, ProfOpts);
+  Prof.finish();
+  assert(ProfRun.Status == RunStatus::Halted && "profiled run did not halt");
+  (void)ProfRun;
+
+  SamplePlan Plan = makeSamplePlan(Prof, Spec);
+  return runSampled(DP, Ref, Uarch, Scheme, Coeffs, Plan, Spec);
+}
+
+double SampleErrors::maxAbs() const {
+  return std::max(std::max(std::fabs(Energy), std::fabs(Cycles)),
+                  std::max(std::fabs(Ipc), std::fabs(Insts)));
+}
+
+SampleErrors og::compareToExact(const SampleEstimate &Est,
+                                const EnergyReport &Exact) {
+  auto Rel = [](double EstV, double ExactV) {
+    return ExactV != 0.0 ? (EstV - ExactV) / ExactV : 0.0;
+  };
+  SampleErrors E;
+  E.Energy = Rel(Est.Report.TotalEnergy, Exact.TotalEnergy);
+  E.Cycles = Rel(static_cast<double>(Est.Uarch.Cycles),
+                 static_cast<double>(Exact.Uarch.Cycles));
+  E.Ipc = Rel(Est.Uarch.ipc(), Exact.Uarch.ipc());
+  E.Insts = Rel(static_cast<double>(Est.Uarch.Insts),
+                static_cast<double>(Exact.Uarch.Insts));
+  return E;
+}

@@ -1,0 +1,187 @@
+//===- sample/SampleRunner.h - Phase-sampled detailed simulation -*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Error-bounded sampled estimation of the detailed (OoO timing + power)
+/// simulation from a handful of representative execution phases, in three
+/// steps:
+///
+///  1. Profile: one functional run with an IntervalProfiler sink slices
+///     execution into fixed-length intervals and records per-interval
+///     basic-block vectors (and, as a byproduct, the exact functional
+///     stats and output stream).
+///  2. Plan: normalized BBVs are projected and clustered with seeded
+///     k-means++ (k fixed or BIC-picked); each cluster elects the member
+///     interval closest to its centroid as representative and weighs it
+///     by the cluster's share of dynamic instructions.
+///  3. Estimate: a second functional pass fast-forwards at no-sink speed
+///     (sim/ExecEngine.h windowed mode) and feeds the OooCore+EnergyModel
+///     stack only inside the representative intervals — each preceded by
+///     a warm-up stretch that is simulated but not counted — then scales
+///     the per-cluster stat/energy deltas by the cluster weights into a
+///     whole-run UarchStats/EnergyReport estimate.
+///
+/// The detailed stack only ever sees K*(interval+warm-up) instructions,
+/// so estimation cost approaches the bare-interpreter floor while the
+/// estimate tracks the exact run within the intra-cluster homogeneity the
+/// plan reports (Dispersion). Functional quantities (DynInsts, output,
+/// block counts) stay exact: both passes execute every instruction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SAMPLE_SAMPLERUNNER_H
+#define OG_SAMPLE_SAMPLERUNNER_H
+
+#include "power/Report.h"
+#include "sample/IntervalProfiler.h"
+#include "sim/ExecEngine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace og {
+
+/// Configuration of sampled estimation. Default-constructed = disabled
+/// (exact detailed simulation).
+struct SampleSpec {
+  /// Interval length in dynamic instructions; 0 disables sampling.
+  uint64_t IntervalLen = 0;
+  /// Cluster count; 0 picks k automatically: BIC over 1..MaxK for the
+  /// phase count, raised to a coverage floor of one cluster per 16
+  /// intervals (capped at 24) on long runs.
+  unsigned K = 0;
+  unsigned MaxK = 8;
+  /// Detailed-but-uncounted instructions simulated directly before each
+  /// representative interval (settles pipeline/scheduler state).
+  uint64_t WarmupLen = 200;
+  /// Measuring budget per cluster, split across its sampled members:
+  /// each sample window measures ~CountedLen / SamplesPerCluster
+  /// instructions (clamped to the interval) and the tails rejoin the
+  /// fast-forward. 0 measures whole intervals. Sub-interval measuring
+  /// trades a little per-window variance for fewer detailed instructions
+  /// — the dominant cost once warming is cheap.
+  uint64_t CountedLen = 1400;
+  /// Detailed samples per cluster. The centroid-closest member is a
+  /// faithful representative only when the cluster is homogeneous in
+  /// *performance*; clusters whose members share a BBV but differ in
+  /// data-dependent behavior (hit rates, dependence chains) make a
+  /// single representative a lottery. Averaging a few evenly-spaced
+  /// members bounds that variance at no extra measuring budget (the
+  /// budget is split, not multiplied).
+  unsigned SamplesPerCluster = 3;
+  /// Functional-warming shadow budget as a fraction of the run, split
+  /// evenly across the plan's windows: ahead of its detailed warm-up,
+  /// each window gets up to WarmupFrac * total / K instructions of
+  /// cache/branch-predictor warming (OooCore::warmOnly over the engine's
+  /// light records), clamped to the gap behind the previous window.
+  /// Cold structure state at a window entry biases every window by a
+  /// roughly constant cycle cost — the bias scales with run length over
+  /// interval length, so a run-proportional warming budget keeps it
+  /// bounded at a fraction of detailed-simulation price.
+  double WarmupFrac = 0.05;
+  /// Chase-adaptive warming: the effective shadow budget fraction is
+  /// WarmupFrac + ChaseWarmGain * (plan pointer-chase fraction), capped
+  /// at 1.0. Pointer-chasing workloads serialize their misses, so their
+  /// cycles depend on deep cache history that short shadows cannot
+  /// rebuild — the profile's chase fraction is a reliable detector
+  /// (list/graph kernels score ~0.1+, array/table kernels ~0), and
+  /// paying for long warming only there keeps everyone else fast.
+  double ChaseWarmGain = 6.0;
+  /// Projection dimensions for clustering (sample/KMeans.h).
+  size_t ProjectDims = 16;
+  /// Weight of the temporal feature appended to each (projected) BBV:
+  /// interval position scaled to [0, TimeWeight]. Code signatures alone
+  /// miss data-dependent drift — the same loop gets slower as a hash
+  /// table fills — so clustering also stratifies by position, turning
+  /// constant-BBV stretches into contiguous time segments whose midpoint
+  /// representative tracks the segment mean. 0 restores pure-BBV
+  /// SimPoint clustering.
+  double TimeWeight = 0.5;
+  /// Clustering/projection seed. Fixed by default so a spec is fully
+  /// deterministic; sweeps inherit byte-identical serial-vs-parallel
+  /// reports for free.
+  uint64_t Seed = 0x0A4E5EEDull;
+
+  bool enabled() const { return IntervalLen > 0; }
+};
+
+/// A clustering of one profiled run into representative intervals.
+struct SamplePlan {
+  uint64_t IntervalLen = 0;
+  uint64_t TotalInsts = 0;
+  unsigned K = 0;
+  std::vector<uint64_t> IntervalInsts; ///< per-interval lengths
+  std::vector<int> Assign;             ///< interval -> cluster
+  std::vector<uint32_t> Reps;          ///< cluster -> representative interval
+  /// Per cluster: the member intervals simulated in detail (ascending;
+  /// SamplesPerCluster evenly-spaced members, always including Reps[c]).
+  std::vector<std::vector<uint32_t>> Samples;
+  std::vector<double> Weights;         ///< cluster -> dyn-inst share
+  /// Weighted mean distance of member BBVs to their centroid (projected,
+  /// L1-normalized space). A homogeneity proxy reported as the plan's
+  /// expected-error indicator: 0 means every interval in each cluster is
+  /// BBV-identical to its representative.
+  double Dispersion = 0.0;
+  /// Pointer-chase fraction of the profiled run (chasing loads per
+  /// instruction); drives the adaptive warming budget.
+  double ChaseFrac = 0.0;
+
+  size_t numIntervals() const { return IntervalInsts.size(); }
+};
+
+/// Clusters \p Prof's BBVs into a plan under \p Spec (call after
+/// Prof.finish()). Requires at least one recorded interval.
+SamplePlan makeSamplePlan(const IntervalProfiler &Prof,
+                          const SampleSpec &Spec);
+
+/// What a sampled estimation run produces.
+struct SampleEstimate {
+  /// Weighted whole-run estimates. Report.Uarch == Uarch; Insts is exact
+  /// by construction (cluster weights sum to the run length).
+  UarchStats Uarch;
+  EnergyReport Report;
+  /// Exact functional result of the estimation pass (status, stats,
+  /// output) — identical to an unsampled run of the same options.
+  RunResult Run;
+  SamplePlan Plan;
+  /// Instructions fed to the detailed stack (warm-up included) — the
+  /// sampled fraction is DetailedInsts / Plan.TotalInsts.
+  uint64_t DetailedInsts = 0;
+};
+
+/// Step 3 alone: fast-forward + in-window detailed simulation under an
+/// existing plan. \p Ref must run the same instruction stream the plan
+/// was profiled from (same decode, same inputs); Ref.Sink is ignored.
+SampleEstimate runSampled(const DecodedProgram &DP, const RunOptions &Ref,
+                          const UarchConfig &Uarch, GatingScheme Scheme,
+                          const EnergyCoefficients &Coeffs,
+                          const SamplePlan &Plan, const SampleSpec &Spec);
+
+/// The full flow: profile \p Ref once (also validating it halts), plan,
+/// then estimate. Two functional passes + K detailed windows total.
+SampleEstimate estimateSampled(const DecodedProgram &DP, const RunOptions &Ref,
+                               const UarchConfig &Uarch, GatingScheme Scheme,
+                               const EnergyCoefficients &Coeffs,
+                               const SampleSpec &Spec);
+
+/// Signed relative errors of an estimate against an exact detailed run
+/// of the same cell ((est - exact) / exact; 0 when exact is 0).
+struct SampleErrors {
+  double Energy = 0.0;
+  double Cycles = 0.0;
+  double Ipc = 0.0;
+  double Insts = 0.0;
+
+  /// Largest magnitude across the tracked metrics.
+  double maxAbs() const;
+};
+
+SampleErrors compareToExact(const SampleEstimate &Est,
+                            const EnergyReport &Exact);
+
+} // namespace og
+
+#endif // OG_SAMPLE_SAMPLERUNNER_H

@@ -23,6 +23,11 @@ namespace {
 /// branch predictor indexing) has always seen.
 constexpr uint64_t CodeBase = 0x1000;
 
+/// Flush threshold for light (warming-shadow) records in windowed runs:
+/// 256 records keep the working set of the engine-write / warmer-read
+/// loop at ~24KB instead of the full batch buffer's ~390KB.
+constexpr size_t LightBatchCapacity = 256;
+
 } // namespace
 
 DecodedProgram::DecodedProgram(const Program &P) : Prog(&P) {
@@ -209,8 +214,15 @@ struct Frame {
   int64_t SavedCalleeRegs[8]; ///< s0..s5, fp, sp (checked mode)
 };
 
-template <bool HasSink>
-RunResult execute(const DecodedProgram &DP, const RunOptions &Options) {
+/// The dispatch loop. \p HasSink statically selects whether DynInst
+/// records are materialized at all; \p Windowed additionally gates the
+/// materialization at runtime on the sample windows (\p Windows), so the
+/// out-of-window stretches run at no-sink speed. The exact modes
+/// (<false,false> and <true,false>) compile to the historical loops
+/// unchanged.
+template <bool HasSink, bool Windowed>
+RunResult execute(const DecodedProgram &DP, const RunOptions &Options,
+                  const std::vector<SampleWindow> *Windows) {
   using Edge = DecodedProgram::Edge;
   using EdgeFault = DecodedProgram::EdgeFault;
   using DInst = DecodedProgram::DInst;
@@ -237,6 +249,44 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options) {
   size_t BatchN = 0;
   if constexpr (HasSink)
     Batch.resize(TraceBatchCapacity);
+
+  // Windowed-mode state: WinIdx points at the window being entered or
+  // occupied, InWindow says whether the next instruction's records are
+  // materialized, and NextBoundary is the dynamic index at which the
+  // state flips next (~0 once past the last window).
+  [[maybe_unused]] size_t WinIdx = 0;
+  [[maybe_unused]] bool InWindow = false;
+  [[maybe_unused]] uint64_t NextBoundary = ~uint64_t(0);
+  [[maybe_unused]] uint64_t LightEnd = 0; ///< light-fill until this index
+  [[maybe_unused]] auto advanceWindow = [&](uint64_t DynIdx) {
+    if (InWindow) {
+      // Leaving a window: flush so the sink sees window-aligned batches.
+      if (BatchN) {
+        Sink->onBatch(Batch.data(), BatchN);
+        BatchN = 0;
+      }
+      InWindow = false;
+      ++WinIdx;
+    }
+    while (WinIdx < Windows->size()) {
+      const SampleWindow &W = (*Windows)[WinIdx];
+      if (W.End <= W.Begin) { // empty window: nothing to record
+        ++WinIdx;
+        continue;
+      }
+      if (DynIdx < W.Begin) {
+        NextBoundary = W.Begin;
+        return;
+      }
+      InWindow = true;
+      NextBoundary = W.End;
+      LightEnd = W.Begin + W.LightLen;
+      return;
+    }
+    NextBoundary = ~uint64_t(0);
+  };
+  if constexpr (Windowed)
+    advanceWindow(0);
 
   auto saveCalleeRegs = [&](Frame &Fr) {
     int Slot = 0;
@@ -283,19 +333,41 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options) {
 
       const DInst &DI = Insts[Cur];
 
+      if constexpr (Windowed) {
+        if (Stats.DynInsts == NextBoundary)
+          advanceWindow(Stats.DynInsts);
+      }
+
       DynInst *D = nullptr;
+      [[maybe_unused]] bool LightRec = false;
       if constexpr (HasSink) {
-        D = &Batch[BatchN];
-        *D = DynInst();
-        D->I = DI.I;
-        D->Func = DI.Func;
-        D->Block = DI.Block;
-        D->Index = DI.Index;
-        D->Pc = DI.Pc;
-        D->SeqPc = DI.Pc + 4;
-        D->NumSrcs = DI.NumSrcs;
-        for (unsigned S = 0; S < DI.NumSrcs; ++S)
-          D->SrcVals[S] = M.readReg(DI.Srcs[S]);
+        if (!Windowed || InWindow) {
+          D = &Batch[BatchN];
+          if (!Windowed || Stats.DynInsts >= LightEnd) {
+            *D = DynInst();
+            D->I = DI.I;
+            D->Func = DI.Func;
+            D->Block = DI.Block;
+            D->Index = DI.Index;
+            D->Pc = DI.Pc;
+            D->SeqPc = DI.Pc + 4;
+            D->NumSrcs = DI.NumSrcs;
+            for (unsigned S = 0; S < DI.NumSrcs; ++S)
+              D->SrcVals[S] = M.readReg(DI.Srcs[S]);
+          } else {
+            // Light record: only the warming-relevant fields are written
+            // (no struct zeroing, no register-file reads); the profile
+            // coordinates and source values carry unspecified leftovers.
+            LightRec = true;
+            D->I = DI.I;
+            D->Pc = DI.Pc;
+            D->SeqPc = DI.Pc + 4;
+            D->NumSrcs = 0;
+            D->IsMem = false;
+            D->IsBranch = false;
+            D->Taken = false;
+          }
+        }
       }
 
       int64_t A = DI.ReadsRa ? M.readReg(DI.Ra) : 0;
@@ -330,8 +402,10 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options) {
         M.writeReg(DI.Rd, Val);
         WroteDest = true;
         if constexpr (HasSink) {
-          D->IsMem = true;
-          D->MemAddr = Addr;
+          if (D) {
+            D->IsMem = true;
+            D->MemAddr = Addr;
+          }
         }
         break;
       }
@@ -341,8 +415,10 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options) {
         M.storeBytes(Addr, DI.WidthBytes, static_cast<uint64_t>(Value));
         Val = truncSignExtend(Value, DI.WidthBytes);
         if constexpr (HasSink) {
-          D->IsMem = true;
-          D->MemAddr = Addr;
+          if (D) {
+            D->IsMem = true;
+            D->MemAddr = Addr;
+          }
         }
         break;
       }
@@ -377,8 +453,10 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options) {
           break;
         }
         if constexpr (HasSink) {
-          D->IsBranch = true;
-          D->Taken = Taken;
+          if (D) {
+            D->IsBranch = true;
+            D->Taken = Taken;
+          }
         }
         Next = Taken ? &DI.Taken : &DI.Seq;
         break;
@@ -449,12 +527,20 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options) {
         ++Stats.ValueSizeBytes[significantBytes(Val)];
 
       if constexpr (HasSink) {
-        D->WroteDest = WroteDest;
-        D->Result = Val;
-        D->NextPc = Stop ? DI.Pc + 4 : Next->NextPc;
-        if (++BatchN == TraceBatchCapacity) {
-          Sink->onBatch(Batch.data(), BatchN);
-          BatchN = 0;
+        if (D) {
+          D->WroteDest = WroteDest;
+          D->Result = Val;
+          D->NextPc = Stop ? DI.Pc + 4 : Next->NextPc;
+          ++BatchN;
+          // Light (warming-shadow) stretches flush in small batches so
+          // the record buffer stays cache-resident through the
+          // engine-write / warmer-read round trip; full batches keep the
+          // one-virtual-call-per-4096 contract.
+          if (BatchN == TraceBatchCapacity ||
+              (Windowed && LightRec && BatchN >= LightBatchCapacity)) {
+            Sink->onBatch(Batch.data(), BatchN);
+            BatchN = 0;
+          }
         }
       }
 
@@ -485,6 +571,23 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options) {
 } // namespace
 
 RunResult og::runProgram(const DecodedProgram &DP, const RunOptions &Options) {
-  return Options.Sink ? execute<true>(DP, Options)
-                      : execute<false>(DP, Options);
+  return Options.Sink ? execute<true, false>(DP, Options, nullptr)
+                      : execute<false, false>(DP, Options, nullptr);
+}
+
+RunResult og::runProgramWindowed(const DecodedProgram &DP,
+                                 const RunOptions &Options,
+                                 const std::vector<SampleWindow> &Windows) {
+#ifndef NDEBUG
+  for (size_t I = 1; I < Windows.size(); ++I)
+    assert(Windows[I - 1].End <= Windows[I].Begin &&
+           "sample windows must be sorted and disjoint");
+#endif
+  // No sink (or no windows) degenerates to the plain no-sink run.
+  if (!Options.Sink || Windows.empty()) {
+    RunOptions NoSink = Options;
+    NoSink.Sink = nullptr;
+    return execute<false, false>(DP, NoSink, nullptr);
+  }
+  return execute<true, true>(DP, Options, &Windows);
 }

@@ -109,6 +109,13 @@ public:
   const std::vector<uint32_t> &countSlots() const { return CountSlots; }
   size_t numBlockSlots() const { return NumBlockSlots; }
 
+  /// Dense slot of (\p Func, \p Block) in the flat block-count space —
+  /// the index basic-block-vector consumers (sample/IntervalProfiler)
+  /// accumulate into. Inverse of countedBlocks()[slot].
+  size_t blockSlot(int32_t Func, int32_t Block) const {
+    return SlotBase[Func] + static_cast<size_t>(Block);
+  }
+
   /// The edge entering \p Func at its entry block (counts the entry block
   /// and any structural fallthrough chain from it).
   const Edge &funcEntry(int32_t Func) const { return FuncEntries[Func]; }
@@ -134,6 +141,38 @@ private:
 /// source Program — bit-identical stats, output, and trace stream — but
 /// skips the per-run decode, so repeated runs of one program amortize it.
 RunResult runProgram(const DecodedProgram &DP, const RunOptions &Options);
+
+/// One half-open range [Begin, End) of dynamic-instruction indices (0 =
+/// the first executed instruction) inside which a windowed run delivers
+/// the trace to its sink.
+///
+/// The first LightLen instructions of the window are delivered as
+/// *light* records: only the fields a structure-warming consumer needs
+/// (I, Pc, SeqPc, NextPc, IsMem/MemAddr, IsBranch/Taken, plus the
+/// Result/WroteDest of the executed operation) are filled — NumSrcs stays
+/// 0 and the per-operand register-file reads are skipped, which is most
+/// of a full record's cost. Sampled simulation uses this for long
+/// cache/branch-predictor warm-up shadows that would be wasteful at
+/// full-record (let alone full-simulation) price.
+struct SampleWindow {
+  uint64_t Begin = 0;
+  uint64_t End = 0;
+  uint64_t LightLen = 0; ///< light-record prefix length (<= End - Begin)
+};
+
+/// Executes \p DP exactly like runProgram — identical functional result
+/// (status, stats, output) — but hands Options.Sink only the instructions
+/// whose dynamic index falls inside one of \p Windows. Outside the
+/// windows the loop runs at no-sink speed (no DynInst materialization),
+/// which is what makes sampled estimation cheap: fast-forward is ~3x
+/// cheaper than a sink-fed run and ~9x cheaper than the full OoO+power
+/// stack. \p Windows must be sorted by Begin and pairwise disjoint;
+/// empty windows are skipped. The batch the sink sees flushes at every
+/// window end, so (unlike a full run) batches shorter than
+/// TraceBatchCapacity can appear mid-stream — one per window.
+RunResult runProgramWindowed(const DecodedProgram &DP,
+                             const RunOptions &Options,
+                             const std::vector<SampleWindow> &Windows);
 
 } // namespace og
 

@@ -203,8 +203,36 @@ void OooCore::onBatch(const DynInst *Batch, size_t N) {
     onInst(Batch[I]);
 }
 
+void OooCore::warmOnly(const DynInst *Batch, size_t N) {
+  for (size_t I = 0; I < N; ++I) {
+    const DynInst &D = Batch[I];
+    // Mirror onInst's structure-state evolution — I-side line behavior
+    // (demand fill through L2 plus the next-line prefetch), D-side
+    // demand path, branch predictor — without scheduling, statistics, or
+    // energy, so a detail window opens on the state a detailed run would
+    // have had.
+    uint64_t Line = D.Pc / Cfg.L1ILine;
+    if (Line != LastFetchLine) {
+      LastFetchLine = Line;
+      if (!L1I.access(D.Pc))
+        L2.access(D.Pc);
+      L1I.access(D.Pc + Cfg.L1ILine);
+      L2.access(D.Pc + Cfg.L1ILine);
+    }
+    if (D.IsMem) {
+      if (!L1D.access(D.MemAddr))
+        L2.access(D.MemAddr);
+    }
+    if (D.IsBranch) {
+      if (!BPred.predictAndUpdate(D.Pc, D.Taken))
+        LastFetchLine = ~uint64_t(0);
+    } else if (D.NextPc != D.SeqPc) {
+      LastFetchLine = ~uint64_t(0);
+    }
+  }
+}
+
 UarchStats OooCore::finish() {
-  Stats.Cycles = LastCycle + 1;
-  Stats.Mispredicts = BPred.mispredicts();
+  Stats = snapshot();
   return Stats;
 }

@@ -109,6 +109,29 @@ public:
   void onBatch(const DynInst *Batch, size_t N) override;
   UarchStats finish();
 
+  /// Functional warming: evolves the long-lived structure state — caches
+  /// (demand paths and the next-line prefetch), branch predictor, fetch
+  /// line — exactly as onInst() would, without scheduling, statistics, or
+  /// energy accounting. Sampled simulation (src/sample/) feeds the
+  /// fast-forwarded stretch before each representative window through
+  /// this at a fraction of detailed-simulation cost, so windows open on
+  /// warm state instead of whatever the previous window left behind.
+  /// Accepts the engine's light records (sim/ExecEngine.h): only Pc,
+  /// NextPc/SeqPc, IsMem/MemAddr and IsBranch/Taken are read.
+  void warmOnly(const DynInst *Batch, size_t N);
+
+  /// The statistics as of the instructions consumed so far, without
+  /// ending the run: Cycles counts through the last retirement and
+  /// Mispredicts is up to date. Non-destructive — the sampled-simulation
+  /// estimator (src/sample/) snapshots at window boundaries and keeps
+  /// feeding the core; finish() returns exactly the final snapshot.
+  UarchStats snapshot() const {
+    UarchStats S = Stats;
+    S.Cycles = LastCycle + 1;
+    S.Mispredicts = BPred.mispredicts();
+    return S;
+  }
+
 private:
   void emitFixed(Structure S) {
     if (Sink)

@@ -1,0 +1,661 @@
+//===- tests/SampleTest.cpp - Phase-sampled simulation tests ---------------==//
+//
+// The contracts of src/sample/: deterministic seeded clustering, exact
+// interval/BBV bookkeeping on branchy and recursive programs (including
+// the partial final interval), windowed-engine equivalence with full
+// runs, error-bounded weighted estimation on every standard workload,
+// sampled-sweep serial-vs-parallel byte-identity, the sampled-vs-exact
+// report-diff rules, and the aggregator's duplicate-cell determinism.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "program/Builder.h"
+#include "report/Baseline.h"
+#include "report/ReportSchema.h"
+#include "sample/IntervalProfiler.h"
+#include "sample/KMeans.h"
+#include "sample/SampleRunner.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+using namespace og;
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// KMeans
+
+std::vector<std::vector<double>> threeBlobs() {
+  // Three well-separated 2-D blobs, four points each.
+  std::vector<std::vector<double>> P;
+  const double Centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  const double Jit[4][2] = {{0.1, 0.0}, {-0.1, 0.1}, {0.0, -0.1}, {0.1, 0.1}};
+  for (const auto &C : Centers)
+    for (const auto &J : Jit)
+      P.push_back({C[0] + J[0], C[1] + J[1]});
+  return P;
+}
+
+TEST(KMeans, DeterministicUnderFixedSeed) {
+  const std::vector<std::vector<double>> P = threeBlobs();
+  KMeansResult A = kmeansCluster(P, 3, 42);
+  KMeansResult B = kmeansCluster(P, 3, 42);
+  EXPECT_EQ(A.Assign, B.Assign);
+  EXPECT_EQ(A.Centroids, B.Centroids);
+  EXPECT_EQ(A.Inertia, B.Inertia);
+}
+
+TEST(KMeans, SeparatesObviousBlobs) {
+  const std::vector<std::vector<double>> P = threeBlobs();
+  KMeansResult R = kmeansCluster(P, 3, 7);
+  ASSERT_EQ(R.K, 3u);
+  // Points of one blob share a label; different blobs differ.
+  for (int Blob = 0; Blob < 3; ++Blob)
+    for (int I = 1; I < 4; ++I)
+      EXPECT_EQ(R.Assign[Blob * 4], R.Assign[Blob * 4 + I]) << Blob;
+  EXPECT_NE(R.Assign[0], R.Assign[4]);
+  EXPECT_NE(R.Assign[0], R.Assign[8]);
+  EXPECT_NE(R.Assign[4], R.Assign[8]);
+  EXPECT_LT(R.Inertia, 1.0);
+  // K clamps to the point count.
+  EXPECT_EQ(kmeansCluster(P, 100, 7).K, P.size());
+}
+
+TEST(KMeans, BicPicksThePhaseCount) {
+  std::vector<double> Scores;
+  EXPECT_EQ(pickK(threeBlobs(), 6, 42, &Scores), 3u);
+  EXPECT_EQ(Scores.size(), 6u);
+}
+
+TEST(KMeans, ProjectionIsDeterministicAndPreservesSeparation) {
+  // 40-dimensional points in two far-apart groups.
+  std::vector<std::vector<double>> P;
+  for (int I = 0; I < 8; ++I) {
+    std::vector<double> V(40, 0.0);
+    V[I % 40] = 1.0;
+    if (I >= 4)
+      for (int J = 20; J < 40; ++J)
+        V[J] = 5.0;
+    P.push_back(std::move(V));
+  }
+  auto A = projectPoints(P, 8, 1), B = projectPoints(P, 8, 1);
+  ASSERT_EQ(A.size(), P.size());
+  EXPECT_EQ(A, B);
+  EXPECT_EQ(A.front().size(), 8u);
+  // Low-dimensional inputs pass through untouched.
+  std::vector<std::vector<double>> Small = {{1, 2}, {3, 4}};
+  EXPECT_EQ(projectPoints(Small, 8, 1), Small);
+  // The two groups stay separated after projection.
+  KMeansResult R = kmeansCluster(A, 2, 3);
+  for (int I = 1; I < 4; ++I) {
+    EXPECT_EQ(R.Assign[0], R.Assign[I]);
+    EXPECT_EQ(R.Assign[4], R.Assign[4 + I]);
+  }
+  EXPECT_NE(R.Assign[0], R.Assign[4]);
+}
+
+// ---------------------------------------------------------------------------
+// IntervalProfiler bookkeeping
+
+/// Branchy program: a counted loop whose body alternates between two
+/// blocks on the parity of the counter.
+Program branchyProgram(int64_t Iters) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 0); // counter
+  F.block("loop");
+  F.andi(RegT1, RegT0, 1);
+  F.bne(RegT1, "odd", "even");
+  F.block("even");
+  F.addi(RegT2, RegT2, 3);
+  F.br("latch");
+  F.block("odd");
+  F.addi(RegT2, RegT2, 5);
+  F.block("latch");
+  F.addi(RegT0, RegT0, 1);
+  F.cmpltImm(RegT1, RegT0, Iters);
+  F.bne(RegT1, "loop", "done");
+  F.block("done");
+  F.out(RegT2);
+  F.halt();
+  return PB.finish();
+}
+
+/// Recursive program: sums 1..N by recursion (exercises Jsr/Ret and the
+/// call-depth feature).
+Program recursiveProgram(int64_t N) {
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.ldi(RegA0, N);
+  Main.jsr("sum");
+  Main.out(RegV0);
+  Main.halt();
+  FunctionBuilder &Sum = PB.beginFunction("sum");
+  Sum.block("entry");
+  Sum.ble(RegA0, "base", "rec");
+  Sum.block("rec");
+  Sum.mov(RegT0, RegA0);
+  Sum.addi(RegA0, RegA0, -1);
+  Sum.jsr("sum");
+  Sum.addi(RegV0, RegV0, 1);
+  Sum.ret();
+  Sum.block("base");
+  Sum.ldi(RegV0, 0);
+  Sum.ret();
+  return PB.finish();
+}
+
+void checkProfileBookkeeping(const Program &P, uint64_t Len) {
+  DecodedProgram DP(P);
+  IntervalProfiler Prof(DP, Len);
+  RunOptions O;
+  O.Sink = &Prof;
+  RunResult R = runProgram(DP, O);
+  ASSERT_EQ(R.Status, RunStatus::Halted);
+  Prof.finish();
+
+  // Interval lengths: Len everywhere except a shorter final interval.
+  ASSERT_GT(Prof.numIntervals(), 1u);
+  EXPECT_EQ(Prof.totalInsts(), R.Stats.DynInsts);
+  uint64_t Sum = 0;
+  for (size_t I = 0; I < Prof.numIntervals(); ++I) {
+    const uint64_t N = Prof.intervalInsts()[I];
+    Sum += N;
+    if (I + 1 < Prof.numIntervals())
+      EXPECT_EQ(N, Len) << I;
+    else
+      EXPECT_EQ(N, R.Stats.DynInsts % Len == 0 ? Len : R.Stats.DynInsts % Len);
+  }
+  EXPECT_EQ(Sum, R.Stats.DynInsts);
+
+  // Each interval's BBV mass equals its instruction count, and the
+  // summed per-slot mass matches the instruction-weighted block profile
+  // (entries x block size; exact for programs that halt at a block end).
+  std::vector<uint64_t> SlotTotal(DP.numBlockSlots(), 0);
+  for (size_t I = 0; I < Prof.numIntervals(); ++I) {
+    uint64_t Mass = 0;
+    for (size_t S = 0; S < DP.numBlockSlots(); ++S) {
+      Mass += Prof.bbvs()[I][S];
+      SlotTotal[S] += Prof.bbvs()[I][S];
+    }
+    EXPECT_EQ(Mass, Prof.intervalInsts()[I]) << I;
+  }
+  for (const Function &F : P.Funcs)
+    for (const BasicBlock &BB : F.Blocks) {
+      const size_t Slot = DP.blockSlot(F.Id, BB.Id);
+      EXPECT_EQ(SlotTotal[Slot],
+                R.Stats.BlockCounts[F.Id][BB.Id] * BB.Insts.size())
+          << F.Name << " block " << BB.Id;
+    }
+
+  // Feature vectors are L1-normalized over the BBV slots and append the
+  // call-depth buckets plus the chase coordinate.
+  auto Feats = Prof.normalizedBbvs();
+  ASSERT_EQ(Feats.size(), Prof.numIntervals());
+  EXPECT_EQ(Feats[0].size(),
+            DP.numBlockSlots() + IntervalProfiler::NumDepthBuckets + 1);
+  for (size_t I = 0; I < Feats.size(); ++I) {
+    double BbvMass = 0, DepthMass = 0;
+    for (size_t S = 0; S < DP.numBlockSlots(); ++S)
+      BbvMass += Feats[I][S];
+    for (size_t B = 0; B < IntervalProfiler::NumDepthBuckets; ++B)
+      DepthMass += Feats[I][DP.numBlockSlots() + B];
+    EXPECT_NEAR(BbvMass, 1.0, 1e-9) << I;
+    EXPECT_NEAR(DepthMass, 1.0, 1e-9) << I;
+  }
+}
+
+TEST(IntervalProfiler, BranchyBookkeeping) {
+  checkProfileBookkeeping(branchyProgram(700), 256);
+}
+
+TEST(IntervalProfiler, RecursiveBookkeeping) {
+  checkProfileBookkeeping(recursiveProgram(120), 100);
+}
+
+TEST(IntervalProfiler, RecursionShowsInDepthBuckets) {
+  Program P = recursiveProgram(200);
+  DecodedProgram DP(P);
+  IntervalProfiler Prof(DP, 200);
+  RunOptions O;
+  O.Sink = &Prof;
+  runProgram(DP, O);
+  Prof.finish();
+  // Deep recursion must populate the clamped top bucket somewhere.
+  uint64_t Top = 0;
+  for (const auto &D : Prof.depths())
+    Top += D[IntervalProfiler::NumDepthBuckets - 1];
+  EXPECT_GT(Top, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Windowed engine
+
+struct RecordingSink final : TraceSink {
+  std::vector<DynInst> Records;
+  void onBatch(const DynInst *Batch, size_t N) override {
+    Records.insert(Records.end(), Batch, Batch + N);
+  }
+};
+
+TEST(WindowedEngine, FullWindowMatchesFullSinkRun) {
+  Workload W = makeWorkload("compress", 0.02);
+  DecodedProgram DP(W.Prog);
+  RecordingSink Full;
+  RunOptions OF = W.Ref;
+  OF.Sink = &Full;
+  RunResult RF = runProgram(DP, OF);
+
+  RecordingSink Win;
+  RunOptions OW = W.Ref;
+  OW.Sink = &Win;
+  RunResult RW = runProgramWindowed(DP, OW, {{0, RF.Stats.DynInsts, 0}});
+
+  EXPECT_EQ(RW.Status, RF.Status);
+  EXPECT_EQ(RW.Output, RF.Output);
+  EXPECT_EQ(RW.Stats.DynInsts, RF.Stats.DynInsts);
+  EXPECT_EQ(RW.Stats.BlockCounts, RF.Stats.BlockCounts);
+  ASSERT_EQ(Win.Records.size(), Full.Records.size());
+  for (size_t I = 0; I < Full.Records.size(); ++I) {
+    EXPECT_EQ(Win.Records[I].Pc, Full.Records[I].Pc) << I;
+    EXPECT_EQ(Win.Records[I].Result, Full.Records[I].Result) << I;
+    EXPECT_EQ(Win.Records[I].NextPc, Full.Records[I].NextPc) << I;
+  }
+}
+
+TEST(WindowedEngine, WindowsDeliverExactSlices) {
+  Workload W = makeWorkload("li", 0.02);
+  DecodedProgram DP(W.Prog);
+  RecordingSink Full;
+  RunOptions OF = W.Ref;
+  OF.Sink = &Full;
+  RunResult RF = runProgram(DP, OF);
+  const uint64_t N = RF.Stats.DynInsts;
+  ASSERT_GT(N, 2000u);
+
+  const std::vector<SampleWindow> Windows = {
+      {100, 600, 0}, {1000, 1001, 0}, {N - 500, N + 99999, 0}};
+  RecordingSink Win;
+  RunOptions OW = W.Ref;
+  OW.Sink = &Win;
+  RunResult RW = runProgramWindowed(DP, OW, Windows);
+
+  // Functional results identical to the unsampled run.
+  EXPECT_EQ(RW.Status, RF.Status);
+  EXPECT_EQ(RW.Output, RF.Output);
+  EXPECT_EQ(RW.Stats.DynInsts, N);
+
+  // The delivered stream is exactly the windows' slices, in order.
+  std::vector<size_t> Expect;
+  for (const SampleWindow &SW : Windows)
+    for (uint64_t I = SW.Begin; I < SW.End && I < N; ++I)
+      Expect.push_back(static_cast<size_t>(I));
+  ASSERT_EQ(Win.Records.size(), Expect.size());
+  for (size_t I = 0; I < Expect.size(); ++I) {
+    EXPECT_EQ(Win.Records[I].Pc, Full.Records[Expect[I]].Pc) << I;
+    EXPECT_EQ(Win.Records[I].Result, Full.Records[Expect[I]].Result) << I;
+  }
+
+  // No sink / empty windows degenerate to the plain run.
+  RunResult RN = runProgramWindowed(DP, W.Ref, Windows);
+  EXPECT_EQ(RN.Output, RF.Output);
+  RunOptions OE = W.Ref;
+  OE.Sink = &Win;
+  RunResult RE = runProgramWindowed(DP, OE, {});
+  EXPECT_EQ(RE.Output, RF.Output);
+}
+
+TEST(WindowedEngine, LightPrefixRecords) {
+  Workload W = makeWorkload("compress", 0.02);
+  DecodedProgram DP(W.Prog);
+  RecordingSink Win;
+  RunOptions O = W.Ref;
+  O.Sink = &Win;
+  // One window, first 300 records light.
+  RunResult R = runProgramWindowed(DP, O, {{1000, 1800, 300}});
+  ASSERT_EQ(R.Status, RunStatus::Halted);
+  ASSERT_EQ(Win.Records.size(), 800u);
+  for (size_t I = 0; I < 300; ++I)
+    EXPECT_EQ(Win.Records[I].NumSrcs, 0u) << I; // light: no operand reads
+  // Light records still carry the warming-relevant fields.
+  bool SawMem = false, SawBranch = false;
+  for (size_t I = 0; I < 300; ++I) {
+    SawMem = SawMem || Win.Records[I].IsMem;
+    SawBranch = SawBranch || Win.Records[I].IsBranch;
+    EXPECT_NE(Win.Records[I].Pc, 0u);
+  }
+  EXPECT_TRUE(SawMem);
+  EXPECT_TRUE(SawBranch);
+}
+
+// ---------------------------------------------------------------------------
+// Weighted estimation: error bounds and cost at paper scale
+
+struct ExactCell {
+  EnergyReport Report;
+  double Seconds = 0.0;
+};
+
+ExactCell runExact(const DecodedProgram &DP, const RunOptions &Ref) {
+  ExactCell Out;
+  double Best = 1e99;
+  for (int Rep = 0; Rep < 2; ++Rep) {
+    EnergyModel EM(GatingScheme::Software);
+    OooCore Core(UarchConfig(), &EM);
+    RunOptions O = Ref;
+    O.Sink = &Core;
+    auto T0 = std::chrono::steady_clock::now();
+    RunResult R = runProgram(DP, O);
+    double S = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             T0)
+                   .count();
+    EXPECT_EQ(R.Status, RunStatus::Halted);
+    Out.Report = makeReport(EM, Core.finish());
+    Best = std::min(Best, S);
+  }
+  Out.Seconds = Best;
+  return Out;
+}
+
+TEST(SampledEstimation, ErrorBoundsOnEveryStandardWorkload) {
+  // The acceptance bar of the sampled-simulation subsystem, at paper
+  // scale: total-energy estimates within 2% of exact detailed
+  // simulation and committed-instruction counts exact, for every
+  // workload, under the default spec.
+  SampleSpec Spec;
+  Spec.IntervalLen = 2000;
+  for (const std::string &Name : allWorkloadNames()) {
+    Workload W = makeWorkload(Name, 1.0);
+    DecodedProgram DP(W.Prog);
+    ExactCell Exact = runExact(DP, W.Ref);
+    SampleEstimate Est =
+        estimateSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
+                        EnergyCoefficients::defaults(), Spec);
+    SampleErrors Err = compareToExact(Est, Exact.Report);
+    EXPECT_LE(std::fabs(Err.Energy), 0.02)
+        << Name << ": energy " << Est.Report.TotalEnergy << " vs exact "
+        << Exact.Report.TotalEnergy;
+    EXPECT_EQ(Est.Uarch.Insts, Exact.Report.Uarch.Insts)
+        << Name << ": committed-instruction estimate must be exact";
+    EXPECT_EQ(Est.Run.Stats.DynInsts, Exact.Report.Uarch.Insts) << Name;
+    // Low-history plans keep the detailed+warming stack to a small
+    // fraction of the run; chase-heavy plans legitimately warm most of
+    // it (that is the accuracy/speed trade the spec documents).
+    if (Est.Plan.ChaseFrac < 0.01) {
+      EXPECT_LT(Est.DetailedInsts, Est.Plan.TotalInsts / 2) << Name;
+    }
+    // Cluster weights partition the run.
+    double WSum = 0;
+    for (double Wgt : Est.Plan.Weights)
+      WSum += Wgt;
+    EXPECT_NEAR(WSum, 1.0, 1e-9) << Name;
+  }
+}
+
+TEST(SampledEstimation, DeterministicAcrossRuns) {
+  SampleSpec Spec;
+  Spec.IntervalLen = 2000;
+  Workload W = makeWorkload("gcc", 0.2);
+  DecodedProgram DP(W.Prog);
+  SampleEstimate A =
+      estimateSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
+                      EnergyCoefficients::defaults(), Spec);
+  SampleEstimate B =
+      estimateSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
+                      EnergyCoefficients::defaults(), Spec);
+  EXPECT_EQ(A.Uarch.Cycles, B.Uarch.Cycles);
+  EXPECT_EQ(A.Report.TotalEnergy, B.Report.TotalEnergy);
+  EXPECT_EQ(A.Plan.Reps, B.Plan.Reps);
+  EXPECT_EQ(A.Plan.Assign, B.Plan.Assign);
+}
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define OG_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define OG_SANITIZED 1
+#endif
+#endif
+
+TEST(SampledEstimation, SampledIsMuchFasterThanExact) {
+#if defined(OG_SANITIZED)
+  GTEST_SKIP() << "wall-clock ratios are distorted under sanitizers";
+#elif !defined(NDEBUG)
+  GTEST_SKIP() << "wall-clock ratios are unrepresentative without "
+                  "optimization";
+#else
+  // Wall-clock bar at paper scale, measured as best-of-N on both sides
+  // so scheduler noise partially cancels. Low-history workloads (no
+  // pointer chasing: the estimation runs short warming shadows) reach
+  // 5-7x each on unloaded hardware (bench_sample reports the exact
+  // numbers); the asserted floors — 3x per workload, 4x aggregate —
+  // leave headroom for loaded CI runners. Pointer-chasing workloads
+  // trade speed for the 2% error bound via long chase-adaptive warming
+  // shadows and must still clear 1.5x (ROADMAP lists checkpointed
+  // warm-up as the follow-on that lifts them).
+  SampleSpec Spec;
+  Spec.IntervalLen = 2000;
+  double LogSum = 0.0;
+  int LowChase = 0;
+  for (const std::string &Name : allWorkloadNames()) {
+    Workload W = makeWorkload(Name, 1.0);
+    DecodedProgram DP(W.Prog);
+    ExactCell Exact = runExact(DP, W.Ref);
+
+    IntervalProfiler Prof(DP, Spec.IntervalLen);
+    RunOptions PO = W.Ref;
+    PO.Sink = &Prof;
+    runProgram(DP, PO);
+    Prof.finish();
+    SamplePlan Plan = makeSamplePlan(Prof, Spec);
+
+    double Best = 1e99;
+    for (int Rep = 0; Rep < 3; ++Rep) {
+      auto T0 = std::chrono::steady_clock::now();
+      SampleEstimate Est =
+          runSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
+                     EnergyCoefficients::defaults(), Plan, Spec);
+      Best = std::min(Best,
+                      std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - T0)
+                          .count());
+      ASSERT_EQ(Est.Run.Status, RunStatus::Halted);
+    }
+    const double Speedup = Exact.Seconds / Best;
+    if (Plan.ChaseFrac < 0.01) {
+      EXPECT_GE(Speedup, 3.0) << Name;
+      LogSum += std::log(Speedup);
+      ++LowChase;
+    } else {
+      EXPECT_GE(Speedup, 1.5) << Name << " (memory-history-bound)";
+    }
+  }
+  ASSERT_GT(LowChase, 0);
+  const double Geomean = std::exp(LogSum / LowChase);
+  EXPECT_GE(Geomean, 4.0)
+      << "aggregate sampled-estimation speedup over exact detailed "
+         "simulation fell below the floor";
+#endif
+}
+
+// ---------------------------------------------------------------------------
+// Sampled sweeps through the driver and the report stack
+
+std::vector<ExperimentSpec> sampledSweep() {
+  std::vector<ExperimentSpec> Specs;
+  for (const char *W : {"compress", "li"})
+    for (ExperimentSpec S : standardConfigs()) {
+      if (S.ConfigLabel != "baseline" && S.ConfigLabel != "vrp")
+        continue;
+      S.Workload = W;
+      S.Scale = 0.15;
+      S.Config.Sample.IntervalLen = 2000;
+      S.Seed = specSeed(S);
+      Specs.push_back(std::move(S));
+    }
+  return Specs;
+}
+
+TEST(SampledSweep, SerialAndParallelAreByteIdentical) {
+  std::vector<ExperimentSpec> Specs = sampledSweep();
+  SweepOptions O1, O8;
+  O1.Jobs = 1;
+  O8.Jobs = 8;
+  SweepResult R1 = runSweep(Specs, O1);
+  SweepResult R8 = runSweep(Specs, O8);
+  ASSERT_TRUE(R1.AllOk) << R1.FirstError;
+  ASSERT_TRUE(R8.AllOk) << R8.FirstError;
+
+  std::ostringstream T1, T8;
+  R1.Aggregate.print(T1);
+  R8.Aggregate.print(T8);
+  EXPECT_EQ(T1.str(), T8.str());
+
+  SampleSpec Root;
+  Root.IntervalLen = 2000;
+  const std::string J1 =
+      sweepToJson(R1.Aggregate, "standard", 0.15, false, &Root).toString();
+  const std::string J8 =
+      sweepToJson(R8.Aggregate, "standard", 0.15, false, &Root).toString();
+  EXPECT_FALSE(J1.empty());
+  EXPECT_EQ(J1, J8);
+
+  // Every cell carries its sampling provenance.
+  for (const auto &Cell : R1.Aggregate.sortedCells()) {
+    EXPECT_TRUE(Cell.Sample.Used) << Cell.Workload << "/" << Cell.Label;
+    EXPECT_GT(Cell.Sample.K, 0u);
+    EXPECT_GT(Cell.Sample.Intervals, 0u);
+  }
+}
+
+TEST(SampledSweep, DiffAgainstExactBaselineUsesWidenedRules) {
+  // Exact and sampled runs of the same small sweep; the sampled document
+  // must gate cleanly against the exact one under a widened tolerance,
+  // with the estimated counters compared as metrics rather than exactly.
+  std::vector<ExperimentSpec> Exact = sampledSweep();
+  for (ExperimentSpec &S : Exact)
+    S.Config.Sample = SampleSpec();
+  SweepResult RE = runSweep(Exact, SweepOptions());
+  SweepResult RS = runSweep(sampledSweep(), SweepOptions());
+  ASSERT_TRUE(RE.AllOk) << RE.FirstError;
+  ASSERT_TRUE(RS.AllOk) << RS.FirstError;
+
+  const JsonValue BaseDoc = sweepToJson(RE.Aggregate, "standard", 0.15);
+  SampleSpec Root;
+  Root.IntervalLen = 2000;
+  const JsonValue SampDoc =
+      sweepToJson(RS.Aggregate, "standard", 0.15, false, &Root);
+
+  // Sanity: the estimates differ from exact cycles somewhere (otherwise
+  // the widened rules are vacuous) but stay within a loose tolerance.
+  DiffOptions Wide;
+  Wide.TolerancePct = 35.0;
+  DiffResult DWide = diffReports(BaseDoc, SampDoc, Wide);
+  EXPECT_TRUE(DWide.ok()) << (DWide.Findings.empty()
+                                  ? ""
+                                  : DWide.Findings.front().Path + ": " +
+                                        DWide.Findings.front().What);
+
+  // With a zero tolerance the estimated counters do produce findings —
+  // but classified as tolerance breaches, never as structural ones.
+  DiffOptions Zero;
+  Zero.TolerancePct = 0.0;
+  DiffResult DZero = diffReports(BaseDoc, SampDoc, Zero);
+  EXPECT_FALSE(DZero.ok());
+  for (const DiffFinding &F : DZero.Findings) {
+    EXPECT_EQ(F.What.find("key"), std::string::npos) << F.Path;
+    EXPECT_EQ(F.What.find("exact mismatch"), std::string::npos)
+        << F.Path << ": estimated counters must diff under tolerance, "
+        << F.What;
+  }
+
+  // Sampled-vs-sampled keeps full exact-counter discipline.
+  DiffResult DSelf = diffReports(SampDoc, SampDoc, Zero);
+  EXPECT_TRUE(DSelf.ok());
+
+  // Functional counters never lose exact discipline in sampled cells: a
+  // perturbed dyn-insts is an exact-mismatch finding even under a huge
+  // tolerance that waves every estimate through.
+  const std::vector<ExperimentSpec> Specs = sampledSweep();
+  SweepResult RP = runSweep(Specs, SweepOptions());
+  ASSERT_TRUE(RP.AllOk) << RP.FirstError;
+  ResultAggregator Perturbed;
+  for (size_t I = 0; I < Specs.size(); ++I) {
+    PipelineResult R = RP.Outcomes[I].Result;
+    if (I == 0)
+      ++R.RefStats.DynInsts;
+    Perturbed.add(Specs[I], R);
+  }
+  DiffOptions Huge;
+  Huge.TolerancePct = 1e6;
+  DiffResult DP = diffReports(
+      BaseDoc, sweepToJson(Perturbed, "standard", 0.15, false, &Root), Huge);
+  bool SawExactDynInsts = false;
+  for (const DiffFinding &F : DP.Findings)
+    SawExactDynInsts =
+        SawExactDynInsts ||
+        (F.Path.find("dyn-insts") != std::string::npos &&
+         F.What.find("exact mismatch") != std::string::npos);
+  EXPECT_TRUE(SawExactDynInsts)
+      << "perturbed functional counter slipped through the sampled gate";
+}
+
+TEST(SampledSweep, ExactSweepDocumentShapeIsUnchanged) {
+  // A sweep without sampling must not grow "sample" groups anywhere —
+  // that is what keeps the checked-in exact baselines byte-identical.
+  std::vector<ExperimentSpec> Exact = sampledSweep();
+  for (ExperimentSpec &S : Exact)
+    S.Config.Sample = SampleSpec();
+  SweepResult R = runSweep(Exact, SweepOptions());
+  ASSERT_TRUE(R.AllOk) << R.FirstError;
+  const std::string Doc =
+      sweepToJson(R.Aggregate, "standard", 0.15).toString();
+  EXPECT_EQ(Doc.find("\"sample\""), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Aggregator duplicate-cell determinism (satellite fix)
+
+TEST(ResultAggregator, DuplicateCellsKeepDeterministicOrder) {
+#ifndef NDEBUG
+  GTEST_SKIP() << "duplicate cells assert in debug builds (by design)";
+#else
+  // Two distinct results under one (workload, config) key: sortedCells()
+  // and print() must fall back to insertion order — deterministically —
+  // rather than unspecified comparator behavior.
+  ExperimentSpec Spec;
+  Spec.Workload = "w";
+  Spec.ConfigLabel = "cfg";
+  PipelineResult A, B;
+  A.RefStats.DynInsts = 100;
+  B.RefStats.DynInsts = 200;
+
+  ResultAggregator Agg1, Agg2;
+  Agg1.add(Spec, A);
+  Agg1.add(Spec, B);
+  Agg2.add(Spec, A);
+  Agg2.add(Spec, B);
+
+  auto S1 = Agg1.sortedCells(), S2 = Agg2.sortedCells();
+  ASSERT_EQ(S1.size(), 2u);
+  EXPECT_EQ(S1[0].DynInsts, 100u);
+  EXPECT_EQ(S1[1].DynInsts, 200u);
+  ASSERT_EQ(S2.size(), 2u);
+  EXPECT_EQ(S2[0].DynInsts, S1[0].DynInsts);
+  EXPECT_EQ(S2[1].DynInsts, S1[1].DynInsts);
+
+  std::ostringstream P1, P2;
+  Agg1.print(P1);
+  Agg2.print(P2);
+  EXPECT_EQ(P1.str(), P2.str());
+#endif
+}
+
+} // namespace

@@ -11,14 +11,19 @@
 //     (every divergence listed on stdout), 2 usage/parse/schema error.
 //     This is the CI perf-smoke gate.
 //
-//   ogate-report print <file.json>
+//   ogate-report print [--compact] <file.json>
 //     Validates the schema envelope and pretty-prints the normalized
 //     document (also handy to canonicalize a hand-edited baseline).
+//     --compact renders cell-bearing documents (sweeps, bench reports)
+//     as a one-line-per-cell table instead — the quick way to eyeball
+//     sampled vs exact cells side by side; documents without cells are
+//     rejected (exit 2).
 //
 //===----------------------------------------------------------------------===//
 
 #include "report/Baseline.h"
 #include "report/ReportSchema.h"
+#include "support/Table.h"
 
 #include <cmath>
 #include <cstdlib>
@@ -33,7 +38,7 @@ namespace {
 int usage() {
   std::cerr << "usage: ogate-report diff [--tolerance=PCT] <baseline.json> "
                "<current.json>\n"
-               "       ogate-report print <file.json>\n";
+               "       ogate-report print [--compact] <file.json>\n";
   return 2;
 }
 
@@ -100,10 +105,65 @@ int runDiff(const std::vector<std::string> &Args) {
   return 1;
 }
 
+/// One line per cell: key, the headline counters, the headline metrics,
+/// and the sampling provenance when the cell is an estimate.
+int printCompact(const JsonValue &Doc, const std::string &Path) {
+  const JsonValue *Cells = Doc.get("cells");
+  if (!Cells || !Cells->isArray() || Cells->size() == 0) {
+    std::cerr << "ogate-report: " << Path
+              << ": --compact needs a cell-bearing document (a sweep or "
+                 "bench report with a non-empty \"cells\" array)\n";
+    return 2;
+  }
+  auto Int = [](const JsonValue *V, const char *Key) -> std::string {
+    const JsonValue *F = V ? V->get(Key) : nullptr;
+    return F && F->isInteger() ? std::to_string(F->asInt()) : "-";
+  };
+  auto Num = [](const JsonValue *V, const char *Key) -> std::string {
+    const JsonValue *F = V ? V->get(Key) : nullptr;
+    return F && F->isNumber() ? TextTable::num(F->asNumber(), 3) : "-";
+  };
+  TextTable T({"cell", "dyn-insts", "cycles", "ipc", "energy", "ed2",
+               "sample"});
+  for (size_t I = 0; I < Cells->size(); ++I) {
+    const JsonValue &C = Cells->at(I);
+    const JsonValue *W = C.get("workload");
+    const JsonValue *L = C.get("config");
+    std::string Key = (W && W->isString() ? W->asString() : "?") + "/" +
+                      (L && L->isString() ? L->asString() : "?");
+    const JsonValue *Counters = C.get("counters");
+    const JsonValue *Metrics = C.get("metrics");
+    const JsonValue *Sample = C.get("sample");
+    std::string Prov = "exact";
+    if (Sample)
+      Prov = "k=" + Int(Sample, "k") + " est-err~" +
+             Num(Sample, "est-error");
+    T.addRow({Key, Int(Counters, "dyn-insts"), Int(Counters, "cycles"),
+              Num(Metrics, "ipc"), Num(Metrics, "energy"),
+              Num(Metrics, "ed2"), Prov});
+  }
+  T.print(std::cout);
+  return 0;
+}
+
 int runPrint(const std::vector<std::string> &Args) {
-  if (Args.size() != 1)
+  bool Compact = false;
+  std::vector<std::string> Paths;
+  for (const std::string &Arg : Args) {
+    if (Arg == "--compact") {
+      Compact = true;
+    } else if (!Arg.empty() && Arg[0] == '-') {
+      std::cerr << "ogate-report: unknown option '" << Arg << "'\n";
+      return 2;
+    } else {
+      Paths.push_back(Arg);
+    }
+  }
+  if (Paths.size() != 1)
     return usage();
-  JsonValue Doc = loadReport(Args[0]);
+  JsonValue Doc = loadReport(Paths[0]);
+  if (Compact)
+    return printCompact(Doc, Paths[0]);
   std::cout << Doc.toString();
   return 0;
 }

@@ -24,6 +24,17 @@
 //     --scale=S         workload ref-input scale (default 0.25)
 //     --workloads=a,b   comma-separated subset (default: all eight)
 //     --keep-going      run every cell even after a failure
+//     --sample=L[:K]    phase-sampled estimation (src/sample/): slice
+//                       each cell's ref run into L-instruction
+//                       intervals, cluster, and simulate only
+//                       representative windows in detail. K fixes the
+//                       cluster count; omitted or "auto" picks it (BIC +
+//                       coverage floor). Timing/energy become estimates
+//                       (cells carry a "sample" group; `ogate-report
+//                       diff` widens its rules accordingly); functional
+//                       counters stay exact. Only meaningful where a
+//                       detailed ref run happens, so it is rejected
+//                       outside --sweep mode like --opt-stats.
 //     --json=PATH       write the aggregate as JSON; byte-identical for
 //                       any --jobs value (no wall-clock in the document)
 //     --opt-stats       add each cell's "opt" counters group (analysis-
@@ -54,7 +65,8 @@ namespace {
 
 int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
                  const std::string &WorkloadCsv, bool KeepGoing,
-                 const std::string &JsonPath, bool OptStats) {
+                 const std::string &JsonPath, bool OptStats,
+                 const SampleSpec &Sample) {
   std::vector<std::string> Names;
   if (WorkloadCsv.empty()) {
     Names = allWorkloadNames();
@@ -89,6 +101,9 @@ int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
     std::cerr << "ogate-sim: unknown sweep kind '" << SweepKind << "'\n";
     return 1;
   }
+  if (Sample.enabled())
+    for (ExperimentSpec &S : Specs)
+      S.Config.Sample = Sample;
 
   std::cerr << "ogate-sim: sweeping " << Specs.size() << " cells ("
             << Names.size() << " workloads, scale " << Scale << ", jobs "
@@ -114,7 +129,8 @@ int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
     // writes the identical file.
     std::string Err;
     if (!writeJsonFile(JsonPath,
-                       sweepToJson(R.Aggregate, SweepKind, Scale, OptStats),
+                       sweepToJson(R.Aggregate, SweepKind, Scale, OptStats,
+                                   Sample.enabled() ? &Sample : nullptr),
                        &Err)) {
       std::cerr << "ogate-sim: " << Err << "\n";
       return 1;
@@ -135,6 +151,7 @@ int main(int argc, char **argv) {
   GatingScheme Scheme = GatingScheme::None;
   uint64_t Fuel = 200'000'000;
   bool Sweep = false, KeepGoing = false, OptStats = false;
+  SampleSpec Sample;
   std::string SweepKind = "standard", WorkloadCsv, JsonPath;
   unsigned Jobs = 1;
   double Scale = 0.25;
@@ -191,6 +208,32 @@ int main(int argc, char **argv) {
         std::cerr << "ogate-sim: --json needs a path\n";
         return 1;
       }
+    } else if (Arg.rfind("--sample=", 0) == 0) {
+      const std::string Val = Arg.substr(9);
+      const size_t Colon = Val.find(':');
+      const std::string LenStr = Val.substr(0, Colon);
+      char *End = nullptr;
+      Sample.IntervalLen = std::strtoull(LenStr.c_str(), &End, 10);
+      // Require a leading digit: strtoull silently wraps "-5" to a huge
+      // unsigned value that would pass the > 0 check.
+      bool Ok = !LenStr.empty() && LenStr[0] >= '0' && LenStr[0] <= '9' &&
+                End != LenStr.c_str() && *End == '\0' &&
+                Sample.IntervalLen > 0;
+      if (Ok && Colon != std::string::npos) {
+        const std::string KStr = Val.substr(Colon + 1);
+        if (KStr == "auto") {
+          Sample.K = 0;
+        } else {
+          Sample.K = static_cast<unsigned>(std::strtoul(KStr.c_str(), &End, 10));
+          Ok = !KStr.empty() && KStr[0] >= '0' && KStr[0] <= '9' &&
+               End != KStr.c_str() && *End == '\0' && Sample.K > 0;
+        }
+      }
+      if (!Ok) {
+        std::cerr << "ogate-sim: bad --sample value '" << Val
+                  << "' (want INTERVAL[:K|:auto], interval > 0)\n";
+        return 1;
+      }
     } else if (Arg == "--keep-going") {
       KeepGoing = true;
     } else if (Arg == "--opt-stats") {
@@ -237,7 +280,16 @@ int main(int argc, char **argv) {
     if (Jobs < 1)
       Jobs = 1;
     return runSweepMode(SweepKind, Jobs, Scale, WorkloadCsv, KeepGoing,
-                        JsonPath, OptStats);
+                        JsonPath, OptStats, Sample);
+  }
+
+  if (Sample.enabled()) {
+    // Same contract as --timing-line / --opt-stats: reject rather than
+    // silently ignore. Single-program mode runs no detailed ref cell to
+    // estimate, so sampling has nothing to apply to.
+    std::cerr << "ogate-sim: --sample drives phase-sampled estimation of "
+                 "sweep cells and only applies to --sweep mode\n";
+    return 1;
   }
 
   if (OptStats) {
