@@ -4,6 +4,7 @@
 
 #include "driver/JobQueue.h"
 #include "driver/ThreadPool.h"
+#include "sample/SamplePlanCache.h"
 #include "workloads/Workloads.h"
 
 #include <algorithm>
@@ -47,6 +48,7 @@ SweepResult og::runSweep(const std::vector<ExperimentSpec> &Specs,
   std::map<std::pair<std::string, double>,
            std::shared_ptr<const SharedWorkload>>
       WorkloadCache;
+  SamplePlanCache PlanCache;
   ExperimentJob SharedJob;
   if (!Opts.Job) {
     for (const ExperimentSpec &Spec : Specs) {
@@ -56,11 +58,17 @@ SweepResult og::runSweep(const std::vector<ExperimentSpec> &Specs,
             Key, std::make_shared<SharedWorkload>(
                      makeWorkload(Spec.Workload, Spec.Scale)));
     }
-    SharedJob = [&WorkloadCache](const ExperimentSpec &Spec, Rng &R) {
+    SharedJob = [&WorkloadCache, &PlanCache](const ExperimentSpec &Spec,
+                                             Rng &R) {
       (void)R;
       const SharedWorkload &SW =
           *WorkloadCache.at({Spec.Workload, Spec.Scale});
-      return runPipeline(SW.W, Spec.Config, SW.Decoded.get());
+      // Sampled cells whose transformed binaries match share one interval
+      // profile / plan / checkpoint set through the sweep-lifetime cache
+      // (sample/SamplePlanCache.h); results are identical either way, so
+      // reports stay byte-identical across --jobs and cache on/off.
+      return runPipeline(SW.W, Spec.Config, SW.Decoded.get(),
+                         Spec.Config.Sample.enabled() ? &PlanCache : nullptr);
     };
   }
   const ExperimentJob &Job = Opts.Job ? Opts.Job : SharedJob;

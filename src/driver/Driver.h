@@ -17,6 +17,11 @@
 /// Under the default job, each distinct (workload, scale) is built and
 /// pre-decoded (sim/ExecEngine.h) once per sweep and shared read-only
 /// across every spec that references it, instead of rebuilt per job.
+/// Sampled sweeps additionally share plan/checkpoint artifacts between
+/// cells that execute the same dynamic instruction stream, through a
+/// sweep-lifetime SamplePlanCache (sample/SamplePlanCache.h) — a
+/// compute-once map that yields bit-identical results to the uncached
+/// path, so the byte-identical-across-jobs guarantee is unaffected.
 ///
 //===----------------------------------------------------------------------===//
 

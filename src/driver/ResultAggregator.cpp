@@ -58,14 +58,20 @@ std::vector<ResultAggregator::Cell> ResultAggregator::sortedCells() const {
                        return A.Workload < B.Workload;
                      return A.Label < B.Label;
                    });
-#ifndef NDEBUG
-  for (size_t I = 1; I < Sorted.size(); ++I)
-    assert((Sorted[I - 1].Workload != Sorted[I].Workload ||
-            Sorted[I - 1].Label != Sorted[I].Label) &&
-           "duplicate (workload, config) cell in aggregate — check the "
-           "sweep's spec construction");
-#endif
   return Sorted;
+}
+
+std::string ResultAggregator::duplicateKey() const {
+  // Cheap (one sort of the already-small cell vector) and always on:
+  // duplicate cells used to be an assert that vanished in Release
+  // builds, letting a spec-construction bug produce a silently
+  // double-rowed report. Callers surface the key as an error instead.
+  const std::vector<Cell> Sorted = sortedCells();
+  for (size_t I = 1; I < Sorted.size(); ++I)
+    if (Sorted[I - 1].Workload == Sorted[I].Workload &&
+        Sorted[I - 1].Label == Sorted[I].Label)
+      return Sorted[I].Workload + "/" + Sorted[I].Label;
+  return "";
 }
 
 void ResultAggregator::print(std::ostream &OS) const {

@@ -64,10 +64,15 @@ public:
   /// the printed table and the JSON document, independent of insertion
   /// order. (workload, config) keys are normally unique; duplicates
   /// (two add() calls for the same cell) keep their insertion order —
-  /// deterministic because aggregation is serial in spec order — and
-  /// assert in debug builds, since a sweep that produces them almost
-  /// certainly has a spec-construction bug.
+  /// deterministic because aggregation is serial in spec order.
   std::vector<Cell> sortedCells() const;
+
+  /// The first duplicated "workload/label" key in sorted order, or ""
+  /// when every cell key is unique. A sweep that produces duplicates
+  /// almost certainly has a spec-construction bug; tools check this
+  /// (always, not just in debug builds) and report it rather than
+  /// printing a silently double-rowed table.
+  std::string duplicateKey() const;
 
   /// Sweep-wide counters (cells, dynamic instructions, cycles, narrowed
   /// opcodes) in a deterministic registration order.

@@ -40,9 +40,8 @@ constexpr unsigned SizeTagBits = 2;
 /// (exact byte count, 1..8).
 inline unsigned significanceBytes(int64_t V) { return significantBytes(V); }
 
-/// Dynamic bytes under size compression: bucket into {1, 2, 5, 8}.
-inline unsigned sizeCompressionBytes(int64_t V) {
-  unsigned Sig = significantBytes(V);
+/// Size-compression bucket for a known significant-byte count (1..8).
+inline unsigned sizeCompressionBytesForSig(unsigned Sig) {
   if (Sig <= 1)
     return 1;
   if (Sig <= 2)
@@ -50,6 +49,11 @@ inline unsigned sizeCompressionBytes(int64_t V) {
   if (Sig <= 5)
     return 5;
   return 8;
+}
+
+/// Dynamic bytes under size compression: bucket into {1, 2, 5, 8}.
+inline unsigned sizeCompressionBytes(int64_t V) {
+  return sizeCompressionBytesForSig(significantBytes(V));
 }
 
 /// Combined SW+HW effective bytes (Section 4.7): the hardware buckets

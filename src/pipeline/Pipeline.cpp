@@ -3,9 +3,11 @@
 #include "pipeline/Pipeline.h"
 
 #include "opt/TransformPipeline.h"
+#include "sample/SamplePlanCache.h"
 
 #include <cassert>
 #include <memory>
+#include <stdexcept>
 
 using namespace og;
 
@@ -24,7 +26,8 @@ const char *og::softwareModeName(SoftwareMode M) {
 }
 
 PipelineResult og::runPipeline(const Workload &W, const PipelineConfig &Config,
-                               const DecodedProgram *BaseDecode) {
+                               const DecodedProgram *BaseDecode,
+                               SamplePlanCache *PlanCache) {
   assert((!BaseDecode || &BaseDecode->program() == &W.Prog) &&
          "BaseDecode must decode this workload's program");
   PipelineResult Result;
@@ -71,10 +74,42 @@ PipelineResult og::runPipeline(const Workload &W, const PipelineConfig &Config,
   const DecodedProgram &Decoded = ShareDecode ? *BaseDecode : *Owned;
 
   if (Config.Sample.enabled()) {
+    // Prepare (or fetch) the stream's shared artifacts, run (or fetch)
+    // its scheme-free detailed estimation pass, then derive this cell's
+    // report — two cache levels keyed on the *transformed* program plus
+    // the full run / uarch / sample context, so a hit proves the shared
+    // product would have been recomputed bit-identically:
+    //  - plan + checkpoints key without instruction widths (VRP cells
+    //    share profiling/capture with baseline — narrowing only rewrites
+    //    widths in place, and the plan and warm state are functions of
+    //    control flow and addresses only);
+    //  - the stream estimate keys on the exact binary (baseline, hw-sig
+    //    and hw-size differ only in the energy scheme and share one
+    //    detailed pass; the scheme is applied to its histogram here).
+    auto Prepare = [&] {
+      return std::make_shared<const SampleArtifacts>(
+          prepareSampled(Decoded, W.Ref, Config.Uarch, Config.Sample));
+    };
+    std::shared_ptr<const SampleArtifacts> Art =
+        PlanCache ? PlanCache->getOrCompute(
+                        sampleWarmKey(P, W.Ref, Config.Uarch, Config.Sample),
+                        Prepare)
+                  : Prepare();
+    auto RunStream = [&] {
+      return std::make_shared<const SampleStreamEstimate>(runSampledStream(
+          Decoded, W.Ref, Config.Uarch, Art->Plan, Config.Sample,
+          Art->Checkpoints.empty() ? nullptr : &Art->Checkpoints));
+    };
+    std::shared_ptr<const SampleStreamEstimate> Stream =
+        PlanCache
+            ? PlanCache->getOrComputeEstimate(
+                  sampleStreamKey(P, W.Ref, Config.Uarch, Config.Sample),
+                  RunStream)
+            : RunStream();
     SampleEstimate Est =
-        estimateSampled(Decoded, W.Ref, Config.Uarch, Config.Scheme,
-                        Config.Coeffs, Config.Sample);
-    assert(Est.Run.Status == RunStatus::Halted && "ref run did not halt");
+        deriveSampleEstimate(*Stream, Config.Scheme, Config.Coeffs);
+    if (Est.Run.Status != RunStatus::Halted)
+      throw std::runtime_error("pipeline: sampled ref run did not halt");
     Result.RefStats = Est.Run.Stats;
     Result.Output = Est.Run.Output;
     Result.Report = Est.Report;
@@ -92,7 +127,8 @@ PipelineResult og::runPipeline(const Workload &W, const PipelineConfig &Config,
     RunOptions RefOpts = W.Ref;
     RefOpts.Sink = &Core;
     RunResult Run = runProgram(Decoded, RefOpts);
-    assert(Run.Status == RunStatus::Halted && "ref run did not halt");
+    if (Run.Status != RunStatus::Halted)
+      throw std::runtime_error("pipeline: ref run did not halt");
     Result.RefStats = Run.Stats;
     Result.Output = Run.Output;
     Result.Report = makeReport(EM, Core.finish());
@@ -116,10 +152,13 @@ PipelineResult og::runPipeline(const Workload &W, const PipelineConfig &Config,
   if (Config.CheckOutputEquivalence) {
     RunResult Orig = BaseDecode ? runProgram(*BaseDecode, W.Ref)
                                 : runProgram(W.Prog, W.Ref);
-    assert(Orig.Status == RunStatus::Halted && "original run did not halt");
-    assert(Orig.Output == Result.Output &&
-           "transformation changed program output");
-    (void)Orig;
+    // Always-on (not assert): this oracle exists to catch miscompiles,
+    // which must not pass silently in Release builds.
+    if (Orig.Status != RunStatus::Halted)
+      throw std::runtime_error("pipeline: original run did not halt");
+    if (Orig.Output != Result.Output)
+      throw std::runtime_error("pipeline: transformation changed program "
+                               "output");
   }
   return Result;
 }

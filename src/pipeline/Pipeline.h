@@ -97,6 +97,8 @@ struct PipelineResult {
   PipelineSampleInfo Sample;
 };
 
+class SamplePlanCache;
+
 /// Runs the full flow on a copy of \p W's program.
 ///
 /// \p BaseDecode, when given, must be a DecodedProgram of W.Prog (the
@@ -104,8 +106,16 @@ struct PipelineResult {
 /// the original — the SoftwareMode::None ref run and the output-
 /// equivalence oracle — instead of re-decoding. The experiment driver
 /// shares one per workload across a whole sweep.
+///
+/// \p PlanCache, when given with sampling enabled, shares sampled
+/// artifacts (interval profile + plan + warm-state checkpoints) between
+/// cells whose transformed binary and run context hash alike — i.e.
+/// whose dynamic instruction streams provably match (see
+/// sample/SamplePlanCache.h). Results are bit-identical with or without
+/// the cache; only the redundant profiling/capture passes disappear.
 PipelineResult runPipeline(const Workload &W, const PipelineConfig &Config,
-                           const DecodedProgram *BaseDecode = nullptr);
+                           const DecodedProgram *BaseDecode = nullptr,
+                           SamplePlanCache *PlanCache = nullptr);
 
 } // namespace og
 

@@ -1,0 +1,60 @@
+//===- power/ActivityCounts.cpp -------------------------------------------==//
+
+#include "power/ActivityCounts.h"
+
+#include "support/MathExtras.h"
+
+using namespace og;
+
+void ActivityCounts::addScaled(double F, const ActivityCounts &A,
+                               const ActivityCounts &B) {
+  for (unsigned S = 0; S < NumStructures; ++S) {
+    Access[S] += F * (B.Access[S] - A.Access[S]);
+    Miss[S] += F * (B.Miss[S] - A.Miss[S]);
+    for (unsigned W = 0; W < NumWidths; ++W)
+      for (unsigned G = 0; G < NumSig; ++G)
+        Data[S][W][G] += F * (B.Data[S][W][G] - A.Data[S][W][G]);
+  }
+}
+
+std::array<double, NumStructures>
+ActivityCounts::structureEnergy(GatingScheme Scheme,
+                                const EnergyCoefficients &Coeffs) const {
+  std::array<double, NumStructures> E = {};
+  for (unsigned S = 0; S < NumStructures; ++S) {
+    const Structure St = static_cast<Structure>(S);
+    double Acc = Coeffs.Fixed[S] * Access[S] + Coeffs.Miss[S] * Miss[S];
+    // Tag overhead mirrors EnergyModel::dataAccess: the hardware schemes
+    // pay their tag bits on every data access, and the software scheme
+    // stores two size bits alongside cached values (registers carry the
+    // width in the opcode).
+    double TagBytes = tagBits(Scheme) / 8.0;
+    if (Scheme == GatingScheme::Software &&
+        (St == Structure::DCacheL1 || St == Structure::DCacheL2))
+      TagBytes += 2.0 / 8.0;
+    for (unsigned W = 0; W < NumWidths; ++W)
+      for (unsigned G = 0; G < NumSig; ++G) {
+        const double N = Data[S][W][G];
+        if (N == 0.0)
+          continue;
+        const unsigned Bytes =
+            effectiveBytesForSig(Scheme, G + 1, static_cast<Width>(W));
+        Acc += N * (Coeffs.Fixed[S] + Coeffs.PerByte[S] * (Bytes + TagBytes));
+      }
+    E[S] = Acc;
+  }
+  return E;
+}
+
+void ActivityRecorder::access(Structure S) {
+  C.Access[static_cast<unsigned>(S)] += 1.0;
+}
+
+void ActivityRecorder::dataAccess(Structure S, int64_t Value, Width OpcodeW) {
+  C.Data[static_cast<unsigned>(S)][static_cast<unsigned>(OpcodeW)]
+        [significantBytes(Value) - 1] += 1.0;
+}
+
+void ActivityRecorder::missPenalty(Structure S) {
+  C.Miss[static_cast<unsigned>(S)] += 1.0;
+}

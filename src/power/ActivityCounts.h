@@ -1,0 +1,78 @@
+//===- power/ActivityCounts.h - Scheme-free activity histogram ---*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A gating-scheme-independent summary of a simulated stretch's activity,
+/// from which the energy of *any* (scheme, coefficients) pair can be
+/// derived after the fact. The key observation: the timing core never
+/// reads the gating scheme — it only reports accesses — and every energy
+/// charge EnergyModel makes is a function of (structure, opcode width,
+/// significant bytes of the value). Binning data accesses by that triple
+/// therefore loses nothing: deriving energy from the histogram multiplies
+/// exactly the per-access charge EnergyModel would have accumulated, so
+/// sweep cells that execute the same dynamic stream under different
+/// schemes (baseline / hw-sig / hw-size; vrp / combined-VRP) can share
+/// one detailed simulation and derive their per-scheme reports from its
+/// histogram — the "single-pass" half of single-pass sampled sweeps.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_POWER_ACTIVITYCOUNTS_H
+#define OG_POWER_ACTIVITYCOUNTS_H
+
+#include "power/EnergyModel.h"
+#include "uarch/Activity.h"
+
+#include <array>
+
+namespace og {
+
+/// Per-structure activity histogram. Counters are doubles so the sampled
+/// estimator can scale window deltas by fractional stratum weights with
+/// the same arithmetic it uses for UarchStats; raw counts stay exact
+/// (integers are exact in a double far beyond any run length here).
+struct ActivityCounts {
+  static constexpr unsigned NumWidths = 4; ///< Width::B..Width::Q
+  static constexpr unsigned NumSig = 8;    ///< significantBytes() is 1..8
+
+  /// Fixed-cost accesses (ActivitySink::access).
+  std::array<double, NumStructures> Access = {};
+  /// Miss penalties (ActivitySink::missPenalty).
+  std::array<double, NumStructures> Miss = {};
+  /// Data-carrying accesses, binned by opcode width and the value's
+  /// significant-byte count: Data[S][width][sigBytes - 1].
+  std::array<std::array<std::array<double, NumSig>, NumWidths>, NumStructures>
+      Data = {};
+
+  /// Accumulates F * (B - A) into every counter (the sampled estimator's
+  /// per-window delta scaling; mirrors its UarchStats handling).
+  void addScaled(double F, const ActivityCounts &A, const ActivityCounts &B);
+
+  /// Energy each structure would have accumulated had an EnergyModel
+  /// under (Scheme, Coeffs) observed this activity. Per-cycle clock
+  /// energy is not included (callers add it from their cycle estimate,
+  /// as makeReport does).
+  std::array<double, NumStructures>
+  structureEnergy(GatingScheme Scheme, const EnergyCoefficients &Coeffs) const;
+};
+
+/// ActivitySink that records the histogram instead of charging energy.
+/// Drop-in for EnergyModel wherever the scheme should be decided later.
+class ActivityRecorder final : public ActivitySink {
+public:
+  void access(Structure S) override;
+  void dataAccess(Structure S, int64_t Value, Width OpcodeW) override;
+  void missPenalty(Structure S) override;
+
+  const ActivityCounts &counts() const { return C; }
+
+private:
+  ActivityCounts C;
+};
+
+} // namespace og
+
+#endif // OG_POWER_ACTIVITYCOUNTS_H

@@ -21,17 +21,25 @@ const char *og::gatingSchemeName(GatingScheme S) {
 }
 
 unsigned og::effectiveBytes(GatingScheme S, int64_t Value, Width OpcodeW) {
+  return effectiveBytesForSig(S, significantBytes(Value), OpcodeW);
+}
+
+unsigned og::effectiveBytesForSig(GatingScheme S, unsigned SigBytes,
+                                  Width OpcodeW) {
   switch (S) {
   case GatingScheme::None:
     return 8;
   case GatingScheme::Software:
     return widthBytes(OpcodeW);
   case GatingScheme::HwSignificance:
-    return significanceBytes(Value);
+    return SigBytes;
   case GatingScheme::HwSize:
-    return sizeCompressionBytes(Value);
-  case GatingScheme::Combined:
-    return combinedBytes(Value, OpcodeW);
+    return sizeCompressionBytesForSig(SigBytes);
+  case GatingScheme::Combined: {
+    unsigned Hw = sizeCompressionBytesForSig(SigBytes);
+    unsigned Sw = widthBytes(OpcodeW);
+    return Hw < Sw ? Hw : Sw;
+  }
   }
   return 8;
 }

@@ -42,6 +42,13 @@ const char *gatingSchemeName(GatingScheme S);
 /// width \p OpcodeW.
 unsigned effectiveBytes(GatingScheme S, int64_t Value, Width OpcodeW);
 
+/// Same, for a value known only by its significant-byte count (1..8).
+/// effectiveBytes(S, V, W) == effectiveBytesForSig(S, significantBytes(V), W)
+/// for every value — the identity that lets a (width, sig-bytes)
+/// histogram of data accesses stand in for the access stream when
+/// deriving energy after the fact (power/ActivityCounts.h).
+unsigned effectiveBytesForSig(GatingScheme S, unsigned SigBytes, Width OpcodeW);
+
 /// Tag storage overhead in bits per data word for the scheme.
 unsigned tagBits(GatingScheme S);
 

@@ -1,0 +1,110 @@
+//===- sample/SamplePlanCache.h - Cross-cell artifact sharing ----*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Shares sampled-estimation artifacts (SamplePlan + warm-state
+/// checkpoints) across sweep cells that execute the same dynamic
+/// instruction stream. In the standard sweep, the seven gating configs
+/// collapse to four distinct streams — the scheme only changes what the
+/// EnergyModel charges, not what executes — so baseline / hw-sig /
+/// hw-size (and vrp / combined-VRP) each pay profiling, clustering and
+/// checkpoint capture once instead of per cell.
+///
+/// Sharing is keyed by a structural hash of everything the artifacts are
+/// a function of: the *transformed* program (the dynamic stream is
+/// determined by the program text plus the run options), the run
+/// options, the uarch config, and the sample spec. Two cells that hash
+/// alike would compute bit-identical artifacts anyway, so cache hits
+/// cannot change any result — only skip redundant work. This is the
+/// AnalysisManager's epoch discipline lifted from (function, analysis)
+/// to (workload, scale, stream-class).
+///
+/// Two key granularities share two artifact kinds:
+///
+///  - sampleWarmKey() skips instruction widths, and keys the
+///    SampleArtifacts (plan + checkpoints). Width-only rewrites (VRP's
+///    narrowing sets Instruction::W in place and nothing else) preserve
+///    control flow and memory addresses, and the plan (basic-block
+///    vectors) and checkpoints (cache tags + branch history) are
+///    functions of exactly those — so baseline and VRP cells share one
+///    profiling + capture pass even though their binaries differ.
+///  - sampleStreamKey() includes widths, and keys the
+///    SampleStreamEstimate (the detailed windowed pass). Widths change
+///    register values on dead bytes and the histogram's width bins, so
+///    the estimate is shared only between cells whose transformed
+///    binaries match outright.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SAMPLE_SAMPLEPLANCACHE_H
+#define OG_SAMPLE_SAMPLEPLANCACHE_H
+
+#include "sample/SampleRunner.h"
+
+#include <functional>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+namespace og {
+
+struct Program;
+
+/// The cache key for one dynamic instruction stream under one
+/// (run-options, uarch, spec) context: a 64-bit FNV-1a over every
+/// instruction field of the transformed program, its data segment, and
+/// every field of the three configs, rendered as a hex string. Pass the
+/// program *after* the cell's software transform — cells share a key
+/// exactly when their transformed programs (and contexts) match.
+std::string sampleStreamKey(const Program &P, const RunOptions &Ref,
+                            const UarchConfig &Uarch, const SampleSpec &Spec);
+
+/// Like sampleStreamKey but blind to Instruction::W, keying artifacts
+/// that only depend on control flow and addresses (see the file
+/// comment). Sound only for width rewrites that are value-preserving in
+/// the narrowed width's sense — which VRP's narrowing is by contract
+/// (the output-equivalence oracle tests it); a transform that inserted,
+/// removed or reordered instructions changes this key too.
+std::string sampleWarmKey(const Program &P, const RunOptions &Ref,
+                          const UarchConfig &Uarch, const SampleSpec &Spec);
+
+/// A concurrent compute-once map from key to shared sampled-estimation
+/// products: warm-key -> SampleArtifacts, stream-key ->
+/// SampleStreamEstimate. The first caller of a key runs \p Compute;
+/// concurrent callers of the same key block until it finishes and then
+/// share the result (the driver's worker threads hit this when --jobs
+/// puts two cells of one stream in flight together). Exceptions from
+/// Compute propagate to every waiter. Entries live for the cache's
+/// lifetime — one sweep.
+class SamplePlanCache {
+public:
+  using ArtifactsPtr = std::shared_ptr<const SampleArtifacts>;
+  using StreamEstimatePtr = std::shared_ptr<const SampleStreamEstimate>;
+
+  ArtifactsPtr getOrCompute(const std::string &Key,
+                            const std::function<ArtifactsPtr()> &Compute);
+
+  StreamEstimatePtr
+  getOrComputeEstimate(const std::string &Key,
+                       const std::function<StreamEstimatePtr()> &Compute);
+
+  /// Number of distinct streams prepared so far.
+  size_t size() const;
+
+  /// Number of distinct detailed estimation passes run so far.
+  size_t estimateCount() const;
+
+private:
+  mutable std::mutex M;
+  std::map<std::string, std::shared_future<ArtifactsPtr>> Futures;
+  std::map<std::string, std::shared_future<StreamEstimatePtr>> EstFutures;
+};
+
+} // namespace og
+
+#endif // OG_SAMPLE_SAMPLEPLANCACHE_H

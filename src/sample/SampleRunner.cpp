@@ -9,6 +9,7 @@
 #include <cassert>
 #include <cmath>
 #include <limits>
+#include <stdexcept>
 
 using namespace og;
 
@@ -226,12 +227,19 @@ struct ScaledStats {
   }
 };
 
-/// Feeds the in-window trace to one OooCore+EnergyModel stack and records
-/// per-cluster stat/energy deltas across each window's counted stretch.
-/// Each window arrives in three phases: a functional-warming shadow
-/// (light records routed to OooCore::warmOnly), a detailed-but-uncounted
-/// warm-up, and the counted representative interval bracketed by the
-/// stat/energy snapshots.
+/// Feeds the in-window trace to one OooCore+ActivityRecorder stack and
+/// records per-cluster stat/activity deltas across each window's counted
+/// stretch. Each window arrives in three phases: a functional-warming
+/// shadow (light records routed to OooCore::warmOnly), a
+/// detailed-but-uncounted warm-up, and the counted representative
+/// interval bracketed by the stat/activity snapshots. With checkpoints,
+/// the shadow phase is empty and each window instead opens by restoring
+/// the warm state captured at its warm-start index — equivalent to a
+/// full-prefix shadow (the snapshots bracket only the counted stretch,
+/// so restoring tables without rewinding counters cancels out of every
+/// delta). Recording the scheme-free histogram instead of one scheme's
+/// energy is what lets a single detailed pass serve every gating cell of
+/// the stream (deriveSampleEstimate).
 class WindowEstimator final : public TraceSink {
 public:
   struct Win {
@@ -239,18 +247,22 @@ public:
     unsigned Cluster = 0;
   };
 
-  WindowEstimator(const UarchConfig &Uarch, GatingScheme Scheme,
-                  const EnergyCoefficients &Coeffs, std::vector<Win> Windows)
-      : EM(Scheme, Coeffs), Core(Uarch, &EM), Wins(std::move(Windows)),
-        StatDelta(Wins.size()), EnergyDelta(Wins.size()) {
-    EnergyStart.fill(0.0);
-  }
+  WindowEstimator(const UarchConfig &Uarch, std::vector<Win> Windows,
+                  const std::vector<CoreWarmState> *Checkpoints = nullptr)
+      : Core(Uarch, &Rec), Wins(std::move(Windows)), Ckpt(Checkpoints),
+        StatDelta(Wins.size()), CountDelta(Wins.size()) {}
 
   void onBatch(const DynInst *Batch, size_t N) override {
     Delivered += N;
     while (N > 0) {
-      assert(Cur < Wins.size() && "trace exceeds the planned windows");
+      // Always-on (not assert): in a Release build an overrun would
+      // silently smear extra instructions into the last window's delta.
+      if (Cur >= Wins.size())
+        throw std::runtime_error(
+            "sampled estimation: trace exceeds the planned windows");
       const Win &W = Wins[Cur];
+      if (Ckpt && Into == 0)
+        Core.restoreWarmState((*Ckpt)[Cur]);
       if (!CountingStarted && Into >= W.Shadow + W.Warmup) {
         snapStart();
         CountingStarted = true;
@@ -284,32 +296,20 @@ public:
 
   /// Scales the per-window deltas into the whole-run estimate.
   void estimate(const std::vector<double> &Factors, UarchStats &OutStats,
-                EnergyReport &OutReport) const {
+                ActivityCounts &OutCounts) const {
     assert(Factors.size() == StatDelta.size());
     ScaledStats Acc;
-    std::array<double, NumStructures> Energy;
-    Energy.fill(0.0);
     for (size_t C = 0; C < Factors.size(); ++C) {
       Acc.addScaled(Factors[C], UarchStats(), StatDelta[C]);
-      for (unsigned S = 0; S < NumStructures; ++S)
-        Energy[S] += Factors[C] * EnergyDelta[C][S];
+      OutCounts.addScaled(Factors[C], ActivityCounts(), CountDelta[C]);
     }
     OutStats = Acc.rounded();
-    OutReport.Scheme = EM.scheme();
-    OutReport.PerStructure = Energy;
-    double Total = 0.0;
-    for (double E : Energy)
-      Total += E;
-    OutReport.TotalEnergy =
-        Total + EM.clockPerCycle() * static_cast<double>(OutStats.Cycles);
-    OutReport.Uarch = OutStats;
   }
 
 private:
   void snapStart() {
     StatStart = Core.snapshot();
-    for (unsigned S = 0; S < NumStructures; ++S)
-      EnergyStart[S] = EM.structureEnergy(static_cast<Structure>(S));
+    CountStart = Rec.counts();
   }
 
   void snapEnd(size_t Window) {
@@ -326,31 +326,45 @@ private:
     D.L2Misses += End.L2Misses - A.L2Misses;
     D.Branches += End.Branches - A.Branches;
     D.Mispredicts += End.Mispredicts - A.Mispredicts;
-    for (unsigned S = 0; S < NumStructures; ++S)
-      EnergyDelta[Window][S] +=
-          EM.structureEnergy(static_cast<Structure>(S)) - EnergyStart[S];
+    CountDelta[Window].addScaled(1.0, CountStart, Rec.counts());
   }
 
-  EnergyModel EM;
+  ActivityRecorder Rec;
   OooCore Core;
   std::vector<Win> Wins;
+  const std::vector<CoreWarmState> *Ckpt;
   size_t Cur = 0;
   uint64_t Into = 0;
   uint64_t Delivered = 0;
   bool CountingStarted = false;
   UarchStats StatStart;
   std::vector<UarchStats> StatDelta;
-  std::array<double, NumStructures> EnergyStart;
-  std::vector<std::array<double, NumStructures>> EnergyDelta;
+  ActivityCounts CountStart;
+  std::vector<ActivityCounts> CountDelta;
 };
 
-} // namespace
+/// The concrete window layout a plan induces: the engine's trace windows,
+/// the estimator's per-window phase lengths, and the post-stratified
+/// scaling factors. Derived deterministically from (Plan, Spec), so the
+/// capture pass (prepareSampled) and the estimation pass (runSampled)
+/// independently compute identical layouts.
+struct WindowLayout {
+  std::vector<SampleWindow> Engine;
+  std::vector<WindowEstimator::Win> Wins;
+  std::vector<double> Factors;
+};
 
-SampleEstimate og::runSampled(const DecodedProgram &DP, const RunOptions &Ref,
-                              const UarchConfig &Uarch, GatingScheme Scheme,
-                              const EnergyCoefficients &Coeffs,
-                              const SamplePlan &Plan, const SampleSpec &Spec) {
-  assert(Plan.K > 0 && "plan has no clusters");
+/// Lays out one window per (cluster, sample), ordered by position in the
+/// run. Warm-up is clamped so windows never overlap the run start or
+/// each other (a sample directly behind another window keeps its counted
+/// stretch and loses warm-up instead). With \p Checkpointed, the warming
+/// shadows are dropped entirely — each window's engine range starts at
+/// its warm-start index (Begin - Warmup), where prepareSampled captured
+/// a CoreWarmState to restore instead.
+WindowLayout layoutWindows(const SamplePlan &Plan, const SampleSpec &Spec,
+                           bool Checkpointed) {
+  if (Plan.K == 0)
+    throw std::invalid_argument("sample plan has no clusters");
 
   // Interval start offsets in dynamic-instruction space.
   std::vector<uint64_t> Starts(Plan.numIntervals());
@@ -360,10 +374,6 @@ SampleEstimate og::runSampled(const DecodedProgram &DP, const RunOptions &Ref,
     Off += Plan.IntervalInsts[I];
   }
 
-  // One window per (cluster, sample), ordered by position in the run.
-  // Warm-up is clamped so windows never overlap the run start or each
-  // other (a sample directly behind another window keeps its counted
-  // stretch and loses warm-up instead).
   struct SampleSite {
     uint32_t Interval = 0;
     unsigned Cluster = 0;
@@ -384,12 +394,13 @@ SampleEstimate og::runSampled(const DecodedProgram &DP, const RunOptions &Ref,
   // SampleSpec::ChaseWarmGain).
   const double ShadowFrac = std::min(
       Spec.WarmupFrac + Spec.ChaseWarmGain * Plan.ChaseFrac, 1.0);
-  const uint64_t ShadowTarget = static_cast<uint64_t>(
-      ShadowFrac * static_cast<double>(Plan.TotalInsts) /
-      static_cast<double>(Plan.K));
+  const uint64_t ShadowTarget =
+      Checkpointed ? 0
+                   : static_cast<uint64_t>(
+                         ShadowFrac * static_cast<double>(Plan.TotalInsts) /
+                         static_cast<double>(Plan.K));
 
-  std::vector<SampleWindow> Windows;
-  std::vector<WindowEstimator::Win> Wins;
+  WindowLayout L;
   uint64_t PrevEnd = 0;
   for (const SampleSite &S : Sites) {
     const uint64_t Begin = Starts[S.Interval];
@@ -410,8 +421,8 @@ SampleEstimate og::runSampled(const DecodedProgram &DP, const RunOptions &Ref,
     const uint64_t Gap = Begin - PrevEnd;
     const uint64_t Warmup = std::min(Spec.WarmupLen, Gap);
     const uint64_t Shadow = std::min(ShadowTarget, Gap - Warmup);
-    Windows.push_back({Begin - Warmup - Shadow, End, Shadow});
-    Wins.push_back({Shadow, Warmup, Counted, S.Cluster});
+    L.Engine.push_back({Begin - Warmup - Shadow, End, Shadow});
+    L.Wins.push_back({Shadow, Warmup, Counted, S.Cluster});
     PrevEnd = End;
   }
 
@@ -441,24 +452,163 @@ SampleEstimate og::runSampled(const DecodedProgram &DP, const RunOptions &Ref,
     }
     Represented[Best] += Plan.IntervalInsts[I];
   }
-  std::vector<double> Factors(Sites.size());
+  L.Factors.resize(Sites.size());
   for (size_t W = 0; W < Sites.size(); ++W)
-    Factors[W] = static_cast<double>(Represented[W]) /
-                 static_cast<double>(Wins[W].Counted);
+    L.Factors[W] = static_cast<double>(Represented[W]) /
+                   static_cast<double>(L.Wins[W].Counted);
+  return L;
+}
 
-  WindowEstimator Estimator(Uarch, Scheme, Coeffs, std::move(Wins));
+/// Drives one OooCore through the full dynamic stream with warmOnly()
+/// and snapshots its warm state at each requested stop (ascending
+/// dynamic-instruction indices). A stop at index 0 is captured at
+/// construction — the pristine core — so the engine's skip of empty
+/// windows never loses a capture.
+class CheckpointRecorder final : public TraceSink {
+public:
+  CheckpointRecorder(const UarchConfig &Uarch, std::vector<uint64_t> StopsIn,
+                     std::vector<CoreWarmState> &Out)
+      : Core(Uarch, nullptr), Stops(std::move(StopsIn)), Out(Out) {
+    capturePending();
+  }
+
+  void onBatch(const DynInst *Batch, size_t N) override {
+    while (N > 0) {
+      const uint64_t Until = Next < Stops.size() ? Stops[Next] : ~uint64_t(0);
+      const size_t Take =
+          static_cast<size_t>(std::min<uint64_t>(N, Until - Seen));
+      Core.warmOnly(Batch, Take);
+      Batch += Take;
+      N -= Take;
+      Seen += Take;
+      capturePending();
+    }
+  }
+
+  bool done() const { return Next == Stops.size(); }
+
+private:
+  void capturePending() {
+    while (Next < Stops.size() && Stops[Next] == Seen) {
+      Out.push_back(Core.warmState());
+      ++Next;
+    }
+  }
+
+  OooCore Core;
+  std::vector<uint64_t> Stops;
+  std::vector<CoreWarmState> &Out;
+  size_t Next = 0;
+  uint64_t Seen = 0;
+};
+
+} // namespace
+
+SampleArtifacts og::prepareSampled(const DecodedProgram &DP,
+                                   const RunOptions &Ref,
+                                   const UarchConfig &Uarch,
+                                   const SampleSpec &Spec) {
+  // Profile at light-record cost: one full-length light window feeds the
+  // profiler everything it reads (Func/Block/I/WroteDest) without the
+  // register-file reads a full record pays for.
+  IntervalProfiler Prof(DP, Spec.IntervalLen);
+  RunOptions ProfOpts = Ref;
+  ProfOpts.Sink = &Prof;
+  RunResult ProfRun =
+      runProgramWindowed(DP, ProfOpts, {{0, ~uint64_t(0), ~uint64_t(0)}});
+  Prof.finish();
+  if (ProfRun.Status != RunStatus::Halted)
+    throw std::runtime_error("sampled estimation: profiled run did not halt");
+
+  SampleArtifacts Art;
+  Art.Plan = makeSamplePlan(Prof, Spec);
+
+  // Checkpoint capture pays about one more light run and replaces every
+  // cell's warming shadows — worth it exactly where chase-adaptive
+  // shadows get long (see SampleSpec::CheckpointChaseMin).
+  if (Art.Plan.ChaseFrac < Spec.CheckpointChaseMin)
+    return Art;
+
+  const WindowLayout L = layoutWindows(Art.Plan, Spec, /*Checkpointed=*/true);
+  std::vector<uint64_t> Stops;
+  Stops.reserve(L.Engine.size());
+  for (const SampleWindow &W : L.Engine)
+    Stops.push_back(W.Begin); // == counted begin - warm-up
+  const uint64_t Last = Stops.back();
+
+  Art.Checkpoints.reserve(Stops.size());
+  CheckpointRecorder Recorder(Uarch, std::move(Stops), Art.Checkpoints);
+  if (Last > 0) {
+    RunOptions CapOpts = Ref;
+    CapOpts.Sink = &Recorder;
+    runProgramWindowed(DP, CapOpts, {{0, Last, Last}});
+  }
+  if (!Recorder.done())
+    throw std::runtime_error(
+        "sampled estimation: checkpoint capture ended before the last "
+        "planned window");
+  return Art;
+}
+
+SampleStreamEstimate
+og::runSampledStream(const DecodedProgram &DP, const RunOptions &Ref,
+                     const UarchConfig &Uarch, const SamplePlan &Plan,
+                     const SampleSpec &Spec,
+                     const std::vector<CoreWarmState> *Checkpoints) {
+  if (Checkpoints && Checkpoints->empty())
+    Checkpoints = nullptr;
+  WindowLayout L = layoutWindows(Plan, Spec, Checkpoints != nullptr);
+  if (Checkpoints && Checkpoints->size() != L.Engine.size())
+    throw std::invalid_argument(
+        "sampled estimation: checkpoint count does not match the plan's "
+        "windows (artifacts prepared under a different plan or spec?)");
+
+  WindowEstimator Estimator(Uarch, std::move(L.Wins), Checkpoints);
   RunOptions Opts = Ref;
   Opts.Sink = &Estimator;
 
-  SampleEstimate Est;
-  Est.Plan = Plan;
-  Est.Run = runProgramWindowed(DP, Opts, Windows);
-  Est.DetailedInsts = Estimator.deliveredInsts();
-  assert(Estimator.allWindowsComplete() &&
-         "sampled run ended before the planned windows");
+  SampleStreamEstimate Stream;
+  Stream.Plan = Plan;
+  Stream.Run = runProgramWindowed(DP, Opts, L.Engine);
+  Stream.DetailedInsts = Estimator.deliveredInsts();
+  // Always-on (not assert): an incomplete window set would silently
+  // scale zero deltas into the estimate in Release builds.
+  if (!Estimator.allWindowsComplete())
+    throw std::runtime_error(
+        "sampled estimation: run ended before the planned windows");
 
-  Estimator.estimate(Factors, Est.Uarch, Est.Report);
+  Estimator.estimate(L.Factors, Stream.Uarch, Stream.Activity);
+  return Stream;
+}
+
+SampleEstimate og::deriveSampleEstimate(const SampleStreamEstimate &Stream,
+                                        GatingScheme Scheme,
+                                        const EnergyCoefficients &Coeffs) {
+  SampleEstimate Est;
+  Est.Uarch = Stream.Uarch;
+  Est.Run = Stream.Run;
+  Est.Plan = Stream.Plan;
+  Est.DetailedInsts = Stream.DetailedInsts;
+  Est.Report.Scheme = Scheme;
+  Est.Report.PerStructure = Stream.Activity.structureEnergy(Scheme, Coeffs);
+  double Total = 0.0;
+  for (double E : Est.Report.PerStructure)
+    Total += E;
+  Est.Report.TotalEnergy =
+      Total + Coeffs.ClockPerCycle * static_cast<double>(Est.Uarch.Cycles);
+  Est.Report.Uarch = Est.Uarch;
   return Est;
+}
+
+SampleEstimate
+og::runSampled(const DecodedProgram &DP, const RunOptions &Ref,
+               const UarchConfig &Uarch, GatingScheme Scheme,
+               const EnergyCoefficients &Coeffs, const SamplePlan &Plan,
+               const SampleSpec &Spec,
+               const std::vector<CoreWarmState> *Checkpoints) {
+  return deriveSampleEstimate(
+      runSampledStream(DP, Ref, Uarch, Plan, Spec, Checkpoints), Scheme,
+      Coeffs);
 }
 
 SampleEstimate og::estimateSampled(const DecodedProgram &DP,
@@ -467,16 +617,9 @@ SampleEstimate og::estimateSampled(const DecodedProgram &DP,
                                    GatingScheme Scheme,
                                    const EnergyCoefficients &Coeffs,
                                    const SampleSpec &Spec) {
-  IntervalProfiler Prof(DP, Spec.IntervalLen);
-  RunOptions ProfOpts = Ref;
-  ProfOpts.Sink = &Prof;
-  RunResult ProfRun = runProgram(DP, ProfOpts);
-  Prof.finish();
-  assert(ProfRun.Status == RunStatus::Halted && "profiled run did not halt");
-  (void)ProfRun;
-
-  SamplePlan Plan = makeSamplePlan(Prof, Spec);
-  return runSampled(DP, Ref, Uarch, Scheme, Coeffs, Plan, Spec);
+  const SampleArtifacts Art = prepareSampled(DP, Ref, Uarch, Spec);
+  return runSampled(DP, Ref, Uarch, Scheme, Coeffs, Art.Plan, Spec,
+                    Art.Checkpoints.empty() ? nullptr : &Art.Checkpoints);
 }
 
 double SampleErrors::maxAbs() const {

@@ -35,9 +35,11 @@
 #ifndef OG_SAMPLE_SAMPLERUNNER_H
 #define OG_SAMPLE_SAMPLERUNNER_H
 
+#include "power/ActivityCounts.h"
 #include "power/Report.h"
 #include "sample/IntervalProfiler.h"
 #include "sim/ExecEngine.h"
+#include "uarch/Core.h"
 
 #include <cstdint>
 #include <vector>
@@ -100,6 +102,17 @@ struct SampleSpec {
   /// representative tracks the segment mean. 0 restores pure-BBV
   /// SimPoint clustering.
   double TimeWeight = 0.5;
+  /// Chase-fraction threshold above which prepareSampled() captures
+  /// per-window warm-state checkpoints (uarch/Core.h CoreWarmState)
+  /// during an extra full-history warming pass, replacing every
+  /// measured window's warming shadow with a restore. The capture pass
+  /// costs about one light run; per-cell shadows cost
+  /// min(WarmupFrac + ChaseWarmGain * ChaseFrac, 1) light runs — so
+  /// checkpoints win exactly where chase-adaptive shadows get long
+  /// (li: ~0.65 light runs per cell vs ~1 total), and low-chase
+  /// workloads keep their cheap short shadows. 0 (or negative) forces
+  /// checkpointing on; > 1 disables it.
+  double CheckpointChaseMin = 0.01;
   /// Clustering/projection seed. Fixed by default so a spec is fully
   /// deterministic; sweeps inherit byte-identical serial-vs-parallel
   /// reports for free.
@@ -152,16 +165,86 @@ struct SampleEstimate {
   uint64_t DetailedInsts = 0;
 };
 
-/// Step 3 alone: fast-forward + in-window detailed simulation under an
-/// existing plan. \p Ref must run the same instruction stream the plan
-/// was profiled from (same decode, same inputs); Ref.Sink is ignored.
-SampleEstimate runSampled(const DecodedProgram &DP, const RunOptions &Ref,
-                          const UarchConfig &Uarch, GatingScheme Scheme,
-                          const EnergyCoefficients &Coeffs,
-                          const SamplePlan &Plan, const SampleSpec &Spec);
+/// Everything reusable across estimation runs of one dynamic instruction
+/// stream: the plan, plus (for chase-heavy streams, see
+/// SampleSpec::CheckpointChaseMin) one warm-state checkpoint per planned
+/// window, captured at the window's warm-start index during a single
+/// full-history warming pass. Checkpoints is either empty (shadow-warmed
+/// estimation) or exactly one entry per planned window, in window order.
+///
+/// An artifact is a pure function of (stream, uarch, spec) — estimating
+/// from a shared artifact is bit-identical to estimating from a freshly
+/// prepared one, which is what lets runSweep share artifacts across cells
+/// whose software transform leaves the stream unchanged (see
+/// sample/SamplePlanCache.h).
+struct SampleArtifacts {
+  SamplePlan Plan;
+  std::vector<CoreWarmState> Checkpoints;
+};
 
-/// The full flow: profile \p Ref once (also validating it halts), plan,
-/// then estimate. Two functional passes + K detailed windows total.
+/// The scheme-independent part of a sampled estimation: everything a
+/// detailed windowed pass produces before a gating scheme is applied.
+/// The detailed stack runs once per dynamic stream with an
+/// ActivityRecorder sink; any (scheme, coefficients) cell then derives
+/// its EnergyReport from the weighted histogram with
+/// deriveSampleEstimate() — that is the "single-pass" in single-pass
+/// sampled sweeps (baseline / hw-sig / hw-size share one of these, as do
+/// vrp / combined-VRP).
+struct SampleStreamEstimate {
+  /// Weighted whole-run timing estimate (rounded once, here, so every
+  /// derived cell reports identical counters).
+  UarchStats Uarch;
+  /// Weighted whole-run activity histogram (window deltas scaled by the
+  /// same post-stratified factors as Uarch).
+  ActivityCounts Activity;
+  /// Exact functional result of the estimation pass.
+  RunResult Run;
+  SamplePlan Plan;
+  uint64_t DetailedInsts = 0;
+};
+
+/// Steps 1-2 (+ checkpoint capture): profile \p Ref at light-record cost
+/// (also validating it halts), cluster into a plan, and — when the
+/// profiled chase fraction reaches Spec.CheckpointChaseMin — run one more
+/// light pass capturing a CoreWarmState at each planned window's
+/// warm-start index. Throws std::runtime_error if the program does not
+/// halt under \p Ref.
+SampleArtifacts prepareSampled(const DecodedProgram &DP, const RunOptions &Ref,
+                               const UarchConfig &Uarch,
+                               const SampleSpec &Spec);
+
+/// Step 3, scheme-free: fast-forward + in-window detailed simulation
+/// under an existing plan, recording the activity histogram instead of
+/// charging a scheme's energy. \p Ref must run the same instruction
+/// stream the plan was profiled from (same decode, same inputs);
+/// Ref.Sink is ignored. With \p Checkpoints (from prepareSampled on the
+/// same stream/spec), windows restore warm state instead of running
+/// warming shadows — exactly equivalent to a full-prefix shadow, at zero
+/// per-window cost.
+SampleStreamEstimate
+runSampledStream(const DecodedProgram &DP, const RunOptions &Ref,
+                 const UarchConfig &Uarch, const SamplePlan &Plan,
+                 const SampleSpec &Spec,
+                 const std::vector<CoreWarmState> *Checkpoints = nullptr);
+
+/// Applies one (scheme, coefficients) cell to a stream estimate: derives
+/// the per-structure energy from the histogram and adds the per-cycle
+/// clock part. Cheap (no simulation), deterministic, and independent of
+/// how many other cells derive from the same stream estimate.
+SampleEstimate deriveSampleEstimate(const SampleStreamEstimate &Stream,
+                                    GatingScheme Scheme,
+                                    const EnergyCoefficients &Coeffs);
+
+/// Step 3 for a single cell: runSampledStream + deriveSampleEstimate.
+SampleEstimate
+runSampled(const DecodedProgram &DP, const RunOptions &Ref,
+           const UarchConfig &Uarch, GatingScheme Scheme,
+           const EnergyCoefficients &Coeffs, const SamplePlan &Plan,
+           const SampleSpec &Spec,
+           const std::vector<CoreWarmState> *Checkpoints = nullptr);
+
+/// The full flow: prepareSampled then runSampled, checkpoints included
+/// when the stream's chase fraction warrants them.
 SampleEstimate estimateSampled(const DecodedProgram &DP, const RunOptions &Ref,
                                const UarchConfig &Uarch, GatingScheme Scheme,
                                const EnergyCoefficients &Coeffs,

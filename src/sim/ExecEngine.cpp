@@ -13,6 +13,7 @@
 #include "support/MathExtras.h"
 
 #include <cassert>
+#include <stdexcept>
 
 using namespace og;
 
@@ -355,11 +356,16 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options,
             for (unsigned S = 0; S < DI.NumSrcs; ++S)
               D->SrcVals[S] = M.readReg(DI.Srcs[S]);
           } else {
-            // Light record: only the warming-relevant fields are written
-            // (no struct zeroing, no register-file reads); the profile
-            // coordinates and source values carry unspecified leftovers.
+            // Light record: only the warming- and profiling-relevant
+            // fields are written (no struct zeroing, no register-file
+            // reads); the source values carry unspecified leftovers.
+            // Func/Block make the light stream sufficient for
+            // IntervalProfiler, so the sampler's profiling pass runs at
+            // light cost.
             LightRec = true;
             D->I = DI.I;
+            D->Func = DI.Func;
+            D->Block = DI.Block;
             D->Pc = DI.Pc;
             D->SeqPc = DI.Pc + 4;
             D->NumSrcs = 0;
@@ -578,11 +584,13 @@ RunResult og::runProgram(const DecodedProgram &DP, const RunOptions &Options) {
 RunResult og::runProgramWindowed(const DecodedProgram &DP,
                                  const RunOptions &Options,
                                  const std::vector<SampleWindow> &Windows) {
-#ifndef NDEBUG
+  // Always-on (not assert): a mis-sorted window list would silently
+  // deliver a wrong instruction stream in Release builds.
   for (size_t I = 1; I < Windows.size(); ++I)
-    assert(Windows[I - 1].End <= Windows[I].Begin &&
-           "sample windows must be sorted and disjoint");
-#endif
+    if (Windows[I - 1].End > Windows[I].Begin)
+      throw std::invalid_argument(
+          "runProgramWindowed: sample windows must be sorted by Begin "
+          "and pairwise disjoint");
   // No sink (or no windows) degenerates to the plain no-sink run.
   if (!Options.Sink || Windows.empty()) {
     RunOptions NoSink = Options;

@@ -147,13 +147,18 @@ RunResult runProgram(const DecodedProgram &DP, const RunOptions &Options);
 /// the trace to its sink.
 ///
 /// The first LightLen instructions of the window are delivered as
-/// *light* records: only the fields a structure-warming consumer needs
-/// (I, Pc, SeqPc, NextPc, IsMem/MemAddr, IsBranch/Taken, plus the
-/// Result/WroteDest of the executed operation) are filled — NumSrcs stays
-/// 0 and the per-operand register-file reads are skipped, which is most
-/// of a full record's cost. Sampled simulation uses this for long
-/// cache/branch-predictor warm-up shadows that would be wasteful at
-/// full-record (let alone full-simulation) price.
+/// *light* records: only the fields a structure-warming or profiling
+/// consumer needs (I, Func, Block, Pc, SeqPc, NextPc, IsMem/MemAddr,
+/// IsBranch/Taken, plus the Result/WroteDest of the executed operation)
+/// are filled — NumSrcs stays 0 and the per-operand register-file reads
+/// are skipped, which is most of a full record's cost. Sampled
+/// simulation uses this for warm-up shadows and checkpoint-capture
+/// passes, and — because Func/Block are filled — for the interval
+/// profiling pass itself (IntervalProfiler reads nothing a light record
+/// lacks), all of which would be wasteful at full-record (let alone
+/// full-simulation) price. A mis-sorted or overlapping window list makes
+/// runProgramWindowed throw std::invalid_argument (always on, not an
+/// assert — Release sweeps must not silently diverge).
 struct SampleWindow {
   uint64_t Begin = 0;
   uint64_t End = 0;

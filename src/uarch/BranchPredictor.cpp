@@ -2,6 +2,7 @@
 
 #include "uarch/BranchPredictor.h"
 
+#include <cassert>
 #include <cstddef>
 
 using namespace og;
@@ -55,4 +56,19 @@ bool BranchPredictor::predictAndUpdate(uint64_t Pc, bool Taken) {
     ++Mispredicts;
   update(Pc, Taken);
   return Predicted == Taken;
+}
+
+BranchPredictor::WarmState BranchPredictor::warmState() const {
+  return {Gshare, Bimodal, Chooser, History};
+}
+
+void BranchPredictor::restoreWarmState(const WarmState &S) {
+  assert(S.Gshare.size() == Gshare.size() &&
+         S.Bimodal.size() == Bimodal.size() &&
+         S.Chooser.size() == Chooser.size() &&
+         "warm state captured from a different predictor geometry");
+  Gshare = S.Gshare;
+  Bimodal = S.Bimodal;
+  Chooser = S.Chooser;
+  History = S.History;
 }

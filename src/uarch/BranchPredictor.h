@@ -38,6 +38,18 @@ public:
   /// Convenience: predict, compare, update, count.
   bool predictAndUpdate(uint64_t Pc, bool Taken);
 
+  /// Counter tables + global history — the predictor's share of a
+  /// warm-state checkpoint (uarch/Core.h CoreWarmState). Plain data;
+  /// the lookup/mispredict counters are deliberately excluded so
+  /// restoring warmth never rewinds statistics.
+  struct WarmState {
+    std::vector<uint8_t> Gshare, Bimodal, Chooser;
+    uint64_t History = 0;
+  };
+
+  WarmState warmState() const;
+  void restoreWarmState(const WarmState &S);
+
 private:
   unsigned gshareIndex(uint64_t Pc) const;
 

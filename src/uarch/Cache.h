@@ -13,6 +13,7 @@
 #ifndef OG_UARCH_CACHE_H
 #define OG_UARCH_CACHE_H
 
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -20,6 +21,12 @@ namespace og {
 
 /// Tag-only set-associative cache with true-LRU replacement.
 class Cache {
+  struct Way {
+    uint64_t Tag = ~uint64_t(0);
+    uint64_t LastUse = 0;
+    bool Valid = false;
+  };
+
 public:
   Cache(unsigned SizeKB, unsigned Assoc, unsigned LineBytes);
 
@@ -29,13 +36,25 @@ public:
   uint64_t hits() const { return Hits; }
   uint64_t misses() const { return Misses; }
 
-private:
-  struct Way {
-    uint64_t Tag = ~uint64_t(0);
-    uint64_t LastUse = 0;
-    bool Valid = false;
+  /// The replacement state of every line — the cache's share of a
+  /// warm-state checkpoint (uarch/Core.h CoreWarmState). Plain data;
+  /// the hit/miss counters are deliberately excluded so restoring
+  /// warmth never rewinds statistics.
+  struct WarmState {
+    std::vector<Way> Ways;
+    uint64_t Tick = 0;
   };
 
+  WarmState warmState() const { return {Ways, Tick}; }
+
+  void restoreWarmState(const WarmState &S) {
+    assert(S.Ways.size() == Ways.size() &&
+           "warm state captured from a different cache geometry");
+    Ways = S.Ways;
+    Tick = S.Tick;
+  }
+
+private:
   unsigned Assoc;
   unsigned LineShift;
   unsigned NumSets;

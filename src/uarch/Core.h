@@ -97,6 +97,25 @@ private:
   size_t Head;                ///< rolling pointer to the minimum
 };
 
+/// A checkpoint of an OooCore's long-lived structure state — exactly the
+/// state warmOnly() evolves: cache replacement state, branch-predictor
+/// tables and history, and the current fetch line. Sampled simulation
+/// (src/sample/) captures these once per planned window during a single
+/// full-history warming pass and restores them at each measured window,
+/// so the window opens on warm state without re-running a per-window
+/// warming shadow (the "checkpointed warm-up" of the ROADMAP).
+///
+/// Plain serializable data. Scheduler and statistics state is
+/// deliberately excluded: a restore mid-run must never rewind counters,
+/// and warmOnly never touches the schedulers either — which is what
+/// makes a restore exactly equivalent to a full-prefix warming shadow
+/// (SampleTest asserts the equality).
+struct CoreWarmState {
+  Cache::WarmState L1I, L1D, L2;
+  BranchPredictor::WarmState BPred;
+  uint64_t LastFetchLine = ~uint64_t(0);
+};
+
 /// Feed the dynamic instruction stream in program order — either
 /// per-instruction through onInst() or in batches through the TraceSink
 /// interface (RunOptions::Sink can point directly at the core) — and call
@@ -130,6 +149,24 @@ public:
     S.Cycles = LastCycle + 1;
     S.Mispredicts = BPred.mispredicts();
     return S;
+  }
+
+  /// Captures / restores the warmOnly()-evolved structure state (see
+  /// CoreWarmState). restoreWarmState() on a core that has consumed no
+  /// detailed instructions since construction (or since its last window)
+  /// leaves it exactly as if the checkpoint's full history had been
+  /// replayed through warmOnly().
+  CoreWarmState warmState() const {
+    return {L1I.warmState(), L1D.warmState(), L2.warmState(),
+            BPred.warmState(), LastFetchLine};
+  }
+
+  void restoreWarmState(const CoreWarmState &S) {
+    L1I.restoreWarmState(S.L1I);
+    L1D.restoreWarmState(S.L1D);
+    L2.restoreWarmState(S.L2);
+    BPred.restoreWarmState(S.BPred);
+    LastFetchLine = S.LastFetchLine;
   }
 
 private:

@@ -1,6 +1,7 @@
 //===- tests/UarchPowerTest.cpp - uarch/, power/, hw/ tests ------------------==//
 
 #include "hw/Compression.h"
+#include "power/ActivityCounts.h"
 #include "power/Report.h"
 #include "program/Builder.h"
 #include "support/Rng.h"
@@ -9,6 +10,9 @@
 #include "uarch/Core.h"
 
 #include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
 
 using namespace og;
 
@@ -238,6 +242,79 @@ TEST(EnergyModel, TotalsAreSumOfParts) {
     Sum += EM.structureEnergy(static_cast<Structure>(S));
   EXPECT_DOUBLE_EQ(Sum, EM.totalEnergy());
   EXPECT_GT(Sum, 0.0);
+}
+
+TEST(ActivityCounts, DerivedEnergyMatchesEnergyModel) {
+  // The histogram must be a lossless stand-in for the access stream:
+  // deriving a scheme's energy from an ActivityRecorder's counts has to
+  // reproduce what an EnergyModel accumulating under that scheme charged
+  // for the same events (up to FP reassociation — the sampled sweep's
+  // cross-cell sharing rests on exactly this identity).
+  Rng R(0x5eed);
+  ActivityRecorder Rec;
+  std::vector<EnergyModel> Models;
+  const GatingScheme Schemes[] = {
+      GatingScheme::None, GatingScheme::Software, GatingScheme::HwSignificance,
+      GatingScheme::HwSize, GatingScheme::Combined};
+  for (GatingScheme S : Schemes)
+    Models.emplace_back(S);
+
+  for (int I = 0; I < 2000; ++I) {
+    const Structure S = static_cast<Structure>(R.next() % NumStructures);
+    switch (R.next() % 3) {
+    case 0:
+      Rec.access(S);
+      for (EnergyModel &EM : Models)
+        EM.access(S);
+      break;
+    case 1: {
+      // Exercise every significance class, including sign-extended
+      // negatives and full-width values.
+      const int Shift = static_cast<int>(R.next() % 64);
+      const int64_t V = static_cast<int64_t>(R.next()) >> Shift;
+      const Width W = static_cast<Width>(R.next() % 4);
+      Rec.dataAccess(S, V, W);
+      for (EnergyModel &EM : Models)
+        EM.dataAccess(S, V, W);
+      break;
+    }
+    default:
+      Rec.missPenalty(S);
+      for (EnergyModel &EM : Models)
+        EM.missPenalty(S);
+      break;
+    }
+  }
+
+  const EnergyCoefficients EC = EnergyCoefficients::defaults();
+  for (size_t M = 0; M < Models.size(); ++M) {
+    const auto Derived = Rec.counts().structureEnergy(Schemes[M], EC);
+    for (unsigned S = 0; S < NumStructures; ++S) {
+      const double Exact = Models[M].structureEnergy(static_cast<Structure>(S));
+      EXPECT_NEAR(Derived[S], Exact, 1e-9 * (1.0 + std::fabs(Exact)))
+          << "scheme " << gatingSchemeName(Schemes[M]) << ", structure "
+          << structureName(static_cast<Structure>(S));
+    }
+  }
+}
+
+TEST(ActivityCounts, AddScaledMatchesManualDeltas) {
+  ActivityRecorder Rec;
+  Rec.access(Structure::Rename);
+  const ActivityCounts Before = Rec.counts();
+  Rec.access(Structure::Rename);
+  Rec.dataAccess(Structure::IntAlu, 0x1234, Width::H);
+  Rec.missPenalty(Structure::DCacheL2);
+
+  ActivityCounts Acc;
+  Acc.addScaled(2.5, Before, Rec.counts());
+  EXPECT_DOUBLE_EQ(Acc.Access[static_cast<unsigned>(Structure::Rename)], 2.5);
+  EXPECT_DOUBLE_EQ(
+      Acc.Data[static_cast<unsigned>(Structure::IntAlu)]
+              [static_cast<unsigned>(Width::H)][significantBytes(0x1234) - 1],
+      2.5);
+  EXPECT_DOUBLE_EQ(Acc.Miss[static_cast<unsigned>(Structure::DCacheL2)], 2.5);
+  EXPECT_DOUBLE_EQ(Acc.Miss[static_cast<unsigned>(Structure::DCacheL1)], 0.0);
 }
 
 TEST(EnergyModel, NarrowValuesCostLessUnderGating) {

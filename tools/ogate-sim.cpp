@@ -45,6 +45,10 @@
 // Sweep mode prints the deterministic aggregate report on stdout and
 // timing/progress on stderr, so stdout can be diffed across --jobs.
 //
+// Exit codes: 0 success; 1 mode conflict or runtime failure; 2 malformed
+// flag value (non-numeric / zero / negative / overflowing where a
+// positive count is required).
+//
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
@@ -54,14 +58,73 @@
 #include "support/Table.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
+#include <cmath>
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <sstream>
 
 using namespace og;
 
 namespace {
+
+/// Exit 2 = malformed flag value, distinct from exit 1 (mode conflicts
+/// and runtime failures) so scripts can tell usage mistakes apart.
+[[noreturn]] void badFlagValue(const char *Flag, const std::string &Val,
+                               const char *Want) {
+  std::cerr << "ogate-sim: bad " << Flag << " value '" << Val << "' (" << Want
+            << ")\n";
+  std::exit(2);
+}
+
+/// Strict decimal parse for unsigned flag values: the whole string must
+/// be digits (no sign — strtoull silently wraps "-5" to a huge value),
+/// in range, and must not overflow. Anything else exits 2.
+uint64_t parseFlagU64(const char *Flag, const std::string &Val,
+                      const char *Want, uint64_t Min,
+                      uint64_t Max = std::numeric_limits<uint64_t>::max()) {
+  if (Val.empty() || Val[0] < '0' || Val[0] > '9')
+    badFlagValue(Flag, Val, Want);
+  errno = 0;
+  char *End = nullptr;
+  const unsigned long long V = std::strtoull(Val.c_str(), &End, 10);
+  if (*End != '\0' || errno == ERANGE || V < Min || V > Max)
+    badFlagValue(Flag, Val, Want);
+  return V;
+}
+
+/// Strict decimal parse for signed flag values (--arg takes negatives).
+int64_t parseFlagI64(const char *Flag, const std::string &Val,
+                     const char *Want) {
+  const bool LeadOk =
+      !Val.empty() &&
+      ((Val[0] >= '0' && Val[0] <= '9') || (Val[0] == '-' && Val.size() > 1));
+  if (!LeadOk)
+    badFlagValue(Flag, Val, Want);
+  errno = 0;
+  char *End = nullptr;
+  const long long V = std::strtoll(Val.c_str(), &End, 10);
+  if (*End != '\0' || errno == ERANGE)
+    badFlagValue(Flag, Val, Want);
+  return V;
+}
+
+/// Strict parse for --scale: a finite decimal > 0.
+double parseFlagScale(const char *Flag, const std::string &Val,
+                      const char *Want) {
+  if (Val.empty() || Val[0] == '+' || Val[0] == ' ')
+    badFlagValue(Flag, Val, Want);
+  errno = 0;
+  char *End = nullptr;
+  const double V = std::strtod(Val.c_str(), &End);
+  if (End == Val.c_str() || *End != '\0' || errno == ERANGE ||
+      !std::isfinite(V) || V <= 0.0)
+    badFlagValue(Flag, Val, Want);
+  return V;
+}
 
 int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
                  const std::string &WorkloadCsv, bool KeepGoing,
@@ -122,6 +185,15 @@ int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
     std::cerr << "ogate-sim: sweep FAILED: " << R.FirstError << "\n";
     return 1;
   }
+  // Always-on duplicate-cell check (used to be a debug assert that
+  // vanished in Release): a duplicated key means the spec construction
+  // is broken, and a silently double-rowed report would poison baseline
+  // comparisons downstream.
+  if (const std::string Dup = R.Aggregate.duplicateKey(); !Dup.empty()) {
+    std::cerr << "ogate-sim: sweep produced duplicate cell '" << Dup
+              << "' — spec construction bug\n";
+    return 1;
+  }
   R.Aggregate.print(std::cout);
   if (!JsonPath.empty()) {
     // The document deliberately contains no wall-clock or worker-count
@@ -159,7 +231,8 @@ int main(int argc, char **argv) {
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
     if (Arg.rfind("--arg=", 0) == 0) {
-      Args.push_back(std::atoll(Arg.c_str() + 6));
+      Args.push_back(
+          parseFlagI64("--arg", Arg.substr(6), "want a decimal integer"));
     } else if (Arg == "--uarch") {
       Uarch = true;
     } else if (Arg.rfind("--scheme=", 0) == 0) {
@@ -184,22 +257,30 @@ int main(int argc, char **argv) {
     } else if (Arg == "--timing-line") {
       TimingLine = true;
     } else if (Arg.rfind("--fuel=", 0) == 0) {
-      Fuel = std::strtoull(Arg.c_str() + 7, nullptr, 10);
+      Fuel = parseFlagU64("--fuel", Arg.substr(7),
+                          "want a positive instruction count", 1);
     } else if (Arg == "--sweep") {
       Sweep = true;
     } else if (Arg.rfind("--sweep=", 0) == 0) {
       Sweep = true;
       SweepKind = Arg.substr(8);
     } else if (Arg.rfind("--jobs=", 0) == 0) {
+      // std::atoi here used to turn "--jobs=abc" (and 0, negatives,
+      // overflow) into a silent --jobs=1 run; malformed values exit 2.
       Sweep = true;
-      int N = std::atoi(Arg.c_str() + 7);
-      Jobs = N < 1 ? 1 : static_cast<unsigned>(N);
-    } else if (Arg == "--jobs" && I + 1 < argc) {
+      Jobs = static_cast<unsigned>(
+          parseFlagU64("--jobs", Arg.substr(7), "want a worker count >= 1", 1,
+                       std::numeric_limits<unsigned>::max()));
+    } else if (Arg == "--jobs") {
+      if (I + 1 >= argc)
+        badFlagValue("--jobs", "", "want a worker count >= 1");
       Sweep = true;
-      int N = std::atoi(argv[++I]);
-      Jobs = N < 1 ? 1 : static_cast<unsigned>(N);
+      Jobs = static_cast<unsigned>(
+          parseFlagU64("--jobs", argv[++I], "want a worker count >= 1", 1,
+                       std::numeric_limits<unsigned>::max()));
     } else if (Arg.rfind("--scale=", 0) == 0) {
-      Scale = std::atof(Arg.c_str() + 8);
+      Scale = parseFlagScale("--scale", Arg.substr(8),
+                             "want a finite decimal > 0");
     } else if (Arg.rfind("--workloads=", 0) == 0) {
       WorkloadCsv = Arg.substr(12);
     } else if (Arg.rfind("--json=", 0) == 0) {
@@ -211,28 +292,16 @@ int main(int argc, char **argv) {
     } else if (Arg.rfind("--sample=", 0) == 0) {
       const std::string Val = Arg.substr(9);
       const size_t Colon = Val.find(':');
-      const std::string LenStr = Val.substr(0, Colon);
-      char *End = nullptr;
-      Sample.IntervalLen = std::strtoull(LenStr.c_str(), &End, 10);
-      // Require a leading digit: strtoull silently wraps "-5" to a huge
-      // unsigned value that would pass the > 0 check.
-      bool Ok = !LenStr.empty() && LenStr[0] >= '0' && LenStr[0] <= '9' &&
-                End != LenStr.c_str() && *End == '\0' &&
-                Sample.IntervalLen > 0;
-      if (Ok && Colon != std::string::npos) {
+      const char *Want = "want INTERVAL[:K|:auto], INTERVAL and K > 0";
+      Sample.IntervalLen =
+          parseFlagU64("--sample", Val.substr(0, Colon), Want, 1);
+      if (Colon != std::string::npos) {
         const std::string KStr = Val.substr(Colon + 1);
-        if (KStr == "auto") {
-          Sample.K = 0;
-        } else {
-          Sample.K = static_cast<unsigned>(std::strtoul(KStr.c_str(), &End, 10));
-          Ok = !KStr.empty() && KStr[0] >= '0' && KStr[0] <= '9' &&
-               End != KStr.c_str() && *End == '\0' && Sample.K > 0;
-        }
-      }
-      if (!Ok) {
-        std::cerr << "ogate-sim: bad --sample value '" << Val
-                  << "' (want INTERVAL[:K|:auto], interval > 0)\n";
-        return 1;
+        Sample.K = KStr == "auto"
+                       ? 0
+                       : static_cast<unsigned>(parseFlagU64(
+                             "--sample", KStr, Want, 1,
+                             std::numeric_limits<unsigned>::max()));
       }
     } else if (Arg == "--keep-going") {
       KeepGoing = true;
