@@ -17,6 +17,7 @@
 
 #include "BenchCommon.h"
 #include "sample/SampleRunner.h"
+#include "sim/Superblock.h"
 
 #include <chrono>
 #include <cmath>
@@ -64,17 +65,22 @@ void runTable() {
     IntervalProfiler Prof(DP, Spec.IntervalLen);
     RunOptions PO = W.Ref;
     PO.Sink = &Prof;
-    runProgram(DP, PO);
+    RunResult ProfRun = runProgram(DP, PO);
     Prof.finish();
     SamplePlan Plan = makeSamplePlan(Prof, Spec);
+    // The profile's block counts also seed the superblock plan the
+    // estimation pass fast-forwards through (as the pipeline does).
+    SuperblockPlan Sb(DP, ProfRun.Stats.BlockCounts);
     const double PlanS = seconds(TP);
 
     // Sampled estimation (best of 2).
+    RunOptions SampRef = W.Ref;
+    SampRef.Superblocks = &Sb;
     SampleEstimate Est;
     double SampS = 1e99;
     for (int Rep = 0; Rep < 2; ++Rep) {
       auto T0 = std::chrono::steady_clock::now();
-      Est = runSampled(DP, W.Ref, UC, GatingScheme::Software, EC, Plan, Spec);
+      Est = runSampled(DP, SampRef, UC, GatingScheme::Software, EC, Plan, Spec);
       SampS = std::min(SampS, seconds(T0));
     }
 
@@ -219,13 +225,16 @@ void microSampledRun(benchmark::State &State) {
   IntervalProfiler Prof(DP, Spec.IntervalLen);
   RunOptions O = W.Ref;
   O.Sink = &Prof;
-  runProgram(DP, O);
+  RunResult ProfRun = runProgram(DP, O);
   Prof.finish();
   SamplePlan Plan = makeSamplePlan(Prof, Spec);
+  SuperblockPlan Sb(DP, ProfRun.Stats.BlockCounts);
+  RunOptions SampRef = W.Ref;
+  SampRef.Superblocks = &Sb;
   uint64_t Insts = 0;
   for (auto _ : State) {
     SampleEstimate Est =
-        runSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
+        runSampled(DP, SampRef, UarchConfig(), GatingScheme::Software,
                    EnergyCoefficients::defaults(), Plan, Spec);
     Insts += Est.Run.Stats.DynInsts;
     benchmark::DoNotOptimize(Est.Report.TotalEnergy);

@@ -1,0 +1,35 @@
+# Detects GNU computed goto (label-address dispatch tables), the backbone
+# of the engine's threaded dispatch mode. The check compiles with the
+# project's own standard/flags, so a toolchain that rejects the extension
+# (or a -pedantic-errors build) cleanly falls back to the portable switch.
+#
+# OG_FORCE_SWITCH_DISPATCH=ON drops the threaded path even when the
+# compiler supports it — the CI matrix uses this to keep the switch
+# fallback honest on every commit.
+
+include(CheckCXXSourceCompiles)
+
+option(OG_FORCE_SWITCH_DISPATCH
+       "Build without computed-goto dispatch (portable switch only)" OFF)
+
+if(OG_FORCE_SWITCH_DISPATCH)
+  set(OG_HAS_COMPUTED_GOTO FALSE)
+  message(STATUS "ogate: threaded dispatch force-disabled (switch only)")
+else()
+  check_cxx_source_compiles("
+    int run(int I) {
+      static const void *const Tbl[] = {&&L0, &&L1};
+      goto *Tbl[I];
+    L0:
+      return 0;
+    L1:
+      return 1;
+    }
+    int main() { return run(0); }
+  " OG_HAS_COMPUTED_GOTO)
+  if(OG_HAS_COMPUTED_GOTO)
+    message(STATUS "ogate: computed-goto (threaded) dispatch enabled")
+  else()
+    message(STATUS "ogate: computed goto unavailable; switch dispatch only")
+  endif()
+endif()

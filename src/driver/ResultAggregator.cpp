@@ -24,6 +24,7 @@ void ResultAggregator::add(const ExperimentSpec &Spec,
   C.WidthBearing = Result.Narrowing.NumWidthBearing;
   C.Opt = Result.OptStats;
   C.Sample = Result.Sample;
+  C.Engine = Result.Engine;
   Cells.push_back(std::move(C));
 }
 

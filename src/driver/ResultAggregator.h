@@ -51,6 +51,10 @@ public:
     /// false for exact cells, and exact sweep documents stay
     /// byte-identical to their pre-sampling shape.
     PipelineSampleInfo Sample;
+    /// Dispatch/superblock counters of the ref run (PipelineResult::
+    /// Engine); serialized only on request (`ogate-sim --engine-stats`)
+    /// so default sweep documents keep their baseline-stable shape.
+    EngineCounters Engine;
   };
 
   /// Records one finished cell. Thread-compatible, not thread-safe: the

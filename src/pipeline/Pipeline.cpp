@@ -4,6 +4,7 @@
 
 #include "opt/TransformPipeline.h"
 #include "sample/SamplePlanCache.h"
+#include "sim/Superblock.h"
 
 #include <cassert>
 #include <memory>
@@ -96,8 +97,18 @@ PipelineResult og::runPipeline(const Workload &W, const PipelineConfig &Config,
                         Prepare)
                   : Prepare();
     auto RunStream = [&] {
+      // Fast-forward through a superblock plan formed from the profile
+      // the artifacts already carry (exact block counts, free from the
+      // profiling pass). The plan is rebuilt per cell because it is tied
+      // to this cell's DecodedProgram instance, while artifacts are
+      // shared across cells; the engine falls out of superblocks at
+      // window boundaries, so the detailed windows see the identical
+      // instruction stream (the dispatch oracle test asserts this).
+      SuperblockPlan Sb(Decoded, Art->BlockProfile);
+      RunOptions Ref = W.Ref;
+      Ref.Superblocks = &Sb;
       return std::make_shared<const SampleStreamEstimate>(runSampledStream(
-          Decoded, W.Ref, Config.Uarch, Art->Plan, Config.Sample,
+          Decoded, Ref, Config.Uarch, Art->Plan, Config.Sample,
           Art->Checkpoints.empty() ? nullptr : &Art->Checkpoints));
     };
     std::shared_ptr<const SampleStreamEstimate> Stream =
@@ -121,6 +132,7 @@ PipelineResult og::runPipeline(const Workload &W, const PipelineConfig &Config,
     Result.Sample.Weights = Est.Plan.Weights;
     Result.Sample.Reps = Est.Plan.Reps;
     Result.Sample.EstError = Est.Plan.Dispersion;
+    Result.Engine = Est.Run.Engine;
   } else {
     EnergyModel EM(Config.Scheme, Config.Coeffs);
     OooCore Core(Config.Uarch, &EM);
@@ -132,6 +144,7 @@ PipelineResult og::runPipeline(const Workload &W, const PipelineConfig &Config,
     Result.RefStats = Run.Stats;
     Result.Output = Run.Output;
     Result.Report = makeReport(EM, Core.finish());
+    Result.Engine = Run.Engine;
   }
 
   // ---- Figure-6 accounting.

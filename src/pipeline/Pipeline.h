@@ -20,6 +20,7 @@
 #include "power/Report.h"
 #include "sample/SampleRunner.h"
 #include "sim/ExecEngine.h"
+#include "sim/Interpreter.h"
 #include "support/Statistic.h"
 #include "vrp/Narrowing.h"
 #include "vrs/Specializer.h"
@@ -95,6 +96,13 @@ struct PipelineResult {
   /// Filled when PipelineConfig::Sample was enabled; Report/RefStats are
   /// then sampled estimates / exact functional stats respectively.
   PipelineSampleInfo Sample;
+
+  /// Execution-engine dispatch/superblock counters of the ref run (the
+  /// optional "engine" group of report/ReportSchema.h). Sampled cells
+  /// fast-forward through a profile-built superblock plan, so these are
+  /// nonzero there; exact cells trace every instruction into the
+  /// detailed core, which keeps the fast path off, so they stay zero.
+  EngineCounters Engine;
 };
 
 class SamplePlanCache;

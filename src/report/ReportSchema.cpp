@@ -133,6 +133,28 @@ JsonValue optStatsToJson(const StatisticSet &S) {
 
 } // namespace
 
+JsonValue og::engineToJson(const EngineCounters &E, uint64_t DynInsts) {
+  JsonValue Counters = JsonValue::object();
+  Counters.set("superblocks",
+               JsonValue::integer(static_cast<int64_t>(E.SuperblocksFormed)));
+  Counters.set("entries",
+               JsonValue::integer(static_cast<int64_t>(E.SuperblockEntries)));
+  Counters.set("passes",
+               JsonValue::integer(static_cast<int64_t>(E.SuperblockPasses)));
+  Counters.set("fused-insts",
+               JsonValue::integer(static_cast<int64_t>(E.SuperblockInsts)));
+  Counters.set("side-exits",
+               JsonValue::integer(static_cast<int64_t>(E.SideExits)));
+  Counters.set("window-fissions",
+               JsonValue::integer(static_cast<int64_t>(E.WindowFissions)));
+  JsonValue Metrics = JsonValue::object();
+  Metrics.set("coverage", JsonValue::number(E.coverage(DynInsts)));
+  JsonValue Out = JsonValue::object();
+  Out.set("counters", std::move(Counters));
+  Out.set("metrics", std::move(Metrics));
+  return Out;
+}
+
 JsonValue og::sampleToJson(const PipelineSampleInfo &S) {
   JsonValue Out = JsonValue::object();
   Out.set("interval-len", JsonValue::integer(static_cast<int64_t>(S.IntervalLen)));
@@ -182,12 +204,15 @@ JsonValue og::cellToJson(const std::string &Workload, const std::string &Label,
     Out.set("opt", optStatsToJson(*OptStats));
   if (R.Sample.Used)
     Out.set("sample", sampleToJson(R.Sample));
+  if (!R.Engine.empty())
+    Out.set("engine", engineToJson(R.Engine, R.RefStats.DynInsts));
   return Out;
 }
 
 JsonValue og::sweepToJson(const ResultAggregator &Agg,
                           const std::string &SweepKind, double Scale,
-                          bool IncludeOptCounters, const SampleSpec *Sample) {
+                          bool IncludeOptCounters, const SampleSpec *Sample,
+                          bool IncludeEngineCounters) {
   JsonValue Root = makeReportRoot("sweep");
   Root.set("sweep", JsonValue::str(SweepKind));
   Root.set("scale", JsonValue::number(Scale));
@@ -221,6 +246,8 @@ JsonValue og::sweepToJson(const ResultAggregator &Agg,
       Cell.set("opt", optStatsToJson(C.Opt));
     if (C.Sample.Used)
       Cell.set("sample", sampleToJson(C.Sample));
+    if (IncludeEngineCounters && !C.Engine.empty())
+      Cell.set("engine", engineToJson(C.Engine, C.DynInsts));
     Cells.push(std::move(Cell));
   }
   Root.set("cells", std::move(Cells));

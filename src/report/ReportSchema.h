@@ -71,8 +71,16 @@ JsonValue toJson(const EnergyReport &R);
 /// total instruction counts).
 JsonValue toJson(const NarrowingReport &R);
 
+struct EngineCounters;
 struct PipelineSampleInfo;
 struct SampleSpec;
+
+/// The optional "engine" group of a cell: dispatch/superblock counters
+/// of the ref run ("counters": superblocks, entries, passes, fused
+/// instructions, side exits, window fissions) plus the derived coverage
+/// fraction ("metrics"). \p DynInsts is the run's dynamic instruction
+/// count the coverage is taken against.
+JsonValue engineToJson(const EngineCounters &E, uint64_t DynInsts);
 
 /// The optional "sample" group of a sampled cell: interval length and
 /// count, k, per-cluster weights and representatives, detailed
@@ -83,8 +91,10 @@ JsonValue sampleToJson(const PipelineSampleInfo &S);
 /// One experiment cell (workload x configuration) of a sweep or bench
 /// harness: {"workload", "config", "counters", "metrics"} — plus an
 /// "opt" counters group (opt/AnalysisManager cache traffic) when
-/// \p OptStats is given and non-empty, and a "sample" group when the
-/// cell was estimated by sampled simulation.
+/// \p OptStats is given and non-empty, a "sample" group when the cell
+/// was estimated by sampled simulation, and an "engine" group when the
+/// run exercised the superblock fast path (bench artifacts have no
+/// shape-pinned baseline, so both ride along unconditionally).
 JsonValue cellToJson(const std::string &Workload, const std::string &Label,
                      const PipelineResult &R,
                      const StatisticSet *OptStats = nullptr);
@@ -99,10 +109,13 @@ JsonValue cellToJson(const std::string &Workload, const std::string &Label,
 /// the sweep-level sampling spec in a root "sample" group; per-cell
 /// "sample" groups ride on the cells themselves (exact sweeps emit
 /// neither, keeping their documents byte-identical to the pre-sampling
-/// shape).
+/// shape). \p IncludeEngineCounters adds each cell's "engine" group
+/// (`ogate-sim --sweep --engine-stats`), off by default for the same
+/// baseline-stability reason as the "opt" group.
 JsonValue sweepToJson(const ResultAggregator &Agg, const std::string &SweepKind,
                       double Scale, bool IncludeOptCounters = false,
-                      const SampleSpec *Sample = nullptr);
+                      const SampleSpec *Sample = nullptr,
+                      bool IncludeEngineCounters = false);
 
 } // namespace og
 

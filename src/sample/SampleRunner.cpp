@@ -3,6 +3,7 @@
 #include "sample/SampleRunner.h"
 
 #include "sample/KMeans.h"
+#include "sim/Superblock.h"
 
 #include <algorithm>
 #include <array>
@@ -522,6 +523,7 @@ SampleArtifacts og::prepareSampled(const DecodedProgram &DP,
 
   SampleArtifacts Art;
   Art.Plan = makeSamplePlan(Prof, Spec);
+  Art.BlockProfile = std::move(ProfRun.Stats.BlockCounts);
 
   // Checkpoint capture pays about one more light run and replaces every
   // cell's warming shadows — worth it exactly where chase-adaptive
@@ -618,7 +620,15 @@ SampleEstimate og::estimateSampled(const DecodedProgram &DP,
                                    const EnergyCoefficients &Coeffs,
                                    const SampleSpec &Spec) {
   const SampleArtifacts Art = prepareSampled(DP, Ref, Uarch, Spec);
-  return runSampled(DP, Ref, Uarch, Scheme, Coeffs, Art.Plan, Spec,
+  // Fast-forward through superblocks formed from the profile the
+  // preparation pass just produced (unless the caller attached a plan of
+  // their own); window boundaries fission, so the detailed windows see
+  // the identical stream.
+  SuperblockPlan Sb(DP, Art.BlockProfile);
+  RunOptions Opts = Ref;
+  if (!Opts.Superblocks)
+    Opts.Superblocks = &Sb;
+  return runSampled(DP, Opts, Uarch, Scheme, Coeffs, Art.Plan, Spec,
                     Art.Checkpoints.empty() ? nullptr : &Art.Checkpoints);
 }
 

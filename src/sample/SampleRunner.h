@@ -180,6 +180,12 @@ struct SampleEstimate {
 struct SampleArtifacts {
   SamplePlan Plan;
   std::vector<CoreWarmState> Checkpoints;
+  /// Exact basic-block profile of the profiled run (ExecStats::BlockCounts
+  /// of the light full-window pass) — free here, and the seed for
+  /// sim/Superblock.h plans. Kept as raw counts rather than a formed
+  /// SuperblockPlan because a plan is tied to one DecodedProgram instance,
+  /// while artifacts are shared across cells that each decode their own.
+  std::vector<std::vector<uint64_t>> BlockProfile;
 };
 
 /// The scheme-independent part of a sampled estimation: everything a

@@ -1,0 +1,111 @@
+//===- sim/AluOps.h - Inline ALU operation semantics -------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The single source of truth for width-w ALU semantics: a width-w
+/// operation reads the low w bits of its sources, computes modulo 2^w, and
+/// sign-extends the result to 64 bits. Both the generic interpreter
+/// dispatch (sim/Interpreter.cpp's evalAluOp) and the superblock executor's
+/// per-opcode handlers call evalAluOpImpl — the superblock handlers with a
+/// compile-time-constant Op, which lets the compiler fold the switch away
+/// and inline just that opcode's arithmetic. Keeping one body guarantees
+/// the two dispatch paths stay bit-identical by construction.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SIM_ALUOPS_H
+#define OG_SIM_ALUOPS_H
+
+#include "isa/Opcode.h"
+#include "support/MathExtras.h"
+
+#include <cassert>
+
+namespace og {
+
+/// True for the ops whose old destination value is an input (Cmov family).
+/// constexpr so superblock handlers instantiated per-opcode can skip the
+/// Rd read entirely for everything else.
+constexpr bool aluReadsOldRd(Op O) {
+  return O == Op::CmovEq || O == Op::CmovNe || O == Op::CmovLt ||
+         O == Op::CmovGe;
+}
+
+/// Evaluates ALU op \p O at a width of \p Bytes bytes. \p A and \p B are
+/// the full 64-bit source values (B is the immediate when the instruction
+/// uses one); \p OldRd is the previous destination value (Cmov only).
+/// Returns the sign-extended 64-bit result.
+inline int64_t evalAluOpImpl(Op O, unsigned Bytes, int64_t A, int64_t B,
+                             int64_t OldRd) {
+  unsigned Bits = 8 * Bytes;
+  int64_t Sa = truncSignExtend(A, Bytes);
+  int64_t Sb = truncSignExtend(B, Bytes);
+  uint64_t Za = zeroExtend(static_cast<uint64_t>(A), Bits);
+  uint64_t Zb = zeroExtend(static_cast<uint64_t>(B), Bits);
+
+  switch (O) {
+  case Op::Add:
+    return truncSignExtend(wrapAdd(A, B), Bytes);
+  case Op::Sub:
+    return truncSignExtend(wrapSub(A, B), Bytes);
+  case Op::Mul:
+    return truncSignExtend(wrapMul(A, B), Bytes);
+  case Op::And:
+    return truncSignExtend(A & B, Bytes);
+  case Op::Or:
+    return truncSignExtend(A | B, Bytes);
+  case Op::Xor:
+    return truncSignExtend(A ^ B, Bytes);
+  case Op::Bic:
+    return truncSignExtend(A & ~B, Bytes);
+  case Op::Sll: {
+    unsigned Amt = static_cast<unsigned>(B & 63);
+    uint64_t Shifted = Amt >= 64 ? 0 : static_cast<uint64_t>(A) << Amt;
+    return truncSignExtend(static_cast<int64_t>(Shifted), Bytes);
+  }
+  case Op::Srl: {
+    unsigned Amt = static_cast<unsigned>(B & 63);
+    uint64_t Shifted = Amt >= Bits ? 0 : Za >> Amt;
+    return signExtend(Shifted, Bits);
+  }
+  case Op::Sra: {
+    unsigned Amt = static_cast<unsigned>(B & 63);
+    if (Amt > 63)
+      Amt = 63;
+    return Sa >> Amt;
+  }
+  case Op::CmpEq:
+    return Sa == Sb;
+  case Op::CmpLt:
+    return Sa < Sb;
+  case Op::CmpLe:
+    return Sa <= Sb;
+  case Op::CmpUlt:
+    return Za < Zb;
+  case Op::CmpUle:
+    return Za <= Zb;
+  case Op::CmovEq:
+    return Sa == 0 ? Sb : OldRd;
+  case Op::CmovNe:
+    return Sa != 0 ? Sb : OldRd;
+  case Op::CmovLt:
+    return Sa < 0 ? Sb : OldRd;
+  case Op::CmovGe:
+    return Sa >= 0 ? Sb : OldRd;
+  case Op::Sext:
+  case Op::Mov:
+    return Sa;
+  case Op::Ldi:
+    return Sa; // A carries the immediate
+  default:
+    assert(false && "not an ALU op");
+    return 0;
+  }
+}
+
+} // namespace og
+
+#endif // OG_SIM_ALUOPS_H

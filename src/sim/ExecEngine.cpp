@@ -9,7 +9,9 @@
 
 #include "sim/ExecEngine.h"
 
+#include "sim/AluOps.h"
 #include "sim/Interpreter.h"
+#include "sim/Superblock.h"
 #include "support/MathExtras.h"
 
 #include <cassert>
@@ -28,6 +30,41 @@ constexpr uint64_t CodeBase = 0x1000;
 /// 256 records keep the working set of the engine-write / warmer-read
 /// loop at ~24KB instead of the full batch buffer's ~390KB.
 constexpr size_t LightBatchCapacity = 256;
+
+/// Dispatch token for \p O (see DHandler in the header).
+uint8_t handlerFor(Op O) {
+  switch (O) {
+  case Op::Ldi:
+    return HLdi;
+  case Op::Msk:
+    return HMsk;
+  case Op::Ld:
+    return HLd;
+  case Op::St:
+    return HSt;
+  case Op::Br:
+    return HBr;
+  case Op::Beq:
+  case Op::Bne:
+  case Op::Blt:
+  case Op::Ble:
+  case Op::Bgt:
+  case Op::Bge:
+    return HCondBr;
+  case Op::Jsr:
+    return HJsr;
+  case Op::Ret:
+    return HRet;
+  case Op::Halt:
+    return HHalt;
+  case Op::Out:
+    return HOut;
+  case Op::Nop:
+    return HNop;
+  default:
+    return HAlu;
+  }
+}
 
 } // namespace
 
@@ -169,6 +206,7 @@ DecodedProgram::DecodedProgram(const Program &P) : Prog(&P) {
         D.Imm = I.Imm;
         D.Opc = I.Opc;
         D.W = I.W;
+        D.Handler = handlerFor(I.Opc);
         D.Rd = I.Rd;
         D.Ra = I.Ra;
         D.Rb = I.Rb;
@@ -215,13 +253,92 @@ struct Frame {
   int64_t SavedCalleeRegs[8]; ///< s0..s5, fp, sp (checked mode)
 };
 
+} // namespace
+
+/// Dispatch plumbing. Under OG_HAS_COMPUTED_GOTO every handler carries a
+/// computed-goto label right next to its switch case (jumping into a
+/// switch body is legal — no initialization is skipped), so the threaded
+/// and switch strategies share one loop body and stay bit-identical by
+/// construction. The Threaded template parameter selects the strategy at
+/// compile time; builds without computed goto compile the macros away and
+/// every mode runs the portable switch.
+#ifdef OG_HAS_COMPUTED_GOTO
+#define OG_LBL(L) L:
+#define OG_GOTO_DISPATCH(Tbl, H)                                               \
+  do {                                                                         \
+    if constexpr (Threaded)                                                    \
+      goto *Tbl[H];                                                            \
+  } while (0)
+#else
+#define OG_LBL(L)
+#define OG_GOTO_DISPATCH(Tbl, H)                                               \
+  do {                                                                         \
+  } while (0)
+#endif
+
+/// Advance to the next fused instruction. Threaded builds jump straight
+/// to its handler (token threading: one indirect branch per handler site,
+/// so the predictor learns per-handler successor patterns); the portable
+/// path re-enters the dispatch loop's switch.
+#define OG_SB_NEXT()                                                           \
+  {                                                                            \
+    ++SP;                                                                      \
+    OG_GOTO_DISPATCH(SbTbl, SP->H);                                            \
+    continue;                                                                  \
+  }
+
+/// Superblock ALU handler, generated per opcode and operand shape so
+/// evalAluOpImpl's switch constant-folds to the one op's arithmetic
+/// (sim/AluOps.h) and the Cmov-only old-Rd read vanishes elsewhere.
+#define OG_SB_ALU_CASE(OP, SUF, BEXPR)                                         \
+  case SbH_##OP##_##SUF:                                                       \
+    OG_LBL(SBL_##OP##_##SUF) {                                                 \
+      const SInst &SI = *SP;                                                   \
+      int64_t Val =                                                            \
+          evalAluOpImpl(Op::OP, SI.WidthBytes, M.readReg(SI.Ra), (BEXPR),      \
+                        aluReadsOldRd(Op::OP) ? M.readReg(SI.Rd) : 0);         \
+      M.writeReg(SI.Rd, Val);                                                  \
+      ++Vsb[significantBytes(Val)];                                            \
+      OG_SB_NEXT()                                                             \
+    }
+#define OG_SB_ALU_CASES(OP)                                                    \
+  OG_SB_ALU_CASE(OP, RR, M.readReg(SI.Rb))                                     \
+  OG_SB_ALU_CASE(OP, RI, SI.Imm)
+
+/// Superblock branch handler: COND is the continue-predicate ("stay on
+/// trace"); leaving the trace reconciles and resumes generically.
+#define OG_SB_BR_CASE(NAME, COND)                                              \
+  case SbH_Br##NAME:                                                           \
+    OG_LBL(SBL_Br##NAME) {                                                     \
+      int64_t A = M.readReg(SP->Ra);                                           \
+      if (!(COND))                                                             \
+        goto SbSideExit;                                                       \
+      if (SP->Flags & SbFlagLast)                                              \
+        goto SbPassEnd;                                                        \
+      OG_SB_NEXT()                                                             \
+    }
+
+namespace {
+
+#ifdef OG_HAS_COMPUTED_GOTO
+// An indirect `goto *Tbl[...]` makes GCC assume any address-taken label in
+// the function is a possible target, so locals live around the *other*
+// dispatch table's labels are flagged maybe-uninitialized. The generic and
+// superblock tables are disjoint by construction; silence the false
+// positive for this function only.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmaybe-uninitialized"
+#endif
+
 /// The dispatch loop. \p HasSink statically selects whether DynInst
 /// records are materialized at all; \p Windowed additionally gates the
 /// materialization at runtime on the sample windows (\p Windows), so the
-/// out-of-window stretches run at no-sink speed. The exact modes
-/// (<false,false> and <true,false>) compile to the historical loops
-/// unchanged.
-template <bool HasSink, bool Windowed>
+/// out-of-window stretches run at no-sink speed; \p Threaded selects
+/// computed-goto token threading over the portable switch. Stretches that
+/// materialize no records may additionally run through fused superblocks
+/// (Options.Superblocks) — same stats, output, and record stream, fewer
+/// dispatches.
+template <bool HasSink, bool Windowed, bool Threaded>
 RunResult execute(const DecodedProgram &DP, const RunOptions &Options,
                   const std::vector<SampleWindow> *Windows) {
   using Edge = DecodedProgram::Edge;
@@ -323,21 +440,115 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options,
 
   uint64_t Fuel = Options.Fuel;
 
-  if (follow(DP.entry())) {
-    while (true) {
+  // ---- Superblock fast path (sim/Superblock.h). Engaged only where no
+  // trace records are materialized — plain no-sink runs and the
+  // fast-forward stretches of windowed runs — so the record stream a sink
+  // observes is bit-identical with and without a plan.
+  const SuperblockPlan *Plan = Options.Superblocks;
+  if constexpr (HasSink && !Windowed)
+    Plan = nullptr; // every instruction is recorded: no quiet stretches
+  if (Plan && Plan->size() == 0)
+    Plan = nullptr;
+  const Superblock *SbArr = nullptr;
+  const SInst *SiArr = nullptr;
+  const uint32_t *SbRaw = nullptr;
+  const uint8_t *SbCw = nullptr;
+  const SbCwDelta *SbCwd = nullptr;
+  const SbSlotDelta *SbPass = nullptr;
+  const int32_t *SbEntry = nullptr;
+  if (Plan) {
+    SbArr = Plan->superblocks().data();
+    SiArr = Plan->sinsts().data();
+    SbRaw = Plan->rawSlots().data();
+    SbCw = Plan->cwSeq().data();
+    SbCwd = Plan->cwDeltas().data();
+    SbPass = Plan->passSlots().data();
+    SbEntry = Plan->entryMap().data();
+    Result.Engine.SuperblocksFormed = Plan->size();
+  }
+  uint64_t *CwFlat = &Stats.ClassWidth[0][0]; // flat slot = row * 4 + col
+  uint64_t *Vsb = Stats.ValueSizeBytes;
+  EngineCounters &EC = Result.Engine;
+  const SInst *SP = nullptr;        // superblock cursor
+  const Superblock *CurSb = nullptr;
+  int64_t SbFaultVal = 0; // result value of a faulting fused Ld/St
+  // Full passes only count here; their pass-invariant aggregates (class/
+  // width deltas, internal block counts, the final edge's block counts)
+  // are applied as aggregate * passes once at RunEnd, so the per-pass
+  // epilogue stays a handful of scalar ops even for short traces.
+  std::vector<uint64_t> SbPassCount(Plan ? Plan->size() : 0, 0);
+
+#ifdef OG_HAS_COMPUTED_GOTO
+  // Label-address dispatch tables (GNU computed goto). Declared before any
+  // goto so no jump crosses their initialization; unused (but initialized)
+  // in the Threaded=false instantiations.
+  [[maybe_unused]] const void *const GTbl[HNumHandlers] = {
+      &&GL_Alu,    &&GL_Ldi, &&GL_Msk, &&GL_Ld,   &&GL_St,  &&GL_Br,
+      &&GL_CondBr, &&GL_Jsr, &&GL_Ret, &&GL_Halt, &&GL_Out, &&GL_Nop};
+#define OG_SB_TBL(OP) &&SBL_##OP##_RR, &&SBL_##OP##_RI,
+  [[maybe_unused]] const void *const SbTbl[SbH_NumHandlers] = {
+      OG_SB_ALU_OPS(OG_SB_TBL) &&SBL_Ldi, &&SBL_Msk,  &&SBL_Ld,   &&SBL_LdW,
+      &&SBL_St,   &&SBL_Out,  &&SBL_BrEq, &&SBL_BrNe, &&SBL_BrLt, &&SBL_BrLe,
+      &&SBL_BrGt, &&SBL_BrGe, &&SBL_End};
+#undef OG_SB_TBL
+#endif
+
+  if (!follow(DP.entry()))
+    goto RunEnd;
+
+  while (true) {
+    // The window state flips before the fuel gate (the historical loop
+    // checked fuel first): when fuel runs out exactly at a boundary the
+    // flushed batch content is identical either way, and hoisting the
+    // check lets the superblock gate below see the post-flip state.
+    if constexpr (Windowed) {
+      if (Stats.DynInsts == NextBoundary)
+        advanceWindow(Stats.DynInsts);
+    }
+
+    // Superblock entry: only on quiet (record-free) stretches, only with
+    // fuel for a full pass, and — windowed — only when a full pass cannot
+    // cross into the next window (fission keeps sampling exact).
+    if (SbEntry) {
+      bool Quiet;
+      if constexpr (!HasSink)
+        Quiet = true;
+      else if constexpr (Windowed)
+        Quiet = !InWindow;
+      else
+        Quiet = false;
+      if (Quiet) {
+        int32_t SbId = SbEntry[Cur];
+        if (SbId >= 0) {
+          const Superblock &SB = SbArr[SbId];
+          if (Fuel >= SB.DynLen) {
+            bool WinOk = true;
+            if constexpr (Windowed)
+              WinOk = SB.DynLen <= NextBoundary - Stats.DynInsts;
+            if (WinOk) {
+              // No entry counter here: every entry ends in exactly one
+              // pass or side exit, so Entries = Passes + SideExits is
+              // reconstructed at RunEnd.
+              CurSb = &SB;
+              SP = SiArr + SB.SBegin;
+              goto SbExec;
+            }
+            ++EC.WindowFissions;
+          }
+        }
+      }
+    }
+
+    // ---- Generic (per-instruction) path ----
+    {
       if (Fuel == 0) {
         Result.Status = RunStatus::OutOfFuel;
         Result.Message = "dynamic instruction budget exhausted";
-        break;
+        goto RunEnd;
       }
       --Fuel;
 
       const DInst &DI = Insts[Cur];
-
-      if constexpr (Windowed) {
-        if (Stats.DynInsts == NextBoundary)
-          advanceWindow(Stats.DynInsts);
-      }
 
       DynInst *D = nullptr;
       [[maybe_unused]] bool LightRec = false;
@@ -384,140 +595,149 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options,
       bool Stop = false;
       const Edge *Next = &DI.Seq;
 
-      switch (DI.Opc) {
-      case Op::Ldi:
+      OG_GOTO_DISPATCH(GTbl, DI.Handler);
+      switch (DI.Handler) {
+      case HLdi:
+        OG_LBL(GL_Ldi)
         Val = truncSignExtend(DI.Imm, DI.WidthBytes);
         M.writeReg(DI.Rd, Val);
         WroteDest = true;
         break;
-      case Op::Msk: {
-        unsigned Bytes = DI.WidthBytes;
-        uint64_t Field = static_cast<uint64_t>(A) >> (8 * DI.Imm);
-        Val = static_cast<int64_t>(
-            Bytes == 8 ? Field : Field & ((uint64_t(1) << (8 * Bytes)) - 1));
-        M.writeReg(DI.Rd, Val);
-        WroteDest = true;
-        break;
-      }
-      case Op::Ld: {
-        uint64_t Addr = static_cast<uint64_t>(A + DI.Imm);
-        uint64_t Raw = M.loadBytes(Addr, DI.WidthBytes);
-        // Alpha semantics: LDBU/LDWU zero-extend, LDL sign-extends, LDQ raw.
-        Val = DI.W == Width::W ? signExtend(Raw, 32)
-                               : static_cast<int64_t>(Raw);
-        M.writeReg(DI.Rd, Val);
-        WroteDest = true;
-        if constexpr (HasSink) {
-          if (D) {
-            D->IsMem = true;
-            D->MemAddr = Addr;
-          }
+      case HMsk:
+        OG_LBL(GL_Msk) {
+          unsigned Bytes = DI.WidthBytes;
+          uint64_t Field = static_cast<uint64_t>(A) >> (8 * DI.Imm);
+          Val = static_cast<int64_t>(
+              Bytes == 8 ? Field : Field & ((uint64_t(1) << (8 * Bytes)) - 1));
+          M.writeReg(DI.Rd, Val);
+          WroteDest = true;
+          break;
         }
-        break;
-      }
-      case Op::St: {
-        uint64_t Addr = static_cast<uint64_t>(A + DI.Imm);
-        int64_t Value = M.readReg(DI.Rb);
-        M.storeBytes(Addr, DI.WidthBytes, static_cast<uint64_t>(Value));
-        Val = truncSignExtend(Value, DI.WidthBytes);
-        if constexpr (HasSink) {
-          if (D) {
-            D->IsMem = true;
-            D->MemAddr = Addr;
+      case HLd:
+        OG_LBL(GL_Ld) {
+          uint64_t Addr = static_cast<uint64_t>(A + DI.Imm);
+          uint64_t Raw = M.loadBytes(Addr, DI.WidthBytes);
+          // Alpha semantics: LDBU/LDWU zero-extend, LDL sign-extends, LDQ
+          // raw.
+          Val = DI.W == Width::W ? signExtend(Raw, 32)
+                                 : static_cast<int64_t>(Raw);
+          M.writeReg(DI.Rd, Val);
+          WroteDest = true;
+          if constexpr (HasSink) {
+            if (D) {
+              D->IsMem = true;
+              D->MemAddr = Addr;
+            }
           }
+          break;
         }
-        break;
-      }
-      case Op::Br:
+      case HSt:
+        OG_LBL(GL_St) {
+          uint64_t Addr = static_cast<uint64_t>(A + DI.Imm);
+          int64_t Value = M.readReg(DI.Rb);
+          M.storeBytes(Addr, DI.WidthBytes, static_cast<uint64_t>(Value));
+          Val = truncSignExtend(Value, DI.WidthBytes);
+          if constexpr (HasSink) {
+            if (D) {
+              D->IsMem = true;
+              D->MemAddr = Addr;
+            }
+          }
+          break;
+        }
+      case HBr:
+        OG_LBL(GL_Br)
         Next = &DI.Taken;
         break;
-      case Op::Beq:
-      case Op::Bne:
-      case Op::Blt:
-      case Op::Ble:
-      case Op::Bgt:
-      case Op::Bge: {
-        bool Taken = false;
-        switch (DI.Opc) {
-        case Op::Beq:
-          Taken = A == 0;
-          break;
-        case Op::Bne:
-          Taken = A != 0;
-          break;
-        case Op::Blt:
-          Taken = A < 0;
-          break;
-        case Op::Ble:
-          Taken = A <= 0;
-          break;
-        case Op::Bgt:
-          Taken = A > 0;
-          break;
-        default:
-          Taken = A >= 0;
-          break;
-        }
-        if constexpr (HasSink) {
-          if (D) {
-            D->IsBranch = true;
-            D->Taken = Taken;
+      case HCondBr:
+        OG_LBL(GL_CondBr) {
+          bool Taken = false;
+          switch (DI.Opc) {
+          case Op::Beq:
+            Taken = A == 0;
+            break;
+          case Op::Bne:
+            Taken = A != 0;
+            break;
+          case Op::Blt:
+            Taken = A < 0;
+            break;
+          case Op::Ble:
+            Taken = A <= 0;
+            break;
+          case Op::Bgt:
+            Taken = A > 0;
+            break;
+          default:
+            Taken = A >= 0;
+            break;
           }
-        }
-        Next = Taken ? &DI.Taken : &DI.Seq;
-        break;
-      }
-      case Op::Jsr: {
-        if (Frames.size() >= Options.MaxCallDepth) {
-          Result.Status = RunStatus::Fault;
-          Result.Message = "call depth limit exceeded";
-          Stop = true;
+          if constexpr (HasSink) {
+            if (D) {
+              D->IsBranch = true;
+              D->Taken = Taken;
+            }
+          }
+          Next = Taken ? &DI.Taken : &DI.Seq;
           break;
         }
-        Frame Fr{Cur, {}};
-        if (Options.CheckCalleeSaved)
-          saveCalleeRegs(Fr);
-        Frames.push_back(Fr);
-        Next = &DI.Taken;
-        break;
-      }
-      case Op::Ret: {
-        if (Frames.empty()) {
-          // Returning from the entry function terminates the program.
-          Stop = true;
-          Result.Status = RunStatus::Halted;
+      case HJsr:
+        OG_LBL(GL_Jsr) {
+          if (Frames.size() >= Options.MaxCallDepth) {
+            Result.Status = RunStatus::Fault;
+            Result.Message = "call depth limit exceeded";
+            Stop = true;
+            break;
+          }
+          Frame Fr{Cur, {}};
+          if (Options.CheckCalleeSaved)
+            saveCalleeRegs(Fr);
+          Frames.push_back(Fr);
+          Next = &DI.Taken;
           break;
         }
-        Frame Fr = Frames.back();
-        Frames.pop_back();
-        if (Options.CheckCalleeSaved && !calleeRegsIntact(Fr)) {
-          Result.Status = RunStatus::CalleeSaveViolation;
-          Result.Message = "callee-saved register clobbered by " +
-                           P.Funcs[DI.Func].Name;
-          Stop = true;
+      case HRet:
+        OG_LBL(GL_Ret) {
+          if (Frames.empty()) {
+            // Returning from the entry function terminates the program.
+            Stop = true;
+            Result.Status = RunStatus::Halted;
+            break;
+          }
+          Frame Fr = Frames.back();
+          Frames.pop_back();
+          if (Options.CheckCalleeSaved && !calleeRegsIntact(Fr)) {
+            Result.Status = RunStatus::CalleeSaveViolation;
+            Result.Message = "callee-saved register clobbered by " +
+                             P.Funcs[DI.Func].Name;
+            Stop = true;
+            break;
+          }
+          Next = &Insts[Fr.JsrFlat].Seq;
           break;
         }
-        Next = &Insts[Fr.JsrFlat].Seq;
-        break;
-      }
-      case Op::Halt:
+      case HHalt:
+        OG_LBL(GL_Halt)
         Stop = true;
         Result.Status = RunStatus::Halted;
         break;
-      case Op::Out:
+      case HOut:
+        OG_LBL(GL_Out)
         M.Output.push_back(A);
         break;
-      case Op::Nop:
+      case HNop:
+        OG_LBL(GL_Nop)
         break;
-      default: {
-        // Generic ALU (arithmetic, logical, shifts, compares, cmovs, sext,
-        // mov).
-        int64_t OldRd = DI.RdIsInput ? M.readReg(DI.Rd) : 0;
-        Val = evalAluOp(DI.Opc, DI.W, A, B, OldRd);
-        M.writeReg(DI.Rd, Val);
-        WroteDest = true;
-        break;
-      }
+      default:
+        OG_LBL(GL_Alu) {
+          // Generic ALU (arithmetic, logical, shifts, compares, cmovs,
+          // sext, mov).
+          int64_t OldRd = DI.RdIsInput ? M.readReg(DI.Rd) : 0;
+          Val = evalAluOp(DI.Opc, DI.W, A, B, OldRd);
+          M.writeReg(DI.Rd, Val);
+          WroteDest = true;
+          break;
+        }
       }
 
       if (M.faulted()) {
@@ -551,14 +771,198 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options,
       }
 
       if (Stop)
-        break;
+        goto RunEnd;
       if (!follow(*Next))
-        break;
+        goto RunEnd;
+      continue;
     }
+
+    // ---- Superblock executor ----
+    // Fuel for a full pass is pre-checked at entry; side exits reconcile
+    // the executed prefix exactly, so no per-instruction checks run here.
+  SbExec:
+    for (;;) {
+      OG_GOTO_DISPATCH(SbTbl, SP->H);
+      switch (SP->H) {
+        OG_SB_ALU_OPS(OG_SB_ALU_CASES)
+      case SbH_Ldi:
+        OG_LBL(SBL_Ldi) {
+          // Imm holds the pre-truncated value (decode-time constant fold).
+          M.writeReg(SP->Rd, SP->Imm);
+          ++Vsb[significantBytes(SP->Imm)];
+          OG_SB_NEXT()
+        }
+      case SbH_Msk:
+        OG_LBL(SBL_Msk) {
+          const SInst &SI = *SP;
+          uint64_t Field =
+              static_cast<uint64_t>(M.readReg(SI.Ra)) >> (8 * SI.Imm);
+          int64_t Val = static_cast<int64_t>(
+              SI.WidthBytes == 8
+                  ? Field
+                  : Field & ((uint64_t(1) << (8 * SI.WidthBytes)) - 1));
+          M.writeReg(SI.Rd, Val);
+          ++Vsb[significantBytes(Val)];
+          OG_SB_NEXT()
+        }
+      case SbH_Ld:
+        OG_LBL(SBL_Ld) {
+          const SInst &SI = *SP;
+          uint64_t Addr = static_cast<uint64_t>(M.readReg(SI.Ra) + SI.Imm);
+          int64_t Val = static_cast<int64_t>(M.loadBytes(Addr, SI.WidthBytes));
+          M.writeReg(SI.Rd, Val);
+          if (M.faulted()) {
+            SbFaultVal = Val;
+            goto SbFault;
+          }
+          ++Vsb[significantBytes(Val)];
+          OG_SB_NEXT()
+        }
+      case SbH_LdW:
+        OG_LBL(SBL_LdW) {
+          const SInst &SI = *SP;
+          uint64_t Addr = static_cast<uint64_t>(M.readReg(SI.Ra) + SI.Imm);
+          int64_t Val = signExtend(M.loadBytes(Addr, 4), 32);
+          M.writeReg(SI.Rd, Val);
+          if (M.faulted()) {
+            SbFaultVal = Val;
+            goto SbFault;
+          }
+          ++Vsb[significantBytes(Val)];
+          OG_SB_NEXT()
+        }
+      case SbH_St:
+        OG_LBL(SBL_St) {
+          const SInst &SI = *SP;
+          uint64_t Addr = static_cast<uint64_t>(M.readReg(SI.Ra) + SI.Imm);
+          int64_t Value = M.readReg(SI.Rb);
+          M.storeBytes(Addr, SI.WidthBytes, static_cast<uint64_t>(Value));
+          int64_t Val = truncSignExtend(Value, SI.WidthBytes);
+          if (M.faulted()) {
+            SbFaultVal = Val;
+            goto SbFault;
+          }
+          ++Vsb[significantBytes(Val)];
+          OG_SB_NEXT()
+        }
+      case SbH_Out:
+        OG_LBL(SBL_Out) {
+          M.Output.push_back(M.readReg(SP->Ra));
+          OG_SB_NEXT()
+        }
+        OG_SB_BR_CASE(Eq, A == 0)
+        OG_SB_BR_CASE(Ne, A != 0)
+        OG_SB_BR_CASE(Lt, A < 0)
+        OG_SB_BR_CASE(Le, A <= 0)
+        OG_SB_BR_CASE(Gt, A > 0)
+        OG_SB_BR_CASE(Ge, A >= 0)
+      case SbH_End:
+        OG_LBL(SBL_End)
+        goto SbPassEnd;
+      }
+    }
+
+  SbPassEnd: {
+    // Full pass: bump the pass counter (aggregates — including DynInsts
+    // and the diagnostic counters — are applied lazily at RunEnd) and
+    // take the final edge inline: its counts are part of the deferred
+    // aggregate, and its target is constant (a back edge to the entry
+    // re-enters this superblock at the loop top). Only windowed runs need
+    // DynInsts current mid-run, for the boundary checks.
+    const Superblock &SB = *CurSb;
+    if constexpr (Windowed)
+      Stats.DynInsts += SB.DynLen;
+    Fuel -= SB.DynLen;
+    ++SbPassCount[CurSb - SbArr];
+    const Edge &FE = *SB.FinalEdge;
+    if (FE.Fault != EdgeFault::None) {
+      Result.Status = RunStatus::Fault;
+      Result.Message = FE.Fault == EdgeFault::FellOffBlock
+                           ? "control fell off a block without successor"
+                           : "cycle of empty blocks";
+      goto RunEnd;
+    }
+    Cur = FE.Target;
+    continue;
   }
 
+  SbSideExit: {
+    // A branch left the trace after executing positions [0, SeqPos]:
+    // replay their stats from the per-position sequences and resume
+    // generically on the off-trace edge. Side exits are rare, so inline
+    // accounting is fine here.
+    const Superblock &SB = *CurSb;
+    const uint32_t N = SP->SeqPos + 1;
+    Stats.DynInsts += N;
+    Fuel -= N;
+    EC.SuperblockInsts += N;
+    ++EC.SideExits;
+    const uint8_t *Cw = SbCw + SB.CwBegin;
+    for (uint32_t I = 0; I != N; ++I)
+      ++CwFlat[Cw[I]];
+    const uint32_t *Raw = SbRaw + SB.RawBegin;
+    for (uint32_t I = 0; I != SP->SlotsBefore; ++I)
+      ++FlatCounts[Raw[I]];
+    const DInst &BDI = Insts[SP->OrigFlat];
+    const Edge *Out =
+        (SP->Flags & SbFlagOffTraceTaken) ? &BDI.Taken : &BDI.Seq;
+    if (!follow(*Out))
+      goto RunEnd;
+    continue;
+  }
+
+  SbFault: {
+    // A fused Ld/St faulted: like a side exit, except the faulting
+    // instruction still counts its produced value (the generic loop bumps
+    // stats after the fault check) and the run terminates.
+    const Superblock &SB = *CurSb;
+    const uint32_t N = SP->SeqPos + 1;
+    Stats.DynInsts += N;
+    Fuel -= N;
+    EC.SuperblockInsts += N;
+    ++EC.SideExits;
+    const uint8_t *Cw = SbCw + SB.CwBegin;
+    for (uint32_t I = 0; I != N; ++I)
+      ++CwFlat[Cw[I]];
+    const uint32_t *Raw = SbRaw + SB.RawBegin;
+    for (uint32_t I = 0; I != SP->SlotsBefore; ++I)
+      ++FlatCounts[Raw[I]];
+    ++Vsb[significantBytes(SbFaultVal)];
+    Result.Status = RunStatus::Fault;
+    Result.Message = M.faultMessage();
+    goto RunEnd;
+  }
+  }
+
+RunEnd:
   if constexpr (HasSink) if (BatchN)
     Sink->onBatch(Batch.data(), BatchN);
+
+  // Deferred full-pass aggregates: every completed pass of superblock I —
+  // including one whose final edge faulted — executed the same internal
+  // edges and followed the same final edge, so counts apply as
+  // aggregate * passes. Windowed runs already advanced DynInsts per pass
+  // (the boundary checks need it current); everything else accrues here.
+  if (Plan) {
+    for (size_t I = 0, E = Plan->size(); I != E; ++I) {
+      uint64_t C = SbPassCount[I];
+      if (!C)
+        continue;
+      const Superblock &SB = SbArr[I];
+      EC.SuperblockPasses += C;
+      EC.SuperblockInsts += SB.DynLen * C;
+      if constexpr (!Windowed)
+        Stats.DynInsts += SB.DynLen * C;
+      for (uint32_t K = SB.CwdBegin; K != SB.CwdEnd; ++K)
+        CwFlat[SbCwd[K].Slot] += SbCwd[K].N * C;
+      for (uint32_t K = SB.PassBegin; K != SB.PassEnd; ++K)
+        FlatCounts[SbPass[K].Slot] += SbPass[K].N * C;
+      const Edge &FE = *SB.FinalEdge;
+      for (uint32_t Ci = FE.CountsBegin; Ci != FE.CountsEnd; ++Ci)
+        FlatCounts[CountSlots[Ci]] += C;
+    }
+    EC.SuperblockEntries = EC.SuperblockPasses + EC.SideExits;
+  }
 
   // Scatter the flat block counters back into the per-function shape the
   // profile consumers expect.
@@ -574,16 +978,76 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options,
   return Result;
 }
 
+#ifdef OG_HAS_COMPUTED_GOTO
+#pragma GCC diagnostic pop
+#endif
+
+#undef OG_LBL
+#undef OG_GOTO_DISPATCH
+#undef OG_SB_NEXT
+#undef OG_SB_ALU_CASE
+#undef OG_SB_ALU_CASES
+#undef OG_SB_BR_CASE
+
+/// A plan built for another decode would index foreign edge/slot spaces;
+/// always-on check (Release sweeps must not silently corrupt counters).
+void checkPlan(const DecodedProgram &DP, const RunOptions &Options) {
+  if (Options.Superblocks &&
+      &Options.Superblocks->decodedProgram() != &DP)
+    throw std::invalid_argument(
+        "runProgram: superblock plan was built for a different decode");
+}
+
+/// Resolves the runtime dispatch choice onto the Threaded template
+/// parameter. Without computed-goto support both instantiations compile
+/// to the identical switch loop, so Threaded degrades to Switch for free.
+template <bool HasSink, bool Windowed>
+RunResult dispatchExecute(const DecodedProgram &DP, const RunOptions &Options,
+                          const std::vector<SampleWindow> *Windows) {
+  if (resolveDispatchMode(Options.Dispatch) == DispatchMode::Threaded)
+    return execute<HasSink, Windowed, true>(DP, Options, Windows);
+  return execute<HasSink, Windowed, false>(DP, Options, Windows);
+}
+
 } // namespace
 
+bool og::engineHasThreadedDispatch() {
+#ifdef OG_HAS_COMPUTED_GOTO
+  return true;
+#else
+  return false;
+#endif
+}
+
+DispatchMode og::resolveDispatchMode(DispatchMode M) {
+  if (M == DispatchMode::Switch)
+    return DispatchMode::Switch;
+  return engineHasThreadedDispatch() ? DispatchMode::Threaded
+                                     : DispatchMode::Switch;
+}
+
+const char *og::dispatchModeName(DispatchMode M) {
+  switch (M) {
+  case DispatchMode::Auto:
+    return "auto";
+  case DispatchMode::Switch:
+    return "switch";
+  case DispatchMode::Threaded:
+    return "threaded";
+  }
+  return "unknown";
+}
+
 RunResult og::runProgram(const DecodedProgram &DP, const RunOptions &Options) {
-  return Options.Sink ? execute<true, false>(DP, Options, nullptr)
-                      : execute<false, false>(DP, Options, nullptr);
+  checkPlan(DP, Options);
+  return Options.Sink ? dispatchExecute<true, false>(DP, Options, nullptr)
+                      : dispatchExecute<false, false>(DP, Options, nullptr);
 }
 
 RunResult og::runProgramWindowed(const DecodedProgram &DP,
                                  const RunOptions &Options,
                                  const std::vector<SampleWindow> &Windows) {
+  checkPlan(DP, Options);
   // Always-on (not assert): a mis-sorted window list would silently
   // deliver a wrong instruction stream in Release builds.
   for (size_t I = 1; I < Windows.size(); ++I)
@@ -591,11 +1055,12 @@ RunResult og::runProgramWindowed(const DecodedProgram &DP,
       throw std::invalid_argument(
           "runProgramWindowed: sample windows must be sorted by Begin "
           "and pairwise disjoint");
-  // No sink (or no windows) degenerates to the plain no-sink run.
+  // No sink (or no windows) degenerates to the plain no-sink run (the
+  // superblock plan, if any, stays engaged).
   if (!Options.Sink || Windows.empty()) {
     RunOptions NoSink = Options;
     NoSink.Sink = nullptr;
-    return execute<false, false>(DP, NoSink, nullptr);
+    return dispatchExecute<false, false>(DP, NoSink, nullptr);
   }
-  return execute<true, true>(DP, Options, &Windows);
+  return dispatchExecute<true, true>(DP, Options, &Windows);
 }

@@ -38,6 +38,27 @@ namespace og {
 struct RunOptions;
 struct RunResult;
 
+/// Dense dispatch token assigned to every instruction at decode time. The
+/// engine's inner loop dispatches on this instead of the sparser Op space:
+/// one token per loop shape (all evalAluOp operations share HAlu), which
+/// keeps the jump table dense for the switch fallback and one-load-indexed
+/// for the computed-goto (threaded) path.
+enum DHandler : uint8_t {
+  HAlu = 0,
+  HLdi,
+  HMsk,
+  HLd,
+  HSt,
+  HBr,
+  HCondBr,
+  HJsr,
+  HRet,
+  HHalt,
+  HOut,
+  HNop,
+  HNumHandlers,
+};
+
 /// A Program flattened for execution: one contiguous instruction array
 /// with pre-resolved control-flow edges and operand metadata.
 class DecodedProgram {
@@ -80,6 +101,7 @@ public:
     Edge Taken;
     Op Opc = Op::Nop;
     Width W = Width::Q;
+    uint8_t Handler = HNop; ///< DHandler dispatch token for Opc
     Reg Rd = 0, Ra = 0, Rb = 0;
     uint8_t NumSrcs = 0;
     Reg Srcs[3] = {};

@@ -2,6 +2,7 @@
 
 #include "sim/Interpreter.h"
 
+#include "sim/AluOps.h"
 #include "sim/ExecEngine.h"
 #include "support/MathExtras.h"
 
@@ -18,71 +19,10 @@ uint64_t ExecStats::classWidthTotal() const {
 }
 
 int64_t og::evalAluOp(Op O, Width W, int64_t A, int64_t B, int64_t OldRd) {
-  unsigned Bytes = widthBytes(W);
-  unsigned Bits = 8 * Bytes;
-  int64_t Sa = truncSignExtend(A, Bytes);
-  int64_t Sb = truncSignExtend(B, Bytes);
-  uint64_t Za = zeroExtend(static_cast<uint64_t>(A), Bits);
-  uint64_t Zb = zeroExtend(static_cast<uint64_t>(B), Bits);
-
-  switch (O) {
-  case Op::Add:
-    return truncSignExtend(wrapAdd(A, B), Bytes);
-  case Op::Sub:
-    return truncSignExtend(wrapSub(A, B), Bytes);
-  case Op::Mul:
-    return truncSignExtend(wrapMul(A, B), Bytes);
-  case Op::And:
-    return truncSignExtend(A & B, Bytes);
-  case Op::Or:
-    return truncSignExtend(A | B, Bytes);
-  case Op::Xor:
-    return truncSignExtend(A ^ B, Bytes);
-  case Op::Bic:
-    return truncSignExtend(A & ~B, Bytes);
-  case Op::Sll: {
-    unsigned Amt = static_cast<unsigned>(B & 63);
-    uint64_t Shifted = Amt >= 64 ? 0 : static_cast<uint64_t>(A) << Amt;
-    return truncSignExtend(static_cast<int64_t>(Shifted), Bytes);
-  }
-  case Op::Srl: {
-    unsigned Amt = static_cast<unsigned>(B & 63);
-    uint64_t Shifted = Amt >= Bits ? 0 : Za >> Amt;
-    return signExtend(Shifted, Bits);
-  }
-  case Op::Sra: {
-    unsigned Amt = static_cast<unsigned>(B & 63);
-    if (Amt > 63)
-      Amt = 63;
-    return Sa >> Amt;
-  }
-  case Op::CmpEq:
-    return Sa == Sb;
-  case Op::CmpLt:
-    return Sa < Sb;
-  case Op::CmpLe:
-    return Sa <= Sb;
-  case Op::CmpUlt:
-    return Za < Zb;
-  case Op::CmpUle:
-    return Za <= Zb;
-  case Op::CmovEq:
-    return Sa == 0 ? Sb : OldRd;
-  case Op::CmovNe:
-    return Sa != 0 ? Sb : OldRd;
-  case Op::CmovLt:
-    return Sa < 0 ? Sb : OldRd;
-  case Op::CmovGe:
-    return Sa >= 0 ? Sb : OldRd;
-  case Op::Sext:
-  case Op::Mov:
-    return Sa;
-  case Op::Ldi:
-    return Sa; // A carries the immediate
-  default:
-    assert(false && "not an ALU op");
-    return 0;
-  }
+  // Shared body (sim/AluOps.h): the superblock executor instantiates the
+  // same implementation per constant opcode, so both paths agree bit for
+  // bit by construction.
+  return evalAluOpImpl(O, widthBytes(W), A, B, OldRd);
 }
 
 RunResult og::runProgram(const Program &P, const RunOptions &Options) {

@@ -39,6 +39,49 @@
 
 namespace og {
 
+class SuperblockPlan;
+
+/// How the engine's inner loop dispatches on instruction kind.
+enum class DispatchMode : uint8_t {
+  Auto,     ///< threaded when the build supports it, switch otherwise
+  Switch,   ///< portable dense switch over pre-decoded handler tokens
+  Threaded, ///< computed-goto token threading (OG_HAS_COMPUTED_GOTO builds)
+};
+
+/// True when this build carries the computed-goto dispatch path
+/// (OG_HAS_COMPUTED_GOTO was detected and not force-disabled).
+bool engineHasThreadedDispatch();
+
+/// Resolves Auto to the fastest mode this build supports; demotes Threaded
+/// to Switch on builds without computed goto (portable fallback, never an
+/// error).
+DispatchMode resolveDispatchMode(DispatchMode M);
+
+/// Short stable name ("switch" / "threaded") of a resolved mode.
+const char *dispatchModeName(DispatchMode M);
+
+/// Execution-engine self-observation counters: how much of the run the
+/// superblock fast path carried and why it fell out. Purely diagnostic —
+/// two runs that differ only in these are functionally identical.
+struct EngineCounters {
+  uint64_t SuperblocksFormed = 0;  ///< static superblocks in the plan
+  uint64_t SuperblockEntries = 0;  ///< times the fast path was entered
+  uint64_t SuperblockPasses = 0;   ///< full front-to-exit passes
+  uint64_t SuperblockInsts = 0;    ///< dynamic instructions executed inside
+  uint64_t SideExits = 0;          ///< off-trace branch / fault departures
+  uint64_t WindowFissions = 0;     ///< entries declined at window boundaries
+
+  bool empty() const {
+    return SuperblocksFormed == 0 && SuperblockEntries == 0 &&
+           SuperblockPasses == 0 && SuperblockInsts == 0 && SideExits == 0 &&
+           WindowFissions == 0;
+  }
+  /// Fraction of \p DynInsts executed inside superblocks (0 when none ran).
+  double coverage(uint64_t DynInsts) const {
+    return DynInsts ? static_cast<double>(SuperblockInsts) / DynInsts : 0.0;
+  }
+};
+
 /// Terminal states of a run.
 enum class RunStatus : uint8_t {
   Halted,      ///< executed HALT (or returned from the entry function)
@@ -67,6 +110,8 @@ struct RunResult {
   std::string Message;
   ExecStats Stats;
   std::vector<int64_t> Output;
+  /// Diagnostic dispatch/superblock counters (never affects Stats/Output).
+  EngineCounters Engine;
 };
 
 /// Options for one run.
@@ -80,6 +125,16 @@ struct RunOptions {
   /// in order, in batches of up to TraceBatchCapacity (sim/TraceSink.h).
   /// Wrap a per-instruction callback in FnTraceSink for the old ergonomics.
   TraceSink *Sink = nullptr;
+  /// Inner-loop dispatch selection. Auto resolves to the fastest mode the
+  /// build supports; every mode is bit-identical in results.
+  DispatchMode Dispatch = DispatchMode::Auto;
+  /// Optional superblock plan (sim/Superblock.h) built over the same
+  /// DecodedProgram. When set, stretches of the run that materialize no
+  /// trace records (no-sink runs, and the fast-forward gaps of windowed
+  /// runs) execute through fused superblocks. Stats, output, and the
+  /// record stream a sink sees are unchanged; runProgram throws
+  /// std::invalid_argument if the plan was built for another decode.
+  const SuperblockPlan *Superblocks = nullptr;
 };
 
 /// Executes \p P under \p Options. Decodes the program first; see

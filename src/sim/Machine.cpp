@@ -18,26 +18,6 @@ void Machine::fault(const char *What, uint64_t Addr) {
   FaultMessage = Buf;
 }
 
-uint64_t Machine::loadBytes(uint64_t Addr, unsigned Bytes) {
-  if (Addr + Bytes > Mem.size() || Addr + Bytes < Addr) {
-    fault("load fault", Addr);
-    return 0;
-  }
-  uint64_t V = 0;
-  for (unsigned I = 0; I < Bytes; ++I)
-    V |= static_cast<uint64_t>(Mem[Addr + I]) << (8 * I);
-  return V;
-}
-
-void Machine::storeBytes(uint64_t Addr, unsigned Bytes, uint64_t Value) {
-  if (Addr + Bytes > Mem.size() || Addr + Bytes < Addr) {
-    fault("store fault", Addr);
-    return;
-  }
-  for (unsigned I = 0; I < Bytes; ++I)
-    Mem[Addr + I] = static_cast<uint8_t>(Value >> (8 * I));
-}
-
 void Machine::installData(uint64_t Addr, const std::vector<uint8_t> &Data) {
   if (Addr + Data.size() > Mem.size()) {
     fault("data segment overflow", Addr);

@@ -34,7 +34,10 @@ class Machine {
 public:
   explicit Machine(const MachineConfig &Config);
 
-  int64_t readReg(Reg R) const { return R == RegZero ? 0 : Regs[R]; }
+  /// Regs[RegZero] is never written (writeReg guards it) and starts zero,
+  /// so reads need no special case — this sits on the hottest path of the
+  /// dispatch loop.
+  int64_t readReg(Reg R) const { return Regs[R]; }
   void writeReg(Reg R, int64_t V) {
     if (R != RegZero)
       Regs[R] = V;
@@ -43,11 +46,60 @@ public:
   size_t memSize() const { return Mem.size(); }
 
   /// Little-endian load of \p Bytes (1/2/4/8) at \p Addr. Sets the fault
-  /// flag and returns 0 when out of bounds.
-  uint64_t loadBytes(uint64_t Addr, unsigned Bytes);
+  /// flag and returns 0 when out of bounds. Inline and, on little-endian
+  /// hosts, a single wide load + mask — the dispatch loop's memory ops all
+  /// land here. The byte loop remains as the portable fallback (and covers
+  /// the last 7 bytes of memory, which a wide load would overrun).
+  uint64_t loadBytes(uint64_t Addr, unsigned Bytes) {
+    if (Addr + Bytes > Mem.size() || Addr + Bytes < Addr) {
+      fault("load fault", Addr);
+      return 0;
+    }
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    if (Addr + 8 <= Mem.size()) {
+      uint64_t V;
+      __builtin_memcpy(&V, Mem.data() + Addr, 8);
+      return Bytes == 8 ? V : V & ((uint64_t(1) << (8 * Bytes)) - 1);
+    }
+#endif
+    uint64_t V = 0;
+    for (unsigned I = 0; I < Bytes; ++I)
+      V |= static_cast<uint64_t>(Mem[Addr + I]) << (8 * I);
+    return V;
+  }
 
   /// Little-endian store of the low \p Bytes of \p Value.
-  void storeBytes(uint64_t Addr, unsigned Bytes, uint64_t Value);
+  void storeBytes(uint64_t Addr, unsigned Bytes, uint64_t Value) {
+    if (Addr + Bytes > Mem.size() || Addr + Bytes < Addr) {
+      fault("store fault", Addr);
+      return;
+    }
+#if defined(__BYTE_ORDER__) && __BYTE_ORDER__ == __ORDER_LITTLE_ENDIAN__
+    switch (Bytes) {
+    case 1: {
+      Mem[Addr] = static_cast<uint8_t>(Value);
+      return;
+    }
+    case 2: {
+      uint16_t V16 = static_cast<uint16_t>(Value);
+      __builtin_memcpy(Mem.data() + Addr, &V16, 2);
+      return;
+    }
+    case 4: {
+      uint32_t V32 = static_cast<uint32_t>(Value);
+      __builtin_memcpy(Mem.data() + Addr, &V32, 4);
+      return;
+    }
+    case 8:
+      __builtin_memcpy(Mem.data() + Addr, &Value, 8);
+      return;
+    default:
+      break; // non-power-of-two widths fall through to the byte loop
+    }
+#endif
+    for (unsigned I = 0; I < Bytes; ++I)
+      Mem[Addr + I] = static_cast<uint8_t>(Value >> (8 * I));
+  }
 
   /// Copies \p Data into memory at \p Addr (used to install the program's
   /// data segment).

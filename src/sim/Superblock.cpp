@@ -1,0 +1,340 @@
+//===- sim/Superblock.cpp -------------------------------------------------==//
+//
+// Superblock formation: hottest-first seeding over a basic-block profile,
+// straight-line growth through unconditional control flow and biased
+// conditional branches (with loop-body unrolling up to the dynamic-length
+// cap), and materialization into the pooled arrays the executor streams
+// through. Formation is deterministic for a given (DecodedProgram,
+// BlockCounts, Policy): seeds are processed in (count desc, flat index
+// asc) order and every aggregate is emitted in slot order.
+//
+// Hottest-first seeding is what keeps hot self-loops intact: a looping
+// block's own count strictly exceeds any single predecessor's (it includes
+// the back edges), so the loop head forms its own superblock before a
+// colder predecessor's trace could swallow one iteration of it; the
+// predecessor's trace then stops at the loop head's entry and falls
+// through to it.
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/Superblock.h"
+
+#include "isa/Registers.h"
+#include "sim/Interpreter.h"
+#include "support/MathExtras.h"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+using namespace og;
+
+namespace {
+
+using DInst = DecodedProgram::DInst;
+using Edge = DecodedProgram::Edge;
+using EdgeFault = DecodedProgram::EdgeFault;
+
+/// Profile count of the block an edge jumps into (its first counted
+/// block); 0 for faulting or count-free edges.
+uint64_t edgeTargetCount(const DecodedProgram &DP, const Edge &E,
+                         const std::vector<std::vector<uint64_t>> &Counts) {
+  if (E.CountsBegin == E.CountsEnd)
+    return 0;
+  auto [F, B] = DP.countedBlocks()[E.CountsBegin];
+  return Counts[F][B];
+}
+
+/// Handler token for an ALU op evalAluOpImpl handles. OG_SB_ALU_OPS lists
+/// the ops in Op order with Msk skipped, two tokens (RR, RI) per op.
+uint8_t aluToken(Op O, bool UseImm) {
+  unsigned Idx = static_cast<unsigned>(O);
+  if (O == Op::Sext || O == Op::Mov)
+    --Idx; // skip over Msk's slot
+  assert(Idx <= static_cast<unsigned>(Op::Mov) && "not a fused ALU op");
+  return static_cast<uint8_t>(Idx * 2 + (UseImm ? 1 : 0));
+}
+
+/// Continue-predicate token: "stay on trace iff pred(ra)". When the trace
+/// continues on the not-taken side the branch condition is negated.
+uint8_t branchToken(Op O, bool OnTraceTaken) {
+  unsigned Idx =
+      static_cast<unsigned>(O) - static_cast<unsigned>(Op::Beq); // Eq..Ge
+  static const uint8_t Negated[6] = {1, 0, 5, 4, 3, 2}; // Eq<->Ne Lt<->Ge...
+  if (!OnTraceTaken)
+    Idx = Negated[Idx];
+  return static_cast<uint8_t>(SbH_BrEq + Idx);
+}
+
+/// One position of a trace being grown, before materialization.
+struct TPos {
+  int32_t Flat;
+  uint8_t Kind;  // KElide / KInst / KBr
+  uint8_t Token; // branch continue-predicate (KBr only)
+  uint8_t Flags; // SInst flags (KBr only)
+};
+enum : uint8_t { KElide, KInst, KBr };
+
+} // namespace
+
+SuperblockPlan::SuperblockPlan(
+    const DecodedProgram &Decoded,
+    const std::vector<std::vector<uint64_t>> &Counts,
+    const SuperblockPolicy &Policy)
+    : DP(&Decoded), Pol(Policy) {
+  const Program &P = Decoded.program();
+  // Always-on shape check (not an assert): plans may be built from shared
+  // profiles, and a mismatched profile must not silently misform traces.
+  bool ShapeOk = Counts.size() == P.Funcs.size();
+  for (const Function &F : P.Funcs)
+    ShapeOk = ShapeOk && Counts[F.Id].size() == F.Blocks.size();
+  if (!ShapeOk)
+    throw std::invalid_argument(
+        "SuperblockPlan: block-count profile shape does not match program");
+
+  const std::vector<DInst> &Insts = Decoded.insts();
+  const std::vector<uint32_t> &CountSlots = Decoded.countSlots();
+  EntrySb.assign(Insts.size(), -1);
+
+  // ---- Seeds: starts of hot blocks, plus the continuation point after
+  // every hot call site (return targets enter mid-block, which no block
+  // start covers). Hottest first, flat index as the deterministic
+  // tie-break.
+  struct Seed {
+    uint64_t Cnt;
+    int32_t Flat;
+  };
+  std::vector<Seed> Seeds;
+  for (size_t I = 0; I < Insts.size(); ++I) {
+    const DInst &DI = Insts[I];
+    uint64_t C = Counts[DI.Func][DI.Block];
+    if (C < Pol.MinBlockCount)
+      continue;
+    if (DI.Index == 0)
+      Seeds.push_back({C, static_cast<int32_t>(I)});
+    if (DI.Opc == Op::Jsr && DI.Seq.Target >= 0)
+      Seeds.push_back({C, DI.Seq.Target});
+  }
+  std::sort(Seeds.begin(), Seeds.end(), [](const Seed &A, const Seed &B) {
+    if (A.Cnt != B.Cnt)
+      return A.Cnt > B.Cnt;
+    return A.Flat < B.Flat;
+  });
+
+  std::vector<uint8_t> Claimed(Insts.size(), 0);
+  std::vector<TPos> Walk;
+  std::vector<const Edge *> Internal; // edge after position i, at index i
+
+  for (const Seed &S : Seeds) {
+    if (EntrySb[S.Flat] >= 0 || Claimed[S.Flat])
+      continue;
+    Walk.clear();
+    Internal.clear();
+    const Edge *FinalEdge = nullptr;
+    const Edge *Pending = nullptr; // edge that led to Cur
+    int32_t Cur = S.Flat;
+    unsigned BlockHops = 0;
+    size_t CopyLen = 0; // positions per loop iteration (set at first return)
+
+    while (true) {
+      // Stop *before* this position when the trace reaches another
+      // superblock's entry (fall through and let that one take over) or
+      // hits a cap. A return to the trace's own entry instead *unrolls*:
+      // growth continues through whole copies of the loop body while they
+      // fit, so a pass covers many iterations and the per-pass epilogue
+      // amortizes. The final edge then is the back edge itself, which
+      // re-enters this superblock immediately.
+      if (Cur == S.Flat && !Walk.empty()) {
+        if (CopyLen == 0)
+          CopyLen = Walk.size();
+        if (Walk.size() + CopyLen > Pol.MaxDynLen) {
+          FinalEdge = Pending;
+          break;
+        }
+      } else if (Cur != S.Flat && EntrySb[Cur] >= 0) {
+        FinalEdge = Pending;
+        break;
+      }
+      if (Walk.size() >= Pol.MaxDynLen || BlockHops >= Pol.MaxBlocks) {
+        FinalEdge = Pending;
+        break;
+      }
+      const DInst &DI = Insts[Cur];
+      // Calls, returns, and halts bound every trace.
+      if (DI.Opc == Op::Jsr || DI.Opc == Op::Ret || DI.Opc == Op::Halt) {
+        FinalEdge = Pending;
+        break;
+      }
+
+      if (Pending)
+        Internal.push_back(Pending);
+
+      TPos Position{Cur, KInst, 0, 0};
+      const Edge *Out = nullptr;
+      bool CloseAfter = false;
+      switch (DI.Opc) {
+      case Op::Br:
+        Position.Kind = KElide; // deterministic jump: no work at run time
+        Out = &DI.Taken;
+        CloseAfter = DI.Taken.Fault != EdgeFault::None || DI.Taken.Target < 0;
+        break;
+      case Op::Nop:
+        Position.Kind = KElide;
+        Out = &DI.Seq;
+        CloseAfter = DI.Seq.Fault != EdgeFault::None || DI.Seq.Target < 0;
+        break;
+      case Op::Beq:
+      case Op::Bne:
+      case Op::Blt:
+      case Op::Ble:
+      case Op::Bgt:
+      case Op::Bge: {
+        uint64_t CntT = edgeTargetCount(Decoded, DI.Taken, Counts);
+        uint64_t CntF = edgeTargetCount(Decoded, DI.Seq, Counts);
+        bool DirTaken = CntT >= CntF;
+        const Edge &Dir = DirTaken ? DI.Taken : DI.Seq;
+        uint64_t CntD = DirTaken ? CntT : CntF;
+        uint64_t Sum = CntT + CntF;
+        bool Extend = Sum > 0 &&
+                      static_cast<double>(CntD) >=
+                          Pol.SuccessorBias * static_cast<double>(Sum) &&
+                      Dir.Fault == EdgeFault::None && Dir.Target >= 0;
+        Position.Kind = KBr;
+        Position.Token = branchToken(DI.Opc, DirTaken);
+        Position.Flags = DirTaken ? 0 : SbFlagOffTraceTaken;
+        Out = &Dir;
+        if (!Extend) {
+          Position.Flags |= SbFlagLast;
+          CloseAfter = true;
+        }
+        break;
+      }
+      default:
+        // Straight-line (ALU / Ldi / Msk / Ld / St / Out).
+        Out = &DI.Seq;
+        CloseAfter = DI.Seq.Fault != EdgeFault::None || DI.Seq.Target < 0;
+        break;
+      }
+
+      Walk.push_back(Position);
+      if (Out->CountsBegin != Out->CountsEnd)
+        ++BlockHops;
+      if (CloseAfter) {
+        FinalEdge = Out;
+        break;
+      }
+      Pending = Out;
+      Cur = Out->Target;
+    }
+
+    if (!FinalEdge || Walk.size() < Pol.MinDynLen)
+      continue;
+
+    // ---- Materialize into the pools.
+    Superblock SB;
+    SB.EntryFlat = S.Flat;
+    SB.DynLen = static_cast<uint32_t>(Walk.size());
+    SB.FinalEdge = FinalEdge;
+    SB.SBegin = static_cast<uint32_t>(Pool.size());
+    SB.RawBegin = static_cast<uint32_t>(RawSlots.size());
+    SB.CwBegin = static_cast<uint32_t>(CwSeq.size());
+
+    uint32_t CwAgg[18 * 4] = {};
+    for (size_t I = 0; I < Walk.size(); ++I) {
+      const TPos &Position = Walk[I];
+      const DInst &DI = Insts[Position.Flat];
+      uint8_t CwSlot = static_cast<uint8_t>(DI.ClassIdx * 4 + DI.WidthIdx);
+      CwSeq.push_back(CwSlot);
+      ++CwAgg[CwSlot];
+
+      if (Position.Kind != KElide) {
+        SInst SI;
+        SI.OrigFlat = Position.Flat;
+        SI.SeqPos = static_cast<uint32_t>(I);
+        SI.SlotsBefore = static_cast<uint32_t>(RawSlots.size()) - SB.RawBegin;
+        SI.WidthBytes = DI.WidthBytes;
+        SI.Rd = DI.Rd;
+        SI.Ra = DI.ReadsRa ? DI.Ra : RegZero;
+        SI.Rb = (!DI.UseImm && DI.ReadsRb) ? DI.Rb : RegZero;
+        SI.Imm = DI.Imm;
+        SI.Flags = Position.Flags;
+        switch (DI.Opc) {
+        case Op::Ldi:
+          SI.H = SbH_Ldi;
+          SI.Imm = truncSignExtend(DI.Imm, DI.WidthBytes); // pre-computed
+          break;
+        case Op::Msk:
+          SI.H = SbH_Msk;
+          break;
+        case Op::Ld:
+          SI.H = DI.W == Width::W ? SbH_LdW : SbH_Ld;
+          break;
+        case Op::St:
+          SI.H = SbH_St;
+          SI.Rb = DI.Rb; // data operand, read regardless of UseImm
+          break;
+        case Op::Out:
+          SI.H = SbH_Out;
+          break;
+        default:
+          SI.H = Position.Kind == KBr ? Position.Token
+                                      : aluToken(DI.Opc, DI.UseImm);
+          break;
+        }
+        Pool.push_back(SI);
+      }
+
+      if (I + 1 < Walk.size()) {
+        const Edge *E = Internal[I];
+        for (uint32_t Ci = E->CountsBegin; Ci != E->CountsEnd; ++Ci)
+          RawSlots.push_back(CountSlots[Ci]);
+      }
+    }
+
+    // Terminator: reached only when the last position was not a
+    // pass-ending branch (those jump straight to the epilogue).
+    SInst End;
+    End.H = SbH_End;
+    End.SeqPos = static_cast<uint32_t>(Walk.size());
+    End.SlotsBefore = static_cast<uint32_t>(RawSlots.size()) - SB.RawBegin;
+    Pool.push_back(End);
+
+    SB.CwdBegin = static_cast<uint32_t>(CwDeltas.size());
+    for (unsigned Slot = 0; Slot < 18 * 4; ++Slot)
+      if (CwAgg[Slot])
+        CwDeltas.push_back({static_cast<uint8_t>(Slot), CwAgg[Slot]});
+    SB.CwdEnd = static_cast<uint32_t>(CwDeltas.size());
+
+    SB.PassBegin = static_cast<uint32_t>(PassSlots.size());
+    {
+      std::vector<uint32_t> Tmp(RawSlots.begin() + SB.RawBegin,
+                                RawSlots.end());
+      std::sort(Tmp.begin(), Tmp.end());
+      for (size_t I = 0; I < Tmp.size();) {
+        size_t J = I;
+        while (J < Tmp.size() && Tmp[J] == Tmp[I])
+          ++J;
+        PassSlots.push_back({Tmp[I], static_cast<uint32_t>(J - I)});
+        I = J;
+      }
+    }
+    SB.PassEnd = static_cast<uint32_t>(PassSlots.size());
+
+    EntrySb[S.Flat] = static_cast<int32_t>(Sbs.size());
+    for (const TPos &Position : Walk)
+      Claimed[Position.Flat] = 1;
+    Sbs.push_back(SB);
+  }
+}
+
+SuperblockPlan og::buildSelfProfiledPlan(const DecodedProgram &DP,
+                                         const RunOptions &Opts,
+                                         uint64_t ProfileFuel,
+                                         const SuperblockPolicy &Policy) {
+  RunOptions ProfOpts = Opts;
+  ProfOpts.Sink = nullptr;
+  ProfOpts.Superblocks = nullptr;
+  ProfOpts.Fuel = std::min(Opts.Fuel, ProfileFuel);
+  RunResult R = runProgram(DP, ProfOpts);
+  return SuperblockPlan(DP, R.Stats.BlockCounts, Policy);
+}

@@ -1,0 +1,205 @@
+//===- sim/Superblock.h - Profile-driven superblock fusion -------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Trace-driven superblock formation over a DecodedProgram. A superblock
+/// is a hot straight-line chain of dynamic instruction positions — grown
+/// from a block-profile seed through unconditional jumps, fallthrough
+/// chains, and strongly biased conditional branches — fused into a single
+/// dispatch unit the engine executes without per-instruction fuel checks,
+/// window checks, or edge following:
+///
+///  - intra-superblock control transfers are pre-resolved ("the next SInst
+///    is *SP+1"), with unconditional branches and nops elided entirely;
+///  - the block-count increments of every internal edge are pre-aggregated
+///    into one (slot, delta) list applied per full pass;
+///  - the per-instruction class/width histogram bumps are pre-aggregated
+///    the same way, so a full pass updates ExecStats with a handful of
+///    additions instead of one pair of increments per instruction.
+///
+/// Exits are exact: a conditional branch leaving the trace, or a faulting
+/// memory access, reconciles the prefix it actually executed from the
+/// per-position sequences kept alongside (CwSeq / RawSlots), so stats and
+/// block counts are bit-identical with the generic loop for every run,
+/// including ones that fault or run out of fuel. The executor lives in
+/// sim/ExecEngine.cpp; a plan is immutable and tied to the DecodedProgram
+/// it was built from (the engine rejects mismatched plans).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SIM_SUPERBLOCK_H
+#define OG_SIM_SUPERBLOCK_H
+
+#include "sim/ExecEngine.h"
+
+#include <cstdint>
+#include <vector>
+
+namespace og {
+
+struct RunOptions;
+
+/// Formation policy. Defaults are deliberately permissive: a side exit
+/// reconciles with two cheap array walks, so extending a trace past a
+/// moderately biased branch costs little even when the exit is taken.
+struct SuperblockPolicy {
+  /// Minimum profile count of a block (or a call-site's block, for the
+  /// post-call continuation seed) to seed a superblock. Low on purpose:
+  /// an unused superblock costs nothing at run time, and lukewarm code
+  /// dominates the uncovered remainder on branchy workloads.
+  uint64_t MinBlockCount = 4;
+  /// Continue through a conditional branch only when the hotter successor
+  /// holds at least this fraction of the two successors' combined counts.
+  /// Near 0.5: a side exit reconciles with two cheap array walks, so
+  /// extending through weakly biased branches still wins on balance.
+  double SuccessorBias = 0.52;
+  /// Caps per superblock: dynamic positions per pass / block transitions.
+  /// MaxDynLen doubles as the unroll budget — a trace that returns to its
+  /// own entry keeps growing through whole loop-body copies while they
+  /// fit, so a single pass covers many loop iterations.
+  unsigned MaxDynLen = 512;
+  unsigned MaxBlocks = 128;
+  /// Discard traces shorter than this many dynamic positions.
+  unsigned MinDynLen = 2;
+};
+
+/// ALU opcodes a superblock dispatches per-opcode (Op order, Msk excluded —
+/// it has bespoke field-extract semantics and its own handler).
+#define OG_SB_ALU_OPS(X)                                                       \
+  X(Add) X(Sub) X(Mul) X(And) X(Or) X(Xor) X(Bic) X(Sll) X(Srl) X(Sra)         \
+  X(CmpEq) X(CmpLt) X(CmpLe) X(CmpUlt) X(CmpUle)                               \
+  X(CmovEq) X(CmovNe) X(CmovLt) X(CmovGe) X(Sext) X(Mov)
+
+/// Superblock handler tokens. ALU ops split register/immediate so the
+/// executor's per-token bodies are branch-free on operand shape; loads
+/// split on the word variant's sign extension; conditional branches are
+/// normalized to a continue-predicate ("stay on trace iff pred(ra)"), so
+/// one token set covers both on-trace directions.
+enum SbHandler : uint8_t {
+#define OG_SB_ENUM(OP) SbH_##OP##_RR, SbH_##OP##_RI,
+  OG_SB_ALU_OPS(OG_SB_ENUM)
+#undef OG_SB_ENUM
+  SbH_Ldi,
+  SbH_Msk,
+  SbH_Ld,  ///< byte/half/quad load (zero-extended / raw)
+  SbH_LdW, ///< word load (sign-extends, Alpha LDL)
+  SbH_St,
+  SbH_Out,
+  SbH_BrEq, ///< continue iff ra == 0
+  SbH_BrNe,
+  SbH_BrLt,
+  SbH_BrLe,
+  SbH_BrGt,
+  SbH_BrGe,
+  SbH_End, ///< pass complete: apply aggregates, follow the final edge
+  SbH_NumHandlers,
+};
+
+/// SInst::Flags bits.
+enum : uint8_t {
+  /// The side exit of this branch follows the Taken edge (i.e. the trace
+  /// continues on the not-taken direction).
+  SbFlagOffTraceTaken = 1,
+  /// This branch is the last position: its on-trace direction completes
+  /// the pass instead of advancing to the next SInst.
+  SbFlagLast = 2,
+};
+
+/// One fused instruction: 32 bytes (vs ~104 for a DInst) so a pass streams
+/// through a third of the cache lines. Ra/Rb are pre-normalized to RegZero
+/// when the op does not read them (reads of RegZero yield 0), Ldi's value
+/// is pre-truncated into Imm, and SeqPos/SlotsBefore locate the
+/// instruction in the reconciliation sequences on a side exit.
+struct SInst {
+  int64_t Imm = 0;          ///< immediate / pre-computed Ldi value
+  int32_t OrigFlat = -1;    ///< source DInst flat index (exit edges)
+  uint32_t SlotsBefore = 0; ///< RawSlots prefix length before this position
+  uint32_t SeqPos = 0;      ///< dynamic position within the superblock
+  uint8_t H = SbH_End;      ///< SbHandler token
+  uint8_t WidthBytes = 8;
+  uint8_t Rd = 0, Ra = 0, Rb = 0;
+  uint8_t Flags = 0;
+};
+
+/// Aggregated ExecStats::ClassWidth delta: flat slot (row*4+col) += N.
+struct SbCwDelta {
+  uint8_t Slot = 0;
+  uint32_t N = 0;
+};
+
+/// Aggregated flat block-count delta: FlatCounts[Slot] += N.
+struct SbSlotDelta {
+  uint32_t Slot = 0;
+  uint32_t N = 0;
+};
+
+/// One formed superblock; all ranges index the plan's pooled arrays.
+struct Superblock {
+  int32_t EntryFlat = -1; ///< flat index the fast path intercepts
+  uint32_t DynLen = 0;    ///< dynamic instructions per full pass
+  /// Edge followed after a full pass (never counted in PassSlots; the
+  /// engine follows it generically, so a back edge to EntryFlat re-enters
+  /// this superblock on the next loop-top check).
+  const DecodedProgram::Edge *FinalEdge = nullptr;
+  uint32_t SBegin = 0;   ///< first SInst (list ends with an SbH_End token)
+  uint32_t RawBegin = 0; ///< base into rawSlots(); SlotsBefore is relative
+  uint32_t CwBegin = 0;  ///< base into cwSeq(); position k at CwBegin + k
+  uint32_t CwdBegin = 0, CwdEnd = 0;   ///< range into cwDeltas()
+  uint32_t PassBegin = 0, PassEnd = 0; ///< range into passSlots()
+};
+
+/// An immutable set of superblocks formed over one DecodedProgram from a
+/// basic-block profile. Thread-safe to share across concurrent runs.
+class SuperblockPlan {
+public:
+  /// Forms superblocks over \p DP using \p BlockCounts (per-function,
+  /// per-block execution counts — ExecStats::BlockCounts of any prior run
+  /// of the same-shaped program). Throws std::invalid_argument when the
+  /// profile's shape does not match the program.
+  SuperblockPlan(const DecodedProgram &DP,
+                 const std::vector<std::vector<uint64_t>> &BlockCounts,
+                 const SuperblockPolicy &Policy = {});
+
+  const DecodedProgram &decodedProgram() const { return *DP; }
+  const SuperblockPolicy &policy() const { return Pol; }
+  size_t size() const { return Sbs.size(); }
+
+  const std::vector<Superblock> &superblocks() const { return Sbs; }
+  const std::vector<SInst> &sinsts() const { return Pool; }
+  /// Block-count slot bumps of the internal edges, in execution order.
+  const std::vector<uint32_t> &rawSlots() const { return RawSlots; }
+  /// Flat ClassWidth slot of each dynamic position, in execution order.
+  const std::vector<uint8_t> &cwSeq() const { return CwSeq; }
+  const std::vector<SbCwDelta> &cwDeltas() const { return CwDeltas; }
+  const std::vector<SbSlotDelta> &passSlots() const { return PassSlots; }
+  /// Superblock id entered at each flat instruction index, -1 when none.
+  const std::vector<int32_t> &entryMap() const { return EntrySb; }
+
+private:
+  const DecodedProgram *DP;
+  SuperblockPolicy Pol;
+  std::vector<Superblock> Sbs;
+  std::vector<SInst> Pool;
+  std::vector<uint32_t> RawSlots;
+  std::vector<uint8_t> CwSeq;
+  std::vector<SbCwDelta> CwDeltas;
+  std::vector<SbSlotDelta> PassSlots;
+  std::vector<int32_t> EntrySb;
+};
+
+/// Profiles \p DP with a cheap capped-fuel no-sink run (same machine
+/// config and arguments as \p Opts, no sink, no plan) and forms a plan
+/// from the observed block counts. This is the self-profiling path for
+/// callers without a prior profile; runners that already hold
+/// ExecStats::BlockCounts should construct SuperblockPlan directly.
+SuperblockPlan buildSelfProfiledPlan(const DecodedProgram &DP,
+                                     const RunOptions &Opts,
+                                     uint64_t ProfileFuel = 50'000'000,
+                                     const SuperblockPolicy &Policy = {});
+
+} // namespace og
+
+#endif // OG_SIM_SUPERBLOCK_H

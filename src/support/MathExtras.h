@@ -70,11 +70,28 @@ inline bool fitsUnsignedBytes(int64_t V, unsigned Bytes) {
 /// Minimal number of bytes (1..8) such that \p V survives
 /// truncate-and-sign-extend. This is the "significant bytes" definition used
 /// by the hardware significance-compression scheme [Canal et al., MICRO'00].
+///
+/// Branch-free apart from the zero test: folding the sign into the
+/// magnitude (V ^ (V >> 63)) reduces the query to "position of the highest
+/// bit that differs from the sign", so one count-leading-zeros plus a
+/// round-up gives the byte count. This sits on the engine's per-value hot
+/// path (every produced/stored value feeds the Figure-12 histogram).
 inline unsigned significantBytes(int64_t V) {
+#if defined(__GNUC__) || defined(__clang__)
+  uint64_t X = static_cast<uint64_t>(V) ^ static_cast<uint64_t>(V >> 63);
+  if (X == 0)
+    return 1; // 0 and -1 fit in one byte
+  // Highest set bit of X is the highest bit differing from the sign; one
+  // more bit is needed to keep the sign itself. X's bit 63 is always clear,
+  // so the result never exceeds 8.
+  unsigned Bits = 64 - static_cast<unsigned>(__builtin_clzll(X)) + 1;
+  return (Bits + 7) / 8;
+#else
   for (unsigned Bytes = 1; Bytes < 8; ++Bytes)
     if (fitsSignedBytes(V, Bytes))
       return Bytes;
   return 8;
+#endif
 }
 
 /// Minimal number of bytes (1..8) needed to hold every value in

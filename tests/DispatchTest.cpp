@@ -1,0 +1,907 @@
+//===- tests/DispatchTest.cpp - dispatch/superblock differential oracle ------==//
+//
+// The execution engine now has three ways to run a program — portable
+// switch dispatch, computed-goto token threading, and the superblock fast
+// path layered on either — all of which must be bit-identical in every
+// observable: status, message, output stream, DynInsts, class/width and
+// value-size histograms, block counts, and the exact record stream a
+// trace sink sees (including the light records of windowed runs).
+//
+// The oracle here is a self-contained re-creation of the original nested
+// interpreter: it walks Funcs[f].Blocks[b].Insts[i] directly, shares
+// nothing with the engine but the Machine, evalAluOp, and the ISA tables,
+// and is deliberately written for clarity over speed. Randomized programs
+// (loops, calls, faults, fuel exhaustion, empty-block chains) are run
+// through the oracle and through every engine configuration, and all
+// results are compared field by field.
+//
+//===----------------------------------------------------------------------===//
+
+#include "program/Builder.h"
+#include "sim/ExecEngine.h"
+#include "sim/Interpreter.h"
+#include "sim/Superblock.h"
+#include "support/MathExtras.h"
+#include "support/Rng.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+using namespace og;
+
+namespace {
+
+uint64_t oracleSeed(uint64_t Default) { return seedFromEnv(Default); }
+
+std::string seedTrace(uint64_t Seed) {
+  return "reproduce with OGATE_SEED=" + std::to_string(Seed);
+}
+
+//===----------------------------------------------------------------------===//
+// Reference interpreter (the oracle)
+//===----------------------------------------------------------------------===//
+
+/// Synthetic code layout, recomputed the way the original interpreter did:
+/// instructions are 4 bytes, functions are laid out contiguously from
+/// 0x1000, blocks in id order within each function.
+struct RefLayout {
+  std::vector<std::vector<size_t>> BlockBase;
+  std::vector<uint64_t> FuncPcBase;
+
+  explicit RefLayout(const Program &P) {
+    BlockBase.resize(P.Funcs.size());
+    FuncPcBase.resize(P.Funcs.size());
+    uint64_t Pc = 0x1000;
+    for (const Function &F : P.Funcs) {
+      FuncPcBase[F.Id] = Pc;
+      auto &Bases = BlockBase[F.Id];
+      Bases.resize(F.Blocks.size());
+      size_t N = 0;
+      for (const BasicBlock &BB : F.Blocks) {
+        Bases[BB.Id] = N;
+        N += BB.Insts.size();
+      }
+      Pc += N * 4;
+    }
+  }
+
+  uint64_t pcOf(int32_t Func, int32_t Block, int32_t Index) const {
+    return FuncPcBase[Func] +
+           (BlockBase[Func][Block] + static_cast<size_t>(Index)) * 4;
+  }
+};
+
+struct RefFrame {
+  int32_t Func, Block, Index;
+  int64_t Saved[8]; ///< s0..s5, fp, sp (checked mode)
+};
+
+/// Runs \p P on the nested structure. When \p Trace is non-null, appends
+/// one full record per executed instruction.
+RunResult refRun(const Program &P, const RunOptions &Options,
+                 std::vector<DynInst> *Trace) {
+  RunResult Result;
+  Machine M(Options.Machine);
+  M.installData(Program::DataBase, P.Data);
+  RefLayout Layout(P);
+
+  ExecStats &Stats = Result.Stats;
+  Stats.BlockCounts.resize(P.Funcs.size());
+  for (const Function &F : P.Funcs)
+    Stats.BlockCounts[F.Id].assign(F.Blocks.size(), 0);
+
+  M.writeReg(RegSP, static_cast<int64_t>(M.memSize()) - 64);
+  for (size_t I = 0; I < Options.ArgRegs.size() && I < NumArgRegs; ++I)
+    M.writeReg(static_cast<Reg>(RegA0 + I), Options.ArgRegs[I]);
+
+  std::vector<RefFrame> Frames;
+  int32_t Func = P.EntryFunc;
+  int32_t Block = P.Funcs[Func].EntryBlock;
+  int32_t Index = 0;
+  ++Stats.BlockCounts[Func][Block];
+
+  uint64_t Fuel = Options.Fuel;
+  size_t EmptyHops = 0;
+
+  while (true) {
+    const Function &F = P.Funcs[Func];
+    const BasicBlock &BB = F.Blocks[Block];
+
+    if (static_cast<size_t>(Index) >= BB.Insts.size()) {
+      if (BB.FallthroughSucc == NoTarget) {
+        Result.Status = RunStatus::Fault;
+        Result.Message = "control fell off a block without successor";
+        break;
+      }
+      if (++EmptyHops > F.Blocks.size() + 1) {
+        Result.Status = RunStatus::Fault;
+        Result.Message = "cycle of empty blocks";
+        break;
+      }
+      Block = BB.FallthroughSucc;
+      Index = 0;
+      ++Stats.BlockCounts[Func][Block];
+      continue;
+    }
+    EmptyHops = 0;
+
+    if (Fuel == 0) {
+      Result.Status = RunStatus::OutOfFuel;
+      Result.Message = "dynamic instruction budget exhausted";
+      break;
+    }
+    --Fuel;
+
+    const Instruction &I = BB.Insts[Index];
+    const OpInfo &Info = I.info();
+
+    DynInst D;
+    D.I = &I;
+    D.Func = Func;
+    D.Block = Block;
+    D.Index = Index;
+    D.Pc = Layout.pcOf(Func, Block, Index);
+    D.SeqPc = D.Pc + 4;
+    unsigned NSrc = I.numRegSources();
+    D.NumSrcs = NSrc;
+    for (unsigned S = 0; S < NSrc; ++S)
+      D.SrcVals[S] = M.readReg(I.regSource(S));
+
+    int64_t A = Info.ReadsRa ? M.readReg(I.Ra) : 0;
+    int64_t B = I.UseImm ? I.Imm : (Info.ReadsRb ? M.readReg(I.Rb) : 0);
+
+    int32_t NextFunc = Func, NextBlock = Block, NextIndex = Index + 1;
+    bool Stop = false, Jumped = false;
+
+    switch (I.Opc) {
+    case Op::Ldi:
+      D.Result = truncSignExtend(I.Imm, widthBytes(I.W));
+      M.writeReg(I.Rd, D.Result);
+      D.WroteDest = true;
+      break;
+    case Op::Msk: {
+      unsigned Bytes = widthBytes(I.W);
+      uint64_t Field = static_cast<uint64_t>(A) >> (8 * I.Imm);
+      D.Result = static_cast<int64_t>(
+          Bytes == 8 ? Field : Field & ((uint64_t(1) << (8 * Bytes)) - 1));
+      M.writeReg(I.Rd, D.Result);
+      D.WroteDest = true;
+      break;
+    }
+    case Op::Ld: {
+      uint64_t Addr = static_cast<uint64_t>(A + I.Imm);
+      uint64_t Raw = M.loadBytes(Addr, widthBytes(I.W));
+      D.Result =
+          I.W == Width::W ? signExtend(Raw, 32) : static_cast<int64_t>(Raw);
+      M.writeReg(I.Rd, D.Result);
+      D.WroteDest = true;
+      D.IsMem = true;
+      D.MemAddr = Addr;
+      break;
+    }
+    case Op::St: {
+      uint64_t Addr = static_cast<uint64_t>(A + I.Imm);
+      int64_t Value = M.readReg(I.Rb);
+      M.storeBytes(Addr, widthBytes(I.W), static_cast<uint64_t>(Value));
+      D.Result = truncSignExtend(Value, widthBytes(I.W));
+      D.IsMem = true;
+      D.MemAddr = Addr;
+      break;
+    }
+    case Op::Br:
+      NextBlock = I.Target;
+      NextIndex = 0;
+      Jumped = true;
+      break;
+    case Op::Beq:
+    case Op::Bne:
+    case Op::Blt:
+    case Op::Ble:
+    case Op::Bgt:
+    case Op::Bge: {
+      bool Taken;
+      switch (I.Opc) {
+      case Op::Beq: Taken = A == 0; break;
+      case Op::Bne: Taken = A != 0; break;
+      case Op::Blt: Taken = A < 0; break;
+      case Op::Ble: Taken = A <= 0; break;
+      case Op::Bgt: Taken = A > 0; break;
+      default: Taken = A >= 0; break;
+      }
+      D.IsBranch = true;
+      D.Taken = Taken;
+      NextBlock = Taken ? I.Target : BB.FallthroughSucc;
+      NextIndex = 0;
+      Jumped = true;
+      break;
+    }
+    case Op::Jsr: {
+      if (Frames.size() >= Options.MaxCallDepth) {
+        Result.Status = RunStatus::Fault;
+        Result.Message = "call depth limit exceeded";
+        Stop = true;
+        break;
+      }
+      RefFrame Fr{Func, Block, Index + 1, {}};
+      if (Options.CheckCalleeSaved) {
+        int Slot = 0;
+        for (Reg R = RegS0; R <= RegFP; ++R)
+          Fr.Saved[Slot++] = M.readReg(R);
+        Fr.Saved[Slot] = M.readReg(RegSP);
+      }
+      Frames.push_back(Fr);
+      NextFunc = I.Callee;
+      NextBlock = P.Funcs[I.Callee].EntryBlock;
+      NextIndex = 0;
+      Jumped = true;
+      break;
+    }
+    case Op::Ret: {
+      if (Frames.empty()) {
+        Stop = true;
+        Result.Status = RunStatus::Halted;
+        break;
+      }
+      RefFrame Fr = Frames.back();
+      Frames.pop_back();
+      if (Options.CheckCalleeSaved) {
+        int Slot = 0;
+        bool Intact = true;
+        for (Reg R = RegS0; R <= RegFP; ++R)
+          Intact &= Fr.Saved[Slot++] == M.readReg(R);
+        Intact &= Fr.Saved[Slot] == M.readReg(RegSP);
+        if (!Intact) {
+          Result.Status = RunStatus::CalleeSaveViolation;
+          Result.Message =
+              "callee-saved register clobbered by " + P.Funcs[Func].Name;
+          Stop = true;
+          break;
+        }
+      }
+      NextFunc = Fr.Func;
+      NextBlock = Fr.Block;
+      NextIndex = Fr.Index;
+      break;
+    }
+    case Op::Halt:
+      Stop = true;
+      Result.Status = RunStatus::Halted;
+      break;
+    case Op::Out:
+      M.Output.push_back(A);
+      break;
+    case Op::Nop:
+      break;
+    default: {
+      int64_t OldRd = Info.RdIsInput ? M.readReg(I.Rd) : 0;
+      D.Result = evalAluOp(I.Opc, I.W, A, B, OldRd);
+      M.writeReg(I.Rd, D.Result);
+      D.WroteDest = true;
+      break;
+    }
+    }
+
+    if (M.faulted()) {
+      Result.Status = RunStatus::Fault;
+      Result.Message = M.faultMessage();
+      Stop = true;
+    }
+
+    ++Stats.DynInsts;
+    ++Stats.ClassWidth[static_cast<unsigned>(Info.Class)]
+                      [static_cast<unsigned>(I.W)];
+    if (D.WroteDest || I.Opc == Op::St)
+      ++Stats.ValueSizeBytes[significantBytes(D.Result)];
+
+    if (Trace) {
+      D.NextPc =
+          Stop ? D.Pc + 4 : Layout.pcOf(NextFunc, NextBlock, NextIndex);
+      Trace->push_back(D);
+    }
+
+    if (Stop)
+      break;
+
+    Func = NextFunc;
+    Block = NextBlock;
+    Index = NextIndex;
+    if (Jumped && NextIndex == 0)
+      ++Stats.BlockCounts[Func][Block];
+  }
+
+  Result.Output = std::move(M.Output);
+  return Result;
+}
+
+//===----------------------------------------------------------------------===//
+// Engine harness + comparators
+//===----------------------------------------------------------------------===//
+
+/// Collects every record and the batch-length sequence (window flushes
+/// produce short batches mid-stream; those boundaries must match too).
+class VecSink final : public TraceSink {
+public:
+  std::vector<DynInst> Records;
+  std::vector<size_t> BatchLens;
+
+  void onBatch(const DynInst *Batch, size_t N) override {
+    Records.insert(Records.end(), Batch, Batch + N);
+    BatchLens.push_back(N);
+  }
+};
+
+struct EngineRun {
+  RunResult R;
+  std::vector<DynInst> Trace;
+  std::vector<size_t> BatchLens;
+};
+
+EngineRun engineRun(const DecodedProgram &DP, RunOptions O, DispatchMode M,
+                    const SuperblockPlan *Plan, bool WithSink,
+                    const std::vector<SampleWindow> *Windows = nullptr) {
+  EngineRun E;
+  VecSink Sink;
+  O.Dispatch = M;
+  O.Superblocks = Plan;
+  O.Sink = WithSink ? &Sink : nullptr;
+  E.R = Windows ? runProgramWindowed(DP, O, *Windows) : runProgram(DP, O);
+  E.Trace = std::move(Sink.Records);
+  E.BatchLens = std::move(Sink.BatchLens);
+  return E;
+}
+
+void expectSameResult(const RunResult &A, const RunResult &B,
+                      const std::string &What) {
+  EXPECT_EQ(static_cast<int>(A.Status), static_cast<int>(B.Status)) << What;
+  EXPECT_EQ(A.Message, B.Message) << What;
+  EXPECT_EQ(A.Stats.DynInsts, B.Stats.DynInsts) << What;
+  EXPECT_EQ(A.Output, B.Output) << What;
+  EXPECT_EQ(A.Stats.BlockCounts, B.Stats.BlockCounts) << What;
+  EXPECT_EQ(0, memcmp(A.Stats.ClassWidth, B.Stats.ClassWidth,
+                      sizeof(A.Stats.ClassWidth)))
+      << What << ": ClassWidth histograms differ";
+  EXPECT_EQ(0, memcmp(A.Stats.ValueSizeBytes, B.Stats.ValueSizeBytes,
+                      sizeof(A.Stats.ValueSizeBytes)))
+      << What << ": ValueSizeBytes histograms differ";
+}
+
+bool sameRecord(const DynInst &A, const DynInst &B) {
+  if (A.I != B.I || A.Func != B.Func || A.Block != B.Block ||
+      A.Index != B.Index || A.Pc != B.Pc || A.NextPc != B.NextPc ||
+      A.SeqPc != B.SeqPc || A.NumSrcs != B.NumSrcs ||
+      A.WroteDest != B.WroteDest || A.Result != B.Result ||
+      A.IsMem != B.IsMem || A.MemAddr != B.MemAddr ||
+      A.IsBranch != B.IsBranch || A.Taken != B.Taken)
+    return false;
+  for (unsigned S = 0; S < A.NumSrcs; ++S)
+    if (A.SrcVals[S] != B.SrcVals[S])
+      return false;
+  return true;
+}
+
+void expectSameTrace(const std::vector<DynInst> &A,
+                     const std::vector<DynInst> &B, const std::string &What) {
+  ASSERT_EQ(A.size(), B.size()) << What;
+  for (size_t I = 0; I < A.size(); ++I) {
+    if (!sameRecord(A[I], B[I])) {
+      ADD_FAILURE() << What << ": record " << I << " differs (pc "
+                    << A[I].Pc << " vs " << B[I].Pc << ", result "
+                    << A[I].Result << " vs " << B[I].Result << ")";
+      return;
+    }
+  }
+}
+
+void expectSameEngineCounters(const EngineCounters &A,
+                              const EngineCounters &B,
+                              const std::string &What) {
+  EXPECT_EQ(A.SuperblocksFormed, B.SuperblocksFormed) << What;
+  EXPECT_EQ(A.SuperblockEntries, B.SuperblockEntries) << What;
+  EXPECT_EQ(A.SuperblockPasses, B.SuperblockPasses) << What;
+  EXPECT_EQ(A.SuperblockInsts, B.SuperblockInsts) << What;
+  EXPECT_EQ(A.SideExits, B.SideExits) << What;
+  EXPECT_EQ(A.WindowFissions, B.WindowFissions) << What;
+}
+
+/// The accounting identity of the fast path: every superblock entry
+/// terminates in exactly one full pass or one side exit (faults count as
+/// side exits), and fused instructions never exceed the run total.
+void expectCountersConsistent(const RunResult &R, const std::string &What) {
+  EXPECT_EQ(R.Engine.SuperblockEntries,
+            R.Engine.SuperblockPasses + R.Engine.SideExits)
+      << What;
+  EXPECT_LE(R.Engine.SuperblockInsts, R.Stats.DynInsts) << What;
+}
+
+//===----------------------------------------------------------------------===//
+// Random program generator
+//===----------------------------------------------------------------------===//
+
+/// A random but always-terminating program: main runs a counted loop over
+/// a region of blocks whose internal edges are all forward (fallthroughs,
+/// unconditional jumps, data-dependent conditional branches, empty
+/// blocks), sprinkled with calls into 0-2 leaf functions, loads/stores
+/// into a scratch data segment, and OUT instructions. With \p BadMem the
+/// memory base register occasionally goes out of bounds, so some programs
+/// fault mid-loop.
+Program randomProgram(Rng &R, bool BadMem) {
+  ProgramBuilder PB;
+  uint64_t Base = PB.addZeroData(4096);
+  {
+    std::vector<int64_t> Quads;
+    for (int I = 0; I < 32; ++I)
+      Quads.push_back(static_cast<int64_t>(R.next()));
+    PB.addQuadData(Quads);
+  }
+
+  const Reg Pool[] = {RegV0, RegT0, RegT1, RegT2, RegT3,
+                      RegT4, RegA0, RegA1, RegZero};
+  auto reg = [&] { return Pool[R.below(9)]; };
+  const Op AluOps[] = {Op::Add,    Op::Sub,    Op::Mul,    Op::And,
+                       Op::Or,     Op::Xor,    Op::Bic,    Op::Sll,
+                       Op::Srl,    Op::Sra,    Op::CmpEq,  Op::CmpLt,
+                       Op::CmpLe,  Op::CmpUlt, Op::CmpUle, Op::CmovEq,
+                       Op::CmovNe, Op::CmovLt, Op::CmovGe};
+  const Width Widths[] = {Width::B, Width::H, Width::W, Width::Q};
+  auto width = [&] { return Widths[R.below(4)]; };
+
+  // RegT5 is the memory base; every function re-establishes it.
+  auto rebase = [&](FunctionBuilder &F) {
+    uint64_t B = Base + R.below(512) * 8;
+    if (BadMem && R.below(16) == 0)
+      B = (8u << 20) - R.below(64); // near the end of memory: loads fault
+    F.ldi(RegT5, static_cast<int64_t>(B));
+  };
+
+  auto body = [&](FunctionBuilder &F) {
+    switch (R.below(10)) {
+    case 0: {
+      Instruction I = Instruction::ldi(reg(), R.range(-100000, 100000));
+      I.W = width();
+      F.emit(I);
+      break;
+    }
+    case 1:
+      F.ld(width(), reg(), RegT5, static_cast<int64_t>(R.below(3000)));
+      break;
+    case 2:
+      F.st(width(), reg(), RegT5, static_cast<int64_t>(R.below(3000)));
+      break;
+    case 3:
+      F.msk(Widths[R.below(3)], reg(), reg(), static_cast<unsigned>(R.below(4)));
+      break;
+    case 4:
+      F.out(reg());
+      break;
+    case 5:
+      F.emit(Instruction::nop());
+      break;
+    case 6:
+      F.emit(Instruction::sext(width(), reg(), reg()));
+      break;
+    default: {
+      Op O = AluOps[R.below(19)];
+      if (R.below(2))
+        F.emit(Instruction::alu(O, width(), reg(), reg(), reg()));
+      else
+        F.emit(Instruction::aluImm(O, width(), reg(), reg(),
+                                   R.range(-512, 512)));
+      break;
+    }
+    }
+  };
+
+  // Entry first: the first function begun is the program entry.
+  FunctionBuilder &Main = PB.beginFunction("main");
+  int NumCallees = static_cast<int>(R.below(3));
+
+  Main.block("entry");
+  Main.ldi(RegS1, R.range(30, 200)); // iteration counter (callee-saved)
+  rebase(Main);
+  int NR = static_cast<int>(R.range(2, 5));
+  auto regionLabel = [](int I) { return "r" + std::to_string(I); };
+
+  Main.block(regionLabel(0));
+  for (int BI = 0; BI < NR; ++BI) {
+    bool Empty = R.below(8) == 0;
+    int Bodies = Empty ? 0 : static_cast<int>(R.range(1, 5));
+    for (int K = 0; K < Bodies; ++K) {
+      if (NumCallees && R.below(8) == 0) {
+        Main.jsr("f" + std::to_string(R.below(NumCallees)));
+        rebase(Main); // callees clobber the caller-saved base register
+      } else {
+        body(Main);
+      }
+    }
+    // Terminator: all region edges go forward, so every iteration reaches
+    // the latch and the loop terminates by counter.
+    std::string Next = BI + 1 < NR ? regionLabel(BI + 1) : "latch";
+    auto fwd = [&] {
+      int J = BI + 1 + static_cast<int>(R.below(NR - BI));
+      return J < NR ? regionLabel(J) : std::string("latch");
+    };
+    if (Empty || R.below(3) == 0) {
+      Main.block(Next); // plain fallthrough
+    } else if (R.below(3) == 0) {
+      Main.br(fwd());
+      Main.block(Next);
+    } else {
+      switch (R.below(6)) {
+      case 0: Main.beq(reg(), fwd(), Next); break;
+      case 1: Main.bne(reg(), fwd(), Next); break;
+      case 2: Main.blt(reg(), fwd(), Next); break;
+      case 3: Main.ble(reg(), fwd(), Next); break;
+      case 4: Main.bgt(reg(), fwd(), Next); break;
+      default: Main.bge(reg(), fwd(), Next); break;
+      }
+      Main.block(Next);
+    }
+    if (Next == "latch")
+      break;
+  }
+  // The loop above may have opened "latch" already; block() resumes it.
+  Main.block("latch");
+  Main.subi(RegS1, RegS1, 1);
+  Main.bgt(RegS1, regionLabel(0), "exit");
+  Main.block("exit");
+  Main.out(RegV0);
+  Main.out(RegT0);
+  Main.halt();
+
+  // Leaf callees: a straight line or a small diamond, then ret. They only
+  // touch caller-saved registers, so they are safe under checked mode.
+  for (int C = 0; C < NumCallees; ++C) {
+    FunctionBuilder &F = PB.beginFunction("f" + std::to_string(C));
+    F.block("entry");
+    rebase(F);
+    int N = static_cast<int>(R.range(2, 6));
+    for (int K = 0; K < N; ++K)
+      body(F);
+    if (R.below(2)) {
+      F.bne(reg(), "left", "right");
+      F.block("left");
+      body(F);
+      F.br("join");
+      F.block("right");
+      body(F);
+      F.block("join");
+    }
+    F.ret();
+  }
+
+  return PB.finish();
+}
+
+/// Random, sorted, pairwise-disjoint windows over a run of \p DynInsts
+/// instructions, with random light-record prefixes. May include empty and
+/// past-the-end windows (both must be handled).
+std::vector<SampleWindow> randomWindows(Rng &R, uint64_t DynInsts) {
+  std::vector<SampleWindow> Ws;
+  uint64_t Cur = R.below(DynInsts / 2 + 1);
+  int N = static_cast<int>(R.range(1, 3));
+  for (int I = 0; I < N; ++I) {
+    uint64_t Len = R.below(DynInsts / 3 + 2);
+    SampleWindow W;
+    W.Begin = Cur;
+    W.End = Cur + Len;
+    W.LightLen = R.below(Len + 1);
+    Ws.push_back(W);
+    Cur = W.End + 1 + R.below(DynInsts / 3 + 2);
+  }
+  return Ws;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Randomized differential tests
+//===----------------------------------------------------------------------===//
+
+TEST(DispatchOracle, RandomProgramsAgreeAcrossAllPaths) {
+  const uint64_t Seed = oracleSeed(0xD15BA7C4);
+  SCOPED_TRACE(seedTrace(Seed));
+  Rng R(Seed);
+
+  for (int Trial = 0; Trial < 40; ++Trial) {
+    SCOPED_TRACE("trial " + std::to_string(Trial));
+    Program P = randomProgram(R, /*BadMem=*/Trial % 4 == 3);
+    RunOptions O;
+    O.Fuel = Trial % 7 == 0 ? R.range(50, 2000) : 100000;
+
+    std::vector<DynInst> RefTrace;
+    RunResult Ref = refRun(P, O, &RefTrace);
+
+    DecodedProgram DP(P);
+    SuperblockPlan Plan(DP, Ref.Stats.BlockCounts);
+
+    // Sink-fed runs: the record stream must match the oracle exactly.
+    EngineRun SwT = engineRun(DP, O, DispatchMode::Switch, nullptr, true);
+    EngineRun ThT = engineRun(DP, O, DispatchMode::Threaded, nullptr, true);
+    expectSameResult(Ref, SwT.R, "oracle vs switch+sink");
+    expectSameResult(Ref, ThT.R, "oracle vs threaded+sink");
+    expectSameTrace(RefTrace, SwT.Trace, "oracle vs switch trace");
+    expectSameTrace(RefTrace, ThT.Trace, "oracle vs threaded trace");
+
+    // No-sink runs, with and without the superblock fast path.
+    EngineRun Sw = engineRun(DP, O, DispatchMode::Switch, nullptr, false);
+    EngineRun Th = engineRun(DP, O, DispatchMode::Threaded, nullptr, false);
+    EngineRun SwSb = engineRun(DP, O, DispatchMode::Switch, &Plan, false);
+    EngineRun ThSb = engineRun(DP, O, DispatchMode::Threaded, &Plan, false);
+    expectSameResult(Ref, Sw.R, "oracle vs switch");
+    expectSameResult(Ref, Th.R, "oracle vs threaded");
+    expectSameResult(Ref, SwSb.R, "oracle vs switch+superblocks");
+    expectSameResult(Ref, ThSb.R, "oracle vs threaded+superblocks");
+    expectCountersConsistent(SwSb.R, "switch+superblocks counters");
+    expectCountersConsistent(ThSb.R, "threaded+superblocks counters");
+    // The fast path is deterministic: both dispatch modes take identical
+    // superblock entries/exits.
+    expectSameEngineCounters(SwSb.R.Engine, ThSb.R.Engine,
+                             "superblock counters across dispatch modes");
+
+    // Windowed runs: light + full records, fission at boundaries. The
+    // superblock run must produce the identical record stream and batch
+    // boundaries as the plain run.
+    if (Ref.Stats.DynInsts > 10) {
+      std::vector<SampleWindow> Ws = randomWindows(R, Ref.Stats.DynInsts);
+      EngineRun WPlain =
+          engineRun(DP, O, DispatchMode::Switch, nullptr, true, &Ws);
+      EngineRun WSb =
+          engineRun(DP, O, DispatchMode::Threaded, &Plan, true, &Ws);
+      EngineRun WSb2 =
+          engineRun(DP, O, DispatchMode::Switch, &Plan, true, &Ws);
+      expectSameResult(Ref, WPlain.R, "oracle vs windowed");
+      expectSameResult(Ref, WSb.R, "oracle vs windowed+superblocks");
+      expectSameTrace(WPlain.Trace, WSb.Trace,
+                      "windowed trace with vs without superblocks");
+      expectSameTrace(WSb.Trace, WSb2.Trace,
+                      "windowed superblock trace across dispatch modes");
+      EXPECT_EQ(WPlain.BatchLens, WSb.BatchLens)
+          << "windowed batch boundaries differ";
+      expectSameEngineCounters(WSb.R.Engine, WSb2.R.Engine,
+                               "windowed counters across dispatch modes");
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Directed differential tests: terminal states inside superblocks
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Runs every engine configuration of \p P and expects bit-identical
+/// results against the oracle; the plan is self-profiled so the hot loop
+/// of the program actually runs fused.
+void expectAllPathsAgree(const Program &P, const RunOptions &O) {
+  RunResult Ref = refRun(P, O, nullptr);
+  DecodedProgram DP(P);
+  SuperblockPlan Plan = buildSelfProfiledPlan(DP, O);
+  expectSameResult(Ref, engineRun(DP, O, DispatchMode::Switch, nullptr, false).R,
+                   "oracle vs switch");
+  expectSameResult(Ref,
+                   engineRun(DP, O, DispatchMode::Threaded, nullptr, false).R,
+                   "oracle vs threaded");
+  EngineRun Sb = engineRun(DP, O, DispatchMode::Threaded, &Plan, false);
+  expectSameResult(Ref, Sb.R, "oracle vs threaded+superblocks");
+  expectCountersConsistent(Sb.R, "superblock counters");
+}
+
+} // namespace
+
+TEST(DispatchOracle, FaultInsideHotLoopAgrees) {
+  // The loop streams loads toward the end of memory and faults mid-pass
+  // after ~1k fused iterations: the side-exit reconciliation must replay
+  // the partial pass exactly (stats, value sizes, fault message).
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.ldi(RegT0, static_cast<int64_t>((8u << 20) - 8192));
+  Main.block("loop");
+  Main.ld(Width::Q, RegT1, RegT0, 0);
+  Main.addi(RegT0, RegT0, 8);
+  Main.add(RegV0, RegV0, RegT1);
+  Main.br("loop");
+  Program P = PB.finish();
+
+  RunOptions O;
+  expectAllPathsAgree(P, O);
+  RunResult Ref = refRun(P, O, nullptr);
+  EXPECT_EQ(static_cast<int>(Ref.Status), static_cast<int>(RunStatus::Fault));
+}
+
+TEST(DispatchOracle, OutOfFuelInsideHotLoopAgrees) {
+  // Fuel expires at a point that is not a multiple of the loop body, so
+  // the run must fall out of the fast path and finish the tail (and the
+  // final, cut-short instruction count) in the generic loop.
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.ldi(RegT0, 0);
+  Main.block("loop");
+  Main.addi(RegT0, RegT0, 3);
+  Main.xori(RegT1, RegT0, 0x55);
+  Main.br("loop");
+  Program P = PB.finish();
+
+  RunOptions O;
+  O.Fuel = 10001;
+  expectAllPathsAgree(P, O);
+  RunResult Ref = refRun(P, O, nullptr);
+  EXPECT_EQ(static_cast<int>(Ref.Status),
+            static_cast<int>(RunStatus::OutOfFuel));
+}
+
+TEST(DispatchOracle, CalleeSaveViolationAgrees) {
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.ldi(RegS0, 7);
+  Main.jsr("evil");
+  Main.halt();
+  FunctionBuilder &Evil = PB.beginFunction("evil");
+  Evil.block("entry");
+  Evil.ldi(RegS0, 123);
+  Evil.ret();
+  Program P = PB.finish();
+
+  RunOptions O;
+  O.CheckCalleeSaved = true;
+  expectAllPathsAgree(P, O);
+  RunResult Ref = refRun(P, O, nullptr);
+  EXPECT_EQ(static_cast<int>(Ref.Status),
+            static_cast<int>(RunStatus::CalleeSaveViolation));
+}
+
+TEST(DispatchOracle, CallDepthLimitAgrees) {
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.jsr("rec");
+  Main.halt();
+  FunctionBuilder &Rec = PB.beginFunction("rec");
+  Rec.block("entry");
+  Rec.addi(RegT0, RegT0, 1);
+  Rec.jsr("rec");
+  Rec.ret();
+  Program P = PB.finish();
+
+  RunOptions O;
+  O.MaxCallDepth = 64;
+  expectAllPathsAgree(P, O);
+  RunResult Ref = refRun(P, O, nullptr);
+  EXPECT_EQ(static_cast<int>(Ref.Status), static_cast<int>(RunStatus::Fault));
+  EXPECT_EQ(Ref.Message, "call depth limit exceeded");
+}
+
+//===----------------------------------------------------------------------===//
+// Workload-level differential tests
+//===----------------------------------------------------------------------===//
+
+class WorkloadDispatch : public ::testing::TestWithParam<const char *> {};
+
+TEST_P(WorkloadDispatch, AllDispatchPathsAgree) {
+  Workload W = makeWorkload(GetParam(), 0.05);
+  DecodedProgram DP(W.Prog);
+  SuperblockPlan Plan = buildSelfProfiledPlan(DP, W.Ref);
+
+  EngineRun Sw = engineRun(DP, W.Ref, DispatchMode::Switch, nullptr, false);
+  EngineRun Th = engineRun(DP, W.Ref, DispatchMode::Threaded, nullptr, false);
+  EngineRun Sb = engineRun(DP, W.Ref, DispatchMode::Threaded, &Plan, false);
+  expectSameResult(Sw.R, Th.R, "switch vs threaded");
+  expectSameResult(Sw.R, Sb.R, "switch vs threaded+superblocks");
+  expectCountersConsistent(Sb.R, "superblock counters");
+  EXPECT_EQ(static_cast<int>(Sw.R.Status),
+            static_cast<int>(RunStatus::Halted));
+  // Real workloads must actually exercise the fast path.
+  EXPECT_GT(Sb.R.Engine.SuperblockPasses, 0u);
+  EXPECT_GT(Sb.R.Engine.coverage(Sb.R.Stats.DynInsts), 0.5);
+}
+
+TEST_P(WorkloadDispatch, WindowedTraceUnchangedBySuperblocks) {
+  Workload W = makeWorkload(GetParam(), 0.03);
+  DecodedProgram DP(W.Prog);
+  SuperblockPlan Plan = buildSelfProfiledPlan(DP, W.Ref);
+
+  uint64_t Dyn =
+      engineRun(DP, W.Ref, DispatchMode::Auto, nullptr, false).R.Stats.DynInsts;
+  ASSERT_GT(Dyn, 100u);
+  // Windows straddle the run: an early full window, a light-prefixed
+  // window in the middle, and a window cut off by the end of the run.
+  std::vector<SampleWindow> Ws = {{Dyn / 10, Dyn / 10 + 500, 0},
+                                  {Dyn / 2, Dyn / 2 + 4000, 3000},
+                                  {Dyn - 100, Dyn + 100, 50}};
+  EngineRun Plain =
+      engineRun(DP, W.Ref, DispatchMode::Switch, nullptr, true, &Ws);
+  EngineRun Sb = engineRun(DP, W.Ref, DispatchMode::Threaded, &Plan, true, &Ws);
+  expectSameResult(Plain.R, Sb.R, "windowed with vs without superblocks");
+  expectSameTrace(Plain.Trace, Sb.Trace, "windowed record stream");
+  EXPECT_EQ(Plain.BatchLens, Sb.BatchLens);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadDispatch,
+                         ::testing::Values("compress", "gcc", "go", "ijpeg",
+                                           "li", "m88ksim", "perl", "vortex"),
+                         [](const ::testing::TestParamInfo<const char *> &I) {
+                           return std::string(I.param);
+                         });
+
+//===----------------------------------------------------------------------===//
+// Plan formation and rejection
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+Program countingLoop() {
+  ProgramBuilder PB;
+  FunctionBuilder &Main = PB.beginFunction("main");
+  Main.block("entry");
+  Main.ldi(RegT0, 0);
+  Main.block("loop");
+  Main.addi(RegT0, RegT0, 1);
+  Main.cmpltImm(RegT1, RegT0, 5000);
+  Main.bne(RegT1, "loop", "exit");
+  Main.block("exit");
+  Main.out(RegT0);
+  Main.halt();
+  return PB.finish();
+}
+
+} // namespace
+
+TEST(SuperblockPlan, FormsAndRunsLoopSuperblock) {
+  Program P = countingLoop();
+  DecodedProgram DP(P);
+  RunOptions O;
+  SuperblockPlan Plan = buildSelfProfiledPlan(DP, O);
+  ASSERT_GE(Plan.size(), 1u);
+
+  EngineRun Plain = engineRun(DP, O, DispatchMode::Auto, nullptr, false);
+  EngineRun Sb = engineRun(DP, O, DispatchMode::Auto, &Plan, false);
+  expectSameResult(Plain.R, Sb.R, "loop with vs without superblocks");
+  EXPECT_GT(Sb.R.Engine.SuperblockPasses, 0u);
+  EXPECT_GT(Sb.R.Engine.coverage(Sb.R.Stats.DynInsts), 0.9);
+  expectCountersConsistent(Sb.R, "loop counters");
+}
+
+TEST(SuperblockPlan, RejectsProfileShapeMismatch) {
+  Program P = countingLoop();
+  DecodedProgram DP(P);
+  std::vector<std::vector<uint64_t>> Wrong(2); // program has one function
+  EXPECT_THROW(SuperblockPlan(DP, Wrong), std::invalid_argument);
+}
+
+TEST(SuperblockPlan, EngineRejectsForeignPlan) {
+  Program P = countingLoop();
+  DecodedProgram DP1(P);
+  DecodedProgram DP2(P); // same program, different decode instance
+  RunOptions O;
+  SuperblockPlan Plan = buildSelfProfiledPlan(DP1, O);
+  O.Superblocks = &Plan;
+  EXPECT_THROW(runProgram(DP2, O), std::invalid_argument);
+  EXPECT_THROW(runProgramWindowed(DP2, O, {}), std::invalid_argument);
+  EXPECT_NO_THROW(runProgram(DP1, O));
+}
+
+//===----------------------------------------------------------------------===//
+// Dispatch-mode resolution
+//===----------------------------------------------------------------------===//
+
+TEST(DispatchMode, ResolutionAndNames) {
+  EXPECT_EQ(static_cast<int>(resolveDispatchMode(DispatchMode::Switch)),
+            static_cast<int>(DispatchMode::Switch));
+  DispatchMode Fast = resolveDispatchMode(DispatchMode::Auto);
+  EXPECT_EQ(static_cast<int>(Fast),
+            static_cast<int>(engineHasThreadedDispatch()
+                                 ? DispatchMode::Threaded
+                                 : DispatchMode::Switch));
+  // Threaded demotes to switch on builds without computed goto.
+  EXPECT_EQ(static_cast<int>(resolveDispatchMode(DispatchMode::Threaded)),
+            static_cast<int>(Fast));
+  EXPECT_STREQ(dispatchModeName(DispatchMode::Switch), "switch");
+  EXPECT_STREQ(dispatchModeName(resolveDispatchMode(DispatchMode::Auto)),
+               engineHasThreadedDispatch() ? "threaded" : "switch");
+}

@@ -11,7 +11,12 @@
 //     --scheme=NAME     power accounting: none|sw|hwsig|hwsize|combined
 //     --stats           print the dynamic width/class histograms
 //     --fuel=N          dynamic instruction budget
-//     --timing-line     print "sim-speed: <N> MIPS, <M> dyn insts"
+//     --timing-line     print "sim-speed: <N> MIPS, <M> dyn insts" plus
+//                       the active dispatch mode and the preparation
+//                       time (decode + self-profiled superblock
+//                       formation, which timing runs without a sink get
+//                       so sim-speed measures the production fast path)
+//                       separately from the run time
 //                       (wall-clock dependent; never part of sweep
 //                       reports, so determinism checks stay byte-exact;
 //                       rejected in --sweep mode for the same reason)
@@ -41,6 +46,13 @@
 //                       cache hits/misses/invalidations of the transform
 //                       phase) to the JSON document; off by default so
 //                       default documents keep the baseline-stable shape
+//     --engine-stats    add each cell's "engine" counters group
+//                       (superblocks formed, fast-path entries/passes,
+//                       fused instructions, side exits, window fissions
+//                       + the coverage fraction) to the JSON document;
+//                       off by default for the same baseline-stability
+//                       reason, and rejected outside --sweep mode like
+//                       --opt-stats
 //
 // Sweep mode prints the deterministic aggregate report on stdout and
 // timing/progress on stderr, so stdout can be diffed across --jobs.
@@ -55,6 +67,7 @@
 #include "driver/Driver.h"
 #include "power/Report.h"
 #include "report/ReportSchema.h"
+#include "sim/Superblock.h"
 #include "support/Table.h"
 
 #include <algorithm>
@@ -65,6 +78,7 @@
 #include <fstream>
 #include <iostream>
 #include <limits>
+#include <memory>
 #include <sstream>
 
 using namespace og;
@@ -128,7 +142,7 @@ double parseFlagScale(const char *Flag, const std::string &Val,
 
 int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
                  const std::string &WorkloadCsv, bool KeepGoing,
-                 const std::string &JsonPath, bool OptStats,
+                 const std::string &JsonPath, bool OptStats, bool EngineStats,
                  const SampleSpec &Sample) {
   std::vector<std::string> Names;
   if (WorkloadCsv.empty()) {
@@ -202,7 +216,8 @@ int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
     std::string Err;
     if (!writeJsonFile(JsonPath,
                        sweepToJson(R.Aggregate, SweepKind, Scale, OptStats,
-                                   Sample.enabled() ? &Sample : nullptr),
+                                   Sample.enabled() ? &Sample : nullptr,
+                                   EngineStats),
                        &Err)) {
       std::cerr << "ogate-sim: " << Err << "\n";
       return 1;
@@ -222,7 +237,7 @@ int main(int argc, char **argv) {
   bool Uarch = false, Stats = false, TimingLine = false;
   GatingScheme Scheme = GatingScheme::None;
   uint64_t Fuel = 200'000'000;
-  bool Sweep = false, KeepGoing = false, OptStats = false;
+  bool Sweep = false, KeepGoing = false, OptStats = false, EngineStats = false;
   SampleSpec Sample;
   std::string SweepKind = "standard", WorkloadCsv, JsonPath;
   unsigned Jobs = 1;
@@ -307,13 +322,15 @@ int main(int argc, char **argv) {
       KeepGoing = true;
     } else if (Arg == "--opt-stats") {
       OptStats = true;
+    } else if (Arg == "--engine-stats") {
+      EngineStats = true;
     } else if (Arg == "--help" || Arg == "-h") {
       std::cerr << "usage: ogate-sim [--arg=N]... [--uarch] "
                    "[--scheme=none|sw|hwsig|hwsize|combined] [--stats] "
                    "[--fuel=N] [--timing-line] [--json=PATH] input.s\n"
                    "       ogate-sim --sweep[=standard|matrix] [--jobs N] "
                    "[--scale=S] [--workloads=a,b] [--keep-going] "
-                   "[--json=PATH] [--opt-stats]\n";
+                   "[--json=PATH] [--opt-stats] [--engine-stats]\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "ogate-sim: unknown option '" << Arg << "'\n";
@@ -346,10 +363,16 @@ int main(int argc, char **argv) {
                    "--json=PATH alongside it\n";
       return 1;
     }
+    if (EngineStats && JsonPath.empty()) {
+      std::cerr << "ogate-sim: --engine-stats adds the per-cell \"engine\" "
+                   "counters group to the JSON document and needs "
+                   "--json=PATH alongside it\n";
+      return 1;
+    }
     if (Jobs < 1)
       Jobs = 1;
     return runSweepMode(SweepKind, Jobs, Scale, WorkloadCsv, KeepGoing,
-                        JsonPath, OptStats, Sample);
+                        JsonPath, OptStats, EngineStats, Sample);
   }
 
   if (Sample.enabled()) {
@@ -365,6 +388,14 @@ int main(int argc, char **argv) {
     std::cerr << "ogate-sim: --opt-stats reports the transform phase's "
                  "analysis-cache counters and only applies to --sweep "
                  "mode (single-program mode runs no transforms)\n";
+    return 1;
+  }
+
+  if (EngineStats) {
+    std::cerr << "ogate-sim: --engine-stats reports sweep cells' "
+                 "dispatch/superblock counters and only applies to "
+                 "--sweep mode (use --timing-line here to see the "
+                 "active dispatch mode)\n";
     return 1;
   }
 
@@ -396,7 +427,20 @@ int main(int argc, char **argv) {
   if (Uarch)
     Opts.Sink = &Core; // the core consumes the trace in batches
 
+  // --timing-line splits preparation from measurement: decode and (for
+  // timing runs without a detailed sink, where the fast path engages)
+  // self-profiled superblock formation are timed as "prep", so sim-speed
+  // measures the dispatch loop alone rather than averaging build cost in.
+  auto PrepStart = std::chrono::steady_clock::now();
   DecodedProgram Decoded(*Parsed);
+  std::unique_ptr<SuperblockPlan> Plan;
+  if (TimingLine && !Uarch) {
+    Plan = std::make_unique<SuperblockPlan>(buildSelfProfiledPlan(Decoded, Opts));
+    Opts.Superblocks = Plan.get();
+  }
+  double PrepSeconds = std::chrono::duration<double>(
+                           std::chrono::steady_clock::now() - PrepStart)
+                           .count();
   auto RunStart = std::chrono::steady_clock::now();
   RunResult R = runProgram(Decoded, Opts);
   double RunSeconds = std::chrono::duration<double>(
@@ -415,9 +459,15 @@ int main(int argc, char **argv) {
   double Mips = RunSeconds > 0.0
                     ? static_cast<double>(R.Stats.DynInsts) / RunSeconds / 1e6
                     : 0.0;
+  const DispatchMode ActiveDispatch = resolveDispatchMode(Opts.Dispatch);
   if (TimingLine)
     std::cout << "sim-speed: " << TextTable::num(Mips, 1) << " MIPS, "
-              << R.Stats.DynInsts << " dyn insts\n";
+              << R.Stats.DynInsts << " dyn insts\n"
+              << "sim-dispatch: " << dispatchModeName(ActiveDispatch)
+              << (Opts.Superblocks ? "+superblocks" : "") << "\n"
+              << "sim-prep: " << TextTable::num(PrepSeconds * 1e3, 1)
+              << " ms (decode + superblock formation), run "
+              << TextTable::num(RunSeconds * 1e3, 1) << " ms\n";
 
   if (Stats) {
     TextTable T({"class", "8b", "16b", "32b", "64b"});
@@ -485,10 +535,13 @@ int main(int argc, char **argv) {
       Doc.set("energy", toJson(Rep));
     }
     if (TimingLine) {
+      Doc.set("dispatch", JsonValue::str(dispatchModeName(ActiveDispatch)));
       // Wall-clock lives under "metrics" so `ogate-report diff` applies
       // its relative tolerance instead of demanding exact MIPS.
       JsonValue Metrics = JsonValue::object();
       Metrics.set("sim-mips", JsonValue::number(Mips));
+      Metrics.set("prep-ms", JsonValue::number(PrepSeconds * 1e3));
+      Metrics.set("run-ms", JsonValue::number(RunSeconds * 1e3));
       Doc.set("metrics", std::move(Metrics));
     }
     std::string Err;
