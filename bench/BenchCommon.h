@@ -29,6 +29,7 @@
 #include "driver/ThreadPool.h"
 #include "pipeline/Pipeline.h"
 #include "report/ReportSchema.h"
+#include "service/SweepService.h"
 #include "support/Table.h"
 
 #include <benchmark/benchmark.h>
@@ -123,10 +124,13 @@ public:
 
   const std::vector<Workload> &workloads() const { return Workloads; }
 
-  /// Fills the cache for every not-yet-cached spec through the driver,
-  /// sharded across OG_BENCH_JOBS workers. Results land in the cache in
-  /// spec order, so the tables a bench prints afterwards do not depend
-  /// on the worker count.
+  /// Fills the cache for every not-yet-cached spec through the sweep
+  /// service's full-result path (the bench is the service's third
+  /// client, next to batch ogate-sim and ogate-serve), sharded across
+  /// OG_BENCH_JOBS workers. Successive prefetch() calls share the
+  /// service's workload builds and sample-plan artifacts. Results land
+  /// in the cache in spec order, so the tables a bench prints afterwards
+  /// do not depend on the worker count.
   void prefetch(const std::vector<ExperimentSpec> &Specs) {
     std::vector<ExperimentSpec> Todo;
     for (const ExperimentSpec &S : Specs)
@@ -134,10 +138,9 @@ public:
         Todo.push_back(S);
     if (Todo.empty())
       return;
-    SweepOptions Opts;
-    Opts.Jobs = static_cast<unsigned>(
-        std::min<size_t>(benchJobs(), Todo.size()));
-    SweepResult R = runSweep(Todo, Opts);
+    SweepResult R = Service.runFull(
+        Todo,
+        static_cast<unsigned>(std::min<size_t>(benchJobs(), Todo.size())));
     if (!R.AllOk) {
       std::cerr << "bench: sweep failed: " << R.FirstError << "\n";
       std::exit(1);
@@ -231,6 +234,10 @@ private:
   }
 
   std::vector<Workload> Workloads;
+  /// Harness-lifetime sweep engine for prefetch fills (no persistent
+  /// cell cache: benches need full PipelineResults, which the reduced
+  /// cell cache does not carry).
+  SweepService Service{ServiceOptions()};
   std::map<std::pair<std::string, std::string>, PipelineResult> Cache;
 };
 

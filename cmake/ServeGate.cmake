@@ -1,0 +1,136 @@
+# The sweep-service smoke gate, run in CMake script mode:
+#
+#   cmake -DSIM=<ogate-sim> -DSERVE=<ogate-serve> -DOUT_DIR=<dir>
+#         [-DSCALE=0.05] [-DJOBS=8] -P ServeGate.cmake
+#
+# Steps (any failure stops the server, then FATAL_ERRORs so the CTest
+# wrapper fails):
+#   1. run the batch sweep with --json (the reference bytes);
+#   2. start ogate-serve on a fresh socket + cache directory, poll ping
+#      until it answers;
+#   3. request the same sweep through the server twice:
+#      - the cold pass must produce a byte-identical document, and every
+#        cell is a miss (the cache directory started empty);
+#      - the warm pass runs with --require-cached, which exits non-zero
+#        if any cell was recomputed — the "repeat sweeps are O(changed
+#        cells)" contract;
+#   4. ask the server to stop.
+
+if(NOT DEFINED SCALE)
+  set(SCALE 0.05)
+endif()
+if(NOT DEFINED JOBS)
+  set(JOBS 8)
+endif()
+
+set(BATCH_JSON ${OUT_DIR}/serve-batch.json)
+set(COLD_JSON ${OUT_DIR}/serve-cold.json)
+set(WARM_JSON ${OUT_DIR}/serve-warm.json)
+set(CACHE_DIR ${OUT_DIR}/serve-cache)
+set(SERVER_LOG ${OUT_DIR}/serve-server.log)
+# AF_UNIX caps sun_path around 108 bytes and build trees nest deep, so
+# the socket lives under /tmp with a random suffix (parallel ctest runs
+# must not collide).
+string(RANDOM LENGTH 8 ALPHABET abcdefghijklmnopqrstuvwxyz0123456789 TAG)
+set(SOCKET /tmp/ogate-serve-${TAG}.sock)
+
+file(REMOVE_RECURSE ${CACHE_DIR})
+file(REMOVE ${BATCH_JSON} ${COLD_JSON} ${WARM_JSON})
+
+# Stop the server (best-effort) before failing, so one broken step never
+# leaks a background process into the test runner.
+function(gate_fail MSG)
+  execute_process(COMMAND ${SERVE} stop --socket=${SOCKET}
+                  OUTPUT_QUIET ERROR_QUIET)
+  if(EXISTS ${SERVER_LOG})
+    file(READ ${SERVER_LOG} LOG)
+    message(FATAL_ERROR "${MSG}\n--- server log ---\n${LOG}")
+  endif()
+  message(FATAL_ERROR "${MSG}")
+endfunction()
+
+# --- 1. Batch reference document.
+execute_process(
+  COMMAND ${SIM} --sweep --scale=${SCALE} --jobs=${JOBS} --json=${BATCH_JSON}
+  RESULT_VARIABLE RC
+  OUTPUT_QUIET
+  ERROR_VARIABLE ERR
+)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "batch sweep failed (${RC}):\n${ERR}")
+endif()
+
+# --- 2. Server up, with an empty persistent cache.
+execute_process(
+  COMMAND sh -c "exec '${SERVE}' --socket='${SOCKET}' --cache-dir='${CACHE_DIR}' --jobs=${JOBS} > '${SERVER_LOG}' 2>&1 &"
+  RESULT_VARIABLE RC
+)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "could not launch ogate-serve (${RC})")
+endif()
+
+set(UP FALSE)
+foreach(ATTEMPT RANGE 50)
+  execute_process(COMMAND ${SERVE} ping --socket=${SOCKET}
+                  RESULT_VARIABLE RC OUTPUT_QUIET ERROR_QUIET)
+  if(RC EQUAL 0)
+    set(UP TRUE)
+    break()
+  endif()
+  execute_process(COMMAND ${CMAKE_COMMAND} -E sleep 0.2)
+endforeach()
+if(NOT UP)
+  gate_fail("ogate-serve did not answer ping on ${SOCKET} within 10s")
+endif()
+
+# --- 3a. Cold pass: byte-identical to batch.
+execute_process(
+  COMMAND ${SERVE} request --socket=${SOCKET} --scale=${SCALE}
+          --json=${COLD_JSON}
+  RESULT_VARIABLE RC
+  ERROR_VARIABLE ERR
+)
+if(NOT RC EQUAL 0)
+  gate_fail("cold served sweep failed (${RC}):\n${ERR}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${BATCH_JSON} ${COLD_JSON}
+  RESULT_VARIABLE RC
+)
+if(NOT RC EQUAL 0)
+  gate_fail("served sweep document is not byte-identical to batch "
+            "ogate-sim --sweep --json output (${BATCH_JSON} vs ${COLD_JSON})")
+endif()
+
+# --- 3b. Warm pass: zero recomputes, still the same bytes.
+execute_process(
+  COMMAND ${SERVE} request --socket=${SOCKET} --scale=${SCALE}
+          --json=${WARM_JSON} --require-cached
+  RESULT_VARIABLE RC
+  ERROR_VARIABLE ERR
+)
+if(NOT RC EQUAL 0)
+  gate_fail("warm served sweep was not pure cache hits (${RC}):\n${ERR}")
+endif()
+
+execute_process(
+  COMMAND ${CMAKE_COMMAND} -E compare_files ${BATCH_JSON} ${WARM_JSON}
+  RESULT_VARIABLE RC
+)
+if(NOT RC EQUAL 0)
+  gate_fail("warm-cache served document diverged from the batch bytes "
+            "(${BATCH_JSON} vs ${WARM_JSON})")
+endif()
+
+# --- 4. Shut down.
+execute_process(
+  COMMAND ${SERVE} stop --socket=${SOCKET}
+  RESULT_VARIABLE RC
+  ERROR_VARIABLE ERR
+)
+if(NOT RC EQUAL 0)
+  message(FATAL_ERROR "ogate-serve stop failed (${RC}):\n${ERR}")
+endif()
+message(STATUS "serve gate passed: cold bytes == batch bytes, warm pass "
+               "all cache hits")

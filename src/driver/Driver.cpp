@@ -80,6 +80,12 @@ SweepResult og::runSweep(const std::vector<ExperimentSpec> &Specs,
     try {
       Out.Result = Job(Specs[I], R);
       Out.Ok = true;
+      if (Opts.Consume) {
+        Opts.Consume(I, Specs[I], Out.Result);
+        // The consumer has reduced what it needs; drop the heavy result
+        // (transformed Program, histograms) now instead of at sweep end.
+        Out.Result = PipelineResult();
+      }
     } catch (const std::exception &E) {
       Out.Error = "spec '" + Specs[I].name() + "': " + E.what();
     } catch (...) {
@@ -112,7 +118,8 @@ SweepResult og::runSweep(const std::vector<ExperimentSpec> &Specs,
   for (size_t I = 0; I < Specs.size(); ++I) {
     const JobOutcome &Out = Result.Outcomes[I];
     if (Out.Ok) {
-      Result.Aggregate.add(Specs[I], Out.Result);
+      if (!Opts.Consume)
+        Result.Aggregate.add(Specs[I], Out.Result);
     } else {
       Result.AllOk = false;
       if (Result.FirstError.empty() && !Out.Error.empty())

@@ -56,6 +56,14 @@ using ExperimentJob =
 /// The default job: build the spec's workload and run the full pipeline.
 PipelineResult runSpecPipeline(const ExperimentSpec &Spec, Rng &R);
 
+/// Streaming per-job consumer (SweepOptions::Consume): called on the
+/// worker thread immediately after the job for \p Index succeeds, with
+/// the spec and the still-owned result. Each index fires exactly once and
+/// distinct indices fire concurrently, so a consumer writing to
+/// index-addressed slots needs no locking of its own.
+using SweepConsumer = std::function<void(
+    size_t Index, const ExperimentSpec &Spec, PipelineResult &Result)>;
+
 /// Sweep execution knobs.
 struct SweepOptions {
   /// Worker threads. 1 runs everything inline on the calling thread.
@@ -65,6 +73,13 @@ struct SweepOptions {
   bool KeepGoing = false;
   /// The per-spec work; defaults to runSpecPipeline.
   ExperimentJob Job;
+  /// Optional streaming consumer (see SweepConsumer). When set, the
+  /// driver releases each PipelineResult right after its callback
+  /// returns (Outcomes keep Ok/Error but carry empty Results) and skips
+  /// building SweepResult::Aggregate — the consumer owns reduction. The
+  /// sweep service uses this to reduce results to report cells on the
+  /// fly instead of holding every transformed Program until the end.
+  SweepConsumer Consume;
 };
 
 /// Everything a sweep produced.

@@ -10,7 +10,8 @@
 
 using namespace og;
 
-void ResultAggregator::add(const ExperimentSpec &Spec,
+ResultAggregator::Cell
+ResultAggregator::makeCell(const ExperimentSpec &Spec,
                            const PipelineResult &Result) {
   Cell C;
   C.Workload = Spec.Workload;
@@ -25,8 +26,15 @@ void ResultAggregator::add(const ExperimentSpec &Spec,
   C.Opt = Result.OptStats;
   C.Sample = Result.Sample;
   C.Engine = Result.Engine;
-  Cells.push_back(std::move(C));
+  return C;
 }
+
+void ResultAggregator::add(const ExperimentSpec &Spec,
+                           const PipelineResult &Result) {
+  Cells.push_back(makeCell(Spec, Result));
+}
+
+void ResultAggregator::add(Cell C) { Cells.push_back(std::move(C)); }
 
 StatisticSet ResultAggregator::stats() const {
   StatisticSet S;

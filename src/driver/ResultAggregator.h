@@ -57,9 +57,20 @@ public:
     EngineCounters Engine;
   };
 
+  /// The reduction from a full pipeline result to the reported record —
+  /// the single place the Cell fields are derived, shared by the batch
+  /// driver and the sweep service (which caches Cells, not results, and
+  /// must reduce identically for cached and fresh cells to agree).
+  static Cell makeCell(const ExperimentSpec &Spec,
+                       const PipelineResult &Result);
+
   /// Records one finished cell. Thread-compatible, not thread-safe: the
   /// driver adds results serially in spec order after the parallel phase.
   void add(const ExperimentSpec &Spec, const PipelineResult &Result);
+
+  /// Records an already-reduced cell (the sweep service's path: cells
+  /// arrive from the persistent cache or from streaming reduction).
+  void add(Cell C);
 
   /// Number of recorded cells.
   size_t size() const { return Cells.size(); }

@@ -57,6 +57,23 @@ struct PipelineConfig {
   bool CheckOutputEquivalence = false;
 };
 
+/// Folds every result-shaping PipelineConfig field into \p H through the
+/// per-struct helpers each nested config owns (support/Hash.h explains
+/// the one-helper-per-struct rule). This is the "transform mode + uarch
+/// config" component of the sweep service's content-addressed cell keys
+/// (service/CellKey.h); a new field added above MUST be folded here too.
+/// CheckOutputEquivalence is deliberately excluded — it adds an oracle
+/// run but cannot change the reported result.
+inline void hashPipelineConfig(Fnv1a &H, const PipelineConfig &C) {
+  H.u64(static_cast<uint64_t>(C.Sw));
+  H.u64(static_cast<uint64_t>(C.Scheme));
+  H.f64(C.VrsTestCostNJ);
+  hashNarrowingOptions(H, C.Narrow);
+  hashUarchConfig(H, C.Uarch);
+  hashEnergyCoefficients(H, C.Coeffs);
+  hashSampleSpec(H, C.Sample);
+}
+
 /// How a sampled cell was estimated, surfaced for reports (the optional
 /// "sample" group of report/ReportSchema.h).
 struct PipelineSampleInfo {

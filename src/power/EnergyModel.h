@@ -24,6 +24,7 @@
 #define OG_POWER_ENERGYMODEL_H
 
 #include "power/WidthSource.h"
+#include "support/Hash.h"
 #include "uarch/Activity.h"
 
 #include <array>
@@ -43,6 +44,19 @@ struct EnergyCoefficients {
   /// The default, Wattch-flavored coefficient set.
   static EnergyCoefficients defaults();
 };
+
+/// Folds every EnergyCoefficients field into \p H, in declaration order
+/// (doubles by bit pattern). Content keys (service/CellKey.h) depend on
+/// this; a new field added above MUST be folded here too.
+inline void hashEnergyCoefficients(Fnv1a &H, const EnergyCoefficients &C) {
+  for (unsigned I = 0; I < NumStructures; ++I)
+    H.f64(C.Fixed[I]);
+  for (unsigned I = 0; I < NumStructures; ++I)
+    H.f64(C.PerByte[I]);
+  for (unsigned I = 0; I < NumStructures; ++I)
+    H.f64(C.Miss[I]);
+  H.f64(C.ClockPerCycle);
+}
 
 /// ActivitySink that accumulates energy under one gating scheme.
 class EnergyModel : public ActivitySink {

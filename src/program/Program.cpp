@@ -2,6 +2,8 @@
 
 #include "program/Program.h"
 
+#include "support/Hash.h"
+
 #include <cassert>
 
 using namespace og;
@@ -91,4 +93,38 @@ uint64_t Program::addByteData(const std::vector<uint8_t> &Bytes) {
   uint64_t Addr = DataBase + Data.size();
   Data.insert(Data.end(), Bytes.begin(), Bytes.end());
   return Addr;
+}
+
+void og::hashProgram(Fnv1a &H, const Program &P, bool IncludeWidths) {
+  H.u64(static_cast<uint64_t>(P.EntryFunc));
+  H.u64(P.Data.size());
+  if (!P.Data.empty())
+    H.bytes(P.Data.data(), P.Data.size());
+  H.u64(P.Funcs.size());
+  for (const Function &F : P.Funcs) {
+    H.u64(static_cast<uint64_t>(F.EntryBlock));
+    H.u64(F.Blocks.size());
+    for (const BasicBlock &B : F.Blocks) {
+      H.u64(static_cast<uint64_t>(B.FallthroughSucc));
+      H.u64(B.Insts.size());
+      for (const Instruction &I : B.Insts) {
+        H.u64(static_cast<uint64_t>(I.Opc));
+        if (IncludeWidths)
+          H.u64(static_cast<uint64_t>(I.W));
+        H.u64(static_cast<uint64_t>(I.Rd));
+        H.u64(static_cast<uint64_t>(I.Ra));
+        H.u64(static_cast<uint64_t>(I.Rb));
+        H.u64(I.UseImm ? 1 : 0);
+        H.u64(static_cast<uint64_t>(I.Imm));
+        H.u64(static_cast<uint64_t>(I.Target));
+        H.u64(static_cast<uint64_t>(I.Callee));
+      }
+    }
+  }
+}
+
+uint64_t og::structuralProgramHash(const Program &P, bool IncludeWidths) {
+  Fnv1a H;
+  hashProgram(H, P, IncludeWidths);
+  return H.hash();
 }

@@ -110,6 +110,25 @@ struct Program {
   uint64_t addByteData(const std::vector<uint8_t> &Bytes);
 };
 
+class Fnv1a;
+
+/// Folds the program structurally into \p H: every field the execution
+/// engine reads (entry function, data segment, block structure, every
+/// instruction field), walked in program order. Nothing
+/// instance-dependent participates — no addresses, no decode state, no
+/// epochs, no labels — so two independently built copies of the same
+/// program hash identically while any instruction edit changes the hash.
+/// With \p IncludeWidths false, Instruction::W is skipped; that is the
+/// handle that lets width-only rewrite cells (VRP narrowing mutates only
+/// W) share dynamic-stream-keyed artifacts with their baseline
+/// (sample/SamplePlanCache.h).
+void hashProgram(Fnv1a &H, const Program &P, bool IncludeWidths = true);
+
+/// hashProgram as a standalone 64-bit key — the "program structural
+/// hash" component of the sweep service's content-addressed cell keys
+/// (service/CellKey.h).
+uint64_t structuralProgramHash(const Program &P, bool IncludeWidths = true);
+
 } // namespace og
 
 #endif // OG_PROGRAM_PROGRAM_H

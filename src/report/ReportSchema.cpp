@@ -209,6 +209,164 @@ JsonValue og::cellToJson(const std::string &Workload, const std::string &Label,
   return Out;
 }
 
+JsonValue og::sweepCellToJson(const ResultAggregator::Cell &C,
+                              bool IncludeOptCounters,
+                              bool IncludeEngineCounters) {
+  JsonValue Counters = JsonValue::object();
+  Counters.set("dyn-insts", JsonValue::integer(C.DynInsts));
+  Counters.set("cycles", JsonValue::integer(C.Cycles));
+  Counters.set("narrowed-opcodes", JsonValue::integer(C.Narrowed));
+  Counters.set("width-bearing-opcodes", JsonValue::integer(C.WidthBearing));
+
+  JsonValue Metrics = JsonValue::object();
+  Metrics.set("ipc", JsonValue::number(C.Ipc));
+  Metrics.set("energy", JsonValue::number(C.Energy));
+  Metrics.set("ed2", JsonValue::number(C.Ed2));
+
+  JsonValue Cell = JsonValue::object();
+  Cell.set("workload", JsonValue::str(C.Workload));
+  Cell.set("config", JsonValue::str(C.Label));
+  Cell.set("counters", std::move(Counters));
+  Cell.set("metrics", std::move(Metrics));
+  if (IncludeOptCounters && !C.Opt.entries().empty())
+    Cell.set("opt", optStatsToJson(C.Opt));
+  if (C.Sample.Used)
+    Cell.set("sample", sampleToJson(C.Sample));
+  if (IncludeEngineCounters && !C.Engine.empty())
+    Cell.set("engine", engineToJson(C.Engine, C.DynInsts));
+  return Cell;
+}
+
+namespace {
+
+/// Field accessors for sweepCellFromJson: each returns false after
+/// filling \p Why with the dotted path of the offending field.
+bool getU64(const JsonValue &Obj, const char *Key, uint64_t &Out,
+            std::string &Why) {
+  const JsonValue *V = Obj.get(Key);
+  if (!V || !V->isInteger() || V->asInt() < 0) {
+    Why = Key;
+    return false;
+  }
+  Out = static_cast<uint64_t>(V->asInt());
+  return true;
+}
+
+bool getF64(const JsonValue &Obj, const char *Key, double &Out,
+            std::string &Why) {
+  const JsonValue *V = Obj.get(Key);
+  if (!V || !V->isNumber()) {
+    Why = Key;
+    return false;
+  }
+  Out = V->asNumber();
+  return true;
+}
+
+bool getStr(const JsonValue &Obj, const char *Key, std::string &Out,
+            std::string &Why) {
+  const JsonValue *V = Obj.get(Key);
+  if (!V || !V->isString()) {
+    Why = Key;
+    return false;
+  }
+  Out = V->asString();
+  return true;
+}
+
+} // namespace
+
+Expected<ResultAggregator::Cell> og::sweepCellFromJson(const JsonValue &V) {
+  auto Fail = [](const std::string &Field) {
+    return makeError<ResultAggregator::Cell>(
+        "sweep cell: missing or mis-typed \"" + Field + "\"");
+  };
+  if (!V.isObject())
+    return makeError<ResultAggregator::Cell>("sweep cell is not an object");
+
+  ResultAggregator::Cell C;
+  std::string Why;
+  if (!getStr(V, "workload", C.Workload, Why) ||
+      !getStr(V, "config", C.Label, Why))
+    return Fail(Why);
+
+  const JsonValue *Counters = V.get("counters");
+  if (!Counters || !Counters->isObject())
+    return Fail("counters");
+  if (!getU64(*Counters, "dyn-insts", C.DynInsts, Why) ||
+      !getU64(*Counters, "cycles", C.Cycles, Why) ||
+      !getU64(*Counters, "narrowed-opcodes", C.Narrowed, Why) ||
+      !getU64(*Counters, "width-bearing-opcodes", C.WidthBearing, Why))
+    return Fail("counters." + Why);
+
+  const JsonValue *Metrics = V.get("metrics");
+  if (!Metrics || !Metrics->isObject())
+    return Fail("metrics");
+  if (!getF64(*Metrics, "ipc", C.Ipc, Why) ||
+      !getF64(*Metrics, "energy", C.Energy, Why) ||
+      !getF64(*Metrics, "ed2", C.Ed2, Why))
+    return Fail("metrics." + Why);
+
+  if (const JsonValue *Opt = V.get("opt")) {
+    if (!Opt->isObject())
+      return Fail("opt");
+    for (const auto &M : Opt->members()) {
+      if (!M.second.isInteger() || M.second.asInt() < 0)
+        return Fail("opt." + M.first);
+      C.Opt.add(M.first, static_cast<uint64_t>(M.second.asInt()));
+    }
+  }
+
+  if (const JsonValue *Sample = V.get("sample")) {
+    if (!Sample->isObject())
+      return Fail("sample");
+    C.Sample.Used = true;
+    uint64_t K = 0;
+    if (!getU64(*Sample, "interval-len", C.Sample.IntervalLen, Why) ||
+        !getU64(*Sample, "intervals", C.Sample.Intervals, Why) ||
+        !getU64(*Sample, "k", K, Why) ||
+        !getU64(*Sample, "detailed-insts", C.Sample.DetailedInsts, Why) ||
+        !getF64(*Sample, "est-error", C.Sample.EstError, Why))
+      return Fail("sample." + Why);
+    C.Sample.K = static_cast<unsigned>(K);
+    const JsonValue *Weights = Sample->get("weights");
+    if (!Weights || !Weights->isArray())
+      return Fail("sample.weights");
+    for (size_t I = 0; I < Weights->size(); ++I) {
+      if (!Weights->at(I).isNumber())
+        return Fail("sample.weights");
+      C.Sample.Weights.push_back(Weights->at(I).asNumber());
+    }
+    const JsonValue *Reps = Sample->get("reps");
+    if (!Reps || !Reps->isArray())
+      return Fail("sample.reps");
+    for (size_t I = 0; I < Reps->size(); ++I) {
+      if (!Reps->at(I).isInteger() || Reps->at(I).asInt() < 0)
+        return Fail("sample.reps");
+      C.Sample.Reps.push_back(static_cast<uint32_t>(Reps->at(I).asInt()));
+    }
+  }
+
+  if (const JsonValue *Engine = V.get("engine")) {
+    // "metrics".coverage is derived from the counters and DynInsts;
+    // re-serialization recomputes it, so only the counters are read back.
+    if (!Engine->isObject())
+      return Fail("engine");
+    const JsonValue *EC = Engine->get("counters");
+    if (!EC || !EC->isObject())
+      return Fail("engine.counters");
+    if (!getU64(*EC, "superblocks", C.Engine.SuperblocksFormed, Why) ||
+        !getU64(*EC, "entries", C.Engine.SuperblockEntries, Why) ||
+        !getU64(*EC, "passes", C.Engine.SuperblockPasses, Why) ||
+        !getU64(*EC, "fused-insts", C.Engine.SuperblockInsts, Why) ||
+        !getU64(*EC, "side-exits", C.Engine.SideExits, Why) ||
+        !getU64(*EC, "window-fissions", C.Engine.WindowFissions, Why))
+      return Fail("engine.counters." + Why);
+  }
+
+  return C;
+}
+
 JsonValue og::sweepToJson(const ResultAggregator &Agg,
                           const std::string &SweepKind, double Scale,
                           bool IncludeOptCounters, const SampleSpec *Sample,
@@ -225,31 +383,8 @@ JsonValue og::sweepToJson(const ResultAggregator &Agg,
   }
 
   JsonValue Cells = JsonValue::array();
-  for (const ResultAggregator::Cell &C : Agg.sortedCells()) {
-    JsonValue Counters = JsonValue::object();
-    Counters.set("dyn-insts", JsonValue::integer(C.DynInsts));
-    Counters.set("cycles", JsonValue::integer(C.Cycles));
-    Counters.set("narrowed-opcodes", JsonValue::integer(C.Narrowed));
-    Counters.set("width-bearing-opcodes", JsonValue::integer(C.WidthBearing));
-
-    JsonValue Metrics = JsonValue::object();
-    Metrics.set("ipc", JsonValue::number(C.Ipc));
-    Metrics.set("energy", JsonValue::number(C.Energy));
-    Metrics.set("ed2", JsonValue::number(C.Ed2));
-
-    JsonValue Cell = JsonValue::object();
-    Cell.set("workload", JsonValue::str(C.Workload));
-    Cell.set("config", JsonValue::str(C.Label));
-    Cell.set("counters", std::move(Counters));
-    Cell.set("metrics", std::move(Metrics));
-    if (IncludeOptCounters && !C.Opt.entries().empty())
-      Cell.set("opt", optStatsToJson(C.Opt));
-    if (C.Sample.Used)
-      Cell.set("sample", sampleToJson(C.Sample));
-    if (IncludeEngineCounters && !C.Engine.empty())
-      Cell.set("engine", engineToJson(C.Engine, C.DynInsts));
-    Cells.push(std::move(Cell));
-  }
+  for (const ResultAggregator::Cell &C : Agg.sortedCells())
+    Cells.push(sweepCellToJson(C, IncludeOptCounters, IncludeEngineCounters));
   Root.set("cells", std::move(Cells));
 
   JsonValue Counters = JsonValue::object();

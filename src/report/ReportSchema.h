@@ -29,13 +29,13 @@
 #ifndef OG_REPORT_REPORTSCHEMA_H
 #define OG_REPORT_REPORTSCHEMA_H
 
+#include "driver/ResultAggregator.h"
 #include "support/Json.h"
 
 #include <string>
 
 namespace og {
 
-class ResultAggregator;
 class StatisticSet;
 struct EnergyReport;
 struct ExecStats;
@@ -98,6 +98,27 @@ JsonValue sampleToJson(const PipelineSampleInfo &S);
 JsonValue cellToJson(const std::string &Workload, const std::string &Label,
                      const PipelineResult &R,
                      const StatisticSet *OptStats = nullptr);
+
+/// One reduced sweep cell (ResultAggregator::Cell) in exactly the shape
+/// sweepToJson embeds in its "cells" array: {"workload", "config",
+/// "counters", "metrics"} plus the optional "opt" / "sample" / "engine"
+/// groups under the same inclusion rules. Exposed so the sweep service's
+/// persistent cache (service/ResultCache.h) stores cells in the document
+/// shape — a cached cell re-serializes byte-identically to a computed
+/// one, which is what makes warm-cache sweep documents byte-equal to
+/// cold ones.
+JsonValue sweepCellToJson(const ResultAggregator::Cell &C,
+                          bool IncludeOptCounters = false,
+                          bool IncludeEngineCounters = false);
+
+/// Strict inverse of sweepCellToJson (with both optional groups
+/// included): rebuilds the reduced cell from a cell document. The
+/// round-trip is value-exact — integers parse back exactly and doubles
+/// are shortest-round-trip (support/Json.h) — so serialize(parse(doc))
+/// == doc. The derived "engine" coverage metric and the "metrics"
+/// specialization fractions are recomputed/ignored as appropriate; any
+/// missing or mis-typed required field is an error naming the field.
+Expected<ResultAggregator::Cell> sweepCellFromJson(const JsonValue &V);
 
 /// A whole sweep: kind "sweep" root + sorted "cells" + the aggregate
 /// "counters". Cells are sorted by (workload, config) exactly like the

@@ -3,70 +3,14 @@
 #include "sample/SamplePlanCache.h"
 
 #include "program/Program.h"
+#include "sim/Interpreter.h"
+#include "support/Hash.h"
 
 #include <cstdio>
 
 using namespace og;
 
 namespace {
-
-/// 64-bit FNV-1a, accumulated field by field. Cheap, deterministic
-/// across platforms, and collision-safe enough here: a collision between
-/// two *different* streams in one sweep would need ~2^32 distinct cells.
-class Fnv1a {
-public:
-  void bytes(const void *P, size_t N) {
-    const unsigned char *B = static_cast<const unsigned char *>(P);
-    for (size_t I = 0; I < N; ++I) {
-      H ^= B[I];
-      H *= 0x100000001b3ull;
-    }
-  }
-  void u64(uint64_t V) {
-    // Hash the value, not the object representation: field widths and
-    // signedness vary across the configs but must hash identically
-    // whenever the values match.
-    bytes(&V, sizeof V);
-  }
-  void f64(double V) { bytes(&V, sizeof V); }
-  uint64_t hash() const { return H; }
-
-private:
-  uint64_t H = 0xcbf29ce484222325ull;
-};
-
-/// Hashes the program structurally: every field the interpreter reads,
-/// walked in program order. A fraction of the cost of hashing the
-/// disassembly (which renders the whole data segment as text), and —
-/// with \p IncludeWidths false — the handle that lets width-only rewrite
-/// cells share warm artifacts (see sampleWarmKey).
-void hashProgram(Fnv1a &H, const Program &P, bool IncludeWidths) {
-  H.u64(static_cast<uint64_t>(P.EntryFunc));
-  H.u64(P.Data.size());
-  if (!P.Data.empty())
-    H.bytes(P.Data.data(), P.Data.size());
-  H.u64(P.Funcs.size());
-  for (const Function &F : P.Funcs) {
-    H.u64(static_cast<uint64_t>(F.EntryBlock));
-    H.u64(F.Blocks.size());
-    for (const BasicBlock &B : F.Blocks) {
-      H.u64(static_cast<uint64_t>(B.FallthroughSucc));
-      H.u64(B.Insts.size());
-      for (const Instruction &I : B.Insts) {
-        H.u64(static_cast<uint64_t>(I.Opc));
-        if (IncludeWidths)
-          H.u64(static_cast<uint64_t>(I.W));
-        H.u64(static_cast<uint64_t>(I.Rd));
-        H.u64(static_cast<uint64_t>(I.Ra));
-        H.u64(static_cast<uint64_t>(I.Rb));
-        H.u64(I.UseImm ? 1 : 0);
-        H.u64(static_cast<uint64_t>(I.Imm));
-        H.u64(static_cast<uint64_t>(I.Target));
-        H.u64(static_cast<uint64_t>(I.Callee));
-      }
-    }
-  }
-}
 
 std::string sampleKey(const Program &P, const RunOptions &Ref,
                       const UarchConfig &Uarch, const SampleSpec &Spec,
@@ -77,60 +21,13 @@ std::string sampleKey(const Program &P, const RunOptions &Ref,
   // with a stream key of the same program.
   H.u64(IncludeWidths ? 0x57u : 0x77u);
   hashProgram(H, P, IncludeWidths);
-  H.u64(Ref.Fuel);
-  H.u64(Ref.Machine.MemBytes);
-  H.u64(Ref.MaxCallDepth);
-  H.u64(Ref.CheckCalleeSaved ? 1 : 0);
-  H.u64(Ref.ArgRegs.size());
-  for (int64_t A : Ref.ArgRegs)
-    H.u64(static_cast<uint64_t>(A));
+  hashRunOptions(H, Ref);
   // The uarch shapes the checkpoints (cache/predictor geometry) and the
   // plan is nominally uarch-independent, but keying on the full config
-  // keeps the artifact a pure function of its inputs.
-  H.u64(Uarch.FetchWidth);
-  H.u64(Uarch.DecodeWidth);
-  H.u64(Uarch.RetireWidth);
-  H.u64(Uarch.FrontendDepth);
-  H.u64(Uarch.MispredictPenalty);
-  H.u64(Uarch.MaxInFlight);
-  H.u64(Uarch.IssueWidth);
-  H.u64(Uarch.NumIntAlu);
-  H.u64(Uarch.NumIntMul);
-  H.u64(Uarch.MemPorts);
-  H.u64(Uarch.ChooserEntries);
-  H.u64(Uarch.GshareEntries);
-  H.u64(Uarch.GlobalHistoryBits);
-  H.u64(Uarch.BimodalEntries);
-  H.u64(Uarch.L1ISizeKB);
-  H.u64(Uarch.L1IAssoc);
-  H.u64(Uarch.L1ILine);
-  H.u64(Uarch.L1IHit);
-  H.u64(Uarch.L1DSizeKB);
-  H.u64(Uarch.L1DAssoc);
-  H.u64(Uarch.L1DLine);
-  H.u64(Uarch.L1DHit);
-  H.u64(Uarch.L1MissToL2);
-  H.u64(Uarch.L2SizeKB);
-  H.u64(Uarch.L2Assoc);
-  H.u64(Uarch.L2Line);
-  H.u64(Uarch.L2Hit);
-  H.u64(Uarch.MemFirstChunk);
-  H.u64(Uarch.MemInterChunk);
-  H.u64(Uarch.MemChunkBytes);
-  H.u64(Uarch.MulLatency);
-  // Every spec field shapes the plan and/or the capture layout.
-  H.u64(Spec.IntervalLen);
-  H.u64(Spec.K);
-  H.u64(Spec.MaxK);
-  H.u64(Spec.WarmupLen);
-  H.u64(Spec.CountedLen);
-  H.u64(Spec.SamplesPerCluster);
-  H.f64(Spec.WarmupFrac);
-  H.f64(Spec.ChaseWarmGain);
-  H.u64(Spec.ProjectDims);
-  H.f64(Spec.TimeWeight);
-  H.f64(Spec.CheckpointChaseMin);
-  H.u64(Spec.Seed);
+  // keeps the artifact a pure function of its inputs. Every spec field
+  // shapes the plan and/or the capture layout.
+  hashUarchConfig(H, Uarch);
+  hashSampleSpec(H, Spec);
 
   char Buf[2 + 16 + 1];
   std::snprintf(Buf, sizeof Buf, "0x%016llx",

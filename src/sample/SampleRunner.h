@@ -39,6 +39,7 @@
 #include "power/Report.h"
 #include "sample/IntervalProfiler.h"
 #include "sim/ExecEngine.h"
+#include "support/Hash.h"
 #include "uarch/Core.h"
 
 #include <cstdint>
@@ -120,6 +121,24 @@ struct SampleSpec {
 
   bool enabled() const { return IntervalLen > 0; }
 };
+
+/// Folds every SampleSpec field into \p H, in declaration order. Content
+/// keys (sample/SamplePlanCache.h, service/CellKey.h) depend on this; a
+/// new field added above MUST be folded here too.
+inline void hashSampleSpec(Fnv1a &H, const SampleSpec &S) {
+  H.u64(S.IntervalLen);
+  H.u64(S.K);
+  H.u64(S.MaxK);
+  H.u64(S.WarmupLen);
+  H.u64(S.CountedLen);
+  H.u64(S.SamplesPerCluster);
+  H.f64(S.WarmupFrac);
+  H.f64(S.ChaseWarmGain);
+  H.u64(S.ProjectDims);
+  H.f64(S.TimeWeight);
+  H.f64(S.CheckpointChaseMin);
+  H.u64(S.Seed);
+}
 
 /// A clustering of one profiled run into representative intervals.
 struct SamplePlan {

@@ -1,0 +1,122 @@
+//===- service/CellKey.cpp ------------------------------------------------==//
+
+#include "service/CellKey.h"
+
+#include "driver/ExperimentSpec.h"
+#include "report/ReportSchema.h"
+#include "support/Hash.h"
+#include "workloads/Workloads.h"
+
+#include <cstdio>
+
+using namespace og;
+
+namespace {
+
+std::string hexU64(uint64_t V) {
+  char Buf[2 + 16 + 1];
+  std::snprintf(Buf, sizeof Buf, "0x%016llx",
+                static_cast<unsigned long long>(V));
+  return Buf;
+}
+
+/// Strict "0x" + exactly-16-hex-digits parse — the only form hexU64
+/// emits, so anything else in a key file is corruption, not style.
+bool parseHexU64(const std::string &S, uint64_t &Out) {
+  if (S.size() != 18 || S[0] != '0' || S[1] != 'x')
+    return false;
+  uint64_t V = 0;
+  for (size_t I = 2; I < S.size(); ++I) {
+    const char C = S[I];
+    unsigned D;
+    if (C >= '0' && C <= '9')
+      D = C - '0';
+    else if (C >= 'a' && C <= 'f')
+      D = C - 'a' + 10;
+    else
+      return false;
+    V = (V << 4) | D;
+  }
+  Out = V;
+  return true;
+}
+
+} // namespace
+
+std::string CellKey::address() const {
+  Fnv1a H;
+  H.u64(Workload.size());
+  H.bytes(Workload.data(), Workload.size());
+  H.u64(ConfigLabel.size());
+  H.bytes(ConfigLabel.data(), ConfigLabel.size());
+  H.u64(ProgramHash);
+  H.u64(ConfigHash);
+  H.f64(Scale);
+  H.u64(Seed);
+  H.u64(static_cast<uint64_t>(SchemaVersion));
+  return hexU64(H.hash());
+}
+
+JsonValue CellKey::toJson() const {
+  JsonValue V = JsonValue::object();
+  V.set("workload", JsonValue::str(Workload));
+  V.set("config", JsonValue::str(ConfigLabel));
+  V.set("program-hash", JsonValue::str(hexU64(ProgramHash)));
+  V.set("config-hash", JsonValue::str(hexU64(ConfigHash)));
+  V.set("scale", JsonValue::number(Scale));
+  V.set("seed", JsonValue::str(hexU64(Seed)));
+  V.set("schema-version", JsonValue::integer(SchemaVersion));
+  return V;
+}
+
+Expected<CellKey> CellKey::fromJson(const JsonValue &V) {
+  auto Fail = [](const std::string &Field) {
+    return makeError<CellKey>("cell key: missing or mis-typed \"" + Field +
+                              "\"");
+  };
+  if (!V.isObject())
+    return makeError<CellKey>("cell key is not an object");
+
+  CellKey K;
+  const JsonValue *F = V.get("workload");
+  if (!F || !F->isString())
+    return Fail("workload");
+  K.Workload = F->asString();
+  F = V.get("config");
+  if (!F || !F->isString())
+    return Fail("config");
+  K.ConfigLabel = F->asString();
+  F = V.get("program-hash");
+  if (!F || !F->isString() || !parseHexU64(F->asString(), K.ProgramHash))
+    return Fail("program-hash");
+  F = V.get("config-hash");
+  if (!F || !F->isString() || !parseHexU64(F->asString(), K.ConfigHash))
+    return Fail("config-hash");
+  F = V.get("scale");
+  if (!F || !F->isNumber())
+    return Fail("scale");
+  K.Scale = F->asNumber();
+  F = V.get("seed");
+  if (!F || !F->isString() || !parseHexU64(F->asString(), K.Seed))
+    return Fail("seed");
+  F = V.get("schema-version");
+  if (!F || !F->isInteger())
+    return Fail("schema-version");
+  K.SchemaVersion = F->asInt();
+  return K;
+}
+
+CellKey og::makeCellKey(const ExperimentSpec &Spec, const Workload &W) {
+  CellKey K;
+  K.Workload = Spec.Workload;
+  K.ConfigLabel = Spec.ConfigLabel;
+  K.ProgramHash = structuralProgramHash(W.Prog);
+  Fnv1a H;
+  hashPipelineConfig(H, Spec.Config);
+  hashRunOptions(H, W.Ref);
+  K.ConfigHash = H.hash();
+  K.Scale = Spec.Scale;
+  K.Seed = effectiveSeed(Spec);
+  K.SchemaVersion = ReportSchemaVersion;
+  return K;
+}

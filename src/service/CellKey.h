@@ -1,0 +1,87 @@
+//===- service/CellKey.h - Content-addressed sweep-cell keys -----*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The identity of one sweep cell for the persistent result cache
+/// (service/ResultCache.h): everything the cell's reduced report record
+/// is a function of, and nothing it is not.
+///
+///  - Workload name + config label: the human identity, and the row key
+///    of the aggregate report (two specs with byte-identical configs but
+///    different labels must produce two rows, so the label participates).
+///  - ProgramHash: structuralProgramHash over the workload's *base*
+///    program (program/Program.h) — instance-independent, so two decodes
+///    of the same workload key alike while any instruction edit misses.
+///  - ConfigHash: one FNV-1a fold of the full PipelineConfig (transform
+///    mode, ISA policy, uarch, energy coefficients, sample spec — via
+///    hashPipelineConfig) plus the ref-run options (hashRunOptions).
+///  - Scale and the spec's effective Rng seed: the remaining run inputs.
+///  - SchemaVersion: the report schema the cached value was serialized
+///    under; a version bump turns every old entry into a clean miss
+///    instead of a wrong-shape hit.
+///
+/// address() renders the whole key as one hex token — the cache file
+/// name. The full key is stored next to the value and re-checked on
+/// every lookup, so even an FNV collision degrades to a miss, never to a
+/// wrong result.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SERVICE_CELLKEY_H
+#define OG_SERVICE_CELLKEY_H
+
+#include "support/Error.h"
+#include "support/Json.h"
+
+#include <cstdint>
+#include <string>
+
+namespace og {
+
+struct ExperimentSpec;
+struct Workload;
+
+/// The content key of one sweep cell (see file comment).
+struct CellKey {
+  std::string Workload;
+  std::string ConfigLabel;
+  uint64_t ProgramHash = 0;
+  uint64_t ConfigHash = 0;
+  double Scale = 0.0;
+  uint64_t Seed = 0;
+  int64_t SchemaVersion = 0;
+
+  bool operator==(const CellKey &O) const {
+    return Workload == O.Workload && ConfigLabel == O.ConfigLabel &&
+           ProgramHash == O.ProgramHash && ConfigHash == O.ConfigHash &&
+           Scale == O.Scale && Seed == O.Seed &&
+           SchemaVersion == O.SchemaVersion;
+  }
+  bool operator!=(const CellKey &O) const { return !(*this == O); }
+
+  /// The whole key as one "0x..." hex token (FNV-1a over every field) —
+  /// the persistent cache's file name and the in-flight map's key.
+  std::string address() const;
+
+  /// JSON form. The u64 hashes and the seed are rendered as "0x..." hex
+  /// strings, not JSON numbers: values above INT64_MAX would otherwise
+  /// degrade to doubles (support/Json.h) and stop round-tripping.
+  JsonValue toJson() const;
+
+  /// Strict inverse of toJson; any missing or mis-typed field is an
+  /// error naming the field.
+  static Expected<CellKey> fromJson(const JsonValue &V);
+};
+
+/// Builds the key for \p Spec over its (already built) workload. \p W
+/// must be the workload Spec names at Spec's scale — the base program
+/// and ref-run options are hashed from it. Seed is the spec's effective
+/// seed and SchemaVersion the current ReportSchemaVersion.
+CellKey makeCellKey(const ExperimentSpec &Spec, const Workload &W);
+
+} // namespace og
+
+#endif // OG_SERVICE_CELLKEY_H

@@ -1,0 +1,122 @@
+//===- service/ResultCache.cpp --------------------------------------------==//
+
+#include "service/ResultCache.h"
+
+#include "report/ReportSchema.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <sys/stat.h>
+#include <unistd.h>
+
+using namespace og;
+
+namespace {
+
+constexpr const char *EnvelopeSchema = "ogate-cell";
+
+/// mkdir -p: creates every missing component of \p Path. Races with
+/// concurrent creators are fine (EEXIST is success).
+bool ensureDir(const std::string &Path) {
+  std::string Partial;
+  for (size_t I = 0; I <= Path.size(); ++I) {
+    if (I < Path.size() && Path[I] != '/') {
+      Partial += Path[I];
+      continue;
+    }
+    if (!Partial.empty() && Partial != "." && Partial != "..")
+      if (::mkdir(Partial.c_str(), 0777) != 0 && errno != EEXIST)
+        return false;
+    if (I < Path.size())
+      Partial += '/';
+  }
+  return true;
+}
+
+} // namespace
+
+std::optional<ResultAggregator::Cell> ResultCache::lookup(const CellKey &K) {
+  auto Miss = [&](uint64_t Counters::*Why) -> std::optional<ResultAggregator::Cell> {
+    std::lock_guard<std::mutex> Lock(M);
+    ++C.Misses;
+    if (Why)
+      ++(C.*Why);
+    return std::nullopt;
+  };
+  if (!enabled())
+    return Miss(nullptr);
+
+  const std::string Path = Dir + "/" + K.address() + ".json";
+  Expected<JsonValue> Doc = readJsonFile(Path);
+  if (!Doc)
+    return Miss(nullptr);
+
+  const JsonValue *Schema = Doc->get("schema");
+  const JsonValue *Version = Doc->get("version");
+  if (!Schema || !Schema->isString() || Schema->asString() != EnvelopeSchema ||
+      !Version || !Version->isInteger() ||
+      Version->asInt() != ReportSchemaVersion)
+    return Miss(&Counters::StaleSchema);
+
+  const JsonValue *KeyDoc = Doc->get("key");
+  if (!KeyDoc)
+    return Miss(&Counters::KeyMismatch);
+  Expected<CellKey> Stored = CellKey::fromJson(*KeyDoc);
+  if (!Stored || *Stored != K)
+    return Miss(&Counters::KeyMismatch);
+
+  const JsonValue *CellDoc = Doc->get("cell");
+  if (!CellDoc)
+    return Miss(&Counters::KeyMismatch);
+  Expected<ResultAggregator::Cell> Cell = sweepCellFromJson(*CellDoc);
+  if (!Cell)
+    return Miss(&Counters::KeyMismatch);
+
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++C.Hits;
+  }
+  return *Cell;
+}
+
+void ResultCache::store(const CellKey &K, const ResultAggregator::Cell &Cell) {
+  if (!enabled())
+    return;
+  auto Failed = [&] {
+    std::lock_guard<std::mutex> Lock(M);
+    ++C.StoreFailures;
+  };
+  if (!ensureDir(Dir))
+    return Failed();
+
+  JsonValue Doc = JsonValue::object();
+  Doc.set("schema", JsonValue::str(EnvelopeSchema));
+  Doc.set("version", JsonValue::integer(ReportSchemaVersion));
+  Doc.set("key", K.toJson());
+  // Every optional group rides along: the cache keeps full fidelity and
+  // the document renderer re-applies the request's inclusion toggles.
+  Doc.set("cell", sweepCellToJson(Cell, /*IncludeOptCounters=*/true,
+                                  /*IncludeEngineCounters=*/true));
+
+  const std::string Path = Dir + "/" + K.address() + ".json";
+  // Unique temp name per writer so concurrent stores of the same cell
+  // never truncate each other mid-write; rename() makes the publish
+  // atomic (identical bytes either way — the value is a pure function
+  // of the key).
+  const std::string Tmp =
+      Path + ".tmp." + std::to_string(static_cast<long long>(::getpid()));
+  std::string Err;
+  if (!writeJsonFile(Tmp, Doc, &Err))
+    return Failed();
+  if (std::rename(Tmp.c_str(), Path.c_str()) != 0) {
+    std::remove(Tmp.c_str());
+    return Failed();
+  }
+  std::lock_guard<std::mutex> Lock(M);
+  ++C.Stores;
+}
+
+ResultCache::Counters ResultCache::counters() const {
+  std::lock_guard<std::mutex> Lock(M);
+  return C;
+}

@@ -1,0 +1,89 @@
+//===- service/ResultCache.h - Persistent sweep-cell cache -------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A content-addressed on-disk cache of reduced sweep cells
+/// (ResultAggregator::Cell), keyed by CellKey. One file per cell,
+/// `<dir>/<address>.json`, holding a small envelope:
+///
+///   {"schema": "ogate-cell", "version": N,
+///    "key": { ...full CellKey... },
+///    "cell": { ...sweepCellToJson with every optional group... }}
+///
+/// Correctness model: the address is a hash, so every lookup re-checks
+/// the envelope — wrong schema or version counts as stale, a full-key
+/// mismatch (hash collision, or a file dropped in by hand) counts as a
+/// mismatch; both degrade to a miss and the cell is recomputed and
+/// rewritten. The cached value is the cell in its exact document shape,
+/// and support/Json's writer is deterministic, so a warm-cache sweep
+/// document is byte-identical to the cold one.
+///
+/// Eviction: none, deliberately. Entries are immutable pure functions of
+/// their key, so any file may be deleted at any time (the cell just
+/// recomputes), and `rm -rf <dir>` is a complete, always-safe flush.
+/// Schema bumps orphan old-version files rather than corrupting reads.
+/// Stores write to a temp file and rename() into place, so concurrent
+/// writers of the same cell race benignly (both write identical bytes)
+/// and readers never see a torn file.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SERVICE_RESULTCACHE_H
+#define OG_SERVICE_RESULTCACHE_H
+
+#include "driver/ResultAggregator.h"
+#include "service/CellKey.h"
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+
+namespace og {
+
+/// On-disk cell cache (see file comment). Thread-safe; a disabled cache
+/// (empty directory path) turns every lookup into a counted miss and
+/// every store into a no-op.
+class ResultCache {
+public:
+  /// Lifetime traffic counters. "Stale" and "mismatch" lookups are also
+  /// counted in Misses (they miss; the extra counters say why).
+  struct Counters {
+    uint64_t Hits = 0;
+    uint64_t Misses = 0;
+    uint64_t StaleSchema = 0; ///< entry from another schema version
+    uint64_t KeyMismatch = 0; ///< address collision or foreign file
+    uint64_t Stores = 0;
+    uint64_t StoreFailures = 0; ///< I/O failures (cache stays best-effort)
+  };
+
+  /// \p Dir is created (with parents) on first store; "" disables.
+  explicit ResultCache(std::string Dir) : Dir(std::move(Dir)) {}
+
+  bool enabled() const { return !Dir.empty(); }
+  const std::string &dir() const { return Dir; }
+
+  /// Looks \p K up; a validated hit returns the cell, anything else
+  /// (absent, unreadable, stale version, key mismatch, malformed cell)
+  /// is a miss.
+  std::optional<ResultAggregator::Cell> lookup(const CellKey &K);
+
+  /// Writes \p C under \p K (temp file + rename). Best-effort: failures
+  /// only bump StoreFailures — a sweep never fails because the cache
+  /// directory is read-only.
+  void store(const CellKey &K, const ResultAggregator::Cell &C);
+
+  Counters counters() const;
+
+private:
+  std::string Dir;
+  mutable std::mutex M;
+  Counters C;
+};
+
+} // namespace og
+
+#endif // OG_SERVICE_RESULTCACHE_H

@@ -1,0 +1,207 @@
+//===- service/SweepRequest.cpp -------------------------------------------==//
+
+#include "service/SweepRequest.h"
+
+#include "support/Cli.h"
+#include "workloads/Workloads.h"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+
+using namespace og;
+
+std::string og::validateReportOptions(const ReportOptions &R, bool SweepMode,
+                                      bool SampleEnabled) {
+  if (SweepMode) {
+    if (R.TimingLine)
+      // Used to be silently dropped; reject it so nobody builds a
+      // workflow on an option that cannot work here (sweep reports are
+      // deterministic by contract, sim-speed is wall-clock).
+      return "--timing-line is wall-clock-dependent and not supported in "
+             "--sweep mode (sweep reports are byte-deterministic); drop it "
+             "or run a single program";
+    if (R.OptStats && !R.JsonRequested)
+      // Never silently ignore a flag the mode cannot honor: the counters
+      // only exist in the JSON document, so without --json there is
+      // nothing to surface them in.
+      return "--opt-stats adds the per-cell \"opt\" counters group to the "
+             "JSON document and needs --json=PATH alongside it";
+    if (R.EngineStats && !R.JsonRequested)
+      return "--engine-stats adds the per-cell \"engine\" counters group "
+             "to the JSON document and needs --json=PATH alongside it";
+    return "";
+  }
+  if (SampleEnabled)
+    return "--sample drives phase-sampled estimation of sweep cells and "
+           "only applies to --sweep mode";
+  if (R.OptStats)
+    return "--opt-stats reports the transform phase's analysis-cache "
+           "counters and only applies to --sweep mode (single-program "
+           "mode runs no transforms)";
+  if (R.EngineStats)
+    return "--engine-stats reports sweep cells' dispatch/superblock "
+           "counters and only applies to --sweep mode (use --timing-line "
+           "here to see the active dispatch mode)";
+  return "";
+}
+
+JsonValue SweepRequest::toJson() const {
+  JsonValue V = JsonValue::object();
+  V.set("sweep", JsonValue::str(SweepKind));
+  V.set("scale", JsonValue::number(Scale));
+  JsonValue Names = JsonValue::array();
+  for (const std::string &W : Workloads)
+    Names.push(JsonValue::str(W));
+  V.set("workloads", std::move(Names));
+  if (Sample.enabled()) {
+    JsonValue S = JsonValue::object();
+    S.set("interval-len",
+          JsonValue::integer(static_cast<int64_t>(Sample.IntervalLen)));
+    S.set("k", JsonValue::integer(Sample.K));
+    V.set("sample", std::move(S));
+  }
+  V.set("opt-stats", JsonValue::boolean(Report.OptStats));
+  V.set("engine-stats", JsonValue::boolean(Report.EngineStats));
+  return V;
+}
+
+Expected<SweepRequest> SweepRequest::fromJson(const JsonValue &V) {
+  auto Fail = [](const std::string &What) {
+    return makeError<SweepRequest>("sweep request: " + What);
+  };
+  if (!V.isObject())
+    return Fail("not a JSON object");
+
+  SweepRequest R;
+  for (const auto &M : V.members()) {
+    const std::string &Key = M.first;
+    const JsonValue &Val = M.second;
+    if (Key == "sweep") {
+      if (!Val.isString())
+        return Fail("\"sweep\" must be a string");
+      R.SweepKind = Val.asString();
+    } else if (Key == "scale") {
+      if (!Val.isNumber() || Val.asNumber() <= 0.0)
+        return Fail("\"scale\" must be a number > 0");
+      R.Scale = Val.asNumber();
+    } else if (Key == "workloads") {
+      if (!Val.isArray())
+        return Fail("\"workloads\" must be an array of names");
+      for (size_t I = 0; I < Val.size(); ++I) {
+        if (!Val.at(I).isString())
+          return Fail("\"workloads\" must be an array of names");
+        R.Workloads.push_back(Val.at(I).asString());
+      }
+    } else if (Key == "sample") {
+      if (!Val.isObject())
+        return Fail("\"sample\" must be an object");
+      const JsonValue *L = Val.get("interval-len");
+      if (!L || !L->isInteger() || L->asInt() <= 0)
+        return Fail("\"sample.interval-len\" must be an integer > 0");
+      R.Sample.IntervalLen = static_cast<uint64_t>(L->asInt());
+      if (const JsonValue *K = Val.get("k")) {
+        if (!K->isInteger() || K->asInt() < 0)
+          return Fail("\"sample.k\" must be an integer >= 0");
+        R.Sample.K = static_cast<unsigned>(K->asInt());
+      }
+      for (const auto &SM : Val.members())
+        if (SM.first != "interval-len" && SM.first != "k")
+          return Fail("unknown \"sample\" key \"" + SM.first + "\"");
+    } else if (Key == "opt-stats") {
+      if (!Val.isBool())
+        return Fail("\"opt-stats\" must be a boolean");
+      R.Report.OptStats = Val.asBool();
+    } else if (Key == "engine-stats") {
+      if (!Val.isBool())
+        return Fail("\"engine-stats\" must be a boolean");
+      R.Report.EngineStats = Val.asBool();
+    } else {
+      return Fail("unknown key \"" + Key + "\"");
+    }
+  }
+  return R;
+}
+
+Expected<std::vector<ExperimentSpec>> SweepRequest::buildSpecs() const {
+  using Specs = std::vector<ExperimentSpec>;
+  std::vector<std::string> Names;
+  if (Workloads.empty()) {
+    Names = allWorkloadNames();
+  } else {
+    const std::vector<std::string> Known = allWorkloadNames();
+    for (const std::string &W : Workloads) {
+      if (std::find(Known.begin(), Known.end(), W) == Known.end()) {
+        std::string Err = "unknown workload '" + W + "' (known:";
+        for (const std::string &K : Known)
+          Err += " " + K;
+        return makeError<Specs>(Err + ")");
+      }
+      Names.push_back(W);
+    }
+  }
+  if (Names.empty())
+    return makeError<Specs>("no workloads selected");
+
+  Specs Out;
+  if (SweepKind == "matrix") {
+    Out = makeMatrixSweep(Names, Scale);
+  } else if (SweepKind == "standard") {
+    Out = makeStandardSweep(Names, Scale);
+  } else {
+    return makeError<Specs>("unknown sweep kind '" + SweepKind + "'");
+  }
+  if (Sample.enabled())
+    for (ExperimentSpec &S : Out)
+      S.Config.Sample = Sample;
+  return Out;
+}
+
+bool og::applySweepRequestFlag(SweepRequest &R, const CliTool &T,
+                               const std::string &Arg) {
+  if (Arg == "--sweep")
+    return true; // mode marker; the kind keeps its default
+  if (Arg.rfind("--sweep=", 0) == 0) {
+    R.SweepKind = Arg.substr(8);
+    return true;
+  }
+  if (Arg.rfind("--scale=", 0) == 0) {
+    R.Scale =
+        T.parsePositive("--scale", Arg.substr(8), "want a finite decimal > 0");
+    return true;
+  }
+  if (Arg.rfind("--workloads=", 0) == 0) {
+    std::stringstream SS(Arg.substr(12));
+    std::string Item;
+    while (std::getline(SS, Item, ','))
+      if (!Item.empty())
+        R.Workloads.push_back(Item);
+    return true;
+  }
+  if (Arg.rfind("--sample=", 0) == 0) {
+    const std::string Val = Arg.substr(9);
+    const size_t Colon = Val.find(':');
+    const char *Want = "want INTERVAL[:K|:auto], INTERVAL and K > 0";
+    R.Sample.IntervalLen =
+        T.parseU64("--sample", Val.substr(0, Colon), Want, 1);
+    if (Colon != std::string::npos) {
+      const std::string KStr = Val.substr(Colon + 1);
+      R.Sample.K =
+          KStr == "auto"
+              ? 0
+              : static_cast<unsigned>(
+                    T.parseU64("--sample", KStr, Want, 1,
+                               std::numeric_limits<unsigned>::max()));
+    }
+    return true;
+  }
+  if (Arg == "--opt-stats") {
+    R.Report.OptStats = true;
+    return true;
+  }
+  if (Arg == "--engine-stats") {
+    R.Report.EngineStats = true;
+    return true;
+  }
+  return false;
+}

@@ -1,0 +1,99 @@
+//===- service/SweepRequest.h - One sweep, as a value ------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The request types every sweep entry point consumes. Batch `ogate-sim
+/// --sweep`, the bench harness cache fills, and the `ogate-serve`
+/// protocol all build a SweepRequest — from flags or from wire JSON —
+/// and hand it to the SweepService; there is exactly one place that
+/// turns "what the user asked for" into ExperimentSpecs, one place that
+/// validates report-option combinations, and one JSON form that travels
+/// over the service socket.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SERVICE_SWEEPREQUEST_H
+#define OG_SERVICE_SWEEPREQUEST_H
+
+#include "driver/ExperimentSpec.h"
+#include "support/Error.h"
+#include "support/Json.h"
+
+#include <string>
+#include <vector>
+
+namespace og {
+
+class CliTool;
+
+/// What the report surface should carry — the per-flag gating that used
+/// to be copy-pasted rejection blocks in ogate-sim's main().
+struct ReportOptions {
+  /// Add each cell's "opt" analysis-cache counters group (JSON only).
+  bool OptStats = false;
+  /// Add each cell's "engine" dispatch/superblock counters group (JSON
+  /// only).
+  bool EngineStats = false;
+  /// Print the wall-clock sim-speed line (single-program mode only;
+  /// sweep reports are byte-deterministic by contract).
+  bool TimingLine = false;
+  /// A --json destination (path or "-") was given.
+  bool JsonRequested = false;
+};
+
+/// The one validation path for report options: returns the first
+/// diagnostic (without tool-name prefix, exit-1 class) or "" when the
+/// combination is valid. \p SweepMode selects which flags are
+/// mode-conflicts; \p SampleEnabled folds the --sample gating (sampling
+/// only applies where a detailed ref cell runs) into the same path.
+std::string validateReportOptions(const ReportOptions &R, bool SweepMode,
+                                  bool SampleEnabled);
+
+/// One sweep, as a value: what to run (kind, scale, workloads, sampling)
+/// plus the report surface. This is the unit the service deduplicates,
+/// caches under, and serves over the socket.
+struct SweepRequest {
+  std::string SweepKind = "standard"; ///< "standard" | "matrix"
+  double Scale = 0.25;
+  /// Workload subset in request order; empty = all eight, paper order.
+  std::vector<std::string> Workloads;
+  /// Phase-sampled estimation; disabled by default. The wire form
+  /// carries the CLI surface (interval length + K); the remaining spec
+  /// knobs keep their defaults.
+  SampleSpec Sample;
+  ReportOptions Report;
+
+  /// Wire form: {"sweep", "scale", "workloads", "opt-stats",
+  /// "engine-stats"} plus "sample" {"interval-len", "k"} when enabled.
+  JsonValue toJson() const;
+
+  /// Strict inverse of toJson: absent keys take their defaults, unknown
+  /// keys and mis-typed values are errors (a typo'd request must fail
+  /// loudly, not silently run the default sweep).
+  static Expected<SweepRequest> fromJson(const JsonValue &V);
+
+  /// Resolves the request into the spec vector runSweep consumes —
+  /// validates the sweep kind and every workload name (same diagnostics
+  /// batch ogate-sim always printed), enumerates the matrix in the
+  /// fixed deterministic order, and applies the sample spec to every
+  /// cell.
+  Expected<std::vector<ExperimentSpec>> buildSpecs() const;
+};
+
+/// Shared sweep-flag surface: applies one command-line argument to \p R
+/// when it is a sweep-request flag (--sweep[=KIND], --scale=,
+/// --workloads=, --sample=, --opt-stats, --engine-stats), parsing values
+/// strictly through \p T (malformed values exit 2). Returns false when
+/// \p Arg is not a request flag — tool-specific flags (--jobs, --json,
+/// --socket, ...) stay with the tool. ogate-sim and `ogate-serve
+/// request` call this so the two tools cannot drift apart on sweep
+/// flags.
+bool applySweepRequestFlag(SweepRequest &R, const CliTool &T,
+                           const std::string &Arg);
+
+} // namespace og
+
+#endif // OG_SERVICE_SWEEPREQUEST_H

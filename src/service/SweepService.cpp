@@ -1,0 +1,207 @@
+//===- service/SweepService.cpp -------------------------------------------==//
+
+#include "service/SweepService.h"
+
+#include "pipeline/Pipeline.h"
+#include "report/ReportSchema.h"
+#include "workloads/Workloads.h"
+
+#include <chrono>
+
+using namespace og;
+
+std::shared_ptr<const ServiceWorkload>
+SweepService::getWorkload(const std::string &Name, double Scale) {
+  // Compute-once: the first caller of a (workload, scale) owns the build;
+  // concurrent callers wait on the shared future (the
+  // sample/SamplePlanCache.h protocol).
+  std::shared_future<std::shared_ptr<const ServiceWorkload>> Fut;
+  std::promise<std::shared_ptr<const ServiceWorkload>> Owner;
+  bool IsOwner = false;
+  {
+    std::lock_guard<std::mutex> Lock(WorkloadsM);
+    auto It = WorkloadFutures.find({Name, Scale});
+    if (It == WorkloadFutures.end()) {
+      IsOwner = true;
+      Fut = Owner.get_future().share();
+      WorkloadFutures.emplace(std::make_pair(Name, Scale), Fut);
+    } else {
+      Fut = It->second;
+    }
+  }
+  if (IsOwner) {
+    try {
+      Owner.set_value(
+          std::make_shared<const ServiceWorkload>(makeWorkload(Name, Scale)));
+    } catch (...) {
+      Owner.set_exception(std::current_exception());
+      std::lock_guard<std::mutex> Lock(WorkloadsM);
+      WorkloadFutures.erase({Name, Scale});
+    }
+  }
+  return Fut.get();
+}
+
+PipelineResult SweepService::runSpec(const ExperimentSpec &Spec) {
+  std::shared_ptr<const ServiceWorkload> SW =
+      getWorkload(Spec.Workload, Spec.Scale);
+  return runPipeline(SW->W, Spec.Config, SW->Decoded.get(),
+                     Spec.Config.Sample.enabled() ? &PlanCache : nullptr);
+}
+
+SweepResult SweepService::runFull(const std::vector<ExperimentSpec> &Specs,
+                                  unsigned JobsOverride) {
+  SweepOptions SO;
+  SO.Jobs = JobsOverride ? JobsOverride : Opts.Jobs;
+  SO.KeepGoing = Opts.KeepGoing;
+  SO.Job = [this](const ExperimentSpec &Spec, Rng &) {
+    return runSpec(Spec);
+  };
+  return runSweep(Specs, SO);
+}
+
+ServedSweep SweepService::serve(const SweepRequest &R) {
+  ServedSweep Out;
+  Expected<std::vector<ExperimentSpec>> SpecsOr = R.buildSpecs();
+  if (!SpecsOr) {
+    Out.Error = SpecsOr.error();
+    return Out;
+  }
+  const std::vector<ExperimentSpec> &Specs = *SpecsOr;
+  const size_t N = Specs.size();
+
+  // Resolve every workload first (compute-once), then derive content
+  // keys — the key hashes the base program, so the workload must exist.
+  std::vector<CellKey> Keys;
+  Keys.reserve(N);
+  try {
+    for (const ExperimentSpec &S : Specs)
+      Keys.push_back(makeCellKey(S, getWorkload(S.Workload, S.Scale)->W));
+  } catch (const std::exception &E) {
+    Out.Error = std::string("workload build failed: ") + E.what();
+    return Out;
+  }
+
+  // Claim phase: adopt existing futures (ready = in-memory hit, pending
+  // = another request is computing it right now), own the rest.
+  std::vector<std::shared_future<ServedCellPtr>> Futures(N);
+  std::map<size_t, std::promise<ServedCellPtr>> Owned;
+  {
+    std::lock_guard<std::mutex> Lock(CellsM);
+    for (size_t I = 0; I < N; ++I) {
+      const std::string Addr = Keys[I].address();
+      auto It = CellFutures.find(Addr);
+      if (It != CellFutures.end()) {
+        Futures[I] = It->second;
+        const bool Ready = Futures[I].wait_for(std::chrono::seconds(0)) ==
+                           std::future_status::ready;
+        Ready ? ++Out.Hits : ++Out.InflightDedups;
+        continue;
+      }
+      std::promise<ServedCellPtr> P;
+      Futures[I] = P.get_future().share();
+      CellFutures.emplace(Addr, Futures[I]);
+      Owned.emplace(I, std::move(P));
+    }
+  }
+
+  // Owner phase 1: persistent-cache lookups settle owned cells without
+  // computing. What remains is this request's compute set.
+  std::vector<size_t> ToCompute;
+  for (auto It = Owned.begin(); It != Owned.end();) {
+    if (std::optional<ResultAggregator::Cell> Cell = Cache.lookup(Keys[It->first])) {
+      ++Out.Hits;
+      It->second.set_value(std::make_shared<const ServedCell>(
+          ServedCell{"", std::move(*Cell)}));
+      It = Owned.erase(It);
+    } else {
+      ++Out.Misses;
+      ToCompute.push_back(It->first);
+      ++It;
+    }
+  }
+
+  // Owner phase 2: compute the misses through the driver. Reduction is
+  // streaming (SweepOptions::Consume, worker-thread side): each success
+  // is reduced to its report cell, persisted, and published to waiters
+  // immediately — the full PipelineResult never outlives its job.
+  if (!ToCompute.empty()) {
+    std::vector<ExperimentSpec> Sub;
+    Sub.reserve(ToCompute.size());
+    for (size_t I : ToCompute)
+      Sub.push_back(Specs[I]);
+
+    std::vector<char> Fulfilled(N, 0);
+    SweepOptions SO;
+    SO.Jobs = Opts.Jobs;
+    SO.KeepGoing = Opts.KeepGoing;
+    SO.Job = [this](const ExperimentSpec &Spec, Rng &) {
+      return runSpec(Spec);
+    };
+    SO.Consume = [&](size_t SubI, const ExperimentSpec &Spec,
+                     PipelineResult &Res) {
+      const size_t I = ToCompute[SubI];
+      ResultAggregator::Cell Cell = ResultAggregator::makeCell(Spec, Res);
+      Cache.store(Keys[I], Cell);
+      // Owned is structurally frozen during the run; distinct SubI hit
+      // distinct entries, so worker threads need no extra lock here.
+      Owned.at(I).set_value(std::make_shared<const ServedCell>(
+          ServedCell{"", std::move(Cell)}));
+      Fulfilled[I] = 1;
+    };
+    SweepResult SR = runSweep(Sub, SO);
+
+    // Failed and cancelled cells: retract the in-flight entry first (so
+    // new requests recompute instead of adopting a dead future), then
+    // publish the failure to whoever is already waiting.
+    for (size_t SubI = 0; SubI < ToCompute.size(); ++SubI) {
+      const size_t I = ToCompute[SubI];
+      if (Fulfilled[I])
+        continue;
+      {
+        std::lock_guard<std::mutex> Lock(CellsM);
+        CellFutures.erase(Keys[I].address());
+      }
+      const JobOutcome &O = SR.Outcomes[SubI];
+      const std::string Err =
+          !O.Error.empty()
+              ? O.Error
+              : "spec '" + Sub[SubI].name() + "': cancelled before it ran";
+      Owned.at(I).set_value(
+          std::make_shared<const ServedCell>(ServedCell{Err, {}}));
+    }
+  }
+
+  // Gather in spec order; the first error in spec order wins, which is
+  // deterministic under --keep-going (same contract as batch
+  // SweepResult::FirstError).
+  std::vector<ServedCellPtr> Cells(N);
+  for (size_t I = 0; I < N; ++I) {
+    Cells[I] = Futures[I].get();
+    if (!Cells[I]->Error.empty()) {
+      if (Out.Error.empty())
+        Out.Error = Cells[I]->Error;
+    }
+  }
+  if (!Out.Error.empty())
+    return Out;
+
+  for (size_t I = 0; I < N; ++I)
+    Out.Aggregate.add(Cells[I]->Cell);
+
+  // Always-on duplicate-cell check (same reasoning as batch mode): a
+  // duplicated key means spec construction is broken, and a silently
+  // double-rowed report would poison baseline comparisons downstream.
+  if (const std::string Dup = Out.Aggregate.duplicateKey(); !Dup.empty()) {
+    Out.Error =
+        "sweep produced duplicate cell '" + Dup + "' — spec construction bug";
+    return Out;
+  }
+
+  Out.Document = sweepToJson(Out.Aggregate, R.SweepKind, R.Scale,
+                             R.Report.OptStats,
+                             R.Sample.enabled() ? &R.Sample : nullptr,
+                             R.Report.EngineStats);
+  Out.Ok = true;
+  return Out;
+}

@@ -1,0 +1,158 @@
+//===- service/SweepService.h - Shared sweep execution -----------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The one sweep engine behind all three front ends: batch `ogate-sim
+/// --sweep`, the bench harness cache fills, and the `ogate-serve`
+/// socket server. A service owns, for its lifetime:
+///
+///  - a workload cache: each distinct (workload, scale) is built and
+///    pre-decoded once, compute-once across concurrent requests;
+///  - a SamplePlanCache: sampled cells share plan/checkpoint artifacts
+///    across requests exactly as they already did within one sweep;
+///  - a persistent ResultCache of reduced report cells, keyed by
+///    content (service/CellKey.h);
+///  - an in-flight cell map: concurrent requests for the same cell key
+///    share one computation (the compute-once future pattern of
+///    sample/SamplePlanCache.h lifted from sampled artifacts to whole
+///    cells). A ready future doubles as an in-memory cell cache.
+///
+/// serve() is the reduced path: every cell resolves through cache →
+/// in-flight map → fresh computation, results are reduced to
+/// ResultAggregator::Cells on the worker threads (streaming, via
+/// SweepOptions::Consume), and the response document is rendered by the
+/// same sweepToJson as batch mode — so a served sweep is byte-identical
+/// to `ogate-sim --sweep --json`, whether cold, warm, or deduplicated.
+/// runFull() is the full-result path for benches, which need whole
+/// PipelineResults (transformed programs, histograms); it shares the
+/// workload and sample-plan caches but bypasses the cell cache.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SERVICE_SWEEPSERVICE_H
+#define OG_SERVICE_SWEEPSERVICE_H
+
+#include "driver/Driver.h"
+#include "sample/SamplePlanCache.h"
+#include "service/CellKey.h"
+#include "service/ResultCache.h"
+#include "service/SweepRequest.h"
+
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace og {
+
+/// Service construction knobs.
+struct ServiceOptions {
+  /// Worker threads per request's compute phase.
+  unsigned Jobs = 1;
+  /// Propagated to the driver: true runs every cell even after one fails.
+  bool KeepGoing = false;
+  /// Persistent cell-cache directory; "" disables persistence (the
+  /// in-flight map still deduplicates and remembers within the service
+  /// lifetime).
+  std::string CacheDir;
+};
+
+/// One served sweep: either a failure with a diagnostic, or the
+/// aggregate + rendered document plus how each cell was resolved.
+struct ServedSweep {
+  bool Ok = false;
+  /// First failure in spec order ("spec 'compress/vrp': <what>"), or a
+  /// request-level diagnostic (unknown sweep kind / workload, duplicate
+  /// cell).
+  std::string Error;
+  ResultAggregator Aggregate;
+  /// The full report document (sweepToJson shape) — byte-identical to
+  /// batch `ogate-sim --sweep --json` for the same request.
+  JsonValue Document;
+  /// Per-request resolution counters. Hits counts persistent-cache and
+  /// ready-in-memory cells, Misses cells this request computed,
+  /// InflightDedups cells another in-progress request was already
+  /// computing (waited on, not recomputed). Hits + Misses +
+  /// InflightDedups == cell count.
+  uint64_t Hits = 0;
+  uint64_t Misses = 0;
+  uint64_t InflightDedups = 0;
+};
+
+/// A workload built once per service, shared read-only (see Driver.cpp's
+/// per-sweep SharedWorkload — this is the same idea with service
+/// lifetime).
+struct ServiceWorkload {
+  Workload W;
+  std::unique_ptr<DecodedProgram> Decoded;
+
+  explicit ServiceWorkload(Workload Built) : W(std::move(Built)) {
+    Decoded = std::make_unique<DecodedProgram>(W.Prog);
+  }
+};
+
+/// The sweep engine (see file comment). All entry points are
+/// thread-safe; concurrent serve() calls share workloads, sampled
+/// artifacts, and in-flight cell computations.
+class SweepService {
+public:
+  explicit SweepService(ServiceOptions Opts)
+      : Opts(std::move(Opts)), Cache(this->Opts.CacheDir) {}
+
+  /// Serves one request through the cell cache (see file comment).
+  ServedSweep serve(const SweepRequest &R);
+
+  /// Runs \p Specs with full results (bench path): shares this
+  /// service's workload and sample-plan caches, bypasses the cell
+  /// cache. \p JobsOverride > 0 overrides ServiceOptions::Jobs.
+  SweepResult runFull(const std::vector<ExperimentSpec> &Specs,
+                      unsigned JobsOverride = 0);
+
+  /// Lifetime persistent-cache traffic (includes lookups on behalf of
+  /// every request served so far).
+  ResultCache::Counters cacheCounters() const { return Cache.counters(); }
+
+  const ServiceOptions &options() const { return Opts; }
+
+private:
+  /// One computed-or-failed cell as shared by the in-flight map.
+  struct ServedCell {
+    std::string Error; ///< "" = Cell is valid
+    ResultAggregator::Cell Cell;
+  };
+  using ServedCellPtr = std::shared_ptr<const ServedCell>;
+
+  /// Compute-once (workload, scale) -> built + decoded workload.
+  std::shared_ptr<const ServiceWorkload> getWorkload(const std::string &Name,
+                                                     double Scale);
+
+  /// The per-spec job every path runs: service-shared decode + plan
+  /// cache, same pipeline invocation as the batch driver's default job.
+  PipelineResult runSpec(const ExperimentSpec &Spec);
+
+  ServiceOptions Opts;
+  ResultCache Cache;
+  SamplePlanCache PlanCache;
+
+  std::mutex WorkloadsM;
+  std::map<std::pair<std::string, double>,
+           std::shared_future<std::shared_ptr<const ServiceWorkload>>>
+      WorkloadFutures;
+
+  std::mutex CellsM;
+  /// In-flight and completed cells by CellKey::address(). Entries for
+  /// failed cells are erased (later requests retry); successful entries
+  /// persist as an in-memory cache for the service lifetime (a reduced
+  /// cell is ~1 KB — a full matrix sweep stays well under a megabyte).
+  std::map<std::string, std::shared_future<ServedCellPtr>> CellFutures;
+};
+
+} // namespace og
+
+#endif // OG_SERVICE_SWEEPSERVICE_H

@@ -1,0 +1,119 @@
+//===- service/Wire.cpp ---------------------------------------------------==//
+
+#include "service/Wire.h"
+
+#include <cerrno>
+#include <cstring>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace og;
+
+namespace {
+
+/// Fills a sockaddr_un for \p Path, rejecting paths that do not fit the
+/// fixed-size sun_path field (a real limit on every platform, ~108
+/// bytes on Linux — better a clear diagnostic than silent truncation).
+bool fillAddr(const std::string &Path, sockaddr_un &Addr, std::string &Error) {
+  std::memset(&Addr, 0, sizeof(Addr));
+  Addr.sun_family = AF_UNIX;
+  if (Path.empty() || Path.size() >= sizeof(Addr.sun_path)) {
+    Error = "socket path '" + Path + "' is empty or too long (max " +
+            std::to_string(sizeof(Addr.sun_path) - 1) + " bytes)";
+    return false;
+  }
+  std::memcpy(Addr.sun_path, Path.c_str(), Path.size() + 1);
+  return true;
+}
+
+std::string errnoString(const char *What, const std::string &Path) {
+  return std::string(What) + " '" + Path + "': " + std::strerror(errno);
+}
+
+} // namespace
+
+int og::listenUnix(const std::string &Path, std::string &Error) {
+  sockaddr_un Addr;
+  if (!fillAddr(Path, Addr, Error))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoString("socket", Path);
+    return -1;
+  }
+  // A previous server that died uncleanly leaves its socket file behind;
+  // bind() would fail with EADDRINUSE even though nobody is listening.
+  // Unlinking first makes restart idempotent. If another server IS
+  // alive on this path, its clients lose the name — single-server-per-
+  // path is the operator's contract, same as a pid file.
+  ::unlink(Path.c_str());
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error = errnoString("bind", Path);
+    ::close(Fd);
+    return -1;
+  }
+  if (::listen(Fd, 64) != 0) {
+    Error = errnoString("listen", Path);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int og::connectUnix(const std::string &Path, std::string &Error) {
+  sockaddr_un Addr;
+  if (!fillAddr(Path, Addr, Error))
+    return -1;
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    Error = errnoString("socket", Path);
+    return -1;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) != 0) {
+    Error = errnoString("connect", Path);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+bool og::sendLine(int Fd, const std::string &Line) {
+  std::string Framed = Line;
+  Framed += '\n';
+  size_t Off = 0;
+  while (Off < Framed.size()) {
+    ssize_t N = ::send(Fd, Framed.data() + Off, Framed.size() - Off,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Off += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+bool LineReader::readLine(std::string &Out) {
+  for (;;) {
+    size_t Nl = Buf.find('\n');
+    if (Nl != std::string::npos) {
+      Out.assign(Buf, 0, Nl);
+      Buf.erase(0, Nl + 1);
+      return true;
+    }
+    if (Buf.size() > MaxLine)
+      return false;
+    char Chunk[4096];
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    if (N == 0)
+      return false;
+    Buf.append(Chunk, static_cast<size_t>(N));
+  }
+}

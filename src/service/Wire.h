@@ -1,0 +1,61 @@
+//===- service/Wire.h - Unix-socket line transport ---------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport under tools/ogate-serve: line-delimited compact JSON
+/// over a Unix domain stream socket. One request per line, one response
+/// per line; JsonValue::writeCompact guarantees a serialized document
+/// never contains '\n', so framing is trivial and every message stays
+/// grep-able with plain `nc -U`. These helpers are deliberately thin —
+/// blocking I/O, no event loop — because a sweep server's unit of work
+/// is seconds of simulation, not microseconds of routing.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SERVICE_WIRE_H
+#define OG_SERVICE_WIRE_H
+
+#include <cstddef>
+#include <string>
+
+namespace og {
+
+/// Creates, binds and listens on a Unix stream socket at \p Path,
+/// replacing a stale socket file if one exists. Returns the listening fd
+/// or -1 with a diagnostic in \p Error.
+int listenUnix(const std::string &Path, std::string &Error);
+
+/// Connects to the Unix stream socket at \p Path. Returns the fd or -1
+/// with a diagnostic in \p Error.
+int connectUnix(const std::string &Path, std::string &Error);
+
+/// Writes \p Line plus the '\n' terminator, looping over partial writes
+/// (MSG_NOSIGNAL — a vanished peer is a false return, not a SIGPIPE).
+bool sendLine(int Fd, const std::string &Line);
+
+/// Buffered line reader over one fd. Lines are bounded: a peer that
+/// streams more than \p MaxLine bytes without a newline is disconnected
+/// rather than ballooning server memory.
+class LineReader {
+public:
+  /// Default bound: a matrix-sweep response document is ~100 KB compact;
+  /// 16 MiB leaves two orders of magnitude of headroom.
+  explicit LineReader(int Fd, size_t MaxLine = 16u << 20)
+      : Fd(Fd), MaxLine(MaxLine) {}
+
+  /// Reads the next '\n'-terminated line (terminator stripped). false on
+  /// EOF, error, or an over-long line.
+  bool readLine(std::string &Out);
+
+private:
+  int Fd;
+  size_t MaxLine;
+  std::string Buf;
+};
+
+} // namespace og
+
+#endif // OG_SERVICE_WIRE_H

@@ -32,6 +32,7 @@
 #include "program/Program.h"
 #include "sim/Machine.h"
 #include "sim/TraceSink.h"
+#include "support/Hash.h"
 
 #include <cstdint>
 #include <string>
@@ -136,6 +137,22 @@ struct RunOptions {
   /// std::invalid_argument if the plan was built for another decode.
   const SuperblockPlan *Superblocks = nullptr;
 };
+
+/// Folds the semantic run-context fields of \p O into \p H: everything
+/// that shapes the dynamic instruction stream (fuel, memory size, initial
+/// arguments, call-depth limit, ABI checking). Execution plumbing that
+/// cannot change results — Sink, Dispatch, Superblocks — is deliberately
+/// excluded, so content keys (sample/SamplePlanCache.h,
+/// service/CellKey.h) stay stable across dispatch modes.
+inline void hashRunOptions(Fnv1a &H, const RunOptions &O) {
+  H.u64(O.Fuel);
+  H.u64(O.Machine.MemBytes);
+  H.u64(O.MaxCallDepth);
+  H.u64(O.CheckCalleeSaved ? 1 : 0);
+  H.u64(O.ArgRegs.size());
+  for (int64_t A : O.ArgRegs)
+    H.u64(static_cast<uint64_t>(A));
+}
 
 /// Executes \p P under \p Options. Decodes the program first; see
 /// sim/ExecEngine.h for the overload that reuses a cached decode.

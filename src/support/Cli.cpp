@@ -1,0 +1,72 @@
+//===- support/Cli.cpp ----------------------------------------------------==//
+
+#include "support/Cli.h"
+
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <iostream>
+
+using namespace og;
+
+void CliTool::badValue(const std::string &Flag, const std::string &Val,
+                       const std::string &Want) const {
+  std::cerr << Name << ": bad " << Flag << " value '" << Val << "' (" << Want
+            << ")\n";
+  std::exit(2);
+}
+
+uint64_t CliTool::parseU64(const std::string &Flag, const std::string &Val,
+                           const std::string &Want, uint64_t Min,
+                           uint64_t Max) const {
+  if (Val.empty() || Val[0] < '0' || Val[0] > '9')
+    badValue(Flag, Val, Want);
+  errno = 0;
+  char *End = nullptr;
+  const unsigned long long V = std::strtoull(Val.c_str(), &End, 10);
+  if (*End != '\0' || errno == ERANGE || V < Min || V > Max)
+    badValue(Flag, Val, Want);
+  return V;
+}
+
+int64_t CliTool::parseI64(const std::string &Flag, const std::string &Val,
+                          const std::string &Want) const {
+  const bool LeadOk =
+      !Val.empty() &&
+      ((Val[0] >= '0' && Val[0] <= '9') || (Val[0] == '-' && Val.size() > 1));
+  if (!LeadOk)
+    badValue(Flag, Val, Want);
+  errno = 0;
+  char *End = nullptr;
+  const long long V = std::strtoll(Val.c_str(), &End, 10);
+  if (*End != '\0' || errno == ERANGE)
+    badValue(Flag, Val, Want);
+  return V;
+}
+
+double CliTool::parsePositive(const std::string &Flag, const std::string &Val,
+                              const std::string &Want) const {
+  if (Val.empty() || Val[0] == '+' || Val[0] == ' ')
+    badValue(Flag, Val, Want);
+  errno = 0;
+  char *End = nullptr;
+  const double V = std::strtod(Val.c_str(), &End);
+  if (End == Val.c_str() || *End != '\0' || errno == ERANGE ||
+      !std::isfinite(V) || V <= 0.0)
+    badValue(Flag, Val, Want);
+  return V;
+}
+
+double CliTool::parseNonNegative(const std::string &Flag,
+                                 const std::string &Val,
+                                 const std::string &Want) const {
+  if (Val.empty() || Val[0] == '+' || Val[0] == ' ')
+    badValue(Flag, Val, Want);
+  errno = 0;
+  char *End = nullptr;
+  const double V = std::strtod(Val.c_str(), &End);
+  if (End == Val.c_str() || *End != '\0' || errno == ERANGE ||
+      !std::isfinite(V) || V < 0.0)
+    badValue(Flag, Val, Want);
+  return V;
+}

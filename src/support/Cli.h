@@ -1,0 +1,70 @@
+//===- support/Cli.h - Strict flag-value parsing -----------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The strict flag-value parsers shared by every tool (ogate-sim,
+/// ogate-opt, ogate-report, ogate-serve). One diagnostic shape and one
+/// exit code for the whole family:
+///
+///   <tool>: bad <flag> value '<value>' (<what was wanted>)   -> exit 2
+///
+/// Exit 2 = malformed flag value, distinct from exit 1 (mode conflicts
+/// and runtime failures) so scripts can tell usage mistakes apart. The
+/// parsers are deliberately stricter than atoi/strtod call sites used to
+/// be: the whole string must parse, ranges are checked, and overflow is
+/// an error instead of a silent clamp or wrap — "--jobs=abc" never again
+/// means "--jobs=1".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SUPPORT_CLI_H
+#define OG_SUPPORT_CLI_H
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace og {
+
+/// Flag parsing for one tool; carries the tool name every diagnostic is
+/// prefixed with.
+class CliTool {
+public:
+  explicit CliTool(std::string Name) : Name(std::move(Name)) {}
+
+  const std::string &name() const { return Name; }
+
+  /// Prints the family's uniform diagnostic and exits 2.
+  [[noreturn]] void badValue(const std::string &Flag, const std::string &Val,
+                             const std::string &Want) const;
+
+  /// Strict decimal parse for unsigned flag values: the whole string must
+  /// be digits (no sign — strtoull silently wraps "-5" to a huge value),
+  /// in [Min, Max], and must not overflow. Anything else exits 2.
+  uint64_t
+  parseU64(const std::string &Flag, const std::string &Val,
+           const std::string &Want, uint64_t Min,
+           uint64_t Max = std::numeric_limits<uint64_t>::max()) const;
+
+  /// Strict decimal parse for signed flag values (--arg takes negatives).
+  int64_t parseI64(const std::string &Flag, const std::string &Val,
+                   const std::string &Want) const;
+
+  /// Strict parse for scale-like flags: a finite decimal > 0.
+  double parsePositive(const std::string &Flag, const std::string &Val,
+                       const std::string &Want) const;
+
+  /// Strict parse for tolerance-like flags: a finite decimal >= 0.
+  double parseNonNegative(const std::string &Flag, const std::string &Val,
+                          const std::string &Want) const;
+
+private:
+  std::string Name;
+};
+
+} // namespace og
+
+#endif // OG_SUPPORT_CLI_H

@@ -1,0 +1,61 @@
+//===- support/Hash.h - Deterministic content hashing ------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A 64-bit FNV-1a accumulator, the substrate of every content key in the
+/// system: the sample plan cache's stream keys (sample/SamplePlanCache.h)
+/// and the sweep service's content-addressed cell keys (service/CellKey.h)
+/// are FNV-1a folds over value-rendered struct fields. Two rules keep the
+/// keys portable and stable:
+///
+///  - hash *values*, never object representations: field widths,
+///    signedness and padding differ across the config structs, so every
+///    integral field is widened to uint64 before folding (u64()), and
+///    doubles are folded by their IEEE bit pattern (f64());
+///  - every struct hashes through one helper owned by the struct's own
+///    header (hashUarchConfig, hashRunOptions, hashPipelineConfig, ...),
+///    so adding a field and forgetting to hash it is a review-visible
+///    one-file mistake rather than a silent cross-subsystem drift.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_SUPPORT_HASH_H
+#define OG_SUPPORT_HASH_H
+
+#include <cstddef>
+#include <cstdint>
+
+namespace og {
+
+/// Incremental 64-bit FNV-1a. Cheap, deterministic across platforms and
+/// compilers, and collision-safe enough for content addressing here: a
+/// collision between two *different* cells would need ~2^32 distinct keys
+/// in one store, and every consumer double-checks the full key alongside
+/// the hash anyway.
+class Fnv1a {
+public:
+  void bytes(const void *P, size_t N) {
+    const unsigned char *B = static_cast<const unsigned char *>(P);
+    for (size_t I = 0; I < N; ++I) {
+      H ^= B[I];
+      H *= 0x100000001b3ull;
+    }
+  }
+  /// Folds the *value*, not the object representation (see file comment).
+  void u64(uint64_t V) { bytes(&V, sizeof V); }
+  /// Folds a double by its bit pattern (distinguishes -0.0 from 0.0; two
+  /// NaNs with equal payloads hash alike, which is fine for config knobs
+  /// that are never NaN by validation).
+  void f64(double V) { bytes(&V, sizeof V); }
+  uint64_t hash() const { return H; }
+
+private:
+  uint64_t H = 0xcbf29ce484222325ull;
+};
+
+} // namespace og
+
+#endif // OG_SUPPORT_HASH_H

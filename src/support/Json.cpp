@@ -293,6 +293,43 @@ std::string JsonValue::toString() const {
   return OS.str();
 }
 
+void JsonValue::writeCompact(std::ostream &OS) const {
+  switch (K) {
+  case Kind::Null:
+  case Kind::Bool:
+  case Kind::Number:
+  case Kind::String:
+    write(OS, 0); // scalars never emit whitespace
+    return;
+  case Kind::Array:
+    OS << '[';
+    for (size_t J = 0; J < Elems.size(); ++J) {
+      if (J)
+        OS << ',';
+      Elems[J].writeCompact(OS);
+    }
+    OS << ']';
+    return;
+  case Kind::Object:
+    OS << '{';
+    for (size_t J = 0; J < Members.size(); ++J) {
+      if (J)
+        OS << ',';
+      writeEscaped(OS, Members[J].first);
+      OS << ':';
+      Members[J].second.writeCompact(OS);
+    }
+    OS << '}';
+    return;
+  }
+}
+
+std::string JsonValue::toCompactString() const {
+  std::ostringstream OS;
+  writeCompact(OS);
+  return OS.str();
+}
+
 //===----------------------------------------------------------------------===//
 // Parser
 //===----------------------------------------------------------------------===//

@@ -105,6 +105,16 @@ public:
   /// write() into a string, with a trailing newline (file form).
   std::string toString() const;
 
+  /// Serializes without any whitespace or newlines — one line no matter
+  /// how nested. Same determinism contract as write(); this is the wire
+  /// form of the sweep service's line-delimited protocol
+  /// (tools/ogate-serve), where a value must never contain '\n'.
+  void writeCompact(std::ostream &OS) const;
+
+  /// writeCompact() into a string (no trailing newline — the protocol
+  /// layer appends the line terminator).
+  std::string toCompactString() const;
+
   /// Structural equality. Numbers with different integerness never
   /// compare equal (integer 3 prints "3", double 3.0 prints "3.0");
   /// doubles compare by their serialized form, so -0.0 == 0.0 iff they

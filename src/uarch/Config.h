@@ -13,6 +13,8 @@
 #ifndef OG_UARCH_CONFIG_H
 #define OG_UARCH_CONFIG_H
 
+#include "support/Hash.h"
+
 namespace og {
 
 struct UarchConfig {
@@ -46,6 +48,44 @@ struct UarchConfig {
   // Execution latencies.
   unsigned MulLatency = 7;
 };
+
+/// Folds every UarchConfig field into \p H, in declaration order. Content
+/// keys (sample/SamplePlanCache.h, service/CellKey.h) are built from
+/// this; a new field added above MUST be folded here too, or two cells
+/// differing only in that field would collide.
+inline void hashUarchConfig(Fnv1a &H, const UarchConfig &U) {
+  H.u64(U.FetchWidth);
+  H.u64(U.DecodeWidth);
+  H.u64(U.RetireWidth);
+  H.u64(U.FrontendDepth);
+  H.u64(U.MispredictPenalty);
+  H.u64(U.MaxInFlight);
+  H.u64(U.IssueWidth);
+  H.u64(U.NumIntAlu);
+  H.u64(U.NumIntMul);
+  H.u64(U.MemPorts);
+  H.u64(U.ChooserEntries);
+  H.u64(U.GshareEntries);
+  H.u64(U.GlobalHistoryBits);
+  H.u64(U.BimodalEntries);
+  H.u64(U.L1ISizeKB);
+  H.u64(U.L1IAssoc);
+  H.u64(U.L1ILine);
+  H.u64(U.L1IHit);
+  H.u64(U.L1DSizeKB);
+  H.u64(U.L1DAssoc);
+  H.u64(U.L1DLine);
+  H.u64(U.L1DHit);
+  H.u64(U.L1MissToL2);
+  H.u64(U.L2SizeKB);
+  H.u64(U.L2Assoc);
+  H.u64(U.L2Line);
+  H.u64(U.L2Hit);
+  H.u64(U.MemFirstChunk);
+  H.u64(U.MemInterChunk);
+  H.u64(U.MemChunkBytes);
+  H.u64(U.MulLatency);
+}
 
 } // namespace og
 

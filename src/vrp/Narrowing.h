@@ -24,6 +24,7 @@
 #ifndef OG_VRP_NARROWING_H
 #define OG_VRP_NARROWING_H
 
+#include "support/Hash.h"
 #include "vrp/RangeAnalysis.h"
 #include "vrp/UsefulWidth.h"
 
@@ -52,6 +53,30 @@ struct NarrowingOptions {
   RangeAnalysis::Options Range;
   std::vector<EdgeSeed> Seeds;
 };
+
+/// Folds every NarrowingOptions field (including the nested
+/// RangeAnalysis::Options and the Seeds list) into \p H, in declaration
+/// order. Content keys (service/CellKey.h) depend on this; a new field
+/// added above MUST be folded here too.
+inline void hashNarrowingOptions(Fnv1a &H, const NarrowingOptions &O) {
+  H.u64(static_cast<uint64_t>(O.Policy));
+  H.u64(O.UseUsefulWidths ? 1 : 0);
+  H.u64(O.UsefulThroughArith ? 1 : 0);
+  H.u64(O.Range.Interprocedural ? 1 : 0);
+  H.u64(O.Range.UseLoopBounds ? 1 : 0);
+  H.u64(O.Range.Alternations);
+  H.u64(O.Range.MaxInterRounds);
+  H.u64(O.Range.WidenAfter);
+  H.u64(O.Seeds.size());
+  for (const EdgeSeed &S : O.Seeds) {
+    H.u64(static_cast<uint64_t>(S.Func));
+    H.u64(static_cast<uint64_t>(S.From));
+    H.u64(static_cast<uint64_t>(S.To));
+    H.u64(static_cast<uint64_t>(S.R));
+    H.u64(static_cast<uint64_t>(S.Min));
+    H.u64(static_cast<uint64_t>(S.Max));
+  }
+}
 
 /// Static width distribution and a few counters.
 struct NarrowingReport {

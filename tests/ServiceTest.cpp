@@ -1,0 +1,432 @@
+//===- tests/ServiceTest.cpp - Sweep service + cell cache tests ------------==//
+//
+// Integration coverage of src/service/: CellKey content addressing (the
+// round-trip, collision-freedom, and program-hash sensitivity the
+// persistent cache's correctness rests on), ResultCache staleness and
+// mismatch handling, SweepRequest's JSON form, and the SweepService
+// serving contract — cold serves byte-identical to the batch driver,
+// warm serves recomputing nothing, and concurrent identical requests
+// triggering exactly one computation.
+//
+//===----------------------------------------------------------------------===//
+
+#include "driver/Driver.h"
+#include "report/ReportSchema.h"
+#include "service/CellKey.h"
+#include "service/ResultCache.h"
+#include "service/SweepService.h"
+#include "support/Hash.h"
+#include "workloads/Workloads.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <set>
+#include <thread>
+
+using namespace og;
+
+namespace {
+
+/// A fresh empty directory under the test temp root.
+std::string freshDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "ogate-service-" + Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+/// One-workload standard request at smoke scale: 7 cells, fast enough
+/// to serve several times per test.
+SweepRequest compressRequest(double Scale = 0.02) {
+  SweepRequest R;
+  R.Workloads = {"compress"};
+  R.Scale = Scale;
+  return R;
+}
+
+/// What batch mode produces for \p R through the plain driver (the
+/// pre-service reference path: default job, aggregate-at-the-end).
+std::string batchDocument(const SweepRequest &R) {
+  Expected<std::vector<ExperimentSpec>> Specs = R.buildSpecs();
+  EXPECT_TRUE(bool(Specs)) << Specs.error();
+  SweepOptions SO;
+  SO.Jobs = 2;
+  SweepResult Out = runSweep(*Specs, SO);
+  EXPECT_TRUE(Out.AllOk) << Out.FirstError;
+  return sweepToJson(Out.Aggregate, R.SweepKind, R.Scale, R.Report.OptStats,
+                     R.Sample.enabled() ? &R.Sample : nullptr,
+                     R.Report.EngineStats)
+      .toString();
+}
+
+// --- CellKey -------------------------------------------------------------
+
+TEST(CellKeyTest, JsonRoundTrip) {
+  Workload W = makeWorkload("compress", 0.02);
+  std::vector<ExperimentSpec> Specs = makeStandardSweep({"compress"}, 0.02);
+  ASSERT_FALSE(Specs.empty());
+  for (const ExperimentSpec &S : Specs) {
+    CellKey K = makeCellKey(S, W);
+    Expected<CellKey> Back = CellKey::fromJson(K.toJson());
+    ASSERT_TRUE(bool(Back)) << Back.error();
+    EXPECT_EQ(*Back, K);
+    EXPECT_EQ(Back->address(), K.address());
+  }
+}
+
+TEST(CellKeyTest, FromJsonIsStrict) {
+  Workload W = makeWorkload("compress", 0.02);
+  CellKey K = makeCellKey(makeStandardSweep({"compress"}, 0.02)[0], W);
+
+  JsonValue Missing = K.toJson();
+  Missing.set("program-hash", JsonValue::null());
+  EXPECT_FALSE(bool(CellKey::fromJson(Missing)));
+
+  JsonValue BadHex = K.toJson();
+  BadHex.set("seed", JsonValue::str("12345")); // no 0x prefix
+  EXPECT_FALSE(bool(CellKey::fromJson(BadHex)));
+
+  EXPECT_FALSE(bool(CellKey::fromJson(JsonValue::str("not an object"))));
+}
+
+TEST(CellKeyTest, NoCollisionsAcrossSweepScalesAndSeeds) {
+  // Every cell of the full standard sweep, at two scales, plus a
+  // seed-overridden variant of each: all addresses (and keys) distinct.
+  std::map<std::pair<std::string, double>, Workload> Built;
+  std::set<std::string> Addresses;
+  std::vector<CellKey> Keys;
+  for (double Scale : {0.02, 0.05}) {
+    for (ExperimentSpec S : makeStandardSweep(Scale)) {
+      auto WIt = Built.find({S.Workload, Scale});
+      if (WIt == Built.end())
+        WIt = Built.emplace(std::make_pair(S.Workload, Scale),
+                            makeWorkload(S.Workload, Scale))
+                  .first;
+      for (uint64_t Seed : {uint64_t(0), uint64_t(0xdeadbeef)}) {
+        S.Seed = Seed;
+        CellKey K = makeCellKey(S, WIt->second);
+        for (const CellKey &Prev : Keys)
+          ASSERT_NE(K, Prev);
+        Keys.push_back(K);
+        Addresses.insert(K.address());
+      }
+    }
+  }
+  // 8 workloads x standard configs x 2 scales x 2 seeds, no collisions.
+  EXPECT_EQ(Addresses.size(), Keys.size());
+  EXPECT_EQ(Keys.size(), makeStandardSweep(0.02).size() * 4);
+}
+
+TEST(CellKeyTest, ProgramHashStableAcrossInstancesSensitiveToEdits) {
+  // Two independent builds of the same workload hash alike (the cache
+  // must hit across processes and decode instances) ...
+  Workload A = makeWorkload("compress", 0.02);
+  Workload B = makeWorkload("compress", 0.02);
+  EXPECT_EQ(structuralProgramHash(A.Prog), structuralProgramHash(B.Prog));
+
+  // ... while any instruction edit changes the hash.
+  Program Edited = A.Prog;
+  ASSERT_FALSE(Edited.Funcs.empty());
+  ASSERT_FALSE(Edited.Funcs[0].Blocks.empty());
+  ASSERT_FALSE(Edited.Funcs[0].Blocks[0].Insts.empty());
+  Edited.Funcs[0].Blocks[0].Insts[0].Imm += 1;
+  EXPECT_NE(structuralProgramHash(A.Prog), structuralProgramHash(Edited));
+
+  // Width edits are structural by default but ignored when the caller
+  // asks for the width-independent variant (the sample-plan key space).
+  Program Widened = A.Prog;
+  Instruction &I = Widened.Funcs[0].Blocks[0].Insts[0];
+  I.W = I.W == Width::Q ? Width::W : Width::Q;
+  EXPECT_NE(structuralProgramHash(A.Prog), structuralProgramHash(Widened));
+  EXPECT_EQ(structuralProgramHash(A.Prog, /*IncludeWidths=*/false),
+            structuralProgramHash(Widened, /*IncludeWidths=*/false));
+}
+
+// --- ResultCache ---------------------------------------------------------
+
+/// Stores one real cell under its key and returns (key, cache file path).
+struct StoredCell {
+  CellKey Key;
+  ResultAggregator::Cell Cell;
+  std::string Path;
+};
+
+StoredCell storeOneCell(ResultCache &Cache) {
+  Workload W = makeWorkload("compress", 0.02);
+  ExperimentSpec Spec = makeStandardSweep({"compress"}, 0.02)[0];
+  StoredCell S;
+  S.Key = makeCellKey(Spec, W);
+  S.Cell = ResultAggregator::makeCell(Spec, runPipeline(W, Spec.Config));
+  Cache.store(S.Key, S.Cell);
+  S.Path = Cache.dir() + "/" + S.Key.address() + ".json";
+  EXPECT_EQ(std::filesystem::exists(S.Path), Cache.enabled());
+  return S;
+}
+
+TEST(ResultCacheTest, StoreThenLookupHitsWithIdenticalCell) {
+  ResultCache Cache(freshDir("roundtrip"));
+  StoredCell S = storeOneCell(Cache);
+  std::optional<ResultAggregator::Cell> Back = Cache.lookup(S.Key);
+  ASSERT_TRUE(Back.has_value());
+  // The cached cell re-serializes byte-identically: that is what makes
+  // warm sweep documents byte-equal to cold ones.
+  EXPECT_EQ(sweepCellToJson(*Back, true, true).toString(),
+            sweepCellToJson(S.Cell, true, true).toString());
+  EXPECT_EQ(Cache.counters().Hits, 1u);
+  EXPECT_EQ(Cache.counters().Stores, 1u);
+}
+
+TEST(ResultCacheTest, StaleSchemaVersionMissesInsteadOfHitting) {
+  ResultCache Cache(freshDir("stale"));
+  StoredCell S = storeOneCell(Cache);
+
+  // Rewrite the envelope as a future schema version would have: the
+  // entry must miss (and be recomputed), never surface as a hit.
+  Expected<JsonValue> Doc = readJsonFile(S.Path);
+  ASSERT_TRUE(bool(Doc));
+  Doc->set("version", JsonValue::integer(ReportSchemaVersion + 1));
+  ASSERT_TRUE(writeJsonFile(S.Path, *Doc));
+
+  EXPECT_FALSE(Cache.lookup(S.Key).has_value());
+  EXPECT_EQ(Cache.counters().StaleSchema, 1u);
+  EXPECT_EQ(Cache.counters().Hits, 0u);
+}
+
+TEST(ResultCacheTest, ForeignFileUnderAddressMissesAsKeyMismatch) {
+  ResultCache Cache(freshDir("mismatch"));
+  StoredCell S = storeOneCell(Cache);
+
+  // Drop the stored file in under a DIFFERENT key's address (what an
+  // FNV collision would look like): the full-key re-check must miss.
+  ExperimentSpec Other = makeStandardSweep({"compress"}, 0.02)[1];
+  CellKey OtherKey = makeCellKey(Other, makeWorkload("compress", 0.02));
+  ASSERT_NE(OtherKey, S.Key);
+  std::filesystem::copy_file(S.Path,
+                             Cache.dir() + "/" + OtherKey.address() + ".json");
+
+  EXPECT_FALSE(Cache.lookup(OtherKey).has_value());
+  EXPECT_EQ(Cache.counters().KeyMismatch, 1u);
+}
+
+TEST(ResultCacheTest, DisabledCacheCountsMissesAndStoresNothing) {
+  ResultCache Cache("");
+  EXPECT_FALSE(Cache.enabled());
+  StoredCell S = storeOneCell(Cache); // store is a no-op
+  EXPECT_FALSE(std::filesystem::exists(S.Path));
+  EXPECT_FALSE(Cache.lookup(S.Key).has_value());
+  EXPECT_EQ(Cache.counters().Misses, 1u);
+  EXPECT_EQ(Cache.counters().Stores, 0u);
+}
+
+// --- SweepRequest --------------------------------------------------------
+
+TEST(SweepRequestTest, JsonRoundTrip) {
+  SweepRequest R;
+  R.SweepKind = "matrix";
+  R.Scale = 0.1;
+  R.Workloads = {"compress", "li"};
+  R.Sample.IntervalLen = 1000;
+  R.Sample.K = 3;
+  R.Report.OptStats = true;
+
+  Expected<SweepRequest> Back = SweepRequest::fromJson(R.toJson());
+  ASSERT_TRUE(bool(Back)) << Back.error();
+  EXPECT_EQ(Back->SweepKind, R.SweepKind);
+  EXPECT_EQ(Back->Scale, R.Scale);
+  EXPECT_EQ(Back->Workloads, R.Workloads);
+  EXPECT_EQ(Back->Sample.IntervalLen, R.Sample.IntervalLen);
+  EXPECT_EQ(Back->Sample.K, R.Sample.K);
+  EXPECT_TRUE(Back->Report.OptStats);
+  EXPECT_FALSE(Back->Report.EngineStats);
+  // The wire form itself round-trips byte-exactly.
+  EXPECT_EQ(Back->toJson().toCompactString(), R.toJson().toCompactString());
+}
+
+TEST(SweepRequestTest, FromJsonRejectsUnknownAndMistyped) {
+  JsonValue V = SweepRequest().toJson();
+  V.set("jobs", JsonValue::integer(4)); // execution knob, not request
+  EXPECT_FALSE(bool(SweepRequest::fromJson(V)));
+
+  JsonValue Bad = SweepRequest().toJson();
+  Bad.set("scale", JsonValue::number(-1.0));
+  EXPECT_FALSE(bool(SweepRequest::fromJson(Bad)));
+
+  EXPECT_FALSE(bool(SweepRequest::fromJson(JsonValue::array())));
+}
+
+TEST(SweepRequestTest, BuildSpecsValidates) {
+  SweepRequest R = compressRequest();
+  R.Workloads = {"nonesuch"};
+  Expected<std::vector<ExperimentSpec>> Specs = R.buildSpecs();
+  ASSERT_FALSE(bool(Specs));
+  EXPECT_NE(Specs.error().find("unknown workload 'nonesuch'"),
+            std::string::npos);
+
+  R = compressRequest();
+  R.SweepKind = "diagonal";
+  EXPECT_FALSE(bool(R.buildSpecs()));
+
+  R = compressRequest();
+  R.Sample.IntervalLen = 500;
+  Specs = R.buildSpecs();
+  ASSERT_TRUE(bool(Specs));
+  for (const ExperimentSpec &S : *Specs)
+    EXPECT_EQ(S.Config.Sample.IntervalLen, 500u);
+}
+
+TEST(ReportOptionsTest, OneValidationPath) {
+  ReportOptions R;
+  EXPECT_EQ(validateReportOptions(R, true, false), "");
+  EXPECT_EQ(validateReportOptions(R, false, false), "");
+
+  R.TimingLine = true;
+  EXPECT_NE(validateReportOptions(R, true, false), "");
+  EXPECT_EQ(validateReportOptions(R, false, false), "");
+  R.TimingLine = false;
+
+  R.OptStats = true; // JSON-only group without --json
+  EXPECT_NE(validateReportOptions(R, true, false), "");
+  EXPECT_NE(validateReportOptions(R, false, false), "");
+  R.JsonRequested = true;
+  EXPECT_EQ(validateReportOptions(R, true, false), "");
+  EXPECT_NE(validateReportOptions(R, false, false), ""); // sweep-only
+
+  // --sample outside sweep mode is rejected through the same path.
+  EXPECT_NE(validateReportOptions(ReportOptions(), false, true), "");
+  EXPECT_EQ(validateReportOptions(ReportOptions(), true, true), "");
+}
+
+// --- SweepService --------------------------------------------------------
+
+TEST(ServiceTest, ColdServeMatchesBatchBytesAndCountsMisses) {
+  const SweepRequest R = compressRequest();
+  const std::string Batch = batchDocument(R);
+  const size_t N = R.buildSpecs()->size();
+
+  ServiceOptions SO;
+  SO.Jobs = 2;
+  SweepService Service(SO);
+  ServedSweep Cold = Service.serve(R);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  EXPECT_EQ(Cold.Document.toString(), Batch);
+  EXPECT_EQ(Cold.Misses, N);
+  EXPECT_EQ(Cold.Hits, 0u);
+  EXPECT_EQ(Cold.InflightDedups, 0u);
+
+  // Same service, same request: the in-memory cell map alone makes the
+  // repeat pure hits, byte-identical.
+  ServedSweep Warm = Service.serve(R);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_EQ(Warm.Document.toString(), Batch);
+  EXPECT_EQ(Warm.Hits, N);
+  EXPECT_EQ(Warm.Misses, 0u);
+}
+
+TEST(ServiceTest, PersistentCacheWarmsAFreshServiceInstance) {
+  const SweepRequest R = compressRequest();
+  const size_t N = R.buildSpecs()->size();
+  const std::string CacheDir = freshDir("persist");
+
+  ServiceOptions SO;
+  SO.Jobs = 2;
+  SO.CacheDir = CacheDir;
+  std::string ColdBytes;
+  {
+    SweepService Cold(SO);
+    ServedSweep Out = Cold.serve(R);
+    ASSERT_TRUE(Out.Ok) << Out.Error;
+    EXPECT_EQ(Out.Misses, N);
+    EXPECT_EQ(Cold.cacheCounters().Stores, N);
+    ColdBytes = Out.Document.toString();
+  }
+  // A fresh service (fresh in-memory state, same directory — a server
+  // restart) must recompute nothing and reproduce the bytes exactly.
+  SweepService Warm(SO);
+  ServedSweep Out = Warm.serve(R);
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  EXPECT_EQ(Out.Hits, N);
+  EXPECT_EQ(Out.Misses, 0u);
+  EXPECT_EQ(Out.Document.toString(), ColdBytes);
+  EXPECT_EQ(Warm.cacheCounters().Hits, N);
+}
+
+TEST(ServiceTest, ConcurrentIdenticalRequestsComputeEachCellOnce) {
+  const SweepRequest R = compressRequest();
+  const size_t N = R.buildSpecs()->size();
+
+  ServiceOptions SO;
+  SO.Jobs = 2;
+  SweepService Service(SO);
+  ServedSweep A, B;
+  std::thread TA([&] { A = Service.serve(R); });
+  std::thread TB([&] { B = Service.serve(R); });
+  TA.join();
+  TB.join();
+
+  ASSERT_TRUE(A.Ok) << A.Error;
+  ASSERT_TRUE(B.Ok) << B.Error;
+  EXPECT_EQ(A.Document.toString(), B.Document.toString());
+  // Every cell resolves exactly once somewhere: each request accounts
+  // for all N cells, and across both requests exactly N were computed —
+  // the rest were in-memory hits or waits on the other request's
+  // in-flight computation.
+  EXPECT_EQ(A.Hits + A.Misses + A.InflightDedups, N);
+  EXPECT_EQ(B.Hits + B.Misses + B.InflightDedups, N);
+  EXPECT_EQ(A.Misses + B.Misses, N);
+}
+
+TEST(ServiceTest, SampledCellsCacheAndReplayByteIdentically) {
+  SweepRequest R = compressRequest(0.05);
+  R.Sample.IntervalLen = 1000; // K auto
+  const std::string Batch = batchDocument(R);
+  const size_t N = R.buildSpecs()->size();
+
+  ServiceOptions SO;
+  SO.Jobs = 2;
+  SO.CacheDir = freshDir("sampled");
+  SweepService Service(SO);
+  ServedSweep Cold = Service.serve(R);
+  ASSERT_TRUE(Cold.Ok) << Cold.Error;
+  EXPECT_EQ(Cold.Misses, N);
+  EXPECT_EQ(Cold.Document.toString(), Batch);
+
+  SweepService Fresh(SO);
+  ServedSweep Warm = Fresh.serve(R);
+  ASSERT_TRUE(Warm.Ok) << Warm.Error;
+  EXPECT_EQ(Warm.Hits, N);
+  EXPECT_EQ(Warm.Document.toString(), Batch);
+  // Sampled provenance survives the cache (cells carry "sample").
+  EXPECT_NE(Warm.Document.toString().find("\"sample\""), std::string::npos);
+}
+
+TEST(ServiceTest, RequestErrorsSurfaceWithoutServing) {
+  SweepService Service(ServiceOptions{});
+  SweepRequest R = compressRequest();
+  R.Workloads = {"nonesuch"};
+  ServedSweep Out = Service.serve(R);
+  EXPECT_FALSE(Out.Ok);
+  EXPECT_NE(Out.Error.find("unknown workload"), std::string::npos);
+}
+
+// --- Wire form -----------------------------------------------------------
+
+TEST(ServiceTest, CompactJsonIsSingleLineAndRoundTrips) {
+  const SweepRequest R = compressRequest();
+  ServiceOptions SO;
+  SO.Jobs = 2;
+  SweepService Service(SO);
+  ServedSweep Out = Service.serve(R);
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+
+  // The wire form of a full response document: no newline anywhere,
+  // and parsing it back reproduces the pretty form byte-exactly (the
+  // client relies on this to match batch file output).
+  const std::string Wire = Out.Document.toCompactString();
+  EXPECT_EQ(Wire.find('\n'), std::string::npos);
+  Expected<JsonValue> Back = parseJson(Wire);
+  ASSERT_TRUE(bool(Back)) << Back.error();
+  EXPECT_EQ(Back->toString(), Out.Document.toString());
+}
+
+} // namespace

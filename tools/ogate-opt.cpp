@@ -20,8 +20,8 @@
 #include "asm/Disassembler.h"
 #include "vrp/Narrowing.h"
 #include "vrs/Specializer.h"
+#include "support/Cli.h"
 
-#include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -39,6 +39,7 @@ void usage() {
 } // namespace
 
 int main(int argc, char **argv) {
+  const CliTool Cli("ogate-opt");
   std::string InputPath, OutputPath;
   bool Conventional = false, BaseAlpha = false, RunVrs = false;
   bool VerifyOutput = true, PrintRanges = false;
@@ -55,9 +56,14 @@ int main(int argc, char **argv) {
       RunVrs = true;
     } else if (Arg.rfind("--vrs=", 0) == 0) {
       RunVrs = true;
-      VrsCost = std::atof(Arg.c_str() + 6);
+      // atof here used to turn "--vrs=cheap" into a silent zero-cost run;
+      // malformed values exit 2 like every tool in the family
+      // (support/Cli.h).
+      VrsCost = Cli.parseNonNegative("--vrs", Arg.substr(6),
+                                     "want a finite test cost >= 0");
     } else if (Arg.rfind("--train-arg=", 0) == 0) {
-      TrainArg = std::atoll(Arg.c_str() + 12);
+      TrainArg = Cli.parseI64("--train-arg", Arg.substr(12),
+                              "want a decimal integer");
     } else if (Arg == "--print-ranges") {
       PrintRanges = true;
     } else if (Arg == "--no-verify-output") {
@@ -132,9 +138,12 @@ int main(int argc, char **argv) {
     RunResult A = runProgram(Original, Opts);
     RunResult B = runProgram(P, Opts);
     if (A.Output != B.Output || A.Status != B.Status) {
+      // Exit 1, not 2: the family convention (support/Cli.h) reserves 2
+      // for malformed flag values; a transform that broke the program is
+      // a runtime failure.
       std::cerr << "ogate-opt: OUTPUT MISMATCH after transformation; "
                    "refusing to emit\n";
-      return 2;
+      return 1;
     }
     std::cerr << "ogate-opt: output equivalence verified ("
               << A.Output.size() << " values)\n";

@@ -11,9 +11,11 @@
 //     (every divergence listed on stdout), 2 usage/parse/schema error.
 //     This is the CI perf-smoke gate.
 //
-//   ogate-report print [--compact] <file.json>
+//   ogate-report print [--compact] <file.json | ->
 //     Validates the schema envelope and pretty-prints the normalized
 //     document (also handy to canonicalize a hand-edited baseline).
+//     "-" reads the document from stdin, so `ogate-sim ... --json=- |
+//     ogate-report print -` works without a temp file.
 //     --compact renders cell-bearing documents (sweeps, bench reports)
 //     as a one-line-per-cell table instead — the quick way to eyeball
 //     sampled vs exact cells side by side; documents without cells are
@@ -23,11 +25,12 @@
 
 #include "report/Baseline.h"
 #include "report/ReportSchema.h"
+#include "support/Cli.h"
 #include "support/Table.h"
 
-#include <cmath>
 #include <cstdlib>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -38,43 +41,47 @@ namespace {
 int usage() {
   std::cerr << "usage: ogate-report diff [--tolerance=PCT] <baseline.json> "
                "<current.json>\n"
-               "       ogate-report print [--compact] <file.json>\n";
+               "       ogate-report print [--compact] <file.json | ->\n";
   return 2;
 }
 
-/// Loads + schema-checks one report document; exits the process with
-/// status 2 on failure (both subcommands want exactly that behavior).
+/// Loads + schema-checks one report document; "-" reads stdin. Exits the
+/// process with status 2 on failure (both subcommands want exactly that
+/// behavior).
 JsonValue loadReport(const std::string &Path) {
-  Expected<JsonValue> Doc = readJsonFile(Path);
+  Expected<JsonValue> Doc = [&] {
+    if (Path != "-")
+      return readJsonFile(Path);
+    std::stringstream Buffer;
+    Buffer << std::cin.rdbuf();
+    Expected<JsonValue> Parsed = parseJson(Buffer.str());
+    if (!Parsed)
+      return makeError<JsonValue>("<stdin>: " + Parsed.error());
+    return Parsed;
+  }();
   if (!Doc) {
     std::cerr << "ogate-report: " << Doc.error() << "\n";
     std::exit(2);
   }
   std::string Why;
   if (!checkReportRoot(*Doc, &Why)) {
-    std::cerr << "ogate-report: " << Path << ": " << Why << "\n";
+    std::cerr << "ogate-report: " << (Path == "-" ? "<stdin>" : Path) << ": "
+              << Why << "\n";
     std::exit(2);
   }
   return std::move(*Doc);
 }
 
-int runDiff(const std::vector<std::string> &Args) {
+int runDiff(const CliTool &Cli, const std::vector<std::string> &Args) {
   DiffOptions Opts;
   std::vector<std::string> Paths;
   for (const std::string &Arg : Args) {
     if (Arg.rfind("--tolerance=", 0) == 0) {
-      const char *Val = Arg.c_str() + 12;
-      char *End = nullptr;
-      Opts.TolerancePct = std::strtod(Val, &End);
-      // Reject empty, trailing junk, negatives AND nan/inf — a NaN
-      // tolerance would make every comparison pass and silently turn
-      // the regression gate into a no-op.
-      if (End == Val || *End != '\0' || !std::isfinite(Opts.TolerancePct) ||
-          Opts.TolerancePct < 0) {
-        std::cerr << "ogate-report: bad --tolerance value '"
-                  << Arg.substr(12) << "'\n";
-        return 2;
-      }
+      // Strict (support/Cli.h): rejects empty, trailing junk, negatives
+      // AND nan/inf — a NaN tolerance would make every comparison pass
+      // and silently turn the regression gate into a no-op.
+      Opts.TolerancePct = Cli.parseNonNegative(
+          "--tolerance", Arg.substr(12), "want a finite percentage >= 0");
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "ogate-report: unknown option '" << Arg << "'\n";
       return 2;
@@ -152,6 +159,8 @@ int runPrint(const std::vector<std::string> &Args) {
   for (const std::string &Arg : Args) {
     if (Arg == "--compact") {
       Compact = true;
+    } else if (Arg == "-") {
+      Paths.push_back(Arg); // stdin
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "ogate-report: unknown option '" << Arg << "'\n";
       return 2;
@@ -163,7 +172,7 @@ int runPrint(const std::vector<std::string> &Args) {
     return usage();
   JsonValue Doc = loadReport(Paths[0]);
   if (Compact)
-    return printCompact(Doc, Paths[0]);
+    return printCompact(Doc, Paths[0] == "-" ? "<stdin>" : Paths[0]);
   std::cout << Doc.toString();
   return 0;
 }
@@ -171,12 +180,13 @@ int runPrint(const std::vector<std::string> &Args) {
 } // namespace
 
 int main(int argc, char **argv) {
+  const CliTool Cli("ogate-report");
   if (argc < 2)
     return usage();
   std::string Cmd = argv[1];
   std::vector<std::string> Args(argv + 2, argv + argc);
   if (Cmd == "diff")
-    return runDiff(Args);
+    return runDiff(Cli, Args);
   if (Cmd == "print")
     return runPrint(Args);
   if (Cmd == "--help" || Cmd == "-h") {

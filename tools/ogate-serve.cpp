@@ -1,0 +1,437 @@
+//===- tools/ogate-serve.cpp - Long-running sweep server ---------------------==//
+//
+// Serves sweep requests over a Unix domain socket so N clients share one
+// SweepService (src/service/): one workload build per (workload, scale),
+// one sample-plan cache, compute-once deduplication of identical
+// in-flight cells, and a persistent content-addressed cell cache that
+// turns repeat sweeps into pure cache reads. Responses carry the same
+// schema-versioned report documents batch `ogate-sim --sweep --json`
+// writes, byte-identical whether a cell was computed, deduplicated, or
+// loaded from cache.
+//
+//   ogate-serve --socket=PATH [--cache-dir=DIR] [--jobs=N] [--keep-going]
+//     Serve mode (default): listen on PATH until a shutdown request.
+//     One line per request, one line per response (compact JSON; see
+//     "Protocol" below). Connections are handled concurrently; identical
+//     concurrent sweeps trigger exactly one computation.
+//
+//   ogate-serve request --socket=PATH [sweep flags] [--json=PATH|-]
+//                       [--require-cached]
+//     Client mode: build a sweep request from the same flags batch
+//     `ogate-sim --sweep` takes (--sweep=KIND --scale= --workloads=
+//     --sample= --opt-stats --engine-stats), send it, and write the
+//     returned report document to --json (default "-", stdout). The
+//     served resolution counters print on stderr; --require-cached exits
+//     1 if any cell had to be computed (the CI warm-cache assertion).
+//
+//   ogate-serve ping --socket=PATH      exit 0 iff a server answers
+//   ogate-serve stop --socket=PATH      ask the server to shut down
+//
+// Protocol (line-delimited compact JSON over SOCK_STREAM):
+//   -> {"method":"sweep","request":{...SweepRequest::toJson...}}
+//   <- {"ok":true,"report":{...sweep document...},
+//       "served":{"cells":N,"hits":H,"misses":M,"inflight-dedup":D}}
+//   -> {"method":"ping"}       <- {"ok":true,"pong":true}
+//   -> {"method":"counters"}   <- {"ok":true,"cache":{...lifetime...}}
+//   -> {"method":"shutdown"}   <- {"ok":true,"stopping":true}
+//   any failure:               <- {"ok":false,"error":"..."}
+//
+// Exit codes: 0 success; 1 connect/protocol/sweep failure (or
+// --require-cached with misses); 2 malformed flag value.
+//
+//===----------------------------------------------------------------------===//
+
+#include "service/SweepService.h"
+#include "service/Wire.h"
+#include "support/Cli.h"
+
+#include <atomic>
+#include <cerrno>
+#include <iostream>
+#include <limits>
+#include <mutex>
+#include <set>
+#include <sys/socket.h>
+#include <thread>
+#include <unistd.h>
+#include <vector>
+
+using namespace og;
+
+namespace {
+
+JsonValue errorResponse(const std::string &What) {
+  JsonValue V = JsonValue::object();
+  V.set("ok", JsonValue::boolean(false));
+  V.set("error", JsonValue::str(What));
+  return V;
+}
+
+JsonValue okResponse() {
+  JsonValue V = JsonValue::object();
+  V.set("ok", JsonValue::boolean(true));
+  return V;
+}
+
+// --- Serve mode ----------------------------------------------------------
+
+/// Server state shared by the accept loop and connection threads.
+struct Server {
+  SweepService Service;
+  int ListenFd = -1;
+  std::atomic<bool> Stopping{false};
+
+  std::mutex ConnsM;
+  std::set<int> ConnFds; ///< open client fds, shut down on stop
+
+  explicit Server(ServiceOptions SO) : Service(std::move(SO)) {}
+
+  /// Breaks the accept loop and every blocked client read so the
+  /// process can exit. shutdown() (not close) so each fd stays valid
+  /// until its owning thread is done with it.
+  void stop() {
+    Stopping.store(true);
+    ::shutdown(ListenFd, SHUT_RDWR);
+    std::lock_guard<std::mutex> Lock(ConnsM);
+    for (int Fd : ConnFds)
+      ::shutdown(Fd, SHUT_RDWR);
+  }
+};
+
+JsonValue handleSweep(Server &S, const JsonValue &Msg) {
+  const JsonValue *Req = Msg.get("request");
+  if (!Req)
+    return errorResponse("sweep request: missing \"request\"");
+  Expected<SweepRequest> R = SweepRequest::fromJson(*Req);
+  if (!R)
+    return errorResponse(R.error());
+  // The response always carries the document, so the JSON-only option
+  // groups are always representable; TimingLine has no wire form.
+  R->Report.JsonRequested = true;
+  if (const std::string Bad =
+          validateReportOptions(R->Report, /*SweepMode=*/true,
+                                R->Sample.enabled());
+      !Bad.empty())
+    return errorResponse(Bad);
+
+  ServedSweep Served = S.Service.serve(*R);
+  if (!Served.Ok)
+    return errorResponse(Served.Error);
+
+  std::cerr << "ogate-serve: sweep: "
+            << (Served.Hits + Served.Misses + Served.InflightDedups)
+            << " cells (hits " << Served.Hits << ", misses " << Served.Misses
+            << ", in-flight dedup " << Served.InflightDedups << ")\n";
+
+  JsonValue V = okResponse();
+  V.set("report", std::move(Served.Document));
+  JsonValue Counts = JsonValue::object();
+  Counts.set("cells", JsonValue::integer(Served.Hits + Served.Misses +
+                                         Served.InflightDedups));
+  Counts.set("hits", JsonValue::integer(Served.Hits));
+  Counts.set("misses", JsonValue::integer(Served.Misses));
+  Counts.set("inflight-dedup", JsonValue::integer(Served.InflightDedups));
+  V.set("served", std::move(Counts));
+  return V;
+}
+
+JsonValue handleCounters(Server &S) {
+  const ResultCache::Counters C = S.Service.cacheCounters();
+  JsonValue V = okResponse();
+  JsonValue Cache = JsonValue::object();
+  Cache.set("hits", JsonValue::integer(C.Hits));
+  Cache.set("misses", JsonValue::integer(C.Misses));
+  Cache.set("stale-schema", JsonValue::integer(C.StaleSchema));
+  Cache.set("key-mismatch", JsonValue::integer(C.KeyMismatch));
+  Cache.set("stores", JsonValue::integer(C.Stores));
+  Cache.set("store-failures", JsonValue::integer(C.StoreFailures));
+  V.set("cache", std::move(Cache));
+  return V;
+}
+
+void handleConnection(Server &S, int Fd) {
+  LineReader Reader(Fd);
+  std::string Line;
+  while (!S.Stopping.load() && Reader.readLine(Line)) {
+    JsonValue Response;
+    Expected<JsonValue> Msg = parseJson(Line);
+    if (!Msg) {
+      Response = errorResponse("request is not valid JSON: " + Msg.error());
+    } else {
+      const JsonValue *Method = Msg->get("method");
+      const std::string M =
+          Method && Method->isString() ? Method->asString() : "";
+      if (M == "sweep") {
+        Response = handleSweep(S, *Msg);
+      } else if (M == "ping") {
+        Response = okResponse();
+        Response.set("pong", JsonValue::boolean(true));
+      } else if (M == "counters") {
+        Response = handleCounters(S);
+      } else if (M == "shutdown") {
+        Response = okResponse();
+        Response.set("stopping", JsonValue::boolean(true));
+        sendLine(Fd, Response.toCompactString());
+        S.stop();
+        break;
+      } else {
+        Response = errorResponse("unknown method '" + M + "'");
+      }
+    }
+    if (!sendLine(Fd, Response.toCompactString()))
+      break;
+  }
+  {
+    std::lock_guard<std::mutex> Lock(S.ConnsM);
+    S.ConnFds.erase(Fd);
+  }
+  ::close(Fd);
+}
+
+int runServe(const std::string &SocketPath, ServiceOptions SO) {
+  Server S(std::move(SO));
+  std::string Err;
+  S.ListenFd = listenUnix(SocketPath, Err);
+  if (S.ListenFd < 0) {
+    std::cerr << "ogate-serve: " << Err << "\n";
+    return 1;
+  }
+  std::cerr << "ogate-serve: listening on " << SocketPath << " (jobs "
+            << S.Service.options().Jobs << ", cache "
+            << (S.Service.options().CacheDir.empty()
+                    ? "disabled"
+                    : S.Service.options().CacheDir)
+            << ")\n";
+
+  std::vector<std::thread> Threads;
+  for (;;) {
+    int Fd = ::accept(S.ListenFd, nullptr, nullptr);
+    if (Fd < 0) {
+      if (S.Stopping.load())
+        break;
+      if (errno == EINTR)
+        continue;
+      std::cerr << "ogate-serve: accept failed on " << SocketPath << "\n";
+      break;
+    }
+    {
+      std::lock_guard<std::mutex> Lock(S.ConnsM);
+      S.ConnFds.insert(Fd);
+    }
+    Threads.emplace_back(handleConnection, std::ref(S), Fd);
+  }
+  // stop() has already shut down every open client fd, so the joins are
+  // bounded by in-flight sweep computations, not by idle clients.
+  for (std::thread &T : Threads)
+    T.join();
+  ::close(S.ListenFd);
+  ::unlink(SocketPath.c_str());
+  std::cerr << "ogate-serve: stopped\n";
+  return S.Stopping.load() ? 0 : 1;
+}
+
+// --- Client modes --------------------------------------------------------
+
+/// Sends one request line and reads one response line; exits 1 on any
+/// transport failure.
+Expected<JsonValue> roundTrip(const std::string &SocketPath,
+                              const JsonValue &Request) {
+  std::string Err;
+  int Fd = connectUnix(SocketPath, Err);
+  if (Fd < 0)
+    return makeError<JsonValue>(Err);
+  LineReader Reader(Fd);
+  std::string Line;
+  bool Ok = sendLine(Fd, Request.toCompactString()) && Reader.readLine(Line);
+  ::close(Fd);
+  if (!Ok)
+    return makeError<JsonValue>("server on '" + SocketPath +
+                                "' closed the connection mid-request");
+  Expected<JsonValue> Response = parseJson(Line);
+  if (!Response)
+    return makeError<JsonValue>("malformed response: " + Response.error());
+  return Response;
+}
+
+/// Unwraps the {"ok":...} envelope: returns the response on ok=true,
+/// the server's error otherwise.
+Expected<JsonValue> checkedRoundTrip(const std::string &SocketPath,
+                                     const JsonValue &Request) {
+  Expected<JsonValue> Response = roundTrip(SocketPath, Request);
+  if (!Response)
+    return Response;
+  const JsonValue *Ok = Response->get("ok");
+  if (!Ok || !Ok->isBool())
+    return makeError<JsonValue>("malformed response: missing \"ok\"");
+  if (!Ok->asBool()) {
+    const JsonValue *What = Response->get("error");
+    return makeError<JsonValue>(What && What->isString()
+                                    ? What->asString()
+                                    : "server reported an unnamed error");
+  }
+  return Response;
+}
+
+JsonValue methodMessage(const char *Method) {
+  JsonValue V = JsonValue::object();
+  V.set("method", JsonValue::str(Method));
+  return V;
+}
+
+int runRequest(const std::string &SocketPath, const SweepRequest &R,
+               const std::string &JsonPath, bool RequireCached) {
+  JsonValue Msg = methodMessage("sweep");
+  Msg.set("request", R.toJson());
+  Expected<JsonValue> Response = checkedRoundTrip(SocketPath, Msg);
+  if (!Response) {
+    std::cerr << "ogate-serve: " << Response.error() << "\n";
+    return 1;
+  }
+
+  const JsonValue *Report = Response->get("report");
+  const JsonValue *Served = Response->get("served");
+  if (!Report || !Served) {
+    std::cerr << "ogate-serve: malformed response: missing \"report\" or "
+                 "\"served\"\n";
+    return 1;
+  }
+  auto Count = [&](const char *Key) -> int64_t {
+    const JsonValue *V = Served->get(Key);
+    return V && V->isInteger() ? V->asInt() : -1;
+  };
+  std::cerr << "ogate-serve: cells: " << Count("cells") << " (hits "
+            << Count("hits") << ", misses " << Count("misses")
+            << ", in-flight dedup " << Count("inflight-dedup") << ")\n";
+
+  // The document re-serializes byte-identically to batch `ogate-sim
+  // --sweep --json` output: the wire form is the same value compacted,
+  // and the writer/parser pair is idempotent (support/Json.h).
+  if (JsonPath == "-") {
+    std::cout << Report->toString();
+  } else {
+    std::string Err;
+    if (!writeJsonFile(JsonPath, *Report, &Err)) {
+      std::cerr << "ogate-serve: " << Err << "\n";
+      return 1;
+    }
+    std::cerr << "ogate-serve: wrote " << JsonPath << "\n";
+  }
+
+  if (RequireCached && Count("misses") != 0) {
+    std::cerr << "ogate-serve: --require-cached: " << Count("misses")
+              << " cell(s) were computed, expected pure cache hits\n";
+    return 1;
+  }
+  return 0;
+}
+
+int runPing(const std::string &SocketPath) {
+  Expected<JsonValue> Response =
+      checkedRoundTrip(SocketPath, methodMessage("ping"));
+  if (!Response) {
+    std::cerr << "ogate-serve: " << Response.error() << "\n";
+    return 1;
+  }
+  std::cout << "ogate-serve: server on " << SocketPath << " is up\n";
+  return 0;
+}
+
+int runStop(const std::string &SocketPath) {
+  Expected<JsonValue> Response =
+      checkedRoundTrip(SocketPath, methodMessage("shutdown"));
+  if (!Response) {
+    std::cerr << "ogate-serve: " << Response.error() << "\n";
+    return 1;
+  }
+  std::cout << "ogate-serve: server on " << SocketPath << " stopping\n";
+  return 0;
+}
+
+int usage() {
+  std::cerr
+      << "usage: ogate-serve --socket=PATH [--cache-dir=DIR] [--jobs=N] "
+         "[--keep-going]\n"
+         "       ogate-serve request --socket=PATH [--sweep=standard|matrix] "
+         "[--scale=S]\n"
+         "                   [--workloads=a,b] [--sample=L[:K]] [--opt-stats] "
+         "[--engine-stats]\n"
+         "                   [--json=PATH|-] [--require-cached]\n"
+         "       ogate-serve ping --socket=PATH\n"
+         "       ogate-serve stop --socket=PATH\n";
+  return 1;
+}
+
+} // namespace
+
+int main(int argc, char **argv) {
+  const CliTool Cli("ogate-serve");
+  std::string Mode = "serve";
+  int First = 1;
+  if (argc > 1 && argv[1][0] != '-') {
+    Mode = argv[1];
+    First = 2;
+  }
+  if (Mode != "serve" && Mode != "request" && Mode != "ping" &&
+      Mode != "stop") {
+    std::cerr << "ogate-serve: unknown command '" << Mode << "'\n";
+    return usage();
+  }
+
+  std::string SocketPath, JsonPath = "-";
+  ServiceOptions SO;
+  SweepRequest Request;
+  bool RequireCached = false;
+
+  for (int I = First; I < argc; ++I) {
+    const std::string Arg = argv[I];
+    if (Arg.rfind("--socket=", 0) == 0) {
+      SocketPath = Arg.substr(9);
+    } else if (Mode == "serve" && Arg.rfind("--cache-dir=", 0) == 0) {
+      SO.CacheDir = Arg.substr(12);
+    } else if (Mode == "serve" && Arg.rfind("--jobs=", 0) == 0) {
+      SO.Jobs = static_cast<unsigned>(
+          Cli.parseU64("--jobs", Arg.substr(7), "want a worker count >= 1", 1,
+                       std::numeric_limits<unsigned>::max()));
+    } else if (Mode == "serve" && Arg == "--keep-going") {
+      SO.KeepGoing = true;
+    } else if (Mode == "request" && applySweepRequestFlag(Request, Cli, Arg)) {
+      // Shared sweep-request surface — same flags, parsing, and
+      // diagnostics as `ogate-sim --sweep` (service/SweepRequest.h).
+    } else if (Mode == "request" && Arg.rfind("--json=", 0) == 0) {
+      JsonPath = Arg.substr(7);
+      if (JsonPath.empty()) {
+        std::cerr << "ogate-serve: --json needs a path (or '-' for stdout)\n";
+        return 1;
+      }
+    } else if (Mode == "request" && Arg == "--require-cached") {
+      RequireCached = true;
+    } else if (Arg == "--help" || Arg == "-h") {
+      usage();
+      return 0;
+    } else {
+      std::cerr << "ogate-serve: unknown option '" << Arg << "' for '" << Mode
+                << "'\n";
+      return usage();
+    }
+  }
+  if (SocketPath.empty()) {
+    std::cerr << "ogate-serve: --socket=PATH is required\n";
+    return usage();
+  }
+
+  if (Mode == "serve")
+    return runServe(SocketPath, std::move(SO));
+  if (Mode == "ping")
+    return runPing(SocketPath);
+  if (Mode == "stop")
+    return runStop(SocketPath);
+
+  Request.Report.JsonRequested = true;
+  if (const std::string Bad = validateReportOptions(
+          Request.Report, /*SweepMode=*/true, Request.Sample.enabled());
+      !Bad.empty()) {
+    std::cerr << "ogate-serve: " << Bad << "\n";
+    return 1;
+  }
+  return runRequest(SocketPath, Request, JsonPath, RequireCached);
+}

@@ -3,7 +3,8 @@
 // Runs an assembly program through the functional simulator and,
 // optionally, the out-of-order timing + power models — or fans the full
 // workload x configuration evaluation matrix out across worker threads
-// via the experiment driver.
+// via the sweep service (src/service/), the same engine behind
+// `ogate-serve` and the bench harness.
 //
 //   ogate-sim [options] input.s           single-program mode
 //     --arg=N           initial a0 (repeatable: fills a0..a5 in order)
@@ -21,7 +22,9 @@
 //                       reports, so determinism checks stay byte-exact;
 //                       rejected in --sweep mode for the same reason)
 //     --json=PATH       also write the run as a schema-versioned
-//                       ogate-report JSON document (src/report/)
+//                       ogate-report JSON document (src/report/);
+//                       "-" writes the document to stdout (the human
+//                       text moves to stderr so the stream stays pure)
 //
 //   ogate-sim --sweep[=standard|matrix]   sweep mode (no input file)
 //     --jobs=N          worker threads (default 1; serial and parallel
@@ -38,10 +41,17 @@
 //                       (cells carry a "sample" group; `ogate-report
 //                       diff` widens its rules accordingly); functional
 //                       counters stay exact. Only meaningful where a
-//                       detailed ref run happens, so it is rejected
+//                       detailed ref cell runs, so it is rejected
 //                       outside --sweep mode like --opt-stats.
 //     --json=PATH       write the aggregate as JSON; byte-identical for
-//                       any --jobs value (no wall-clock in the document)
+//                       any --jobs value (no wall-clock in the document);
+//                       "-" writes it to stdout (the aggregate table
+//                       moves to stderr)
+//     --cache-dir=DIR   persistent cell cache (service/ResultCache):
+//                       cells whose content key is already present are
+//                       loaded instead of recomputed; the JSON document
+//                       stays byte-identical either way. `rm -rf DIR` is
+//                       always a safe flush.
 //     --opt-stats       add each cell's "opt" counters group (analysis-
 //                       cache hits/misses/invalidations of the transform
 //                       phase) to the JSON document; off by default so
@@ -64,17 +74,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
-#include "driver/Driver.h"
 #include "power/Report.h"
 #include "report/ReportSchema.h"
+#include "service/SweepService.h"
 #include "sim/Superblock.h"
+#include "support/Cli.h"
 #include "support/Table.h"
 
-#include <algorithm>
-#include <cerrno>
 #include <chrono>
-#include <cmath>
-#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -85,145 +92,63 @@ using namespace og;
 
 namespace {
 
-/// Exit 2 = malformed flag value, distinct from exit 1 (mode conflicts
-/// and runtime failures) so scripts can tell usage mistakes apart.
-[[noreturn]] void badFlagValue(const char *Flag, const std::string &Val,
-                               const char *Want) {
-  std::cerr << "ogate-sim: bad " << Flag << " value '" << Val << "' (" << Want
-            << ")\n";
-  std::exit(2);
-}
-
-/// Strict decimal parse for unsigned flag values: the whole string must
-/// be digits (no sign — strtoull silently wraps "-5" to a huge value),
-/// in range, and must not overflow. Anything else exits 2.
-uint64_t parseFlagU64(const char *Flag, const std::string &Val,
-                      const char *Want, uint64_t Min,
-                      uint64_t Max = std::numeric_limits<uint64_t>::max()) {
-  if (Val.empty() || Val[0] < '0' || Val[0] > '9')
-    badFlagValue(Flag, Val, Want);
-  errno = 0;
-  char *End = nullptr;
-  const unsigned long long V = std::strtoull(Val.c_str(), &End, 10);
-  if (*End != '\0' || errno == ERANGE || V < Min || V > Max)
-    badFlagValue(Flag, Val, Want);
-  return V;
-}
-
-/// Strict decimal parse for signed flag values (--arg takes negatives).
-int64_t parseFlagI64(const char *Flag, const std::string &Val,
-                     const char *Want) {
-  const bool LeadOk =
-      !Val.empty() &&
-      ((Val[0] >= '0' && Val[0] <= '9') || (Val[0] == '-' && Val.size() > 1));
-  if (!LeadOk)
-    badFlagValue(Flag, Val, Want);
-  errno = 0;
-  char *End = nullptr;
-  const long long V = std::strtoll(Val.c_str(), &End, 10);
-  if (*End != '\0' || errno == ERANGE)
-    badFlagValue(Flag, Val, Want);
-  return V;
-}
-
-/// Strict parse for --scale: a finite decimal > 0.
-double parseFlagScale(const char *Flag, const std::string &Val,
-                      const char *Want) {
-  if (Val.empty() || Val[0] == '+' || Val[0] == ' ')
-    badFlagValue(Flag, Val, Want);
-  errno = 0;
-  char *End = nullptr;
-  const double V = std::strtod(Val.c_str(), &End);
-  if (End == Val.c_str() || *End != '\0' || errno == ERANGE ||
-      !std::isfinite(V) || V <= 0.0)
-    badFlagValue(Flag, Val, Want);
-  return V;
-}
-
-int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
-                 const std::string &WorkloadCsv, bool KeepGoing,
-                 const std::string &JsonPath, bool OptStats, bool EngineStats,
-                 const SampleSpec &Sample) {
-  std::vector<std::string> Names;
-  if (WorkloadCsv.empty()) {
-    Names = allWorkloadNames();
-  } else {
-    const std::vector<std::string> Known = allWorkloadNames();
-    std::stringstream SS(WorkloadCsv);
-    std::string Item;
-    while (std::getline(SS, Item, ',')) {
-      if (Item.empty())
-        continue;
-      if (std::find(Known.begin(), Known.end(), Item) == Known.end()) {
-        std::cerr << "ogate-sim: unknown workload '" << Item << "' (known:";
-        for (const std::string &K : Known)
-          std::cerr << " " << K;
-        std::cerr << ")\n";
-        return 1;
-      }
-      Names.push_back(Item);
-    }
-  }
-  if (Names.empty()) {
-    std::cerr << "ogate-sim: no workloads selected\n";
+int runSweepMode(const SweepRequest &Request, unsigned Jobs, bool KeepGoing,
+                 const std::string &JsonPath, const std::string &CacheDir) {
+  // Resolve the request up front so a bad workload list or sweep kind
+  // dies with its diagnostic before any thread spins up, and the
+  // progress line can say how much work is coming.
+  Expected<std::vector<ExperimentSpec>> SpecsOr = Request.buildSpecs();
+  if (!SpecsOr) {
+    std::cerr << "ogate-sim: " << SpecsOr.error() << "\n";
     return 1;
   }
+  const size_t NumWorkloads = Request.Workloads.empty()
+                                  ? allWorkloadNames().size()
+                                  : Request.Workloads.size();
+  std::cerr << "ogate-sim: sweeping " << SpecsOr->size() << " cells ("
+            << NumWorkloads << " workloads, scale " << Request.Scale
+            << ", jobs " << Jobs << ")\n";
 
-  std::vector<ExperimentSpec> Specs;
-  if (SweepKind == "matrix") {
-    Specs = makeMatrixSweep(Names, Scale);
-  } else if (SweepKind == "standard") {
-    Specs = makeStandardSweep(Names, Scale);
-  } else {
-    std::cerr << "ogate-sim: unknown sweep kind '" << SweepKind << "'\n";
-    return 1;
-  }
-  if (Sample.enabled())
-    for (ExperimentSpec &S : Specs)
-      S.Config.Sample = Sample;
+  ServiceOptions SO;
+  SO.Jobs = Jobs;
+  SO.KeepGoing = KeepGoing;
+  SO.CacheDir = CacheDir;
+  SweepService Service(SO);
 
-  std::cerr << "ogate-sim: sweeping " << Specs.size() << " cells ("
-            << Names.size() << " workloads, scale " << Scale << ", jobs "
-            << Jobs << ")\n";
-
-  SweepOptions Opts;
-  Opts.Jobs = Jobs;
-  Opts.KeepGoing = KeepGoing;
   auto Start = std::chrono::steady_clock::now();
-  SweepResult R = runSweep(Specs, Opts);
+  ServedSweep Served = Service.serve(Request);
   double Seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - Start)
           .count();
 
-  if (!R.AllOk) {
-    std::cerr << "ogate-sim: sweep FAILED: " << R.FirstError << "\n";
+  if (!Served.Ok) {
+    std::cerr << "ogate-sim: sweep FAILED: " << Served.Error << "\n";
     return 1;
   }
-  // Always-on duplicate-cell check (used to be a debug assert that
-  // vanished in Release): a duplicated key means the spec construction
-  // is broken, and a silently double-rowed report would poison baseline
-  // comparisons downstream.
-  if (const std::string Dup = R.Aggregate.duplicateKey(); !Dup.empty()) {
-    std::cerr << "ogate-sim: sweep produced duplicate cell '" << Dup
-              << "' — spec construction bug\n";
-    return 1;
-  }
-  R.Aggregate.print(std::cout);
+
+  // With --json=- the document owns stdout; the human aggregate table
+  // moves to stderr so the stream stays machine-pure.
+  const bool JsonToStdout = JsonPath == "-";
+  Served.Aggregate.print(JsonToStdout ? std::cerr : std::cout);
   if (!JsonPath.empty()) {
     // The document deliberately contains no wall-clock or worker-count
     // fields: the bytes depend only on the cells, so any --jobs value
-    // writes the identical file.
-    std::string Err;
-    if (!writeJsonFile(JsonPath,
-                       sweepToJson(R.Aggregate, SweepKind, Scale, OptStats,
-                                   Sample.enabled() ? &Sample : nullptr,
-                                   EngineStats),
-                       &Err)) {
-      std::cerr << "ogate-sim: " << Err << "\n";
-      return 1;
+    // (and any cache state) writes the identical file.
+    if (JsonToStdout) {
+      std::cout << Served.Document.toString();
+    } else {
+      std::string Err;
+      if (!writeJsonFile(JsonPath, Served.Document, &Err)) {
+        std::cerr << "ogate-sim: " << Err << "\n";
+        return 1;
+      }
+      std::cerr << "ogate-sim: wrote " << JsonPath << "\n";
     }
-    std::cerr << "ogate-sim: wrote " << JsonPath << "\n";
   }
+  if (!CacheDir.empty())
+    std::cerr << "ogate-sim: cells: " << (Served.Hits + Served.Misses)
+              << " (cache hits " << Served.Hits << ", misses " << Served.Misses
+              << ")\n";
   std::cerr << "ogate-sim: sweep finished in " << TextTable::num(Seconds, 2)
             << "s\n";
   return 0;
@@ -232,22 +157,29 @@ int runSweepMode(const std::string &SweepKind, unsigned Jobs, double Scale,
 } // namespace
 
 int main(int argc, char **argv) {
+  const CliTool Cli("ogate-sim");
   std::string InputPath;
   std::vector<int64_t> Args;
-  bool Uarch = false, Stats = false, TimingLine = false;
+  bool Uarch = false, Stats = false;
   GatingScheme Scheme = GatingScheme::None;
   uint64_t Fuel = 200'000'000;
-  bool Sweep = false, KeepGoing = false, OptStats = false, EngineStats = false;
-  SampleSpec Sample;
-  std::string SweepKind = "standard", WorkloadCsv, JsonPath;
+  bool Sweep = false, KeepGoing = false;
+  SweepRequest Request;
+  std::string JsonPath, CacheDir;
   unsigned Jobs = 1;
-  double Scale = 0.25;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
-    if (Arg.rfind("--arg=", 0) == 0) {
+    if (Arg == "--sweep" || Arg.rfind("--sweep=", 0) == 0) {
+      Sweep = true;
+      applySweepRequestFlag(Request, Cli, Arg);
+    } else if (applySweepRequestFlag(Request, Cli, Arg)) {
+      // Shared sweep-request surface (--scale, --workloads, --sample,
+      // --opt-stats, --engine-stats): identical parsing and diagnostics
+      // in ogate-sim and `ogate-serve request` by construction.
+    } else if (Arg.rfind("--arg=", 0) == 0) {
       Args.push_back(
-          parseFlagI64("--arg", Arg.substr(6), "want a decimal integer"));
+          Cli.parseI64("--arg", Arg.substr(6), "want a decimal integer"));
     } else if (Arg == "--uarch") {
       Uarch = true;
     } else if (Arg.rfind("--scheme=", 0) == 0) {
@@ -270,67 +202,47 @@ int main(int argc, char **argv) {
     } else if (Arg == "--stats") {
       Stats = true;
     } else if (Arg == "--timing-line") {
-      TimingLine = true;
+      Request.Report.TimingLine = true;
     } else if (Arg.rfind("--fuel=", 0) == 0) {
-      Fuel = parseFlagU64("--fuel", Arg.substr(7),
+      Fuel = Cli.parseU64("--fuel", Arg.substr(7),
                           "want a positive instruction count", 1);
-    } else if (Arg == "--sweep") {
-      Sweep = true;
-    } else if (Arg.rfind("--sweep=", 0) == 0) {
-      Sweep = true;
-      SweepKind = Arg.substr(8);
     } else if (Arg.rfind("--jobs=", 0) == 0) {
       // std::atoi here used to turn "--jobs=abc" (and 0, negatives,
       // overflow) into a silent --jobs=1 run; malformed values exit 2.
       Sweep = true;
       Jobs = static_cast<unsigned>(
-          parseFlagU64("--jobs", Arg.substr(7), "want a worker count >= 1", 1,
+          Cli.parseU64("--jobs", Arg.substr(7), "want a worker count >= 1", 1,
                        std::numeric_limits<unsigned>::max()));
     } else if (Arg == "--jobs") {
       if (I + 1 >= argc)
-        badFlagValue("--jobs", "", "want a worker count >= 1");
+        Cli.badValue("--jobs", "", "want a worker count >= 1");
       Sweep = true;
       Jobs = static_cast<unsigned>(
-          parseFlagU64("--jobs", argv[++I], "want a worker count >= 1", 1,
+          Cli.parseU64("--jobs", argv[++I], "want a worker count >= 1", 1,
                        std::numeric_limits<unsigned>::max()));
-    } else if (Arg.rfind("--scale=", 0) == 0) {
-      Scale = parseFlagScale("--scale", Arg.substr(8),
-                             "want a finite decimal > 0");
-    } else if (Arg.rfind("--workloads=", 0) == 0) {
-      WorkloadCsv = Arg.substr(12);
     } else if (Arg.rfind("--json=", 0) == 0) {
       JsonPath = Arg.substr(7);
       if (JsonPath.empty()) {
-        std::cerr << "ogate-sim: --json needs a path\n";
+        std::cerr << "ogate-sim: --json needs a path (or '-' for stdout)\n";
         return 1;
       }
-    } else if (Arg.rfind("--sample=", 0) == 0) {
-      const std::string Val = Arg.substr(9);
-      const size_t Colon = Val.find(':');
-      const char *Want = "want INTERVAL[:K|:auto], INTERVAL and K > 0";
-      Sample.IntervalLen =
-          parseFlagU64("--sample", Val.substr(0, Colon), Want, 1);
-      if (Colon != std::string::npos) {
-        const std::string KStr = Val.substr(Colon + 1);
-        Sample.K = KStr == "auto"
-                       ? 0
-                       : static_cast<unsigned>(parseFlagU64(
-                             "--sample", KStr, Want, 1,
-                             std::numeric_limits<unsigned>::max()));
+    } else if (Arg.rfind("--cache-dir=", 0) == 0) {
+      Sweep = true;
+      CacheDir = Arg.substr(12);
+      if (CacheDir.empty()) {
+        std::cerr << "ogate-sim: --cache-dir needs a directory\n";
+        return 1;
       }
     } else if (Arg == "--keep-going") {
       KeepGoing = true;
-    } else if (Arg == "--opt-stats") {
-      OptStats = true;
-    } else if (Arg == "--engine-stats") {
-      EngineStats = true;
     } else if (Arg == "--help" || Arg == "-h") {
       std::cerr << "usage: ogate-sim [--arg=N]... [--uarch] "
                    "[--scheme=none|sw|hwsig|hwsize|combined] [--stats] "
-                   "[--fuel=N] [--timing-line] [--json=PATH] input.s\n"
+                   "[--fuel=N] [--timing-line] [--json=PATH|-] input.s\n"
                    "       ogate-sim --sweep[=standard|matrix] [--jobs N] "
                    "[--scale=S] [--workloads=a,b] [--keep-going] "
-                   "[--json=PATH] [--opt-stats] [--engine-stats]\n";
+                   "[--json=PATH|-] [--cache-dir=DIR] [--sample=L[:K]] "
+                   "[--opt-stats] [--engine-stats]\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "ogate-sim: unknown option '" << Arg << "'\n";
@@ -340,63 +252,24 @@ int main(int argc, char **argv) {
     }
   }
 
+  Request.Report.JsonRequested = !JsonPath.empty();
+
+  // The one validation path for report-option combinations (shared with
+  // `ogate-serve`): first conflict wins, printed with the tool prefix.
+  if (const std::string Bad = validateReportOptions(
+          Request.Report, Sweep, Request.Sample.enabled());
+      !Bad.empty()) {
+    std::cerr << "ogate-sim: " << Bad << "\n";
+    return 1;
+  }
+
   if (Sweep) {
     if (!InputPath.empty()) {
       std::cerr << "ogate-sim: --sweep takes no input file\n";
       return 1;
     }
-    if (TimingLine) {
-      // Used to be silently dropped; reject it so nobody builds a
-      // workflow on an option that cannot work here (sweep reports are
-      // deterministic by contract, sim-speed is wall-clock).
-      std::cerr << "ogate-sim: --timing-line is wall-clock-dependent and "
-                   "not supported in --sweep mode (sweep reports are "
-                   "byte-deterministic); drop it or run a single program\n";
-      return 1;
-    }
-    if (OptStats && JsonPath.empty()) {
-      // Same contract as --timing-line: never silently ignore a flag
-      // the mode cannot honor. The counters only exist in the JSON
-      // document, so without --json there is nothing to surface them in.
-      std::cerr << "ogate-sim: --opt-stats adds the per-cell \"opt\" "
-                   "counters group to the JSON document and needs "
-                   "--json=PATH alongside it\n";
-      return 1;
-    }
-    if (EngineStats && JsonPath.empty()) {
-      std::cerr << "ogate-sim: --engine-stats adds the per-cell \"engine\" "
-                   "counters group to the JSON document and needs "
-                   "--json=PATH alongside it\n";
-      return 1;
-    }
-    if (Jobs < 1)
-      Jobs = 1;
-    return runSweepMode(SweepKind, Jobs, Scale, WorkloadCsv, KeepGoing,
-                        JsonPath, OptStats, EngineStats, Sample);
-  }
-
-  if (Sample.enabled()) {
-    // Same contract as --timing-line / --opt-stats: reject rather than
-    // silently ignore. Single-program mode runs no detailed ref cell to
-    // estimate, so sampling has nothing to apply to.
-    std::cerr << "ogate-sim: --sample drives phase-sampled estimation of "
-                 "sweep cells and only applies to --sweep mode\n";
-    return 1;
-  }
-
-  if (OptStats) {
-    std::cerr << "ogate-sim: --opt-stats reports the transform phase's "
-                 "analysis-cache counters and only applies to --sweep "
-                 "mode (single-program mode runs no transforms)\n";
-    return 1;
-  }
-
-  if (EngineStats) {
-    std::cerr << "ogate-sim: --engine-stats reports sweep cells' "
-                 "dispatch/superblock counters and only applies to "
-                 "--sweep mode (use --timing-line here to see the "
-                 "active dispatch mode)\n";
-    return 1;
+    return runSweepMode(Request, Jobs < 1 ? 1 : Jobs, KeepGoing, JsonPath,
+                        CacheDir);
   }
 
   if (InputPath.empty()) {
@@ -427,6 +300,11 @@ int main(int argc, char **argv) {
   if (Uarch)
     Opts.Sink = &Core; // the core consumes the trace in batches
 
+  const bool TimingLine = Request.Report.TimingLine;
+  // With --json=- the document owns stdout; all human text moves to
+  // stderr (same contract as sweep mode).
+  std::ostream &Out = JsonPath == "-" ? std::cerr : std::cout;
+
   // --timing-line splits preparation from measurement: decode and (for
   // timing runs without a detailed sink, where the fast path engages)
   // self-profiled superblock formation are timed as "prep", so sim-speed
@@ -447,27 +325,27 @@ int main(int argc, char **argv) {
                           std::chrono::steady_clock::now() - RunStart)
                           .count();
 
-  std::cout << "status: "
-            << (R.Status == RunStatus::Halted ? "halted" : R.Message.c_str())
-            << "\n"
-            << "dynamic instructions: " << R.Stats.DynInsts << "\n"
-            << "output:";
+  Out << "status: "
+      << (R.Status == RunStatus::Halted ? "halted" : R.Message.c_str())
+      << "\n"
+      << "dynamic instructions: " << R.Stats.DynInsts << "\n"
+      << "output:";
   for (int64_t V : R.Output)
-    std::cout << " " << V;
-  std::cout << "\n";
+    Out << " " << V;
+  Out << "\n";
 
   double Mips = RunSeconds > 0.0
                     ? static_cast<double>(R.Stats.DynInsts) / RunSeconds / 1e6
                     : 0.0;
   const DispatchMode ActiveDispatch = resolveDispatchMode(Opts.Dispatch);
   if (TimingLine)
-    std::cout << "sim-speed: " << TextTable::num(Mips, 1) << " MIPS, "
-              << R.Stats.DynInsts << " dyn insts\n"
-              << "sim-dispatch: " << dispatchModeName(ActiveDispatch)
-              << (Opts.Superblocks ? "+superblocks" : "") << "\n"
-              << "sim-prep: " << TextTable::num(PrepSeconds * 1e3, 1)
-              << " ms (decode + superblock formation), run "
-              << TextTable::num(RunSeconds * 1e3, 1) << " ms\n";
+    Out << "sim-speed: " << TextTable::num(Mips, 1) << " MIPS, "
+        << R.Stats.DynInsts << " dyn insts\n"
+        << "sim-dispatch: " << dispatchModeName(ActiveDispatch)
+        << (Opts.Superblocks ? "+superblocks" : "") << "\n"
+        << "sim-prep: " << TextTable::num(PrepSeconds * 1e3, 1)
+        << " ms (decode + superblock formation), run "
+        << TextTable::num(RunSeconds * 1e3, 1) << " ms\n";
 
   if (Stats) {
     TextTable T({"class", "8b", "16b", "32b", "64b"});
@@ -483,7 +361,7 @@ int main(int argc, char **argv) {
                 std::to_string(R.Stats.ClassWidth[C][2]),
                 std::to_string(R.Stats.ClassWidth[C][3])});
     }
-    T.print(std::cout);
+    T.print(Out);
   }
 
   UarchStats S;
@@ -491,15 +369,15 @@ int main(int argc, char **argv) {
   if (Uarch) {
     S = Core.finish();
     Rep = makeReport(EM, S);
-    std::cout << "cycles: " << S.Cycles << "  (IPC "
-              << TextTable::num(S.ipc(), 2) << ")\n"
-              << "branches: " << S.Branches << " (" << S.Mispredicts
-              << " mispredicted)\n"
-              << "L1D misses: " << S.DL1Misses
-              << "  L2 misses: " << S.L2Misses << "\n"
-              << "energy (" << gatingSchemeName(Scheme)
-              << "): " << TextTable::num(Rep.TotalEnergy, 1) << "  ED^2 "
-              << TextTable::num(Rep.ed2(), 1) << "\n";
+    Out << "cycles: " << S.Cycles << "  (IPC "
+        << TextTable::num(S.ipc(), 2) << ")\n"
+        << "branches: " << S.Branches << " (" << S.Mispredicts
+        << " mispredicted)\n"
+        << "L1D misses: " << S.DL1Misses
+        << "  L2 misses: " << S.L2Misses << "\n"
+        << "energy (" << gatingSchemeName(Scheme)
+        << "): " << TextTable::num(Rep.TotalEnergy, 1) << "  ED^2 "
+        << TextTable::num(Rep.ed2(), 1) << "\n";
   }
 
   if (!JsonPath.empty()) {
@@ -544,10 +422,14 @@ int main(int argc, char **argv) {
       Metrics.set("run-ms", JsonValue::number(RunSeconds * 1e3));
       Doc.set("metrics", std::move(Metrics));
     }
-    std::string Err;
-    if (!writeJsonFile(JsonPath, Doc, &Err)) {
-      std::cerr << "ogate-sim: " << Err << "\n";
-      return 1;
+    if (JsonPath == "-") {
+      std::cout << Doc.toString();
+    } else {
+      std::string Err;
+      if (!writeJsonFile(JsonPath, Doc, &Err)) {
+        std::cerr << "ogate-sim: " << Err << "\n";
+        return 1;
+      }
     }
   }
   return R.Status == RunStatus::Halted ? 0 : 1;
