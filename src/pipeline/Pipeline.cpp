@@ -87,9 +87,30 @@ PipelineResult og::runPipeline(const Workload &W, const PipelineConfig &Config,
     //  - the stream estimate keys on the exact binary (baseline, hw-sig
     //    and hw-size differ only in the energy scheme and share one
     //    detailed pass; the scheme is applied to its histogram here).
+    //
+    // Capture reads a canonical stream: the artifacts live under the
+    // width-blind warm key, and since they now carry whole-register
+    // architectural checkpoints (whose dead bytes width rewrites move),
+    // every cell whose binary is a width-only rewrite of the workload
+    // program must capture from the same decode — the original's —
+    // regardless of which cell prepares first, whether a plan cache is
+    // in play, or how many jobs race. A transform whose warm key
+    // differs (VRS with live guards) captures from its own stream.
+    std::unique_ptr<DecodedProgram> CaptureOwned;
+    const DecodedProgram *CaptureDP = &Decoded;
+    if (&Decoded.program() != &W.Prog &&
+        sampleWarmKey(P, W.Ref, Config.Uarch, Config.Sample) ==
+            sampleWarmKey(W.Prog, W.Ref, Config.Uarch, Config.Sample)) {
+      if (BaseDecode) {
+        CaptureDP = BaseDecode;
+      } else {
+        CaptureOwned = std::make_unique<DecodedProgram>(W.Prog);
+        CaptureDP = CaptureOwned.get();
+      }
+    }
     auto Prepare = [&] {
       return std::make_shared<const SampleArtifacts>(
-          prepareSampled(Decoded, W.Ref, Config.Uarch, Config.Sample));
+          prepareSampled(*CaptureDP, W.Ref, Config.Uarch, Config.Sample));
     };
     std::shared_ptr<const SampleArtifacts> Art =
         PlanCache ? PlanCache->getOrCompute(
@@ -107,9 +128,10 @@ PipelineResult og::runPipeline(const Workload &W, const PipelineConfig &Config,
       SuperblockPlan Sb(Decoded, Art->BlockProfile);
       RunOptions Ref = W.Ref;
       Ref.Superblocks = &Sb;
+      SampleRunPolicy Policy;
+      Policy.WindowJobs = Config.SampleWindowJobs;
       return std::make_shared<const SampleStreamEstimate>(runSampledStream(
-          Decoded, Ref, Config.Uarch, Art->Plan, Config.Sample,
-          Art->Checkpoints.empty() ? nullptr : &Art->Checkpoints));
+          Decoded, Ref, Config.Uarch, *Art, Config.Sample, Policy));
     };
     std::shared_ptr<const SampleStreamEstimate> Stream =
         PlanCache

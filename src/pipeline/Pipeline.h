@@ -53,6 +53,10 @@ struct PipelineConfig {
   /// report from representative windows instead of simulating every
   /// instruction in detail.
   SampleSpec Sample;
+  /// Worker threads for window-parallel sampled replay (sample/
+  /// SampleRunPolicy::WindowJobs). 1 = serial; results are byte-identical
+  /// at any value, so this is a latency knob, not a result knob.
+  unsigned SampleWindowJobs = 1;
   /// Re-run the original binary and assert identical output streams.
   bool CheckOutputEquivalence = false;
 };
@@ -62,8 +66,10 @@ struct PipelineConfig {
 /// the one-helper-per-struct rule). This is the "transform mode + uarch
 /// config" component of the sweep service's content-addressed cell keys
 /// (service/CellKey.h); a new field added above MUST be folded here too.
-/// CheckOutputEquivalence is deliberately excluded — it adds an oracle
-/// run but cannot change the reported result.
+/// CheckOutputEquivalence and SampleWindowJobs are deliberately excluded:
+/// the oracle adds a run but cannot change the reported result, and
+/// window-parallel replay reduces per-window deltas in window-index
+/// order, so the job count cannot either (SampleTest asserts both).
 inline void hashPipelineConfig(Fnv1a &H, const PipelineConfig &C) {
   H.u64(static_cast<uint64_t>(C.Sw));
   H.u64(static_cast<uint64_t>(C.Scheme));

@@ -25,12 +25,16 @@
 /// Two key granularities share two artifact kinds:
 ///
 ///  - sampleWarmKey() skips instruction widths, and keys the
-///    SampleArtifacts (plan + checkpoints). Width-only rewrites (VRP's
-///    narrowing sets Instruction::W in place and nothing else) preserve
-///    control flow and memory addresses, and the plan (basic-block
-///    vectors) and checkpoints (cache tags + branch history) are
-///    functions of exactly those — so baseline and VRP cells share one
-///    profiling + capture pass even though their binaries differ.
+///    SampleArtifacts (plan + warm checkpoints + architectural
+///    checkpoints). Width-only rewrites (VRP's narrowing sets
+///    Instruction::W in place and nothing else) preserve control flow
+///    and memory addresses, and the plan (basic-block vectors), warm
+///    checkpoints (cache tags + branch history), and arch checkpoints
+///    (registers + dirty pages + output length — values in the narrowed
+///    width's sense) are functions of exactly those — so baseline and
+///    VRP cells share one profiling + capture pass even though their
+///    binaries differ, and window-parallel replay resumes from the same
+///    shared state in every cell of the stream class.
 ///  - sampleStreamKey() includes widths, and keys the
 ///    SampleStreamEstimate (the detailed windowed pass). Widths change
 ///    register values on dead bytes and the histogram's width bins, so

@@ -2,15 +2,20 @@
 
 #include "sample/SampleRunner.h"
 
+#include "driver/ThreadPool.h"
 #include "sample/KMeans.h"
+#include "sim/Machine.h"
 #include "sim/Superblock.h"
 
 #include <algorithm>
 #include <array>
 #include <cassert>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <memory>
 #include <stdexcept>
+#include <string>
 
 using namespace og;
 
@@ -228,19 +233,41 @@ struct ScaledStats {
   }
 };
 
+/// Scales per-window stat/activity deltas by their post-stratified
+/// factors into the whole-run estimate, in window-index order. Shared by
+/// the serial estimator and the window-parallel replay reduction so both
+/// perform bit-identical floating-point arithmetic — the byte-identity
+/// of sampled documents across execution modes hangs on this.
+void reduceWindowDeltas(const std::vector<double> &Factors,
+                        const std::vector<UarchStats> &StatDelta,
+                        const std::vector<ActivityCounts> &CountDelta,
+                        UarchStats &OutStats, ActivityCounts &OutCounts) {
+  assert(Factors.size() == StatDelta.size());
+  assert(Factors.size() == CountDelta.size());
+  ScaledStats Acc;
+  for (size_t C = 0; C < Factors.size(); ++C) {
+    Acc.addScaled(Factors[C], UarchStats(), StatDelta[C]);
+    OutCounts.addScaled(Factors[C], ActivityCounts(), CountDelta[C]);
+  }
+  OutStats = Acc.rounded();
+}
+
 /// Feeds the in-window trace to one OooCore+ActivityRecorder stack and
 /// records per-cluster stat/activity deltas across each window's counted
 /// stretch. Each window arrives in three phases: a functional-warming
 /// shadow (light records routed to OooCore::warmOnly), a
 /// detailed-but-uncounted warm-up, and the counted representative
 /// interval bracketed by the stat/activity snapshots. With checkpoints,
-/// the shadow phase is empty and each window instead opens by restoring
-/// the warm state captured at its warm-start index — equivalent to a
-/// full-prefix shadow (the snapshots bracket only the counted stretch,
-/// so restoring tables without rewinding counters cancels out of every
-/// delta). Recording the scheme-free histogram instead of one scheme's
-/// energy is what lets a single detailed pass serve every gating cell of
-/// the stream (deriveSampleEstimate).
+/// the shadow phase is empty and each window instead opens on a *fresh*
+/// core restoring the warm state captured at its warm-start index —
+/// equivalent to a full-prefix shadow (the snapshots bracket only the
+/// counted stretch, so restoring tables without rewinding counters
+/// cancels out of every delta), and, because no pipeline state leaks
+/// across windows, bit-identical whether the windows run in one pass or
+/// as independent replays on different threads. Recording the
+/// scheme-free histogram instead of one scheme's energy is what lets a
+/// single detailed pass serve every gating cell of the stream
+/// (deriveSampleEstimate).
 class WindowEstimator final : public TraceSink {
 public:
   struct Win {
@@ -248,10 +275,17 @@ public:
     unsigned Cluster = 0;
   };
 
+  /// \p CkptBase offsets the checkpoint lookup: a replay estimator built
+  /// for the single window j passes Wins = {layout window j} and
+  /// CkptBase = j against the full checkpoint vector.
   WindowEstimator(const UarchConfig &Uarch, std::vector<Win> Windows,
-                  const std::vector<CoreWarmState> *Checkpoints = nullptr)
-      : Core(Uarch, &Rec), Wins(std::move(Windows)), Ckpt(Checkpoints),
-        StatDelta(Wins.size()), CountDelta(Wins.size()) {}
+                  const std::vector<CoreWarmState> *Checkpoints = nullptr,
+                  size_t CkptBase = 0)
+      : Uarch(Uarch), Wins(std::move(Windows)), Ckpt(Checkpoints),
+        CkptBase(CkptBase), StatDelta(Wins.size()), CountDelta(Wins.size()) {
+    if (!Ckpt)
+      Core = std::make_unique<OooCore>(Uarch, &Rec);
+  }
 
   void onBatch(const DynInst *Batch, size_t N) override {
     Delivered += N;
@@ -262,8 +296,10 @@ public:
         throw std::runtime_error(
             "sampled estimation: trace exceeds the planned windows");
       const Win &W = Wins[Cur];
-      if (Ckpt && Into == 0)
-        Core.restoreWarmState((*Ckpt)[Cur]);
+      if (Ckpt && Into == 0) {
+        Core = std::make_unique<OooCore>(Uarch, &Rec);
+        Core->restoreWarmState((*Ckpt)[CkptBase + Cur]);
+      }
       if (!CountingStarted && Into >= W.Shadow + W.Warmup) {
         snapStart();
         CountingStarted = true;
@@ -277,9 +313,9 @@ public:
       const size_t Take =
           static_cast<size_t>(std::min<uint64_t>(N, Limit - Into));
       if (InShadow)
-        Core.warmOnly(Batch, Take);
+        Core->warmOnly(Batch, Take);
       else
-        Core.onBatch(Batch, Take);
+        Core->onBatch(Batch, Take);
       Batch += Take;
       N -= Take;
       Into += Take;
@@ -295,26 +331,24 @@ public:
   bool allWindowsComplete() const { return Cur == Wins.size(); }
   uint64_t deliveredInsts() const { return Delivered; }
 
+  /// Raw per-window deltas, for the replay path's cross-thread gather.
+  const UarchStats &statDelta(size_t W) const { return StatDelta[W]; }
+  const ActivityCounts &countDelta(size_t W) const { return CountDelta[W]; }
+
   /// Scales the per-window deltas into the whole-run estimate.
   void estimate(const std::vector<double> &Factors, UarchStats &OutStats,
                 ActivityCounts &OutCounts) const {
-    assert(Factors.size() == StatDelta.size());
-    ScaledStats Acc;
-    for (size_t C = 0; C < Factors.size(); ++C) {
-      Acc.addScaled(Factors[C], UarchStats(), StatDelta[C]);
-      OutCounts.addScaled(Factors[C], ActivityCounts(), CountDelta[C]);
-    }
-    OutStats = Acc.rounded();
+    reduceWindowDeltas(Factors, StatDelta, CountDelta, OutStats, OutCounts);
   }
 
 private:
   void snapStart() {
-    StatStart = Core.snapshot();
+    StatStart = Core->snapshot();
     CountStart = Rec.counts();
   }
 
   void snapEnd(size_t Window) {
-    const UarchStats End = Core.snapshot();
+    const UarchStats End = Core->snapshot();
     const UarchStats &A = StatStart;
     UarchStats &D = StatDelta[Window];
     D.Insts += End.Insts - A.Insts;
@@ -330,10 +364,12 @@ private:
     CountDelta[Window].addScaled(1.0, CountStart, Rec.counts());
   }
 
+  UarchConfig Uarch;
   ActivityRecorder Rec;
-  OooCore Core;
+  std::unique_ptr<OooCore> Core;
   std::vector<Win> Wins;
   const std::vector<CoreWarmState> *Ckpt;
+  size_t CkptBase = 0;
   size_t Cur = 0;
   uint64_t Into = 0;
   uint64_t Delivered = 0;
@@ -460,25 +496,175 @@ WindowLayout layoutWindows(const SamplePlan &Plan, const SampleSpec &Spec,
   return L;
 }
 
-/// Drives one OooCore through the full dynamic stream with warmOnly()
+/// Shadow architectural machine reconstructed from the light record
+/// stream: registers come from each record's Result/WroteDest, memory
+/// from store records (Result is the stored value truncated to the store
+/// width — exactly what storeBytes writes), the call stack from Jsr/Ret
+/// (a Jsr record's Pc maps to the engine's Frame::JsrFlat as
+/// (Pc - CodeBase) / 4), and the output-stream length from Out records.
+/// Registers never written keep their initial values, so the shadow
+/// machine is initialized exactly as the engine initializes a run: data
+/// segment installed, SP at the top of memory, arguments in a0..
+///
+/// Page-dirty tracking lives here — compiled into the capture path only,
+/// so the engine's no-sink/threaded dispatch throughput is untouched.
+/// Every store marks its page(s); at each checkpoint the dirty set is
+/// drained into an ArchDelta of full page images. Budget accounting
+/// charges each newly-dirtied page as it appears plus a fixed overhead
+/// per checkpoint, so a blowup is detected within one batch of where it
+/// happens rather than at the end of the pass.
+class ArchShadow {
+public:
+  ArchShadow(const DecodedProgram &DP, const RunOptions &Ref,
+             uint64_t MaxBytes)
+      : M(Ref.Machine), MaxBytes(MaxBytes),
+        NumPages((M.memSize() + ArchPageBytes - 1) / ArchPageBytes),
+        DirtyFlag(NumPages, 0) {
+    M.installData(Program::DataBase, DP.program().Data);
+    M.writeReg(RegSP, static_cast<int64_t>(M.memSize()) - 64);
+    for (size_t I = 0; I < Ref.ArgRegs.size() && I < NumArgRegs; ++I)
+      M.writeReg(static_cast<Reg>(RegA0 + I), Ref.ArgRegs[I]);
+  }
+
+  void apply(const DynInst *Batch, size_t N) {
+    for (size_t I = 0; I < N; ++I) {
+      const DynInst &D = Batch[I];
+      const Instruction &Inst = *D.I;
+      if (D.WroteDest)
+        M.writeReg(Inst.Rd, D.Result);
+      switch (Inst.Opc) {
+      case Op::St: {
+        const unsigned Bytes = widthBytes(Inst.W);
+        markDirty(D.MemAddr, Bytes);
+        M.storeBytes(D.MemAddr, Bytes, static_cast<uint64_t>(D.Result));
+        break;
+      }
+      case Op::Jsr:
+        Frames.push_back(static_cast<int32_t>(
+            (D.Pc - DecodedProgram::CodeBase) / 4));
+        break;
+      case Op::Ret:
+        if (!Frames.empty())
+          Frames.pop_back();
+        break;
+      case Op::Out:
+        ++OutputLen;
+        break;
+      default:
+        break;
+      }
+      ++DynIndex;
+    }
+  }
+
+  /// Captures the state just before \p NextRec (the record at the current
+  /// dynamic index) executes, draining the dirty pages accumulated since
+  /// the previous capture.
+  ArchCheckpoint capture(const DynInst &NextRec) {
+    ArchCheckpoint C;
+    C.State.DynIndex = DynIndex;
+    C.State.Flat = static_cast<int32_t>(
+        (NextRec.Pc - DecodedProgram::CodeBase) / 4);
+    std::memcpy(C.State.Regs, M.regs(), sizeof(C.State.Regs));
+    C.State.Frames = Frames;
+    C.State.OutputLen = OutputLen;
+    std::sort(DirtyList.begin(), DirtyList.end());
+    C.Delta.Pages = std::move(DirtyList);
+    DirtyList.clear();
+    C.Delta.Bytes.reserve(C.Delta.Pages.size() * ArchPageBytes);
+    for (uint32_t P : C.Delta.Pages) {
+      DirtyFlag[P] = 0;
+      const uint64_t Off = static_cast<uint64_t>(P) * ArchPageBytes;
+      const size_t Len = static_cast<size_t>(
+          std::min<uint64_t>(ArchPageBytes, M.memSize() - Off));
+      C.Delta.Bytes.insert(C.Delta.Bytes.end(), M.memData() + Off,
+                           M.memData() + Off + Len);
+    }
+    BytesUsed += sizeof(ArchState) + C.State.Frames.size() * sizeof(int32_t) +
+                 C.Delta.Pages.size() * sizeof(uint32_t);
+    return C;
+  }
+
+  bool overBudget() const { return BytesUsed > MaxBytes; }
+  uint64_t bytesUsed() const { return BytesUsed; }
+
+private:
+  void markDirty(uint64_t Addr, unsigned Bytes) {
+    // Mirror storeBytes' bounds check: a faulting store writes nothing.
+    if (Addr + Bytes > M.memSize() || Addr + Bytes < Addr)
+      return;
+    const uint64_t First = Addr / ArchPageBytes;
+    const uint64_t Last = (Addr + Bytes - 1) / ArchPageBytes;
+    for (uint64_t P = First; P <= Last; ++P) {
+      if (DirtyFlag[P])
+        continue;
+      DirtyFlag[P] = 1;
+      DirtyList.push_back(static_cast<uint32_t>(P));
+      BytesUsed += std::min<uint64_t>(ArchPageBytes,
+                                      M.memSize() - P * ArchPageBytes);
+    }
+  }
+
+  Machine M;
+  uint64_t MaxBytes;
+  uint64_t NumPages;
+  std::vector<uint8_t> DirtyFlag;
+  std::vector<uint32_t> DirtyList;
+  std::vector<int32_t> Frames;
+  uint64_t OutputLen = 0;
+  uint64_t DynIndex = 0;
+  uint64_t BytesUsed = 0;
+};
+
+/// Drives one OooCore through the light dynamic stream with warmOnly()
 /// and snapshots its warm state at each requested stop (ascending
-/// dynamic-instruction indices). A stop at index 0 is captured at
-/// construction — the pristine core — so the engine's skip of empty
-/// windows never loses a capture.
+/// dynamic-instruction indices); optionally shadows the architectural
+/// state too and captures an ArchCheckpoint at the same stops. A stop at
+/// index 0 is warm-captured at construction — the pristine core — so the
+/// engine's skip of empty windows never loses a capture; its
+/// architectural twin is captured when the first record arrives (the
+/// capture pass always delivers one past the last stop, so every stop
+/// sees its boundary record). Architectural capture self-disables the
+/// moment the byte budget is exceeded — the partial checkpoints are
+/// dropped and only the flag survives.
 class CheckpointRecorder final : public TraceSink {
 public:
-  CheckpointRecorder(const UarchConfig &Uarch, std::vector<uint64_t> StopsIn,
-                     std::vector<CoreWarmState> &Out)
-      : Core(Uarch, nullptr), Stops(std::move(StopsIn)), Out(Out) {
+  CheckpointRecorder(const UarchConfig &Uarch, const DecodedProgram &DP,
+                     const RunOptions &Ref, std::vector<uint64_t> StopsIn,
+                     std::vector<CoreWarmState> &Out,
+                     std::vector<ArchCheckpoint> *ArchOut,
+                     uint64_t ArchMaxBytes)
+      : Core(Uarch, nullptr), Stops(std::move(StopsIn)), Out(Out),
+        ArchOut(ArchOut) {
+    if (ArchOut) {
+      ArchOut->reserve(Stops.size());
+      Shadow = std::make_unique<ArchShadow>(DP, Ref, ArchMaxBytes);
+    }
     capturePending();
   }
 
   void onBatch(const DynInst *Batch, size_t N) override {
     while (N > 0) {
+      if (Shadow) {
+        while (ArchNext < Stops.size() && Stops[ArchNext] == Seen) {
+          ArchOut->push_back(Shadow->capture(Batch[0]));
+          ++ArchNext;
+        }
+      }
       const uint64_t Until = Next < Stops.size() ? Stops[Next] : ~uint64_t(0);
       const size_t Take =
           static_cast<size_t>(std::min<uint64_t>(N, Until - Seen));
       Core.warmOnly(Batch, Take);
+      if (Shadow) {
+        Shadow->apply(Batch, Take);
+        if (Shadow->overBudget()) {
+          ArchBytes = Shadow->bytesUsed();
+          ArchOut->clear();
+          ArchOut = nullptr;
+          Shadow.reset();
+          Exceeded = true;
+        }
+      }
       Batch += Take;
       N -= Take;
       Seen += Take;
@@ -486,7 +672,15 @@ public:
     }
   }
 
-  bool done() const { return Next == Stops.size(); }
+  bool done() const {
+    return Next == Stops.size() &&
+           (!Shadow || ArchNext == Stops.size());
+  }
+
+  bool archOverBudget() const { return Exceeded; }
+  uint64_t archBytes() const {
+    return Shadow ? Shadow->bytesUsed() : ArchBytes;
+  }
 
 private:
   void capturePending() {
@@ -499,8 +693,13 @@ private:
   OooCore Core;
   std::vector<uint64_t> Stops;
   std::vector<CoreWarmState> &Out;
+  std::vector<ArchCheckpoint> *ArchOut;
+  std::unique_ptr<ArchShadow> Shadow;
   size_t Next = 0;
+  size_t ArchNext = 0;
   uint64_t Seen = 0;
+  uint64_t ArchBytes = 0;
+  bool Exceeded = false;
 };
 
 } // namespace
@@ -525,12 +724,10 @@ SampleArtifacts og::prepareSampled(const DecodedProgram &DP,
   Art.Plan = makeSamplePlan(Prof, Spec);
   Art.BlockProfile = std::move(ProfRun.Stats.BlockCounts);
 
-  // Checkpoint capture pays about one more light run and replaces every
-  // cell's warming shadows — worth it exactly where chase-adaptive
-  // shadows get long (see SampleSpec::CheckpointChaseMin).
-  if (Art.Plan.ChaseFrac < Spec.CheckpointChaseMin)
-    return Art;
-
+  // Checkpoint capture pays about one more light run (trimmed at the
+  // last window's warm start) and replaces every cell's warming shadows
+  // AND — budget permitting — every cell's whole-stream fast-forward
+  // with per-window replay.
   const WindowLayout L = layoutWindows(Art.Plan, Spec, /*Checkpointed=*/true);
   std::vector<uint64_t> Stops;
   Stops.reserve(L.Engine.size());
@@ -539,17 +736,182 @@ SampleArtifacts og::prepareSampled(const DecodedProgram &DP,
   const uint64_t Last = Stops.back();
 
   Art.Checkpoints.reserve(Stops.size());
-  CheckpointRecorder Recorder(Uarch, std::move(Stops), Art.Checkpoints);
-  if (Last > 0) {
+  CheckpointRecorder Recorder(
+      Uarch, DP, Ref, std::move(Stops), Art.Checkpoints,
+      Spec.ArchCheckpointMaxBytes ? &Art.ArchCheckpoints : nullptr,
+      Spec.ArchCheckpointMaxBytes);
+  {
+    // The light window runs one record past the last stop so the stop's
+    // boundary record (whose Pc is the resume point) is delivered; the
+    // fuel trim stops the pass right there instead of running the tail
+    // of the program at no-sink speed for nothing. The boundary record
+    // always exists: the last window measures at least one instruction
+    // past its warm start.
     RunOptions CapOpts = Ref;
     CapOpts.Sink = &Recorder;
-    runProgramWindowed(DP, CapOpts, {{0, Last, Last}});
+    CapOpts.Fuel = std::min<uint64_t>(Ref.Fuel, Last + 1);
+    runProgramWindowed(DP, CapOpts, {{0, Last + 1, Last + 1}});
   }
   if (!Recorder.done())
     throw std::runtime_error(
         "sampled estimation: checkpoint capture ended before the last "
         "planned window");
+  Art.ArchBytes = Recorder.archBytes();
+  Art.ArchBudgetExceeded = Recorder.archOverBudget();
   return Art;
+}
+
+namespace {
+
+/// Splices one delta's page images into \p M.
+void applyArchDelta(Machine &M, const ArchDelta &D) {
+  const uint8_t *Src = D.Bytes.data();
+  for (uint32_t P : D.Pages) {
+    const uint64_t Off = static_cast<uint64_t>(P) * ArchPageBytes;
+    const size_t Len = static_cast<size_t>(
+        std::min<uint64_t>(ArchPageBytes, M.memSize() - Off));
+    std::memcpy(M.memData() + Off, Src, Len);
+    Src += Len;
+  }
+}
+
+/// Window-parallel replay: the detailed pass as independent per-window
+/// jobs instead of one whole-stream fast-forward. The exact functional
+/// result comes from a dedicated full-speed (no-sink, superblock-fused)
+/// pass; each window then materializes its machine state from the
+/// checkpoint chain and executes only warm-up + counted stretch through
+/// runProgramResumed. Windows are partitioned into contiguous chunks —
+/// one per worker — so each chunk walks its delta chain once: apply
+/// deltas 0..begin-1 to reach the chunk's entry memory image, then per
+/// window apply its delta and replay. Stat/activity deltas land in
+/// window-indexed slots and are reduced in window order by the same
+/// arithmetic as the serial estimator, so the estimate is bit-identical
+/// to the fast-forward path and across any WindowJobs value.
+SampleStreamEstimate replayStream(const DecodedProgram &DP,
+                                  const RunOptions &Ref,
+                                  const UarchConfig &Uarch,
+                                  const SampleArtifacts &Art,
+                                  const WindowLayout &L, unsigned Jobs) {
+  const std::vector<ArchCheckpoint> &Arch = Art.ArchCheckpoints;
+  const size_t NW = L.Engine.size();
+
+  SampleStreamEstimate Stream;
+  Stream.Plan = Art.Plan;
+  Stream.Replayed = true;
+  {
+    RunOptions NoSink = Ref;
+    NoSink.Sink = nullptr;
+    Stream.Run = runProgram(DP, NoSink);
+  }
+
+  std::vector<UarchStats> StatDelta(NW);
+  std::vector<ActivityCounts> CountDelta(NW);
+  std::vector<uint64_t> Delivered(NW, 0);
+  const unsigned Chunks = static_cast<unsigned>(
+      std::min<size_t>(std::max(Jobs, 1u), NW));
+  std::vector<std::string> Errors(Chunks);
+
+  ThreadPool Pool(Jobs);
+  for (unsigned C = 0; C < Chunks; ++C) {
+    const size_t ChunkBegin = C * NW / Chunks;
+    const size_t ChunkEnd = (C + 1) * NW / Chunks;
+    Pool.submit([&, ChunkBegin, ChunkEnd, C] {
+      try {
+        Machine M(Ref.Machine);
+        M.installData(Program::DataBase, DP.program().Data);
+        for (size_t J = 0; J < ChunkBegin; ++J)
+          applyArchDelta(M, Arch[J].Delta);
+        for (size_t J = ChunkBegin; J < ChunkEnd; ++J) {
+          applyArchDelta(M, Arch[J].Delta);
+          WindowEstimator Est(Uarch, {L.Wins[J]}, &Art.Checkpoints, J);
+          RunOptions WinOpts = Ref;
+          WinOpts.Sink = &Est;
+          // Superblocks never engage inside a delivered window, and the
+          // whole resumed stretch is one; fuel ends the run exactly at
+          // the window's end.
+          WinOpts.Superblocks = nullptr;
+          WinOpts.Fuel = L.Engine[J].End - Arch[J].State.DynIndex;
+          const RunResult R = runProgramResumed(DP, WinOpts, {L.Engine[J]},
+                                                Arch[J].State, M);
+          if (R.Status != RunStatus::OutOfFuel &&
+              R.Status != RunStatus::Halted)
+            throw std::runtime_error(
+                "sampled replay: window did not complete: " + R.Message);
+          if (!Est.allWindowsComplete())
+            throw std::runtime_error(
+                "sampled replay: window ended before its counted stretch");
+          StatDelta[J] = Est.statDelta(0);
+          CountDelta[J] = Est.countDelta(0);
+          Delivered[J] = Est.deliveredInsts();
+        }
+      } catch (const std::exception &Ex) {
+        Errors[C] = Ex.what();
+      }
+    });
+  }
+  Pool.wait();
+  for (const std::string &E : Errors)
+    if (!E.empty())
+      throw std::runtime_error(E);
+
+  for (uint64_t D : Delivered)
+    Stream.DetailedInsts += D;
+  reduceWindowDeltas(L.Factors, StatDelta, CountDelta, Stream.Uarch,
+                     Stream.Activity);
+  return Stream;
+}
+
+} // namespace
+
+SampleStreamEstimate
+og::runSampledStream(const DecodedProgram &DP, const RunOptions &Ref,
+                     const UarchConfig &Uarch, const SampleArtifacts &Art,
+                     const SampleSpec &Spec, const SampleRunPolicy &Policy) {
+  const std::vector<CoreWarmState> *Warm =
+      Art.Checkpoints.empty() ? nullptr : &Art.Checkpoints;
+  if (Art.ArchCheckpoints.empty())
+    return runSampledStream(DP, Ref, Uarch, Art.Plan, Spec, Warm);
+
+  if (!Warm || Art.ArchCheckpoints.size() != Art.Checkpoints.size())
+    throw std::invalid_argument(
+        "sampled estimation: architectural checkpoints do not parallel "
+        "the warm-state checkpoints");
+  const WindowLayout L = layoutWindows(Art.Plan, Spec, /*Checkpointed=*/true);
+  if (Art.Checkpoints.size() != L.Engine.size())
+    throw std::invalid_argument(
+        "sampled estimation: checkpoint count does not match the plan's "
+        "windows (artifacts prepared under a different plan or spec?)");
+
+  if (!Policy.ForceFastForward)
+    return replayStream(DP, Ref, Uarch, Art, L, Policy.WindowJobs);
+
+  // Forced fast-forward, pinned to the replay path's window-entry
+  // registers so the two modes stay bit-identical even where the
+  // binaries' dead register bytes diverge from the capture stream's.
+  std::vector<const ArchState *> Entry(L.Engine.size());
+  for (size_t J = 0; J < Entry.size(); ++J)
+    Entry[J] = &Art.ArchCheckpoints[J].State;
+  WindowEstimator Estimator(Uarch, L.Wins, Warm);
+  RunOptions Opts = Ref;
+  Opts.Sink = &Estimator;
+
+  SampleStreamEstimate Stream;
+  Stream.Plan = Art.Plan;
+  runProgramWindowed(DP, Opts, L.Engine, &Entry);
+  Stream.DetailedInsts = Estimator.deliveredInsts();
+  if (!Estimator.allWindowsComplete())
+    throw std::runtime_error(
+        "sampled estimation: run ended before the planned windows");
+  // The injected pass's functional result reflects the injected
+  // registers; the exact result comes from the same dedicated full-speed
+  // pass replay uses.
+  {
+    RunOptions NoSink = Ref;
+    NoSink.Sink = nullptr;
+    Stream.Run = runProgram(DP, NoSink);
+  }
+  Estimator.estimate(L.Factors, Stream.Uarch, Stream.Activity);
+  return Stream;
 }
 
 SampleStreamEstimate
@@ -591,6 +953,7 @@ SampleEstimate og::deriveSampleEstimate(const SampleStreamEstimate &Stream,
   Est.Run = Stream.Run;
   Est.Plan = Stream.Plan;
   Est.DetailedInsts = Stream.DetailedInsts;
+  Est.Replayed = Stream.Replayed;
   Est.Report.Scheme = Scheme;
   Est.Report.PerStructure = Stream.Activity.structureEnergy(Scheme, Coeffs);
   double Total = 0.0;
@@ -600,6 +963,15 @@ SampleEstimate og::deriveSampleEstimate(const SampleStreamEstimate &Stream,
       Total + Coeffs.ClockPerCycle * static_cast<double>(Est.Uarch.Cycles);
   Est.Report.Uarch = Est.Uarch;
   return Est;
+}
+
+SampleEstimate
+og::runSampled(const DecodedProgram &DP, const RunOptions &Ref,
+               const UarchConfig &Uarch, GatingScheme Scheme,
+               const EnergyCoefficients &Coeffs, const SampleArtifacts &Art,
+               const SampleSpec &Spec, const SampleRunPolicy &Policy) {
+  return deriveSampleEstimate(
+      runSampledStream(DP, Ref, Uarch, Art, Spec, Policy), Scheme, Coeffs);
 }
 
 SampleEstimate
@@ -618,18 +990,19 @@ SampleEstimate og::estimateSampled(const DecodedProgram &DP,
                                    const UarchConfig &Uarch,
                                    GatingScheme Scheme,
                                    const EnergyCoefficients &Coeffs,
-                                   const SampleSpec &Spec) {
+                                   const SampleSpec &Spec,
+                                   const SampleRunPolicy &Policy) {
   const SampleArtifacts Art = prepareSampled(DP, Ref, Uarch, Spec);
-  // Fast-forward through superblocks formed from the profile the
-  // preparation pass just produced (unless the caller attached a plan of
-  // their own); window boundaries fission, so the detailed windows see
-  // the identical stream.
+  // The full-speed functional pass (and, without architectural
+  // checkpoints, the fast-forward) runs through superblocks formed from
+  // the profile the preparation pass just produced, unless the caller
+  // attached a plan of their own; window boundaries fission, so the
+  // detailed windows see the identical stream.
   SuperblockPlan Sb(DP, Art.BlockProfile);
   RunOptions Opts = Ref;
   if (!Opts.Superblocks)
     Opts.Superblocks = &Sb;
-  return runSampled(DP, Opts, Uarch, Scheme, Coeffs, Art.Plan, Spec,
-                    Art.Checkpoints.empty() ? nullptr : &Art.Checkpoints);
+  return runSampled(DP, Opts, Uarch, Scheme, Coeffs, Art, Spec, Policy);
 }
 
 double SampleErrors::maxAbs() const {

@@ -103,17 +103,17 @@ struct SampleSpec {
   /// representative tracks the segment mean. 0 restores pure-BBV
   /// SimPoint clustering.
   double TimeWeight = 0.5;
-  /// Chase-fraction threshold above which prepareSampled() captures
-  /// per-window warm-state checkpoints (uarch/Core.h CoreWarmState)
-  /// during an extra full-history warming pass, replacing every
-  /// measured window's warming shadow with a restore. The capture pass
-  /// costs about one light run; per-cell shadows cost
-  /// min(WarmupFrac + ChaseWarmGain * ChaseFrac, 1) light runs — so
-  /// checkpoints win exactly where chase-adaptive shadows get long
-  /// (li: ~0.65 light runs per cell vs ~1 total), and low-chase
-  /// workloads keep their cheap short shadows. 0 (or negative) forces
-  /// checkpointing on; > 1 disables it.
-  double CheckpointChaseMin = 0.01;
+  /// Per-stream byte budget for the architectural checkpoints
+  /// (ArchCheckpoint below) captured alongside the warm-state ones.
+  /// Register files are negligible; the budget really bounds the
+  /// dirty-page memory deltas, which scale with how much of memory the
+  /// run touches between windows. When the running capture size would
+  /// exceed the budget, prepareSampled abandons the architectural
+  /// capture (warm-state checkpoints are kept), flags the artifacts
+  /// (SampleArtifacts::ArchBudgetExceeded), and estimation falls back
+  /// to classic whole-stream fast-forward. 0 disables architectural
+  /// capture outright.
+  uint64_t ArchCheckpointMaxBytes = 64ull << 20;
   /// Clustering/projection seed. Fixed by default so a spec is fully
   /// deterministic; sweeps inherit byte-identical serial-vs-parallel
   /// reports for free.
@@ -136,9 +136,37 @@ inline void hashSampleSpec(Fnv1a &H, const SampleSpec &S) {
   H.f64(S.ChaseWarmGain);
   H.u64(S.ProjectDims);
   H.f64(S.TimeWeight);
-  H.f64(S.CheckpointChaseMin);
+  H.u64(S.ArchCheckpointMaxBytes);
   H.u64(S.Seed);
 }
+
+/// Granularity of the dirty-memory tracking behind ArchDelta. A page is
+/// the unit of capture (whole pages are snapshotted, even for one dirty
+/// byte) and of replay splicing.
+constexpr uint64_t ArchPageBytes = 4096;
+
+/// Dirty-page memory delta between two consecutive checkpoint indices:
+/// full images of every page at least one store touched in the stretch,
+/// ascending by page index, concatenated in Bytes. The final page of a
+/// machine whose memory size is not page-aligned is clamped — its image
+/// is memSize - page * ArchPageBytes bytes long.
+struct ArchDelta {
+  std::vector<uint32_t> Pages;
+  std::vector<uint8_t> Bytes;
+};
+
+/// Architectural state captured at one planned window's warm-start
+/// boundary. State is the registers/frames/position snapshot the engine
+/// resumes from (sim/ExecEngine.h ArchState); Delta holds the memory
+/// pages dirtied since the *previous* checkpoint (since run start for
+/// the first), so materializing window j's memory means: fresh machine,
+/// install the data segment, apply deltas 0..j in order. Replaying a
+/// contiguous chunk of windows applies each delta exactly once — the
+/// chain never re-reads earlier checkpoints.
+struct ArchCheckpoint {
+  ArchState State;
+  ArchDelta Delta;
+};
 
 /// A clustering of one profiled run into representative intervals.
 struct SamplePlan {
@@ -182,14 +210,19 @@ struct SampleEstimate {
   /// Instructions fed to the detailed stack (warm-up included) — the
   /// sampled fraction is DetailedInsts / Plan.TotalInsts.
   uint64_t DetailedInsts = 0;
+  /// Whether the detailed pass replayed from architectural checkpoints
+  /// (copied from SampleStreamEstimate::Replayed).
+  bool Replayed = false;
 };
 
 /// Everything reusable across estimation runs of one dynamic instruction
-/// stream: the plan, plus (for chase-heavy streams, see
-/// SampleSpec::CheckpointChaseMin) one warm-state checkpoint per planned
-/// window, captured at the window's warm-start index during a single
-/// full-history warming pass. Checkpoints is either empty (shadow-warmed
-/// estimation) or exactly one entry per planned window, in window order.
+/// stream: the plan, plus one warm-state checkpoint per planned window,
+/// captured at the window's warm-start index during a single
+/// full-history warming pass, plus (budget permitting) one architectural
+/// checkpoint per window from the same pass. Checkpoints holds exactly
+/// one entry per planned window, in window order; ArchCheckpoints is
+/// either empty (budget exceeded or capture disabled — estimation
+/// fast-forwards classically) or parallel to Checkpoints.
 ///
 /// An artifact is a pure function of (stream, uarch, spec) — estimating
 /// from a shared artifact is bit-identical to estimating from a freshly
@@ -199,6 +232,16 @@ struct SampleEstimate {
 struct SampleArtifacts {
   SamplePlan Plan;
   std::vector<CoreWarmState> Checkpoints;
+  /// Per-window architectural resume states + dirty-page delta chain;
+  /// empty when over budget or disabled (see ArchBudgetExceeded).
+  std::vector<ArchCheckpoint> ArchCheckpoints;
+  /// Approximate byte footprint of ArchCheckpoints (delta payloads plus a
+  /// fixed per-checkpoint overhead) — what the capture budget metered.
+  uint64_t ArchBytes = 0;
+  /// True when architectural capture started but blew through
+  /// SampleSpec::ArchCheckpointMaxBytes; the counted fallback signal
+  /// (distinct from capture never being attempted with a 0 budget).
+  bool ArchBudgetExceeded = false;
   /// Exact basic-block profile of the profiled run (ExecStats::BlockCounts
   /// of the light full-window pass) — free here, and the seed for
   /// sim/Superblock.h plans. Kept as raw counts rather than a formed
@@ -226,26 +269,60 @@ struct SampleStreamEstimate {
   RunResult Run;
   SamplePlan Plan;
   uint64_t DetailedInsts = 0;
+  /// True when the detailed pass replayed windows from architectural
+  /// checkpoints instead of fast-forwarding the whole stream.
+  bool Replayed = false;
 };
 
 /// Steps 1-2 (+ checkpoint capture): profile \p Ref at light-record cost
-/// (also validating it halts), cluster into a plan, and — when the
-/// profiled chase fraction reaches Spec.CheckpointChaseMin — run one more
-/// light pass capturing a CoreWarmState at each planned window's
-/// warm-start index. Throws std::runtime_error if the program does not
-/// halt under \p Ref.
+/// (also validating it halts), cluster into a plan, and run one more
+/// light pass capturing a CoreWarmState — and, within
+/// Spec.ArchCheckpointMaxBytes, an ArchCheckpoint — at each planned
+/// window's warm-start index. Throws std::runtime_error if the program
+/// does not halt under \p Ref.
 SampleArtifacts prepareSampled(const DecodedProgram &DP, const RunOptions &Ref,
                                const UarchConfig &Uarch,
                                const SampleSpec &Spec);
 
-/// Step 3, scheme-free: fast-forward + in-window detailed simulation
-/// under an existing plan, recording the activity histogram instead of
-/// charging a scheme's energy. \p Ref must run the same instruction
-/// stream the plan was profiled from (same decode, same inputs);
-/// Ref.Sink is ignored. With \p Checkpoints (from prepareSampled on the
-/// same stream/spec), windows restore warm state instead of running
-/// warming shadows — exactly equivalent to a full-prefix shadow, at zero
-/// per-window cost.
+/// How runSampledStream executes the detailed pass. Neither knob can
+/// change the estimate: window replay, forced fast-forward, and every
+/// WindowJobs value produce bit-identical SampleStreamEstimates (tested),
+/// so none of this participates in content keys.
+struct SampleRunPolicy {
+  /// Worker threads for window-parallel replay; 0/1 replay serially on
+  /// the calling thread. Ignored (with no effect on results) when the
+  /// artifacts carry no architectural checkpoints.
+  unsigned WindowJobs = 1;
+  /// Diagnostic: fast-forward the whole stream even when architectural
+  /// checkpoints would allow replay. Window-entry registers are still
+  /// injected from the checkpoints, which is what keeps the two modes
+  /// bit-identical where the binaries' dead register bytes diverge.
+  bool ForceFastForward = false;
+};
+
+/// Step 3, scheme-free: detailed in-window simulation under prepared
+/// artifacts, recording the activity histogram instead of charging a
+/// scheme's energy. \p Ref must run the same instruction stream the
+/// artifacts were prepared from (same functional behavior — width-only
+/// rewrites qualify); Ref.Sink is ignored. With architectural
+/// checkpoints present the windows *replay*: each one materializes its
+/// machine state from the checkpoint chain and executes only its own
+/// stretch, independently — O(windows) detailed-pass cost instead of
+/// O(stream), and embarrassingly parallel under Policy.WindowJobs. The
+/// exact functional result still comes from one full-speed (no-sink,
+/// superblock-fused) pass. Without them it fast-forwards classically,
+/// restoring warm state at each window.
+SampleStreamEstimate
+runSampledStream(const DecodedProgram &DP, const RunOptions &Ref,
+                 const UarchConfig &Uarch, const SampleArtifacts &Art,
+                 const SampleSpec &Spec, const SampleRunPolicy &Policy = {});
+
+/// Plan-level variant: fast-forward + in-window detailed simulation with
+/// optional warm-state restores and no architectural replay. \p
+/// Checkpoints, when given, must hold one CoreWarmState per planned
+/// window (from prepareSampled on the same stream/spec); windows then
+/// restore warm state instead of running warming shadows — exactly
+/// equivalent to a full-prefix shadow, at zero per-window cost.
 SampleStreamEstimate
 runSampledStream(const DecodedProgram &DP, const RunOptions &Ref,
                  const UarchConfig &Uarch, const SamplePlan &Plan,
@@ -264,16 +341,24 @@ SampleEstimate deriveSampleEstimate(const SampleStreamEstimate &Stream,
 SampleEstimate
 runSampled(const DecodedProgram &DP, const RunOptions &Ref,
            const UarchConfig &Uarch, GatingScheme Scheme,
+           const EnergyCoefficients &Coeffs, const SampleArtifacts &Art,
+           const SampleSpec &Spec, const SampleRunPolicy &Policy = {});
+
+/// Plan-level variant of the above (no architectural replay).
+SampleEstimate
+runSampled(const DecodedProgram &DP, const RunOptions &Ref,
+           const UarchConfig &Uarch, GatingScheme Scheme,
            const EnergyCoefficients &Coeffs, const SamplePlan &Plan,
            const SampleSpec &Spec,
            const std::vector<CoreWarmState> *Checkpoints = nullptr);
 
-/// The full flow: prepareSampled then runSampled, checkpoints included
-/// when the stream's chase fraction warrants them.
+/// The full flow: prepareSampled then runSampled — windows replay from
+/// the captured checkpoints whenever the byte budget allowed them.
 SampleEstimate estimateSampled(const DecodedProgram &DP, const RunOptions &Ref,
                                const UarchConfig &Uarch, GatingScheme Scheme,
                                const EnergyCoefficients &Coeffs,
-                               const SampleSpec &Spec);
+                               const SampleSpec &Spec,
+                               const SampleRunPolicy &Policy = {});
 
 /// Signed relative errors of an estimate against an exact detailed run
 /// of the same cell ((est - exact) / exact; 0 when exact is 0).

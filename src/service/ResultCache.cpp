@@ -4,10 +4,13 @@
 
 #include "report/ReportSchema.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
+#include <filesystem>
 #include <sys/stat.h>
 #include <unistd.h>
+#include <vector>
 
 using namespace og;
 
@@ -31,6 +34,39 @@ bool ensureDir(const std::string &Path) {
       Partial += '/';
   }
   return true;
+}
+
+/// One cache entry file as seen by a directory scan.
+struct DiskEntry {
+  std::string Path;
+  std::filesystem::file_time_type Mtime;
+  uint64_t Bytes = 0;
+};
+
+/// Lists the `*.json` entry files under \p Dir. In-flight temp files
+/// (`*.json.tmp.<pid>`) are excluded by the extension check. Every
+/// stat is best-effort: an entry that vanishes mid-scan (concurrent
+/// eviction or a manual flush) is simply skipped.
+std::vector<DiskEntry> scanEntries(const std::string &Dir) {
+  std::vector<DiskEntry> Out;
+  std::error_code EC;
+  for (const auto &It : std::filesystem::directory_iterator(Dir, EC)) {
+    if (It.path().extension() != ".json")
+      continue;
+    std::error_code FileEC;
+    if (!It.is_regular_file(FileEC) || FileEC)
+      continue;
+    DiskEntry E;
+    E.Path = It.path().string();
+    E.Bytes = It.file_size(FileEC);
+    if (FileEC)
+      continue;
+    E.Mtime = It.last_write_time(FileEC);
+    if (FileEC)
+      continue;
+    Out.push_back(std::move(E));
+  }
+  return Out;
 }
 
 } // namespace
@@ -112,11 +148,61 @@ void ResultCache::store(const CellKey &K, const ResultAggregator::Cell &Cell) {
     std::remove(Tmp.c_str());
     return Failed();
   }
+  {
+    std::lock_guard<std::mutex> Lock(M);
+    ++C.Stores;
+  }
+  if (MaxBytes > 0)
+    evictOverBudget(Path);
+}
+
+void ResultCache::evictOverBudget(const std::string &JustStored) {
+  std::vector<DiskEntry> Entries = scanEntries(Dir);
+  uint64_t Total = 0;
+  for (const DiskEntry &E : Entries)
+    Total += E.Bytes;
+  if (Total <= MaxBytes)
+    return;
+
+  // Oldest mtime first; path breaks ties so concurrent evictors walk
+  // the directory in the same order and converge instead of thrashing.
+  std::sort(Entries.begin(), Entries.end(),
+            [](const DiskEntry &A, const DiskEntry &B) {
+              return A.Mtime != B.Mtime ? A.Mtime < B.Mtime : A.Path < B.Path;
+            });
+
+  uint64_t Evicted = 0, EvictedB = 0;
+  for (const DiskEntry &E : Entries) {
+    if (Total <= MaxBytes)
+      break;
+    if (E.Path == JustStored)
+      continue; // a store is never its own victim
+    std::error_code EC;
+    if (!std::filesystem::remove(E.Path, EC) || EC)
+      continue; // already gone or unremovable: someone else's problem
+    Total -= E.Bytes;
+    ++Evicted;
+    EvictedB += E.Bytes;
+  }
+  if (Evicted == 0)
+    return;
   std::lock_guard<std::mutex> Lock(M);
-  ++C.Stores;
+  C.Evictions += Evicted;
+  C.EvictedBytes += EvictedB;
 }
 
 ResultCache::Counters ResultCache::counters() const {
   std::lock_guard<std::mutex> Lock(M);
   return C;
+}
+
+ResultCache::Usage ResultCache::usage() const {
+  Usage U;
+  if (!enabled())
+    return U;
+  for (const DiskEntry &E : scanEntries(Dir)) {
+    ++U.Entries;
+    U.Bytes += E.Bytes;
+  }
+  return U;
 }

@@ -21,13 +21,19 @@
 /// and support/Json's writer is deterministic, so a warm-cache sweep
 /// document is byte-identical to the cold one.
 ///
-/// Eviction: none, deliberately. Entries are immutable pure functions of
-/// their key, so any file may be deleted at any time (the cell just
-/// recomputes), and `rm -rf <dir>` is a complete, always-safe flush.
-/// Schema bumps orphan old-version files rather than corrupting reads.
-/// Stores write to a temp file and rename() into place, so concurrent
-/// writers of the same cell race benignly (both write identical bytes)
-/// and readers never see a torn file.
+/// Eviction: safe by construction, optional by policy. Entries are
+/// immutable pure functions of their key, so any file may be deleted at
+/// any time (the cell just recomputes), and `rm -rf <dir>` is a
+/// complete, always-safe flush. By default the cache grows without
+/// bound; constructing with MaxBytes > 0 makes every store that leaves
+/// the directory over budget sweep the oldest-mtime entries out until it
+/// fits again (the entry just stored is never its own victim — a store
+/// must stay useful even under an absurdly small budget). Schema bumps
+/// orphan old-version files rather than corrupting reads. Stores write
+/// to a temp file and rename() into place, so concurrent writers of the
+/// same cell race benignly (both write identical bytes) and readers
+/// never see a torn file; concurrent evictors race benignly too (a file
+/// already gone is simply not counted).
 ///
 //===----------------------------------------------------------------------===//
 
@@ -58,13 +64,27 @@ public:
     uint64_t KeyMismatch = 0; ///< address collision or foreign file
     uint64_t Stores = 0;
     uint64_t StoreFailures = 0; ///< I/O failures (cache stays best-effort)
+    uint64_t Evictions = 0;     ///< entries removed by the size budget
+    uint64_t EvictedBytes = 0;  ///< bytes those entries occupied
+  };
+
+  /// Current on-disk footprint: entry files present and their byte sum.
+  /// Measured by scanning, not tracked, so it agrees with the directory
+  /// even when other processes store or evict concurrently.
+  struct Usage {
+    uint64_t Entries = 0;
+    uint64_t Bytes = 0;
   };
 
   /// \p Dir is created (with parents) on first store; "" disables.
-  explicit ResultCache(std::string Dir) : Dir(std::move(Dir)) {}
+  /// \p MaxBytes > 0 bounds the directory: stores evict oldest-mtime
+  /// entries over budget (see file comment); 0 means unbounded.
+  explicit ResultCache(std::string Dir, uint64_t MaxBytes = 0)
+      : Dir(std::move(Dir)), MaxBytes(MaxBytes) {}
 
   bool enabled() const { return !Dir.empty(); }
   const std::string &dir() const { return Dir; }
+  uint64_t maxBytes() const { return MaxBytes; }
 
   /// Looks \p K up; a validated hit returns the cell, anything else
   /// (absent, unreadable, stale version, key mismatch, malformed cell)
@@ -78,8 +98,18 @@ public:
 
   Counters counters() const;
 
+  /// Scans the cache directory and reports its entry count and byte
+  /// total. A disabled (or not-yet-created) cache reports zero.
+  Usage usage() const;
+
 private:
+  /// Removes oldest-mtime entries until the directory fits MaxBytes,
+  /// never touching \p JustStored. Best-effort, lock-free on the
+  /// filesystem side; only the counters take the mutex.
+  void evictOverBudget(const std::string &JustStored);
+
   std::string Dir;
+  uint64_t MaxBytes = 0;
   mutable std::mutex M;
   Counters C;
 };

@@ -12,7 +12,7 @@
 using namespace og;
 
 std::string og::validateReportOptions(const ReportOptions &R, bool SweepMode,
-                                      bool SampleEnabled) {
+                                      bool SampleEnabled, bool UarchEnabled) {
   if (SweepMode) {
     if (R.TimingLine)
       // Used to be silently dropped; reject it so nobody builds a
@@ -32,9 +32,16 @@ std::string og::validateReportOptions(const ReportOptions &R, bool SweepMode,
              "to the JSON document and needs --json=PATH alongside it";
     return "";
   }
-  if (SampleEnabled)
-    return "--sample drives phase-sampled estimation of sweep cells and "
-           "only applies to --sweep mode";
+  if (SampleEnabled) {
+    if (!UarchEnabled)
+      return "--sample estimates the detailed timing/energy report and "
+             "needs --uarch (or --scheme=...) alongside it in "
+             "single-program mode";
+    if (R.TimingLine)
+      return "--timing-line measures the plain dispatch loop's sim-speed "
+             "and is not meaningful under --sample estimation; drop one "
+             "of them";
+  }
   if (R.OptStats)
     return "--opt-stats reports the transform phase's analysis-cache "
            "counters and only applies to --sweep mode (single-program "

@@ -47,10 +47,14 @@ struct ReportOptions {
 /// The one validation path for report options: returns the first
 /// diagnostic (without tool-name prefix, exit-1 class) or "" when the
 /// combination is valid. \p SweepMode selects which flags are
-/// mode-conflicts; \p SampleEnabled folds the --sample gating (sampling
-/// only applies where a detailed ref cell runs) into the same path.
+/// mode-conflicts; \p SampleEnabled folds the --sample gating into the
+/// same path (sampling only applies where a detailed model runs: every
+/// sweep cell, or a single-program run with \p UarchEnabled — the
+/// --uarch/--scheme surface, meaningless in sweep mode and ignored
+/// there).
 std::string validateReportOptions(const ReportOptions &R, bool SweepMode,
-                                  bool SampleEnabled);
+                                  bool SampleEnabled,
+                                  bool UarchEnabled = false);
 
 /// One sweep, as a value: what to run (kind, scale, workloads, sampling)
 /// plus the report surface. This is the unit the service deduplicates,

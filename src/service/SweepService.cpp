@@ -45,8 +45,10 @@ SweepService::getWorkload(const std::string &Name, double Scale) {
 PipelineResult SweepService::runSpec(const ExperimentSpec &Spec) {
   std::shared_ptr<const ServiceWorkload> SW =
       getWorkload(Spec.Workload, Spec.Scale);
-  return runPipeline(SW->W, Spec.Config, SW->Decoded.get(),
-                     Spec.Config.Sample.enabled() ? &PlanCache : nullptr);
+  PipelineConfig Config = Spec.Config;
+  Config.SampleWindowJobs = Opts.SampleWindowJobs;
+  return runPipeline(SW->W, Config, SW->Decoded.get(),
+                     Config.Sample.enabled() ? &PlanCache : nullptr);
 }
 
 SweepResult SweepService::runFull(const std::vector<ExperimentSpec> &Specs,

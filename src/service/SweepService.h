@@ -55,12 +55,22 @@ namespace og {
 struct ServiceOptions {
   /// Worker threads per request's compute phase.
   unsigned Jobs = 1;
+  /// Worker threads for window-parallel sampled replay *inside* each
+  /// cell (PipelineConfig::SampleWindowJobs). Results are byte-identical
+  /// at any value. Total threads scale with Jobs × SampleWindowJobs, so
+  /// pick one axis: sweeps parallelize across cells (leave this 1),
+  /// single-run front ends parallelize across windows (leave Jobs 1).
+  unsigned SampleWindowJobs = 1;
   /// Propagated to the driver: true runs every cell even after one fails.
   bool KeepGoing = false;
   /// Persistent cell-cache directory; "" disables persistence (the
   /// in-flight map still deduplicates and remembers within the service
   /// lifetime).
   std::string CacheDir;
+  /// Cell-cache size budget in bytes; stores that leave the directory
+  /// over budget evict oldest-mtime entries (service/ResultCache.h).
+  /// 0 = unbounded (the default).
+  uint64_t MaxCacheBytes = 0;
 };
 
 /// One served sweep: either a failure with a diagnostic, or the
@@ -103,7 +113,8 @@ struct ServiceWorkload {
 class SweepService {
 public:
   explicit SweepService(ServiceOptions Opts)
-      : Opts(std::move(Opts)), Cache(this->Opts.CacheDir) {}
+      : Opts(std::move(Opts)),
+        Cache(this->Opts.CacheDir, this->Opts.MaxCacheBytes) {}
 
   /// Serves one request through the cell cache (see file comment).
   ServedSweep serve(const SweepRequest &R);
@@ -117,6 +128,10 @@ public:
   /// Lifetime persistent-cache traffic (includes lookups on behalf of
   /// every request served so far).
   ResultCache::Counters cacheCounters() const { return Cache.counters(); }
+
+  /// Current on-disk cell-cache footprint (scanned, so it reflects
+  /// stores and evictions by other processes too).
+  ResultCache::Usage cacheUsage() const { return Cache.usage(); }
 
   const ServiceOptions &options() const { return Opts; }
 

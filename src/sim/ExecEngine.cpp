@@ -21,11 +21,6 @@ using namespace og;
 
 namespace {
 
-/// Code addresses start here; 4 bytes per instruction, functions laid out
-/// in declaration order. Matches the layout every consumer (fetch model,
-/// branch predictor indexing) has always seen.
-constexpr uint64_t CodeBase = 0x1000;
-
 /// Flush threshold for light (warming-shadow) records in windowed runs:
 /// 256 records keep the working set of the engine-write / warmer-read
 /// loop at ~24KB instead of the full batch buffer's ~390KB.
@@ -334,26 +329,37 @@ namespace {
 /// records are materialized at all; \p Windowed additionally gates the
 /// materialization at runtime on the sample windows (\p Windows), so the
 /// out-of-window stretches run at no-sink speed; \p Threaded selects
-/// computed-goto token threading over the portable switch. Stretches that
-/// materialize no records may additionally run through fused superblocks
-/// (Options.Superblocks) — same stats, output, and record stream, fewer
-/// dispatches.
-template <bool HasSink, bool Windowed, bool Threaded>
+/// computed-goto token threading over the portable switch; \p Resumed
+/// continues from \p Resume's architectural state in the caller-owned
+/// machine \p ExtM instead of a fresh machine at the program entry (the
+/// sampled window-replay path). Stretches that materialize no records
+/// may additionally run through fused superblocks (Options.Superblocks)
+/// — same stats, output, and record stream, fewer dispatches.
+template <bool HasSink, bool Windowed, bool Threaded, bool Resumed = false>
 RunResult execute(const DecodedProgram &DP, const RunOptions &Options,
-                  const std::vector<SampleWindow> *Windows) {
+                  const std::vector<SampleWindow> *Windows,
+                  const ArchState *Resume = nullptr, Machine *ExtM = nullptr,
+                  const std::vector<const ArchState *> *EntryRegs = nullptr) {
   using Edge = DecodedProgram::Edge;
   using EdgeFault = DecodedProgram::EdgeFault;
   using DInst = DecodedProgram::DInst;
 
   RunResult Result;
   const Program &P = DP.program();
-  Machine M(Options.Machine);
-  M.installData(Program::DataBase, P.Data);
-
-  // Initial state: SP at the top of memory, arguments in a0..a5.
-  M.writeReg(RegSP, static_cast<int64_t>(M.memSize()) - 64);
-  for (size_t I = 0; I < Options.ArgRegs.size() && I < NumArgRegs; ++I)
-    M.writeReg(static_cast<Reg>(RegA0 + I), Options.ArgRegs[I]);
+  // Resumed runs borrow the caller's materialized machine; the local one
+  // then never allocates (zero-byte memory) and the reference choice
+  // constant-folds per instantiation.
+  Machine LocalM(Resumed ? MachineConfig{0} : Options.Machine);
+  Machine &M = Resumed ? *ExtM : LocalM;
+  if constexpr (!Resumed) {
+    M.installData(Program::DataBase, P.Data);
+    // Initial state: SP at the top of memory, arguments in a0..a5.
+    M.writeReg(RegSP, static_cast<int64_t>(M.memSize()) - 64);
+    for (size_t I = 0; I < Options.ArgRegs.size() && I < NumArgRegs; ++I)
+      M.writeReg(static_cast<Reg>(RegA0 + I), Options.ArgRegs[I]);
+  } else {
+    M.setRegs(Resume->Regs);
+  }
 
   ExecStats &Stats = Result.Stats;
   std::vector<uint64_t> FlatCounts(DP.numBlockSlots(), 0);
@@ -396,6 +402,13 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options,
         NextBoundary = W.Begin;
         return;
       }
+      // Entering the window. Optional per-window register injection
+      // (see runProgramWindowed): only at an exact entry — the engine
+      // always stops at Begin, so a mid-window DynIdx can only mean a
+      // resumed run that starts inside, which carries its own state.
+      if (EntryRegs && DynIdx == W.Begin)
+        if (const ArchState *S = (*EntryRegs)[WinIdx])
+          M.setRegs(S->Regs);
       InWindow = true;
       NextBoundary = W.End;
       LightEnd = W.Begin + W.LightLen;
@@ -403,8 +416,14 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options,
     }
     NextBoundary = ~uint64_t(0);
   };
+  if constexpr (Resumed) {
+    Stats.DynInsts = Resume->DynIndex;
+    Frames.reserve(Resume->Frames.size());
+    for (int32_t J : Resume->Frames)
+      Frames.push_back(Frame{J, {}});
+  }
   if constexpr (Windowed)
-    advanceWindow(0);
+    advanceWindow(Stats.DynInsts);
 
   auto saveCalleeRegs = [&](Frame &Fr) {
     int Slot = 0;
@@ -493,7 +512,9 @@ RunResult execute(const DecodedProgram &DP, const RunOptions &Options,
 #undef OG_SB_TBL
 #endif
 
-  if (!follow(DP.entry()))
+  if constexpr (Resumed)
+    Cur = Resume->Flat; // the boundary's next instruction: no entry edge
+  else if (!follow(DP.entry()))
     goto RunEnd;
 
   while (true) {
@@ -1003,10 +1024,24 @@ void checkPlan(const DecodedProgram &DP, const RunOptions &Options) {
 /// to the identical switch loop, so Threaded degrades to Switch for free.
 template <bool HasSink, bool Windowed>
 RunResult dispatchExecute(const DecodedProgram &DP, const RunOptions &Options,
-                          const std::vector<SampleWindow> *Windows) {
+                          const std::vector<SampleWindow> *Windows,
+                          const std::vector<const ArchState *> *EntryRegs =
+                              nullptr) {
   if (resolveDispatchMode(Options.Dispatch) == DispatchMode::Threaded)
-    return execute<HasSink, Windowed, true>(DP, Options, Windows);
-  return execute<HasSink, Windowed, false>(DP, Options, Windows);
+    return execute<HasSink, Windowed, true>(DP, Options, Windows, nullptr,
+                                            nullptr, EntryRegs);
+  return execute<HasSink, Windowed, false>(DP, Options, Windows, nullptr,
+                                           nullptr, EntryRegs);
+}
+
+/// Resumed runs exist for sampled window replay only, so just the
+/// sink+windowed shape is instantiated (runProgramResumed enforces it).
+RunResult dispatchResumed(const DecodedProgram &DP, const RunOptions &Options,
+                          const std::vector<SampleWindow> *Windows,
+                          const ArchState &From, Machine &M) {
+  if (resolveDispatchMode(Options.Dispatch) == DispatchMode::Threaded)
+    return execute<true, true, true, true>(DP, Options, Windows, &From, &M);
+  return execute<true, true, false, true>(DP, Options, Windows, &From, &M);
 }
 
 } // namespace
@@ -1044,17 +1079,35 @@ RunResult og::runProgram(const DecodedProgram &DP, const RunOptions &Options) {
                       : dispatchExecute<false, false>(DP, Options, nullptr);
 }
 
-RunResult og::runProgramWindowed(const DecodedProgram &DP,
-                                 const RunOptions &Options,
-                                 const std::vector<SampleWindow> &Windows) {
-  checkPlan(DP, Options);
-  // Always-on (not assert): a mis-sorted window list would silently
-  // deliver a wrong instruction stream in Release builds.
+namespace {
+
+/// Always-on (not assert): a mis-sorted window list would silently
+/// deliver a wrong instruction stream in Release builds.
+void checkWindows(const std::vector<SampleWindow> &Windows) {
   for (size_t I = 1; I < Windows.size(); ++I)
     if (Windows[I - 1].End > Windows[I].Begin)
       throw std::invalid_argument(
           "runProgramWindowed: sample windows must be sorted by Begin "
           "and pairwise disjoint");
+}
+
+} // namespace
+
+RunResult og::runProgramWindowed(
+    const DecodedProgram &DP, const RunOptions &Options,
+    const std::vector<SampleWindow> &Windows,
+    const std::vector<const ArchState *> *WindowEntry) {
+  checkPlan(DP, Options);
+  checkWindows(Windows);
+  if (WindowEntry) {
+    if (WindowEntry->size() != Windows.size())
+      throw std::invalid_argument(
+          "runProgramWindowed: WindowEntry must parallel Windows");
+    if (Options.CheckCalleeSaved)
+      throw std::invalid_argument(
+          "runProgramWindowed: register injection breaks the callee-saved "
+          "snapshot contract");
+  }
   // No sink (or no windows) degenerates to the plain no-sink run (the
   // superblock plan, if any, stays engaged).
   if (!Options.Sink || Windows.empty()) {
@@ -1062,5 +1115,24 @@ RunResult og::runProgramWindowed(const DecodedProgram &DP,
     NoSink.Sink = nullptr;
     return dispatchExecute<false, false>(DP, NoSink, nullptr);
   }
-  return dispatchExecute<true, true>(DP, Options, &Windows);
+  return dispatchExecute<true, true>(DP, Options, &Windows, WindowEntry);
+}
+
+RunResult og::runProgramResumed(const DecodedProgram &DP,
+                                const RunOptions &Options,
+                                const std::vector<SampleWindow> &Windows,
+                                const ArchState &From, Machine &M) {
+  checkPlan(DP, Options);
+  checkWindows(Windows);
+  if (!Options.Sink || Windows.empty())
+    throw std::invalid_argument(
+        "runProgramResumed: a sink and a nonempty window list are required");
+  if (Options.CheckCalleeSaved)
+    throw std::invalid_argument(
+        "runProgramResumed: callee-saved snapshots cannot be reconstructed "
+        "for inherited frames");
+  if (From.Flat < 0 || static_cast<size_t>(From.Flat) >= DP.numInsts())
+    throw std::invalid_argument(
+        "runProgramResumed: resume point is outside the program");
+  return dispatchResumed(DP, Options, &Windows, From, M);
 }

@@ -35,8 +35,29 @@
 
 namespace og {
 
+class Machine;
 struct RunOptions;
 struct RunResult;
+
+/// Architectural engine state at a dynamic-instruction boundary: the
+/// registers, call stack, and position just before instruction DynIndex
+/// executes. Together with a Machine whose memory holds the same
+/// boundary's contents, this is everything a run needs to continue —
+/// sample/ captures one per measurement window (plus memory deltas) and
+/// replays windows independently through runProgramResumed. Memory is
+/// deliberately not carried here: checkpoint chains share and delta-
+/// compress it (sample/SampleRunner.h), while registers and frames are
+/// small enough to snapshot whole.
+struct ArchState {
+  uint64_t DynIndex = 0; ///< dynamic index of the next (unexecuted) inst
+  int32_t Flat = -1;     ///< flat index of that instruction
+  int64_t Regs[NumRegs] = {};
+  /// Call stack: the flat index of each active Jsr, outermost first
+  /// (what Frame::JsrFlat holds inside the engine). Callee-saved
+  /// snapshots are not carried — resumed runs reject CheckCalleeSaved.
+  std::vector<int32_t> Frames;
+  uint64_t OutputLen = 0; ///< output-stream length at DynIndex
+};
 
 /// Dense dispatch token assigned to every instruction at decode time. The
 /// engine's inner loop dispatches on this instead of the sparser Op space:
@@ -63,6 +84,12 @@ enum DHandler : uint8_t {
 /// with pre-resolved control-flow edges and operand metadata.
 class DecodedProgram {
 public:
+  /// Code addresses start here; 4 bytes per instruction, functions laid
+  /// out in declaration order. Public so architectural-checkpoint
+  /// consumers (sample/) can map a record Pc back to its flat index:
+  /// flat == (Pc - CodeBase) / 4 by construction.
+  static constexpr uint64_t CodeBase = 0x1000;
+
   /// Why following an edge terminates the run instead of landing on an
   /// instruction.
   enum class EdgeFault : uint8_t {
@@ -197,9 +224,37 @@ struct SampleWindow {
 /// empty windows are skipped. The batch the sink sees flushes at every
 /// window end, so (unlike a full run) batches shorter than
 /// TraceBatchCapacity can appear mid-stream — one per window.
-RunResult runProgramWindowed(const DecodedProgram &DP,
-                             const RunOptions &Options,
-                             const std::vector<SampleWindow> &Windows);
+/// \p WindowEntry, when given, must parallel \p Windows: at the dynamic
+/// index where window i begins, the machine's register file is replaced
+/// with (*WindowEntry)[i]->Regs (null entries inject nothing). Sampled
+/// replay-vs-fast-forward comparisons use this to pin both modes to the
+/// same captured window-entry registers, so their detailed record
+/// streams match bit-for-bit even where the binaries' dead register
+/// bytes diverge. Injection breaks the callee-saved snapshot contract,
+/// so combining it with CheckCalleeSaved throws.
+RunResult runProgramWindowed(
+    const DecodedProgram &DP, const RunOptions &Options,
+    const std::vector<SampleWindow> &Windows,
+    const std::vector<const ArchState *> *WindowEntry = nullptr);
+
+/// Continues a run from \p From instead of the program entry: \p M must
+/// already hold the boundary's memory image (and any register/output
+/// state the caller wants observed — the engine overwrites registers
+/// from From.Regs and touches nothing else before dispatching). The run
+/// delivers \p Windows to Options.Sink exactly as runProgramWindowed
+/// would have from dynamic index From.DynIndex onward, and
+/// Options.Fuel counts from the resume point — so Fuel = End −
+/// From.DynIndex ends the run (status OutOfFuel) precisely at a
+/// window's end. Stats.DynInsts continues from From.DynIndex; class/
+/// width/value histograms, block counts, and Output cover only the
+/// resumed stretch. Requires a sink and a nonempty window list (this
+/// entry point exists for window replay, not general resumption) and
+/// throws std::invalid_argument on CheckCalleeSaved (the engine cannot
+/// reconstruct callee-saved snapshots for inherited frames).
+RunResult runProgramResumed(const DecodedProgram &DP,
+                            const RunOptions &Options,
+                            const std::vector<SampleWindow> &Windows,
+                            const ArchState &From, Machine &M);
 
 } // namespace og
 

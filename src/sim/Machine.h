@@ -105,6 +105,25 @@ public:
   /// data segment).
   void installData(uint64_t Addr, const std::vector<uint8_t> &Data);
 
+  /// Raw memory access for architectural checkpointing (sample/): the
+  /// capture pass snapshots dirty pages out of one machine and replay
+  /// splices them into another. Not for instruction semantics — loads
+  /// and stores go through the bounds-checked accessors above.
+  const uint8_t *memData() const { return Mem.data(); }
+  uint8_t *memData() { return Mem.data(); }
+
+  /// Whole register file, for checkpoint capture. Regs[RegZero] is
+  /// always zero by the writeReg invariant.
+  const int64_t *regs() const { return Regs; }
+
+  /// Bulk register-file restore, for checkpoint replay. Keeps the
+  /// RegZero invariant regardless of what \p V carries.
+  void setRegs(const int64_t (&V)[NumRegs]) {
+    for (unsigned R = 0; R < NumRegs; ++R)
+      Regs[R] = V[R];
+    Regs[RegZero] = 0;
+  }
+
   bool faulted() const { return Faulted; }
   const std::string &faultMessage() const { return FaultMessage; }
 

@@ -451,7 +451,9 @@ TEST(CheckpointWarmState, CheckpointedEstimateMatchesFullShadowEstimate) {
   // With a full-prefix shadow budget (WarmupFrac = 1, one window), the
   // shadow path replays the entire history before the window — which is
   // exactly what the checkpoint was captured from. The two estimates
-  // must agree bit-for-bit, not just within tolerance.
+  // must agree bit-for-bit, not just within tolerance. Capture is
+  // unconditional now, so the shadow path is exercised by estimating
+  // from the plan without passing the checkpoints.
   Workload W = makeWorkload("li", 0.1);
   DecodedProgram DP(W.Prog);
   SampleSpec Spec;
@@ -459,23 +461,16 @@ TEST(CheckpointWarmState, CheckpointedEstimateMatchesFullShadowEstimate) {
   Spec.K = 1;
   Spec.SamplesPerCluster = 1;
   Spec.WarmupFrac = 1.0;
-  Spec.CheckpointChaseMin = 1.5; // > 1: shadow path, no capture
 
-  const SampleArtifacts Shadowed =
-      prepareSampled(DP, W.Ref, UarchConfig(), Spec);
-  ASSERT_TRUE(Shadowed.Checkpoints.empty());
+  const SampleArtifacts Art = prepareSampled(DP, W.Ref, UarchConfig(), Spec);
+  ASSERT_EQ(Art.Checkpoints.size(), 1u);
   const SampleEstimate ES =
       runSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
-                 EnergyCoefficients::defaults(), Shadowed.Plan, Spec);
-
-  SampleSpec CkSpec = Spec;
-  CkSpec.CheckpointChaseMin = 0.0; // force capture
-  const SampleArtifacts Ckpt = prepareSampled(DP, W.Ref, UarchConfig(), CkSpec);
-  ASSERT_EQ(Ckpt.Checkpoints.size(), 1u);
+                 EnergyCoefficients::defaults(), Art.Plan, Spec);
   const SampleEstimate EC =
       runSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
-                 EnergyCoefficients::defaults(), Ckpt.Plan, CkSpec,
-                 &Ckpt.Checkpoints);
+                 EnergyCoefficients::defaults(), Art.Plan, Spec,
+                 &Art.Checkpoints);
 
   EXPECT_EQ(ES.Uarch.Insts, EC.Uarch.Insts);
   EXPECT_EQ(ES.Uarch.Cycles, EC.Uarch.Cycles);
@@ -497,7 +492,6 @@ TEST(CheckpointWarmState, MismatchedCheckpointCountIsRejected) {
   DecodedProgram DP(W.Prog);
   SampleSpec Spec;
   Spec.IntervalLen = 2000;
-  Spec.CheckpointChaseMin = 0.0;
   const SampleArtifacts Art = prepareSampled(DP, W.Ref, UarchConfig(), Spec);
   ASSERT_GT(Art.Checkpoints.size(), 1u);
   std::vector<CoreWarmState> Truncated = Art.Checkpoints;
@@ -506,6 +500,161 @@ TEST(CheckpointWarmState, MismatchedCheckpointCountIsRejected) {
                           EnergyCoefficients::defaults(), Art.Plan, Spec,
                           &Truncated),
                std::invalid_argument);
+}
+
+// ---------------------------------------------------------------------------
+// Architectural checkpoints and window-parallel replay
+
+/// Bit-level agreement between two sampled estimates: every hardware
+/// counter, the energy total, the detailed-instruction count, and the
+/// exact functional result. EXPECT_EQ (not EXPECT_DOUBLE_EQ) on the
+/// energy — the replay contract is byte-identity, not tolerance.
+void expectEstimatesBitIdentical(const SampleEstimate &A,
+                                 const SampleEstimate &B,
+                                 const std::string &What) {
+  EXPECT_EQ(A.Uarch.Insts, B.Uarch.Insts) << What;
+  EXPECT_EQ(A.Uarch.Cycles, B.Uarch.Cycles) << What;
+  EXPECT_EQ(A.Uarch.FetchGroups, B.Uarch.FetchGroups) << What;
+  EXPECT_EQ(A.Uarch.ICacheMisses, B.Uarch.ICacheMisses) << What;
+  EXPECT_EQ(A.Uarch.DL1Accesses, B.Uarch.DL1Accesses) << What;
+  EXPECT_EQ(A.Uarch.DL1Misses, B.Uarch.DL1Misses) << What;
+  EXPECT_EQ(A.Uarch.L2Accesses, B.Uarch.L2Accesses) << What;
+  EXPECT_EQ(A.Uarch.L2Misses, B.Uarch.L2Misses) << What;
+  EXPECT_EQ(A.Uarch.Branches, B.Uarch.Branches) << What;
+  EXPECT_EQ(A.Uarch.Mispredicts, B.Uarch.Mispredicts) << What;
+  EXPECT_EQ(A.Report.TotalEnergy, B.Report.TotalEnergy) << What;
+  EXPECT_EQ(A.DetailedInsts, B.DetailedInsts) << What;
+  EXPECT_EQ(A.Run.Stats.DynInsts, B.Run.Stats.DynInsts) << What;
+  EXPECT_EQ(A.Run.Output, B.Run.Output) << What;
+}
+
+TEST(ArchReplay, SerialParallelAndForcedFastForwardAgreeOnEveryWorkload) {
+  // The tentpole contract, on every standard workload: window replay
+  // from architectural checkpoints, the same replay spread over worker
+  // threads, and forced whole-stream fast-forward (with window-entry
+  // register injection) all produce bit-identical estimates.
+  SampleSpec Spec;
+  Spec.IntervalLen = 2000;
+  for (const std::string &Name : allWorkloadNames()) {
+    Workload W = makeWorkload(Name, 0.3);
+    DecodedProgram DP(W.Prog);
+    const SampleArtifacts Art = prepareSampled(DP, W.Ref, UarchConfig(), Spec);
+    ASSERT_EQ(Art.ArchCheckpoints.size(), Art.Checkpoints.size()) << Name;
+    ASSERT_FALSE(Art.ArchBudgetExceeded) << Name;
+    SampleRunPolicy Parallel;
+    Parallel.WindowJobs = 8;
+    SampleRunPolicy Forced;
+    Forced.ForceFastForward = true;
+    const SampleEstimate Serial =
+        runSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
+                   EnergyCoefficients::defaults(), Art, Spec);
+    const SampleEstimate Threaded =
+        runSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
+                   EnergyCoefficients::defaults(), Art, Spec, Parallel);
+    const SampleEstimate FastForwarded =
+        runSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
+                   EnergyCoefficients::defaults(), Art, Spec, Forced);
+    EXPECT_TRUE(Serial.Replayed) << Name;
+    EXPECT_TRUE(Threaded.Replayed) << Name;
+    EXPECT_FALSE(FastForwarded.Replayed) << Name;
+    expectEstimatesBitIdentical(Serial, Threaded, Name + ": jobs=1 vs 8");
+    expectEstimatesBitIdentical(Serial, FastForwarded,
+                                Name + ": replay vs fast-forward");
+  }
+}
+
+TEST(ArchReplay, BudgetFallbackCountsAndKeepsEstimatesValid) {
+  // A capture budget too small for even one checkpoint: the arch capture
+  // is abandoned and flagged, warm checkpoints survive untouched, and
+  // estimation falls back to classic checkpointed fast-forward —
+  // bit-identical to calling the plan-level path directly.
+  Workload W = makeWorkload("compress", 0.05);
+  DecodedProgram DP(W.Prog);
+  SampleSpec Spec;
+  Spec.IntervalLen = 2000;
+  Spec.ArchCheckpointMaxBytes = 1;
+  const SampleArtifacts Art = prepareSampled(DP, W.Ref, UarchConfig(), Spec);
+  EXPECT_TRUE(Art.ArchCheckpoints.empty());
+  EXPECT_TRUE(Art.ArchBudgetExceeded);
+  EXPECT_GT(Art.ArchBytes, 1u); // what the meter saw when it tripped
+  ASSERT_FALSE(Art.Checkpoints.empty());
+  const SampleEstimate Fallback =
+      runSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
+                 EnergyCoefficients::defaults(), Art, Spec);
+  EXPECT_FALSE(Fallback.Replayed);
+  const SampleEstimate Classic =
+      runSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
+                 EnergyCoefficients::defaults(), Art.Plan, Spec,
+                 &Art.Checkpoints);
+  expectEstimatesBitIdentical(Fallback, Classic, "fallback vs classic");
+}
+
+/// Store-heavy loop whose writes straddle the 4 KiB page boundary
+/// (unaligned quads at 4090..4135) and land inside the last, partial
+/// page of a deliberately non-page-multiple memory — the two clamping
+/// paths of dirty-page capture and delta splicing.
+Program dirtyPageTortureProgram(int64_t Iters, uint64_t MemBytes) {
+  ProgramBuilder PB;
+  FunctionBuilder &F = PB.beginFunction("main");
+  F.block("entry");
+  F.ldi(RegT0, 0); // counter
+  F.ldi(RegT2, 0); // checksum
+  F.block("loop");
+  F.andi(RegT1, RegT0, 15);
+  F.muli(RegT1, RegT1, 3);
+  F.addi(RegT1, RegT1, 4090);
+  F.st(Width::Q, RegT0, RegT1, 0); // straddles pages 0/1
+  F.ld(Width::Q, RegT3, RegT1, 0);
+  F.add(RegT2, RegT2, RegT3);
+  F.ldi(RegT4, static_cast<int64_t>(MemBytes - 16));
+  F.andi(RegT5, RegT0, 7);
+  F.add(RegT4, RegT4, RegT5);
+  F.st(Width::Q, RegT2, RegT4, 0); // inside the final partial page
+  F.ld(Width::B, RegT3, RegT4, 0);
+  F.add(RegT2, RegT2, RegT3);
+  F.addi(RegT0, RegT0, 1);
+  F.cmpltImm(RegT1, RegT0, Iters);
+  F.bne(RegT1, "loop", "exit");
+  F.block("exit");
+  F.out(RegT2);
+  F.halt();
+  return PB.finish();
+}
+
+TEST(ArchReplay, DirtyPagesCrossPageAndMemoryEndBoundaries) {
+  // Memory must cover the data segment base (0x10000); the extra 1000
+  // bytes leave the final page partial so page capture has to clamp.
+  const uint64_t MemBytes = (1u << 16) + 4096 + 1000;
+  Program P = dirtyPageTortureProgram(2000, MemBytes);
+  DecodedProgram DP(P);
+  RunOptions Ref;
+  Ref.Machine.MemBytes = MemBytes;
+  RunResult Exact = runProgram(DP, Ref);
+  ASSERT_EQ(Exact.Status, RunStatus::Halted);
+  SampleSpec Spec;
+  Spec.IntervalLen = 1000;
+  const SampleArtifacts Art = prepareSampled(DP, Ref, UarchConfig(), Spec);
+  ASSERT_FALSE(Art.ArchCheckpoints.empty());
+  EXPECT_FALSE(Art.ArchBudgetExceeded);
+  SampleRunPolicy Parallel;
+  Parallel.WindowJobs = 4;
+  SampleRunPolicy Forced;
+  Forced.ForceFastForward = true;
+  const SampleEstimate Replay =
+      runSampled(DP, Ref, UarchConfig(), GatingScheme::Software,
+                 EnergyCoefficients::defaults(), Art, Spec);
+  const SampleEstimate Threaded =
+      runSampled(DP, Ref, UarchConfig(), GatingScheme::Software,
+                 EnergyCoefficients::defaults(), Art, Spec, Parallel);
+  const SampleEstimate FastForwarded =
+      runSampled(DP, Ref, UarchConfig(), GatingScheme::Software,
+                 EnergyCoefficients::defaults(), Art, Spec, Forced);
+  EXPECT_TRUE(Replay.Replayed);
+  EXPECT_EQ(Replay.Run.Output, Exact.Output);
+  EXPECT_EQ(Replay.Uarch.Insts, Exact.Stats.DynInsts);
+  expectEstimatesBitIdentical(Replay, Threaded, "torture: jobs=1 vs 4");
+  expectEstimatesBitIdentical(Replay, FastForwarded,
+                              "torture: replay vs fast-forward");
 }
 
 // ---------------------------------------------------------------------------
@@ -575,26 +724,29 @@ TEST(SampledEstimation, ErrorBoundsOnEveryStandardWorkload) {
 TEST(SampledEstimation, SingleIntervalProgramWorksOnBothWarmingPaths) {
   // An interval longer than the whole run degenerates to one interval,
   // one cluster, and one window starting at instruction 0 — i.e. empty
-  // warm-up and (on the checkpoint path) a capture at index 0, which is
-  // the pristine core. Both warming paths must handle it gracefully.
+  // warm-up and a capture at index 0, which is the pristine core and
+  // the pristine machine. Both estimation paths (window replay and, with
+  // arch capture disabled, classic checkpointed fast-forward) must
+  // handle it gracefully.
   Workload W = makeWorkload("compress", 0.02);
   DecodedProgram DP(W.Prog);
   RunResult RF = runProgram(DP, W.Ref);
   ASSERT_EQ(RF.Status, RunStatus::Halted);
-  for (const double ChaseMin : {0.0, 2.0}) {
+  for (const uint64_t MaxBytes : {uint64_t(64) << 20, uint64_t(0)}) {
     SampleSpec Spec;
     Spec.IntervalLen = RF.Stats.DynInsts * 2; // single interval
-    Spec.CheckpointChaseMin = ChaseMin;
+    Spec.ArchCheckpointMaxBytes = MaxBytes;
     SampleEstimate Est =
         estimateSampled(DP, W.Ref, UarchConfig(), GatingScheme::Software,
                         EnergyCoefficients::defaults(), Spec);
-    ASSERT_EQ(Est.Run.Status, RunStatus::Halted) << ChaseMin;
-    EXPECT_EQ(Est.Plan.numIntervals(), 1u) << ChaseMin;
-    EXPECT_EQ(Est.Plan.K, 1u) << ChaseMin;
-    EXPECT_EQ(Est.Run.Output, RF.Output) << ChaseMin;
+    ASSERT_EQ(Est.Run.Status, RunStatus::Halted) << MaxBytes;
+    EXPECT_EQ(Est.Plan.numIntervals(), 1u) << MaxBytes;
+    EXPECT_EQ(Est.Plan.K, 1u) << MaxBytes;
+    EXPECT_EQ(Est.Run.Output, RF.Output) << MaxBytes;
     EXPECT_EQ(Est.Uarch.Insts, RF.Stats.DynInsts)
-        << ChaseMin << ": committed-instruction estimate must stay exact";
-    EXPECT_GT(Est.Uarch.Cycles, 0u) << ChaseMin;
+        << MaxBytes << ": committed-instruction estimate must stay exact";
+    EXPECT_GT(Est.Uarch.Cycles, 0u) << MaxBytes;
+    EXPECT_EQ(Est.Replayed, MaxBytes != 0) << MaxBytes;
   }
 }
 

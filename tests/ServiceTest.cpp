@@ -20,6 +20,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <set>
 #include <thread>
@@ -209,6 +210,70 @@ TEST(ResultCacheTest, ForeignFileUnderAddressMissesAsKeyMismatch) {
   EXPECT_EQ(Cache.counters().KeyMismatch, 1u);
 }
 
+TEST(ResultCacheTest, UsageScansEntriesAndBytes) {
+  ResultCache Cache(freshDir("usage"));
+  EXPECT_EQ(Cache.usage().Entries, 0u);
+  EXPECT_EQ(Cache.usage().Bytes, 0u);
+
+  StoredCell S = storeOneCell(Cache);
+  const ResultCache::Usage U = Cache.usage();
+  EXPECT_EQ(U.Entries, 1u);
+  EXPECT_EQ(U.Bytes, std::filesystem::file_size(S.Path));
+
+  ResultCache Disabled("");
+  EXPECT_EQ(Disabled.usage().Entries, 0u);
+}
+
+TEST(ResultCacheTest, MaxBytesEvictsOldestFirstNeverTheJustStoredCell) {
+  const std::string Dir = freshDir("evict");
+  Workload W = makeWorkload("compress", 0.02);
+  std::vector<ExperimentSpec> Specs = makeStandardSweep({"compress"}, 0.02);
+  ASSERT_GE(Specs.size(), 4u);
+  auto CellFor = [&](const ExperimentSpec &S) {
+    return ResultAggregator::makeCell(S, runPipeline(W, S.Config));
+  };
+
+  // Fill three cells through an unbounded cache, then back-date them
+  // with strictly increasing age gaps so the eviction order is
+  // deterministic regardless of store timing granularity.
+  ResultCache Unbounded(Dir);
+  std::vector<std::string> Paths;
+  for (size_t I = 0; I < 3; ++I) {
+    CellKey K = makeCellKey(Specs[I], W);
+    Unbounded.store(K, CellFor(Specs[I]));
+    Paths.push_back(Dir + "/" + K.address() + ".json");
+  }
+  const auto Newest = std::filesystem::last_write_time(Paths.back());
+  for (size_t I = 0; I < 3; ++I)
+    std::filesystem::last_write_time(
+        Paths[I], Newest - std::chrono::hours(3 - static_cast<int>(I)));
+  const ResultCache::Usage Full = Unbounded.usage();
+  ASSERT_EQ(Full.Entries, 3u);
+  EXPECT_EQ(Unbounded.counters().Evictions, 0u);
+
+  // Budget = the current total: storing a fourth cell goes over, and
+  // the sweep removes the oldest entries until the directory fits.
+  ResultCache Bounded(Dir, Full.Bytes);
+  CellKey Fourth = makeCellKey(Specs[3], W);
+  Bounded.store(Fourth, CellFor(Specs[3]));
+  const std::string FourthPath = Dir + "/" + Fourth.address() + ".json";
+  EXPECT_TRUE(std::filesystem::exists(FourthPath));
+  EXPECT_FALSE(std::filesystem::exists(Paths[0])); // oldest goes first
+  EXPECT_LE(Bounded.usage().Bytes, Full.Bytes);
+  EXPECT_GE(Bounded.counters().Evictions, 1u);
+  EXPECT_GT(Bounded.counters().EvictedBytes, 0u);
+
+  // A budget smaller than any single cell still keeps the cell just
+  // stored (a store must stay useful) and clears everything else.
+  ResultCache Tiny(Dir, 1);
+  CellKey First = makeCellKey(Specs[0], W);
+  Tiny.store(First, CellFor(Specs[0]));
+  const ResultCache::Usage After = Tiny.usage();
+  EXPECT_EQ(After.Entries, 1u);
+  EXPECT_TRUE(
+      std::filesystem::exists(Dir + "/" + First.address() + ".json"));
+}
+
 TEST(ResultCacheTest, DisabledCacheCountsMissesAndStoresNothing) {
   ResultCache Cache("");
   EXPECT_FALSE(Cache.enabled());
@@ -292,9 +357,15 @@ TEST(ReportOptionsTest, OneValidationPath) {
   EXPECT_EQ(validateReportOptions(R, true, false), "");
   EXPECT_NE(validateReportOptions(R, false, false), ""); // sweep-only
 
-  // --sample outside sweep mode is rejected through the same path.
-  EXPECT_NE(validateReportOptions(ReportOptions(), false, true), "");
+  // --sample in single-program mode needs the detailed model, and
+  // conflicts with --timing-line (estimation is not a dispatch-loop
+  // measurement); with --uarch it is valid.
+  EXPECT_NE(validateReportOptions(ReportOptions(), false, true, false), "");
+  EXPECT_EQ(validateReportOptions(ReportOptions(), false, true, true), "");
   EXPECT_EQ(validateReportOptions(ReportOptions(), true, true), "");
+  ReportOptions TL;
+  TL.TimingLine = true;
+  EXPECT_NE(validateReportOptions(TL, false, true, true), "");
 }
 
 // --- SweepService --------------------------------------------------------

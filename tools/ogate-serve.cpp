@@ -9,7 +9,8 @@
 // writes, byte-identical whether a cell was computed, deduplicated, or
 // loaded from cache.
 //
-//   ogate-serve --socket=PATH [--cache-dir=DIR] [--jobs=N] [--keep-going]
+//   ogate-serve --socket=PATH [--cache-dir=DIR] [--max-cache-bytes=N]
+//               [--jobs=N] [--keep-going]
 //     Serve mode (default): listen on PATH until a shutdown request.
 //     One line per request, one line per response (compact JSON; see
 //     "Protocol" below). Connections are handled concurrently; identical
@@ -32,7 +33,9 @@
 //   <- {"ok":true,"report":{...sweep document...},
 //       "served":{"cells":N,"hits":H,"misses":M,"inflight-dedup":D}}
 //   -> {"method":"ping"}       <- {"ok":true,"pong":true}
-//   -> {"method":"counters"}   <- {"ok":true,"cache":{...lifetime...}}
+//   -> {"method":"counters"}   <- {"ok":true,"cache":{...lifetime traffic
+//                                  + eviction counters...},"usage":
+//                                  {"entries":N,"bytes":B}}
 //   -> {"method":"shutdown"}   <- {"ok":true,"stopping":true}
 //   any failure:               <- {"ok":false,"error":"..."}
 //
@@ -137,6 +140,7 @@ JsonValue handleSweep(Server &S, const JsonValue &Msg) {
 
 JsonValue handleCounters(Server &S) {
   const ResultCache::Counters C = S.Service.cacheCounters();
+  const ResultCache::Usage U = S.Service.cacheUsage();
   JsonValue V = okResponse();
   JsonValue Cache = JsonValue::object();
   Cache.set("hits", JsonValue::integer(C.Hits));
@@ -145,7 +149,15 @@ JsonValue handleCounters(Server &S) {
   Cache.set("key-mismatch", JsonValue::integer(C.KeyMismatch));
   Cache.set("stores", JsonValue::integer(C.Stores));
   Cache.set("store-failures", JsonValue::integer(C.StoreFailures));
+  Cache.set("evictions", JsonValue::integer(C.Evictions));
+  Cache.set("evicted-bytes", JsonValue::integer(C.EvictedBytes));
   V.set("cache", std::move(Cache));
+  // Scanned from disk, so it reflects the directory as it is now —
+  // including entries stored or evicted by other server processes.
+  JsonValue Usage = JsonValue::object();
+  Usage.set("entries", JsonValue::integer(U.Entries));
+  Usage.set("bytes", JsonValue::integer(U.Bytes));
+  V.set("usage", std::move(Usage));
   return V;
 }
 
@@ -196,12 +208,13 @@ int runServe(const std::string &SocketPath, ServiceOptions SO) {
     std::cerr << "ogate-serve: " << Err << "\n";
     return 1;
   }
+  const ServiceOptions &O = S.Service.options();
   std::cerr << "ogate-serve: listening on " << SocketPath << " (jobs "
-            << S.Service.options().Jobs << ", cache "
-            << (S.Service.options().CacheDir.empty()
-                    ? "disabled"
-                    : S.Service.options().CacheDir)
-            << ")\n";
+            << O.Jobs << ", cache "
+            << (O.CacheDir.empty() ? "disabled" : O.CacheDir);
+  if (O.MaxCacheBytes > 0)
+    std::cerr << ", cap " << O.MaxCacheBytes << " bytes";
+  std::cerr << ")\n";
 
   std::vector<std::thread> Threads;
   for (;;) {
@@ -349,8 +362,9 @@ int runStop(const std::string &SocketPath) {
 
 int usage() {
   std::cerr
-      << "usage: ogate-serve --socket=PATH [--cache-dir=DIR] [--jobs=N] "
-         "[--keep-going]\n"
+      << "usage: ogate-serve --socket=PATH [--cache-dir=DIR] "
+         "[--max-cache-bytes=N]\n"
+         "                   [--jobs=N] [--keep-going]\n"
          "       ogate-serve request --socket=PATH [--sweep=standard|matrix] "
          "[--scale=S]\n"
          "                   [--workloads=a,b] [--sample=L[:K]] [--opt-stats] "
@@ -388,6 +402,10 @@ int main(int argc, char **argv) {
       SocketPath = Arg.substr(9);
     } else if (Mode == "serve" && Arg.rfind("--cache-dir=", 0) == 0) {
       SO.CacheDir = Arg.substr(12);
+    } else if (Mode == "serve" && Arg.rfind("--max-cache-bytes=", 0) == 0) {
+      SO.MaxCacheBytes =
+          Cli.parseU64("--max-cache-bytes", Arg.substr(18),
+                       "want a cache size budget in bytes >= 1", 1);
     } else if (Mode == "serve" && Arg.rfind("--jobs=", 0) == 0) {
       SO.Jobs = static_cast<unsigned>(
           Cli.parseU64("--jobs", Arg.substr(7), "want a worker count >= 1", 1,
@@ -417,6 +435,13 @@ int main(int argc, char **argv) {
   if (SocketPath.empty()) {
     std::cerr << "ogate-serve: --socket=PATH is required\n";
     return usage();
+  }
+  if (SO.MaxCacheBytes > 0 && SO.CacheDir.empty()) {
+    // Same rule as the report flags: never silently ignore a flag the
+    // configuration cannot honor.
+    std::cerr << "ogate-serve: --max-cache-bytes bounds the persistent cell "
+                 "cache and needs --cache-dir=DIR alongside it\n";
+    return 1;
   }
 
   if (Mode == "serve")

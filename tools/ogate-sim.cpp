@@ -25,6 +25,19 @@
 //                       ogate-report JSON document (src/report/);
 //                       "-" writes the document to stdout (the human
 //                       text moves to stderr so the stream stays pure)
+//     --sample=L[:K]    with --uarch/--scheme: estimate the timing/
+//                       energy report by phase-sampled simulation
+//                       instead of simulating every instruction in
+//                       detail (the run document gains a "sample"
+//                       group; functional output stays exact). Requires
+//                       the detailed model and conflicts with
+//                       --timing-line.
+//     --sample-jobs=N   worker threads for window-parallel sampled
+//                       replay (default 1; results are byte-identical
+//                       at any value — a pure latency knob). In sweep
+//                       mode this parallelizes inside each cell, so
+//                       combine with --jobs thoughtfully: total threads
+//                       scale with the product.
 //
 //   ogate-sim --sweep[=standard|matrix]   sweep mode (no input file)
 //     --jobs=N          worker threads (default 1; serial and parallel
@@ -40,9 +53,8 @@
 //                       coverage floor). Timing/energy become estimates
 //                       (cells carry a "sample" group; `ogate-report
 //                       diff` widens its rules accordingly); functional
-//                       counters stay exact. Only meaningful where a
-//                       detailed ref cell runs, so it is rejected
-//                       outside --sweep mode like --opt-stats.
+//                       counters stay exact. Also valid in
+//                       single-program mode alongside --uarch (above).
 //     --json=PATH       write the aggregate as JSON; byte-identical for
 //                       any --jobs value (no wall-clock in the document);
 //                       "-" writes it to stdout (the aggregate table
@@ -92,7 +104,8 @@ using namespace og;
 
 namespace {
 
-int runSweepMode(const SweepRequest &Request, unsigned Jobs, bool KeepGoing,
+int runSweepMode(const SweepRequest &Request, unsigned Jobs,
+                 unsigned SampleJobs, bool KeepGoing,
                  const std::string &JsonPath, const std::string &CacheDir) {
   // Resolve the request up front so a bad workload list or sweep kind
   // dies with its diagnostic before any thread spins up, and the
@@ -111,6 +124,7 @@ int runSweepMode(const SweepRequest &Request, unsigned Jobs, bool KeepGoing,
 
   ServiceOptions SO;
   SO.Jobs = Jobs;
+  SO.SampleWindowJobs = SampleJobs;
   SO.KeepGoing = KeepGoing;
   SO.CacheDir = CacheDir;
   SweepService Service(SO);
@@ -166,7 +180,7 @@ int main(int argc, char **argv) {
   bool Sweep = false, KeepGoing = false;
   SweepRequest Request;
   std::string JsonPath, CacheDir;
-  unsigned Jobs = 1;
+  unsigned Jobs = 1, SampleJobs = 1;
 
   for (int I = 1; I < argc; ++I) {
     std::string Arg = argv[I];
@@ -220,6 +234,13 @@ int main(int argc, char **argv) {
       Jobs = static_cast<unsigned>(
           Cli.parseU64("--jobs", argv[++I], "want a worker count >= 1", 1,
                        std::numeric_limits<unsigned>::max()));
+    } else if (Arg.rfind("--sample-jobs=", 0) == 0) {
+      // Valid in both modes: window-replay threads inside each sampled
+      // cell (single-run) / each sweep cell. Never changes results.
+      SampleJobs = static_cast<unsigned>(
+          Cli.parseU64("--sample-jobs", Arg.substr(14),
+                       "want a worker count >= 1", 1,
+                       std::numeric_limits<unsigned>::max()));
     } else if (Arg.rfind("--json=", 0) == 0) {
       JsonPath = Arg.substr(7);
       if (JsonPath.empty()) {
@@ -238,11 +259,12 @@ int main(int argc, char **argv) {
     } else if (Arg == "--help" || Arg == "-h") {
       std::cerr << "usage: ogate-sim [--arg=N]... [--uarch] "
                    "[--scheme=none|sw|hwsig|hwsize|combined] [--stats] "
-                   "[--fuel=N] [--timing-line] [--json=PATH|-] input.s\n"
+                   "[--fuel=N] [--timing-line] [--sample=L[:K]] "
+                   "[--sample-jobs=N] [--json=PATH|-] input.s\n"
                    "       ogate-sim --sweep[=standard|matrix] [--jobs N] "
                    "[--scale=S] [--workloads=a,b] [--keep-going] "
                    "[--json=PATH|-] [--cache-dir=DIR] [--sample=L[:K]] "
-                   "[--opt-stats] [--engine-stats]\n";
+                   "[--sample-jobs=N] [--opt-stats] [--engine-stats]\n";
       return 0;
     } else if (!Arg.empty() && Arg[0] == '-') {
       std::cerr << "ogate-sim: unknown option '" << Arg << "'\n";
@@ -257,7 +279,7 @@ int main(int argc, char **argv) {
   // The one validation path for report-option combinations (shared with
   // `ogate-serve`): first conflict wins, printed with the tool prefix.
   if (const std::string Bad = validateReportOptions(
-          Request.Report, Sweep, Request.Sample.enabled());
+          Request.Report, Sweep, Request.Sample.enabled(), Uarch);
       !Bad.empty()) {
     std::cerr << "ogate-sim: " << Bad << "\n";
     return 1;
@@ -268,8 +290,8 @@ int main(int argc, char **argv) {
       std::cerr << "ogate-sim: --sweep takes no input file\n";
       return 1;
     }
-    return runSweepMode(Request, Jobs < 1 ? 1 : Jobs, KeepGoing, JsonPath,
-                        CacheDir);
+    return runSweepMode(Request, Jobs < 1 ? 1 : Jobs, SampleJobs, KeepGoing,
+                        JsonPath, CacheDir);
   }
 
   if (InputPath.empty()) {
@@ -297,7 +319,8 @@ int main(int argc, char **argv) {
 
   EnergyModel EM(Scheme);
   OooCore Core(UarchConfig(), &EM);
-  if (Uarch)
+  const bool Sampled = Request.Sample.enabled();
+  if (Uarch && !Sampled)
     Opts.Sink = &Core; // the core consumes the trace in batches
 
   const bool TimingLine = Request.Report.TimingLine;
@@ -320,7 +343,42 @@ int main(int argc, char **argv) {
                            std::chrono::steady_clock::now() - PrepStart)
                            .count();
   auto RunStart = std::chrono::steady_clock::now();
-  RunResult R = runProgram(Decoded, Opts);
+  RunResult R;
+  UarchStats S;
+  EnergyReport Rep;
+  PipelineSampleInfo SampleInfo;
+  if (Sampled) {
+    // Phase-sampled estimation: exact functional result from one
+    // full-speed pass, detailed timing/energy from replayed windows
+    // (window-parallel under --sample-jobs; byte-identical either way).
+    try {
+      SampleRunPolicy Policy;
+      Policy.WindowJobs = SampleJobs;
+      SampleEstimate Est =
+          estimateSampled(Decoded, Opts, UarchConfig(), Scheme,
+                          EnergyCoefficients::defaults(), Request.Sample,
+                          Policy);
+      R = Est.Run;
+      S = Est.Uarch;
+      Rep = Est.Report;
+      SampleInfo.Used = true;
+      SampleInfo.IntervalLen = Est.Plan.IntervalLen;
+      SampleInfo.Intervals = Est.Plan.numIntervals();
+      SampleInfo.K = Est.Plan.K;
+      SampleInfo.DetailedInsts = Est.DetailedInsts;
+      SampleInfo.Weights = Est.Plan.Weights;
+      SampleInfo.Reps = Est.Plan.Reps;
+      SampleInfo.EstError = Est.Plan.Dispersion;
+    } catch (const std::exception &E) {
+      // prepareSampled validates the run halts; a faulting or
+      // out-of-fuel program has no phases to sample.
+      std::cerr << "ogate-sim: sampled estimation failed: " << E.what()
+                << "\n";
+      return 1;
+    }
+  } else {
+    R = runProgram(Decoded, Opts);
+  }
   double RunSeconds = std::chrono::duration<double>(
                           std::chrono::steady_clock::now() - RunStart)
                           .count();
@@ -364,11 +422,11 @@ int main(int argc, char **argv) {
     T.print(Out);
   }
 
-  UarchStats S;
-  EnergyReport Rep;
   if (Uarch) {
-    S = Core.finish();
-    Rep = makeReport(EM, S);
+    if (!Sampled) {
+      S = Core.finish();
+      Rep = makeReport(EM, S);
+    }
     Out << "cycles: " << S.Cycles << "  (IPC "
         << TextTable::num(S.ipc(), 2) << ")\n"
         << "branches: " << S.Branches << " (" << S.Mispredicts
@@ -378,6 +436,12 @@ int main(int argc, char **argv) {
         << "energy (" << gatingSchemeName(Scheme)
         << "): " << TextTable::num(Rep.TotalEnergy, 1) << "  ED^2 "
         << TextTable::num(Rep.ed2(), 1) << "\n";
+    if (Sampled)
+      Out << "sampled: " << SampleInfo.Intervals << " intervals of "
+          << SampleInfo.IntervalLen << ", k " << SampleInfo.K
+          << ", detailed " << SampleInfo.DetailedInsts
+          << " insts (timing/energy are estimates; counters above the "
+             "line stay exact)\n";
   }
 
   if (!JsonPath.empty()) {
@@ -412,6 +476,10 @@ int main(int argc, char **argv) {
       Doc.set("uarch", toJson(S));
       Doc.set("energy", toJson(Rep));
     }
+    if (Sampled)
+      // Same group shape as sampled sweep cells; its presence is what
+      // keys `ogate-report diff` onto estimated-counter tolerances.
+      Doc.set("sample", sampleToJson(SampleInfo));
     if (TimingLine) {
       Doc.set("dispatch", JsonValue::str(dispatchModeName(ActiveDispatch)));
       // Wall-clock lives under "metrics" so `ogate-report diff` applies
