@@ -120,6 +120,11 @@ bool lexLine(const std::string &Raw, std::string &Label,
     Start = Pos;
     if (C == '#' || C == '=' || C == '-' || C == '+')
       ++Pos;
+    // '#' and '=' may prefix a signed literal ("#-1607"): keep the sign
+    // in the same token.
+    if ((C == '#' || C == '=') && Pos < Text.size() &&
+        (Text[Pos] == '-' || Text[Pos] == '+'))
+      ++Pos;
     while (Pos < Text.size() && isIdentChar(Text[Pos]))
       ++Pos;
     if (Pos == Start)

@@ -1,0 +1,194 @@
+//===- frontend/ElfFile.cpp -----------------------------------------------==//
+
+#include "frontend/ElfFile.h"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+
+using namespace og;
+
+namespace {
+
+// The only structure sizes the reader touches; fixed by the ELF32 spec.
+constexpr size_t EhdrSize = 52;
+constexpr size_t PhdrSize = 32;
+constexpr size_t ShdrSize = 40;
+constexpr size_t SymSize = 16;
+
+constexpr uint32_t PT_LOAD = 1;
+constexpr uint32_t SHT_SYMTAB = 2;
+
+/// Bounds-checked little-endian field reads over the file image.
+class Reader {
+public:
+  explicit Reader(const std::vector<uint8_t> &B) : B(B) {}
+
+  bool inBounds(uint64_t Off, uint64_t Len) const {
+    return Off + Len <= B.size() && Off + Len >= Off;
+  }
+
+  uint16_t u16(size_t Off) const {
+    return static_cast<uint16_t>(B[Off] | (B[Off + 1] << 8));
+  }
+
+  uint32_t u32(size_t Off) const {
+    return static_cast<uint32_t>(B[Off]) |
+           (static_cast<uint32_t>(B[Off + 1]) << 8) |
+           (static_cast<uint32_t>(B[Off + 2]) << 16) |
+           (static_cast<uint32_t>(B[Off + 3]) << 24);
+  }
+
+private:
+  const std::vector<uint8_t> &B;
+};
+
+Expected<ElfFile> bad(const std::string &What) {
+  return makeError<ElfFile>("ELF: " + What);
+}
+
+} // namespace
+
+Expected<ElfFile> ElfFile::parse(std::vector<uint8_t> Bytes) {
+  const Reader R(Bytes);
+  if (Bytes.size() < EhdrSize)
+    return bad("file too small for an ELF32 header (" +
+               std::to_string(Bytes.size()) + " bytes)");
+  if (Bytes[0] != 0x7F || Bytes[1] != 'E' || Bytes[2] != 'L' ||
+      Bytes[3] != 'F')
+    return bad("bad magic (not an ELF file)");
+  if (Bytes[4] != 1)
+    return bad("not ELFCLASS32 (64-bit binaries are out of contract)");
+  if (Bytes[5] != 1)
+    return bad("not little-endian");
+  if (Bytes[6] != 1)
+    return bad("unknown ELF identification version");
+
+  const uint16_t Type = R.u16(16);
+  if (Type != 2)
+    return bad("not ET_EXEC (only statically linked, position-dependent "
+               "executables are supported)");
+  const uint16_t Machine = R.u16(18);
+  if (Machine != 243)
+    return bad("machine is not EM_RISCV (e_machine=" +
+               std::to_string(Machine) + ")");
+  if (R.u32(20) != 1)
+    return bad("unknown ELF version");
+
+  ElfFile E;
+  E.Entry = R.u32(24);
+
+  const uint32_t Phoff = R.u32(28);
+  const uint16_t Phentsize = R.u16(42);
+  const uint16_t Phnum = R.u16(44);
+  if (Phnum == 0)
+    return bad("no program headers (nothing to load)");
+  if (Phentsize != PhdrSize)
+    return bad("unexpected program-header entry size " +
+               std::to_string(Phentsize));
+  if (!R.inBounds(Phoff, static_cast<uint64_t>(Phnum) * PhdrSize))
+    return bad("program-header table extends past end of file");
+
+  for (uint16_t I = 0; I < Phnum; ++I) {
+    const size_t Off = Phoff + static_cast<size_t>(I) * PhdrSize;
+    if (R.u32(Off) != PT_LOAD)
+      continue;
+    ElfSegment S;
+    S.FileOffset = R.u32(Off + 4);
+    S.Vaddr = R.u32(Off + 8);
+    S.FileSize = R.u32(Off + 16);
+    S.MemSize = R.u32(Off + 20);
+    S.Flags = R.u32(Off + 24);
+    if (S.FileSize > S.MemSize)
+      return bad("segment filesz exceeds memsz");
+    if (!R.inBounds(S.FileOffset, S.FileSize))
+      return bad("segment file range extends past end of file");
+    if (S.Vaddr + S.MemSize < S.Vaddr)
+      return bad("segment address range wraps the 32-bit space");
+    if (S.MemSize == 0)
+      continue; // nothing to map
+    E.Segments.push_back(S);
+  }
+  if (E.Segments.empty())
+    return bad("no loadable (PT_LOAD) segments");
+
+  std::sort(E.Segments.begin(), E.Segments.end(),
+            [](const ElfSegment &A, const ElfSegment &B) {
+              return A.Vaddr < B.Vaddr;
+            });
+  for (size_t I = 1; I < E.Segments.size(); ++I)
+    if (E.Segments[I - 1].Vaddr + E.Segments[I - 1].MemSize >
+        E.Segments[I].Vaddr)
+      return bad("loadable segments overlap");
+
+  bool EntryInExec = false;
+  for (const ElfSegment &S : E.Segments)
+    if (S.isExec() && E.Entry >= S.Vaddr && E.Entry < S.Vaddr + S.MemSize)
+      EntryInExec = true;
+  if (!EntryInExec)
+    return bad("entry point is not inside an executable segment");
+
+  // Section headers are optional; when present, pull the symbol table so
+  // the lifter can seed function discovery and name what it finds.
+  const uint32_t Shoff = R.u32(32);
+  const uint16_t Shentsize = R.u16(46);
+  const uint16_t Shnum = R.u16(48);
+  if (Shoff != 0 && Shnum != 0) {
+    if (Shentsize != ShdrSize)
+      return bad("unexpected section-header entry size " +
+                 std::to_string(Shentsize));
+    if (!R.inBounds(Shoff, static_cast<uint64_t>(Shnum) * ShdrSize))
+      return bad("section-header table extends past end of file");
+    for (uint16_t I = 0; I < Shnum; ++I) {
+      const size_t Off = Shoff + static_cast<size_t>(I) * ShdrSize;
+      if (R.u32(Off + 4) != SHT_SYMTAB)
+        continue;
+      const uint32_t SymOff = R.u32(Off + 16);
+      const uint32_t SymBytes = R.u32(Off + 20);
+      const uint32_t StrIdx = R.u32(Off + 24);
+      if (!R.inBounds(SymOff, SymBytes) || SymBytes % SymSize != 0)
+        return bad("malformed symbol table");
+      if (StrIdx >= Shnum)
+        return bad("symbol table names a bad string-table section");
+      const size_t StrShdr = Shoff + static_cast<size_t>(StrIdx) * ShdrSize;
+      const uint32_t StrOff = R.u32(StrShdr + 16);
+      const uint32_t StrBytes = R.u32(StrShdr + 20);
+      if (!R.inBounds(StrOff, StrBytes))
+        return bad("string table extends past end of file");
+      for (uint32_t S = 0; S < SymBytes / SymSize; ++S) {
+        const size_t SOff = SymOff + static_cast<size_t>(S) * SymSize;
+        ElfSymbol Sym;
+        const uint32_t NameOff = R.u32(SOff);
+        Sym.Value = R.u32(SOff + 4);
+        Sym.Size = R.u32(SOff + 8);
+        Sym.Type = Bytes[SOff + 12] & 0xF;
+        if (NameOff != 0) {
+          if (NameOff >= StrBytes)
+            return bad("symbol name offset outside string table");
+          const char *Start =
+              reinterpret_cast<const char *>(Bytes.data()) + StrOff + NameOff;
+          const void *Nul = std::memchr(Start, 0, StrBytes - NameOff);
+          if (!Nul)
+            return bad("unterminated symbol name in string table");
+          Sym.Name.assign(Start, static_cast<const char *>(Nul));
+        }
+        E.Symbols.push_back(std::move(Sym));
+      }
+    }
+  }
+
+  E.Bytes = std::move(Bytes);
+  return E;
+}
+
+Expected<ElfFile> ElfFile::load(const std::string &Path) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return makeError<ElfFile>("cannot open '" + Path + "'");
+  std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                             std::istreambuf_iterator<char>());
+  Expected<ElfFile> E = parse(std::move(Bytes));
+  if (!E)
+    return makeError<ElfFile>(Path + ": " + E.error());
+  return E;
+}

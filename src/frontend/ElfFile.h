@@ -1,0 +1,86 @@
+//===- frontend/ElfFile.h - Minimal static ELF32 reader ---------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A dependency-free reader for the slice of ELF32 the binary frontend
+/// needs: the identification header, the PT_LOAD program headers, the
+/// entry point, and (when section headers are present) the symbol table.
+/// Everything is validated up front — offsets, counts, and string-table
+/// references are bounds-checked against the file image, and a malformed
+/// file is a diagnostic, never undefined behavior. The reader owns the
+/// raw bytes so segment views stay valid for the lifter's lifetime.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_FRONTEND_ELFFILE_H
+#define OG_FRONTEND_ELFFILE_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace og {
+
+/// One PT_LOAD program header. FileSize bytes at FileOffset map to
+/// [Vaddr, Vaddr+FileSize); the tail up to MemSize is zero-filled (BSS).
+struct ElfSegment {
+  uint32_t Vaddr = 0;
+  uint32_t FileOffset = 0;
+  uint32_t FileSize = 0;
+  uint32_t MemSize = 0;
+  uint32_t Flags = 0; ///< PF_X=1, PF_W=2, PF_R=4
+
+  bool isExec() const { return (Flags & 1) != 0; }
+};
+
+/// One symbol-table entry (only the fields the lifter consumes).
+struct ElfSymbol {
+  std::string Name;
+  uint32_t Value = 0;
+  uint32_t Size = 0;
+  uint8_t Type = 0; ///< STT_* low nibble of st_info; STT_FUNC == 2
+
+  bool isFunc() const { return Type == 2; }
+};
+
+/// A parsed, validated ELF32 executable for RISC-V.
+class ElfFile {
+public:
+  /// Parses \p Bytes as a little-endian ELF32 ET_EXEC for EM_RISCV.
+  /// Returns a one-line diagnostic for anything malformed or out of
+  /// contract (wrong class, machine, overlapping segments, entry outside
+  /// executable code, ...).
+  static Expected<ElfFile> parse(std::vector<uint8_t> Bytes);
+
+  /// Reads \p Path and parses it.
+  static Expected<ElfFile> load(const std::string &Path);
+
+  uint32_t entry() const { return Entry; }
+
+  /// PT_LOAD segments, sorted by Vaddr, verified non-overlapping.
+  const std::vector<ElfSegment> &segments() const { return Segments; }
+
+  /// Symbols from SHT_SYMTAB when section headers are present (may be
+  /// empty); names are verified NUL-terminated inside their strtab.
+  const std::vector<ElfSymbol> &symbols() const { return Symbols; }
+
+  /// The file bytes backing a segment (FileSize bytes).
+  const uint8_t *segmentBytes(const ElfSegment &S) const {
+    return Bytes.data() + S.FileOffset;
+  }
+
+private:
+  std::vector<uint8_t> Bytes;
+  uint32_t Entry = 0;
+  std::vector<ElfSegment> Segments;
+  std::vector<ElfSymbol> Symbols;
+};
+
+} // namespace og
+
+#endif // OG_FRONTEND_ELFFILE_H

@@ -1,0 +1,715 @@
+//===- frontend/Lifter.cpp ------------------------------------------------==//
+
+#include "frontend/Lifter.h"
+
+#include "asm/Assembler.h"
+#include "frontend/Rv32Decoder.h"
+#include "isa/Registers.h"
+#include "program/Verifier.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+using namespace og;
+
+namespace {
+
+/// RV32 -> IR register map, role-preserving: ra/sp/gp keep their slots,
+/// RV callee-saved registers land on IR callee-saved slots (s0/fp on FP,
+/// s1..s6 on S0..S5) so a lifted program honors the IR callee-save ABI
+/// exactly when the binary honors the RV one, and s7-s11 spill onto
+/// caller-saved IR temps (sound: the analyses only *assume* preservation
+/// of the IR callee-saved set). x4 (tp) maps nowhere: RegAT backs the
+/// lifter's scratch register.
+constexpr int8_t TpReg = 4;
+constexpr Reg Scratch = RegAT;
+constexpr int8_t RegMap[32] = {
+    /*x0 zero*/ 31, /*x1 ra*/ 26, /*x2 sp*/ 30, /*x3 gp*/ 29,
+    /*x4 tp*/ -1,   /*x5 t0*/ 1,  /*x6 t1*/ 2,  /*x7 t2*/ 3,
+    /*x8 s0*/ 15,   /*x9 s1*/ 9,  /*x10 a0*/ 16, /*x11 a1*/ 17,
+    /*x12 a2*/ 18,  /*x13 a3*/ 19, /*x14 a4*/ 20, /*x15 a5*/ 21,
+    /*x16 a6*/ 22,  /*x17 a7*/ 23, /*x18 s2*/ 10, /*x19 s3*/ 11,
+    /*x20 s4*/ 12,  /*x21 s5*/ 13, /*x22 s6*/ 14, /*x23 s7*/ 4,
+    /*x24 s8*/ 5,   /*x25 s9*/ 6,  /*x26 s10*/ 7, /*x27 s11*/ 8,
+    /*x28 t3*/ 24,  /*x29 t4*/ 25, /*x30 t5*/ 27, /*x31 t6*/ 0,
+};
+
+constexpr int64_t SyscallExit = 93; // RV Linux exit()
+constexpr int64_t SyscallOut = 1;   // repurposed: print a0 to OUT
+
+std::string hex(uint32_t A) {
+  char Buf[16];
+  std::snprintf(Buf, sizeof(Buf), "0x%x", A);
+  return Buf;
+}
+
+Reg map(uint8_t X) { return static_cast<Reg>(RegMap[X & 31]); }
+
+bool usesTp(const RvInst &I) {
+  // Unused operand fields are zeroed by the decoder, so a simple field
+  // check cannot false-positive.
+  return I.Rd == TpReg || I.Rs1 == TpReg || I.Rs2 == TpReg;
+}
+
+/// The flat virtual-address image: every PT_LOAD segment copied to its
+/// vaddr, zero-filled gaps, plus the executable ranges for fetches.
+struct Image {
+  uint32_t End = 0; // one past the highest mapped vaddr; base is DataBase
+  std::vector<uint8_t> Bytes;
+  std::vector<std::pair<uint32_t, uint32_t>> Exec; // [begin, end)
+
+  bool isExecWord(uint32_t A) const {
+    if (A % 4 != 0)
+      return false;
+    for (const auto &R : Exec)
+      if (A >= R.first && A + 4 <= R.second)
+        return true;
+    return false;
+  }
+
+  uint32_t word(uint32_t A) const {
+    const size_t Off = A - Program::DataBase;
+    return static_cast<uint32_t>(Bytes[Off]) |
+           (static_cast<uint32_t>(Bytes[Off + 1]) << 8) |
+           (static_cast<uint32_t>(Bytes[Off + 2]) << 16) |
+           (static_cast<uint32_t>(Bytes[Off + 3]) << 24);
+  }
+};
+
+/// One discovered function: its leaders (block-start addresses) and the
+/// set of scanned instruction addresses.
+struct FuncWork {
+  uint32_t Addr = 0;
+  std::string Name;
+  std::set<uint32_t> Leaders;
+  std::set<uint32_t> Scanned;
+  std::map<uint32_t, int32_t> BlockId;
+};
+
+class Lifter {
+public:
+  Lifter(const ElfFile &E, const LiftOptions &O) : E(E), O(O) {}
+
+  Expected<LiftedProgram> run() {
+    if (!buildImage() || !discoverAll())
+      return makeError<LiftedProgram>("lift: " + Err);
+    Program P;
+    if (!emitAll(P))
+      return makeError<LiftedProgram>("lift: " + Err);
+    std::string Diag;
+    if (!verifyProgram(P, &Diag))
+      // Belt and braces: nothing above should be able to produce invalid
+      // IR, but the input is untrusted and the Verifier is cheap.
+      return makeError<LiftedProgram>("lift: produced invalid IR: " + Diag);
+    LiftedProgram L;
+    L.Prog = std::move(P);
+    L.Stats = Stats;
+    L.Stats.Functions = static_cast<uint32_t>(Funcs.size());
+    return L;
+  }
+
+private:
+  const ElfFile &E;
+  const LiftOptions &O;
+  Image Img;
+  // A deque, not a vector: discover() holds a reference to its FuncWork
+  // while a mid-walk `jal ra` appends a new function, and deque growth
+  // never invalidates references to existing elements.
+  std::deque<FuncWork> Funcs;
+  std::map<uint32_t, int32_t> FuncIdByAddr;
+  std::map<uint32_t, std::string> SymNameByAddr;
+  std::set<std::string> UsedNames;
+  std::vector<uint32_t> IndirectSites;
+  LiftStats Stats;
+  std::string Err;
+
+  bool fail(const std::string &What) {
+    Err = What;
+    return false;
+  }
+
+  bool buildImage() {
+    uint32_t End = 0;
+    for (const ElfSegment &S : E.segments()) {
+      if (S.Vaddr < Program::DataBase)
+        return fail("segment at " + hex(S.Vaddr) +
+                    " loads below the data base " +
+                    hex(static_cast<uint32_t>(Program::DataBase)) +
+                    " (link the binary at or above it)");
+      End = std::max(End, S.Vaddr + S.MemSize);
+    }
+    if (End - Program::DataBase > O.MaxImageBytes)
+      return fail("memory image is " +
+                  std::to_string(End - Program::DataBase) +
+                  " bytes (cap " + std::to_string(O.MaxImageBytes) + ")");
+    Img.End = End;
+    Img.Bytes.assign(End - Program::DataBase, 0);
+    for (const ElfSegment &S : E.segments()) {
+      std::copy(E.segmentBytes(S), E.segmentBytes(S) + S.FileSize,
+                Img.Bytes.begin() + (S.Vaddr - Program::DataBase));
+      if (S.isExec())
+        Img.Exec.emplace_back(S.Vaddr, S.Vaddr + S.MemSize);
+    }
+    return true;
+  }
+
+  /// A symbol name the assembler can round-trip; anything else falls
+  /// back to the address-derived name.
+  static bool isCleanName(const std::string &N) {
+    if (N.empty())
+      return false;
+    for (char C : N)
+      if (!(std::isalnum(static_cast<unsigned char>(C)) || C == '_' ||
+            C == '.' || C == '$'))
+        return false;
+    return true;
+  }
+
+  std::string functionName(uint32_t Addr) {
+    std::string Name;
+    auto It = SymNameByAddr.find(Addr);
+    if (It != SymNameByAddr.end() && isCleanName(It->second))
+      Name = It->second;
+    else
+      Name = "fn_" + hex(Addr);
+    if (!UsedNames.insert(Name).second) {
+      Name += "_" + hex(Addr);
+      UsedNames.insert(Name);
+    }
+    return Name;
+  }
+
+  /// Registers \p Addr as a function (idempotent). Returns false only on
+  /// a hard error (bad address, cap exceeded).
+  bool addFunction(uint32_t Addr) {
+    if (FuncIdByAddr.count(Addr))
+      return true;
+    if (!Img.isExecWord(Addr))
+      return fail("function address " + hex(Addr) +
+                  " is not 4-aligned executable code");
+    if (Funcs.size() >= O.MaxFunctions)
+      return fail("more than " + std::to_string(O.MaxFunctions) +
+                  " functions discovered");
+    FuncWork F;
+    F.Addr = Addr;
+    F.Name = functionName(Addr);
+    FuncIdByAddr[Addr] = static_cast<int32_t>(Funcs.size());
+    Funcs.push_back(std::move(F));
+    return true;
+  }
+
+  bool addLeader(FuncWork &F, uint32_t Addr, std::vector<uint32_t> &Work) {
+    if (F.Leaders.insert(Addr).second) {
+      if (F.Leaders.size() > O.MaxBlocksPerFunction)
+        return fail("function " + F.Name + " exceeds " +
+                    std::to_string(O.MaxBlocksPerFunction) + " blocks");
+      Work.push_back(Addr);
+    }
+    return true;
+  }
+
+  bool discoverAll() {
+    // The entry must be function 0 (Program::EntryFunc stays 0), then
+    // named functions in address order so the lifted program's layout is
+    // deterministic and readable.
+    for (const ElfSymbol &S : E.symbols())
+      if (S.isFunc() && isCleanName(S.Name) && !SymNameByAddr.count(S.Value))
+        SymNameByAddr[S.Value] = S.Name;
+    if (!addFunction(E.entry()))
+      return false;
+    for (const auto &Sym : SymNameByAddr)
+      if (Img.isExecWord(Sym.first) && !addFunction(Sym.first))
+        return false;
+    // Index loop: `jal ra` targets append while we iterate.
+    for (size_t I = 0; I < Funcs.size(); ++I)
+      if (!discover(Funcs[I]))
+        return false;
+    if (!IndirectSites.empty()) {
+      std::string Sites;
+      for (size_t I = 0; I < IndirectSites.size() && I < 4; ++I)
+        Sites += (I ? ", " : "") + hex(IndirectSites[I]);
+      if (IndirectSites.size() > 4)
+        Sites += ", ...";
+      return fail("bailed out: " + std::to_string(IndirectSites.size()) +
+                  " indirect jump(s) (jalr through a register) at " + Sites +
+                  " — computed control flow is outside the lifting "
+                  "contract");
+    }
+    return true;
+  }
+
+  /// Recursive-traversal CFG discovery over direct edges: walks every
+  /// path from the function entry, collecting leaders and the scanned
+  /// instruction set. Calls seed new functions; indirect jumps are
+  /// recorded for the counted bail-out.
+  bool discover(FuncWork &F) {
+    std::vector<uint32_t> Work{F.Addr};
+    F.Leaders.insert(F.Addr);
+    while (!Work.empty()) {
+      uint32_t A = Work.back();
+      Work.pop_back();
+      bool Walking = true;
+      while (Walking) {
+        if (F.Scanned.count(A))
+          break; // joined an already-scanned path (a leader by construction)
+        if (F.Scanned.size() >= O.MaxInstsPerFunction)
+          return fail("function " + F.Name + " exceeds " +
+                      std::to_string(O.MaxInstsPerFunction) +
+                      " instructions");
+        if (!Img.isExecWord(A))
+          return fail("control flow in " + F.Name +
+                      " reaches non-executable address " + hex(A));
+        Expected<RvInst> IOr = decodeRv32(Img.word(A));
+        if (!IOr)
+          return fail("in " + F.Name + " at " + hex(A) + ": " + IOr.error());
+        const RvInst &I = *IOr;
+        if (usesTp(I))
+          return fail("in " + F.Name + " at " + hex(A) + ": " + rvInstStr(I) +
+                      " uses x4 (tp), which is reserved by the lifter");
+        F.Scanned.insert(A);
+        ++Stats.Instructions;
+        switch (I.Op) {
+        case RvOp::Beq:
+        case RvOp::Bne:
+        case RvOp::Blt:
+        case RvOp::Bge:
+        case RvOp::Bltu:
+        case RvOp::Bgeu:
+          if (!addLeader(F, A + static_cast<uint32_t>(I.Imm), Work) ||
+              !addLeader(F, A + 4, Work))
+            return false;
+          Walking = false;
+          break;
+        case RvOp::Jal: {
+          const uint32_t Target = A + static_cast<uint32_t>(I.Imm);
+          if (I.Rd == 0) { // plain jump: an intra-function edge
+            if (!addLeader(F, Target, Work))
+              return false;
+            Walking = false;
+            break;
+          }
+          if (I.Rd != 1)
+            return fail("in " + F.Name + " at " + hex(A) + ": " +
+                        rvInstStr(I) +
+                        " links a register other than x1/ra");
+          if (!addFunction(Target)) // call; the walk continues behind it
+            return false;
+          A += 4;
+          break;
+        }
+        case RvOp::Jalr:
+          if (I.Rd == 0 && I.Rs1 == 1 && I.Imm == 0) { // ret
+            Walking = false;
+            break;
+          }
+          IndirectSites.push_back(A);
+          Walking = false;
+          break;
+        case RvOp::Ecall:
+          // Expands to a runtime dispatch; the continuation starts a
+          // fresh block. An ecall as the final text word has no
+          // continuation (the print path halts instead) — legal, since
+          // an exit syscall there never returns.
+          if (Img.isExecWord(A + 4) && !addLeader(F, A + 4, Work))
+            return false;
+          Walking = false;
+          break;
+        case RvOp::Ebreak:
+          Walking = false;
+          break;
+        default:
+          A += 4;
+          break;
+        }
+      }
+    }
+    return true;
+  }
+
+  // --- Emission ---------------------------------------------------------
+
+  void emitInst(std::vector<Instruction> &Out, const RvInst &I, uint32_t A) {
+    const Reg Rd = map(I.Rd), Rs1 = map(I.Rs1), Rs2 = map(I.Rs2);
+    const int64_t Imm = I.Imm;
+    switch (I.Op) {
+    case RvOp::Lui:
+      Out.push_back(Instruction::ldi(Rd, Imm));
+      break;
+    case RvOp::Auipc:
+      // The lifter knows the static PC, so auipc folds to a constant.
+      Out.push_back(Instruction::ldi(
+          Rd, static_cast<int32_t>(A + static_cast<uint32_t>(I.Imm))));
+      break;
+    case RvOp::Addi:
+      Out.push_back(Instruction::aluImm(Op::Add, Width::W, Rd, Rs1, Imm));
+      break;
+    case RvOp::Slti:
+      Out.push_back(Instruction::aluImm(Op::CmpLt, Width::W, Rd, Rs1, Imm));
+      break;
+    case RvOp::Sltiu:
+      Out.push_back(Instruction::aluImm(Op::CmpUlt, Width::W, Rd, Rs1, Imm));
+      break;
+    case RvOp::Xori:
+      Out.push_back(Instruction::aluImm(Op::Xor, Width::W, Rd, Rs1, Imm));
+      break;
+    case RvOp::Ori:
+      Out.push_back(Instruction::aluImm(Op::Or, Width::W, Rd, Rs1, Imm));
+      break;
+    case RvOp::Andi:
+      Out.push_back(Instruction::aluImm(Op::And, Width::W, Rd, Rs1, Imm));
+      break;
+    case RvOp::Slli:
+      Out.push_back(Instruction::aluImm(Op::Sll, Width::W, Rd, Rs1, Imm));
+      break;
+    case RvOp::Srli:
+      Out.push_back(Instruction::aluImm(Op::Srl, Width::W, Rd, Rs1, Imm));
+      break;
+    case RvOp::Srai:
+      Out.push_back(Instruction::aluImm(Op::Sra, Width::W, Rd, Rs1, Imm));
+      break;
+    case RvOp::Sll:
+    case RvOp::Srl:
+    case RvOp::Sra: {
+      // IR shifts take the amount mod 64; RV32 masks to 5 bits.
+      Out.push_back(
+          Instruction::aluImm(Op::And, Width::W, Scratch, Rs2, 31));
+      const Op ShOp = I.Op == RvOp::Sll   ? Op::Sll
+                      : I.Op == RvOp::Srl ? Op::Srl
+                                          : Op::Sra;
+      Out.push_back(Instruction::alu(ShOp, Width::W, Rd, Rs1, Scratch));
+      break;
+    }
+    case RvOp::Add:
+      Out.push_back(Instruction::alu(Op::Add, Width::W, Rd, Rs1, Rs2));
+      break;
+    case RvOp::Sub:
+      Out.push_back(Instruction::alu(Op::Sub, Width::W, Rd, Rs1, Rs2));
+      break;
+    case RvOp::Slt:
+      Out.push_back(Instruction::alu(Op::CmpLt, Width::W, Rd, Rs1, Rs2));
+      break;
+    case RvOp::Sltu:
+      Out.push_back(Instruction::alu(Op::CmpUlt, Width::W, Rd, Rs1, Rs2));
+      break;
+    case RvOp::Xor:
+      Out.push_back(Instruction::alu(Op::Xor, Width::W, Rd, Rs1, Rs2));
+      break;
+    case RvOp::Or:
+      Out.push_back(Instruction::alu(Op::Or, Width::W, Rd, Rs1, Rs2));
+      break;
+    case RvOp::And:
+      Out.push_back(Instruction::alu(Op::And, Width::W, Rd, Rs1, Rs2));
+      break;
+    case RvOp::Lb:
+      // IR narrow loads zero-extend (Alpha LDBU); RV lb/lh sign-extend.
+      Out.push_back(Instruction::load(Width::B, Rd, Rs1, Imm));
+      Out.push_back(Instruction::sext(Width::B, Rd, Rd));
+      break;
+    case RvOp::Lh:
+      Out.push_back(Instruction::load(Width::H, Rd, Rs1, Imm));
+      Out.push_back(Instruction::sext(Width::H, Rd, Rd));
+      break;
+    case RvOp::Lw:
+      Out.push_back(Instruction::load(Width::W, Rd, Rs1, Imm));
+      break;
+    case RvOp::Lbu:
+      Out.push_back(Instruction::load(Width::B, Rd, Rs1, Imm));
+      break;
+    case RvOp::Lhu:
+      Out.push_back(Instruction::load(Width::H, Rd, Rs1, Imm));
+      break;
+    case RvOp::Sb:
+      Out.push_back(Instruction::store(Width::B, Rs2, Rs1, Imm));
+      break;
+    case RvOp::Sh:
+      Out.push_back(Instruction::store(Width::H, Rs2, Rs1, Imm));
+      break;
+    case RvOp::Sw:
+      Out.push_back(Instruction::store(Width::W, Rs2, Rs1, Imm));
+      break;
+    case RvOp::Jal: { // call (rd==ra); plain jumps are terminators
+      Instruction Call = Instruction::jsr(
+          FuncIdByAddr.at(A + static_cast<uint32_t>(I.Imm)));
+      Out.push_back(Call);
+      break;
+    }
+    case RvOp::Fence:
+      Out.push_back(Instruction::nop());
+      break;
+    default:
+      break; // terminators are emitted by the block walker
+    }
+  }
+
+  /// Emits the conditional branch ending a block, special-casing
+  /// comparisons against x0 onto the IR's test-one-register branches.
+  void emitBranch(BasicBlock &BB, const RvInst &I, int32_t Taken,
+                  int32_t Fall) {
+    const Reg R1 = map(I.Rs1), R2 = map(I.Rs2);
+    const bool Z1 = R1 == RegZero, Z2 = R2 == RegZero;
+    Op Cond = Op::Beq;
+    Reg Test = R1;
+    bool Direct = true;
+    switch (I.Op) {
+    case RvOp::Beq:
+      if (Z2) {
+        Cond = Op::Beq;
+      } else if (Z1) {
+        Cond = Op::Beq;
+        Test = R2;
+      } else {
+        Direct = false;
+        BB.Insts.push_back(
+            Instruction::alu(Op::CmpEq, Width::W, Scratch, R1, R2));
+        Cond = Op::Bne;
+      }
+      break;
+    case RvOp::Bne:
+      if (Z2) {
+        Cond = Op::Bne;
+      } else if (Z1) {
+        Cond = Op::Bne;
+        Test = R2;
+      } else {
+        Direct = false;
+        BB.Insts.push_back(
+            Instruction::alu(Op::CmpEq, Width::W, Scratch, R1, R2));
+        Cond = Op::Beq;
+      }
+      break;
+    case RvOp::Blt:
+      if (Z2) {
+        Cond = Op::Blt;
+      } else if (Z1) {
+        Cond = Op::Bgt; // 0 < r2  <=>  r2 > 0
+        Test = R2;
+      } else {
+        Direct = false;
+        BB.Insts.push_back(
+            Instruction::alu(Op::CmpLt, Width::W, Scratch, R1, R2));
+        Cond = Op::Bne;
+      }
+      break;
+    case RvOp::Bge:
+      if (Z2) {
+        Cond = Op::Bge;
+      } else if (Z1) {
+        Cond = Op::Ble; // 0 >= r2  <=>  r2 <= 0
+        Test = R2;
+      } else {
+        Direct = false;
+        BB.Insts.push_back(
+            Instruction::alu(Op::CmpLt, Width::W, Scratch, R1, R2));
+        Cond = Op::Beq;
+      }
+      break;
+    case RvOp::Bltu:
+      if (Z2) { // unsigned < 0: never taken
+        BB.Insts.push_back(Instruction::br(Fall));
+        return;
+      }
+      if (Z1) {
+        Cond = Op::Bne; // 0 <u r2  <=>  r2 != 0
+        Test = R2;
+      } else {
+        Direct = false;
+        BB.Insts.push_back(
+            Instruction::alu(Op::CmpUlt, Width::W, Scratch, R1, R2));
+        Cond = Op::Bne;
+      }
+      break;
+    case RvOp::Bgeu:
+      if (Z2) { // unsigned >= 0: always taken
+        BB.Insts.push_back(Instruction::br(Taken));
+        return;
+      }
+      if (Z1) {
+        Cond = Op::Beq; // 0 >=u r2  <=>  r2 == 0
+        Test = R2;
+      } else {
+        Direct = false;
+        BB.Insts.push_back(
+            Instruction::alu(Op::CmpUlt, Width::W, Scratch, R1, R2));
+        Cond = Op::Beq;
+      }
+      break;
+    default:
+      break;
+    }
+    if (!Direct)
+      Test = Scratch;
+    BB.Insts.push_back(Instruction::condBr(Cond, Test, Taken));
+    BB.FallthroughSucc = Fall;
+  }
+
+  /// Appends the ecall dispatch: three synthetic blocks implementing
+  ///   if (a7 == 93) halt; else if (a7 == 1) { out a0; continue; } halt;
+  /// Cont < 0 means the ecall has no continuation (final text word);
+  /// the print path then halts too.
+  void emitEcall(Function &Fn, int32_t CurId, uint32_t A, int32_t Cont) {
+    const Reg A0 = map(10), A7 = map(17);
+    const int32_t Chk = static_cast<int32_t>(Fn.Blocks.size());
+    const int32_t Prt = Chk + 1;
+    const int32_t Hlt = Chk + 2;
+    const std::string L = "L" + hex(A).substr(2);
+    for (int K = 0; K < 3; ++K)
+      Fn.Blocks.push_back(BasicBlock());
+    Fn.Blocks[Chk].Label = L + "$sys";
+    Fn.Blocks[Prt].Label = L + "$out";
+    Fn.Blocks[Hlt].Label = L + "$halt";
+
+    BasicBlock &Cur = Fn.Blocks[CurId];
+    Cur.Insts.push_back(
+        Instruction::aluImm(Op::CmpEq, Width::W, Scratch, A7, SyscallExit));
+    Cur.Insts.push_back(Instruction::condBr(Op::Bne, Scratch, Hlt));
+    Cur.FallthroughSucc = Chk;
+
+    BasicBlock &C = Fn.Blocks[Chk];
+    C.Insts.push_back(
+        Instruction::aluImm(Op::CmpEq, Width::W, Scratch, A7, SyscallOut));
+    C.Insts.push_back(Instruction::condBr(Op::Beq, Scratch, Hlt));
+    C.FallthroughSucc = Prt;
+
+    BasicBlock &Pr = Fn.Blocks[Prt];
+    Pr.Insts.push_back(Instruction::out(A0));
+    Pr.Insts.push_back(Cont < 0 ? Instruction::halt()
+                                : Instruction::br(Cont));
+
+    Fn.Blocks[Hlt].Insts.push_back(Instruction::halt());
+  }
+
+  bool emitAll(Program &P) {
+    P.EntryFunc = 0;
+    P.Data = Img.Bytes;
+    for (FuncWork &F : Funcs) {
+      Function Fn;
+      Fn.Id = static_cast<int32_t>(P.Funcs.size());
+      Fn.Name = F.Name;
+      Fn.EntryBlock = 0;
+      // Entry leader first (block 0), the rest in address order. Every
+      // block ends in an explicit terminator, so ordering is free.
+      std::vector<uint32_t> Order{F.Addr};
+      for (uint32_t L : F.Leaders)
+        if (L != F.Addr)
+          Order.push_back(L);
+      for (size_t I = 0; I < Order.size(); ++I) {
+        F.BlockId[Order[I]] = static_cast<int32_t>(I);
+        BasicBlock BB;
+        BB.Label = "L" + hex(Order[I]).substr(2);
+        Fn.Blocks.push_back(std::move(BB));
+      }
+      for (size_t I = 0; I < Order.size(); ++I)
+        if (!emitBlock(Fn, F, static_cast<int32_t>(I), Order[I]))
+          return false;
+      for (size_t I = 0; I < Fn.Blocks.size(); ++I) {
+        Fn.Blocks[I].Id = static_cast<int32_t>(I);
+        Stats.IrInstructions +=
+            static_cast<uint32_t>(Fn.Blocks[I].Insts.size());
+      }
+      Stats.Blocks += static_cast<uint32_t>(Fn.Blocks.size());
+      P.Funcs.push_back(std::move(Fn));
+    }
+    return true;
+  }
+
+  bool emitBlock(Function &Fn, FuncWork &F, int32_t Id, uint32_t Leader) {
+    uint32_t A = Leader;
+    while (true) {
+      const RvInst I = *decodeRv32(Img.word(A)); // validated in discovery
+      switch (I.Op) {
+      case RvOp::Beq:
+      case RvOp::Bne:
+      case RvOp::Blt:
+      case RvOp::Bge:
+      case RvOp::Bltu:
+      case RvOp::Bgeu:
+        emitBranch(Fn.Blocks[Id], I,
+                   F.BlockId.at(A + static_cast<uint32_t>(I.Imm)),
+                   F.BlockId.at(A + 4));
+        return true;
+      case RvOp::Jal:
+        if (I.Rd == 0) {
+          Fn.Blocks[Id].Insts.push_back(Instruction::br(
+              F.BlockId.at(A + static_cast<uint32_t>(I.Imm))));
+          return true;
+        }
+        emitInst(Fn.Blocks[Id].Insts, I, A); // call; block continues
+        break;
+      case RvOp::Jalr: // only ret survives discovery
+        Fn.Blocks[Id].Insts.push_back(Instruction::ret());
+        return true;
+      case RvOp::Ebreak:
+        Fn.Blocks[Id].Insts.push_back(Instruction::halt());
+        return true;
+      case RvOp::Ecall: {
+        const auto Next = F.BlockId.find(A + 4);
+        emitEcall(Fn, Id, A, Next == F.BlockId.end() ? -1 : Next->second);
+        return true;
+      }
+      default:
+        emitInst(Fn.Blocks[Id].Insts, I, A);
+        break;
+      }
+      A += 4;
+      if (F.Leaders.count(A)) { // fell into the next block: explicit edge
+        Fn.Blocks[Id].Insts.push_back(Instruction::br(F.BlockId.at(A)));
+        return true;
+      }
+    }
+  }
+};
+
+} // namespace
+
+Expected<LiftedProgram> og::liftElf(const ElfFile &E, const LiftOptions &O) {
+  return Lifter(E, O).run();
+}
+
+Expected<LiftedProgram> og::liftElfFile(const std::string &Path,
+                                        const LiftOptions &O) {
+  Expected<ElfFile> E = ElfFile::load(Path);
+  if (!E)
+    return makeError<LiftedProgram>(E.error());
+  Expected<LiftedProgram> L = liftElf(*E, O);
+  if (!L)
+    return makeError<LiftedProgram>(Path + ": " + L.error());
+  return L;
+}
+
+Expected<Program> og::loadProgramInput(const std::string &PathOrSpec) {
+  std::string Path = PathOrSpec;
+  bool ForceElf = false;
+  if (Path.rfind("elf:", 0) == 0) {
+    Path = Path.substr(4);
+    ForceElf = true;
+  }
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return makeError<Program>("cannot open '" + Path + "'");
+  std::stringstream Buffer;
+  Buffer << In.rdbuf();
+  const std::string Bytes = Buffer.str();
+  const bool Magic = Bytes.size() >= 4 && Bytes[0] == 0x7F &&
+                     Bytes[1] == 'E' && Bytes[2] == 'L' && Bytes[3] == 'F';
+  if (ForceElf || Magic) {
+    std::vector<uint8_t> Raw(Bytes.begin(), Bytes.end());
+    Expected<ElfFile> E = ElfFile::parse(std::move(Raw));
+    if (!E)
+      return makeError<Program>(Path + ": " + E.error());
+    Expected<LiftedProgram> L = liftElf(*E);
+    if (!L)
+      return makeError<Program>(Path + ": " + L.error());
+    return std::move(L->Prog);
+  }
+  Expected<Program> P = assembleProgram(Bytes);
+  if (!P)
+    return makeError<Program>(Path + ": " + P.error());
+  return P;
+}

@@ -1,0 +1,94 @@
+//===- frontend/Lifter.h - RV32I ELF -> Program IR --------------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lifts an RV32I ELF executable into the Program IR, making any compiled
+/// binary a first-class workload for the operand-gating pipeline. The
+/// lifting contract:
+///
+///  - x0 is hardwired to the IR zero register; every other RV register
+///    maps role-preservingly onto the 31 remaining IR registers (ra->RA,
+///    sp->SP, gp->GP, sN->callee-saved, aN/tN->caller-saved), except x4
+///    (tp): its slot backs the lifter's scratch register, so binaries
+///    that touch x4 are rejected. Bare-metal RV32I code never does.
+///  - 32-bit ALU ops become width-W IR ops; registers hold sign-extended
+///    32-bit values, which is exactly the width-W evaluation rule, so
+///    every instruction is a 1:1 (or 1:2 for lb/lh sign-extension and
+///    register shifts' 5-bit masking) translation.
+///  - Control flow is recovered by recursive traversal over direct
+///    edges: functions are seeded from the ELF entry and STT_FUNC
+///    symbols, `jal ra` targets become callees, `jal x0` is an
+///    intra-function branch (cross-function targets are inlined, which
+///    gives tail calls correct semantics for free since the target's
+///    `ret` pops the IR call stack). Indirect jumps (any other jalr) are
+///    counted and reported as a bail-out diagnostic — computed control
+///    flow is outside the contract.
+///  - `ecall` dispatches on a7 at runtime: 93 (exit) halts, 1 prints a0
+///    to the OUT stream (registers preserved), anything else halts.
+///    `ebreak` halts. `fence` is a no-op (single memory agent).
+///  - PT_LOAD segments (text included) are copied into the flat data
+///    segment at Program::DataBase, so all load vaddrs must be >=
+///    0x10000. The stack pointer starts at zero: the binary must set up
+///    its own sp (crt0-free fixtures do it in two instructions).
+///
+/// Every lifted program passes the structural Verifier before it is
+/// returned; a hostile or malformed binary yields a diagnostic, never an
+/// assert or invalid IR.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_FRONTEND_LIFTER_H
+#define OG_FRONTEND_LIFTER_H
+
+#include "frontend/ElfFile.h"
+#include "program/Program.h"
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace og {
+
+/// Resource caps so a hostile binary cannot make discovery explode.
+struct LiftOptions {
+  uint32_t MaxFunctions = 1024;
+  uint32_t MaxBlocksPerFunction = 1u << 16;
+  uint32_t MaxInstsPerFunction = 1u << 20;
+  uint32_t MaxImageBytes = 4u << 20;
+};
+
+struct LiftStats {
+  uint32_t Functions = 0;
+  uint32_t Blocks = 0;
+  /// RV32I instructions decoded during CFG discovery (code reachable
+  /// from two functions is counted in each).
+  uint32_t Instructions = 0;
+  /// IR instructions emitted (>= Instructions: lb/lh, register shifts,
+  /// two-source branches, and ecall dispatch expand).
+  uint32_t IrInstructions = 0;
+};
+
+struct LiftedProgram {
+  Program Prog;
+  LiftStats Stats;
+};
+
+/// Lifts a parsed ELF. The result is Verifier-clean.
+Expected<LiftedProgram> liftElf(const ElfFile &E,
+                                const LiftOptions &O = LiftOptions());
+
+/// Reads, parses, and lifts \p Path.
+Expected<LiftedProgram> liftElfFile(const std::string &Path,
+                                    const LiftOptions &O = LiftOptions());
+
+/// The shared program-input loader for tools: "elf:PATH" or a file
+/// starting with the ELF magic goes through the binary frontend, anything
+/// else through the assembler.
+Expected<Program> loadProgramInput(const std::string &PathOrSpec);
+
+} // namespace og
+
+#endif // OG_FRONTEND_LIFTER_H

@@ -1,0 +1,409 @@
+//===- frontend/Rv32Decoder.cpp -------------------------------------------==//
+
+#include "frontend/Rv32Decoder.h"
+
+#include <cstdio>
+
+using namespace og;
+
+const char *og::rvOpName(RvOp Op) {
+  switch (Op) {
+  case RvOp::Lui:
+    return "lui";
+  case RvOp::Auipc:
+    return "auipc";
+  case RvOp::Jal:
+    return "jal";
+  case RvOp::Jalr:
+    return "jalr";
+  case RvOp::Beq:
+    return "beq";
+  case RvOp::Bne:
+    return "bne";
+  case RvOp::Blt:
+    return "blt";
+  case RvOp::Bge:
+    return "bge";
+  case RvOp::Bltu:
+    return "bltu";
+  case RvOp::Bgeu:
+    return "bgeu";
+  case RvOp::Lb:
+    return "lb";
+  case RvOp::Lh:
+    return "lh";
+  case RvOp::Lw:
+    return "lw";
+  case RvOp::Lbu:
+    return "lbu";
+  case RvOp::Lhu:
+    return "lhu";
+  case RvOp::Sb:
+    return "sb";
+  case RvOp::Sh:
+    return "sh";
+  case RvOp::Sw:
+    return "sw";
+  case RvOp::Addi:
+    return "addi";
+  case RvOp::Slti:
+    return "slti";
+  case RvOp::Sltiu:
+    return "sltiu";
+  case RvOp::Xori:
+    return "xori";
+  case RvOp::Ori:
+    return "ori";
+  case RvOp::Andi:
+    return "andi";
+  case RvOp::Slli:
+    return "slli";
+  case RvOp::Srli:
+    return "srli";
+  case RvOp::Srai:
+    return "srai";
+  case RvOp::Add:
+    return "add";
+  case RvOp::Sub:
+    return "sub";
+  case RvOp::Sll:
+    return "sll";
+  case RvOp::Slt:
+    return "slt";
+  case RvOp::Sltu:
+    return "sltu";
+  case RvOp::Xor:
+    return "xor";
+  case RvOp::Srl:
+    return "srl";
+  case RvOp::Sra:
+    return "sra";
+  case RvOp::Or:
+    return "or";
+  case RvOp::And:
+    return "and";
+  case RvOp::Fence:
+    return "fence";
+  case RvOp::Ecall:
+    return "ecall";
+  case RvOp::Ebreak:
+    return "ebreak";
+  }
+  return "?";
+}
+
+std::string og::rvInstStr(const RvInst &I) {
+  char Buf[64];
+  auto x = [](uint8_t R) { return static_cast<int>(R); };
+  switch (I.Op) {
+  case RvOp::Lui:
+  case RvOp::Auipc:
+    std::snprintf(Buf, sizeof(Buf), "%s x%d, %d", rvOpName(I.Op), x(I.Rd),
+                  I.Imm);
+    break;
+  case RvOp::Jal:
+    std::snprintf(Buf, sizeof(Buf), "jal x%d, %d", x(I.Rd), I.Imm);
+    break;
+  case RvOp::Jalr:
+    std::snprintf(Buf, sizeof(Buf), "jalr x%d, %d(x%d)", x(I.Rd), I.Imm,
+                  x(I.Rs1));
+    break;
+  case RvOp::Beq:
+  case RvOp::Bne:
+  case RvOp::Blt:
+  case RvOp::Bge:
+  case RvOp::Bltu:
+  case RvOp::Bgeu:
+    std::snprintf(Buf, sizeof(Buf), "%s x%d, x%d, %d", rvOpName(I.Op),
+                  x(I.Rs1), x(I.Rs2), I.Imm);
+    break;
+  case RvOp::Lb:
+  case RvOp::Lh:
+  case RvOp::Lw:
+  case RvOp::Lbu:
+  case RvOp::Lhu:
+    std::snprintf(Buf, sizeof(Buf), "%s x%d, %d(x%d)", rvOpName(I.Op),
+                  x(I.Rd), I.Imm, x(I.Rs1));
+    break;
+  case RvOp::Sb:
+  case RvOp::Sh:
+  case RvOp::Sw:
+    std::snprintf(Buf, sizeof(Buf), "%s x%d, %d(x%d)", rvOpName(I.Op),
+                  x(I.Rs2), I.Imm, x(I.Rs1));
+    break;
+  case RvOp::Addi:
+  case RvOp::Slti:
+  case RvOp::Sltiu:
+  case RvOp::Xori:
+  case RvOp::Ori:
+  case RvOp::Andi:
+  case RvOp::Slli:
+  case RvOp::Srli:
+  case RvOp::Srai:
+    std::snprintf(Buf, sizeof(Buf), "%s x%d, x%d, %d", rvOpName(I.Op),
+                  x(I.Rd), x(I.Rs1), I.Imm);
+    break;
+  case RvOp::Add:
+  case RvOp::Sub:
+  case RvOp::Sll:
+  case RvOp::Slt:
+  case RvOp::Sltu:
+  case RvOp::Xor:
+  case RvOp::Srl:
+  case RvOp::Sra:
+  case RvOp::Or:
+  case RvOp::And:
+    std::snprintf(Buf, sizeof(Buf), "%s x%d, x%d, x%d", rvOpName(I.Op),
+                  x(I.Rd), x(I.Rs1), x(I.Rs2));
+    break;
+  case RvOp::Fence:
+  case RvOp::Ecall:
+  case RvOp::Ebreak:
+    std::snprintf(Buf, sizeof(Buf), "%s", rvOpName(I.Op));
+    break;
+  }
+  return Buf;
+}
+
+namespace {
+
+Expected<RvInst> fail(uint32_t Word, const std::string &What) {
+  char Hex[16];
+  std::snprintf(Hex, sizeof(Hex), "0x%08x", Word);
+  return makeError<RvInst>("cannot decode word " + std::string(Hex) + ": " +
+                           What);
+}
+
+int32_t immI(uint32_t W) { return static_cast<int32_t>(W) >> 20; }
+
+int32_t immS(uint32_t W) {
+  return ((static_cast<int32_t>(W) >> 20) & ~0x1F) |
+         static_cast<int32_t>((W >> 7) & 0x1F);
+}
+
+int32_t immB(uint32_t W) {
+  uint32_t Imm = ((W >> 31) << 12) | (((W >> 7) & 1) << 11) |
+                 (((W >> 25) & 0x3F) << 5) | (((W >> 8) & 0xF) << 1);
+  return static_cast<int32_t>(Imm << 19) >> 19;
+}
+
+int32_t immU(uint32_t W) { return static_cast<int32_t>(W & 0xFFFFF000u); }
+
+int32_t immJ(uint32_t W) {
+  uint32_t Imm = ((W >> 31) << 20) | (((W >> 12) & 0xFF) << 12) |
+                 (((W >> 20) & 1) << 11) | (((W >> 21) & 0x3FF) << 1);
+  return static_cast<int32_t>(Imm << 11) >> 11;
+}
+
+} // namespace
+
+Expected<RvInst> og::decodeRv32(uint32_t Word) {
+  // All RV32I base instructions live in the 32-bit encoding quadrant
+  // (lowest two bits 11); anything else is RVC or a reserved quadrant.
+  if ((Word & 0x3) != 0x3)
+    return fail(Word, "not a 32-bit encoding (compressed/reserved quadrant)");
+  if ((Word & 0x1C) == 0x1C)
+    return fail(Word, ">32-bit encoding prefix is not RV32I");
+
+  const uint32_t Opcode = Word & 0x7F;
+  const uint8_t Rd = (Word >> 7) & 0x1F;
+  const uint8_t F3 = (Word >> 12) & 0x7;
+  const uint8_t Rs1 = (Word >> 15) & 0x1F;
+  const uint8_t Rs2 = (Word >> 20) & 0x1F;
+  const uint32_t F7 = Word >> 25;
+
+  RvInst I;
+  I.Rd = Rd;
+  I.Rs1 = Rs1;
+  I.Rs2 = Rs2;
+
+  switch (Opcode) {
+  case 0x37: // LUI
+    I.Op = RvOp::Lui;
+    I.Rs1 = I.Rs2 = 0;
+    I.Imm = immU(Word);
+    return I;
+  case 0x17: // AUIPC
+    I.Op = RvOp::Auipc;
+    I.Rs1 = I.Rs2 = 0;
+    I.Imm = immU(Word);
+    return I;
+  case 0x6F: // JAL
+    I.Op = RvOp::Jal;
+    I.Rs1 = I.Rs2 = 0;
+    I.Imm = immJ(Word);
+    return I;
+  case 0x67: // JALR
+    if (F3 != 0)
+      return fail(Word, "jalr requires funct3=0");
+    I.Op = RvOp::Jalr;
+    I.Rs2 = 0;
+    I.Imm = immI(Word);
+    return I;
+  case 0x63: { // conditional branches
+    static const RvOp Br[8] = {RvOp::Beq,  RvOp::Bne, RvOp::Beq /*bad*/,
+                               RvOp::Beq /*bad*/, RvOp::Blt, RvOp::Bge,
+                               RvOp::Bltu, RvOp::Bgeu};
+    if (F3 == 2 || F3 == 3)
+      return fail(Word, "reserved branch funct3");
+    I.Op = Br[F3];
+    I.Rd = 0;
+    I.Imm = immB(Word);
+    return I;
+  }
+  case 0x03: { // loads
+    switch (F3) {
+    case 0:
+      I.Op = RvOp::Lb;
+      break;
+    case 1:
+      I.Op = RvOp::Lh;
+      break;
+    case 2:
+      I.Op = RvOp::Lw;
+      break;
+    case 4:
+      I.Op = RvOp::Lbu;
+      break;
+    case 5:
+      I.Op = RvOp::Lhu;
+      break;
+    default:
+      return fail(Word, "reserved load funct3");
+    }
+    I.Rs2 = 0;
+    I.Imm = immI(Word);
+    return I;
+  }
+  case 0x23: { // stores
+    switch (F3) {
+    case 0:
+      I.Op = RvOp::Sb;
+      break;
+    case 1:
+      I.Op = RvOp::Sh;
+      break;
+    case 2:
+      I.Op = RvOp::Sw;
+      break;
+    default:
+      return fail(Word, "reserved store funct3");
+    }
+    I.Rd = 0;
+    I.Imm = immS(Word);
+    return I;
+  }
+  case 0x13: { // OP-IMM
+    switch (F3) {
+    case 0:
+      I.Op = RvOp::Addi;
+      break;
+    case 2:
+      I.Op = RvOp::Slti;
+      break;
+    case 3:
+      I.Op = RvOp::Sltiu;
+      break;
+    case 4:
+      I.Op = RvOp::Xori;
+      break;
+    case 6:
+      I.Op = RvOp::Ori;
+      break;
+    case 7:
+      I.Op = RvOp::Andi;
+      break;
+    case 1:
+      if (F7 != 0)
+        return fail(Word, "slli requires funct7=0 (shamt < 32)");
+      I.Op = RvOp::Slli;
+      I.Rs2 = 0;
+      I.Imm = Rs2; // shamt
+      return I;
+    case 5:
+      if (F7 == 0x00)
+        I.Op = RvOp::Srli;
+      else if (F7 == 0x20)
+        I.Op = RvOp::Srai;
+      else
+        return fail(Word, "reserved shift funct7 (srli/srai want 0x00/0x20)");
+      I.Rs2 = 0;
+      I.Imm = Rs2; // shamt
+      return I;
+    }
+    I.Rs2 = 0;
+    I.Imm = immI(Word);
+    return I;
+  }
+  case 0x33: { // OP
+    if (F7 == 0x01)
+      return fail(Word, "RV32M multiply/divide is not in the RV32I subset");
+    if (F7 != 0x00 && F7 != 0x20)
+      return fail(Word, "reserved OP funct7");
+    const bool Alt = F7 == 0x20;
+    switch (F3) {
+    case 0:
+      I.Op = Alt ? RvOp::Sub : RvOp::Add;
+      break;
+    case 1:
+      if (Alt)
+        return fail(Word, "reserved OP encoding (funct7=0x20, funct3=1)");
+      I.Op = RvOp::Sll;
+      break;
+    case 2:
+      if (Alt)
+        return fail(Word, "reserved OP encoding (funct7=0x20, funct3=2)");
+      I.Op = RvOp::Slt;
+      break;
+    case 3:
+      if (Alt)
+        return fail(Word, "reserved OP encoding (funct7=0x20, funct3=3)");
+      I.Op = RvOp::Sltu;
+      break;
+    case 4:
+      if (Alt)
+        return fail(Word, "reserved OP encoding (funct7=0x20, funct3=4)");
+      I.Op = RvOp::Xor;
+      break;
+    case 5:
+      I.Op = Alt ? RvOp::Sra : RvOp::Srl;
+      break;
+    case 6:
+      if (Alt)
+        return fail(Word, "reserved OP encoding (funct7=0x20, funct3=6)");
+      I.Op = RvOp::Or;
+      break;
+    case 7:
+      if (Alt)
+        return fail(Word, "reserved OP encoding (funct7=0x20, funct3=7)");
+      I.Op = RvOp::And;
+      break;
+    }
+    I.Imm = 0;
+    return I;
+  }
+  case 0x0F: // MISC-MEM
+    if (F3 == 1)
+      return fail(Word, "fence.i (Zifencei) is not in the RV32I subset");
+    if (F3 != 0)
+      return fail(Word, "reserved misc-mem funct3");
+    // Any fm/pred/succ combination is an architectural no-op here: the
+    // simulator is a single in-order memory agent.
+    I.Op = RvOp::Fence;
+    I.Rd = I.Rs1 = I.Rs2 = 0;
+    I.Imm = 0;
+    return I;
+  case 0x73: // SYSTEM
+    if (Word == 0x00000073u || Word == 0x00100073u) {
+      I.Op = Word == 0x00000073u ? RvOp::Ecall : RvOp::Ebreak;
+      I.Rd = I.Rs1 = I.Rs2 = 0;
+      return I;
+    }
+    if (F3 != 0)
+      return fail(Word, "CSR instructions (Zicsr) are not in the RV32I "
+                        "subset");
+    return fail(Word, "reserved SYSTEM encoding");
+  default:
+    return fail(Word, "unknown major opcode");
+  }
+}

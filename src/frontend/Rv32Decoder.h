@@ -1,0 +1,94 @@
+//===- frontend/Rv32Decoder.h - RV32I instruction decoder -------*- C++ -*-===//
+//
+// Part of the ogate project (CGO 2004 operand-gating reproduction).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Decodes raw 32-bit words into RV32I base-ISA instructions. The decoder
+/// is deliberately strict: reserved encodings, the compressed (RVC)
+/// quadrants, and every extension (M, A, F, Zicsr, Zifencei, ...) are
+/// decode errors with a one-line diagnostic, never a silent nearest
+/// match. Strictness is what makes the decoder usable as a fuzz target —
+/// an arbitrary byte stream either decodes to a well-defined RvInst or
+/// fails cleanly (PropertyTest drives >=10k random words through it).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef OG_FRONTEND_RV32DECODER_H
+#define OG_FRONTEND_RV32DECODER_H
+
+#include "support/Error.h"
+
+#include <cstdint>
+#include <string>
+
+namespace og {
+
+/// The RV32I base instruction set, one enumerator per mnemonic.
+enum class RvOp : uint8_t {
+  Lui,
+  Auipc,
+  Jal,
+  Jalr,
+  Beq,
+  Bne,
+  Blt,
+  Bge,
+  Bltu,
+  Bgeu,
+  Lb,
+  Lh,
+  Lw,
+  Lbu,
+  Lhu,
+  Sb,
+  Sh,
+  Sw,
+  Addi,
+  Slti,
+  Sltiu,
+  Xori,
+  Ori,
+  Andi,
+  Slli,
+  Srli,
+  Srai,
+  Add,
+  Sub,
+  Sll,
+  Slt,
+  Sltu,
+  Xor,
+  Srl,
+  Sra,
+  Or,
+  And,
+  Fence,
+  Ecall,
+  Ebreak,
+};
+
+const char *rvOpName(RvOp Op);
+
+/// One decoded instruction. Unused fields are zero (e.g. Rs2 for I-type,
+/// Imm for R-type); Imm is already sign-extended to its architectural
+/// value (for Lui/Auipc it is the full shifted 32-bit constant).
+struct RvInst {
+  RvOp Op = RvOp::Addi;
+  uint8_t Rd = 0;
+  uint8_t Rs1 = 0;
+  uint8_t Rs2 = 0;
+  int32_t Imm = 0;
+};
+
+/// "addi x5, x6, -1" — the golden-test and diagnostic rendering.
+std::string rvInstStr(const RvInst &I);
+
+/// Decodes one 32-bit little-endian instruction word. Never crashes:
+/// every non-RV32I encoding returns a diagnostic naming the word.
+Expected<RvInst> decodeRv32(uint32_t Word);
+
+} // namespace og
+
+#endif // OG_FRONTEND_RV32DECODER_H

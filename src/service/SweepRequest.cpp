@@ -138,11 +138,15 @@ Expected<std::vector<ExperimentSpec>> SweepRequest::buildSpecs() const {
   } else {
     const std::vector<std::string> Known = allWorkloadNames();
     for (const std::string &W : Workloads) {
-      if (std::find(Known.begin(), Known.end(), W) == Known.end()) {
+      // "elf:PATH" entries go through the binary frontend; the file is
+      // read when the cell builds its workload, so a missing path fails
+      // as "workload build failed" with the loader's diagnostic.
+      if (W.rfind("elf:", 0) != 0 &&
+          std::find(Known.begin(), Known.end(), W) == Known.end()) {
         std::string Err = "unknown workload '" + W + "' (known:";
         for (const std::string &K : Known)
           Err += " " + K;
-        return makeError<Specs>(Err + ")");
+        return makeError<Specs>(Err + ", or elf:PATH)");
       }
       Names.push_back(W);
     }
@@ -178,11 +182,23 @@ bool og::applySweepRequestFlag(SweepRequest &R, const CliTool &T,
     return true;
   }
   if (Arg.rfind("--workloads=", 0) == 0) {
+    const std::vector<std::string> Known = allWorkloadNames();
     std::stringstream SS(Arg.substr(12));
     std::string Item;
-    while (std::getline(SS, Item, ','))
-      if (!Item.empty())
-        R.Workloads.push_back(Item);
+    while (std::getline(SS, Item, ',')) {
+      if (Item.empty())
+        continue;
+      // Strict-CLI family: an unknown entry exits 2 naming the bad
+      // entry, same as every other malformed flag value. "elf:PATH"
+      // entries are structural here; the path itself is validated when
+      // the workload builds.
+      if (Item.rfind("elf:", 0) != 0 &&
+          std::find(Known.begin(), Known.end(), Item) == Known.end())
+        T.badValue("--workloads", Item,
+                   "want registered workload names or elf:PATH "
+                   "(ogate-sim --list-workloads prints the registry)");
+      R.Workloads.push_back(Item);
+    }
     return true;
   }
   if (Arg.rfind("--sample=", 0) == 0) {

@@ -2,7 +2,13 @@
 
 #include "workloads/Workloads.h"
 
+#include "frontend/Lifter.h"
+#include "workloads/Common.h"
+
+#include <algorithm>
 #include <cassert>
+#include <cmath>
+#include <stdexcept>
 
 using namespace og;
 
@@ -19,7 +25,26 @@ std::vector<Workload> og::makeAllWorkloads(double Scale) {
   return All;
 }
 
+Workload og::makeElfWorkload(const std::string &Path, double Scale) {
+  Expected<LiftedProgram> L = liftElfFile(Path);
+  if (!L)
+    throw std::runtime_error(L.error());
+  Workload W;
+  W.Name = "elf:" + Path;
+  W.Prog = std::move(L->Prog);
+  // The fixture argument contract (tests/fixtures/rv32/): a0 selects the
+  // input set, a1 is the unit count the program loops over. Train mirrors
+  // the hand-built workloads' "small profiling input" role.
+  W.Train = runWithArg(0);
+  W.Train.ArgRegs = {0, 1};
+  W.Ref = runWithArg(1);
+  W.Ref.ArgRegs = {1, std::max<int64_t>(1, std::llround(Scale * 16.0))};
+  return W;
+}
+
 Workload og::makeWorkload(const std::string &Name, double Scale) {
+  if (Name.rfind("elf:", 0) == 0)
+    return makeElfWorkload(Name.substr(4), Scale);
   if (Name == "compress")
     return makeCompress(Scale);
   if (Name == "gcc")

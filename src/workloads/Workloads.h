@@ -53,8 +53,17 @@ Workload makeVortex(double Scale);
 /// sizes (1.0 = the default benchmark size; tests use smaller values).
 std::vector<Workload> makeAllWorkloads(double Scale = 1.0);
 
-/// Looks up a single workload by name ("compress", ...); asserts on
-/// unknown names.
+/// Lifts an RV32I ELF binary (frontend/Lifter) into a workload. The
+/// fixture contract: a0 selects the input (0 = train, 1 = ref) and a1
+/// carries the scale hint (ref passes max(1, lround(Scale * 16)) units;
+/// train always runs 1). Throws std::runtime_error when the file cannot
+/// be parsed or lifted — the same "workload build failed" path the sweep
+/// service reports for any generator failure.
+Workload makeElfWorkload(const std::string &Path, double Scale = 1.0);
+
+/// Looks up a single workload by name ("compress", ..., or
+/// "elf:path/to/binary"); asserts on unknown registry names (callers
+/// validate against allWorkloadNames first).
 Workload makeWorkload(const std::string &Name, double Scale = 1.0);
 
 } // namespace og

@@ -12,12 +12,18 @@
 #include "program/Builder.h"
 #include "asm/Assembler.h"
 #include "asm/Disassembler.h"
+#include "frontend/ElfFile.h"
+#include "frontend/Lifter.h"
+#include "frontend/Rv32Decoder.h"
+#include "program/Verifier.h"
 #include "support/Rng.h"
 #include "vrp/Narrowing.h"
 #include "vrp/Transfer.h"
 #include "workloads/Workloads.h"
 
 #include <gtest/gtest.h>
+
+#include <fstream>
 
 using namespace og;
 
@@ -311,5 +317,137 @@ TEST(ValueRangeLaws, UnionIntersectProperties) {
     // bytes() monotone under union.
     EXPECT_GE(A.unionWith(B).bytes(), A.bytes() > B.bytes() ? A.bytes()
                                                             : B.bytes());
+  }
+}
+
+// --- Binary-frontend fuzzing.
+//
+// The decoder and the ELF reader are the system's only parsers of
+// untrusted bytes; both promise "diagnostic, never undefined behavior"
+// for arbitrary input. Random words, random files, and bit-flipped real
+// fixtures drive that promise (run under ASan/UBSan in the sanitizer CI
+// job).
+
+TEST(FrontendFuzz, DecoderNeverCrashesOnRandomWords) {
+  const uint64_t Seed = propertySeed(77);
+  SCOPED_TRACE(seedTrace(Seed));
+  Rng R(Seed);
+  int Ok = 0;
+  for (int Trial = 0; Trial < 20000; ++Trial) {
+    const uint32_t Word = static_cast<uint32_t>(R.next());
+    Expected<RvInst> I = decodeRv32(Word);
+    if (I) {
+      ++Ok;
+      // A successful decode must re-render without touching garbage.
+      EXPECT_FALSE(rvInstStr(*I).empty());
+      EXPECT_LT(I->Rd, 32);
+      EXPECT_LT(I->Rs1, 32);
+      EXPECT_LT(I->Rs2, 32);
+    } else {
+      EXPECT_EQ(I.error().rfind("cannot decode word 0x", 0), 0u)
+          << I.error();
+    }
+  }
+  // Sanity: the RV32I encoding space is dense enough that a uniform
+  // sample decodes a nontrivial fraction of the time.
+  EXPECT_GT(Ok, 0);
+}
+
+TEST(FrontendFuzz, ElfParserNeverCrashesOnMutatedFixtures) {
+  const uint64_t Seed = propertySeed(78);
+  SCOPED_TRACE(seedTrace(Seed));
+  Rng R(Seed);
+  for (const char *Name : {"checksum.elf", "sieve.elf", "strhash.elf"}) {
+    const std::string Path =
+        std::string(OG_RV32_FIXTURE_DIR) + "/" + Name;
+    Expected<ElfFile> Orig = ElfFile::load(Path);
+    ASSERT_TRUE(bool(Orig)) << (Orig ? "" : Orig.error());
+
+    std::ifstream In(Path, std::ios::binary);
+    std::vector<uint8_t> Bytes((std::istreambuf_iterator<char>(In)),
+                               std::istreambuf_iterator<char>());
+    ASSERT_FALSE(Bytes.empty());
+    for (int Trial = 0; Trial < 300; ++Trial) {
+      std::vector<uint8_t> Mut = Bytes;
+      // 1-8 random byte edits, biased toward the headers where the
+      // parser's bounds arithmetic lives.
+      const int Edits = static_cast<int>(R.range(1, 8));
+      for (int E = 0; E < Edits; ++E) {
+        const size_t Pos = R.next() % 4 == 0
+                               ? R.below(std::min<size_t>(Mut.size(), 256))
+                               : R.below(Mut.size());
+        Mut[Pos] = static_cast<uint8_t>(R.next());
+      }
+      // Occasionally truncate too.
+      if (R.next() % 8 == 0)
+        Mut.resize(R.below(Mut.size() + 1));
+      Expected<ElfFile> E = ElfFile::parse(std::move(Mut));
+      if (!E)
+        continue; // diagnostic path: fine
+      // If it still parses, the lifter must also stay well-defined:
+      // either a Verifier-clean program or a diagnostic.
+      Expected<LiftedProgram> L = liftElf(*E);
+      if (L) {
+        std::string Diag;
+        EXPECT_TRUE(verifyProgram(L->Prog, &Diag)) << Diag;
+      }
+    }
+  }
+}
+
+TEST(FrontendFuzz, LifterNeverCrashesOnRandomText) {
+  // Random instruction streams wrapped in a well-formed ELF: the decoder
+  // accepts some of them, so this exercises discovery's bail-outs (bad
+  // branch targets, indirect jumps, x4 use) far more often than a lift
+  // that succeeds.
+  const uint64_t Seed = propertySeed(79);
+  SCOPED_TRACE(seedTrace(Seed));
+  Rng R(Seed);
+  for (int Trial = 0; Trial < 300; ++Trial) {
+    const size_t Words = static_cast<size_t>(R.range(1, 64));
+    // ehdr + one R+X phdr around the random words; mirrors the fixture
+    // writer's layout.
+    std::vector<uint8_t> B(52 + 32 + Words * 4, 0);
+    auto U16 = [&B](size_t O, uint16_t V) {
+      B[O] = V & 0xFF;
+      B[O + 1] = V >> 8;
+    };
+    auto U32 = [&B](size_t O, uint32_t V) {
+      for (int I = 0; I < 4; ++I)
+        B[O + I] = (V >> (8 * I)) & 0xFF;
+    };
+    B[0] = 0x7F;
+    B[1] = 'E';
+    B[2] = 'L';
+    B[3] = 'F';
+    B[4] = B[5] = B[6] = 1;
+    U16(16, 2);
+    U16(18, 243);
+    U32(20, 1);
+    U32(24, 0x10000);
+    U32(28, 52);
+    U16(40, 52);
+    U16(42, 32);
+    U16(44, 1);
+    U32(52, 1); // PT_LOAD
+    U32(56, 84);
+    U32(60, 0x10000);
+    U32(64, 0x10000);
+    U32(68, static_cast<uint32_t>(Words * 4));
+    U32(72, static_cast<uint32_t>(Words * 4));
+    U32(76, 5); // R+X
+    U32(80, 4);
+    for (size_t W = 0; W < Words; ++W)
+      U32(84 + W * 4, static_cast<uint32_t>(R.next()));
+
+    Expected<ElfFile> E = ElfFile::parse(std::move(B));
+    ASSERT_TRUE(bool(E)) << (E ? "" : E.error());
+    Expected<LiftedProgram> L = liftElf(*E);
+    if (L) {
+      std::string Diag;
+      EXPECT_TRUE(verifyProgram(L->Prog, &Diag)) << Diag;
+    } else {
+      EXPECT_FALSE(L.error().empty());
+    }
   }
 }

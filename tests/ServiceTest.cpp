@@ -480,6 +480,83 @@ TEST(ServiceTest, RequestErrorsSurfaceWithoutServing) {
   EXPECT_NE(Out.Error.find("unknown workload"), std::string::npos);
 }
 
+// --- ELF-lifted workloads ------------------------------------------------
+
+/// One lifted-binary workload at full standard-sweep scale (the lifted
+/// kernels are small enough that scaling down is pointless).
+SweepRequest elfRequest() {
+  SweepRequest R;
+  R.Workloads = {std::string("elf:") + OG_RV32_FIXTURE_DIR "/checksum.elf"};
+  R.Scale = 0.25;
+  return R;
+}
+
+TEST(ServiceTest, ElfWorkloadServesByteIdenticalAcrossJobCounts) {
+  const SweepRequest R = elfRequest();
+  const std::string Batch = batchDocument(R); // reference path runs Jobs=2
+  const size_t N = R.buildSpecs()->size();
+
+  for (unsigned Jobs : {1u, 4u}) {
+    ServiceOptions SO;
+    SO.Jobs = Jobs;
+    SweepService Service(SO);
+    ServedSweep Out = Service.serve(R);
+    ASSERT_TRUE(Out.Ok) << Out.Error;
+    EXPECT_EQ(Out.Misses, N) << "jobs=" << Jobs;
+    EXPECT_EQ(Out.Document.toString(), Batch) << "jobs=" << Jobs;
+  }
+}
+
+TEST(ServiceTest, ElfWorkloadCellsAreSchemaValidAndNarrow) {
+  ServiceOptions SO;
+  SO.Jobs = 2;
+  SweepService Service(SO);
+  ServedSweep Out = Service.serve(elfRequest());
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+
+  const JsonValue *Cells = Out.Document.get("cells");
+  ASSERT_NE(Cells, nullptr);
+  ASSERT_TRUE(Cells->isArray());
+  ASSERT_GT(Cells->size(), 1u);
+
+  // Every served cell must parse back through the schema, and the
+  // gated configs must actually narrow the lifted code — a lifter that
+  // emitted all-quad IR would zero this out without failing anything
+  // upstream.
+  int64_t Narrowed = 0;
+  for (size_t I = 0; I < Cells->size(); ++I) {
+    const JsonValue &Cell = Cells->at(I);
+    Expected<ResultAggregator::Cell> Back = sweepCellFromJson(Cell);
+    ASSERT_TRUE(bool(Back)) << Back.error();
+    EXPECT_EQ(Back->Workload.rfind("elf:", 0), 0u);
+    Narrowed += Cell.get("counters")->get("narrowed-opcodes")->asInt();
+  }
+  EXPECT_GT(Narrowed, 0);
+}
+
+TEST(ServiceTest, ElfWorkloadReServeIsAllHitsFromThePersistentCache) {
+  const SweepRequest R = elfRequest();
+  const size_t N = R.buildSpecs()->size();
+
+  ServiceOptions SO;
+  SO.Jobs = 2;
+  SO.CacheDir = freshDir("elf");
+  std::string ColdBytes;
+  {
+    SweepService Cold(SO);
+    ServedSweep Out = Cold.serve(R);
+    ASSERT_TRUE(Out.Ok) << Out.Error;
+    EXPECT_EQ(Out.Misses, N);
+    ColdBytes = Out.Document.toString();
+  }
+  SweepService Warm(SO);
+  ServedSweep Out = Warm.serve(R);
+  ASSERT_TRUE(Out.Ok) << Out.Error;
+  EXPECT_EQ(Out.Hits, N);
+  EXPECT_EQ(Out.Misses, 0u);
+  EXPECT_EQ(Out.Document.toString(), ColdBytes);
+}
+
 // --- Wire form -----------------------------------------------------------
 
 TEST(ServiceTest, CompactJsonIsSingleLineAndRoundTrips) {

@@ -1,0 +1,14 @@
+#!/bin/sh
+# Regenerates every checked-in .elf fixture from its .s source with
+# rvasm.py (deterministic: same sources -> same bytes). Run from
+# anywhere; exits non-zero if any fixture fails to assemble or the
+# output would be empty. After regenerating, re-run FrontendTest — the
+# decode goldens and run oracles pin the fixtures' semantics.
+set -eu
+cd "$(dirname "$0")"
+for SRC in *.s; do
+  OUT="${SRC%.s}.elf"
+  python3 rvasm.py "$SRC" -o "$OUT"
+  [ -s "$OUT" ] || { echo "regen: $OUT is empty" >&2; exit 1; }
+  echo "regen: $OUT ($(wc -c < "$OUT") bytes)"
+done

@@ -1,0 +1,414 @@
+#!/usr/bin/env python3
+"""Minimal RV32I assembler + static ELF32 writer for the test fixtures.
+
+The repository ships pre-built RV32I ELF fixtures so CI never needs a
+RISC-V cross-toolchain; this script is how they are (re)generated:
+
+    python3 rvasm.py checksum.s -o checksum.elf
+
+Supported surface (exactly what the fixtures use):
+  - sections .text / .data, labels, .globl (exported as STT_FUNC in
+    .text, STT_OBJECT in .data), .word/.byte/.space/.align/.bss
+  - all RV32I instructions by ABI register names, plus the classic
+    pseudo-instructions (li, la, mv, not, neg, seqz, snez, j, jr, call,
+    ret, nop, beqz/bnez/bltz/bgez/blez/bgtz)
+  - text links at 0x10000 (the simulator's flat data base), data on the
+    next 4 KiB boundary; `.bss N` extends the data segment's memsz past
+    its filesz to exercise the loader's zero-fill path
+
+Output is a little-endian ET_EXEC EM_RISCV ELF32 with two PT_LOAD
+segments and a symbol table, i.e. the exact shape frontend/ElfFile.cpp
+consumes. Deterministic: same input bytes -> same output bytes.
+"""
+
+import argparse
+import re
+import struct
+import sys
+
+TEXT_BASE = 0x10000
+PAGE = 0x1000
+
+ABI = {
+    "zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+    "t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+    "a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+    "a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+    "s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+    "t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+for _i in range(32):
+    ABI[f"x{_i}"] = _i
+
+R_FUNCT = {  # op -> (funct3, funct7)
+    "add": (0, 0x00), "sub": (0, 0x20), "sll": (1, 0x00), "slt": (2, 0x00),
+    "sltu": (3, 0x00), "xor": (4, 0x00), "srl": (5, 0x00), "sra": (5, 0x20),
+    "or": (6, 0x00), "and": (7, 0x00),
+}
+I_FUNCT = {"addi": 0, "slti": 2, "sltiu": 3, "xori": 4, "ori": 6, "andi": 7}
+SHIFT_FUNCT = {"slli": (1, 0x00), "srli": (5, 0x00), "srai": (5, 0x20)}
+LOAD_FUNCT = {"lb": 0, "lh": 1, "lw": 2, "lbu": 4, "lhu": 5}
+STORE_FUNCT = {"sb": 0, "sh": 1, "sw": 2}
+BRANCH_FUNCT = {"beq": 0, "bne": 1, "blt": 4, "bge": 5, "bltu": 6, "bgeu": 7}
+
+
+def reg(tok):
+    tok = tok.strip()
+    if tok not in ABI:
+        raise ValueError(f"unknown register '{tok}'")
+    return ABI[tok]
+
+
+def enc_r(op, rd, rs1, rs2):
+    f3, f7 = R_FUNCT[op]
+    return (f7 << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | 0x33
+
+
+def enc_i(opc, f3, rd, rs1, imm):
+    assert -2048 <= imm < 2048, f"I-imm {imm} out of range"
+    return ((imm & 0xFFF) << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | opc
+
+
+def enc_shift(op, rd, rs1, shamt):
+    f3, f7 = SHIFT_FUNCT[op]
+    assert 0 <= shamt < 32, f"shamt {shamt} out of range"
+    return (f7 << 25) | (shamt << 20) | (rs1 << 15) | (f3 << 12) | (rd << 7) | 0x13
+
+
+def enc_s(op, rs2, rs1, imm):
+    assert -2048 <= imm < 2048, f"S-imm {imm} out of range"
+    f3 = STORE_FUNCT[op]
+    lo, hi = imm & 0x1F, (imm >> 5) & 0x7F
+    return (hi << 25) | (rs2 << 20) | (rs1 << 15) | (f3 << 12) | (lo << 7) | 0x23
+
+
+def enc_b(op, rs1, rs2, off):
+    assert off % 2 == 0 and -4096 <= off < 4096, f"B-off {off} out of range"
+    f3 = BRANCH_FUNCT[op]
+    u = off & 0x1FFF
+    w = ((u >> 12) << 31) | (((u >> 5) & 0x3F) << 25) | (rs2 << 20)
+    w |= (rs1 << 15) | (f3 << 12) | (((u >> 1) & 0xF) << 8)
+    w |= (((u >> 11) & 1) << 7) | 0x63
+    return w
+
+
+def enc_u(opc, rd, imm20):
+    return ((imm20 & 0xFFFFF) << 12) | (rd << 7) | opc
+
+
+def enc_j(rd, off):
+    assert off % 2 == 0 and -(1 << 20) <= off < (1 << 20), f"J-off {off}"
+    u = off & 0x1FFFFF
+    w = ((u >> 20) << 31) | (((u >> 1) & 0x3FF) << 21) | (((u >> 11) & 1) << 20)
+    w |= (((u >> 12) & 0xFF) << 12) | (rd << 7) | 0x6F
+    return w
+
+
+def split_hi_lo(value):
+    value &= 0xFFFFFFFF
+    hi = ((value + 0x800) >> 12) & 0xFFFFF
+    lo = value - ((hi << 12) & 0xFFFFFFFF)
+    lo = ((lo + 0x800) & 0xFFF) - 0x800  # sign-extend to [-2048, 2048)
+    return hi, lo
+
+
+class Stmt:
+    def __init__(self, kind, args, line):
+        self.kind = kind      # mnemonic or directive
+        self.args = args
+        self.line = line
+        self.addr = 0
+
+
+def parse_operands(rest):
+    # split on commas not inside parentheses (there are none nested)
+    return [p.strip() for p in rest.split(",")] if rest.strip() else []
+
+
+def parse_mem(tok):
+    m = re.fullmatch(r"(-?[\w$]+)\((\w+)\)", tok.strip())
+    if not m:
+        raise ValueError(f"bad memory operand '{tok}'")
+    return m.group(1), reg(m.group(2))
+
+
+class Assembler:
+    def __init__(self):
+        self.text = []   # list of Stmt
+        self.data = bytearray()
+        self.bss = 0
+        self.labels = {}      # name -> (section, offset)
+        self.globls = []      # (name, section)
+        self.entry_label = "_start"
+
+    def size_of(self, st):
+        """Instruction byte size, fixed in pass 1 (pseudo expansion is
+        size-stable by construction)."""
+        if st.kind in ("li", "la"):
+            if st.kind == "li":
+                try:
+                    v = int(st.args[1], 0)
+                    if -2048 <= v < 2048:
+                        return 4
+                except ValueError:
+                    pass
+            return 8
+        return 4
+
+    def assemble(self, source):
+        section = "text"
+        for lineno, raw in enumerate(source.splitlines(), 1):
+            line = raw.split("#")[0].strip()
+            if not line:
+                continue
+            while True:
+                m = re.match(r"([\w$.]+):\s*", line)
+                if not m:
+                    break
+                name = m.group(1)
+                if section == "text":
+                    off = sum(self.size_of(s) for s in self.text)
+                else:
+                    off = len(self.data)
+                if name in self.labels:
+                    raise ValueError(f"line {lineno}: duplicate label {name}")
+                self.labels[name] = (section, off)
+                line = line[m.end():]
+            if not line:
+                continue
+            parts = line.split(None, 1)
+            kind = parts[0]
+            rest = parts[1] if len(parts) > 1 else ""
+            if kind == ".text":
+                section = "text"
+            elif kind == ".data":
+                section = "data"
+            elif kind == ".globl":
+                self.globls.append((rest.strip(), section))
+            elif kind == ".word":
+                assert section == "data"
+                for tok in parse_operands(rest):
+                    self.data += struct.pack("<i", int(tok, 0))
+            elif kind == ".byte":
+                assert section == "data"
+                for tok in parse_operands(rest):
+                    self.data += struct.pack("<B", int(tok, 0) & 0xFF)
+            elif kind == ".half":
+                assert section == "data"
+                for tok in parse_operands(rest):
+                    self.data += struct.pack("<H", int(tok, 0) & 0xFFFF)
+            elif kind == ".space":
+                assert section == "data"
+                self.data += bytes(int(rest.strip(), 0))
+            elif kind == ".align":
+                n = 1 << int(rest.strip(), 0)
+                if section == "data":
+                    while len(self.data) % n:
+                        self.data.append(0)
+                else:
+                    raise ValueError(".align only supported in .data")
+            elif kind == ".bss":
+                assert section == "data"
+                self.bss += int(rest.strip(), 0)
+            elif kind.startswith("."):
+                raise ValueError(f"line {lineno}: unknown directive {kind}")
+            else:
+                if section != "text":
+                    raise ValueError(f"line {lineno}: instruction in .data")
+                self.text.append(Stmt(kind, parse_operands(rest), lineno))
+
+        # Assign addresses.
+        addr = TEXT_BASE
+        for st in self.text:
+            st.addr = addr
+            addr += self.size_of(st)
+        self.text_size = addr - TEXT_BASE
+        self.data_base = (addr + PAGE - 1) // PAGE * PAGE
+
+        words = []
+        for st in self.text:
+            words += self.encode(st)
+        assert len(words) * 4 == self.text_size
+        return b"".join(struct.pack("<I", w & 0xFFFFFFFF) for w in words)
+
+    def sym_addr(self, name):
+        if name not in self.labels:
+            raise ValueError(f"undefined symbol '{name}'")
+        section, off = self.labels[name]
+        return (TEXT_BASE if section == "text" else self.data_base) + off
+
+    def imm_or_sym(self, tok):
+        try:
+            return int(tok, 0)
+        except ValueError:
+            return self.sym_addr(tok)
+
+    def encode(self, st):
+        k, a = st.kind, st.args
+        try:
+            return self.encode_inner(k, a, st.addr)
+        except (ValueError, AssertionError, IndexError, KeyError) as e:
+            raise SystemExit(f"line {st.line}: {k} {', '.join(a)}: {e}")
+
+    def encode_inner(self, k, a, addr):
+        if k in R_FUNCT:
+            return [enc_r(k, reg(a[0]), reg(a[1]), reg(a[2]))]
+        if k in I_FUNCT:
+            return [enc_i(0x13, I_FUNCT[k], reg(a[0]), reg(a[1]),
+                          int(a[2], 0))]
+        if k in SHIFT_FUNCT:
+            return [enc_shift(k, reg(a[0]), reg(a[1]), int(a[2], 0))]
+        if k in LOAD_FUNCT:
+            off, base = parse_mem(a[1])
+            return [enc_i(0x03, LOAD_FUNCT[k], reg(a[0]), base, int(off, 0))]
+        if k in STORE_FUNCT:
+            off, base = parse_mem(a[1])
+            return [enc_s(k, reg(a[0]), base, int(off, 0))]
+        if k in BRANCH_FUNCT:
+            return [enc_b(k, reg(a[0]), reg(a[1]),
+                          self.sym_addr(a[2]) - addr)]
+        if k == "lui":
+            return [enc_u(0x37, reg(a[0]), int(a[1], 0))]
+        if k == "auipc":
+            return [enc_u(0x17, reg(a[0]), int(a[1], 0))]
+        if k == "jal":
+            if len(a) == 1:
+                return [enc_j(1, self.sym_addr(a[0]) - addr)]
+            return [enc_j(reg(a[0]), self.sym_addr(a[1]) - addr)]
+        if k == "jalr":
+            if len(a) == 1:
+                return [enc_i(0x67, 0, 1, reg(a[0]), 0)]
+            off, base = parse_mem(a[1])
+            return [enc_i(0x67, 0, reg(a[0]), base, int(off, 0))]
+        if k == "ecall":
+            return [0x00000073]
+        if k == "ebreak":
+            return [0x00100073]
+        if k == "fence":
+            return [0x0FF0000F]  # fence iorw, iorw
+        # --- pseudo-instructions ---
+        if k == "nop":
+            return [enc_i(0x13, 0, 0, 0, 0)]
+        if k == "mv":
+            return [enc_i(0x13, 0, reg(a[0]), reg(a[1]), 0)]
+        if k == "not":
+            return [enc_i(0x13, 4, reg(a[0]), reg(a[1]), -1)]
+        if k == "neg":
+            return [enc_r("sub", reg(a[0]), 0, reg(a[1]))]
+        if k == "seqz":
+            return [enc_i(0x13, 3, reg(a[0]), reg(a[1]), 1)]
+        if k == "snez":
+            return [enc_r("sltu", reg(a[0]), 0, reg(a[1]))]
+        if k == "j":
+            return [enc_j(0, self.sym_addr(a[0]) - addr)]
+        if k == "jr":
+            return [enc_i(0x67, 0, 0, reg(a[0]), 0)]
+        if k == "call":
+            return [enc_j(1, self.sym_addr(a[0]) - addr)]
+        if k == "ret":
+            return [enc_i(0x67, 0, 0, 1, 0)]
+        if k in ("beqz", "bnez", "bltz", "bgez"):
+            base = {"beqz": "beq", "bnez": "bne",
+                    "bltz": "blt", "bgez": "bge"}[k]
+            return [enc_b(base, reg(a[0]), 0, self.sym_addr(a[1]) - addr)]
+        if k == "blez":  # rs <= 0  ==  0 >= rs  ==  bge x0, rs
+            return [enc_b("bge", 0, reg(a[0]), self.sym_addr(a[1]) - addr)]
+        if k == "bgtz":  # rs > 0   ==  0 < rs   ==  blt x0, rs
+            return [enc_b("blt", 0, reg(a[0]), self.sym_addr(a[1]) - addr)]
+        if k == "li":
+            rd, v = reg(a[0]), int(a[1], 0)
+            if -2048 <= v < 2048:
+                return [enc_i(0x13, 0, rd, 0, v)]
+            hi, lo = split_hi_lo(v)
+            return [enc_u(0x37, rd, hi), enc_i(0x13, 0, rd, rd, lo)]
+        if k == "la":
+            rd, v = reg(a[0]), self.sym_addr(a[1])
+            hi, lo = split_hi_lo(v)
+            return [enc_u(0x37, rd, hi), enc_i(0x13, 0, rd, rd, lo)]
+        raise ValueError("unknown mnemonic")
+
+
+def build_elf(asm, text_bytes):
+    data_base = asm.data_base
+    data_bytes = bytes(asm.data)
+    text_off = PAGE
+    data_off = text_off + (data_base - TEXT_BASE)
+
+    # Symbol and string tables: null symbol, then the .globl exports.
+    strtab = bytearray(b"\0")
+    syms = bytearray(bytes(16))  # null symbol
+    for name, section in asm.globls:
+        name_off = len(strtab)
+        strtab += name.encode() + b"\0"
+        value = asm.sym_addr(name)
+        stype = 2 if section == "text" else 1  # STT_FUNC / STT_OBJECT
+        shndx = 1 if section == "text" else 2
+        syms += struct.pack("<IIIBBH", name_off, value, 0,
+                            (1 << 4) | stype, 0, shndx)
+
+    shstrtab = b"\0.text\0.data\0.symtab\0.strtab\0.shstrtab\0"
+    sym_off = data_off + len(data_bytes)
+    str_off = sym_off + len(syms)
+    shstr_off = str_off + len(strtab)
+    sh_off = (shstr_off + len(shstrtab) + 3) & ~3
+
+    def shdr(name, stype, flags, addr, off, size, link=0, info=0,
+             align=1, entsize=0):
+        return struct.pack("<10I", name, stype, flags, addr, off, size,
+                           link, info, align, entsize)
+
+    shdrs = b"".join([
+        shdr(0, 0, 0, 0, 0, 0),
+        shdr(1, 1, 0x6, TEXT_BASE, text_off, len(text_bytes), align=4),
+        shdr(7, 1, 0x3, data_base, data_off, len(data_bytes), align=4),
+        shdr(13, 2, 0, 0, sym_off, len(syms), link=4, info=1,
+             align=4, entsize=16),
+        shdr(21, 3, 0, 0, str_off, len(strtab)),
+        shdr(29, 3, 0, 0, shstr_off, len(shstrtab)),
+    ])
+
+    entry = asm.sym_addr(asm.entry_label)
+    ehdr = struct.pack(
+        "<4sBBBBB7xHHIIIIIHHHHHH",
+        b"\x7fELF", 1, 1, 1, 0, 0,   # ELFCLASS32, LSB, version, SysV
+        2, 243, 1,                    # ET_EXEC, EM_RISCV, EV_CURRENT
+        entry, 52, sh_off, 0,         # entry, phoff, shoff, flags
+        52, 32, 2,                    # ehsize, phentsize, phnum
+        40, 6, 5)                     # shentsize, shnum, shstrndx
+    phdrs = struct.pack("<8I", 1, text_off, TEXT_BASE, TEXT_BASE,
+                        len(text_bytes), len(text_bytes), 0x5, PAGE)
+    phdrs += struct.pack("<8I", 1, data_off, data_base, data_base,
+                         len(data_bytes), len(data_bytes) + asm.bss,
+                         0x6, PAGE)
+
+    out = bytearray()
+    out += ehdr + phdrs
+    out += bytes(text_off - len(out))
+    out += text_bytes
+    out += bytes(data_off - len(out))
+    out += data_bytes
+    assert len(out) == sym_off
+    out += syms + strtab + shstrtab
+    out += bytes(sh_off - len(out))
+    out += shdrs
+    return bytes(out)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("input")
+    ap.add_argument("-o", "--output", required=True)
+    args = ap.parse_args()
+    asm = Assembler()
+    with open(args.input) as f:
+        text = asm.assemble(f.read())
+    if asm.entry_label not in asm.labels:
+        sys.exit("no _start label")
+    with open(args.output, "wb") as f:
+        f.write(build_elf(asm, text))
+    print(f"{args.output}: {len(text)} text bytes, {len(asm.data)} data, "
+          f"{asm.bss} bss, entry {hex(asm.sym_addr('_start'))}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+# sieve — byte sieve of Eratosthenes, the classic embedded benchmark.
+# Exercises byte stores/loads, nested loops, and unsigned-free index
+# arithmetic; prime counts are the output oracle.
+#
+# a0: input selector (0 = train: N=512, 1 = ref: N=2048)
+# a1: unit count (full sieve repetitions); 0 means 1
+# out: one value (total primes found across units)
+
+    .text
+    .globl _start
+_start:
+    lui sp, 0x400
+    mv s0, a0
+    mv s1, a1
+    bnez s1, have_units
+    li s1, 1
+have_units:
+    li s2, 512
+    beqz s0, size_done
+    li s2, 2048
+size_done:
+    la s3, flags
+    li s4, 0                 # unit counter
+    li s5, 0                 # total prime count
+unit_loop:
+    li t0, 0
+clear:
+    add t1, s3, t0
+    sb zero, 0(t1)
+    addi t0, t0, 1
+    blt t0, s2, clear
+    li t0, 2                 # candidate i
+    li t2, 0                 # primes this unit
+iloop:
+    add t1, s3, t0
+    lbu t3, 0(t1)
+    bnez t3, not_prime
+    addi t2, t2, 1
+    add t4, t0, t0           # j = 2i
+jloop:
+    bge t4, s2, not_prime
+    add t5, s3, t4
+    li t6, 1
+    sb t6, 0(t5)
+    add t4, t4, t0
+    j jloop
+not_prime:
+    addi t0, t0, 1
+    blt t0, s2, iloop
+    add s5, s5, t2
+    addi s4, s4, 1
+    blt s4, s1, unit_loop
+    mv a0, s5
+    li a7, 1
+    ecall
+    li a7, 93
+    ecall
+    ebreak                   # trap if exit returns (keeps the lifter's ecall continuation decodable)
+
+    .data
+    .globl flags
+flags:
+    .bss 2048

@@ -1,0 +1,103 @@
+# strhash — halfword-table hashing plus recursive fibonacci. Exercises
+# the call stack (sw/lw of ra and s-registers around recursion), signed
+# halfword/byte loads (lh/lb sign-extension paths), and shift-add
+# multiplies.
+#
+# a0: input selector (0 = train, 1 = ref); picks the recursion depth
+# a1: unit count; 0 means 1
+# out: two values (fib accumulator, table hash)
+
+    .text
+    .globl _start
+_start:
+    lui sp, 0x400
+    mv s0, a0
+    mv s1, a1
+    bnez s1, have_units
+    li s1, 1
+have_units:
+    # Fill a 256-entry halfword table with a shift-add generator.
+    la s2, table
+    li t0, 12345
+    add t0, t0, s0
+    li t1, 0
+fill:
+    slli t2, t0, 3           # x = x + 8x + 7
+    add t0, t0, t2
+    addi t0, t0, 7
+    slli t3, t1, 1
+    add t3, s2, t3
+    sh t0, 0(t3)
+    addi t1, t1, 1
+    li t4, 256
+    blt t1, t4, fill
+    li s3, 0                 # fib accumulator
+    li s4, 0                 # hash accumulator
+    li s5, 0                 # unit counter
+unit_loop:
+    li a0, 10                # train depth 10, ref depth 11
+    add a0, a0, s0
+    call fib
+    add s3, s3, a0
+    # h = h*33 + table[i] (signed halfwords)
+    li t1, 0
+hash_loop:
+    slli t3, t1, 1
+    add t3, s2, t3
+    lh t4, 0(t3)
+    slli t5, s4, 5
+    add s4, t5, s4
+    add s4, s4, t4
+    addi t1, t1, 1
+    li t6, 256
+    blt t1, t6, hash_loop
+    # fold in 128 signed bytes too (lb path)
+    li t1, 0
+byte_loop:
+    add t3, s2, t1
+    lb t4, 0(t3)
+    xor s4, s4, t4
+    srai t5, s4, 1
+    add s4, s4, t5
+    addi t1, t1, 1
+    li t6, 128
+    blt t1, t6, byte_loop
+    addi s5, s5, 1
+    blt s5, s1, unit_loop
+    mv a0, s3
+    li a7, 1
+    ecall
+    mv a0, s4
+    li a7, 1
+    ecall
+    li a7, 93
+    ecall
+    ebreak                   # trap if exit returns (keeps the lifter's ecall continuation decodable)
+
+    .globl fib
+fib:
+    # a0 = n -> a0 = fib(n), the naive recursion
+    li t0, 2
+    blt a0, t0, fib_ret
+    addi sp, sp, -16
+    sw ra, 12(sp)
+    sw s0, 8(sp)
+    sw s1, 4(sp)
+    mv s0, a0
+    addi a0, a0, -1
+    call fib
+    mv s1, a0
+    addi a0, s0, -2
+    call fib
+    add a0, a0, s1
+    lw s1, 4(sp)
+    lw s0, 8(sp)
+    lw ra, 12(sp)
+    addi sp, sp, 16
+fib_ret:
+    ret
+
+    .data
+    .globl table
+table:
+    .space 512

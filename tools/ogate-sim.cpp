@@ -7,6 +7,11 @@
 // `ogate-serve` and the bench harness.
 //
 //   ogate-sim [options] input.s           single-program mode
+//     Inputs are assembly by default; an "elf:PATH" spec or a file
+//     starting with the ELF magic runs through the RV32I binary
+//     frontend (src/frontend/) instead, so compiled binaries work
+//     everywhere assembly does. --list-workloads prints the workload
+//     registry (sweep --workloads accepts those names and elf:PATH).
 //     --arg=N           initial a0 (repeatable: fills a0..a5 in order)
 //     --uarch           also run the Table-2 timing model
 //     --scheme=NAME     power accounting: none|sw|hwsig|hwsize|combined
@@ -86,6 +91,7 @@
 //===----------------------------------------------------------------------===//
 
 #include "asm/Assembler.h"
+#include "frontend/Lifter.h"
 #include "power/Report.h"
 #include "report/ReportSchema.h"
 #include "service/SweepService.h"
@@ -177,7 +183,7 @@ int main(int argc, char **argv) {
   bool Uarch = false, Stats = false;
   GatingScheme Scheme = GatingScheme::None;
   uint64_t Fuel = 200'000'000;
-  bool Sweep = false, KeepGoing = false;
+  bool Sweep = false, KeepGoing = false, ListWorkloads = false;
   SweepRequest Request;
   std::string JsonPath, CacheDir;
   unsigned Jobs = 1, SampleJobs = 1;
@@ -256,11 +262,14 @@ int main(int argc, char **argv) {
       }
     } else if (Arg == "--keep-going") {
       KeepGoing = true;
+    } else if (Arg == "--list-workloads") {
+      ListWorkloads = true;
     } else if (Arg == "--help" || Arg == "-h") {
       std::cerr << "usage: ogate-sim [--arg=N]... [--uarch] "
                    "[--scheme=none|sw|hwsig|hwsize|combined] [--stats] "
                    "[--fuel=N] [--timing-line] [--sample=L[:K]] "
-                   "[--sample-jobs=N] [--json=PATH|-] input.s\n"
+                   "[--sample-jobs=N] [--json=PATH|-] input.s|elf:BIN\n"
+                   "       ogate-sim --list-workloads\n"
                    "       ogate-sim --sweep[=standard|matrix] [--jobs N] "
                    "[--scale=S] [--workloads=a,b] [--keep-going] "
                    "[--json=PATH|-] [--cache-dir=DIR] [--sample=L[:K]] "
@@ -272,6 +281,16 @@ int main(int argc, char **argv) {
     } else {
       InputPath = Arg;
     }
+  }
+
+  if (ListWorkloads) {
+    // One name per line on stdout so shell pipelines can consume it; the
+    // elf: scheme is a spec, not a registry entry, so it rides on stderr.
+    for (const std::string &Name : allWorkloadNames())
+      std::cout << Name << "\n";
+    std::cerr << "ogate-sim: plus \"elf:PATH\" for any RV32I ELF binary "
+                 "(lifted by the frontend)\n";
+    return 0;
   }
 
   Request.Report.JsonRequested = !JsonPath.empty();
@@ -299,17 +318,12 @@ int main(int argc, char **argv) {
     return 1;
   }
 
-  std::ifstream In(InputPath);
-  if (!In) {
-    std::cerr << "ogate-sim: cannot open '" << InputPath << "'\n";
-    return 1;
-  }
-  std::stringstream Buffer;
-  Buffer << In.rdbuf();
-  Expected<Program> Parsed = assembleProgram(Buffer.str());
+  // Assembly or ELF: loadProgramInput dispatches on the elf: prefix and
+  // the ELF magic, so `ogate-sim elf:tests/fixtures/rv32/checksum.elf`
+  // and a bare path to a binary both lift through the frontend.
+  Expected<Program> Parsed = loadProgramInput(InputPath);
   if (!Parsed) {
-    std::cerr << "ogate-sim: " << InputPath << ": " << Parsed.error()
-              << "\n";
+    std::cerr << "ogate-sim: " << Parsed.error() << "\n";
     return 1;
   }
 
